@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths: DTW,
+// Wasserstein, LSTM stepping, context-window extraction, simulator sample
+// rate, and GenDT window generation. These guard against performance
+// regressions rather than reproducing a paper result.
+#include <benchmark/benchmark.h>
+
+#include "gendt/context/context.h"
+#include "gendt/core/model.h"
+#include "gendt/metrics/metrics.h"
+#include "gendt/sim/dataset.h"
+
+using namespace gendt;
+
+namespace {
+
+std::vector<double> random_series(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(-90.0, 10.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = g(rng);
+  return v;
+}
+
+void BM_DtwUnbanded(benchmark::State& state) {
+  const auto a = random_series(static_cast<size_t>(state.range(0)), 1);
+  const auto b = random_series(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(metrics::dtw(a, b));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DtwUnbanded)->Arg(128)->Arg(512)->Arg(1024)->Complexity(benchmark::oNSquared);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const auto a = random_series(static_cast<size_t>(state.range(0)), 1);
+  const auto b = random_series(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(metrics::dtw(a, b, 40));
+}
+BENCHMARK(BM_DtwBanded)->Arg(512)->Arg(2048);
+
+void BM_Wasserstein(benchmark::State& state) {
+  const auto a = random_series(static_cast<size_t>(state.range(0)), 3);
+  const auto b = random_series(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(metrics::wasserstein1(a, b));
+}
+BENCHMARK(BM_Wasserstein)->Arg(1024)->Arg(8192);
+
+void BM_LstmStep(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  nn::LstmCell cell(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), rng);
+  nn::Tensor x = nn::Tensor::constant(nn::Mat::randn(1, static_cast<int>(state.range(0)), rng));
+  auto st = cell.initial_state();
+  for (auto _ : state) {
+    auto next = cell.step(x, st);
+    benchmark::DoNotOptimize(next.h.value()(0, 0));
+  }
+}
+BENCHMARK(BM_LstmStep)->Args({9, 28})->Args({9, 100})->Args({31, 100});
+
+void BM_LstmWindowBackward(benchmark::State& state) {
+  std::mt19937_64 rng(6);
+  nn::LstmNetwork net(9, 28, 4, rng);
+  std::vector<nn::Tensor> xs;
+  for (int t = 0; t < 50; ++t) xs.push_back(nn::Tensor::constant(nn::Mat::randn(1, 9, rng)));
+  for (auto _ : state) {
+    auto ys = net.forward(xs, nn::StochasticConfig{}, rng);
+    nn::Tensor loss = nn::sum(nn::square(nn::concat_rows(ys)));
+    net.zero_grad();
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_LstmWindowBackward);
+
+struct SimFixtures {
+  sim::Dataset ds;
+  std::unique_ptr<sim::DriveTestSimulator> sim;
+  geo::Trajectory traj;
+  std::unique_ptr<context::ContextBuilder> builder;
+  std::unique_ptr<core::GenDTModel> model;
+  std::vector<context::Window> windows;
+
+  SimFixtures() {
+    sim::DatasetScale scale;
+    scale.train_duration_s = 200.0;
+    scale.test_duration_s = 100.0;
+    scale.records_per_scenario = 1;
+    ds = sim::make_dataset_a(scale);
+    sim = std::make_unique<sim::DriveTestSimulator>(ds.world, ds.sim_config);
+    std::mt19937_64 rng(9);
+    traj = sim::scenario_trajectory(ds.world.region, sim::Scenario::kWalk, 120.0, rng);
+    context::KpiNorm norm = context::fit_kpi_norm(ds.train, ds.kpis);
+    context::ContextConfig ccfg;
+    ccfg.window_len = 50;
+    ccfg.max_cells = 6;
+    builder = std::make_unique<context::ContextBuilder>(ds.world, ccfg, norm, ds.kpis);
+    core::GenDTConfig mcfg;
+    mcfg.num_channels = 4;
+    mcfg.hidden = 28;
+    model = std::make_unique<core::GenDTModel>(mcfg);
+    windows = builder->generation_windows(traj);
+  }
+  static SimFixtures& get() {
+    static SimFixtures f;
+    return f;
+  }
+};
+
+void BM_SimulatorRun(benchmark::State& state) {
+  auto& f = SimFixtures::get();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto rec = f.sim->run(f.traj, sim::Scenario::kWalk, ++seed);
+    benchmark::DoNotOptimize(rec.samples.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.traj.size()));
+}
+BENCHMARK(BM_SimulatorRun);
+
+void BM_ContextWindowBuild(benchmark::State& state) {
+  auto& f = SimFixtures::get();
+  for (auto _ : state) {
+    auto w = f.builder->generation_windows(f.traj);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_ContextWindowBuild);
+
+void BM_GenDTWindowGeneration(benchmark::State& state) {
+  auto& f = SimFixtures::get();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto s = f.model->sample_windows(f.windows, ++seed);
+    benchmark::DoNotOptimize(s.size());
+  }
+  int64_t samples = 0;
+  for (const auto& w : f.windows) samples += w.len;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * samples);
+}
+BENCHMARK(BM_GenDTWindowGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

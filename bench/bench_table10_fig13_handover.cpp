@@ -1,0 +1,134 @@
+// Table 10 + Figure 13: handover analysis use case. GenDT (and each
+// baseline) is retrained with the serving-cell KPI channel appended; the
+// generated serving-cell series' change points give inter-handover times,
+// scored by HWD against the real distribution, plus a CDF comparison.
+#include <memory>
+
+#include "harness.h"
+
+#include "gendt/downstream/handover.h"
+
+using namespace gendt;
+
+int main() {
+  bench::print_title("Table 10 + Figure 13: inter-handover time distribution use case");
+  bench::EvalConfig cfg = bench::default_eval_config();
+  sim::Dataset ds = sim::make_dataset_b(cfg.scale);
+
+  // Retrain with the serving-cell channel appended (paper §6.3.2).
+  ds.kpis.push_back(sim::Kpi::kServingCell);
+  bench::Pipeline pipe = bench::make_pipeline(ds, cfg);
+  const int serving_ch = static_cast<int>(ds.kpis.size()) - 1;
+
+  std::vector<std::unique_ptr<core::TimeSeriesGenerator>> methods;
+  {
+    core::GenDTConfig mcfg;
+    mcfg.num_channels = static_cast<int>(ds.kpis.size());
+    mcfg.hidden = cfg.gendt_hidden;
+    core::TrainConfig tcfg;
+    tcfg.epochs = cfg.gendt_epochs;
+    tcfg.seed = cfg.seed;
+    {
+      auto g = std::make_unique<core::GenDTGenerator>(mcfg, tcfg, pipe.norm);
+      g->set_kpis(ds.kpis);
+      methods.push_back(std::move(g));
+    }
+  }
+  for (auto& b :
+       baselines::make_all_baselines(pipe.norm, static_cast<int>(ds.kpis.size()), cfg.seed))
+    methods.push_back(std::move(b));
+
+  // Detection threshold calibration: pick, per method, the jump threshold
+  // whose detected handover RATE on generated *training* routes matches the
+  // real training handover rate. Uses training data only; applied to test.
+  auto calibrate_threshold = [&](const core::TimeSeriesGenerator& gen) {
+    double real_rate = 0.0;
+    double duration = 0.0;
+    std::vector<std::vector<double>> gen_series;
+    std::vector<std::vector<double>> gen_t;
+    for (const auto& rec : ds.train) {
+      std::vector<double> t;
+      for (const auto& m : rec.samples) t.push_back(m.t);
+      auto serving = rec.kpi_series(sim::Kpi::kServingCell);
+      real_rate += static_cast<double>(
+          downstream::detect_inter_handover_times(serving, t, 0.5).size());
+      duration += t.empty() ? 0.0 : t.back() - t.front();
+      auto windows = pipe.builder->generation_windows(rec);
+      core::GeneratedSeries fake = gen.generate(windows, cfg.seed + 87);
+      t.resize(fake.length());
+      gen_series.push_back(
+          downstream::median_filter(fake.channels[static_cast<size_t>(serving_ch)], 3));
+      gen_t.push_back(std::move(t));
+    }
+    real_rate /= std::max(1.0, duration);
+    const double sigma = pipe.norm.stddev[static_cast<size_t>(serving_ch)];
+    double best_th = 0.25 * sigma;
+    double best_gap = 1e300;
+    for (double frac = 0.02; frac <= 1.0; frac *= 1.3) {
+      double rate = 0.0;
+      for (size_t r = 0; r < gen_series.size(); ++r) {
+        rate += static_cast<double>(
+            downstream::detect_inter_handover_times(gen_series[r], gen_t[r], frac * sigma)
+                .size());
+      }
+      rate /= std::max(1.0, duration);
+      const double gap = std::abs(rate - real_rate);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_th = frac * sigma;
+      }
+    }
+    return best_th;
+  };
+
+  // Real inter-handover distribution pooled over all test routes.
+  std::vector<double> real_durations;
+  for (const auto& test : ds.test) {
+    std::vector<double> t;
+    for (const auto& m : test.samples) t.push_back(m.t);
+    auto serving = test.kpi_series(sim::Kpi::kServingCell);
+    auto d = downstream::detect_inter_handover_times(serving, t, 0.5);
+    real_durations.insert(real_durations.end(), d.begin(), d.end());
+  }
+
+  std::printf("%-14s %8s %14s %14s\n", "Method", "HWD", "mean IHT (s)", "#handovers");
+  std::printf("%-14s %8s %14.1f %14zu\n", "Real", "-",
+              metrics::series_stats(real_durations).mean, real_durations.size());
+
+  std::vector<double> gendt_durations;
+  for (auto& m : methods) {
+    std::fprintf(stderr, "[handover] training %s...\n", m->name().c_str());
+    m->fit(pipe.train_windows);
+    const double threshold = calibrate_threshold(*m);
+    std::vector<double> gen_durations;
+    for (const auto& test : ds.test) {
+      auto gen_windows = pipe.builder->generation_windows(test);
+      core::GeneratedSeries fake = m->generate(gen_windows, cfg.seed + 23);
+      std::vector<double> t;
+      for (const auto& mm : test.samples) t.push_back(mm.t);
+      t.resize(fake.length());
+      // Generated serving-cell values are continuous: median-filter, then
+      // detect sustained jumps with the train-calibrated threshold.
+      auto smoothed =
+          downstream::median_filter(fake.channels[static_cast<size_t>(serving_ch)], 3);
+      auto d = downstream::detect_inter_handover_times(smoothed, t, threshold);
+      gen_durations.insert(gen_durations.end(), d.begin(), d.end());
+    }
+    auto cmp = downstream::compare_handover_distributions(real_durations, gen_durations);
+    std::printf("%-14s %8.2f %14.1f %14zu\n", m->name().c_str(), cmp.hwd,
+                cmp.generated_mean_s, cmp.generated_count);
+    if (m->name() == "GenDT") gendt_durations = gen_durations;
+  }
+
+  std::printf("\nFigure 13: CDF of inter-handover time\n%10s %8s %8s\n", "time (s)", "real",
+              "GenDT");
+  std::vector<double> thresholds;
+  for (double th = 0.0; th <= 250.0; th += 25.0) thresholds.push_back(th);
+  auto cr = metrics::ecdf(real_durations, thresholds);
+  auto cg = metrics::ecdf(gendt_durations, thresholds);
+  for (size_t i = 0; i < thresholds.size(); ++i)
+    std::printf("%10.0f %8.2f %8.2f\n", thresholds[i], cr[i], cg[i]);
+  std::printf("\nExpected shape (paper Table 10/Fig. 13): GenDT's distribution closest to "
+              "real (lowest HWD); Real Cont. DG second; others far off.\n");
+  return 0;
+}

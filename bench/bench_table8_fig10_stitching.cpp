@@ -1,0 +1,87 @@
+// Table 8 + Figure 10: why long-series support matters. The long trajectory's
+// data is generated (i) by GenDT with its cross-batch autoregressive tail and
+// (ii) by stitching together INDEPENDENTLY generated short (50 s / 100 s)
+// trajectories — the stitched variants show seam artifacts and worse
+// distribution match.
+#include "harness.h"
+
+using namespace gendt;
+
+namespace {
+// Generate with the autoregressive tail reset every `chunk` windows —
+// equivalent to stitching independently generated short trajectories.
+core::GeneratedSeries stitched_generate(const core::GenDTGenerator& gendt,
+                                        const std::vector<context::Window>& windows,
+                                        size_t chunk, uint64_t seed) {
+  core::GeneratedSeries out;
+  for (size_t start = 0; start < windows.size(); start += chunk) {
+    const size_t end = std::min(windows.size(), start + chunk);
+    std::vector<context::Window> part(windows.begin() + static_cast<long>(start),
+                                      windows.begin() + static_cast<long>(end));
+    core::GeneratedSeries piece = gendt.generate(part, seed + start * 13);
+    if (out.channels.empty()) out.channels.assign(piece.channels.size(), {});
+    for (size_t ch = 0; ch < piece.channels.size(); ++ch)
+      out.channels[ch].insert(out.channels[ch].end(), piece.channels[ch].begin(),
+                              piece.channels[ch].end());
+  }
+  return out;
+}
+
+// Mean |jump| at stitching seams vs elsewhere (Fig. 10's visual artifact).
+double seam_jump(const core::GeneratedSeries& g, size_t period) {
+  double seam = 0.0;
+  int n = 0;
+  for (size_t i = period; i < g.channels[0].size(); i += period) {
+    seam += std::abs(g.channels[0][i] - g.channels[0][i - 1]);
+    ++n;
+  }
+  return n > 0 ? seam / n : 0.0;
+}
+}  // namespace
+
+int main() {
+  bench::print_title("Table 8 + Figure 10: GenDT vs stitched short-trajectory generation");
+  bench::EvalConfig cfg = bench::default_eval_config();
+  sim::Dataset ds = sim::make_dataset_b(cfg.scale);
+  sim::DriveTestRecord long_rec = sim::make_long_complex_record(
+      ds, cfg.scale.train_duration_s >= 600.0 ? 1500.0 : 600.0);
+
+  bench::Pipeline pipe = bench::make_pipeline(ds, cfg);
+  core::GenDTConfig mcfg;
+  mcfg.num_channels = static_cast<int>(ds.kpis.size());
+  auto gendt = bench::train_gendt_generator(ds, pipe, cfg, mcfg);
+
+  auto windows = pipe.builder->generation_windows(long_rec);
+  core::GeneratedSeries truth = core::real_series(windows, pipe.norm);
+
+  const int L = cfg.context.window_len;  // 50 samples/window
+  core::GeneratedSeries full = gendt->generate(windows, 42);
+  core::GeneratedSeries s50 = stitched_generate(*gendt, windows, 1, 42);   // ~50 s pieces
+  core::GeneratedSeries s100 = stitched_generate(*gendt, windows, 2, 42);  // ~100 s pieces
+
+  std::printf("%-18s %8s %8s %8s %14s\n", "Method", "MAE", "DTW", "HWD", "seam jump (dB)");
+  auto row = [&](const char* name, const core::GeneratedSeries& g, size_t period) {
+    const bench::Scores s = bench::score_series(truth.channels[0], g.channels[0]);
+    std::printf("%-18s %8.2f %8.2f %8.2f %14.2f\n", name, s.mae, s.dtw, s.hwd,
+                seam_jump(g, period));
+  };
+  row("GenDT", full, static_cast<size_t>(L));
+  row("50s Trajectory", s50, static_cast<size_t>(L));
+  row("100s Trajectory", s100, static_cast<size_t>(2 * L));
+
+  const double real_roc = metrics::series_stats(truth.channels[0]).roc;
+  std::printf("\nReal series mean step-to-step change: %.2f dB (seam jumps well above this "
+              "are stitch artifacts).\n", real_roc);
+
+  std::printf("\nLast ~400 samples (Fig. 10 zoom):\n");
+  auto tail = [](const std::vector<double>& v, size_t n) {
+    return std::vector<double>(v.end() - static_cast<long>(std::min(n, v.size())), v.end());
+  };
+  bench::ascii_chart({{"real", tail(truth.channels[0], 400)},
+                      {"GenDT", tail(full.channels[0], 400)},
+                      {"50s stitched", tail(s50.channels[0], 400)}},
+                     100, 14);
+  std::printf("\nExpected shape (paper Table 8/Fig. 10): stitched variants worse on all "
+              "metrics, especially HWD, with visible discontinuities at seams.\n");
+  return 0;
+}

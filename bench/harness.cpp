@@ -1,0 +1,219 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gendt::bench {
+
+Scores score_series(const std::vector<double>& real, const std::vector<double>& generated) {
+  Scores s;
+  const size_t n = std::min(real.size(), generated.size());
+  std::vector<double> r(real.begin(), real.begin() + static_cast<long>(n));
+  std::vector<double> g(generated.begin(), generated.begin() + static_cast<long>(n));
+  s.mae = metrics::mae(r, g);
+  s.dtw = metrics::dtw(r, g, 40);
+  s.hwd = metrics::hwd(r, g);
+  return s;
+}
+
+EvalConfig default_eval_config() {
+  EvalConfig cfg;
+  const char* fast = std::getenv("GENDT_BENCH_FAST");
+  if (fast != nullptr && fast[0] == '1') {
+    cfg.scale.train_duration_s = 300.0;
+    cfg.scale.test_duration_s = 150.0;
+    cfg.gendt_epochs = 5;
+    cfg.baseline_epochs = 4;
+  }
+  return cfg;
+}
+
+Scores FidelityResults::average(const std::string& method, int kpi_channel) const {
+  Scores avg;
+  int n = 0;
+  auto mit = scores.find(method);
+  if (mit == scores.end()) return avg;
+  for (const auto& [scenario, per_kpi] : mit->second) {
+    auto kit = per_kpi.find(kpi_channel);
+    if (kit != per_kpi.end()) {
+      avg.accumulate(kit->second);
+      ++n;
+    }
+  }
+  if (n > 0) avg.scale(1.0 / static_cast<double>(n));
+  return avg;
+}
+
+Pipeline make_pipeline(const sim::Dataset& dataset, const EvalConfig& cfg) {
+  Pipeline p;
+  p.norm = context::fit_kpi_norm(dataset.train, dataset.kpis);
+  p.builder = std::make_unique<context::ContextBuilder>(dataset.world, cfg.context, p.norm,
+                                                        dataset.kpis);
+  for (const auto& rec : dataset.train) {
+    auto w = p.builder->training_windows(rec);
+    p.train_windows.insert(p.train_windows.end(), w.begin(), w.end());
+  }
+  return p;
+}
+
+std::unique_ptr<core::GenDTGenerator> train_gendt_generator(const sim::Dataset& dataset,
+                                                            const Pipeline& pipe,
+                                                            const EvalConfig& cfg,
+                                                            core::GenDTConfig model_overrides) {
+  core::GenDTConfig mcfg = model_overrides;
+  mcfg.num_channels = static_cast<int>(dataset.kpis.size());
+  if (mcfg.hidden <= 0) mcfg.hidden = cfg.gendt_hidden;
+  core::TrainConfig tcfg;
+  tcfg.epochs = cfg.gendt_epochs;
+  tcfg.seed = cfg.seed;
+  auto gen = std::make_unique<core::GenDTGenerator>(mcfg, tcfg, pipe.norm);
+  gen->fit(pipe.train_windows);
+  return gen;
+}
+
+FidelityResults run_fidelity_eval(const sim::Dataset& dataset, const EvalConfig& cfg,
+                                  std::unique_ptr<core::GenDTGenerator>* gendt_out,
+                                  context::ContextBuilder** builder_out) {
+  FidelityResults res;
+  res.kpis = dataset.kpis;
+
+  // Leaky static to let callers keep using the builder after return.
+  static std::vector<std::unique_ptr<Pipeline>> pipelines;
+  pipelines.push_back(std::make_unique<Pipeline>(make_pipeline(dataset, cfg)));
+  Pipeline& pipe = *pipelines.back();
+  if (builder_out != nullptr) *builder_out = pipe.builder.get();
+
+  // Methods: GenDT first, then the five baselines.
+  std::vector<std::unique_ptr<core::TimeSeriesGenerator>> methods;
+  {
+    core::GenDTConfig mcfg;
+    mcfg.num_channels = static_cast<int>(dataset.kpis.size());
+    mcfg.hidden = cfg.gendt_hidden;
+    mcfg.init_seed = cfg.seed;
+    core::TrainConfig tcfg;
+    tcfg.epochs = cfg.gendt_epochs;
+    tcfg.seed = cfg.seed;
+    {
+      auto g = std::make_unique<core::GenDTGenerator>(mcfg, tcfg, pipe.norm);
+      g->set_kpis(dataset.kpis);
+      methods.push_back(std::move(g));
+    }
+  }
+  {
+    auto baselines = baselines::make_all_baselines(pipe.norm,
+                                                   static_cast<int>(dataset.kpis.size()),
+                                                   cfg.seed);
+    for (auto& b : baselines) methods.push_back(std::move(b));
+  }
+
+  for (auto& m : methods) {
+    std::fprintf(stderr, "[harness] training %s...\n", m->name().c_str());
+    m->fit(pipe.train_windows);
+    res.methods.push_back(m->name());
+  }
+
+  for (const auto& test : dataset.test) {
+    const std::string scenario{sim::scenario_name(test.scenario)};
+    res.scenarios.push_back(scenario);
+    auto gen_windows = pipe.builder->generation_windows(test);
+    core::GeneratedSeries truth = core::real_series(gen_windows, pipe.norm);
+    for (auto& m : methods) {
+      core::GeneratedSeries fake = m->generate(gen_windows, cfg.seed + 101);
+      for (size_t ch = 0; ch < dataset.kpis.size(); ++ch) {
+        res.scores[m->name()][scenario][static_cast<int>(ch)] =
+            score_series(truth.channels[ch], fake.channels[ch]);
+      }
+    }
+  }
+
+  if (gendt_out != nullptr) {
+    *gendt_out = std::unique_ptr<core::GenDTGenerator>(
+        static_cast<core::GenDTGenerator*>(methods.front().release()));
+  }
+  return res;
+}
+
+void print_title(const std::string& title) {
+  std::printf("\n== %s ==\n\n", title.c_str());
+}
+
+void print_fidelity_table(const FidelityResults& res, int kpi_channel) {
+  // Header: metric groups per scenario.
+  std::printf("%-14s", "Method");
+  for (const auto& metric : {"MAE", "DTW", "HWD"}) {
+    for (const auto& sc : res.scenarios) std::printf(" %13s", (std::string(metric) + ":" + sc.substr(0, 9)).c_str());
+  }
+  std::printf("\n");
+  for (const auto& m : res.methods) {
+    std::printf("%-14s", m.c_str());
+    auto row = res.scores.at(m);
+    for (int metric = 0; metric < 3; ++metric) {
+      for (const auto& sc : res.scenarios) {
+        const Scores& s = row.at(sc).at(kpi_channel);
+        const double v = metric == 0 ? s.mae : metric == 1 ? s.dtw : s.hwd;
+        std::printf(" %13.2f", v);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void print_average_table(const FidelityResults& res) {
+  std::printf("%-14s", "Method");
+  for (const auto& k : res.kpis) {
+    const std::string kn{sim::kpi_name(k)};
+    std::printf(" %9s %9s %9s", ("MAE:" + kn).substr(0, 9).c_str(),
+                ("DTW:" + kn).substr(0, 9).c_str(), ("HWD:" + kn).substr(0, 9).c_str());
+  }
+  std::printf("\n");
+  for (const auto& m : res.methods) {
+    std::printf("%-14s", m.c_str());
+    for (size_t ch = 0; ch < res.kpis.size(); ++ch) {
+      const Scores s = res.average(m, static_cast<int>(ch));
+      std::printf(" %9.2f %9.2f %9.2f", s.mae, s.dtw, s.hwd);
+    }
+    std::printf("\n");
+  }
+}
+
+void ascii_chart(const std::vector<std::pair<std::string, std::vector<double>>>& series,
+                 int width, int height) {
+  if (series.empty()) return;
+  double lo = 1e300, hi = -1e300;
+  size_t max_len = 0;
+  for (const auto& [name, s] : series) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    max_len = std::max(max_len, s.size());
+  }
+  if (max_len == 0 || hi <= lo) return;
+
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  const char* marks = "*o+x#@";
+  for (size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si].second;
+    if (s.empty()) continue;
+    for (int x = 0; x < width; ++x) {
+      const size_t idx = static_cast<size_t>(
+          static_cast<double>(x) / std::max(1, width - 1) * static_cast<double>(s.size() - 1));
+      const double v = s[idx];
+      int y = static_cast<int>((hi - v) / (hi - lo) * (height - 1));
+      y = std::clamp(y, 0, height - 1);
+      grid[static_cast<size_t>(y)][static_cast<size_t>(x)] = marks[si % 6];
+    }
+  }
+  std::printf("  %8.2f +%s\n", hi, std::string(static_cast<size_t>(width), '-').c_str());
+  for (const auto& row : grid) std::printf("%11s|%s\n", "", row.c_str());
+  std::printf("  %8.2f +%s\n", lo, std::string(static_cast<size_t>(width), '-').c_str());
+  std::printf("%11s ", "");
+  for (size_t si = 0; si < series.size(); ++si)
+    std::printf(" [%c] %s", marks[si % 6], series[si].first.c_str());
+  std::printf("\n");
+}
+
+}  // namespace gendt::bench

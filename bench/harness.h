@@ -1,0 +1,102 @@
+// Shared evaluation harness for the paper-reproduction benches: trains GenDT
+// and the §5.2 baselines on a dataset's training split and scores generated
+// KPI series on the held-out test split, per scenario and averaged, with the
+// §5.1 metrics (MAE / DTW / HWD).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gendt/baselines/baselines.h"
+#include "gendt/core/model.h"
+#include "gendt/metrics/metrics.h"
+#include "gendt/sim/dataset.h"
+
+namespace gendt::bench {
+
+/// One method's scores for one KPI on one evaluation series.
+struct Scores {
+  double mae = 0.0;
+  double dtw = 0.0;
+  double hwd = 0.0;
+  void accumulate(const Scores& o) {
+    mae += o.mae;
+    dtw += o.dtw;
+    hwd += o.hwd;
+  }
+  void scale(double f) {
+    mae *= f;
+    dtw *= f;
+    hwd *= f;
+  }
+};
+
+Scores score_series(const std::vector<double>& real, const std::vector<double>& generated);
+
+/// Evaluation sizing: one place to keep bench runtimes sane. Values here are
+/// the repo defaults; the GENDT_BENCH_FAST=1 environment variable halves the
+/// training effort for smoke runs.
+struct EvalConfig {
+  sim::DatasetScale scale{.train_duration_s = 700.0, .test_duration_s = 300.0,
+                          .records_per_scenario = 1, .seed = 42};
+  context::ContextConfig context{.visible_radius_m = 4000.0, .env_radius_m = 500.0,
+                                 .max_cells = 6, .window_len = 50, .train_step = 10};
+  int gendt_hidden = 48;
+  int gendt_epochs = 12;
+  int baseline_epochs = 12;
+  int dtw_band = 40;
+  uint64_t seed = 7;
+};
+
+/// Applies GENDT_BENCH_FAST if set.
+EvalConfig default_eval_config();
+
+/// The full per-method, per-scenario, per-KPI result set of one dataset.
+struct FidelityResults {
+  std::vector<std::string> methods;                 // row order
+  std::vector<std::string> scenarios;               // column groups
+  std::vector<sim::Kpi> kpis;                       // channels
+  // scores[method][scenario][kpi]
+  std::map<std::string, std::map<std::string, std::map<int, Scores>>> scores;
+
+  Scores average(const std::string& method, int kpi_channel) const;
+};
+
+/// Trains GenDT + all baselines on `dataset.train`, generates for each test
+/// record, scores per scenario. The GenDT generator is returned through
+/// `gendt_out` (when non-null) for follow-up experiments on the same model.
+FidelityResults run_fidelity_eval(const sim::Dataset& dataset, const EvalConfig& cfg,
+                                  std::unique_ptr<core::GenDTGenerator>* gendt_out = nullptr,
+                                  context::ContextBuilder** builder_out = nullptr);
+
+/// Build the standard context pipeline for a dataset.
+struct Pipeline {
+  context::KpiNorm norm;
+  std::unique_ptr<context::ContextBuilder> builder;
+  std::vector<context::Window> train_windows;
+};
+Pipeline make_pipeline(const sim::Dataset& dataset, const EvalConfig& cfg);
+
+/// Train a fresh GenDT on the pipeline's training windows.
+std::unique_ptr<core::GenDTGenerator> train_gendt_generator(const sim::Dataset& dataset,
+                                                            const Pipeline& pipe,
+                                                            const EvalConfig& cfg,
+                                                            core::GenDTConfig model_overrides);
+
+// ---- Table / figure text rendering ---------------------------------------
+
+/// Print a header like: "== Table 3: ... ==".
+void print_title(const std::string& title);
+
+/// Print a metric table: rows = methods, column groups = scenarios (or
+/// KPIs), three metric columns per group.
+void print_fidelity_table(const FidelityResults& res, int kpi_channel);
+void print_average_table(const FidelityResults& res);
+
+/// Minimal ASCII line chart: series rendered as rows of a fixed-height grid.
+void ascii_chart(const std::vector<std::pair<std::string, std::vector<double>>>& series,
+                 int width = 100, int height = 16);
+
+}  // namespace gendt::bench

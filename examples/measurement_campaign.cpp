@@ -1,0 +1,80 @@
+// Measurement-campaign planning: the operator workflow of paper §6.2/§7.1.
+//
+// A region is split into geographic subsets. Starting from one coarse
+// measurement subset, GenDT's model-uncertainty measure picks where to drive
+// next; the campaign stops when fidelity on a held-out route plateaus —
+// typically long before all subsets are measured, which is exactly the
+// measurement saving GenDT promises.
+//
+// Build & run:  ./build/examples/measurement_campaign
+#include <cstdio>
+
+#include "gendt/core/active_learning.h"
+#include "gendt/sim/dataset.h"
+
+using namespace gendt;
+
+int main() {
+  std::printf("=== Uncertainty-driven measurement campaign ===\n\n");
+
+  sim::DatasetScale scale;
+  scale.train_duration_s = 600.0;
+  scale.test_duration_s = 120.0;
+  scale.records_per_scenario = 2;
+  sim::Dataset ds = sim::make_dataset_b(scale);
+  sim::DriveTestRecord eval_route = sim::make_long_complex_record(ds, 500.0);
+
+  context::KpiNorm norm = context::fit_kpi_norm(ds.train, ds.kpis);
+  context::ContextConfig ccfg;
+  ccfg.window_len = 30;
+  ccfg.train_step = 10;
+  ccfg.max_cells = 5;
+  context::ContextBuilder builder(ds.world, ccfg, norm, ds.kpis);
+
+  auto subsets = sim::geographic_subsets(ds, 10);
+  std::printf("Region split into %zu geographic measurement subsets.\n", subsets.size());
+
+  std::vector<std::vector<context::Window>> subset_windows;
+  for (const auto& s : subsets) {
+    std::vector<context::Window> w;
+    for (const auto& rec : s) {
+      auto ws = builder.training_windows(rec);
+      w.insert(w.end(), ws.begin(), ws.end());
+    }
+    if (!w.empty()) subset_windows.push_back(std::move(w));
+  }
+  auto eval_windows = builder.generation_windows(eval_route);
+
+  core::ActiveLearningConfig cfg;
+  cfg.model.num_channels = static_cast<int>(ds.kpis.size());
+  cfg.model.hidden = 20;
+  cfg.initial_train.epochs = 6;
+  cfg.incremental_train.epochs = 3;
+  cfg.max_steps = static_cast<int>(std::min<size_t>(5, subset_windows.size()));
+
+  std::printf("Held-out evaluation route: %zu samples over %.0f s.\n\n",
+              eval_route.samples.size(), eval_route.samples.back().t);
+  std::printf("Campaign steps (drive where the model is least certain):\n");
+  std::printf("%6s %10s %8s %8s %8s  %s\n", "step", "data used", "MAE", "DTW", "HWD",
+              "subset driven");
+
+  auto steps = core::run_active_learning(subset_windows, eval_windows, norm,
+                                         core::SelectionStrategy::kUncertainty, cfg);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const auto& st = steps[i];
+    std::printf("%6zu %9.1f%% %8.2f %8.2f %8.2f  %s\n", i + 1, 100.0 * st.fraction_used,
+                st.mae, st.dtw, st.hwd,
+                st.picked_subset < 0 ? "(seed subset)" : "uncertainty pick");
+  }
+
+  if (steps.size() >= 2) {
+    size_t best = 0;
+    for (size_t i = 1; i < steps.size(); ++i)
+      if (steps[i].hwd < steps[best].hwd) best = i;
+    std::printf("\nBest fidelity (HWD %.2f) reached at step %zu with %.0f%% of the region's\n"
+                "measurements; driving the remaining subsets adds little — that is the\n"
+                "measurement saving GenDT targets.\n",
+                steps[best].hwd, best + 1, 100.0 * steps[best].fraction_used);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Quickstart: the end-to-end GenDT workflow on a laptop-scale world.
+//
+//   1. Build a synthetic region (land use, PoIs, cell deployment).
+//   2. Run a small drive-test campaign to get training measurements.
+//   3. Train the GenDT conditional generative model.
+//   4. Generate multi-KPI series for a NEW trajectory (no measurements!)
+//      and compare against what a real drive test would have recorded.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "gendt/baselines/baselines.h"
+#include "gendt/core/model.h"
+#include "gendt/metrics/metrics.h"
+#include "gendt/sim/dataset.h"
+
+using namespace gendt;
+
+int main() {
+  std::printf("=== GenDT quickstart ===\n\n");
+
+  // 1. A small single-city world (Dataset A style).
+  sim::DatasetScale scale;
+  scale.train_duration_s = 500.0;
+  scale.test_duration_s = 200.0;
+  scale.records_per_scenario = 1;
+  sim::Dataset ds = sim::make_dataset_a(scale);
+  std::printf("World: %zu cells deployed, %zu PoIs scattered\n", ds.world.cells.size(),
+              ds.world.land_use->pois().size());
+  std::printf("Training data: %zu drive-test records, %zu samples total\n\n", ds.train.size(),
+              ds.total_samples());
+
+  // 2. Context pipeline: windows of L=40 samples, overlapping for training.
+  context::KpiNorm norm = context::fit_kpi_norm(ds.train, ds.kpis);
+  context::ContextConfig ccfg;
+  ccfg.window_len = 40;
+  ccfg.train_step = 8;
+  ccfg.max_cells = 6;
+  context::ContextBuilder builder(ds.world, ccfg, norm, ds.kpis);
+
+  std::vector<context::Window> train_windows;
+  for (const auto& rec : ds.train) {
+    auto w = builder.training_windows(rec);
+    train_windows.insert(train_windows.end(), w.begin(), w.end());
+  }
+  std::printf("Context: %zu training windows; per window up to %d visible cells x %d attrs "
+              "+ %d env attributes\n\n",
+              train_windows.size(), ccfg.max_cells, context::kCellAttrs,
+              sim::kNumEnvAttributes);
+
+  // A peek at the context of the first window (paper Fig. 3 / Table 11).
+  const auto& w0 = train_windows.front();
+  std::printf("First window context snapshot (t=0):\n");
+  for (size_t ci = 0; ci < w0.cell_attrs.size(); ++ci) {
+    std::printf("  cell %zu: offset=(%+.2f, %+.2f) km, p_max(norm)=%.2f, azimuth(norm)=%+.2f, "
+                "distance=%.2f km\n",
+                ci, w0.cell_attrs[ci](0, 0), w0.cell_attrs[ci](0, 1), w0.cell_attrs[ci](0, 2),
+                w0.cell_attrs[ci](0, 3), w0.cell_attrs[ci](0, 4));
+  }
+  std::printf("  dominant land use nearby:");
+  for (int a = 0; a < sim::kNumLandUse; ++a) {
+    if (w0.env(0, a) > 0.15)
+      std::printf(" %.*s (%.0f%%)", static_cast<int>(context::env_attribute_name(a).size()),
+                  context::env_attribute_name(a).data(), 100.0 * w0.env(0, a));
+  }
+  std::printf("\n\n");
+
+  // 3. Train GenDT.
+  core::GenDTConfig mcfg;
+  mcfg.num_channels = static_cast<int>(ds.kpis.size());
+  mcfg.hidden = 24;
+  core::TrainConfig tcfg;
+  tcfg.epochs = 8;
+  tcfg.verbose = false;
+  core::GenDTGenerator gendt(mcfg, tcfg, norm);
+  std::printf("Training GenDT (%d epochs over %zu windows)...\n", tcfg.epochs,
+              train_windows.size());
+  gendt.fit(train_windows);
+  std::printf("done.\n\n");
+
+  // 4. Generate for an UNSEEN trajectory and compare with ground truth.
+  const sim::DriveTestRecord& test = ds.test[0];
+  auto gen_windows = builder.generation_windows(test);
+  core::GeneratedSeries fake = gendt.generate(gen_windows, /*seed=*/2024);
+  core::GeneratedSeries real = core::real_series(gen_windows, norm);
+
+  std::printf("Generated %zu-sample multi-KPI series for a new %s trajectory:\n",
+              fake.length(), scenario_name(test.scenario).data());
+  std::printf("%-12s %10s %10s %10s %10s\n", "KPI", "real mean", "gen mean", "MAE", "HWD");
+  for (size_t ch = 0; ch < ds.kpis.size(); ++ch) {
+    const auto rs = metrics::series_stats(real.channels[ch]);
+    const auto gs = metrics::series_stats(fake.channels[ch]);
+    std::printf("%-12s %10.2f %10.2f %10.2f %10.2f\n", sim::kpi_name(ds.kpis[ch]).data(),
+                rs.mean, gs.mean, metrics::mae(real.channels[ch], fake.channels[ch]),
+                metrics::hwd(real.channels[ch], fake.channels[ch]));
+  }
+
+  std::printf("\nFirst 10 seconds, RSRP (dBm):\n  real:");
+  for (int t = 0; t < 10; ++t) std::printf(" %7.1f", real.channels[0][static_cast<size_t>(t)]);
+  std::printf("\n  gen: ");
+  for (int t = 0; t < 10; ++t) std::printf(" %7.1f", fake.channels[0][static_cast<size_t>(t)]);
+  std::printf("\n\nNo field measurements were used to produce the generated series — only the\n"
+              "trajectory and its public network/environment context.\n");
+  return 0;
+}

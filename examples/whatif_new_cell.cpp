@@ -1,0 +1,102 @@
+// What-if analysis (paper Appendix C.2): study the effect of deploying new
+// cells on radio KPIs along a route, *before* any hardware goes up and
+// without a single drive test.
+//
+// GenDT's conditioning makes this possible: the network context is an input,
+// so editing the cell table and regenerating shows the expected KPI change.
+//
+// Build & run:  ./build/examples/whatif_new_cell
+#include <algorithm>
+#include <cstdio>
+
+#include "gendt/core/model.h"
+#include "gendt/metrics/metrics.h"
+#include "gendt/sim/dataset.h"
+
+using namespace gendt;
+
+int main() {
+  std::printf("=== What-if: deploying new cells along a weak route ===\n\n");
+
+  sim::DatasetScale scale;
+  scale.train_duration_s = 500.0;
+  scale.test_duration_s = 250.0;
+  scale.records_per_scenario = 1;
+  sim::Dataset ds = sim::make_dataset_a(scale);
+
+  context::KpiNorm norm = context::fit_kpi_norm(ds.train, ds.kpis);
+  context::ContextConfig ccfg;
+  ccfg.window_len = 30;
+  ccfg.train_step = 8;
+  ccfg.max_cells = 6;
+  context::ContextBuilder builder(ds.world, ccfg, norm, ds.kpis);
+
+  std::vector<context::Window> train_windows;
+  for (const auto& rec : ds.train) {
+    auto w = builder.training_windows(rec);
+    train_windows.insert(train_windows.end(), w.begin(), w.end());
+  }
+
+  core::GenDTConfig mcfg;
+  mcfg.num_channels = static_cast<int>(ds.kpis.size());
+  mcfg.hidden = 24;
+  core::GenDTGenerator gendt(mcfg, core::TrainConfig{.epochs = 8}, norm);
+  std::printf("Training GenDT on today's deployment (%zu windows)...\n", train_windows.size());
+  gendt.fit(train_windows);
+
+  // The study route: the bus test trajectory.
+  const sim::DriveTestRecord& route = ds.test[1];
+  auto before_windows = builder.generation_windows(route.trajectory);
+  core::GeneratedSeries before = gendt.generate(before_windows, 11);
+
+  // Find the weakest generated spot along the route and plan a 3-sector
+  // site right there.
+  size_t worst = 0;
+  for (size_t i = 1; i < before.channels[0].size(); ++i)
+    if (before.channels[0][i] < before.channels[0][worst]) worst = i;
+  const geo::LatLon site = route.samples.empty()
+                               ? route.trajectory[worst].pos
+                               : route.samples[std::min(worst, route.samples.size() - 1)].pos;
+  std::printf("Weakest generated RSRP %.1f dBm at sample %zu; planning a site there.\n",
+              before.channels[0][worst], worst);
+
+  // Edited world: same region, plus the hypothetical site.
+  sim::World modified = ds.world;
+  std::vector<radio::Cell> cells = ds.world.cells.cells();
+  radio::CellId next_id = 0;
+  for (const auto& c : cells) next_id = std::max(next_id, c.id);
+  for (int sector = 0; sector < 3; ++sector) {
+    radio::Cell c;
+    c.id = ++next_id;
+    c.site = site;
+    c.p_max_dbm = 46.0;
+    c.azimuth_deg = 120.0 * sector;
+    cells.push_back(c);
+  }
+  modified.cells = radio::CellTable(std::move(cells), ds.world.region.origin);
+
+  context::ContextBuilder modified_builder(modified, ccfg, norm, ds.kpis);
+  auto after_windows = modified_builder.generation_windows(route.trajectory);
+  core::GeneratedSeries after = gendt.generate(after_windows, 11);
+
+  // Compare the generated KPI picture before vs after, around the new site.
+  const size_t n = std::min(before.channels[0].size(), after.channels[0].size());
+  const size_t lo = worst > 30 ? worst - 30 : 0;
+  const size_t hi = std::min(n, worst + 30);
+  double before_mean = 0.0, after_mean = 0.0;
+  for (size_t i = lo; i < hi; ++i) {
+    before_mean += before.channels[0][i];
+    after_mean += after.channels[0][i];
+  }
+  before_mean /= static_cast<double>(hi - lo);
+  after_mean /= static_cast<double>(hi - lo);
+
+  std::printf("\nGenerated RSRP near the planned site (+-30 samples):\n");
+  std::printf("  before: %.1f dBm   after: %.1f dBm   delta: %+.1f dB\n", before_mean,
+              after_mean, after_mean - before_mean);
+  const auto sb = metrics::series_stats(before.channels[0]);
+  const auto sa = metrics::series_stats(after.channels[0]);
+  std::printf("  route-wide mean: %.1f -> %.1f dBm\n", sb.mean, sa.mean);
+  std::printf("\nThe operator sees the expected coverage gain before committing to the build.\n");
+  return 0;
+}

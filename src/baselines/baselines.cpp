@@ -1,0 +1,466 @@
+#include "gendt/baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::baselines {
+
+using nn::Mat;
+using nn::Tensor;
+
+// ---------------------------------------------------------------------------
+// FDaS
+// ---------------------------------------------------------------------------
+
+void FDaS::fit(const std::vector<context::Window>& train_windows) {
+  samples_.clear();
+  if (train_windows.empty()) return;
+  const int nch = train_windows.front().target.cols();
+  samples_.assign(static_cast<size_t>(nch), {});
+  for (const auto& w : train_windows) {
+    // Skip overlap duplication: windows may overlap, but for a distribution
+    // fit the duplication only reweights interior samples slightly.
+    for (int t = 0; t < w.len; ++t)
+      for (int ch = 0; ch < nch; ++ch)
+        samples_[static_cast<size_t>(ch)].push_back(w.target(t, ch));
+  }
+}
+
+GeneratedSeries FDaS::generate(const std::vector<context::Window>& windows,
+                               uint64_t seed) const {
+  GeneratedSeries out;
+  out.channels.assign(samples_.size(), {});
+  std::mt19937_64 rng(seed);
+  for (const auto& w : windows) {
+    for (int t = 0; t < w.len; ++t) {
+      for (size_t ch = 0; ch < samples_.size(); ++ch) {
+        const auto& pool = samples_[ch];
+        double v = 0.0;
+        if (!pool.empty()) {
+          std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+          v = pool[pick(rng)];
+        }
+        out.channels[ch].push_back(norm_.denormalize(static_cast<int>(ch), v));
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MLP
+// ---------------------------------------------------------------------------
+
+MlpRegressor::MlpRegressor(Config cfg, context::KpiNorm norm, int num_channels)
+    : cfg_(cfg), norm_(std::move(norm)), nch_(num_channels) {
+  std::mt19937_64 rng(cfg_.seed);
+  const int in = cfg_.cells_in_features * context::kCellAttrs + sim::kNumEnvAttributes;
+  net_ = nn::Mlp({.layer_sizes = {in, cfg_.hidden, cfg_.hidden, nch_}}, rng, "mlp_baseline");
+}
+
+Mat MlpRegressor::features(const context::Window& w, int t) const {
+  Mat f(1, cfg_.cells_in_features * context::kCellAttrs + sim::kNumEnvAttributes);
+  int col = 0;
+  for (int k = 0; k < cfg_.cells_in_features; ++k) {
+    for (int a = 0; a < context::kCellAttrs; ++a) {
+      f(0, col++) = k < static_cast<int>(w.cell_attrs.size())
+                        ? w.cell_attrs[static_cast<size_t>(k)](t, a)
+                        : 0.0;
+    }
+  }
+  for (int a = 0; a < sim::kNumEnvAttributes; ++a) f(0, col++) = w.env(t, a);
+  return f;
+}
+
+void MlpRegressor::fit(const std::vector<context::Window>& train_windows) {
+  std::mt19937_64 rng(cfg_.seed + 1);
+  nn::Adam opt({.lr = cfg_.lr, .clip_norm = 5.0});
+  const auto params = net_.params();
+
+  // Flatten to per-timestep examples; subsample to bound cost.
+  struct Example {
+    const context::Window* w;
+    int t;
+  };
+  std::vector<Example> examples;
+  for (const auto& w : train_windows)
+    for (int t = 0; t < w.len; ++t) examples.push_back({&w, t});
+  std::shuffle(examples.begin(), examples.end(), rng);
+  const size_t cap = 4000;
+  if (examples.size() > cap) examples.resize(cap);
+
+  const int batch = 32;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(examples.begin(), examples.end(), rng);
+    for (size_t start = 0; start < examples.size(); start += static_cast<size_t>(batch)) {
+      const size_t end = std::min(examples.size(), start + static_cast<size_t>(batch));
+      for (const auto& p : params) p.tensor.zero_grad();
+      for (size_t i = start; i < end; ++i) {
+        const auto& ex = examples[i];
+        Tensor x = Tensor::constant(features(*ex.w, ex.t));
+        Mat target(1, nch_);
+        for (int ch = 0; ch < nch_; ++ch) target(0, ch) = ex.w->target(ex.t, ch);
+        Tensor loss = nn::mse_loss(net_.forward(x, rng, true), Tensor::constant(std::move(target)));
+        loss = loss * (1.0 / static_cast<double>(end - start));
+        loss.backward();
+      }
+      opt.step(params);
+    }
+  }
+}
+
+GeneratedSeries MlpRegressor::generate(const std::vector<context::Window>& windows,
+                                       uint64_t seed) const {
+  GeneratedSeries out;
+  out.channels.assign(static_cast<size_t>(nch_), {});
+  std::mt19937_64 rng(seed);
+  for (const auto& w : windows) {
+    for (int t = 0; t < w.len; ++t) {
+      Tensor y = net_.forward(Tensor::constant(features(w, t)), rng, false);
+      for (int ch = 0; ch < nch_; ++ch)
+        out.channels[static_cast<size_t>(ch)].push_back(norm_.denormalize(ch, y.value()(0, ch)));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LSTM-GNN
+// ---------------------------------------------------------------------------
+
+LstmGnnPredictor::LstmGnnPredictor(Config cfg, context::KpiNorm norm, int num_channels)
+    : cfg_(cfg), norm_(std::move(norm)), nch_(num_channels) {
+  std::mt19937_64 rng(cfg_.seed);
+  node_cell_ = nn::LstmCell(context::kCellAttrs, cfg_.hidden, rng, "lstmgnn.node");
+  agg_cell_ = nn::LstmCell(cfg_.hidden, cfg_.hidden, rng, "lstmgnn.agg");
+  head_ = nn::Linear(cfg_.hidden, nch_, rng, "lstmgnn.head");
+}
+
+std::vector<Tensor> LstmGnnPredictor::forward(const context::Window& w,
+                                              nn::LstmCell::State& node_state,
+                                              nn::LstmCell::State& agg_state) const {
+  // One shared node state pooled over cells per step: a deliberately simpler
+  // scheme than GenDT's per-cell unroll (this is the *baseline*).
+  std::vector<Tensor> out;
+  out.reserve(static_cast<size_t>(w.len));
+  const int n_cells = static_cast<int>(w.cell_attrs.size());
+  for (int t = 0; t < w.len; ++t) {
+    Tensor pooled = Tensor::zeros(1, cfg_.hidden);
+    if (n_cells > 0) {
+      for (int ci = 0; ci < n_cells; ++ci) {
+        Mat x(1, context::kCellAttrs);
+        for (int a = 0; a < context::kCellAttrs; ++a)
+          x(0, a) = w.cell_attrs[static_cast<size_t>(ci)](t, a);
+        auto st = node_cell_.step(Tensor::constant(std::move(x)), node_state);
+        pooled = pooled + st.h;
+        if (ci == n_cells - 1) node_state = st;  // carry one representative state
+      }
+      pooled = pooled * (1.0 / static_cast<double>(n_cells));
+    }
+    agg_state = agg_cell_.step(pooled, agg_state);
+    out.push_back(head_.forward(agg_state.h));
+  }
+  return out;
+}
+
+void LstmGnnPredictor::fit(const std::vector<context::Window>& train_windows) {
+  std::mt19937_64 rng(cfg_.seed + 1);
+  nn::Adam opt({.lr = cfg_.lr, .clip_norm = 5.0});
+  std::vector<nn::NamedParam> params = node_cell_.params();
+  for (auto& p : agg_cell_.params()) params.push_back(p);
+  for (auto& p : head_.params()) params.push_back(p);
+
+  std::vector<size_t> order(train_windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(cfg_.windows_per_step)) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(cfg_.windows_per_step));
+      for (const auto& p : params) p.tensor.zero_grad();
+      for (size_t k = start; k < end; ++k) {
+        const auto& w = train_windows[order[k]];
+        auto node_st = node_cell_.initial_state();
+        auto agg_st = agg_cell_.initial_state();
+        auto rows = forward(w, node_st, agg_st);
+        Tensor loss = nn::mse_loss(nn::concat_rows(rows), Tensor::constant(w.target));
+        loss = loss * (1.0 / static_cast<double>(end - start));
+        loss.backward();
+      }
+      opt.step(params);
+    }
+  }
+}
+
+GeneratedSeries LstmGnnPredictor::generate(const std::vector<context::Window>& windows,
+                                           uint64_t /*seed*/) const {
+  GeneratedSeries out;
+  out.channels.assign(static_cast<size_t>(nch_), {});
+  // One continuous pass over the entire series (no batch mechanism): state
+  // carries across windows — the long-series weakness the paper calls out.
+  auto node_st = node_cell_.initial_state();
+  auto agg_st = agg_cell_.initial_state();
+  for (const auto& w : windows) {
+    auto rows = forward(w, node_st, agg_st);
+    // Detach to keep the inference graph from growing across windows.
+    node_st = {nn::detach(node_st.h), nn::detach(node_st.c)};
+    agg_st = {nn::detach(agg_st.h), nn::detach(agg_st.c)};
+    for (const auto& r : rows)
+      for (int ch = 0; ch < nch_; ++ch)
+        out.channels[static_cast<size_t>(ch)].push_back(norm_.denormalize(ch, r.value()(0, ch)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DoppelGANger
+// ---------------------------------------------------------------------------
+
+DoppelGANger::DoppelGANger(Config cfg, context::KpiNorm norm, int num_channels)
+    : cfg_(cfg), norm_(std::move(norm)), nch_(num_channels) {
+  std::mt19937_64 rng(cfg_.seed);
+  gen_cell_ = nn::LstmCell(context_dim() + cfg_.noise_dim, cfg_.hidden, rng, "dg.gen");
+  gen_head_ = nn::Linear(cfg_.hidden, nch_, rng, "dg.gen_head");
+  disc_cell_ = nn::LstmCell(nch_ + context_dim(), cfg_.hidden, rng, "dg.disc");
+  disc_head_ = nn::Linear(cfg_.hidden, 1, rng, "dg.disc_head");
+  ctx_gen_ = nn::Mlp({.layer_sizes = {cfg_.ctx_noise_dim, cfg_.ctx_hidden, cfg_.ctx_hidden,
+                                      context_dim()}},
+                     rng, "dg.ctx_gen");
+  ctx_disc_ = nn::Mlp({.layer_sizes = {context_dim(), cfg_.ctx_hidden, 1}}, rng, "dg.ctx_disc");
+}
+
+Mat DoppelGANger::window_context(const context::Window& w) {
+  Mat ctx(1, context_dim());
+  if (!w.cell_attrs.empty()) {
+    for (int a = 0; a < context::kCellAttrs; ++a) {
+      double s = 0.0;
+      for (int t = 0; t < w.len; ++t) s += w.cell_attrs[0](t, a);
+      ctx(0, a) = s / static_cast<double>(w.len);
+    }
+  }
+  for (int a = 0; a < sim::kNumEnvAttributes; ++a) {
+    double s = 0.0;
+    for (int t = 0; t < w.len; ++t) s += w.env(t, a);
+    ctx(0, context::kCellAttrs + a) = s / static_cast<double>(w.len);
+  }
+  return ctx;
+}
+
+std::vector<Tensor> DoppelGANger::unroll(const Mat& ctx, int len, std::mt19937_64& rng) const {
+  std::normal_distribution<double> g(0.0, 1.0);
+  auto st = gen_cell_.initial_state();
+  std::vector<Tensor> rows;
+  rows.reserve(static_cast<size_t>(len));
+  for (int t = 0; t < len; ++t) {
+    Mat x(1, context_dim() + cfg_.noise_dim);
+    for (int a = 0; a < context_dim(); ++a) x(0, a) = ctx(0, a);
+    for (int a = 0; a < cfg_.noise_dim; ++a) x(0, context_dim() + a) = g(rng);
+    st = gen_cell_.step(Tensor::constant(std::move(x)), st);
+    rows.push_back(gen_head_.forward(st.h));
+  }
+  return rows;
+}
+
+void DoppelGANger::fit(const std::vector<context::Window>& train_windows) {
+  std::mt19937_64 rng(cfg_.seed + 1);
+  nn::Adam gen_opt({.lr = cfg_.lr, .clip_norm = 5.0});
+  nn::Adam disc_opt({.lr = cfg_.lr * 0.5, .clip_norm = 5.0});
+  std::vector<nn::NamedParam> gen_params = gen_cell_.params();
+  for (auto& p : gen_head_.params()) gen_params.push_back(p);
+  std::vector<nn::NamedParam> disc_params = disc_cell_.params();
+  for (auto& p : disc_head_.params()) disc_params.push_back(p);
+
+  // Stage 1 (original DG): fit the metadata GAN over window contexts.
+  fit_context_gan(train_windows, rng);
+
+  auto discriminate = [&](const std::vector<Tensor>& rows, const Mat& ctx) {
+    auto st = disc_cell_.initial_state();
+    for (const auto& r : rows) {
+      Mat c = ctx;
+      Tensor in = nn::concat_cols(r, Tensor::constant(std::move(c)));
+      st = disc_cell_.step(in, st);
+    }
+    return disc_head_.forward(st.h);
+  };
+
+  std::vector<size_t> order(train_windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(cfg_.windows_per_step)) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(cfg_.windows_per_step));
+
+      // Generator step: MSE + GAN against the real window context.
+      for (const auto& p : gen_params) p.tensor.zero_grad();
+      for (size_t k = start; k < end; ++k) {
+        const auto& w = train_windows[order[k]];
+        const Mat ctx = window_context(w);
+        auto rows = unroll(ctx, w.len, rng);
+        Tensor loss = nn::mse_loss(nn::concat_rows(rows), Tensor::constant(w.target));
+        Tensor ones = Tensor::constant(Mat::ones(1, 1));
+        loss = loss + nn::bce_with_logits(discriminate(rows, ctx), ones) * cfg_.lambda_gan;
+        loss = loss * (1.0 / static_cast<double>(end - start));
+        loss.backward();
+      }
+      gen_opt.step(gen_params);
+
+      // Discriminator step.
+      for (const auto& p : disc_params) p.tensor.zero_grad();
+      for (size_t k = start; k < end; ++k) {
+        const auto& w = train_windows[order[k]];
+        const Mat ctx = window_context(w);
+        auto fake = unroll(ctx, w.len, rng);
+        for (auto& r : fake) r = nn::detach(r);
+        std::vector<Tensor> real;
+        real.reserve(static_cast<size_t>(w.len));
+        for (int t = 0; t < w.len; ++t) {
+          Mat row(1, nch_);
+          for (int ch = 0; ch < nch_; ++ch) row(0, ch) = w.target(t, ch);
+          real.push_back(Tensor::constant(std::move(row)));
+        }
+        Tensor ones = Tensor::constant(Mat::ones(1, 1));
+        Tensor zeros = Tensor::constant(Mat::zeros(1, 1));
+        Tensor d_loss = (nn::bce_with_logits(discriminate(real, ctx), ones) +
+                         nn::bce_with_logits(discriminate(fake, ctx), zeros)) *
+                        (0.5 / static_cast<double>(end - start));
+        d_loss.backward();
+      }
+      disc_opt.step(disc_params);
+    }
+  }
+}
+
+void DoppelGANger::fit_context_gan(const std::vector<context::Window>& train_windows,
+                                   std::mt19937_64& rng) {
+  ctx_mean_.assign(static_cast<size_t>(context_dim()), 0.0);
+  ctx_std_.assign(static_cast<size_t>(context_dim()), 1.0);
+  if (train_windows.empty()) return;
+
+  // Normalization for the GAN's working space.
+  std::vector<double> s(static_cast<size_t>(context_dim()), 0.0),
+      s2(static_cast<size_t>(context_dim()), 0.0);
+  std::vector<Mat> real_ctx;
+  real_ctx.reserve(train_windows.size());
+  for (const auto& w : train_windows) {
+    Mat c = window_context(w);
+    for (int a = 0; a < context_dim(); ++a) {
+      s[static_cast<size_t>(a)] += c(0, a);
+      s2[static_cast<size_t>(a)] += c(0, a) * c(0, a);
+    }
+    real_ctx.push_back(std::move(c));
+  }
+  const double n = static_cast<double>(train_windows.size());
+  for (int a = 0; a < context_dim(); ++a) {
+    ctx_mean_[static_cast<size_t>(a)] = s[static_cast<size_t>(a)] / n;
+    ctx_std_[static_cast<size_t>(a)] = std::sqrt(std::max(
+        1e-9, s2[static_cast<size_t>(a)] / n - ctx_mean_[static_cast<size_t>(a)] *
+                                                   ctx_mean_[static_cast<size_t>(a)]));
+  }
+  for (auto& c : real_ctx)
+    for (int a = 0; a < context_dim(); ++a)
+      c(0, a) = (c(0, a) - ctx_mean_[static_cast<size_t>(a)]) / ctx_std_[static_cast<size_t>(a)];
+
+  // Adversarial training of the metadata GAN (MLP G vs MLP D).
+  nn::Adam g_opt({.lr = cfg_.lr, .clip_norm = 5.0});
+  nn::Adam d_opt({.lr = cfg_.lr * 0.5, .clip_norm = 5.0});
+  const auto g_params = ctx_gen_.params();
+  const auto d_params = ctx_disc_.params();
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const int batch = 16;
+  Tensor ones = Tensor::constant(Mat::ones(1, 1));
+  Tensor zeros = Tensor::constant(Mat::zeros(1, 1));
+  std::uniform_int_distribution<size_t> pick_real(0, real_ctx.size() - 1);
+  for (int epoch = 0; epoch < cfg_.ctx_epochs; ++epoch) {
+    // Generator step: adversarial loss + feature matching (first moment of
+    // a real mini-batch), which keeps the metadata GAN's means anchored.
+    for (const auto& p : g_params) p.tensor.zero_grad();
+    Mat real_batch_mean(1, context_dim());
+    for (int k = 0; k < batch; ++k) {
+      const Mat& rc = real_ctx[pick_real(rng)];
+      for (int a = 0; a < context_dim(); ++a) real_batch_mean(0, a) += rc(0, a) / batch;
+    }
+    std::vector<Tensor> fakes;
+    for (int k = 0; k < batch; ++k) {
+      Mat z(1, cfg_.ctx_noise_dim);
+      for (size_t i = 0; i < z.size(); ++i) z[i] = gauss(rng);
+      Tensor fake = ctx_gen_.forward(Tensor::constant(std::move(z)), rng, true);
+      fakes.push_back(fake);
+      Tensor loss = nn::bce_with_logits(ctx_disc_.forward(fake, rng, true), ones);
+      loss = loss * (1.0 / batch);
+      loss.backward();
+    }
+    Tensor fake_mean = fakes[0];
+    for (size_t k = 1; k < fakes.size(); ++k) fake_mean = fake_mean + fakes[k];
+    fake_mean = fake_mean * (1.0 / static_cast<double>(fakes.size()));
+    Tensor fm = nn::mse_loss(fake_mean, Tensor::constant(std::move(real_batch_mean)));
+    fm.backward();
+    g_opt.step(g_params);
+
+    // Discriminator step.
+    for (const auto& p : d_params) p.tensor.zero_grad();
+    std::uniform_int_distribution<size_t> pick(0, real_ctx.size() - 1);
+    for (int k = 0; k < batch; ++k) {
+      Mat z(1, cfg_.ctx_noise_dim);
+      for (size_t i = 0; i < z.size(); ++i) z[i] = gauss(rng);
+      Tensor fake = nn::detach(ctx_gen_.forward(Tensor::constant(std::move(z)), rng, true));
+      Mat rc = real_ctx[pick(rng)];
+      Tensor d_loss =
+          (nn::bce_with_logits(ctx_disc_.forward(Tensor::constant(std::move(rc)), rng, true),
+                               ones) +
+           nn::bce_with_logits(ctx_disc_.forward(fake, rng, true), zeros)) *
+          (0.5 / batch);
+      d_loss.backward();
+    }
+    d_opt.step(d_params);
+  }
+}
+
+nn::Mat DoppelGANger::sample_context(std::mt19937_64& rng) const {
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  Mat z(1, cfg_.ctx_noise_dim);
+  for (size_t i = 0; i < z.size(); ++i) z[i] = gauss(rng);
+  const Tensor c = ctx_gen_.forward(Tensor::constant(std::move(z)), rng, false);
+  Mat out(1, context_dim());
+  for (int a = 0; a < context_dim(); ++a) {
+    out(0, a) = c.value()(0, a) * ctx_std_[static_cast<size_t>(a)] +
+                ctx_mean_[static_cast<size_t>(a)];
+  }
+  return out;
+}
+
+GeneratedSeries DoppelGANger::generate(const std::vector<context::Window>& windows,
+                                       uint64_t seed) const {
+  GeneratedSeries out;
+  out.channels.assign(static_cast<size_t>(nch_), {});
+  std::mt19937_64 rng(seed);
+  for (const auto& w : windows) {
+    // Original DG draws the context from the stage-1 metadata GAN instead
+    // of reading the real one.
+    Mat ctx = cfg_.use_real_context ? window_context(w) : sample_context(rng);
+    auto rows = unroll(ctx, w.len, rng);
+    for (const auto& r : rows)
+      for (int ch = 0; ch < nch_; ++ch)
+        out.channels[static_cast<size_t>(ch)].push_back(norm_.denormalize(ch, r.value()(0, ch)));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<TimeSeriesGenerator>> make_all_baselines(
+    const context::KpiNorm& norm, int num_channels, uint64_t seed) {
+  std::vector<std::unique_ptr<TimeSeriesGenerator>> out;
+  out.push_back(std::make_unique<FDaS>(norm));
+  out.push_back(std::make_unique<MlpRegressor>(
+      MlpRegressor::Config{.seed = seed + 1}, norm, num_channels));
+  out.push_back(std::make_unique<LstmGnnPredictor>(
+      LstmGnnPredictor::Config{.seed = seed + 2}, norm, num_channels));
+  out.push_back(std::make_unique<DoppelGANger>(
+      DoppelGANger::Config{.use_real_context = false, .seed = seed + 3}, norm, num_channels));
+  out.push_back(std::make_unique<DoppelGANger>(
+      DoppelGANger::Config{.use_real_context = true, .seed = seed + 4}, norm, num_channels));
+  return out;
+}
+
+}  // namespace gendt::baselines

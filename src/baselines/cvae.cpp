@@ -1,0 +1,125 @@
+#include "gendt/baselines/cvae.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::baselines {
+
+using nn::Mat;
+using nn::Tensor;
+
+CvaeGenerator::CvaeGenerator(Config cfg, context::KpiNorm norm, int num_channels)
+    : cfg_(cfg), norm_(std::move(norm)), nch_(num_channels) {
+  std::mt19937_64 rng(cfg_.seed);
+  const int ctx_dim = DoppelGANger::context_dim();
+  encoder_ = nn::Mlp({.layer_sizes = {3 * nch_ + ctx_dim, cfg_.enc_hidden, 2 * cfg_.latent}},
+                     rng, "cvae.enc");
+  dec_cell_ = nn::LstmCell(ctx_dim + cfg_.latent, cfg_.hidden, rng, "cvae.dec");
+  dec_head_ = nn::Linear(cfg_.hidden, nch_, rng, "cvae.dec_head");
+}
+
+Mat CvaeGenerator::window_summary(const context::Window& w, int num_channels) {
+  Mat s(1, 3 * num_channels);
+  for (int ch = 0; ch < num_channels; ++ch) {
+    double sum = 0.0, sum2 = 0.0, roc = 0.0;
+    for (int t = 0; t < w.len; ++t) {
+      const double v = w.target(t, ch);
+      sum += v;
+      sum2 += v * v;
+      if (t > 0) roc += std::abs(v - w.target(t - 1, ch));
+    }
+    const double n = static_cast<double>(w.len);
+    const double mean = sum / n;
+    s(0, 3 * ch) = mean;
+    s(0, 3 * ch + 1) = std::sqrt(std::max(0.0, sum2 / n - mean * mean));
+    s(0, 3 * ch + 2) = w.len > 1 ? roc / (n - 1.0) : 0.0;
+  }
+  return s;
+}
+
+std::vector<Tensor> CvaeGenerator::decode(const Mat& ctx, const Tensor& z, int len) const {
+  const int ctx_dim = DoppelGANger::context_dim();
+  auto st = dec_cell_.initial_state();
+  std::vector<Tensor> rows;
+  rows.reserve(static_cast<size_t>(len));
+  for (int t = 0; t < len; ++t) {
+    Mat c(1, ctx_dim);
+    for (int a = 0; a < ctx_dim; ++a) c(0, a) = ctx(0, a);
+    Tensor in = nn::concat_cols(Tensor::constant(std::move(c)), z);
+    st = dec_cell_.step(in, st);
+    rows.push_back(dec_head_.forward(st.h));
+  }
+  return rows;
+}
+
+void CvaeGenerator::fit(const std::vector<context::Window>& train_windows) {
+  std::mt19937_64 rng(cfg_.seed + 1);
+  nn::Adam opt({.lr = cfg_.lr, .clip_norm = 5.0});
+  std::vector<nn::NamedParam> params = encoder_.params();
+  for (auto& p : dec_cell_.params()) params.push_back(p);
+  for (auto& p : dec_head_.params()) params.push_back(p);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  std::vector<size_t> order(train_windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(cfg_.windows_per_step)) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(cfg_.windows_per_step));
+      for (const auto& p : params) p.tensor.zero_grad();
+      for (size_t k = start; k < end; ++k) {
+        const auto& w = train_windows[order[k]];
+        const Mat ctx = DoppelGANger::window_context(w);
+
+        // Encoder input: window summary of x ++ static context.
+        Mat enc_in(1, 3 * nch_ + DoppelGANger::context_dim());
+        const Mat summary = window_summary(w, nch_);
+        int col = 0;
+        for (size_t i = 0; i < summary.size(); ++i) enc_in(0, col++) = summary[i];
+        for (int a = 0; a < DoppelGANger::context_dim(); ++a) enc_in(0, col++) = ctx(0, a);
+        Tensor enc_out = encoder_.forward(Tensor::constant(std::move(enc_in)), rng, true);
+        Tensor mu = nn::slice_cols(enc_out, 0, cfg_.latent);
+        // Bounded log-variance for optimizer safety (same trick as ResGen).
+        Tensor log_var =
+            nn::tanh_t(nn::slice_cols(enc_out, cfg_.latent, 2 * cfg_.latent) * 0.25) * 4.0;
+
+        // Reparameterized z.
+        Mat eps(1, cfg_.latent);
+        for (size_t i = 0; i < eps.size(); ++i) eps[i] = gauss(rng);
+        Tensor z = mu + nn::exp_t(log_var * 0.5) * Tensor::constant(std::move(eps));
+
+        auto rows = decode(ctx, z, w.len);
+        Tensor recon = nn::mse_loss(nn::concat_rows(rows), Tensor::constant(w.target));
+        // KL(q || N(0, I)) = -0.5 * sum(1 + log var - mu^2 - var)
+        Tensor kl = nn::sum(nn::exp_t(log_var) + mu * mu - log_var + (-1.0) *
+                            Tensor::constant(Mat::ones(1, cfg_.latent))) * 0.5;
+        Tensor loss = (recon + kl * (cfg_.beta / static_cast<double>(cfg_.latent))) *
+                      (1.0 / static_cast<double>(end - start));
+        loss.backward();
+      }
+      opt.step(params);
+    }
+  }
+}
+
+core::GeneratedSeries CvaeGenerator::generate(const std::vector<context::Window>& windows,
+                                              uint64_t seed) const {
+  core::GeneratedSeries out;
+  out.channels.assign(static_cast<size_t>(nch_), {});
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (const auto& w : windows) {
+    const Mat ctx = DoppelGANger::window_context(w);
+    Mat zv(1, cfg_.latent);
+    for (size_t i = 0; i < zv.size(); ++i) zv[i] = gauss(rng);
+    auto rows = decode(ctx, Tensor::constant(std::move(zv)), w.len);
+    for (const auto& r : rows)
+      for (int ch = 0; ch < nch_; ++ch)
+        out.channels[static_cast<size_t>(ch)].push_back(norm_.denormalize(ch, r.value()(0, ch)));
+  }
+  return out;
+}
+
+}  // namespace gendt::baselines

@@ -1,0 +1,158 @@
+// Baseline generators from the paper's §5.2, all behind the common
+// TimeSeriesGenerator interface:
+//
+//   FDaS          — fit a per-KPI distribution (ignoring time & context) by
+//                   maximum likelihood over the empirical sample; i.i.d.
+//                   sampling at generation.
+//   MLP           — per-timestep regression context -> KPI (no temporal
+//                   model, no stochasticity).
+//   LSTM-GNN      — GNN+LSTM *prediction* model (deterministic, MSE-only,
+//                   no batching/noise) after Tong et al.
+//   Orig. DG      — DoppelGANger: a context generator is sampled in place of
+//                   the real context at generation time; time-series
+//                   generator is an LSTM conditioned on a *static* per-window
+//                   context vector (DG's metadata) — its documented weakness
+//                   for dynamic network context.
+//   Real Cont. DG — the paper's optimized variant: same time-series
+//                   generator, but fed the real (still static per-window)
+//                   context.
+#pragma once
+
+#include <memory>
+
+#include "gendt/core/model.h"
+
+namespace gendt::baselines {
+
+using core::GeneratedSeries;
+using core::TimeSeriesGenerator;
+
+/// Fit Distribution and Sample.
+class FDaS final : public TimeSeriesGenerator {
+ public:
+  explicit FDaS(context::KpiNorm norm) : norm_(std::move(norm)) {}
+  std::string name() const override { return "FDaS"; }
+  void fit(const std::vector<context::Window>& train_windows) override;
+  GeneratedSeries generate(const std::vector<context::Window>& windows,
+                           uint64_t seed) const override;
+
+ private:
+  context::KpiNorm norm_;
+  // Empirical sample per channel (normalized units); sampling with
+  // replacement IS the MLE of the nonparametric distribution.
+  std::vector<std::vector<double>> samples_;
+};
+
+/// Per-timestep MLP regression over the instantaneous context.
+class MlpRegressor final : public TimeSeriesGenerator {
+ public:
+  struct Config {
+    int hidden = 48;
+    int cells_in_features = 3;  // nearest-K cells flattened into the input
+    int epochs = 30;
+    double lr = 2e-3;
+    uint64_t seed = 11;
+  };
+  MlpRegressor(Config cfg, context::KpiNorm norm, int num_channels);
+  std::string name() const override { return "MLP"; }
+  void fit(const std::vector<context::Window>& train_windows) override;
+  GeneratedSeries generate(const std::vector<context::Window>& windows,
+                           uint64_t seed) const override;
+
+ private:
+  nn::Mat features(const context::Window& w, int t) const;
+  Config cfg_;
+  context::KpiNorm norm_;
+  int nch_;
+  nn::Mlp net_;
+};
+
+/// GNN + LSTM prediction model (deterministic, trained with MSE only,
+/// generates the full series in one continuous pass).
+class LstmGnnPredictor final : public TimeSeriesGenerator {
+ public:
+  struct Config {
+    int hidden = 32;
+    int epochs = 12;
+    int windows_per_step = 8;
+    double lr = 2e-3;
+    uint64_t seed = 13;
+  };
+  LstmGnnPredictor(Config cfg, context::KpiNorm norm, int num_channels);
+  std::string name() const override { return "LSTM-GNN"; }
+  void fit(const std::vector<context::Window>& train_windows) override;
+  GeneratedSeries generate(const std::vector<context::Window>& windows,
+                           uint64_t seed) const override;
+
+ private:
+  std::vector<nn::Tensor> forward(const context::Window& w, nn::LstmCell::State& node_state,
+                                  nn::LstmCell::State& agg_state) const;
+  Config cfg_;
+  context::KpiNorm norm_;
+  int nch_;
+  nn::LstmCell node_cell_;
+  nn::LstmCell agg_cell_;
+  nn::Linear head_;
+};
+
+/// DoppelGANger-style generator. `use_real_context=false` gives the original
+/// DG (context sampled from the learned context model at generation time);
+/// true gives the paper's "Real Context DG" variant.
+class DoppelGANger final : public TimeSeriesGenerator {
+ public:
+  struct Config {
+    int hidden = 32;
+    int noise_dim = 4;
+    int epochs = 12;
+    int windows_per_step = 8;
+    double lr = 2e-3;
+    double lambda_gan = 0.1;
+    bool use_real_context = false;
+    // Stage-1 metadata GAN (original DG): an MLP GAN over per-window
+    // context vectors, trained before the time-series stage.
+    int ctx_noise_dim = 8;
+    int ctx_hidden = 32;
+    int ctx_epochs = 60;
+    uint64_t seed = 15;
+  };
+  DoppelGANger(Config cfg, context::KpiNorm norm, int num_channels);
+  std::string name() const override {
+    return cfg_.use_real_context ? "Real Cont. DG" : "Orig. DG";
+  }
+  void fit(const std::vector<context::Window>& train_windows) override;
+  GeneratedSeries generate(const std::vector<context::Window>& windows,
+                           uint64_t seed) const override;
+
+  /// The static per-window context vector (DG metadata): window-mean cell
+  /// attributes of the nearest cell ++ window-mean environment attributes.
+  static nn::Mat window_context(const context::Window& w);
+  static int context_dim() { return context::kCellAttrs + sim::kNumEnvAttributes; }
+
+  /// Draw one synthetic context vector from the stage-1 metadata GAN.
+  nn::Mat sample_context(std::mt19937_64& rng) const;
+
+ private:
+  std::vector<nn::Tensor> unroll(const nn::Mat& ctx, int len, std::mt19937_64& rng) const;
+  void fit_context_gan(const std::vector<context::Window>& train_windows,
+                       std::mt19937_64& rng);
+
+  Config cfg_;
+  context::KpiNorm norm_;
+  int nch_;
+  nn::LstmCell gen_cell_;
+  nn::Linear gen_head_;
+  nn::LstmCell disc_cell_;
+  nn::Linear disc_head_;
+  // Stage-1 metadata GAN (original DG): generates per-window context
+  // vectors in normalized space; ctx_mean_/ctx_std_ hold the normalization.
+  nn::Mlp ctx_gen_;
+  nn::Mlp ctx_disc_;
+  std::vector<double> ctx_mean_;
+  std::vector<double> ctx_std_;
+};
+
+/// Convenience: construct all five baselines for an evaluation run.
+std::vector<std::unique_ptr<TimeSeriesGenerator>> make_all_baselines(
+    const context::KpiNorm& norm, int num_channels, uint64_t seed);
+
+}  // namespace gendt::baselines

@@ -1,0 +1,54 @@
+// Conditional VAE baseline — the other deep-generative family the paper's
+// §2.1 discusses (GANs vs VAEs). Not part of the paper's evaluated baseline
+// set (and therefore not in make_all_baselines or the bench tables); offered
+// as an extension for comparing generative families on the same interface.
+//
+// Architecture:
+//   encoder  q(z | x, c): MLP over [flattened window stats of x ++ static
+//            window context c] -> (mu_z, log var_z), z in R^latent.
+//   decoder  p(x | z, c): LSTM unrolled over [c ++ z] per step -> KPI rows.
+// Trained on the ELBO: reconstruction MSE + beta * KL(q || N(0, I)).
+// Generation samples z ~ N(0, I) per window, conditioned on the real
+// context — directly comparable to Real-Context DG.
+#pragma once
+
+#include "gendt/baselines/baselines.h"
+
+namespace gendt::baselines {
+
+class CvaeGenerator final : public core::TimeSeriesGenerator {
+ public:
+  struct Config {
+    int latent = 6;
+    int hidden = 32;
+    int enc_hidden = 48;
+    int epochs = 12;
+    int windows_per_step = 8;
+    double lr = 2e-3;
+    double beta = 0.05;  // KL weight (beta-VAE style, < 1 favours fidelity)
+    uint64_t seed = 19;
+  };
+
+  CvaeGenerator(Config cfg, context::KpiNorm norm, int num_channels);
+
+  std::string name() const override { return "CVAE"; }
+  void fit(const std::vector<context::Window>& train_windows) override;
+  core::GeneratedSeries generate(const std::vector<context::Window>& windows,
+                                 uint64_t seed) const override;
+
+  /// Per-window summary of x fed to the encoder: per-channel mean, std and
+  /// mean |first difference| (3 * Nch values).
+  static nn::Mat window_summary(const context::Window& w, int num_channels);
+
+ private:
+  std::vector<nn::Tensor> decode(const nn::Mat& ctx, const nn::Tensor& z, int len) const;
+
+  Config cfg_;
+  context::KpiNorm norm_;
+  int nch_;
+  nn::Mlp encoder_;        // -> [mu_z ++ log var_z]
+  nn::LstmCell dec_cell_;
+  nn::Linear dec_head_;
+};
+
+}  // namespace gendt::baselines

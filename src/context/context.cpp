@@ -1,0 +1,171 @@
+#include "gendt/context/context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gendt::context {
+
+std::string_view env_attribute_name(int index) {
+  if (index >= 0 && index < sim::kNumLandUse)
+    return sim::land_use_name(static_cast<sim::LandUse>(index));
+  if (index < sim::kNumEnvAttributes)
+    return sim::poi_name(static_cast<sim::PoiType>(index - sim::kNumLandUse));
+  return "?";
+}
+
+KpiNorm fit_kpi_norm(const std::vector<sim::DriveTestRecord>& records,
+                     const std::vector<sim::Kpi>& kpis) {
+  KpiNorm norm;
+  norm.mean.assign(kpis.size(), 0.0);
+  norm.stddev.assign(kpis.size(), 1.0);
+  for (size_t ch = 0; ch < kpis.size(); ++ch) {
+    double s = 0.0, s2 = 0.0;
+    long n = 0;
+    for (const auto& rec : records) {
+      for (const auto& m : rec.samples) {
+        const double v = m.kpi(kpis[ch]);
+        s += v;
+        s2 += v * v;
+        ++n;
+      }
+    }
+    if (n > 1) {
+      const double mean = s / static_cast<double>(n);
+      const double var = std::max(1e-9, s2 / static_cast<double>(n) - mean * mean);
+      norm.mean[ch] = mean;
+      norm.stddev[ch] = std::sqrt(var);
+    }
+  }
+  return norm;
+}
+
+ContextBuilder::ContextBuilder(const sim::World& world, ContextConfig cfg, KpiNorm norm,
+                               std::vector<sim::Kpi> kpis)
+    : world_(world), cfg_(cfg), norm_(std::move(norm)), kpis_(std::move(kpis)) {
+  assert(!kpis_.empty());
+  assert(static_cast<int>(norm_.mean.size()) == static_cast<int>(kpis_.size()));
+}
+
+Window ContextBuilder::build_window(const std::vector<geo::TrajectoryPoint>& pts, int start,
+                                    int len, const sim::DriveTestRecord* record) const {
+  Window w;
+  w.start = start;
+  w.len = len;
+  const geo::LocalProjection& proj = world_.projection();
+
+  // Positions over the window.
+  std::vector<geo::Enu> pos(static_cast<size_t>(len));
+  for (int t = 0; t < len; ++t) pos[static_cast<size_t>(t)] = proj.to_enu(pts[start + t].pos);
+
+  // Visible cells: union of cells within d_s of the window's midpoint and
+  // endpoints, ranked by mean distance over the window, capped at max_cells.
+  std::vector<int> candidates;
+  for (int probe : {0, len / 2, len - 1}) {
+    for (int ci : world_.cells.cells_within(pos[static_cast<size_t>(probe)], cfg_.visible_radius_m)) {
+      if (std::find(candidates.begin(), candidates.end(), ci) == candidates.end())
+        candidates.push_back(ci);
+    }
+  }
+  std::vector<std::pair<double, int>> ranked;
+  ranked.reserve(candidates.size());
+  for (int ci : candidates) {
+    double mean_d = 0.0;
+    for (const auto& p : pos)
+      mean_d += geo::distance_m(p, world_.cells.site_enu(static_cast<size_t>(ci)));
+    ranked.emplace_back(mean_d / static_cast<double>(len), ci);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  const int n_cells = std::min<int>(cfg_.max_cells, static_cast<int>(ranked.size()));
+
+  // Per-cell attribute series.
+  for (int k = 0; k < n_cells; ++k) {
+    const int ci = ranked[static_cast<size_t>(k)].second;
+    const radio::Cell& cell = world_.cells[static_cast<size_t>(ci)];
+    const geo::Enu site = world_.cells.site_enu(static_cast<size_t>(ci));
+    nn::Mat attrs(len, kCellAttrs);
+    for (int t = 0; t < len; ++t) {
+      const geo::Enu& p = pos[static_cast<size_t>(t)];
+      attrs(t, 0) = (site.east - p.east) / 1000.0;    // rel. east, km
+      attrs(t, 1) = (site.north - p.north) / 1000.0;  // rel. north, km
+      attrs(t, 2) = (cell.p_max_dbm - 43.0) / 10.0;   // ~[-0.3, 0.5]
+      attrs(t, 3) = cell.azimuth_deg / 180.0 - 1.0;   // [-1, 1)
+      attrs(t, 4) = geo::distance_m(p, site) / 1000.0;  // km
+    }
+    w.cell_attrs.push_back(std::move(attrs));
+  }
+
+  // Environment context per timestep.
+  w.env = nn::Mat(len, sim::kNumEnvAttributes);
+  for (int t = 0; t < len; ++t) {
+    const auto frac = world_.land_use->land_use_fractions(pos[static_cast<size_t>(t)],
+                                                          cfg_.env_radius_m);
+    const auto pois = world_.land_use->poi_counts(pos[static_cast<size_t>(t)], cfg_.env_radius_m);
+    for (int i = 0; i < sim::kNumLandUse; ++i) w.env(t, i) = frac[static_cast<size_t>(i)];
+    for (int i = 0; i < sim::kNumPoi; ++i) {
+      w.env(t, sim::kNumLandUse + i) =
+          std::min(2.0, static_cast<double>(pois[static_cast<size_t>(i)]) / cfg_.poi_count_scale);
+    }
+  }
+
+  // Targets (normalized), when a measured record backs the window.
+  if (record != nullptr && !record->samples.empty()) {
+    w.target = nn::Mat(len, num_channels());
+    for (int t = 0; t < len; ++t) {
+      const auto& m = record->samples[static_cast<size_t>(start + t)];
+      for (int ch = 0; ch < num_channels(); ++ch) {
+        w.target(t, ch) = norm_.normalize(ch, m.kpi(kpis_[static_cast<size_t>(ch)]));
+      }
+    }
+  }
+  return w;
+}
+
+namespace {
+std::vector<geo::TrajectoryPoint> record_points(const sim::DriveTestRecord& rec) {
+  std::vector<geo::TrajectoryPoint> pts;
+  pts.reserve(rec.samples.size());
+  for (const auto& m : rec.samples) pts.push_back({m.t, m.pos});
+  return pts;
+}
+}  // namespace
+
+std::vector<Window> ContextBuilder::training_windows(const sim::DriveTestRecord& record) const {
+  std::vector<Window> out;
+  const auto pts = record_points(record);
+  const int n = static_cast<int>(pts.size());
+  const int L = cfg_.window_len;
+  if (n < L) return out;
+  for (int start = 0; start + L <= n; start += cfg_.train_step) {
+    out.push_back(build_window(pts, start, L, &record));
+  }
+  return out;
+}
+
+std::vector<Window> ContextBuilder::generation_windows(const geo::Trajectory& trajectory) const {
+  std::vector<Window> out;
+  std::vector<geo::TrajectoryPoint> pts(trajectory.points().begin(), trajectory.points().end());
+  const int n = static_cast<int>(pts.size());
+  const int L = cfg_.window_len;
+  for (int start = 0; start < n; start += L) {
+    const int len = std::min(L, n - start);
+    if (len < 2) break;
+    out.push_back(build_window(pts, start, len, nullptr));
+  }
+  return out;
+}
+
+std::vector<Window> ContextBuilder::generation_windows(const sim::DriveTestRecord& record) const {
+  std::vector<Window> out;
+  const auto pts = record_points(record);
+  const int n = static_cast<int>(pts.size());
+  const int L = cfg_.window_len;
+  for (int start = 0; start < n; start += L) {
+    const int len = std::min(L, n - start);
+    if (len < 2) break;
+    out.push_back(build_window(pts, start, len, &record));
+  }
+  return out;
+}
+
+}  // namespace gendt::context

@@ -1,0 +1,94 @@
+// Context extraction and windowing: turns a trajectory plus a World into the
+// conditioning input GenDT consumes — per-cell attribute time series for the
+// visible cells (network context) and the 26-attribute environment vector
+// per timestep — split into sliding windows ("batches" in the paper's §4.3.3
+// sense).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "gendt/nn/mat.h"
+#include "gendt/sim/drive_test.h"
+
+namespace gendt::context {
+
+/// Names of the 26 environment attributes (paper Table 11), index-aligned
+/// with the env context vector: land-use fractions first, PoI counts after.
+std::string_view env_attribute_name(int index);
+
+/// Per-cell attribute count (paper: N_c = 5).
+inline constexpr int kCellAttrs = 5;
+
+struct ContextConfig {
+  double visible_radius_m = 4000.0;  // d_s: conservative upper bound
+  double env_radius_m = 500.0;       // environment aggregation radius
+  int max_cells = 8;                 // cap N_b at the nearest-K for tractability
+  int window_len = 50;               // L
+  int train_step = 5;                // Δt for (overlapping) training windows
+  double poi_count_scale = 50.0;     // PoI counts normalized as count/scale
+};
+
+/// Normalization statistics for KPI channels, fitted on training data.
+struct KpiNorm {
+  std::vector<double> mean;  // per channel
+  std::vector<double> stddev;
+
+  double normalize(int ch, double v) const { return (v - mean[ch]) / stddev[ch]; }
+  double denormalize(int ch, double v) const { return v * stddev[ch] + mean[ch]; }
+};
+
+/// Fit per-channel mean/std over a set of records for given KPI channels.
+KpiNorm fit_kpi_norm(const std::vector<sim::DriveTestRecord>& records,
+                     const std::vector<sim::Kpi>& kpis);
+
+/// One training/generation window: the context (and optionally the target
+/// KPI series) over L consecutive samples of a record.
+struct Window {
+  /// Per visible cell, an [L x kCellAttrs] attribute series:
+  /// [rel_east_km, rel_north_km, p_max_norm, azimuth_norm, distance_km].
+  std::vector<nn::Mat> cell_attrs;
+  /// [L x 26] environment attributes per timestep.
+  nn::Mat env;
+  /// [L x Nch] normalized KPI targets; empty when building for generation.
+  nn::Mat target;
+  /// Index of first sample in the source record (for stitching output).
+  int start = 0;
+  /// Actual length (== window_len except possibly the final window).
+  int len = 0;
+};
+
+/// Builds windows from records against a fixed world.
+class ContextBuilder {
+ public:
+  ContextBuilder(const sim::World& world, ContextConfig cfg, KpiNorm norm,
+                 std::vector<sim::Kpi> kpis);
+
+  /// Windows with targets for training. Overlapping windows with step
+  /// cfg.train_step (paper Fig. 8a).
+  std::vector<Window> training_windows(const sim::DriveTestRecord& record) const;
+
+  /// Non-overlapping windows (step == L) without targets, for generation
+  /// over a bare trajectory.
+  std::vector<Window> generation_windows(const geo::Trajectory& trajectory) const;
+  /// Same, but from a record (uses its sampled positions; still no target
+  /// leakage — targets are filled so fidelity metrics can line up windows).
+  std::vector<Window> generation_windows(const sim::DriveTestRecord& record) const;
+
+  const ContextConfig& config() const { return cfg_; }
+  const KpiNorm& norm() const { return norm_; }
+  const std::vector<sim::Kpi>& kpis() const { return kpis_; }
+  int num_channels() const { return static_cast<int>(kpis_.size()); }
+
+ private:
+  Window build_window(const std::vector<geo::TrajectoryPoint>& pts, int start, int len,
+                      const sim::DriveTestRecord* record) const;
+
+  const sim::World& world_;
+  ContextConfig cfg_;
+  KpiNorm norm_;
+  std::vector<sim::Kpi> kpis_;
+};
+
+}  // namespace gendt::context

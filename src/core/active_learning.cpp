@@ -1,0 +1,101 @@
+#include "gendt/core/active_learning.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gendt::core {
+
+namespace {
+size_t window_samples(const std::vector<context::Window>& windows) {
+  size_t n = 0;
+  for (const auto& w : windows) n += static_cast<size_t>(w.len);
+  return n;
+}
+
+ActiveLearningStep evaluate(const GenDTModel& model, const std::vector<context::Window>& eval,
+                            const context::KpiNorm& norm, uint64_t seed) {
+  ActiveLearningStep step;
+  GeneratedSeries truth = real_series(eval, norm);
+  // Denormalized generated series, channel 0 (RSRP by convention).
+  std::vector<double> gen;
+  for (const auto& s : model.sample_windows(eval, seed)) {
+    for (int t = 0; t < s.output.rows(); ++t) gen.push_back(norm.denormalize(0, s.output(t, 0)));
+  }
+  const auto& real = truth.channels[0];
+  step.mae = metrics::mae(real, gen);
+  step.dtw = metrics::dtw(real, gen, /*band=*/30);
+  step.hwd = metrics::hwd(real, gen);
+  return step;
+}
+}  // namespace
+
+std::vector<ActiveLearningStep> run_active_learning(
+    const std::vector<std::vector<context::Window>>& subset_windows,
+    const std::vector<context::Window>& eval_windows, const context::KpiNorm& norm,
+    SelectionStrategy strategy, const ActiveLearningConfig& cfg) {
+  std::vector<ActiveLearningStep> steps;
+  if (subset_windows.empty() || eval_windows.empty()) return steps;
+  std::mt19937_64 rng(cfg.seed);
+
+  size_t total_samples = 0;
+  for (const auto& s : subset_windows) total_samples += window_samples(s);
+
+  GenDTModel model(cfg.model);
+  std::vector<context::Window> train_pool = subset_windows.front();
+  std::vector<int> remaining;
+  for (int i = 1; i < static_cast<int>(subset_windows.size()); ++i) remaining.push_back(i);
+
+  // Seed step: fit on subset 0.
+  TrainConfig tc = cfg.initial_train;
+  tc.seed = cfg.seed;
+  train_gendt(model, train_pool, tc);
+
+  size_t used_samples = window_samples(subset_windows.front());
+  {
+    ActiveLearningStep st = evaluate(model, eval_windows, norm, cfg.seed + 1);
+    st.subsets_used = 1;
+    st.fraction_used =
+        static_cast<double>(used_samples) / static_cast<double>(std::max<size_t>(1, total_samples));
+    steps.push_back(st);
+  }
+
+  for (int step_i = 1; step_i < cfg.max_steps && !remaining.empty(); ++step_i) {
+    int pick_pos = 0;
+    if (strategy == SelectionStrategy::kUncertainty) {
+      // Evaluate model uncertainty over each candidate subset; take the max.
+      double best_u = -1.0;
+      for (size_t r = 0; r < remaining.size(); ++r) {
+        const double u = model_uncertainty(model, subset_windows[static_cast<size_t>(remaining[r])],
+                                           cfg.mc_samples, cfg.seed + 100 + static_cast<uint64_t>(r));
+        if (u > best_u) {
+          best_u = u;
+          pick_pos = static_cast<int>(r);
+        }
+      }
+    } else {
+      std::uniform_int_distribution<size_t> pick(0, remaining.size() - 1);
+      pick_pos = static_cast<int>(pick(rng));
+    }
+    const int subset = remaining[static_cast<size_t>(pick_pos)];
+    remaining.erase(remaining.begin() + pick_pos);
+
+    const auto& add = subset_windows[static_cast<size_t>(subset)];
+    train_pool.insert(train_pool.end(), add.begin(), add.end());
+    used_samples += window_samples(add);
+
+    TrainConfig inc = cfg.incremental_train;
+    inc.seed = cfg.seed + static_cast<uint64_t>(step_i) * 131;
+    train_gendt(model, train_pool, inc);  // continue training, warm parameters
+
+    ActiveLearningStep st = evaluate(model, eval_windows, norm,
+                                     cfg.seed + 1000 + static_cast<uint64_t>(step_i));
+    st.subsets_used = step_i + 1;
+    st.fraction_used =
+        static_cast<double>(used_samples) / static_cast<double>(std::max<size_t>(1, total_samples));
+    st.picked_subset = subset;
+    steps.push_back(st);
+  }
+  return steps;
+}
+
+}  // namespace gendt::core

@@ -1,0 +1,41 @@
+// Uncertainty-driven measurement selection (paper §6.2.2): starting from one
+// geographic subset, repeatedly pick the next training subset either by the
+// model-uncertainty measure or at random, retrain, and track fidelity on a
+// held-out long trajectory.
+#pragma once
+
+#include "gendt/core/model.h"
+#include "gendt/metrics/metrics.h"
+
+namespace gendt::core {
+
+enum class SelectionStrategy { kUncertainty, kRandom };
+
+struct ActiveLearningStep {
+  int subsets_used = 0;
+  double fraction_used = 0.0;  // measurement-effort metric (§5.1)
+  double mae = 0.0;            // fidelity on the evaluation series (channel 0)
+  double dtw = 0.0;
+  double hwd = 0.0;
+  int picked_subset = -1;      // index selected at this step (-1 for the seed)
+};
+
+struct ActiveLearningConfig {
+  GenDTConfig model;
+  TrainConfig initial_train;       // epochs for the first fit
+  TrainConfig incremental_train;   // epochs per added subset (continue training)
+  int max_steps = 10;              // subsets to accumulate (incl. the seed)
+  int mc_samples = 4;
+  uint64_t seed = 5;
+};
+
+/// Runs the campaign. `subset_windows[i]` are the training windows of
+/// geographic subset i; `eval_windows` are the held-out generation windows
+/// (with targets) used for fidelity tracking; `norm` denormalizes for
+/// metric computation.
+std::vector<ActiveLearningStep> run_active_learning(
+    const std::vector<std::vector<context::Window>>& subset_windows,
+    const std::vector<context::Window>& eval_windows, const context::KpiNorm& norm,
+    SelectionStrategy strategy, const ActiveLearningConfig& cfg);
+
+}  // namespace gendt::core

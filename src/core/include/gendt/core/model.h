@@ -1,0 +1,172 @@
+// The GenDT conditional generative model (paper §4).
+//
+// Generator (Fig. 6):
+//   G^n  — GNN-node network: one LSTM, weights shared across cells, run over
+//          each visible cell's [attributes ++ noise z0] series.
+//   G^a  — aggregation network: LSTM over the mean of the node hidden
+//          states, projecting to the Nch KPI channels.
+//   G^r  — ResGen (Fig. 7): an autoregressive MLP over
+//          [env context ++ noise z1 ++ last m KPI values] with dropout
+//          before the head, emitting a Gaussian (mu, log sigma) per channel;
+//          a reparameterized sample is the residual added to G^a's output.
+// Both LSTMs carry SRNN-style stochastic layers (§4.3.4, Appendix A.2).
+//
+// Discriminator: single-layer LSTM over [x_t ++ h_avg_t] -> logit
+// (§4.3.5); trained adversarially, with overall generator loss
+// L = L_MSE + lambda * L_GAN.
+//
+// Ablation flags reproduce Table 12's variants: no ResGen / no SRNN /
+// no GAN loss / no batching.
+#pragma once
+
+#include <memory>
+
+#include "gendt/core/generator.h"
+#include "gendt/nn/layers.h"
+#include "gendt/nn/optim.h"
+#include "gendt/nn/serialize.h"
+
+namespace gendt::core {
+
+struct GenDTConfig {
+  int num_channels = 4;       // Nch: KPI count
+  int hidden = 32;            // H (paper uses 100; smaller trains CPU-fast)
+  int noise_dim_node = 4;     // Nz0
+  double noise_scale_node = 0.3;  // std of z0 (de-noising aid, not variation)
+  int noise_dim_res = 4;      // Nz1
+  int resgen_lookback = 3;    // m: autoregressive KPI history fed to ResGen
+  /// Scheduled sampling: probability of feeding the model's own output
+  /// (instead of the teacher-forced real value) into ResGen's recent-value
+  /// tail during training. Counters exposure bias at generation time.
+  double feedback_prob = 0.25;
+  int resgen_hidden = 48;
+  double resgen_dropout = 0.25;
+  nn::StochasticConfig stochastic{.enabled = true, .a_h = 1.2, .a_c = 1.2};
+  bool use_resgen = true;     // ablation: "No ResGen"
+  bool use_gan = true;        // ablation: "No GAN loss"
+  double lambda_gan = 0.1;
+  /// Weight of the Gaussian NLL that calibrates ResGen's (mu, sigma) to the
+  /// observed residual (target minus aggregation output). This is what makes
+  /// the generated series' dispersion match the data.
+  double nll_weight = 0.5;
+  uint64_t init_seed = 1;
+};
+
+/// Output of one generated window in normalized units, plus the ResGen
+/// distribution parameters (used for the uncertainty measure).
+struct WindowSample {
+  nn::Mat output;     // [len x Nch] sampled series (stochastic)
+  nn::Mat mean;       // [len x Nch] noise-free expectation: G^a + ResGen mu
+  nn::Mat res_mu;     // [len x Nch]
+  nn::Mat res_sigma;  // [len x Nch]
+};
+
+class GenDTModel {
+ public:
+  explicit GenDTModel(const GenDTConfig& cfg);
+
+  const GenDTConfig& config() const { return cfg_; }
+
+  /// All trainable generator parameters.
+  std::vector<nn::NamedParam> generator_params() const;
+  /// Discriminator parameters.
+  std::vector<nn::NamedParam> discriminator_params() const;
+
+  /// Forward pass over one window.
+  ///
+  /// `prev_kpis` is the [m x Nch] tail of KPI values preceding the window
+  /// (zeros at a trajectory start) — this is what makes generation
+  /// autoregressive *across* batches. During training, teacher forcing uses
+  /// the real target for ResGen's recent-value input; during generation the
+  /// model's own output is fed back.
+  ///
+  /// `mc_dropout` keeps ResGen's dropout active (uncertainty sampling).
+  struct Forward {
+    std::vector<nn::Tensor> outputs;  // per step [1 x Nch]
+    std::vector<nn::Tensor> h_avg;    // per step [1 x H] (discriminator context)
+    nn::Mat res_mu;                   // [len x Nch]
+    nn::Mat res_sigma;                // [len x Nch]
+    // Graph handles used by the training losses (empty without ResGen):
+    std::vector<nn::Tensor> agg_out_t;        // per step [1 x Nch]
+    std::vector<nn::Tensor> res_mu_t;         // per step [1 x Nch]
+    std::vector<nn::Tensor> res_log_sigma_t;  // per step [1 x Nch]
+  };
+  Forward forward(const context::Window& window, const nn::Mat& prev_kpis,
+                  std::mt19937_64& rng, bool training, bool mc_dropout = false) const;
+
+  /// Discriminator logit for a KPI-window sequence given the h_avg context
+  /// sequence (the high-dimensional representation of c, per §4.3.5).
+  nn::Tensor discriminate(const std::vector<nn::Tensor>& x_rows,
+                          const std::vector<nn::Tensor>& h_avg,
+                          std::mt19937_64& rng) const;
+
+  /// Generate normalized KPI series over consecutive windows, carrying the
+  /// autoregressive tail across window boundaries.
+  std::vector<WindowSample> sample_windows(const std::vector<context::Window>& windows,
+                                           uint64_t seed, bool mc_dropout = false) const;
+
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+ private:
+  GenDTConfig cfg_;
+  nn::LstmCell node_cell_;       // G^n (shared across cells)
+  nn::LstmNetwork agg_net_;      // G^a
+  nn::Mlp resgen_;               // G^r trunk -> [mu, log_sigma] x Nch
+  nn::LstmNetwork disc_net_;     // discriminator trunk
+  nn::Linear disc_head_;         // final logit
+};
+
+/// GenDT training (alternating generator / discriminator updates).
+struct TrainConfig {
+  int epochs = 12;
+  int windows_per_step = 8;  // gradient accumulation
+  double lr_gen = 2e-3;
+  double lr_disc = 1e-3;
+  uint64_t seed = 99;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> mse_per_epoch;
+  std::vector<double> gan_per_epoch;
+};
+
+TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& windows,
+                       const TrainConfig& cfg);
+
+/// Model uncertainty U(G_theta) (§6.2.1): MC-dropout std of ResGen's
+/// Gaussian parameters, averaged over time and channels.
+double model_uncertainty(const GenDTModel& model, const std::vector<context::Window>& windows,
+                         int mc_samples = 5, uint64_t seed = 1);
+
+/// TimeSeriesGenerator adapter around GenDTModel (fits + denormalizes).
+class GenDTGenerator final : public TimeSeriesGenerator {
+ public:
+  GenDTGenerator(GenDTConfig model_cfg, TrainConfig train_cfg, context::KpiNorm norm)
+      : model_(model_cfg), train_cfg_(train_cfg), norm_(std::move(norm)) {}
+
+  /// Declare the KPI meaning of each channel. Discrete KPIs (CQI) are
+  /// snapped to their integer grid after denormalization — the paper notes
+  /// CQI generation is really a classification over 1..15.
+  void set_kpis(std::vector<sim::Kpi> kpis) { kpis_ = std::move(kpis); }
+
+  std::string name() const override { return "GenDT"; }
+  void fit(const std::vector<context::Window>& train_windows) override {
+    train_gendt(model_, train_windows, train_cfg_);
+  }
+  GeneratedSeries generate(const std::vector<context::Window>& windows,
+                           uint64_t seed) const override;
+
+  GenDTModel& model() { return model_; }
+  const GenDTModel& model() const { return model_; }
+  const context::KpiNorm& norm() const { return norm_; }
+
+ private:
+  GenDTModel model_;
+  TrainConfig train_cfg_;
+  context::KpiNorm norm_;
+  std::vector<sim::Kpi> kpis_;  // optional channel semantics
+};
+
+}  // namespace gendt::core

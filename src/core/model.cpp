@@ -1,0 +1,423 @@
+#include "gendt/core/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::core {
+
+using nn::Mat;
+using nn::Tensor;
+
+GeneratedSeries real_series(const std::vector<context::Window>& windows,
+                            const context::KpiNorm& norm) {
+  GeneratedSeries out;
+  if (windows.empty()) return out;
+  const int nch = windows.front().target.cols();
+  out.channels.assign(static_cast<size_t>(nch), {});
+  for (const auto& w : windows) {
+    for (int t = 0; t < w.len; ++t) {
+      for (int ch = 0; ch < nch; ++ch) {
+        out.channels[static_cast<size_t>(ch)].push_back(norm.denormalize(ch, w.target(t, ch)));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+constexpr int kCellAttrs = context::kCellAttrs;
+
+Mat gaussian_noise(int rows, int cols, std::mt19937_64& rng) {
+  Mat m(rows, cols);
+  std::normal_distribution<double> g(0.0, 1.0);
+  for (size_t i = 0; i < m.size(); ++i) m[i] = g(rng);
+  return m;
+}
+}  // namespace
+
+GenDTModel::GenDTModel(const GenDTConfig& cfg) : cfg_(cfg) {
+  std::mt19937_64 rng(cfg.init_seed);
+  node_cell_ = nn::LstmCell(kCellAttrs + cfg.noise_dim_node, cfg.hidden, rng, "gendt.node");
+  agg_net_ = nn::LstmNetwork(cfg.hidden, cfg.hidden, cfg.num_channels, rng, "gendt.agg");
+  const int res_in = sim::kNumEnvAttributes + cfg.noise_dim_res +
+                     cfg.resgen_lookback * cfg.num_channels;
+  resgen_ = nn::Mlp({.layer_sizes = {res_in, cfg.resgen_hidden, cfg.resgen_hidden,
+                                     2 * cfg.num_channels},
+                     .leaky_slope = 0.01,
+                     .dropout_p = cfg.resgen_dropout},
+                    rng, "gendt.resgen");
+  // Start the residual noise small: the head's log_sigma outputs get a low
+  // bias so sigma ~ exp(-2) of a (normalized) KPI std. Training then grows
+  // it where the data demands stochasticity, instead of having to fight an
+  // O(1)-sigma residual down with the MSE term.
+  for (auto& p : resgen_.params()) {
+    if (p.name.ends_with("fc2.bias")) {
+      nn::Mat& b = p.tensor.mutable_value();
+      for (int ch = 0; ch < cfg.num_channels; ++ch) b(0, cfg.num_channels + ch) = -2.0;
+    }
+  }
+  disc_net_ = nn::LstmNetwork(cfg.num_channels + cfg.hidden, cfg.hidden, cfg.hidden, rng,
+                              "gendt.disc");
+  disc_head_ = nn::Linear(cfg.hidden, 1, rng, "gendt.disc_head");
+}
+
+std::vector<nn::NamedParam> GenDTModel::generator_params() const {
+  std::vector<nn::NamedParam> out = node_cell_.params();
+  for (auto& p : agg_net_.params()) out.push_back(p);
+  if (cfg_.use_resgen)
+    for (auto& p : resgen_.params()) out.push_back(p);
+  return out;
+}
+
+std::vector<nn::NamedParam> GenDTModel::discriminator_params() const {
+  std::vector<nn::NamedParam> out = disc_net_.params();
+  for (auto& p : disc_head_.params()) out.push_back(p);
+  return out;
+}
+
+GenDTModel::Forward GenDTModel::forward(const context::Window& window, const Mat& prev_kpis,
+                                        std::mt19937_64& rng, bool training,
+                                        bool mc_dropout) const {
+  Forward fwd;
+  const int len = window.len;
+  const int nch = cfg_.num_channels;
+  const int n_cells = static_cast<int>(window.cell_attrs.size());
+
+  // ---- G^n: shared node LSTM over each cell's attribute series ----------
+  // Hidden states per step per cell; averaged into h_avg (graph pooling).
+  std::vector<std::vector<Tensor>> cell_hidden(static_cast<size_t>(std::max(n_cells, 0)));
+  for (int ci = 0; ci < n_cells; ++ci) {
+    nn::LstmCell::State st = node_cell_.initial_state();
+    auto& hs = cell_hidden[static_cast<size_t>(ci)];
+    hs.reserve(static_cast<size_t>(len));
+    for (int t = 0; t < len; ++t) {
+      Mat x(1, kCellAttrs + cfg_.noise_dim_node);
+      for (int a = 0; a < kCellAttrs; ++a)
+        x(0, a) = window.cell_attrs[static_cast<size_t>(ci)](t, a);
+      const Mat z0 = gaussian_noise(1, cfg_.noise_dim_node, rng);
+      for (int a = 0; a < cfg_.noise_dim_node; ++a)
+        x(0, kCellAttrs + a) = cfg_.noise_scale_node * z0(0, a);
+      st = node_cell_.step(Tensor::constant(std::move(x)), st, cfg_.stochastic, rng);
+      hs.push_back(st.h);
+    }
+  }
+
+  fwd.h_avg.reserve(static_cast<size_t>(len));
+  for (int t = 0; t < len; ++t) {
+    if (n_cells == 0) {
+      fwd.h_avg.push_back(Tensor::zeros(1, cfg_.hidden));
+      continue;
+    }
+    Tensor sum = cell_hidden[0][static_cast<size_t>(t)];
+    for (int ci = 1; ci < n_cells; ++ci) sum = sum + cell_hidden[static_cast<size_t>(ci)][static_cast<size_t>(t)];
+    fwd.h_avg.push_back(sum * (1.0 / static_cast<double>(n_cells)));
+  }
+
+  // ---- G^a: aggregation LSTM over h_avg ----------------------------------
+  std::vector<Tensor> agg_out = agg_net_.forward(fwd.h_avg, cfg_.stochastic, rng);
+
+  // ---- G^r: autoregressive residual generator ----------------------------
+  fwd.res_mu = Mat::zeros(len, nch);
+  fwd.res_sigma = Mat::zeros(len, nch);
+  fwd.outputs.reserve(static_cast<size_t>(len));
+
+  // Rolling window of the last m KPI rows (constant inputs to ResGen).
+  std::vector<Mat> recent;
+  for (int i = 0; i < cfg_.resgen_lookback; ++i) {
+    Mat row(1, nch);
+    if (!prev_kpis.empty()) {
+      const int src = prev_kpis.rows() - cfg_.resgen_lookback + i;
+      if (src >= 0)
+        for (int ch = 0; ch < nch; ++ch) row(0, ch) = prev_kpis(src, ch);
+    }
+    recent.push_back(std::move(row));
+  }
+
+  for (int t = 0; t < len; ++t) {
+    Tensor out_t = agg_out[static_cast<size_t>(t)];
+    if (cfg_.use_resgen) {
+      Mat u(1, sim::kNumEnvAttributes + cfg_.noise_dim_res + cfg_.resgen_lookback * nch);
+      int col = 0;
+      for (int a = 0; a < sim::kNumEnvAttributes; ++a) u(0, col++) = window.env(t, a);
+      const Mat z1 = gaussian_noise(1, cfg_.noise_dim_res, rng);
+      for (int a = 0; a < cfg_.noise_dim_res; ++a) u(0, col++) = z1(0, a);
+      for (const auto& r : recent)
+        for (int ch = 0; ch < nch; ++ch) u(0, col++) = r(0, ch);
+
+      const Tensor head = resgen_.forward(Tensor::constant(std::move(u)), rng,
+                                          training || mc_dropout);
+      const Tensor mu = nn::slice_cols(head, 0, nch);
+      // Bound log_sigma smoothly to (-4, 4): keeps exp() finite whatever the
+      // optimizer does to the head weights mid-training.
+      const Tensor log_sigma = nn::tanh_t(nn::slice_cols(head, nch, 2 * nch) * 0.25) * 4.0;
+      const Tensor sigma = nn::exp_t(log_sigma);
+      // Reparameterized residual sample.
+      const Tensor eps = Tensor::constant(gaussian_noise(1, nch, rng));
+      fwd.agg_out_t.push_back(out_t);
+      fwd.res_mu_t.push_back(mu);
+      fwd.res_log_sigma_t.push_back(log_sigma);
+      out_t = out_t + mu + sigma * eps;
+
+      for (int ch = 0; ch < nch; ++ch) {
+        fwd.res_mu(t, ch) = mu.value()(0, ch);
+        fwd.res_sigma(t, ch) = sigma.value()(0, ch);
+      }
+    }
+    fwd.outputs.push_back(out_t);
+
+    // Advance the autoregressive tail: teacher forcing during training,
+    // except for scheduled-sampling steps that rehearse generation-time
+    // feedback (exposure-bias mitigation).
+    Mat next_row(1, nch);
+    bool use_real = training && !window.target.empty();
+    if (use_real && cfg_.feedback_prob > 0.0) {
+      std::bernoulli_distribution feed_back(cfg_.feedback_prob);
+      if (feed_back(rng)) use_real = false;
+    }
+    if (use_real) {
+      for (int ch = 0; ch < nch; ++ch) next_row(0, ch) = window.target(t, ch);
+    } else {
+      for (int ch = 0; ch < nch; ++ch) next_row(0, ch) = out_t.value()(0, ch);
+    }
+    recent.erase(recent.begin());
+    recent.push_back(std::move(next_row));
+  }
+  return fwd;
+}
+
+Tensor GenDTModel::discriminate(const std::vector<Tensor>& x_rows,
+                                const std::vector<Tensor>& h_avg,
+                                std::mt19937_64& rng) const {
+  assert(x_rows.size() == h_avg.size());
+  std::vector<Tensor> inputs;
+  inputs.reserve(x_rows.size());
+  for (size_t t = 0; t < x_rows.size(); ++t) {
+    // Context enters as a constant: the discriminator judges x given c and
+    // must not backprop into the generator's context representation.
+    inputs.push_back(nn::concat_cols(x_rows[t], nn::detach(h_avg[t])));
+  }
+  const auto hs = disc_net_.hidden_sequence(inputs, nn::StochasticConfig{}, rng);
+  return disc_head_.forward(hs.back());
+}
+
+std::vector<WindowSample> GenDTModel::sample_windows(const std::vector<context::Window>& windows,
+                                                     uint64_t seed, bool mc_dropout) const {
+  std::mt19937_64 rng(seed);
+  std::vector<WindowSample> out;
+  out.reserve(windows.size());
+  Mat tail;  // last m generated rows, carried across windows
+  for (const auto& w : windows) {
+    Forward fwd = forward(w, tail, rng, /*training=*/false, mc_dropout);
+    WindowSample s;
+    s.output = Mat(w.len, cfg_.num_channels);
+    s.mean = Mat(w.len, cfg_.num_channels);
+    for (int t = 0; t < w.len; ++t) {
+      for (int ch = 0; ch < cfg_.num_channels; ++ch) {
+        s.output(t, ch) = fwd.outputs[static_cast<size_t>(t)].value()(0, ch);
+        s.mean(t, ch) =
+            fwd.agg_out_t.empty()
+                ? s.output(t, ch)
+                : fwd.agg_out_t[static_cast<size_t>(t)].value()(0, ch) + fwd.res_mu(t, ch);
+      }
+    }
+    s.res_mu = std::move(fwd.res_mu);
+    s.res_sigma = std::move(fwd.res_sigma);
+
+    // Update the autoregressive tail from this window's end.
+    const int m = cfg_.resgen_lookback;
+    tail = Mat(m, cfg_.num_channels);
+    for (int i = 0; i < m; ++i) {
+      const int src = std::max(0, w.len - m + i);
+      for (int ch = 0; ch < cfg_.num_channels; ++ch) tail(i, ch) = s.output(src, ch);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool GenDTModel::save(const std::string& path) const {
+  auto params = generator_params();
+  for (auto& p : discriminator_params()) params.push_back(p);
+  if (!cfg_.use_resgen)  // keep checkpoints complete regardless of ablation
+    for (auto& p : resgen_.params()) params.push_back(p);
+  return nn::save_params(params, path);
+}
+
+bool GenDTModel::load(const std::string& path) {
+  auto params = generator_params();
+  for (auto& p : discriminator_params()) params.push_back(p);
+  if (!cfg_.use_resgen)
+    for (auto& p : resgen_.params()) params.push_back(p);
+  return nn::load_params(params, path);
+}
+
+TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& windows,
+                       const TrainConfig& cfg) {
+  TrainStats stats;
+  if (windows.empty()) return stats;
+  std::mt19937_64 rng(cfg.seed);
+
+  nn::Adam gen_opt({.lr = cfg.lr_gen, .clip_norm = 5.0});
+  nn::Adam disc_opt({.lr = cfg.lr_disc, .clip_norm = 5.0});
+  const auto gen_params = model.generator_params();
+  const auto disc_params = model.discriminator_params();
+  const bool use_gan = model.config().use_gan;
+  const double lambda = model.config().lambda_gan;
+  const int nch = model.config().num_channels;
+
+  std::vector<size_t> order(windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double mse_sum = 0.0, gan_sum = 0.0;
+    int steps = 0;
+
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(cfg.windows_per_step)) {
+      const size_t end = std::min(order.size(), start + static_cast<size_t>(cfg.windows_per_step));
+
+      // ---- Generator update -------------------------------------------
+      for (auto& p : gen_params) p.tensor.zero_grad();
+      double batch_mse = 0.0, batch_gan = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        const context::Window& w = windows[order[k]];
+        auto fwd = model.forward(w, Mat{}, rng, /*training=*/true);
+        std::vector<Tensor> rows = fwd.outputs;
+        Tensor pred = nn::concat_rows(rows);
+        Tensor target = Tensor::constant(w.target);
+        Tensor loss = nn::mse_loss(pred, target);
+        batch_mse += loss.item();
+        if (!fwd.res_mu_t.empty() && model.config().nll_weight > 0.0) {
+          // Calibrate ResGen's Gaussian to the residual the aggregation
+          // network leaves behind: residual target = x - G^a(c), with the
+          // aggregation output detached so the NLL only shapes ResGen.
+          std::vector<Tensor> resid;
+          resid.reserve(rows.size());
+          for (int t = 0; t < w.len; ++t) {
+            Mat row(1, nch);
+            for (int ch = 0; ch < nch; ++ch) row(0, ch) = w.target(t, ch);
+            resid.push_back(Tensor::constant(std::move(row)) -
+                            nn::detach(fwd.agg_out_t[static_cast<size_t>(t)]));
+          }
+          Tensor nll = nn::gaussian_nll(nn::concat_rows(fwd.res_mu_t),
+                                        nn::concat_rows(fwd.res_log_sigma_t),
+                                        nn::concat_rows(resid));
+          loss = loss + nll * model.config().nll_weight;
+        }
+        if (use_gan) {
+          Tensor fake_logit = model.discriminate(rows, fwd.h_avg, rng);
+          // Non-saturating generator loss: push fake towards "real".
+          Tensor ones = Tensor::constant(Mat::ones(1, 1));
+          Tensor g_gan = nn::bce_with_logits(fake_logit, ones);
+          batch_gan += g_gan.item();
+          loss = loss + g_gan * lambda;
+        }
+        loss = loss * (1.0 / static_cast<double>(end - start));
+        loss.backward();
+      }
+      gen_opt.step(gen_params);
+
+      // ---- Discriminator update ----------------------------------------
+      if (use_gan) {
+        for (auto& p : disc_params) p.tensor.zero_grad();
+        for (size_t k = start; k < end; ++k) {
+          const context::Window& w = windows[order[k]];
+          auto fwd = model.forward(w, Mat{}, rng, /*training=*/true);
+          // Fake sequence, detached so only D updates here.
+          std::vector<Tensor> fake_rows;
+          fake_rows.reserve(fwd.outputs.size());
+          for (const auto& o : fwd.outputs) fake_rows.push_back(nn::detach(o));
+          std::vector<Tensor> real_rows;
+          real_rows.reserve(static_cast<size_t>(w.len));
+          for (int t = 0; t < w.len; ++t) {
+            Mat row(1, nch);
+            for (int ch = 0; ch < nch; ++ch) row(0, ch) = w.target(t, ch);
+            real_rows.push_back(Tensor::constant(std::move(row)));
+          }
+          Tensor real_logit = model.discriminate(real_rows, fwd.h_avg, rng);
+          Tensor fake_logit = model.discriminate(fake_rows, fwd.h_avg, rng);
+          Tensor ones = Tensor::constant(Mat::ones(1, 1));
+          Tensor zeros = Tensor::constant(Mat::zeros(1, 1));
+          Tensor d_loss = (nn::bce_with_logits(real_logit, ones) +
+                           nn::bce_with_logits(fake_logit, zeros)) *
+                          (0.5 / static_cast<double>(end - start));
+          d_loss.backward();
+        }
+        disc_opt.step(disc_params);
+      }
+
+      mse_sum += batch_mse / static_cast<double>(end - start);
+      gan_sum += batch_gan / static_cast<double>(end - start);
+      ++steps;
+    }
+    stats.mse_per_epoch.push_back(mse_sum / std::max(1, steps));
+    stats.gan_per_epoch.push_back(gan_sum / std::max(1, steps));
+    if (cfg.verbose) {
+      std::fprintf(stderr, "[gendt] epoch %d mse=%.4f gan=%.4f\n", epoch,
+                   stats.mse_per_epoch.back(), stats.gan_per_epoch.back());
+    }
+  }
+  return stats;
+}
+
+double model_uncertainty(const GenDTModel& model, const std::vector<context::Window>& windows,
+                         int mc_samples, uint64_t seed) {
+  if (windows.empty() || mc_samples < 2 || !model.config().use_resgen) return 0.0;
+  const int nch = model.config().num_channels;
+
+  // Collect ResGen parameters across MC-dropout passes.
+  std::vector<std::vector<WindowSample>> passes;
+  passes.reserve(static_cast<size_t>(mc_samples));
+  for (int s = 0; s < mc_samples; ++s) {
+    passes.push_back(model.sample_windows(windows, seed + static_cast<uint64_t>(s) * 7919,
+                                          /*mc_dropout=*/true));
+  }
+
+  double acc = 0.0;
+  long count = 0;
+  for (size_t wi = 0; wi < windows.size(); ++wi) {
+    const int len = windows[wi].len;
+    for (int t = 0; t < len; ++t) {
+      for (int ch = 0; ch < nch; ++ch) {
+        double mu_s = 0.0, mu_s2 = 0.0, sg_s = 0.0, sg_s2 = 0.0;
+        for (int s = 0; s < mc_samples; ++s) {
+          const double mu = passes[static_cast<size_t>(s)][wi].res_mu(t, ch);
+          const double sg = passes[static_cast<size_t>(s)][wi].res_sigma(t, ch);
+          mu_s += mu;
+          mu_s2 += mu * mu;
+          sg_s += sg;
+          sg_s2 += sg * sg;
+        }
+        const double n = static_cast<double>(mc_samples);
+        const double mu_var = std::max(0.0, mu_s2 / n - (mu_s / n) * (mu_s / n));
+        const double sg_var = std::max(0.0, sg_s2 / n - (sg_s / n) * (sg_s / n));
+        acc += std::sqrt(mu_var) + std::sqrt(sg_var);
+        ++count;
+      }
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& windows,
+                                         uint64_t seed) const {
+  GeneratedSeries out;
+  const int nch = model_.config().num_channels;
+  out.channels.assign(static_cast<size_t>(nch), {});
+  for (const auto& s : model_.sample_windows(windows, seed)) {
+    for (int t = 0; t < s.output.rows(); ++t) {
+      for (int ch = 0; ch < nch; ++ch) {
+        double v = norm_.denormalize(ch, s.output(t, ch));
+        if (static_cast<size_t>(ch) < kpis_.size() && kpis_[static_cast<size_t>(ch)] == sim::Kpi::kCqi) {
+          v = std::clamp(std::round(v), static_cast<double>(radio::kCqiMin),
+                         static_cast<double>(radio::kCqiMax));
+        }
+        out.channels[static_cast<size_t>(ch)].push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gendt::core

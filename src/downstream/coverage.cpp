@@ -1,0 +1,80 @@
+#include "gendt/downstream/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::downstream {
+
+double CoverageMap::covered_fraction(double threshold_dbm) const {
+  if (cells.empty()) return 0.0;
+  int covered = 0;
+  for (const auto& c : cells)
+    if (c.mean_rsrp_dbm >= threshold_dbm) ++covered;
+  return static_cast<double>(covered) / static_cast<double>(cells.size());
+}
+
+const CoverageCell* CoverageMap::weakest() const {
+  const CoverageCell* best = nullptr;
+  for (const auto& c : cells) {
+    if (best == nullptr || c.mean_rsrp_dbm < best->mean_rsrp_dbm) best = &c;
+  }
+  return best;
+}
+
+namespace {
+// A small zig-zag probe trajectory centred on `center`, long enough to fill
+// one generation window at 1 s sampling.
+geo::Trajectory probe_trajectory(const geo::LocalProjection& proj, const geo::Enu& center,
+                                 double duration_s, double speed_mps, uint64_t salt) {
+  geo::Trajectory out;
+  double heading = static_cast<double>(salt % 360) * M_PI / 180.0;
+  geo::Enu pos = center;
+  for (double t = 0.0; t <= duration_s; t += 1.0) {
+    out.push_back({t, proj.to_latlon(pos)});
+    heading += 0.15;  // gentle curl keeps the probe near the cell centre
+    pos.east += std::sin(heading) * speed_mps;
+    pos.north += std::cos(heading) * speed_mps;
+  }
+  return out;
+}
+}  // namespace
+
+CoverageMap map_coverage(const core::TimeSeriesGenerator& generator,
+                         const context::ContextBuilder& builder,
+                         const geo::LocalProjection& projection, geo::Enu min_corner,
+                         geo::Enu max_corner, const CoverageConfig& cfg) {
+  CoverageMap map;
+  map.cell_m = cfg.cell_m;
+  uint64_t salt = cfg.seed;
+  for (double north = min_corner.north + cfg.cell_m / 2; north <= max_corner.north;
+       north += cfg.cell_m) {
+    for (double east = min_corner.east + cfg.cell_m / 2; east <= max_corner.east;
+         east += cfg.cell_m) {
+      const geo::Enu center{east, north};
+      std::vector<double> rsrp;
+      for (int s = 0; s < cfg.samples_per_cell; ++s) {
+        const geo::Trajectory probe = probe_trajectory(projection, center, cfg.probe_duration_s,
+                                                       cfg.probe_speed_mps, ++salt);
+        const auto windows = builder.generation_windows(probe);
+        if (windows.empty()) continue;
+        const core::GeneratedSeries series = generator.generate(windows, salt * 31);
+        if (series.channels.empty()) continue;
+        rsrp.insert(rsrp.end(), series.channels[0].begin(), series.channels[0].end());
+      }
+      CoverageCell cell;
+      cell.center = center;
+      cell.samples = static_cast<int>(rsrp.size());
+      if (!rsrp.empty()) {
+        double sum = 0.0;
+        for (double v : rsrp) sum += v;
+        cell.mean_rsrp_dbm = sum / static_cast<double>(rsrp.size());
+        std::sort(rsrp.begin(), rsrp.end());
+        cell.p10_rsrp_dbm = rsrp[rsrp.size() / 10];
+      }
+      map.cells.push_back(cell);
+    }
+  }
+  return map;
+}
+
+}  // namespace gendt::downstream

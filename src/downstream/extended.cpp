@@ -1,0 +1,160 @@
+#include "gendt/downstream/extended.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gendt/nn/optim.h"
+
+namespace gendt::downstream {
+
+using nn::Mat;
+using nn::Tensor;
+
+namespace {
+void fit_mean_std(const std::vector<double>& v, double& mean, double& stdev) {
+  if (v.empty()) return;
+  double s = 0.0, s2 = 0.0;
+  for (double x : v) {
+    s += x;
+    s2 += x * x;
+  }
+  mean = s / static_cast<double>(v.size());
+  stdev = std::sqrt(std::max(1e-9, s2 / static_cast<double>(v.size()) - mean * mean));
+}
+
+// Shared mini-batch MSE training loop for the small regressors here.
+void train_regressor(nn::Mlp& net, std::vector<std::pair<Mat, Mat>>& examples, int epochs,
+                     double lr, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  nn::Adam opt({.lr = lr, .clip_norm = 5.0});
+  const auto params = net.params();
+  std::shuffle(examples.begin(), examples.end(), rng);
+  if (examples.size() > 4000) examples.resize(4000);
+  const int batch = 32;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    std::shuffle(examples.begin(), examples.end(), rng);
+    for (size_t start = 0; start < examples.size(); start += static_cast<size_t>(batch)) {
+      const size_t end = std::min(examples.size(), start + static_cast<size_t>(batch));
+      for (const auto& p : params) p.tensor.zero_grad();
+      for (size_t i = start; i < end; ++i) {
+        Tensor loss = nn::mse_loss(net.forward(Tensor::constant(examples[i].first), rng, true),
+                                   Tensor::constant(examples[i].second));
+        loss = loss * (1.0 / static_cast<double>(end - start));
+        loss.backward();
+      }
+      opt.step(params);
+    }
+  }
+}
+}  // namespace
+
+// ---- CellLoadEstimator -----------------------------------------------------
+
+CellLoadEstimator::CellLoadEstimator(Config cfg) : cfg_(cfg) {
+  std::mt19937_64 rng(cfg_.seed);
+  net_ = nn::Mlp({.layer_sizes = {2, cfg_.hidden, cfg_.hidden, 1}}, rng, "cell_load");
+}
+
+void CellLoadEstimator::fit(const std::vector<sim::DriveTestRecord>& records) {
+  std::vector<double> rsrq, sinr;
+  for (const auto& rec : records) {
+    for (const auto& m : rec.samples) {
+      rsrq.push_back(m.rsrq_db);
+      sinr.push_back(m.sinr_db);
+    }
+  }
+  fit_mean_std(rsrq, rsrq_mean_, rsrq_std_);
+  fit_mean_std(sinr, sinr_mean_, sinr_std_);
+
+  std::vector<std::pair<Mat, Mat>> examples;
+  for (const auto& rec : records) {
+    for (const auto& m : rec.samples) {
+      Mat x(1, 2);
+      x(0, 0) = (m.rsrq_db - rsrq_mean_) / rsrq_std_;
+      x(0, 1) = (m.sinr_db - sinr_mean_) / sinr_std_;
+      Mat y(1, 1);
+      y(0, 0) = m.serving_load;
+      examples.emplace_back(std::move(x), std::move(y));
+    }
+  }
+  train_regressor(net_, examples, cfg_.epochs, cfg_.lr, cfg_.seed + 1);
+}
+
+std::vector<double> CellLoadEstimator::estimate(const std::vector<double>& rsrq_db,
+                                                const std::vector<double>& sinr_db) const {
+  assert(rsrq_db.size() == sinr_db.size());
+  std::vector<double> out;
+  out.reserve(rsrq_db.size());
+  std::mt19937_64 rng(0);
+  for (size_t i = 0; i < rsrq_db.size(); ++i) {
+    Mat x(1, 2);
+    x(0, 0) = (rsrq_db[i] - rsrq_mean_) / rsrq_std_;
+    x(0, 1) = (sinr_db[i] - sinr_mean_) / sinr_std_;
+    const Tensor y = net_.forward(Tensor::constant(std::move(x)), rng, false);
+    out.push_back(std::clamp(y.value()(0, 0), 0.0, 1.0));
+  }
+  return out;
+}
+
+// ---- LinkBandwidthPredictor ------------------------------------------------
+
+LinkBandwidthPredictor::LinkBandwidthPredictor(Config cfg) : cfg_(cfg) {
+  std::mt19937_64 rng(cfg_.seed);
+  net_ = nn::Mlp({.layer_sizes = {5, cfg_.hidden, cfg_.hidden, 1}}, rng, "link_bw");
+}
+
+LinkBandwidthPredictor::Features LinkBandwidthPredictor::features_from_record(
+    const sim::DriveTestRecord& rec) {
+  Features f;
+  for (size_t i = 0; i < rec.samples.size(); ++i) {
+    const auto& m = rec.samples[i];
+    f.rsrp_dbm.push_back(m.rsrp_dbm);
+    f.rsrq_db.push_back(m.rsrq_db);
+    f.cqi.push_back(static_cast<double>(m.cqi));
+    f.handover.push_back(
+        i > 0 && rec.samples[i].serving_cell != rec.samples[i - 1].serving_cell ? 1.0 : 0.0);
+    f.bler.push_back(m.per);
+  }
+  return f;
+}
+
+nn::Mat LinkBandwidthPredictor::input_row(const Features& f, size_t i) const {
+  Mat x(1, 5);
+  x(0, 0) = (f.rsrp_dbm[i] + 90.0) / 10.0;
+  x(0, 1) = (f.rsrq_db[i] + 12.0) / 3.0;
+  x(0, 2) = (f.cqi[i] - 8.0) / 4.0;
+  x(0, 3) = f.handover[i];
+  x(0, 4) = f.bler[i] * 5.0;
+  return x;
+}
+
+void LinkBandwidthPredictor::fit(const std::vector<sim::DriveTestRecord>& records) {
+  std::vector<double> tput;
+  for (const auto& rec : records)
+    for (const auto& m : rec.samples) tput.push_back(m.throughput_mbps);
+  fit_mean_std(tput, tput_mean_, tput_std_);
+
+  std::vector<std::pair<Mat, Mat>> examples;
+  for (const auto& rec : records) {
+    const Features f = features_from_record(rec);
+    for (size_t i = 0; i < f.rsrp_dbm.size(); ++i) {
+      Mat y(1, 1);
+      y(0, 0) = (rec.samples[i].throughput_mbps - tput_mean_) / tput_std_;
+      examples.emplace_back(input_row(f, i), std::move(y));
+    }
+  }
+  train_regressor(net_, examples, cfg_.epochs, cfg_.lr, cfg_.seed + 1);
+}
+
+std::vector<double> LinkBandwidthPredictor::predict(const Features& f) const {
+  std::vector<double> out;
+  out.reserve(f.rsrp_dbm.size());
+  std::mt19937_64 rng(0);
+  for (size_t i = 0; i < f.rsrp_dbm.size(); ++i) {
+    const Tensor y = net_.forward(Tensor::constant(input_row(f, i)), rng, false);
+    out.push_back(std::max(0.0, y.value()(0, 0) * tput_std_ + tput_mean_));
+  }
+  return out;
+}
+
+}  // namespace gendt::downstream

@@ -1,0 +1,52 @@
+#include "gendt/downstream/handover.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "gendt/metrics/metrics.h"
+
+namespace gendt::downstream {
+
+std::vector<double> detect_inter_handover_times(std::span<const double> serving_series,
+                                                std::span<const double> t, double threshold) {
+  assert(serving_series.size() == t.size());
+  std::vector<double> out;
+  if (serving_series.empty()) return out;
+  double last_change = t[0];
+  for (size_t i = 1; i < serving_series.size(); ++i) {
+    if (std::abs(serving_series[i] - serving_series[i - 1]) > threshold) {
+      out.push_back(t[i] - last_change);
+      last_change = t[i];
+    }
+  }
+  return out;
+}
+
+std::vector<double> median_filter(std::span<const double> series, int window) {
+  assert(window >= 1 && window % 2 == 1);
+  std::vector<double> out(series.size());
+  const int half = window / 2;
+  std::vector<double> buf;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const size_t lo = i >= static_cast<size_t>(half) ? i - static_cast<size_t>(half) : 0;
+    const size_t hi = std::min(series.size(), i + static_cast<size_t>(half) + 1);
+    buf.assign(series.begin() + static_cast<long>(lo), series.begin() + static_cast<long>(hi));
+    std::nth_element(buf.begin(), buf.begin() + static_cast<long>(buf.size() / 2), buf.end());
+    out[i] = buf[buf.size() / 2];
+  }
+  return out;
+}
+
+HandoverComparison compare_handover_distributions(std::span<const double> real_durations,
+                                                  std::span<const double> generated_durations) {
+  HandoverComparison cmp;
+  cmp.real_count = real_durations.size();
+  cmp.generated_count = generated_durations.size();
+  cmp.real_mean_s = metrics::series_stats(real_durations).mean;
+  cmp.generated_mean_s = metrics::series_stats(generated_durations).mean;
+  cmp.hwd = metrics::hwd(real_durations, generated_durations, 30);
+  return cmp;
+}
+
+}  // namespace gendt::downstream

@@ -1,0 +1,49 @@
+// Coverage mapping from generated data: the classic drive-test product
+// (paper §2.1 relates GenDT to coverage-mapping work). A trained GenDT
+// model is swept over a grid of short synthetic probe trajectories; the
+// aggregated per-cell statistics form an RSRP coverage map without any
+// field measurement.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gendt/context/context.h"
+#include "gendt/core/generator.h"
+
+namespace gendt::downstream {
+
+struct CoverageCell {
+  geo::Enu center;
+  double mean_rsrp_dbm = 0.0;
+  double p10_rsrp_dbm = 0.0;  // 10th percentile: the "bad corner" statistic
+  int samples = 0;
+};
+
+struct CoverageMap {
+  double cell_m = 0.0;
+  std::vector<CoverageCell> cells;  // row-major over the swept area
+
+  /// Fraction of mapped cells whose mean RSRP is at or above `threshold`.
+  double covered_fraction(double threshold_dbm) const;
+  /// The weakest mapped cell (lowest mean RSRP); nullptr when empty.
+  const CoverageCell* weakest() const;
+};
+
+struct CoverageConfig {
+  double cell_m = 400.0;       // map resolution
+  double probe_duration_s = 30.0;  // per-cell probe trajectory length
+  double probe_speed_mps = 1.4;    // pedestrian-style probe
+  int samples_per_cell = 1;        // stochastic generations to aggregate
+  uint64_t seed = 71;
+};
+
+/// Sweep the rectangle [min, max] (ENU metres) with probe trajectories and
+/// aggregate the given generator's RSRP channel (channel 0 by convention).
+/// `builder` supplies context for the probes against the live world.
+CoverageMap map_coverage(const core::TimeSeriesGenerator& generator,
+                         const context::ContextBuilder& builder,
+                         const geo::LocalProjection& projection, geo::Enu min_corner,
+                         geo::Enu max_corner, const CoverageConfig& cfg = CoverageConfig{});
+
+}  // namespace gendt::downstream

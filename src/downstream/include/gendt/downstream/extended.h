@@ -1,0 +1,77 @@
+// Further use cases from the paper's Appendix C.2, made evaluable by the
+// simulator's ground truth:
+//
+//   CellLoadEstimator      — infer the serving cell's downlink load from
+//                            RSRQ + SINR (Chang & Wicaksono; Raida et al.):
+//                            RSRQ drops as data REs fill while RSRP holds.
+//   LinkBandwidthPredictor — infer achievable downlink bandwidth from the
+//                            radio KPIs the paper lists (RSRP, RSRQ, CQI,
+//                            handover indicator, BLER), after LinkForecast.
+//
+// Both are small MLP regressions trained on drive-test measurements; like
+// the QoE use case, they can be fed GenDT-generated KPIs instead of real
+// ones to run without a measurement campaign.
+#pragma once
+
+#include <vector>
+
+#include "gendt/nn/layers.h"
+#include "gendt/sim/drive_test.h"
+
+namespace gendt::downstream {
+
+class CellLoadEstimator {
+ public:
+  struct Config {
+    int hidden = 24;
+    int epochs = 30;
+    double lr = 2e-3;
+    uint64_t seed = 41;
+  };
+  explicit CellLoadEstimator(Config cfg);
+
+  void fit(const std::vector<sim::DriveTestRecord>& records);
+
+  /// Estimated load in [0,1] per sample, from RSRQ (dB) and SINR (dB).
+  std::vector<double> estimate(const std::vector<double>& rsrq_db,
+                               const std::vector<double>& sinr_db) const;
+
+ private:
+  Config cfg_;
+  nn::Mlp net_;
+  double rsrq_mean_ = -11.0, rsrq_std_ = 3.0;
+  double sinr_mean_ = 8.0, sinr_std_ = 6.0;
+};
+
+class LinkBandwidthPredictor {
+ public:
+  struct Config {
+    int hidden = 32;
+    int epochs = 30;
+    double lr = 2e-3;
+    uint64_t seed = 43;
+  };
+  explicit LinkBandwidthPredictor(Config cfg);
+
+  struct Features {
+    std::vector<double> rsrp_dbm;
+    std::vector<double> rsrq_db;
+    std::vector<double> cqi;
+    std::vector<double> handover;  // 1 at samples where the serving cell changed
+    std::vector<double> bler;      // per-sample block error rate (PER proxy)
+  };
+  static Features features_from_record(const sim::DriveTestRecord& rec);
+
+  void fit(const std::vector<sim::DriveTestRecord>& records);
+
+  /// Predicted downlink bandwidth (Mbps) per sample.
+  std::vector<double> predict(const Features& f) const;
+
+ private:
+  nn::Mat input_row(const Features& f, size_t i) const;
+  Config cfg_;
+  nn::Mlp net_;
+  double tput_mean_ = 10.0, tput_std_ = 5.0;
+};
+
+}  // namespace gendt::downstream

@@ -1,0 +1,36 @@
+// Downstream use case 2 (§6.3.2): handover analysis. GenDT (retrained with
+// the serving-cell KPI channel) generates a numeric serving-cell series;
+// change points in that series are handovers, and the inter-handover time
+// distribution is compared against real drive-test data.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gendt::downstream {
+
+/// Detect handovers in a *generated* (continuous-valued) serving-cell
+/// series: a handover is a jump larger than `threshold` (in the series'
+/// units). For real integer series any threshold in (0, 1) recovers exact
+/// change points.
+std::vector<double> detect_inter_handover_times(std::span<const double> serving_series,
+                                                std::span<const double> t, double threshold);
+
+/// Sliding median filter (odd window, edges shrink). Applied to generated
+/// serving-cell series before change detection: a handover is a *sustained*
+/// level change, so per-sample sampling noise must not trigger one.
+std::vector<double> median_filter(std::span<const double> series, int window);
+
+/// Summary of an inter-handover distribution comparison.
+struct HandoverComparison {
+  double hwd = 0.0;               // HWD between the two duration distributions
+  double real_mean_s = 0.0;
+  double generated_mean_s = 0.0;
+  size_t real_count = 0;
+  size_t generated_count = 0;
+};
+
+HandoverComparison compare_handover_distributions(std::span<const double> real_durations,
+                                                  std::span<const double> generated_durations);
+
+}  // namespace gendt::downstream

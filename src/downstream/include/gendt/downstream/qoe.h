@@ -1,0 +1,63 @@
+// Downstream use case 1 (§6.3.1): QoE prediction. An MLP regression model
+// (after Sliwa & Wietfeld) maps radio KPIs + location features to
+// application-layer throughput and packet error rate. It is trained on real
+// drive-test measurements; at evaluation time the RSRP/RSRQ features can be
+// real, GenDT-generated, baseline-generated — or dropped entirely (the
+// paper's "RSRP & RSRQ Excluded" row).
+#pragma once
+
+#include <vector>
+
+#include "gendt/nn/layers.h"
+#include "gendt/sim/drive_test.h"
+
+namespace gendt::downstream {
+
+struct QoeFeatures {
+  std::vector<double> rsrp;      // dBm (may be generated)
+  std::vector<double> rsrq;      // dB (may be generated)
+  std::vector<geo::LatLon> pos;  // device locations
+};
+
+struct QoePrediction {
+  std::vector<double> throughput_mbps;
+  std::vector<double> per;
+};
+
+class QoePredictor {
+ public:
+  struct Config {
+    int hidden = 32;
+    int epochs = 40;
+    double lr = 2e-3;
+    bool use_radio_kpis = true;  // false reproduces the "excluded" ablation
+    uint64_t seed = 31;
+  };
+
+  QoePredictor(Config cfg, geo::LatLon region_origin);
+
+  /// Train on real measurements (uses each sample's true RSRP/RSRQ and the
+  /// measured throughput/PER as targets).
+  void fit(const std::vector<sim::DriveTestRecord>& records);
+
+  /// Predict QoE for the given features (sizes must agree).
+  QoePrediction predict(const QoeFeatures& f) const;
+
+  /// Convenience: features straight from a record's measurements.
+  static QoeFeatures features_from_record(const sim::DriveTestRecord& rec);
+
+ private:
+  nn::Mat input_row(double rsrp, double rsrq, const geo::LatLon& pos) const;
+
+  Config cfg_;
+  geo::LocalProjection proj_;
+  nn::Mlp net_;
+  // Feature/target normalization fitted on training data.
+  double rsrp_mean_ = -90.0, rsrp_std_ = 10.0;
+  double rsrq_mean_ = -11.0, rsrq_std_ = 3.0;
+  double tput_mean_ = 10.0, tput_std_ = 5.0;
+  double per_mean_ = 0.05, per_std_ = 0.1;
+  double pos_scale_m_ = 5000.0;
+};
+
+}  // namespace gendt::downstream

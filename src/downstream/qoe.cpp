@@ -1,0 +1,120 @@
+#include "gendt/downstream/qoe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gendt/nn/optim.h"
+
+namespace gendt::downstream {
+
+using nn::Mat;
+using nn::Tensor;
+
+QoePredictor::QoePredictor(Config cfg, geo::LatLon region_origin)
+    : cfg_(cfg), proj_(region_origin) {
+  std::mt19937_64 rng(cfg_.seed);
+  const int in = cfg_.use_radio_kpis ? 4 : 2;  // [rsrp, rsrq,] east, north
+  net_ = nn::Mlp({.layer_sizes = {in, cfg_.hidden, cfg_.hidden, 2}}, rng, "qoe");
+}
+
+Mat QoePredictor::input_row(double rsrp, double rsrq, const geo::LatLon& pos) const {
+  const geo::Enu e = proj_.to_enu(pos);
+  Mat x(1, cfg_.use_radio_kpis ? 4 : 2);
+  int col = 0;
+  if (cfg_.use_radio_kpis) {
+    x(0, col++) = (rsrp - rsrp_mean_) / rsrp_std_;
+    x(0, col++) = (rsrq - rsrq_mean_) / rsrq_std_;
+  }
+  x(0, col++) = e.east / pos_scale_m_;
+  x(0, col++) = e.north / pos_scale_m_;
+  return x;
+}
+
+void QoePredictor::fit(const std::vector<sim::DriveTestRecord>& records) {
+  // Fit normalization stats.
+  double sr = 0, sr2 = 0, sq = 0, sq2 = 0, st = 0, st2 = 0, sp = 0, sp2 = 0;
+  long n = 0;
+  for (const auto& rec : records) {
+    for (const auto& m : rec.samples) {
+      sr += m.rsrp_dbm; sr2 += m.rsrp_dbm * m.rsrp_dbm;
+      sq += m.rsrq_db;  sq2 += m.rsrq_db * m.rsrq_db;
+      st += m.throughput_mbps; st2 += m.throughput_mbps * m.throughput_mbps;
+      sp += m.per; sp2 += m.per * m.per;
+      ++n;
+    }
+  }
+  if (n > 1) {
+    auto finish = [n](double s, double s2, double& mean, double& stdev) {
+      mean = s / static_cast<double>(n);
+      stdev = std::sqrt(std::max(1e-9, s2 / static_cast<double>(n) - mean * mean));
+    };
+    finish(sr, sr2, rsrp_mean_, rsrp_std_);
+    finish(sq, sq2, rsrq_mean_, rsrq_std_);
+    finish(st, st2, tput_mean_, tput_std_);
+    finish(sp, sp2, per_mean_, per_std_);
+  }
+
+  std::mt19937_64 rng(cfg_.seed + 1);
+  nn::Adam opt({.lr = cfg_.lr, .clip_norm = 5.0});
+  const auto params = net_.params();
+
+  struct Example {
+    Mat x;
+    Mat y;
+  };
+  std::vector<Example> examples;
+  for (const auto& rec : records) {
+    for (const auto& m : rec.samples) {
+      Mat y(1, 2);
+      y(0, 0) = (m.throughput_mbps - tput_mean_) / tput_std_;
+      y(0, 1) = (m.per - per_mean_) / per_std_;
+      examples.push_back({input_row(m.rsrp_dbm, m.rsrq_db, m.pos), std::move(y)});
+    }
+  }
+  std::shuffle(examples.begin(), examples.end(), rng);
+  const size_t cap = 4000;
+  if (examples.size() > cap) examples.resize(cap);
+
+  const int batch = 32;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(examples.begin(), examples.end(), rng);
+    for (size_t start = 0; start < examples.size(); start += static_cast<size_t>(batch)) {
+      const size_t end = std::min(examples.size(), start + static_cast<size_t>(batch));
+      for (const auto& p : params) p.tensor.zero_grad();
+      for (size_t i = start; i < end; ++i) {
+        Tensor pred = net_.forward(Tensor::constant(examples[i].x), rng, true);
+        Tensor loss = nn::mse_loss(pred, Tensor::constant(examples[i].y));
+        loss = loss * (1.0 / static_cast<double>(end - start));
+        loss.backward();
+      }
+      opt.step(params);
+    }
+  }
+}
+
+QoePrediction QoePredictor::predict(const QoeFeatures& f) const {
+  assert(f.rsrp.size() == f.rsrq.size() && f.rsrp.size() == f.pos.size());
+  QoePrediction out;
+  out.throughput_mbps.reserve(f.rsrp.size());
+  out.per.reserve(f.rsrp.size());
+  std::mt19937_64 rng(0);  // eval mode: dropout off, rng unused
+  for (size_t i = 0; i < f.rsrp.size(); ++i) {
+    Tensor y = net_.forward(Tensor::constant(input_row(f.rsrp[i], f.rsrq[i], f.pos[i])), rng,
+                            /*training=*/false);
+    out.throughput_mbps.push_back(std::max(0.0, y.value()(0, 0) * tput_std_ + tput_mean_));
+    out.per.push_back(std::clamp(y.value()(0, 1) * per_std_ + per_mean_, 0.0, 1.0));
+  }
+  return out;
+}
+
+QoeFeatures QoePredictor::features_from_record(const sim::DriveTestRecord& rec) {
+  QoeFeatures f;
+  for (const auto& m : rec.samples) {
+    f.rsrp.push_back(m.rsrp_dbm);
+    f.rsrq.push_back(m.rsrq_db);
+    f.pos.push_back(m.pos);
+  }
+  return f;
+}
+
+}  // namespace gendt::downstream

@@ -1,0 +1,85 @@
+#include "gendt/geo/geo.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gendt::geo {
+
+double haversine_m(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad, lat2 = b.lat * kDegToRad;
+  const double dlat = lat2 - lat1;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0), s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double bearing_deg(const Enu& a, const Enu& b) {
+  const double deg = std::atan2(b.east - a.east, b.north - a.north) * kRadToDeg;
+  return deg < 0.0 ? deg + 360.0 : deg;
+}
+
+double angle_diff_deg(double a_deg, double b_deg) {
+  double d = std::fmod(std::abs(a_deg - b_deg), 360.0);
+  return d > 180.0 ? 360.0 - d : d;
+}
+
+Trajectory::Trajectory(std::vector<TrajectoryPoint> points) : points_(std::move(points)) {
+  for (size_t i = 1; i < points_.size(); ++i) assert(points_[i].t > points_[i - 1].t);
+}
+
+void Trajectory::push_back(TrajectoryPoint p) {
+  assert(points_.empty() || p.t > points_.back().t);
+  points_.push_back(p);
+}
+
+double Trajectory::duration_s() const {
+  return points_.size() < 2 ? 0.0 : points_.back().t - points_.front().t;
+}
+
+double Trajectory::length_m() const {
+  double len = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i)
+    len += haversine_m(points_[i - 1].pos, points_[i].pos);
+  return len;
+}
+
+double Trajectory::mean_speed_mps() const {
+  const double d = duration_s();
+  return d > 0.0 ? length_m() / d : 0.0;
+}
+
+std::optional<LatLon> Trajectory::at(double t) const {
+  if (points_.empty() || t < points_.front().t || t > points_.back().t) return std::nullopt;
+  auto it = std::lower_bound(points_.begin(), points_.end(), t,
+                             [](const TrajectoryPoint& p, double tv) { return p.t < tv; });
+  if (it == points_.begin()) return it->pos;
+  const TrajectoryPoint& hi = *it;
+  const TrajectoryPoint& lo = *(it - 1);
+  const double f = (t - lo.t) / (hi.t - lo.t);
+  return LatLon{lo.pos.lat + f * (hi.pos.lat - lo.pos.lat),
+                lo.pos.lon + f * (hi.pos.lon - lo.pos.lon)};
+}
+
+Trajectory Trajectory::resample(double period_s) const {
+  assert(period_s > 0.0);
+  Trajectory out;
+  if (points_.empty()) return out;
+  for (double t = points_.front().t; t <= points_.back().t + 1e-9; t += period_s) {
+    auto pos = at(std::min(t, points_.back().t));
+    if (pos) out.push_back({t, *pos});
+  }
+  return out;
+}
+
+Trajectory Trajectory::append(const Trajectory& other, double gap_s) const {
+  Trajectory out = *this;
+  if (other.empty()) return out;
+  const double shift =
+      (out.empty() ? 0.0 : out.back().t + gap_s) - other.front().t +
+      (out.empty() ? 0.0 : 1e-6);  // keep strictly increasing when gap_s == 0
+  for (const auto& p : other.points()) out.push_back({p.t + shift, p.pos});
+  return out;
+}
+
+}  // namespace gendt::geo

@@ -1,0 +1,112 @@
+// Geographic primitives: WGS-84 lat/lon points, a local East-North (ENU)
+// tangent-plane projection, and timestamped trajectories.
+//
+// All distances are metres, all times seconds, all angles degrees unless a
+// name says otherwise.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace gendt::geo {
+
+inline constexpr double kEarthRadiusM = 6371000.0;
+inline constexpr double kDegToRad = M_PI / 180.0;
+inline constexpr double kRadToDeg = 180.0 / M_PI;
+
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Local metric coordinates relative to a projection origin.
+struct Enu {
+  double east = 0.0;
+  double north = 0.0;
+};
+
+inline double hypot2(double dx, double dy) { return std::sqrt(dx * dx + dy * dy); }
+
+/// Great-circle distance (haversine), metres.
+double haversine_m(const LatLon& a, const LatLon& b);
+
+/// Equirectangular local projection around a fixed origin: accurate to well
+/// under 0.1% for the tens-of-km regions drive tests cover.
+class LocalProjection {
+ public:
+  explicit LocalProjection(LatLon origin)
+      : origin_(origin), cos_lat0_(std::cos(origin.lat * kDegToRad)) {}
+
+  Enu to_enu(const LatLon& p) const {
+    return {(p.lon - origin_.lon) * kDegToRad * kEarthRadiusM * cos_lat0_,
+            (p.lat - origin_.lat) * kDegToRad * kEarthRadiusM};
+  }
+  LatLon to_latlon(const Enu& e) const {
+    return {origin_.lat + e.north / kEarthRadiusM * kRadToDeg,
+            origin_.lon + e.east / (kEarthRadiusM * cos_lat0_) * kRadToDeg};
+  }
+  const LatLon& origin() const { return origin_; }
+
+ private:
+  LatLon origin_;
+  double cos_lat0_;
+};
+
+/// Euclidean distance in the local plane, metres.
+inline double distance_m(const Enu& a, const Enu& b) {
+  return hypot2(a.east - b.east, a.north - b.north);
+}
+
+/// Bearing from `a` to `b` in degrees clockwise from north, [0, 360).
+double bearing_deg(const Enu& a, const Enu& b);
+
+/// Smallest absolute angular difference between two bearings, degrees [0,180].
+double angle_diff_deg(double a_deg, double b_deg);
+
+/// One sample of a measurement trajectory.
+struct TrajectoryPoint {
+  double t = 0.0;  // seconds since trajectory start
+  LatLon pos;
+};
+
+/// A timestamped sequence of locations — the paper's notion of "trajectory"
+/// (implicitly encodes mobility). Points must be strictly increasing in t.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<TrajectoryPoint> points);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TrajectoryPoint& operator[](size_t i) const { return points_[i]; }
+  std::span<const TrajectoryPoint> points() const { return points_; }
+  const TrajectoryPoint& front() const { return points_.front(); }
+  const TrajectoryPoint& back() const { return points_.back(); }
+
+  void push_back(TrajectoryPoint p);
+
+  /// Total duration (s); 0 for <2 points.
+  double duration_s() const;
+  /// Total path length (m) along great circles.
+  double length_m() const;
+  /// Mean speed (m/s); 0 for degenerate trajectories.
+  double mean_speed_mps() const;
+
+  /// Position at time t by linear interpolation; nullopt outside [t0, tN].
+  std::optional<LatLon> at(double t) const;
+
+  /// Resample at a fixed period; returns a new trajectory starting at the
+  /// original t0. `period_s` must be > 0.
+  Trajectory resample(double period_s) const;
+
+  /// Concatenate `other` after this one, shifting its times by gap_s after
+  /// this trajectory's end. Used to build multi-scenario routes.
+  Trajectory append(const Trajectory& other, double gap_s = 0.0) const;
+
+ private:
+  std::vector<TrajectoryPoint> points_;
+};
+
+}  // namespace gendt::geo

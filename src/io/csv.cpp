@@ -1,0 +1,234 @@
+#include "gendt/io/csv.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace gendt::io {
+
+namespace {
+thread_local std::string g_last_error;
+
+void set_error(const std::string& path, int line, const std::string& what) {
+  g_last_error = path + ":" + std::to_string(line) + ": " + what;
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  if (!line.empty() && line.back() == ',') out.push_back("");
+  return out;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_int(const std::string& s, long& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+// Reads all non-empty lines; returns false (with error set) on I/O failure.
+bool read_lines(const std::string& path, std::vector<std::string>& lines) {
+  std::ifstream is(path);
+  if (!is) {
+    set_error(path, 0, "cannot open file");
+    return false;
+  }
+  std::string line;
+  while (std::getline(is, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.pop_back();
+    if (!line.empty()) lines.push_back(line);
+  }
+  return true;
+}
+}  // namespace
+
+const std::string& last_error() { return g_last_error; }
+
+// ---- Trajectories ----------------------------------------------------------
+
+bool write_trajectory_csv(const geo::Trajectory& trajectory, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << "t,lat,lon\n";
+  os.precision(10);
+  for (const auto& p : trajectory.points())
+    os << p.t << ',' << p.pos.lat << ',' << p.pos.lon << '\n';
+  return static_cast<bool>(os);
+}
+
+std::optional<geo::Trajectory> read_trajectory_csv(const std::string& path) {
+  std::vector<std::string> lines;
+  if (!read_lines(path, lines)) return std::nullopt;
+  if (lines.empty() || split_csv(lines[0]).size() != 3) {
+    set_error(path, 1, "expected header 't,lat,lon'");
+    return std::nullopt;
+  }
+  geo::Trajectory out;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto f = split_csv(lines[i]);
+    double t, lat, lon;
+    if (f.size() != 3 || !parse_double(f[0], t) || !parse_double(f[1], lat) ||
+        !parse_double(f[2], lon)) {
+      set_error(path, static_cast<int>(i + 1), "malformed trajectory row");
+      return std::nullopt;
+    }
+    if (!out.empty() && t <= out.back().t) {
+      set_error(path, static_cast<int>(i + 1), "timestamps must be strictly increasing");
+      return std::nullopt;
+    }
+    out.push_back({t, {lat, lon}});
+  }
+  return out;
+}
+
+// ---- Drive-test records ----------------------------------------------------
+
+bool write_record_csv(const sim::DriveTestRecord& record, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n";
+  os.precision(10);
+  for (const auto& m : record.samples) {
+    os << m.t << ',' << m.pos.lat << ',' << m.pos.lon << ',' << m.serving_cell << ','
+       << m.rsrp_dbm << ',' << m.rsrq_db << ',' << m.sinr_db << ',' << m.cqi << ','
+       << m.throughput_mbps << ',' << m.per << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<sim::DriveTestRecord> read_record_csv(const std::string& path) {
+  std::vector<std::string> lines;
+  if (!read_lines(path, lines)) return std::nullopt;
+  if (lines.empty() || split_csv(lines[0]).size() != 10) {
+    set_error(path, 1, "expected 10-column record header");
+    return std::nullopt;
+  }
+  sim::DriveTestRecord rec;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto f = split_csv(lines[i]);
+    sim::Measurement m;
+    long serving, cqi;
+    if (f.size() != 10 || !parse_double(f[0], m.t) || !parse_double(f[1], m.pos.lat) ||
+        !parse_double(f[2], m.pos.lon) || !parse_int(f[3], serving) ||
+        !parse_double(f[4], m.rsrp_dbm) || !parse_double(f[5], m.rsrq_db) ||
+        !parse_double(f[6], m.sinr_db) || !parse_int(f[7], cqi) ||
+        !parse_double(f[8], m.throughput_mbps) || !parse_double(f[9], m.per)) {
+      set_error(path, static_cast<int>(i + 1), "malformed record row");
+      return std::nullopt;
+    }
+    m.serving_cell = static_cast<radio::CellId>(serving);
+    m.cqi = static_cast<int>(cqi);
+    rec.samples.push_back(m);
+    rec.trajectory.push_back({m.t, m.pos});
+  }
+  return rec;
+}
+
+// ---- Cell tables -----------------------------------------------------------
+
+bool write_cells_csv(const radio::CellTable& cells, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << "id,lat,lon,p_max_dbm,azimuth_deg,beamwidth_deg,n_rb,earfcn\n";
+  os.precision(10);
+  for (const auto& c : cells.cells()) {
+    os << c.id << ',' << c.site.lat << ',' << c.site.lon << ',' << c.p_max_dbm << ','
+       << c.azimuth_deg << ',' << c.beamwidth_deg << ',' << c.n_rb << ',' << c.earfcn << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<radio::CellTable> read_cells_csv(const std::string& path,
+                                               geo::LatLon projection_origin) {
+  std::vector<std::string> lines;
+  if (!read_lines(path, lines)) return std::nullopt;
+  if (lines.empty() || split_csv(lines[0]).size() != 8) {
+    set_error(path, 1, "expected 8-column cell header");
+    return std::nullopt;
+  }
+  std::vector<radio::Cell> cells;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto f = split_csv(lines[i]);
+    radio::Cell c;
+    long id, n_rb, earfcn;
+    if (f.size() != 8 || !parse_int(f[0], id) || !parse_double(f[1], c.site.lat) ||
+        !parse_double(f[2], c.site.lon) || !parse_double(f[3], c.p_max_dbm) ||
+        !parse_double(f[4], c.azimuth_deg) || !parse_double(f[5], c.beamwidth_deg) ||
+        !parse_int(f[6], n_rb) || !parse_int(f[7], earfcn)) {
+      set_error(path, static_cast<int>(i + 1), "malformed cell row");
+      return std::nullopt;
+    }
+    c.id = static_cast<radio::CellId>(id);
+    c.n_rb = static_cast<int>(n_rb);
+    c.earfcn = static_cast<int>(earfcn);
+    cells.push_back(c);
+  }
+  return radio::CellTable(std::move(cells), projection_origin);
+}
+
+// ---- Generated series ------------------------------------------------------
+
+bool write_series_csv(const core::GeneratedSeries& series,
+                      const std::vector<std::string>& channel_names, const std::string& path,
+                      double t0, double period_s) {
+  if (channel_names.size() != series.channels.size()) return false;
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << "t";
+  for (const auto& n : channel_names) os << ',' << n;
+  os << '\n';
+  os.precision(10);
+  for (size_t i = 0; i < series.length(); ++i) {
+    os << (t0 + static_cast<double>(i) * period_s);
+    for (const auto& ch : series.channels) os << ',' << ch[i];
+    os << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<core::GeneratedSeries> read_series_csv(const std::string& path) {
+  std::vector<std::string> lines;
+  if (!read_lines(path, lines)) return std::nullopt;
+  if (lines.empty()) {
+    set_error(path, 1, "empty series file");
+    return std::nullopt;
+  }
+  const size_t cols = split_csv(lines[0]).size();
+  if (cols < 2) {
+    set_error(path, 1, "expected t plus at least one channel column");
+    return std::nullopt;
+  }
+  core::GeneratedSeries out;
+  out.channels.assign(cols - 1, {});
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto f = split_csv(lines[i]);
+    if (f.size() != cols) {
+      set_error(path, static_cast<int>(i + 1), "column count mismatch");
+      return std::nullopt;
+    }
+    for (size_t c = 1; c < cols; ++c) {
+      double v;
+      if (!parse_double(f[c], v)) {
+        set_error(path, static_cast<int>(i + 1), "malformed numeric field");
+        return std::nullopt;
+      }
+      out.channels[c - 1].push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace gendt::io

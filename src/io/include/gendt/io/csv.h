@@ -1,0 +1,50 @@
+// CSV import/export for the library's data types. This is how a user brings
+// real drive-test measurements, cell tables (e.g. CellMapper exports) and
+// trajectories into GenDT, and how generated series leave it.
+//
+// Formats (header row required, columns in this order):
+//   trajectory:  t,lat,lon
+//   record:      t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,
+//                throughput_mbps,per
+//   cells:       id,lat,lon,p_max_dbm,azimuth_deg,beamwidth_deg,n_rb,earfcn
+//   series:      t,<channel-name>...   (one column per KPI channel)
+//
+// Parsers are strict: any malformed row fails the whole load (returning
+// std::nullopt) with the offending line number recoverable via last_error().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gendt/core/generator.h"
+#include "gendt/sim/drive_test.h"
+
+namespace gendt::io {
+
+/// Human-readable description of the last parse failure on this thread.
+const std::string& last_error();
+
+// ---- Trajectories ----------------------------------------------------------
+bool write_trajectory_csv(const geo::Trajectory& trajectory, const std::string& path);
+std::optional<geo::Trajectory> read_trajectory_csv(const std::string& path);
+
+// ---- Drive-test records ----------------------------------------------------
+bool write_record_csv(const sim::DriveTestRecord& record, const std::string& path);
+std::optional<sim::DriveTestRecord> read_record_csv(const std::string& path);
+
+// ---- Cell tables -----------------------------------------------------------
+bool write_cells_csv(const radio::CellTable& cells, const std::string& path);
+/// `projection_origin` anchors the local ENU frame of the loaded table.
+std::optional<radio::CellTable> read_cells_csv(const std::string& path,
+                                               geo::LatLon projection_origin);
+
+// ---- Generated series ------------------------------------------------------
+/// Writes t plus one column per channel; `t0`/`period_s` synthesize the time
+/// column when the series came from generation windows.
+bool write_series_csv(const core::GeneratedSeries& series,
+                      const std::vector<std::string>& channel_names, const std::string& path,
+                      double t0 = 0.0, double period_s = 1.0);
+std::optional<core::GeneratedSeries> read_series_csv(const std::string& path);
+
+}  // namespace gendt::io

@@ -1,0 +1,49 @@
+// Fidelity metrics from the paper's §5.1 plus the summary statistics its
+// data tables report.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gendt::metrics {
+
+/// Mean absolute error between two equal-length series.
+double mae(std::span<const double> a, std::span<const double> b);
+
+/// Classic O(|a|·|b|) dynamic-time-warping distance with absolute-value
+/// local cost, normalized by the longer length so values are comparable to
+/// MAE. `band` > 0 restricts to a Sakoe-Chiba band of that half-width
+/// (0 = unconstrained).
+double dtw(std::span<const double> a, std::span<const double> b, int band = 0);
+
+/// Histogram over [lo, hi] with `bins` equal-width buckets; out-of-range
+/// values clamp to the edge buckets. Returns densities summing to 1.
+std::vector<double> histogram(std::span<const double> x, double lo, double hi, int bins);
+
+/// 1-D Wasserstein-1 distance between two sample sets (exact, via sorted
+/// samples / quantile coupling).
+double wasserstein1(std::span<const double> a, std::span<const double> b);
+
+/// Histogram Wasserstein Distance (paper §5.1): Wasserstein-1 between the
+/// two empirical distributions, computed over shared histogram support —
+/// equivalent to the area between CDFs on a common grid.
+double hwd(std::span<const double> real, std::span<const double> generated, int bins = 50);
+
+/// Empirical CDF evaluated at the given thresholds.
+std::vector<double> ecdf(std::span<const double> x, std::span<const double> thresholds);
+
+/// Summary statistics used by Tables 1-2.
+struct SeriesStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double roc = 0.0;  // mean |first difference| ("rate of change")
+  size_t n = 0;
+};
+SeriesStats series_stats(std::span<const double> x);
+
+/// Durations between consecutive serving-cell changes, given the serving
+/// cell series and timestamps. Used by the §6.3.2 handover analysis.
+std::vector<double> inter_handover_times(std::span<const double> serving_cell,
+                                         std::span<const double> t);
+
+}  // namespace gendt::metrics

@@ -1,0 +1,150 @@
+#include "gendt/metrics/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace gendt::metrics {
+
+double mae(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+  return s / static_cast<double>(a.size());
+}
+
+double dtw(std::span<const double> a, std::span<const double> b, int band) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Rolling two-row DP.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    size_t j_lo = 1, j_hi = m;
+    if (band > 0) {
+      // Sakoe-Chiba band around the diagonal scaled for unequal lengths.
+      const double diag = static_cast<double>(i) * static_cast<double>(m) / static_cast<double>(n);
+      j_lo = static_cast<size_t>(std::max(1.0, diag - band));
+      j_hi = static_cast<size_t>(std::min(static_cast<double>(m), diag + band));
+    }
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = std::abs(a[i - 1] - b[j - 1]);
+      const double best = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  const double total = prev[m];
+  return total / static_cast<double>(std::max(n, m));
+}
+
+std::vector<double> histogram(std::span<const double> x, double lo, double hi, int bins) {
+  assert(bins > 0 && hi > lo);
+  std::vector<double> h(static_cast<size_t>(bins), 0.0);
+  if (x.empty()) return h;
+  const double width = (hi - lo) / bins;
+  for (double v : x) {
+    int b = static_cast<int>(std::floor((v - lo) / width));
+    b = std::clamp(b, 0, bins - 1);
+    h[static_cast<size_t>(b)] += 1.0;
+  }
+  for (auto& v : h) v /= static_cast<double>(x.size());
+  return h;
+}
+
+double wasserstein1(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::vector<double> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  // Integrate |F_a^{-1}(q) - F_b^{-1}(q)| over q via the merged quantile grid.
+  const size_t n = std::max(sa.size(), sb.size());
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    const double qa = sa[std::min(sa.size() - 1, static_cast<size_t>(q * sa.size()))];
+    const double qb = sb[std::min(sb.size() - 1, static_cast<size_t>(q * sb.size()))];
+    s += std::abs(qa - qb);
+  }
+  return s / static_cast<double>(n);
+}
+
+double hwd(std::span<const double> real, std::span<const double> generated, int bins) {
+  if (real.empty() || generated.empty()) return 0.0;
+  // Common support covering both samples.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : real) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : generated) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;
+  const auto hr = histogram(real, lo, hi, bins);
+  const auto hg = histogram(generated, lo, hi, bins);
+  // W1 between histograms on the bin grid = bin_width * sum |CDF diff|.
+  const double width = (hi - lo) / bins;
+  double cdf_r = 0.0, cdf_g = 0.0, s = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    cdf_r += hr[static_cast<size_t>(b)];
+    cdf_g += hg[static_cast<size_t>(b)];
+    s += std::abs(cdf_r - cdf_g);
+  }
+  return s * width;
+}
+
+std::vector<double> ecdf(std::span<const double> x, std::span<const double> thresholds) {
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double th : thresholds) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), th);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+SeriesStats series_stats(std::span<const double> x) {
+  SeriesStats st;
+  st.n = x.size();
+  if (x.empty()) return st;
+  double s = 0.0, s2 = 0.0;
+  for (double v : x) {
+    s += v;
+    s2 += v * v;
+  }
+  st.mean = s / static_cast<double>(x.size());
+  st.stddev = std::sqrt(std::max(0.0, s2 / static_cast<double>(x.size()) - st.mean * st.mean));
+  if (x.size() > 1) {
+    double roc = 0.0;
+    for (size_t i = 1; i < x.size(); ++i) roc += std::abs(x[i] - x[i - 1]);
+    st.roc = roc / static_cast<double>(x.size() - 1);
+  }
+  return st;
+}
+
+std::vector<double> inter_handover_times(std::span<const double> serving_cell,
+                                         std::span<const double> t) {
+  assert(serving_cell.size() == t.size());
+  std::vector<double> out;
+  double last_change = t.empty() ? 0.0 : t[0];
+  for (size_t i = 1; i < serving_cell.size(); ++i) {
+    if (serving_cell[i] != serving_cell[i - 1]) {
+      out.push_back(t[i] - last_change);
+      last_change = t[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace gendt::metrics

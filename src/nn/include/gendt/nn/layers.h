@@ -1,0 +1,181 @@
+// Neural network layers built on the autograd Tensor.
+//
+// All layers process row vectors (batch dimension fixed at one); sequence
+// models iterate step() over time. Parameters are Tensors with
+// requires_grad=true; params() exposes them for optimizers/serialization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gendt/nn/tensor.h"
+
+namespace gendt::nn {
+
+/// A named trainable parameter reference.
+struct NamedParam {
+  std::string name;
+  Tensor tensor;
+};
+
+/// Interface for anything holding trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual std::vector<NamedParam> params() const = 0;
+  /// Zero the gradient of every parameter.
+  void zero_grad();
+  /// Total scalar parameter count.
+  size_t param_count() const;
+};
+
+/// Fully connected layer: y = x W + b, x is [1 x in].
+class Linear : public Module {
+ public:
+  Linear() = default;
+  Linear(int in_features, int out_features, std::mt19937_64& rng, std::string name = "linear");
+
+  Tensor forward(const Tensor& x) const;
+  std::vector<NamedParam> params() const override;
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+ private:
+  int in_ = 0, out_ = 0;
+  std::string name_;
+  Tensor weight_;  // [in x out]
+  Tensor bias_;    // [1 x out]
+};
+
+/// The ResGen-style MLP trunk: Linear->LeakyReLU repeated, optional dropout
+/// before the final Linear. Dropout stays active when `mc_dropout` is set at
+/// inference time (Monte Carlo dropout for model uncertainty).
+class Mlp : public Module {
+ public:
+  struct Config {
+    std::vector<int> layer_sizes;  // [in, h1, ..., out]
+    double leaky_slope = 0.01;
+    double dropout_p = 0.0;        // applied before the last layer
+  };
+
+  Mlp() = default;
+  Mlp(Config cfg, std::mt19937_64& rng, std::string name = "mlp");
+
+  /// training=true keeps dropout sampling on (also used for MC dropout).
+  Tensor forward(const Tensor& x, std::mt19937_64& rng, bool training) const;
+  std::vector<NamedParam> params() const override;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::vector<Linear> layers_;
+};
+
+/// Noise intensities for the SRNN-style stochastic layer (paper §4.3.4 and
+/// Appendix A.2). Uniform noise in [0, mean(|state|)] is added to the LSTM
+/// hidden state and memory before each step, then the state is rescaled so
+/// the sum over hidden dimensions is preserved.
+struct StochasticConfig {
+  bool enabled = false;
+  double a_h = 2.0;  // hidden-state noise intensity
+  double a_c = 2.0;  // memory noise intensity
+};
+
+/// Single LSTM cell; gates packed as [i, f, g, o].
+class LstmCell : public Module {
+ public:
+  LstmCell() = default;
+  LstmCell(int input_size, int hidden_size, std::mt19937_64& rng, std::string name = "lstm");
+
+  struct State {
+    Tensor h;  // [1 x H]
+    Tensor c;  // [1 x H]
+  };
+  /// Zero initial state.
+  State initial_state() const;
+
+  /// One step: x is [1 x input_size]. If stochastic.enabled, injects the
+  /// sum-preserving uniform noise into h and c before the gate computation.
+  State step(const Tensor& x, const State& prev, const StochasticConfig& stochastic,
+             std::mt19937_64& rng) const;
+  State step(const Tensor& x, const State& prev) const {
+    static std::mt19937_64 unused(0);
+    return step(x, prev, StochasticConfig{}, unused);
+  }
+
+  std::vector<NamedParam> params() const override;
+
+  int input_size() const { return input_; }
+  int hidden_size() const { return hidden_; }
+
+ private:
+  int input_ = 0, hidden_ = 0;
+  std::string name_;
+  Tensor wx_;  // [input x 4H]
+  Tensor wh_;  // [H x 4H]
+  Tensor b_;   // [1 x 4H]
+};
+
+/// Single GRU cell; gates packed as [r, z, n]. A lighter-weight recurrent
+/// unit than LSTM (no separate memory), offered as an alternative backbone
+/// for the node/aggregation networks.
+class GruCell : public Module {
+ public:
+  GruCell() = default;
+  GruCell(int input_size, int hidden_size, std::mt19937_64& rng, std::string name = "gru");
+
+  /// One step: x is [1 x input_size], h is [1 x H]; returns h'.
+  Tensor step(const Tensor& x, const Tensor& h) const;
+  Tensor initial_state() const;
+
+  std::vector<NamedParam> params() const override;
+  int input_size() const { return input_; }
+  int hidden_size() const { return hidden_; }
+
+ private:
+  int input_ = 0, hidden_ = 0;
+  std::string name_;
+  Tensor wx_;  // [input x 3H]
+  Tensor wh_;  // [H x 3H]
+  Tensor b_;   // [1 x 3H]  (input-side biases)
+  Tensor bh_;  // [1 x 3H]  (hidden-side biases, for the candidate gate)
+};
+
+/// Applies the Appendix-A.2 sum-preserving noise to a state row vector:
+/// s' = (s + a*n) * sum(s) / sum(s + a*n), n ~ U[0, mean(|s|)] per dim.
+/// The rescaling factor is treated as a constant w.r.t. gradients.
+Tensor stochastic_perturb(const Tensor& s, double intensity, std::mt19937_64& rng);
+
+/// LSTM + projection head mapping each step's hidden state to an output row.
+/// This is the shape of the GNN-node network, the aggregation network and the
+/// discriminator trunk in GenDT.
+class LstmNetwork : public Module {
+ public:
+  LstmNetwork() = default;
+  LstmNetwork(int input_size, int hidden_size, int output_size, std::mt19937_64& rng,
+              std::string name = "lstm_net");
+
+  /// Runs the full sequence; returns one output row per input row.
+  /// `inputs` is [T x input_size]; output is a vector of T [1 x output] rows.
+  std::vector<Tensor> forward(const std::vector<Tensor>& inputs,
+                              const StochasticConfig& stochastic, std::mt19937_64& rng) const;
+  /// Hidden representations (pre-projection), one [1 x H] per step.
+  std::vector<Tensor> hidden_sequence(const std::vector<Tensor>& inputs,
+                                      const StochasticConfig& stochastic,
+                                      std::mt19937_64& rng) const;
+  Tensor project(const Tensor& h) const { return head_.forward(h); }
+
+  std::vector<NamedParam> params() const override;
+  int hidden_size() const { return cell_.hidden_size(); }
+  int input_size() const { return cell_.input_size(); }
+  int output_size() const { return head_.out_features(); }
+  const LstmCell& cell() const { return cell_; }
+
+ private:
+  LstmCell cell_;
+  Linear head_;
+};
+
+}  // namespace gendt::nn

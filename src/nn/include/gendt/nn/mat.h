@@ -1,0 +1,87 @@
+// Dense row-major double matrix: the storage type underneath the autograd
+// Tensor. Kept deliberately small — only the operations the GenDT networks
+// need — and exception-light: dimension mismatches are programming errors
+// and abort via assert in debug builds.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace gendt::nn {
+
+class Mat {
+ public:
+  Mat() = default;
+  Mat(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Mat zeros(int rows, int cols) { return Mat(rows, cols, 0.0); }
+  static Mat ones(int rows, int cols) { return Mat(rows, cols, 1.0); }
+  static Mat full(int rows, int cols, double v) { return Mat(rows, cols, v); }
+
+  /// Gaussian init, mean 0 / given stddev.
+  static Mat randn(int rows, int cols, std::mt19937_64& rng, double stddev = 1.0);
+  /// Uniform init in [lo, hi).
+  static Mat uniform(int rows, int cols, std::mt19937_64& rng, double lo, double hi);
+  /// Row vector from values.
+  static Mat row(std::span<const double> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Mat& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  double& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  void fill(double v);
+  void set_zero() { fill(0.0); }
+
+  /// In-place axpy: *this += alpha * other (same shape).
+  void add_scaled(const Mat& other, double alpha);
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  Mat transpose() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Mat matmul(const Mat& a, const Mat& b);
+/// C = A * B^T (avoids materializing the transpose).
+Mat matmul_nt(const Mat& a, const Mat& b);
+/// C = A^T * B.
+Mat matmul_tn(const Mat& a, const Mat& b);
+
+Mat operator+(const Mat& a, const Mat& b);
+Mat operator-(const Mat& a, const Mat& b);
+/// Elementwise (Hadamard) product.
+Mat hadamard(const Mat& a, const Mat& b);
+Mat operator*(const Mat& a, double s);
+inline Mat operator*(double s, const Mat& a) { return a * s; }
+
+}  // namespace gendt::nn

@@ -1,0 +1,58 @@
+// First-order optimizers over Module parameters.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "gendt/nn/layers.h"
+
+namespace gendt::nn {
+
+/// Plain SGD with optional gradient clipping (by global L2 norm).
+class Sgd {
+ public:
+  struct Config {
+    double lr = 1e-2;
+    double clip_norm = 0.0;  // 0 disables clipping
+  };
+  explicit Sgd(Config cfg) : cfg_(cfg) {}
+
+  void step(const std::vector<NamedParam>& params);
+
+ private:
+  Config cfg_;
+};
+
+/// Adam (Kingma & Ba). State is keyed on parameter node identity, so a single
+/// optimizer instance can drive several modules.
+class Adam {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double clip_norm = 5.0;  // 0 disables clipping
+  };
+  Adam();  // default config
+  explicit Adam(Config cfg) : cfg_(cfg) {}
+
+  void step(const std::vector<NamedParam>& params);
+  void reset() { state_.clear(); }
+  const Config& config() const { return cfg_; }
+  void set_lr(double lr) { cfg_.lr = lr; }
+
+ private:
+  struct Slot {
+    Mat m;
+    Mat v;
+    long t = 0;
+  };
+  Config cfg_;
+  std::unordered_map<const void*, Slot> state_;
+};
+
+/// Scale gradients in place so their global L2 norm is at most max_norm.
+void clip_grad_norm(const std::vector<NamedParam>& params, double max_norm);
+
+}  // namespace gendt::nn

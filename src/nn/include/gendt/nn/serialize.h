@@ -1,0 +1,19 @@
+// Parameter checkpointing: a simple self-describing binary format
+// ("GDTCKPT1" magic, then name/shape/data records).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gendt/nn/layers.h"
+
+namespace gendt::nn {
+
+/// Write all parameters to `path`. Returns false on I/O failure.
+bool save_params(const std::vector<NamedParam>& params, const std::string& path);
+
+/// Load into matching (name + shape) parameters. Returns false on I/O
+/// failure, unknown format, or any name/shape mismatch.
+bool load_params(const std::vector<NamedParam>& params, const std::string& path);
+
+}  // namespace gendt::nn

@@ -1,0 +1,136 @@
+// Reverse-mode automatic differentiation over Mat values.
+//
+// A Tensor is a cheap value-semantic handle onto a graph node. Operations
+// build a DAG define-by-run; Tensor::backward() topologically sorts the
+// reachable subgraph and propagates gradients into every node with
+// requires_grad set. Nodes that do not require grad are skipped entirely, so
+// pure inference allocates no gradient buffers beyond the node values.
+//
+// The library is sized for GenDT: sequences are processed with a batch
+// dimension of one (row-vector hidden states), so all binary elementwise ops
+// demand identical shapes, and the only broadcast is scalar ops.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gendt/nn/mat.h"
+
+namespace gendt::nn {
+
+namespace detail {
+struct Node {
+  Mat value;
+  Mat grad;                 // allocated lazily, same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates this node's grad into its parents' grads.
+  std::function<void(Node&)> backward_fn;
+
+  void ensure_grad() {
+    if (grad.empty() && !value.empty()) grad = Mat::zeros(value.rows(), value.cols());
+  }
+};
+}  // namespace detail
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Wrap a value. requires_grad marks this as a leaf parameter.
+  explicit Tensor(Mat value, bool requires_grad = false);
+
+  static Tensor zeros(int rows, int cols, bool requires_grad = false);
+  /// Non-differentiable constant (inputs, noise samples, targets).
+  static Tensor constant(Mat value) { return Tensor(std::move(value), false); }
+
+  bool defined() const { return node_ != nullptr; }
+  const Mat& value() const { return node_->value; }
+  Mat& mutable_value() { return node_->value; }
+  const Mat& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+  /// Value of a 1x1 tensor.
+  double item() const {
+    assert(rows() == 1 && cols() == 1);
+    return node_->value(0, 0);
+  }
+
+  /// Zero this node's gradient buffer (for parameters, between steps).
+  /// Const because Tensor is a handle: the node state is shared.
+  void zero_grad() const;
+  /// Run backpropagation from this (scalar, 1x1) node.
+  void backward();
+
+  /// Identity of the underlying node; used as an optimizer state key.
+  const void* id() const { return node_.get(); }
+
+  std::shared_ptr<detail::Node> node() const { return node_; }
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+  friend Tensor make_op(Mat value, std::vector<Tensor> parents,
+                        std::function<void(detail::Node&)> backward_fn);
+};
+
+/// Internal helper: create an op node. Exposed so layer code can define
+/// custom fused ops when profitable.
+Tensor make_op(Mat value, std::vector<Tensor> parents,
+               std::function<void(detail::Node&)> backward_fn);
+
+// ---- Arithmetic -----------------------------------------------------------
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, const Tensor& b);  // elementwise
+Tensor operator*(const Tensor& a, double s);
+inline Tensor operator*(double s, const Tensor& a) { return a * s; }
+Tensor operator+(const Tensor& a, double s);
+inline Tensor operator-(const Tensor& a) { return a * -1.0; }
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Elementwise division a / b.
+Tensor divide(const Tensor& a, const Tensor& b);
+
+// ---- Nonlinearities -------------------------------------------------------
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor leaky_relu(const Tensor& a, double negative_slope = 0.01);
+Tensor exp_t(const Tensor& a);
+Tensor log_t(const Tensor& a);  // requires strictly positive input
+Tensor softplus(const Tensor& a);
+Tensor square(const Tensor& a);
+
+// ---- Shape ----------------------------------------------------------------
+/// Horizontal concatenation of row blocks with equal row counts.
+Tensor concat_cols(const std::vector<Tensor>& parts);
+inline Tensor concat_cols(const Tensor& a, const Tensor& b) { return concat_cols({a, b}); }
+/// Columns [c0, c1).
+Tensor slice_cols(const Tensor& a, int c0, int c1);
+/// Vertical concatenation (equal col counts).
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+// ---- Reductions & losses --------------------------------------------------
+Tensor sum(const Tensor& a);
+Tensor mean(const Tensor& a);
+/// (1/N) sum (a-b)^2.
+Tensor mse_loss(const Tensor& pred, const Tensor& target);
+/// Mean binary cross entropy with logits; targets in {0,1} (constant).
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets);
+/// Mean elementwise Gaussian negative log-likelihood with learned log sigma.
+Tensor gaussian_nll(const Tensor& mu, const Tensor& log_sigma, const Tensor& target);
+
+// ---- Regularization -------------------------------------------------------
+/// Inverted dropout. Identity when !training or p == 0.
+Tensor dropout(const Tensor& a, double p, std::mt19937_64& rng, bool training);
+
+/// Cut the graph: value passes through, gradient stops.
+Tensor detach(const Tensor& a);
+
+// ---- Testing utility ------------------------------------------------------
+/// Central-difference gradient check of `loss_fn` w.r.t. `param`.
+/// Returns max abs difference between analytic and numeric gradient.
+double gradient_check(const std::function<Tensor()>& loss_fn, Tensor param,
+                      double eps = 1e-6);
+
+}  // namespace gendt::nn

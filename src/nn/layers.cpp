@@ -1,0 +1,189 @@
+#include "gendt/nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::nn {
+
+void Module::zero_grad() {
+  for (auto& p : params()) p.tensor.zero_grad();
+}
+
+size_t Module::param_count() const {
+  size_t n = 0;
+  for (const auto& p : params()) n += p.tensor.value().size();
+  return n;
+}
+
+Linear::Linear(int in_features, int out_features, std::mt19937_64& rng, std::string name)
+    : in_(in_features), out_(out_features), name_(std::move(name)) {
+  // Xavier/Glorot init keeps activations in range for tanh/sigmoid heads.
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_features + out_features));
+  weight_ = Tensor(Mat::randn(in_features, out_features, rng, stddev), /*requires_grad=*/true);
+  bias_ = Tensor(Mat::zeros(1, out_features), /*requires_grad=*/true);
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  assert(x.cols() == in_);
+  return matmul(x, weight_) + bias_;
+}
+
+std::vector<NamedParam> Linear::params() const {
+  return {{name_ + ".weight", weight_}, {name_ + ".bias", bias_}};
+}
+
+Mlp::Mlp(Config cfg, std::mt19937_64& rng, std::string name) : cfg_(std::move(cfg)) {
+  assert(cfg_.layer_sizes.size() >= 2);
+  layers_.reserve(cfg_.layer_sizes.size() - 1);
+  for (size_t i = 0; i + 1 < cfg_.layer_sizes.size(); ++i) {
+    layers_.emplace_back(cfg_.layer_sizes[i], cfg_.layer_sizes[i + 1], rng,
+                         name + ".fc" + std::to_string(i));
+  }
+}
+
+Tensor Mlp::forward(const Tensor& x, std::mt19937_64& rng, bool training) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = (i + 1 == layers_.size());
+    if (last && cfg_.dropout_p > 0.0) h = dropout(h, cfg_.dropout_p, rng, training);
+    h = layers_[i].forward(h);
+    if (!last) h = leaky_relu(h, cfg_.leaky_slope);
+  }
+  return h;
+}
+
+std::vector<NamedParam> Mlp::params() const {
+  std::vector<NamedParam> out;
+  for (const auto& l : layers_) {
+    auto p = l.params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+LstmCell::LstmCell(int input_size, int hidden_size, std::mt19937_64& rng, std::string name)
+    : input_(input_size), hidden_(hidden_size), name_(std::move(name)) {
+  const double sx = std::sqrt(1.0 / static_cast<double>(input_size));
+  const double sh = std::sqrt(1.0 / static_cast<double>(hidden_size));
+  wx_ = Tensor(Mat::uniform(input_size, 4 * hidden_size, rng, -sx, sx), true);
+  wh_ = Tensor(Mat::uniform(hidden_size, 4 * hidden_size, rng, -sh, sh), true);
+  Mat b = Mat::zeros(1, 4 * hidden_size);
+  // Forget-gate bias of 1 aids gradient flow on long windows.
+  for (int j = hidden_size; j < 2 * hidden_size; ++j) b(0, j) = 1.0;
+  b_ = Tensor(std::move(b), true);
+}
+
+LstmCell::State LstmCell::initial_state() const {
+  return {Tensor::zeros(1, hidden_), Tensor::zeros(1, hidden_)};
+}
+
+Tensor stochastic_perturb(const Tensor& s, double intensity, std::mt19937_64& rng) {
+  if (intensity <= 0.0) return s;
+  const Mat& v = s.value();
+  // Noise amplitude adapts to the state: U[0, mean(|s|)] per dimension.
+  double mean_abs = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) mean_abs += std::abs(v[i]);
+  mean_abs /= static_cast<double>(v.size());
+  if (mean_abs <= 0.0) return s;
+
+  Mat noise(v.rows(), v.cols());
+  std::uniform_real_distribution<double> dist(0.0, mean_abs);
+  for (size_t i = 0; i < noise.size(); ++i) noise[i] = intensity * dist(rng);
+
+  // Sum-preserving rescale; the scale is a constant w.r.t. the graph.
+  // Clamped: when the signed sums nearly cancel, the raw ratio explodes and
+  // destabilizes both training and generation.
+  const double sum_before = v.sum();
+  const double sum_after = sum_before + noise.sum();
+  double scale = (std::abs(sum_after) > 1e-12) ? sum_before / sum_after : 1.0;
+  scale = std::clamp(scale, 0.5, 2.0);
+  return (s + Tensor::constant(std::move(noise))) * scale;
+}
+
+LstmCell::State LstmCell::step(const Tensor& x, const State& prev,
+                               const StochasticConfig& stochastic, std::mt19937_64& rng) const {
+  assert(x.cols() == input_);
+  Tensor h_in = prev.h;
+  Tensor c_in = prev.c;
+  if (stochastic.enabled) {
+    h_in = stochastic_perturb(h_in, stochastic.a_h, rng);
+    c_in = stochastic_perturb(c_in, stochastic.a_c, rng);
+  }
+  Tensor gates = matmul(x, wx_) + matmul(h_in, wh_) + b_;
+  const int H = hidden_;
+  Tensor i = sigmoid(slice_cols(gates, 0, H));
+  Tensor f = sigmoid(slice_cols(gates, H, 2 * H));
+  Tensor g = tanh_t(slice_cols(gates, 2 * H, 3 * H));
+  Tensor o = sigmoid(slice_cols(gates, 3 * H, 4 * H));
+  Tensor c = f * c_in + i * g;
+  Tensor h = o * tanh_t(c);
+  return {h, c};
+}
+
+std::vector<NamedParam> LstmCell::params() const {
+  return {{name_ + ".wx", wx_}, {name_ + ".wh", wh_}, {name_ + ".b", b_}};
+}
+
+GruCell::GruCell(int input_size, int hidden_size, std::mt19937_64& rng, std::string name)
+    : input_(input_size), hidden_(hidden_size), name_(std::move(name)) {
+  const double sx = std::sqrt(1.0 / static_cast<double>(input_size));
+  const double sh = std::sqrt(1.0 / static_cast<double>(hidden_size));
+  wx_ = Tensor(Mat::uniform(input_size, 3 * hidden_size, rng, -sx, sx), true);
+  wh_ = Tensor(Mat::uniform(hidden_size, 3 * hidden_size, rng, -sh, sh), true);
+  b_ = Tensor(Mat::zeros(1, 3 * hidden_size), true);
+  bh_ = Tensor(Mat::zeros(1, 3 * hidden_size), true);
+}
+
+Tensor GruCell::initial_state() const { return Tensor::zeros(1, hidden_); }
+
+Tensor GruCell::step(const Tensor& x, const Tensor& h) const {
+  assert(x.cols() == input_ && h.cols() == hidden_);
+  const int H = hidden_;
+  Tensor gx = matmul(x, wx_) + b_;
+  Tensor gh = matmul(h, wh_) + bh_;
+  Tensor r = sigmoid(slice_cols(gx, 0, H) + slice_cols(gh, 0, H));
+  Tensor z = sigmoid(slice_cols(gx, H, 2 * H) + slice_cols(gh, H, 2 * H));
+  Tensor n = tanh_t(slice_cols(gx, 2 * H, 3 * H) + r * slice_cols(gh, 2 * H, 3 * H));
+  // h' = (1 - z) * n + z * h
+  return n + z * (h - n);
+}
+
+std::vector<NamedParam> GruCell::params() const {
+  return {{name_ + ".wx", wx_}, {name_ + ".wh", wh_}, {name_ + ".b", b_}, {name_ + ".bh", bh_}};
+}
+
+LstmNetwork::LstmNetwork(int input_size, int hidden_size, int output_size, std::mt19937_64& rng,
+                         std::string name)
+    : cell_(input_size, hidden_size, rng, name + ".cell"),
+      head_(hidden_size, output_size, rng, name + ".head") {}
+
+std::vector<Tensor> LstmNetwork::hidden_sequence(const std::vector<Tensor>& inputs,
+                                                 const StochasticConfig& stochastic,
+                                                 std::mt19937_64& rng) const {
+  std::vector<Tensor> hs;
+  hs.reserve(inputs.size());
+  LstmCell::State state = cell_.initial_state();
+  for (const auto& x : inputs) {
+    state = cell_.step(x, state, stochastic, rng);
+    hs.push_back(state.h);
+  }
+  return hs;
+}
+
+std::vector<Tensor> LstmNetwork::forward(const std::vector<Tensor>& inputs,
+                                         const StochasticConfig& stochastic,
+                                         std::mt19937_64& rng) const {
+  std::vector<Tensor> out;
+  out.reserve(inputs.size());
+  for (const auto& h : hidden_sequence(inputs, stochastic, rng)) out.push_back(head_.forward(h));
+  return out;
+}
+
+std::vector<NamedParam> LstmNetwork::params() const {
+  std::vector<NamedParam> out = cell_.params();
+  auto hp = head_.params();
+  out.insert(out.end(), hp.begin(), hp.end());
+  return out;
+}
+
+}  // namespace gendt::nn

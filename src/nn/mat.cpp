@@ -1,0 +1,128 @@
+#include "gendt/nn/mat.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gendt::nn {
+
+Mat Mat::randn(int rows, int cols, std::mt19937_64& rng, double stddev) {
+  Mat m(rows, cols);
+  std::normal_distribution<double> dist(0.0, stddev);
+  for (auto& v : m.data_) v = dist(rng);
+  return m;
+}
+
+Mat Mat::uniform(int rows, int cols, std::mt19937_64& rng, double lo, double hi) {
+  Mat m(rows, cols);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (auto& v : m.data_) v = dist(rng);
+  return m;
+}
+
+Mat Mat::row(std::span<const double> values) {
+  Mat m(1, static_cast<int>(values.size()));
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+void Mat::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Mat::add_scaled(const Mat& other, double alpha) {
+  assert(same_shape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+double Mat::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Mat::mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size()); }
+
+double Mat::min() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (double v : data_) m = std::min(m, v);
+  return m;
+}
+
+double Mat::max() const {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double v : data_) m = std::max(m, v);
+  return m;
+}
+
+Mat Mat::transpose() const {
+  Mat t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Mat matmul(const Mat& a, const Mat& b) {
+  assert(a.cols() == b.rows());
+  Mat c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Mat matmul_nt(const Mat& a, const Mat& b) {
+  assert(a.cols() == b.cols());
+  Mat c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * b(j, k);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Mat matmul_tn(const Mat& a, const Mat& b) {
+  assert(a.rows() == b.rows());
+  Mat c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
+    }
+  }
+  return c;
+}
+
+Mat operator+(const Mat& a, const Mat& b) {
+  assert(a.same_shape(b));
+  Mat c = a;
+  c.add_scaled(b, 1.0);
+  return c;
+}
+
+Mat operator-(const Mat& a, const Mat& b) {
+  assert(a.same_shape(b));
+  Mat c = a;
+  c.add_scaled(b, -1.0);
+  return c;
+}
+
+Mat hadamard(const Mat& a, const Mat& b) {
+  assert(a.same_shape(b));
+  Mat c(a.rows(), a.cols());
+  for (size_t i = 0; i < c.size(); ++i) c[i] = a[i] * b[i];
+  return c;
+}
+
+Mat operator*(const Mat& a, double s) {
+  Mat c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] *= s;
+  return c;
+}
+
+}  // namespace gendt::nn

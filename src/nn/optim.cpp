@@ -1,0 +1,60 @@
+#include "gendt/nn/optim.h"
+
+#include <cmath>
+
+namespace gendt::nn {
+
+Adam::Adam() : Adam(Config{}) {}
+
+void clip_grad_norm(const std::vector<NamedParam>& params, double max_norm) {
+  if (max_norm <= 0.0) return;
+  double sq = 0.0;
+  for (const auto& p : params) {
+    const Mat& g = p.tensor.grad();
+    for (size_t i = 0; i < g.size(); ++i) sq += g[i] * g[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (const auto& p : params) {
+    // grad() is const-view; mutate through the node.
+    Mat& g = p.tensor.node()->grad;
+    for (size_t i = 0; i < g.size(); ++i) g[i] *= scale;
+  }
+}
+
+void Sgd::step(const std::vector<NamedParam>& params) {
+  clip_grad_norm(params, cfg_.clip_norm);
+  for (const auto& p : params) {
+    Mat& v = p.tensor.node()->value;
+    const Mat& g = p.tensor.grad();
+    if (g.empty()) continue;
+    v.add_scaled(g, -cfg_.lr);
+  }
+}
+
+void Adam::step(const std::vector<NamedParam>& params) {
+  clip_grad_norm(params, cfg_.clip_norm);
+  for (const auto& p : params) {
+    const Mat& g = p.tensor.grad();
+    if (g.empty()) continue;
+    Mat& v = p.tensor.node()->value;
+    Slot& s = state_[p.tensor.id()];
+    if (s.m.empty()) {
+      s.m = Mat::zeros(v.rows(), v.cols());
+      s.v = Mat::zeros(v.rows(), v.cols());
+    }
+    ++s.t;
+    const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(s.t));
+    const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(s.t));
+    for (size_t i = 0; i < v.size(); ++i) {
+      s.m[i] = cfg_.beta1 * s.m[i] + (1.0 - cfg_.beta1) * g[i];
+      s.v[i] = cfg_.beta2 * s.v[i] + (1.0 - cfg_.beta2) * g[i] * g[i];
+      const double mhat = s.m[i] / bc1;
+      const double vhat = s.v[i] / bc2;
+      v[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+    }
+  }
+}
+
+}  // namespace gendt::nn

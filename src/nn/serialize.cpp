@@ -1,0 +1,68 @@
+#include "gendt/nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+namespace gendt::nn {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'D', 'T', 'C', 'K', 'P', 'T', '1'};
+
+void write_u64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool read_u64(std::istream& is, uint64_t& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+}  // namespace
+
+bool save_params(const std::vector<NamedParam>& params, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  write_u64(os, params.size());
+  for (const auto& p : params) {
+    write_u64(os, p.name.size());
+    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const Mat& m = p.tensor.value();
+    write_u64(os, static_cast<uint64_t>(m.rows()));
+    write_u64(os, static_cast<uint64_t>(m.cols()));
+    os.write(reinterpret_cast<const char*>(m.data().data()),
+             static_cast<std::streamsize>(m.size() * sizeof(double)));
+  }
+  return static_cast<bool>(os);
+}
+
+bool load_params(const std::vector<NamedParam>& params, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || !std::equal(magic, magic + 8, kMagic)) return false;
+  uint64_t count = 0;
+  if (!read_u64(is, count)) return false;
+
+  std::unordered_map<std::string, Tensor> by_name;
+  for (const auto& p : params) by_name.emplace(p.name, p.tensor);
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0, rows = 0, cols = 0;
+    if (!read_u64(is, name_len)) return false;
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!read_u64(is, rows) || !read_u64(is, cols)) return false;
+    Mat m(static_cast<int>(rows), static_cast<int>(cols));
+    is.read(reinterpret_cast<char*>(m.data().data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+    if (!is) return false;
+    auto it = by_name.find(name);
+    if (it == by_name.end()) return false;
+    if (!it->second.value().same_shape(m)) return false;
+    it->second.mutable_value() = std::move(m);
+  }
+  return true;
+}
+
+}  // namespace gendt::nn

@@ -1,0 +1,426 @@
+#include "gendt/nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace gendt::nn {
+
+Tensor::Tensor(Mat value, bool requires_grad) : node_(std::make_shared<detail::Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Tensor Tensor::zeros(int rows, int cols, bool requires_grad) {
+  return Tensor(Mat::zeros(rows, cols), requires_grad);
+}
+
+void Tensor::zero_grad() const {
+  if (node_) {
+    node_->ensure_grad();
+    node_->grad.set_zero();
+  }
+}
+
+Tensor make_op(Mat value, std::vector<Tensor> parents,
+               std::function<void(detail::Node&)> backward_fn) {
+  Tensor out(std::move(value), false);
+  bool any_grad = false;
+  out.node_->parents.reserve(parents.size());
+  for (const auto& p : parents) {
+    if (p.defined()) {
+      any_grad = any_grad || p.node()->requires_grad;
+      out.node_->parents.push_back(p.node());
+    }
+  }
+  if (any_grad) {
+    out.node_->requires_grad = true;
+    out.node_->backward_fn = std::move(backward_fn);
+  } else {
+    out.node_->parents.clear();  // pure-inference subgraphs free eagerly
+  }
+  return out;
+}
+
+void Tensor::backward() {
+  assert(defined() && rows() == 1 && cols() == 1);
+  if (!node_->requires_grad) return;
+
+  // Topological order over nodes that require grad.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  std::vector<std::pair<detail::Node*, size_t>> stack;  // node, next-parent idx
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, idx] = stack.back();
+    if (idx < n->parents.size()) {
+      detail::Node* p = n->parents[idx++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // order is now children-after-parents; reverse for backprop.
+  std::reverse(order.begin(), order.end());
+
+  for (detail::Node* n : order) n->ensure_grad();
+  node_->grad(0, 0) = 1.0;
+  for (detail::Node* n : order) {
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+namespace {
+// Accumulate g into parent's grad if it participates in autograd.
+void accum(const std::shared_ptr<detail::Node>& p, const Mat& g) {
+  if (!p->requires_grad) return;
+  p->ensure_grad();
+  p->grad.add_scaled(g, 1.0);
+}
+
+Tensor unary_ew(const Tensor& a, const std::function<double(double)>& f,
+                const std::function<double(double, double)>& dfdx_of_x_y) {
+  const Mat& x = a.value();
+  Mat y(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = f(x[i]);
+  auto an = a.node();
+  return make_op(std::move(y), {a}, [an, dfdx_of_x_y](detail::Node& out) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (size_t i = 0; i < out.value.size(); ++i)
+      an->grad[i] += out.grad[i] * dfdx_of_x_y(an->value[i], out.value[i]);
+  });
+}
+}  // namespace
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  auto an = a.node(), bn = b.node();
+  return make_op(a.value() + b.value(), {a, b}, [an, bn](detail::Node& out) {
+    accum(an, out.grad);
+    accum(bn, out.grad);
+  });
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  auto an = a.node(), bn = b.node();
+  return make_op(a.value() - b.value(), {a, b}, [an, bn](detail::Node& out) {
+    accum(an, out.grad);
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      bn->grad.add_scaled(out.grad, -1.0);
+    }
+  });
+}
+
+Tensor operator*(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  auto an = a.node(), bn = b.node();
+  return make_op(hadamard(a.value(), b.value()), {a, b}, [an, bn](detail::Node& out) {
+    if (an->requires_grad) accum(an, hadamard(out.grad, bn->value));
+    if (bn->requires_grad) accum(bn, hadamard(out.grad, an->value));
+  });
+}
+
+Tensor operator*(const Tensor& a, double s) {
+  auto an = a.node();
+  return make_op(a.value() * s, {a}, [an, s](detail::Node& out) {
+    if (an->requires_grad) accum(an, out.grad * s);
+  });
+}
+
+Tensor operator+(const Tensor& a, double s) {
+  Mat v = a.value();
+  for (size_t i = 0; i < v.size(); ++i) v[i] += s;
+  auto an = a.node();
+  return make_op(std::move(v), {a}, [an](detail::Node& out) { accum(an, out.grad); });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  auto an = a.node(), bn = b.node();
+  return make_op(matmul(a.value(), b.value()), {a, b}, [an, bn](detail::Node& out) {
+    // dA = dC * B^T ; dB = A^T * dC
+    if (an->requires_grad) accum(an, matmul_nt(out.grad, bn->value));
+    if (bn->requires_grad) accum(bn, matmul_tn(an->value, out.grad));
+  });
+}
+
+Tensor divide(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  Mat v(a.rows(), a.cols());
+  for (size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] / b.value()[i];
+  auto an = a.node(), bn = b.node();
+  return make_op(std::move(v), {a, b}, [an, bn](detail::Node& out) {
+    if (an->requires_grad) {
+      an->ensure_grad();
+      for (size_t i = 0; i < out.value.size(); ++i)
+        an->grad[i] += out.grad[i] / bn->value[i];
+    }
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      for (size_t i = 0; i < out.value.size(); ++i)
+        bn->grad[i] -= out.grad[i] * an->value[i] / (bn->value[i] * bn->value[i]);
+    }
+  });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_ew(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  return unary_ew(
+      a, [](double x) { return std::tanh(x); },
+      [](double, double y) { return 1.0 - y * y; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_ew(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Tensor leaky_relu(const Tensor& a, double negative_slope) {
+  return unary_ew(
+      a, [negative_slope](double x) { return x > 0.0 ? x : negative_slope * x; },
+      [negative_slope](double x, double) { return x > 0.0 ? 1.0 : negative_slope; });
+}
+
+Tensor exp_t(const Tensor& a) {
+  return unary_ew(
+      a, [](double x) { return std::exp(x); }, [](double, double y) { return y; });
+}
+
+Tensor log_t(const Tensor& a) {
+  return unary_ew(
+      a, [](double x) { return std::log(x); }, [](double x, double) { return 1.0 / x; });
+}
+
+Tensor softplus(const Tensor& a) {
+  return unary_ew(
+      a,
+      [](double x) { return x > 30.0 ? x : std::log1p(std::exp(x)); },
+      [](double x, double) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_ew(
+      a, [](double x) { return x * x; }, [](double x, double) { return 2.0 * x; });
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  assert(!parts.empty());
+  const int rows = parts.front().rows();
+  int cols = 0;
+  for (const auto& p : parts) {
+    assert(p.rows() == rows);
+    cols += p.cols();
+  }
+  Mat v(rows, cols);
+  int off = 0;
+  for (const auto& p : parts) {
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < p.cols(); ++c) v(r, off + c) = p.value()(r, c);
+    off += p.cols();
+  }
+  std::vector<std::shared_ptr<detail::Node>> pn;
+  pn.reserve(parts.size());
+  for (const auto& p : parts) pn.push_back(p.node());
+  return make_op(std::move(v), parts, [pn](detail::Node& out) {
+    int off2 = 0;
+    for (const auto& p : pn) {
+      const int pc = p->value.cols();
+      if (p->requires_grad) {
+        p->ensure_grad();
+        for (int r = 0; r < p->value.rows(); ++r)
+          for (int c = 0; c < pc; ++c) p->grad(r, c) += out.grad(r, off2 + c);
+      }
+      off2 += pc;
+    }
+  });
+}
+
+Tensor slice_cols(const Tensor& a, int c0, int c1) {
+  assert(c0 >= 0 && c0 < c1 && c1 <= a.cols());
+  Mat v(a.rows(), c1 - c0);
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = c0; c < c1; ++c) v(r, c - c0) = a.value()(r, c);
+  auto an = a.node();
+  return make_op(std::move(v), {a}, [an, c0](detail::Node& out) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (int r = 0; r < out.value.rows(); ++r)
+      for (int c = 0; c < out.value.cols(); ++c) an->grad(r, c0 + c) += out.grad(r, c);
+  });
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  assert(!parts.empty());
+  const int cols = parts.front().cols();
+  int rows = 0;
+  for (const auto& p : parts) {
+    assert(p.cols() == cols);
+    rows += p.rows();
+  }
+  Mat v(rows, cols);
+  int off = 0;
+  for (const auto& p : parts) {
+    for (int r = 0; r < p.rows(); ++r)
+      for (int c = 0; c < cols; ++c) v(off + r, c) = p.value()(r, c);
+    off += p.rows();
+  }
+  std::vector<std::shared_ptr<detail::Node>> pn;
+  pn.reserve(parts.size());
+  for (const auto& p : parts) pn.push_back(p.node());
+  return make_op(std::move(v), parts, [pn](detail::Node& out) {
+    int off2 = 0;
+    for (const auto& p : pn) {
+      const int pr = p->value.rows();
+      if (p->requires_grad) {
+        p->ensure_grad();
+        for (int r = 0; r < pr; ++r)
+          for (int c = 0; c < p->value.cols(); ++c) p->grad(r, c) += out.grad(off2 + r, c);
+      }
+      off2 += pr;
+    }
+  });
+}
+
+Tensor sum(const Tensor& a) {
+  Mat v(1, 1);
+  v(0, 0) = a.value().sum();
+  auto an = a.node();
+  return make_op(std::move(v), {a}, [an](detail::Node& out) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    const double g = out.grad(0, 0);
+    for (size_t i = 0; i < an->grad.size(); ++i) an->grad[i] += g;
+  });
+}
+
+Tensor mean(const Tensor& a) {
+  const double n = static_cast<double>(a.value().size());
+  return sum(a) * (1.0 / n);
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  assert(pred.value().same_shape(target.value()));
+  const size_t n = pred.value().size();
+  Mat v(1, 1);
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = pred.value()[i] - target.value()[i];
+    s += d * d;
+  }
+  v(0, 0) = s / static_cast<double>(n);
+  auto pn = pred.node(), tn = target.node();
+  return make_op(std::move(v), {pred, target}, [pn, tn, n](detail::Node& out) {
+    const double g = out.grad(0, 0) * 2.0 / static_cast<double>(n);
+    if (pn->requires_grad) {
+      pn->ensure_grad();
+      for (size_t i = 0; i < n; ++i) pn->grad[i] += g * (pn->value[i] - tn->value[i]);
+    }
+    if (tn->requires_grad) {
+      tn->ensure_grad();
+      for (size_t i = 0; i < n; ++i) tn->grad[i] -= g * (pn->value[i] - tn->value[i]);
+    }
+  });
+}
+
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  assert(logits.value().same_shape(targets.value()));
+  const size_t n = logits.value().size();
+  Mat v(1, 1);
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = logits.value()[i];
+    const double t = targets.value()[i];
+    // Numerically stable: max(x,0) - x*t + log(1+exp(-|x|))
+    s += std::max(x, 0.0) - x * t + std::log1p(std::exp(-std::abs(x)));
+  }
+  v(0, 0) = s / static_cast<double>(n);
+  auto ln = logits.node(), tn = targets.node();
+  return make_op(std::move(v), {logits, targets}, [ln, tn, n](detail::Node& out) {
+    if (!ln->requires_grad) return;
+    ln->ensure_grad();
+    const double g = out.grad(0, 0) / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double p = 1.0 / (1.0 + std::exp(-ln->value[i]));
+      ln->grad[i] += g * (p - tn->value[i]);
+    }
+  });
+}
+
+Tensor gaussian_nll(const Tensor& mu, const Tensor& log_sigma, const Tensor& target) {
+  assert(mu.value().same_shape(target.value()));
+  assert(mu.value().same_shape(log_sigma.value()));
+  const size_t n = mu.value().size();
+  Mat v(1, 1);
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double ls = log_sigma.value()[i];
+    const double d = target.value()[i] - mu.value()[i];
+    s += ls + 0.5 * d * d * std::exp(-2.0 * ls);
+  }
+  v(0, 0) = s / static_cast<double>(n);
+  auto mn = mu.node(), sn = log_sigma.node(), tn = target.node();
+  return make_op(std::move(v), {mu, log_sigma, target}, [mn, sn, tn, n](detail::Node& out) {
+    const double g = out.grad(0, 0) / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double ls = sn->value[i];
+      const double inv_var = std::exp(-2.0 * ls);
+      const double d = tn->value[i] - mn->value[i];
+      if (mn->requires_grad) {
+        mn->ensure_grad();
+        mn->grad[i] += g * (-d * inv_var);
+      }
+      if (sn->requires_grad) {
+        sn->ensure_grad();
+        sn->grad[i] += g * (1.0 - d * d * inv_var);
+      }
+    }
+  });
+}
+
+Tensor dropout(const Tensor& a, double p, std::mt19937_64& rng, bool training) {
+  if (!training || p <= 0.0) return a;
+  assert(p < 1.0);
+  Mat mask(a.rows(), a.cols());
+  std::bernoulli_distribution keep(1.0 - p);
+  const double scale = 1.0 / (1.0 - p);
+  for (size_t i = 0; i < mask.size(); ++i) mask[i] = keep(rng) ? scale : 0.0;
+  return a * Tensor::constant(std::move(mask));
+}
+
+Tensor detach(const Tensor& a) { return Tensor::constant(a.value()); }
+
+double gradient_check(const std::function<Tensor()>& loss_fn, Tensor param, double eps) {
+  Tensor loss = loss_fn();
+  param.zero_grad();
+  loss.backward();
+  Mat analytic = param.grad();
+
+  double max_diff = 0.0;
+  Mat& v = param.mutable_value();
+  for (size_t i = 0; i < v.size(); ++i) {
+    const double orig = v[i];
+    v[i] = orig + eps;
+    const double lp = loss_fn().item();
+    v[i] = orig - eps;
+    const double lm = loss_fn().item();
+    v[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    max_diff = std::max(max_diff, std::abs(numeric - analytic[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace gendt::nn

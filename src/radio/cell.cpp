@@ -1,0 +1,45 @@
+#include "gendt/radio/cell.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::radio {
+
+double sector_gain_db(double bearing_to_ue_deg, double azimuth_deg, double beamwidth_deg) {
+  constexpr double kMaxAttenuationDb = 25.0;
+  const double phi = geo::angle_diff_deg(bearing_to_ue_deg, azimuth_deg);
+  const double att = 12.0 * (phi / beamwidth_deg) * (phi / beamwidth_deg);
+  return -std::min(att, kMaxAttenuationDb);
+}
+
+CellTable::CellTable(std::vector<Cell> cells, geo::LatLon projection_origin)
+    : cells_(std::move(cells)), proj_(projection_origin) {
+  site_enu_.reserve(cells_.size());
+  for (const auto& c : cells_) site_enu_.push_back(proj_.to_enu(c.site));
+}
+
+const Cell* CellTable::find(CellId id) const {
+  const int i = index_of(id);
+  return i >= 0 ? &cells_[static_cast<size_t>(i)] : nullptr;
+}
+
+int CellTable::index_of(CellId id) const {
+  for (size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].id == id) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<int> CellTable::cells_within(const geo::Enu& pos, double radius_m) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (geo::distance_m(pos, site_enu_[i]) <= radius_m) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+double CellTable::density_per_km2(const geo::Enu& pos, double radius_m) const {
+  const double area_km2 = M_PI * radius_m * radius_m / 1e6;
+  return static_cast<double>(cells_within(pos, radius_m).size()) / area_km2;
+}
+
+}  // namespace gendt::radio

@@ -1,0 +1,62 @@
+// Cell sites and sector antennas. A "cell" here matches the paper's network
+// context unit: one sector at a site, described by location, max transmit
+// power and boresight direction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gendt/geo/geo.h"
+
+namespace gendt::radio {
+
+using CellId = int32_t;
+inline constexpr CellId kNoCell = -1;
+
+struct Cell {
+  CellId id = kNoCell;
+  geo::LatLon site;       // tower location
+  double p_max_dbm = 46.0;   // max transmit power (typ. macro: 43-46 dBm)
+  double azimuth_deg = 0.0;  // sector boresight, clockwise from north
+  double beamwidth_deg = 65.0;  // 3 dB horizontal beamwidth
+  int n_rb = 50;             // resource blocks (10 MHz carrier)
+  int earfcn = 1300;         // carrier id; cells on the same EARFCN interfere
+};
+
+/// 3GPP TR 36.814 style horizontal sector pattern:
+/// A(phi) = -min(12 * (phi/phi_3dB)^2, A_max) with A_max = 25 dB (plus a
+/// small constant boresight gain handled by the caller via p_max).
+double sector_gain_db(double bearing_to_ue_deg, double azimuth_deg, double beamwidth_deg);
+
+/// Table of all deployed cells with spatial lookup.
+class CellTable {
+ public:
+  CellTable() = default;
+  explicit CellTable(std::vector<Cell> cells, geo::LatLon projection_origin);
+
+  size_t size() const { return cells_.size(); }
+  bool empty() const { return cells_.empty(); }
+  const Cell& operator[](size_t i) const { return cells_[i]; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const geo::LocalProjection& projection() const { return proj_; }
+  const geo::Enu& site_enu(size_t i) const { return site_enu_[i]; }
+
+  /// Find cell by id; nullptr if unknown.
+  const Cell* find(CellId id) const;
+  /// Index of cell by id; -1 if unknown.
+  int index_of(CellId id) const;
+
+  /// Indices of cells within `radius_m` of the given position — the paper's
+  /// "visible cells within d_s" network context (Fig. 3).
+  std::vector<int> cells_within(const geo::Enu& pos, double radius_m) const;
+
+  /// Cell count per km^2 within `radius_m` of pos (paper Fig. 4 metric).
+  double density_per_km2(const geo::Enu& pos, double radius_m) const;
+
+ private:
+  std::vector<Cell> cells_;
+  std::vector<geo::Enu> site_enu_;
+  geo::LocalProjection proj_{geo::LatLon{}};
+};
+
+}  // namespace gendt::radio

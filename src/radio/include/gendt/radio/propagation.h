@@ -1,0 +1,82 @@
+// Radio propagation models used by the drive-test simulator: clutter-aware
+// empirical pathloss plus spatially correlated log-normal shadowing.
+#pragma once
+
+#include <random>
+
+#include "gendt/geo/geo.h"
+
+namespace gendt::radio {
+
+/// Clutter classes mirroring the land-use categories that matter for
+/// propagation (the simulator maps its 12 land-use types onto these).
+enum class Clutter {
+  kOpen,        // fields, water, barren
+  kSuburban,    // low/very-low density urban, green urban
+  kUrban,       // medium/high density urban
+  kDenseUrban,  // continuous urban, high-rise commercial
+};
+
+struct PathlossParams {
+  double frequency_mhz = 1800.0;
+  double base_station_height_m = 30.0;
+  double ue_height_m = 1.5;
+};
+
+/// COST-231 Hata median pathloss (dB) for the given clutter class.
+/// Valid for 1500-2000 MHz, distances clamped to >= 20 m.
+double pathloss_cost231_db(double distance_m, Clutter clutter,
+                           const PathlossParams& params = PathlossParams{});
+
+/// Simple log-distance model: PL = pl0 + 10*n*log10(d/d0).
+double pathloss_log_distance_db(double distance_m, double exponent, double pl0_db = 58.0,
+                                double d0_m = 10.0);
+
+/// Spatially correlated log-normal shadowing (Gudmundson 1991): correlation
+/// between two points distance d apart is exp(-d / d_corr). Implemented as a
+/// per-cell Gauss-Markov process driven by the distance the UE moved since
+/// the previous sample, so repeated traversals of a route decorrelate while
+/// nearby samples in one pass stay correlated.
+class ShadowingProcess {
+ public:
+  ShadowingProcess(double sigma_db, double decorrelation_m, uint64_t seed);
+
+  /// Shadowing value (dB) at a new position `moved_m` metres from the
+  /// previous sample. First call draws from the stationary distribution.
+  double next(double moved_m);
+
+  /// Forget correlation state (e.g. new trajectory).
+  void reset();
+
+  double sigma_db() const { return sigma_db_; }
+
+ private:
+  double sigma_db_;
+  double decorr_m_;
+  std::mt19937_64 rng_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  bool has_prev_ = false;
+  double prev_db_ = 0.0;
+};
+
+/// Deterministic spatial shadowing field: a fixed pseudo-random function of
+/// (cell, position) built from smoothed lattice noise. Unlike
+/// ShadowingProcess this gives the *same* obstruction at the same place on
+/// every visit — modelling buildings/terrain — while ShadowingProcess models
+/// visit-to-visit variation. The simulator sums both.
+class ShadowingField {
+ public:
+  ShadowingField(double sigma_db, double grid_m, uint64_t seed)
+      : sigma_db_(sigma_db), grid_m_(grid_m), seed_(seed) {}
+
+  /// Value (dB) for a cell at a location; smooth in `pos`.
+  double at(int cell_index, const geo::Enu& pos) const;
+
+ private:
+  double lattice(int cell_index, long ix, long iy) const;
+  double sigma_db_;
+  double grid_m_;
+  uint64_t seed_;
+};
+
+}  // namespace gendt::radio

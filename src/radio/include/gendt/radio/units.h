@@ -1,0 +1,51 @@
+// dB/linear conversions and LTE KPI relations from the paper's §2.2.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::radio {
+
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+inline double dbm_to_mw(double dbm) { return db_to_linear(dbm); }
+inline double mw_to_dbm(double mw) { return linear_to_db(mw); }
+
+/// LTE KPI plausible ranges used for clamping and normalization.
+inline constexpr double kRsrpGoodDbm = -44.0;
+inline constexpr double kRsrpBadDbm = -140.0;
+inline constexpr double kRsrqGoodDb = -3.0;
+inline constexpr double kRsrqBadDb = -19.5;
+inline constexpr int kCqiMin = 1;
+inline constexpr int kCqiMax = 15;
+
+/// RSRP(dBm) = RSSI(dBm) - 10*log10(12 * N_RB)  (paper §2.2).
+inline double rsrp_from_rssi_dbm(double rssi_dbm, int n_rb) {
+  return rssi_dbm - 10.0 * std::log10(12.0 * n_rb);
+}
+inline double rssi_from_rsrp_dbm(double rsrp_dbm, int n_rb) {
+  return rsrp_dbm + 10.0 * std::log10(12.0 * n_rb);
+}
+
+/// RSRQ(dB) = 10*log10(N_RB * RSRP_lin / RSSI_lin) — the standard 3GPP form
+/// of the paper's RSRQ relation in linear units.
+inline double rsrq_db(double rsrp_dbm, double rssi_dbm, int n_rb) {
+  return 10.0 * std::log10(static_cast<double>(n_rb)) + rsrp_dbm - rssi_dbm;
+}
+
+inline double clamp_rsrp(double dbm) { return std::clamp(dbm, kRsrpBadDbm, kRsrpGoodDbm); }
+inline double clamp_rsrq(double db) { return std::clamp(db, kRsrqBadDb, kRsrqGoodDb); }
+
+/// SINR (dB) -> CQI index per a standard LTE link-level mapping: roughly one
+/// CQI step per 2 dB, CQI 1 at about -6 dB, CQI 15 from about 20 dB up.
+int cqi_from_sinr_db(double sinr_db);
+
+/// CQI -> spectral efficiency (bits/s/Hz) per 3GPP 36.213 Table 7.2.3-1.
+double spectral_efficiency_from_cqi(int cqi);
+
+/// Transport block error probability for a given SINR when transmitting at
+/// the MCS chosen for `cqi`: a logistic waterfall centred where the CQI's
+/// SNR requirement sits. Used by the simulator's PER ground truth.
+double block_error_rate(double sinr_db, int cqi);
+
+}  // namespace gendt::radio

@@ -1,0 +1,96 @@
+#include "gendt/radio/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::radio {
+
+double pathloss_cost231_db(double distance_m, Clutter clutter, const PathlossParams& p) {
+  const double d_km = std::max(distance_m, 20.0) / 1000.0;
+  const double f = p.frequency_mhz;
+  const double hb = p.base_station_height_m;
+  const double hm = p.ue_height_m;
+
+  // Mobile antenna correction for medium/small city.
+  const double a_hm = (1.1 * std::log10(f) - 0.7) * hm - (1.56 * std::log10(f) - 0.8);
+  // Metropolitan correction constant.
+  const double cm = (clutter == Clutter::kDenseUrban) ? 3.0 : 0.0;
+
+  double pl = 46.3 + 33.9 * std::log10(f) - 13.82 * std::log10(hb) - a_hm +
+              (44.9 - 6.55 * std::log10(hb)) * std::log10(d_km) + cm;
+
+  // Standard suburban/open-area offsets relative to the urban median.
+  switch (clutter) {
+    case Clutter::kOpen:
+      pl -= 18.0;
+      break;
+    case Clutter::kSuburban:
+      pl -= 8.0;
+      break;
+    case Clutter::kUrban:
+    case Clutter::kDenseUrban:
+      break;
+  }
+  return pl;
+}
+
+double pathloss_log_distance_db(double distance_m, double exponent, double pl0_db, double d0_m) {
+  const double d = std::max(distance_m, d0_m);
+  return pl0_db + 10.0 * exponent * std::log10(d / d0_m);
+}
+
+ShadowingProcess::ShadowingProcess(double sigma_db, double decorrelation_m, uint64_t seed)
+    : sigma_db_(sigma_db), decorr_m_(decorrelation_m), rng_(seed) {}
+
+double ShadowingProcess::next(double moved_m) {
+  if (!has_prev_) {
+    prev_db_ = sigma_db_ * normal_(rng_);
+    has_prev_ = true;
+    return prev_db_;
+  }
+  const double rho = std::exp(-std::max(moved_m, 0.0) / decorr_m_);
+  prev_db_ = rho * prev_db_ + sigma_db_ * std::sqrt(1.0 - rho * rho) * normal_(rng_);
+  return prev_db_;
+}
+
+void ShadowingProcess::reset() { has_prev_ = false; }
+
+double ShadowingField::lattice(int cell_index, long ix, long iy) const {
+  // SplitMix64-style hash of (seed, cell, lattice cell) -> N(0,1)-ish value
+  // via the sum of two uniforms (triangular, std ~ sqrt(1/6)*2) scaled up.
+  uint64_t h = seed_;
+  auto mix = [&h](uint64_t v) {
+    h += 0x9e3779b97f4a7c15ULL + v;
+    uint64_t z = h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+    return h;
+  };
+  mix(static_cast<uint64_t>(cell_index) + 1);
+  mix(static_cast<uint64_t>(ix) * 2654435761ULL + 12345);
+  const uint64_t r = mix(static_cast<uint64_t>(iy) * 40503ULL + 6789);
+  const double u1 = static_cast<double>(r >> 32) / 4294967296.0;
+  const double u2 = static_cast<double>(r & 0xffffffffULL) / 4294967296.0;
+  // Sum of 2 uniforms centred: mean 0, std sqrt(2/12); scale to unit std.
+  return ((u1 + u2) - 1.0) / std::sqrt(2.0 / 12.0);
+}
+
+double ShadowingField::at(int cell_index, const geo::Enu& pos) const {
+  // Bilinear interpolation over the lattice -> smooth field.
+  const double gx = pos.east / grid_m_;
+  const double gy = pos.north / grid_m_;
+  const long x0 = static_cast<long>(std::floor(gx));
+  const long y0 = static_cast<long>(std::floor(gy));
+  const double fx = gx - static_cast<double>(x0);
+  const double fy = gy - static_cast<double>(y0);
+  const double v00 = lattice(cell_index, x0, y0);
+  const double v10 = lattice(cell_index, x0 + 1, y0);
+  const double v01 = lattice(cell_index, x0, y0 + 1);
+  const double v11 = lattice(cell_index, x0 + 1, y0 + 1);
+  const double v = v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) + v01 * (1 - fx) * fy +
+                   v11 * fx * fy;
+  return sigma_db_ * v;
+}
+
+}  // namespace gendt::radio

@@ -1,0 +1,33 @@
+#include "gendt/radio/units.h"
+
+#include <array>
+
+namespace gendt::radio {
+
+int cqi_from_sinr_db(double sinr_db) {
+  // Linear map: CQI 1 at <= -6 dB, one step per ~1.9 dB, CQI 15 at >= 20.6 dB.
+  const double cqi = 1.0 + (sinr_db + 6.0) / 1.9;
+  return std::clamp(static_cast<int>(std::floor(cqi)), kCqiMin, kCqiMax);
+}
+
+double spectral_efficiency_from_cqi(int cqi) {
+  // 3GPP TS 36.213 Table 7.2.3-1 (CQI index -> efficiency, bits/s/Hz).
+  static constexpr std::array<double, 16> kEff = {
+      0.0,     0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766,
+      1.9141, 2.4063, 2.7305, 3.3223, 3.9023, 4.5234, 5.1152, 5.5547};
+  const int idx = std::clamp(cqi, 0, 15);
+  return kEff[static_cast<size_t>(idx)];
+}
+
+double block_error_rate(double sinr_db, int cqi) {
+  // SNR (dB) at which each CQI's MCS hits ~10% BLER (the CQI definition
+  // point), consistent with the cqi_from_sinr_db mapping above.
+  const double snr_req_db = -6.0 + 1.9 * (std::clamp(cqi, kCqiMin, kCqiMax) - 1);
+  // Logistic waterfall: ~0.5 at 1.5 dB below requirement, ~0.1 at the
+  // requirement, dropping steeply above it.
+  const double margin = sinr_db - snr_req_db;
+  const double bler = 1.0 / (1.0 + std::exp(1.5 * (margin + 1.5)));
+  return std::clamp(bler, 0.0, 1.0);
+}
+
+}  // namespace gendt::radio

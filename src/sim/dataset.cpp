@@ -1,0 +1,153 @@
+#include "gendt/sim/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::sim {
+
+size_t Dataset::total_samples() const {
+  size_t n = 0;
+  for (const auto& r : train) n += r.samples.size();
+  for (const auto& r : test) n += r.samples.size();
+  return n;
+}
+
+namespace {
+
+RegionConfig region_a(uint64_t seed) {
+  RegionConfig r;
+  r.origin = {55.95, -3.19};  // single mid-size city, "country A"
+  r.extent_m = 8000.0;
+  r.cities.push_back({{0.0, 0.0}, 3500.0});
+  r.seed = seed;
+  return r;
+}
+
+RegionConfig region_b(uint64_t seed) {
+  RegionConfig r;
+  r.origin = {51.51, 7.47};  // Dortmund-like multi-city region
+  r.extent_m = 24000.0;
+  // Heterogeneous deployments: training covers cities 0-1; the long complex
+  // route also crosses the sparse city 2 and the dense city 3, giving the
+  // §6.1.3 distribution shift between training and the complex route.
+  r.cities.push_back({{0.0, 0.0}, 4500.0, 1.0});          // city 0 (centre)
+  r.cities.push_back({{-15000.0, 9000.0}, 3200.0, 1.0});  // city 1
+  r.cities.push_back({{14000.0, 11000.0}, 3000.0, 0.45}); // city 2 (sparse)
+  r.cities.push_back({{9000.0, -14000.0}, 2800.0, 2.0});  // city 3 (dense)
+  r.highways.push_back({{{-1500.0, 2500.0},
+                         {-6000.0, 5000.0},
+                         {-11000.0, 7500.0},
+                         {-15000.0, 9000.0}}});
+  r.highways.push_back({{{2000.0, 2500.0},
+                         {7000.0, 6500.0},
+                         {11000.0, 9000.0},
+                         {14000.0, 11000.0}}});
+  r.highways.push_back({{{2000.0, -2500.0},
+                         {5000.0, -8000.0},
+                         {9000.0, -14000.0}}});
+  r.seed = seed;
+  return r;
+}
+
+Dataset build(const RegionConfig& region, const std::vector<Scenario>& scenarios,
+              const std::vector<Kpi>& kpis, const DatasetScale& scale) {
+  Dataset ds;
+  ds.world = make_world(region, DeploymentConfig{.seed = region.seed ^ 0xdeadULL});
+  ds.sim_config.seed = region.seed ^ 0xbeefULL;
+  ds.kpis = kpis;
+  DriveTestSimulator sim(ds.world, ds.sim_config);
+  const RoadNetwork roads(region);
+
+  std::mt19937_64 rng(scale.seed);
+  uint64_t run_seed = scale.seed * 1000;
+  for (Scenario s : scenarios) {
+    // City index per scenario: city driving 1/2 and highway 1/2 use
+    // different cities/highways, mirroring the paper's distinct areas.
+    int city = 0;
+    if (s == Scenario::kCityDriving2) city = 1;
+    if (s == Scenario::kHighway1) city = 0;
+    if (s == Scenario::kHighway2) city = 1;
+
+    for (int k = 0; k < scale.records_per_scenario; ++k) {
+      geo::Trajectory tr =
+          scenario_trajectory(region, roads, s, scale.train_duration_s, rng, city);
+      ds.train.push_back(sim.run(tr, s, ++run_seed));
+    }
+    // Test trajectories: same scenario type, separate random routes (and for
+    // city scenarios a different part of the street grid via fresh draws).
+    geo::Trajectory tst =
+        scenario_trajectory(region, roads, s, scale.test_duration_s, rng, city);
+    ds.test.push_back(sim.run(tst, s, ++run_seed));
+  }
+  return ds;
+}
+
+}  // namespace
+
+Dataset make_dataset_a(const DatasetScale& scale) {
+  return build(region_a(scale.seed ^ 0xA), {Scenario::kWalk, Scenario::kBus, Scenario::kTram},
+               {Kpi::kRsrp, Kpi::kRsrq, Kpi::kSinr, Kpi::kCqi}, scale);
+}
+
+Dataset make_dataset_b(const DatasetScale& scale) {
+  return build(region_b(scale.seed ^ 0xB),
+               {Scenario::kCityDriving1, Scenario::kCityDriving2, Scenario::kHighway1,
+                Scenario::kHighway2},
+               {Kpi::kRsrp, Kpi::kRsrq}, scale);
+}
+
+DriveTestRecord make_long_complex_record(const Dataset& dataset_b, double duration_s,
+                                         uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const RoadNetwork roads(dataset_b.world.region);
+  geo::Trajectory tr = scenario_trajectory(dataset_b.world.region, roads,
+                                           Scenario::kLongComplex, duration_s, rng);
+  DriveTestSimulator sim(dataset_b.world, dataset_b.sim_config);
+  return sim.run(tr, Scenario::kLongComplex, seed ^ 0x10c0ULL);
+}
+
+std::vector<std::vector<DriveTestRecord>> geographic_subsets(const Dataset& dataset_b,
+                                                             int n_subsets) {
+  // Slice every training record into contiguous chunks and assign chunks to
+  // subsets round-robin by spatial cell, so each subset covers a distinct
+  // part of the region. A chunk inherits its subset from the grid cell of
+  // its first sample, which keeps subsets geographically coherent.
+  std::vector<std::vector<DriveTestRecord>> subsets(static_cast<size_t>(n_subsets));
+  const geo::LocalProjection proj(dataset_b.world.region.origin);
+  const double grid_m = dataset_b.world.region.extent_m / std::sqrt(static_cast<double>(n_subsets));
+
+  auto subset_of = [&](const geo::LatLon& p) {
+    const geo::Enu e = proj.to_enu(p);
+    const long gx = static_cast<long>(std::floor((e.east + dataset_b.world.region.extent_m) / grid_m));
+    const long gy = static_cast<long>(std::floor((e.north + dataset_b.world.region.extent_m) / grid_m));
+    const long h = gx * 31 + gy * 17;
+    return static_cast<int>(((h % n_subsets) + n_subsets) % n_subsets);
+  };
+
+  for (const auto& rec : dataset_b.train) {
+    size_t i = 0;
+    while (i < rec.samples.size()) {
+      const int target = subset_of(rec.samples[i].pos);
+      size_t j = i;
+      while (j < rec.samples.size() && subset_of(rec.samples[j].pos) == target) ++j;
+      if (j - i >= 20) {  // ignore tiny slivers
+        DriveTestRecord chunk;
+        chunk.scenario = rec.scenario;
+        chunk.samples.assign(rec.samples.begin() + static_cast<long>(i),
+                             rec.samples.begin() + static_cast<long>(j));
+        geo::Trajectory tr;
+        for (const auto& m : chunk.samples) tr.push_back({m.t, m.pos});
+        chunk.trajectory = std::move(tr);
+        subsets[static_cast<size_t>(target)].push_back(std::move(chunk));
+      }
+      i = j;
+    }
+  }
+  // Drop empty subsets (possible at small scales) by compacting.
+  std::vector<std::vector<DriveTestRecord>> out;
+  for (auto& s : subsets)
+    if (!s.empty()) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace gendt::sim

@@ -1,0 +1,262 @@
+#include "gendt/sim/drive_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gendt::sim {
+
+std::string_view kpi_name(Kpi k) {
+  switch (k) {
+    case Kpi::kRsrp: return "RSRP";
+    case Kpi::kRsrq: return "RSRQ";
+    case Kpi::kSinr: return "SINR";
+    case Kpi::kCqi: return "CQI";
+    case Kpi::kServingCell: return "ServingCell";
+    case Kpi::kThroughput: return "Throughput";
+    case Kpi::kPer: return "PER";
+    case Kpi::kCellLoad: return "CellLoad";
+  }
+  return "?";
+}
+
+double Measurement::kpi(Kpi k) const {
+  switch (k) {
+    case Kpi::kRsrp: return rsrp_dbm;
+    case Kpi::kRsrq: return rsrq_db;
+    case Kpi::kSinr: return sinr_db;
+    case Kpi::kCqi: return static_cast<double>(cqi);
+    case Kpi::kServingCell: return static_cast<double>(serving_cell);
+    case Kpi::kThroughput: return throughput_mbps;
+    case Kpi::kPer: return per;
+    case Kpi::kCellLoad: return serving_load;
+  }
+  return 0.0;
+}
+
+std::vector<double> DriveTestRecord::kpi_series(Kpi k) const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& m : samples) out.push_back(m.kpi(k));
+  return out;
+}
+
+double DriveTestRecord::avg_serving_cell_duration_s() const {
+  if (samples.size() < 2) return 0.0;
+  int handovers = 0;
+  for (size_t i = 1; i < samples.size(); ++i)
+    if (samples[i].serving_cell != samples[i - 1].serving_cell) ++handovers;
+  const double duration = samples.back().t - samples.front().t;
+  return duration / static_cast<double>(handovers + 1);
+}
+
+DriveTestSimulator::DriveTestSimulator(const World& world, SimConfig cfg)
+    : world_(world),
+      cfg_(cfg),
+      shadow_field_(cfg.shadow_field_sigma_db, cfg.shadow_field_grid_m,
+                    cfg.seed ^ 0xabcdef12345ULL) {}
+
+double DriveTestSimulator::noise_per_re_dbm() const {
+  // Thermal floor over one 15 kHz resource element plus receiver NF.
+  return -174.0 + 10.0 * std::log10(15000.0) + cfg_.noise_figure_db;
+}
+
+double DriveTestSimulator::median_rsrp_dbm(int cell_index, const geo::Enu& pos) const {
+  const radio::Cell& cell = world_.cells[static_cast<size_t>(cell_index)];
+  const geo::Enu site = world_.cells.site_enu(static_cast<size_t>(cell_index));
+  const double dist = geo::distance_m(pos, site);
+  const double bearing = geo::bearing_deg(site, pos);
+  const radio::Clutter clutter = clutter_for(world_.land_use->at(pos));
+  const double pl = radio::pathloss_cost231_db(dist, clutter, world_.pathloss);
+  const double per_re_tx = cell.p_max_dbm - 10.0 * std::log10(12.0 * cell.n_rb);
+  return per_re_tx + world_.deployment.antenna_gain_dbi +
+         radio::sector_gain_db(bearing, cell.azimuth_deg, cell.beamwidth_deg) - pl -
+         shadow_field_.at(cell_index, pos);
+}
+
+DriveTestRecord DriveTestSimulator::run(const geo::Trajectory& trajectory, Scenario scenario,
+                                        uint64_t run_seed) const {
+  DriveTestRecord rec;
+  rec.scenario = scenario;
+  rec.trajectory = trajectory;
+  if (trajectory.empty()) return rec;
+
+  std::mt19937_64 rng(run_seed ^ cfg_.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  const geo::LocalProjection& proj = world_.projection();
+  const double noise_re_mw = radio::dbm_to_mw(noise_per_re_dbm());
+
+  // Visit-specific state, lazily created per encountered cell.
+  std::map<int, radio::ShadowingProcess> shadow_proc;
+  std::map<int, double> cell_load;  // Ornstein-Uhlenbeck around mean load
+
+  auto shadow_for = [&](int ci, double moved) -> double {
+    auto it = shadow_proc.find(ci);
+    if (it == shadow_proc.end()) {
+      it = shadow_proc
+               .emplace(ci, radio::ShadowingProcess(cfg_.shadow_process_sigma_db,
+                                                    cfg_.shadow_decorrelation_m,
+                                                    run_seed ^ (0x51edULL * (ci + 7))))
+               .first;
+    }
+    return it->second.next(moved);
+  };
+  auto load_for = [&](int ci) -> double {
+    auto [it, fresh] = cell_load.try_emplace(ci, -1.0);
+    if (fresh || it->second < 0.0) {
+      it->second = std::clamp(cfg_.mean_cell_load + 0.25 * gauss(rng), 0.05, 0.95);
+    } else {
+      // OU step towards the mean. Load evolves over minutes, not samples:
+      // slow reversion + small steps keep it estimable from smoothed KPIs.
+      it->second = std::clamp(it->second + 0.03 * (cfg_.mean_cell_load - it->second) +
+                                  cfg_.load_volatility * gauss(rng),
+                              0.05, 0.95);
+    }
+    return it->second;
+  };
+
+  radio::CellId serving = radio::kNoCell;
+  int serving_index = -1;
+  int a3_counter = 0;
+  int a3_candidate = -1;
+  geo::Enu prev_pos{};
+  bool have_prev = false;
+  double smoothed_sinr_db = 0.0;
+  bool have_sinr = false;
+  // L3 filter state for the reported RSRP/RSRQ (3GPP 36.331, dB domain).
+  const double l3_a = cfg_.l3_filter_k > 0
+                          ? 1.0 / std::pow(2.0, static_cast<double>(cfg_.l3_filter_k) / 4.0)
+                          : 1.0;
+  double l3_rsrp = 0.0, l3_rsrq = 0.0;
+  bool have_l3 = false;
+
+  for (const auto& pt : trajectory.points()) {
+    const geo::Enu pos = proj.to_enu(pt.pos);
+    const double moved = have_prev ? geo::distance_m(pos, prev_pos) : 0.0;
+    prev_pos = pos;
+    have_prev = true;
+
+    const std::vector<int> visible = world_.cells.cells_within(pos, cfg_.interference_radius_m);
+    if (visible.empty()) continue;  // dead zone: tools log a gap, we skip
+
+    // Per-RE received power (mW) from each visible cell.
+    std::vector<double> rx_mw(visible.size());
+    double best_dbm = -1e9;
+    int best_pos_in_visible = -1;
+    for (size_t vi = 0; vi < visible.size(); ++vi) {
+      const int ci = visible[vi];
+      const double fading = cfg_.fast_fading_sigma_db * gauss(rng);
+      const double dbm = median_rsrp_dbm(ci, pos) - shadow_for(ci, moved) + fading;
+      rx_mw[vi] = radio::dbm_to_mw(dbm);
+      if (dbm > best_dbm) {
+        best_dbm = dbm;
+        best_pos_in_visible = static_cast<int>(vi);
+      }
+    }
+    const int best_ci = visible[static_cast<size_t>(best_pos_in_visible)];
+
+    // Serving-cell maintenance via A3 event.
+    const int serving_before = serving_index;
+    int serving_vi = -1;
+    if (serving_index >= 0) {
+      for (size_t vi = 0; vi < visible.size(); ++vi)
+        if (visible[vi] == serving_index) serving_vi = static_cast<int>(vi);
+    }
+    if (serving_vi < 0) {
+      // Initial attach or serving dropped out of range: take the strongest.
+      serving_index = best_ci;
+      serving = world_.cells[static_cast<size_t>(best_ci)].id;
+      serving_vi = best_pos_in_visible;
+      a3_counter = 0;
+      a3_candidate = -1;
+    } else {
+      const double serving_dbm = radio::mw_to_dbm(rx_mw[static_cast<size_t>(serving_vi)]);
+      if (best_ci != serving_index && best_dbm > serving_dbm + cfg_.handover_hysteresis_db) {
+        if (a3_candidate == best_ci) {
+          ++a3_counter;
+        } else {
+          a3_candidate = best_ci;
+          a3_counter = 1;
+        }
+        if (a3_counter >= cfg_.handover_ttt_samples) {
+          serving_index = best_ci;
+          serving = world_.cells[static_cast<size_t>(best_ci)].id;
+          serving_vi = best_pos_in_visible;
+          a3_counter = 0;
+          a3_candidate = -1;
+        }
+      } else {
+        a3_counter = 0;
+        a3_candidate = -1;
+      }
+    }
+
+    const radio::Cell& scell = world_.cells[static_cast<size_t>(serving_index)];
+    const double rsrp_mw = rx_mw[static_cast<size_t>(serving_vi)];
+    const double rsrp_raw = radio::clamp_rsrp(radio::mw_to_dbm(rsrp_mw));
+    // Reported RSRP is the L3-filtered value; the filter resets on handover
+    // (measurements of a new serving cell start a fresh filter per 36.331).
+    if (serving_index != serving_before) have_l3 = false;
+    if (!have_l3) {
+      l3_rsrp = rsrp_raw;
+      have_l3 = true;
+    } else {
+      l3_rsrp = (1.0 - l3_a) * l3_rsrp + l3_a * rsrp_raw;
+    }
+    const double rsrp_dbm = l3_rsrp;
+
+    // Interference: co-channel cells, weighted by their downlink load.
+    double interf_mw = 0.0;
+    for (size_t vi = 0; vi < visible.size(); ++vi) {
+      if (static_cast<int>(vi) == serving_vi) continue;
+      interf_mw += load_for(visible[vi]) * rx_mw[vi];
+    }
+    const double serving_load = load_for(serving_index);
+
+    // RSSI over the measurement bandwidth: per-RE serving power on all REs
+    // (reference + loaded data REs) plus interference and noise.
+    const double rssi_mw =
+        12.0 * scell.n_rb * ((0.3 + 0.7 * serving_load) * rsrp_mw + interf_mw + noise_re_mw);
+    const double rssi_dbm = radio::mw_to_dbm(rssi_mw);
+    const double rsrq_raw =
+        radio::clamp_rsrq(radio::rsrq_db(rsrp_raw, rssi_dbm, scell.n_rb));
+    if (l3_rsrq == 0.0 || serving_index != serving_before) l3_rsrq = rsrq_raw;
+    l3_rsrq = (1.0 - l3_a) * l3_rsrq + l3_a * rsrq_raw;
+    const double rsrq = radio::clamp_rsrq(l3_rsrq);
+
+    const double sinr_lin = rsrp_mw / (interf_mw + noise_re_mw);
+    const double sinr_db = std::clamp(radio::linear_to_db(sinr_lin), -10.0, 30.0);
+
+    // CQI tracks a lightly smoothed SINR (UE filtering), discretized.
+    smoothed_sinr_db = have_sinr ? 0.7 * smoothed_sinr_db + 0.3 * sinr_db : sinr_db;
+    have_sinr = true;
+    const int cqi = radio::cqi_from_sinr_db(smoothed_sinr_db);
+
+    // Downlink throughput for a single active user sharing with the load.
+    const double eff = radio::spectral_efficiency_from_cqi(cqi);
+    const double bler = radio::block_error_rate(sinr_db, cqi);
+    const double share = std::clamp(1.0 - 0.8 * serving_load, 0.1, 1.0);
+    const double tput =
+        cfg_.bandwidth_mhz * eff * (1.0 - bler) * share * (0.9 + 0.2 * u01(rng));
+
+    // PER after one HARQ retransmission; floor of residual protocol loss.
+    const double per = std::clamp(bler * bler + 0.002, 0.0, 1.0);
+
+    Measurement m;
+    m.t = pt.t;
+    m.pos = pt.pos;
+    m.serving_cell = serving;
+    m.rsrp_dbm = rsrp_dbm;
+    m.rsrq_db = rsrq;
+    m.sinr_db = sinr_db;
+    m.cqi = cqi;
+    m.throughput_mbps = tput;
+    m.per = per;
+    m.serving_load = serving_load;
+    rec.samples.push_back(m);
+  }
+  return rec;
+}
+
+}  // namespace gendt::sim

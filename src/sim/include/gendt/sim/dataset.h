@@ -1,0 +1,55 @@
+// Dataset builders mirroring the paper's two measurement datasets:
+//   Dataset A — walk / bus / tram in one city, 1 s granularity,
+//               KPIs: RSRP, RSRQ, SINR, CQI (+ throughput, PER for QoE).
+//   Dataset B — city driving x2 + highway x2 over a multi-city region,
+//               2-4 s granularity, KPIs: RSRP, RSRQ only; also provides the
+//               2230 s "long and complex" trajectory of §6.1.3 and the 23
+//               geographic subsets used for the §6.2 active-learning study.
+#pragma once
+
+#include <vector>
+
+#include "gendt/sim/drive_test.h"
+
+namespace gendt::sim {
+
+struct Dataset {
+  World world;
+  SimConfig sim_config;
+  std::vector<DriveTestRecord> train;
+  std::vector<DriveTestRecord> test;
+  std::vector<Kpi> kpis;  // KPI channels this dataset provides
+
+  /// All records (train + test views are disjoint trajectories).
+  size_t total_samples() const;
+};
+
+struct DatasetScale {
+  /// Seconds of driving per scenario record. The paper's datasets hold
+  /// 14k-46k samples per scenario; the default here is laptop-scale but the
+  /// builders accept any size.
+  double train_duration_s = 900.0;
+  double test_duration_s = 300.0;
+  int records_per_scenario = 2;  // independent trajectories per scenario
+  uint64_t seed = 42;
+};
+
+/// Dataset A: single-city region; scenarios walk, bus, tram.
+Dataset make_dataset_a(const DatasetScale& scale = DatasetScale{});
+
+/// Dataset B: four-city region with connecting highways; scenarios
+/// city-driving 1/2 (different cities) and highway 1/2 (different highways).
+Dataset make_dataset_b(const DatasetScale& scale = DatasetScale{});
+
+/// The §6.1.3 long complex trajectory over Dataset B's world: city driving
+/// and highway legs across three cities, ~`duration_s` seconds total.
+DriveTestRecord make_long_complex_record(const Dataset& dataset_b, double duration_s = 2230.0,
+                                         uint64_t seed = 7);
+
+/// Split Dataset B's training records into `n_subsets` geographically
+/// disjoint subsets (by slicing each record at positional cluster
+/// boundaries), the §6.2 active-learning pools.
+std::vector<std::vector<DriveTestRecord>> geographic_subsets(const Dataset& dataset_b,
+                                                             int n_subsets = 23);
+
+}  // namespace gendt::sim

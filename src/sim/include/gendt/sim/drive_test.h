@@ -1,0 +1,118 @@
+// DriveTestSimulator: walks a trajectory through a World and produces the
+// ground-truth multi-KPI measurement series a tool like Nemo Handy would
+// record — RSRP/RSRQ/SINR/CQI plus serving cell, downlink throughput and
+// packet error rate.
+//
+// Physics per sample:
+//   rx_i  = p_max_i + G_ant + G_sector(bearing) - PL(dist, clutter)
+//           - S_field(cell, pos) - S_proc(cell, moved) - fading
+//   serving = A3-event handover (hysteresis + time-to-trigger) over rx_i
+//   RSRP  = per-resource-element rx of the serving cell
+//   RSSI  = serving + co-channel interference (load-weighted) + noise
+//   RSRQ  = 10 log10(N_RB · RSRP / RSSI)
+//   SINR  = serving / (interference + noise)
+//   CQI   = link mapping of smoothed SINR
+//   tput  = bandwidth · spectral_efficiency(CQI) · (1 - BLER) · share
+//   PER   = BLER after one HARQ retransmission
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "gendt/radio/units.h"
+#include "gendt/sim/trajectory_gen.h"
+#include "gendt/sim/world.h"
+
+namespace gendt::sim {
+
+/// KPI channels the simulator (and GenDT) speak about.
+enum class Kpi {
+  kRsrp = 0,
+  kRsrq,
+  kSinr,
+  kCqi,
+  kServingCell,
+  kThroughput,
+  kPer,
+  kCellLoad,  // serving cell's downlink load (ground truth for Appendix C.2)
+};
+std::string_view kpi_name(Kpi k);
+
+struct Measurement {
+  double t = 0.0;
+  geo::LatLon pos;
+  radio::CellId serving_cell = radio::kNoCell;
+  double rsrp_dbm = 0.0;
+  double rsrq_db = 0.0;
+  double sinr_db = 0.0;
+  int cqi = 1;
+  double throughput_mbps = 0.0;
+  double per = 0.0;
+  double serving_load = 0.0;  // [0,1]; what cell-load estimation predicts
+
+  double kpi(Kpi k) const;
+};
+
+/// One drive test run: the trajectory plus its measurement series.
+struct DriveTestRecord {
+  Scenario scenario = Scenario::kWalk;
+  geo::Trajectory trajectory;
+  std::vector<Measurement> samples;
+
+  std::vector<double> kpi_series(Kpi k) const;
+  /// Average dwell time at a serving cell (s), the Table 1/2 statistic.
+  double avg_serving_cell_duration_s() const;
+};
+
+struct SimConfig {
+  double handover_hysteresis_db = 4.5;
+  int handover_ttt_samples = 3;       // time-to-trigger, in samples
+  double noise_figure_db = 7.0;
+  double fast_fading_sigma_db = 1.0;
+  double shadow_field_sigma_db = 7.0;  // static spatial component
+  double shadow_field_grid_m = 90.0;
+  double shadow_process_sigma_db = 3.5;  // per-visit temporal component
+  double shadow_decorrelation_m = 80.0;
+  double interference_radius_m = 8000.0;  // cells considered for RSSI/SINR
+  /// 3GPP TS 36.331 L3 filter coefficient k: reported RSRP/RSRQ are
+  /// exponentially smoothed with a = 1/2^(k/4). k=0 disables filtering
+  /// (raw per-sample measurements). Real tools report filtered values,
+  /// which is why measured KPI series are much smoother than raw fading.
+  int l3_filter_k = 4;
+  double bandwidth_mhz = 10.0;
+  double mean_cell_load = 0.45;          // long-run average of the OU load
+  double load_volatility = 0.04;         // OU step scale
+  uint64_t seed = 1234;
+};
+
+/// Simulates measurements along trajectories. Holds per-cell shadowing and
+/// load state; distinct `run_seed`s model distinct measurement campaigns
+/// over the same (fixed) world, reproducing the stochastic repeats of the
+/// paper's Fig. 1.
+class DriveTestSimulator {
+ public:
+  DriveTestSimulator(const World& world, SimConfig cfg = SimConfig{});
+
+  /// Run one drive test over the trajectory. `run_seed` controls the
+  /// visit-specific randomness (temporal shadowing, fading, loads).
+  DriveTestRecord run(const geo::Trajectory& trajectory, Scenario scenario,
+                      uint64_t run_seed) const;
+
+  /// Per-resource-element received power (dBm) from a given cell at a
+  /// position, excluding visit-specific randomness (the deterministic part
+  /// used by both the simulator and sanity checks).
+  double median_rsrp_dbm(int cell_index, const geo::Enu& pos) const;
+
+  const World& world() const { return world_; }
+  const SimConfig& config() const { return cfg_; }
+
+  /// Thermal noise per resource element (dBm) incl. noise figure.
+  double noise_per_re_dbm() const;
+
+ private:
+  const World& world_;
+  SimConfig cfg_;
+  radio::ShadowingField shadow_field_;
+};
+
+}  // namespace gendt::sim

@@ -1,0 +1,127 @@
+// Procedural environment model: a land-use raster (Urban-Atlas-like classes)
+// and a point-of-interest scatter (OSM-like categories). Together these
+// supply the paper's 26-attribute environment context (Table 11).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gendt/geo/geo.h"
+#include "gendt/radio/propagation.h"
+
+namespace gendt::sim {
+
+/// Land-use classes (12), mirroring the Copernicus Urban Atlas subset the
+/// paper uses as environment context.
+enum class LandUse : uint8_t {
+  kContinuousUrban = 0,
+  kHighDenseUrban,
+  kMediumDenseUrban,
+  kLowDenseUrban,
+  kVeryLowDenseUrban,
+  kIsolatedStructures,
+  kGreenUrban,
+  kIndustrialCommercial,
+  kAirSeaPorts,
+  kLeisureFacilities,
+  kBarrenLands,
+  kSea,
+};
+inline constexpr int kNumLandUse = 12;
+
+/// Point-of-interest categories (14), mirroring the paper's OSM attributes.
+enum class PoiType : uint8_t {
+  kTourism = 0,
+  kCafe,
+  kParking,
+  kRestaurant,
+  kPostPolice,
+  kTrafficSignal,
+  kOffice,
+  kPublicTransport,
+  kShop,
+  kPrimaryRoads,
+  kSecondaryRoads,
+  kMotorways,
+  kRailwayStations,
+  kTramStops,
+};
+inline constexpr int kNumPoi = 14;
+inline constexpr int kNumEnvAttributes = kNumLandUse + kNumPoi;  // 26
+
+std::string_view land_use_name(LandUse lu);
+std::string_view poi_name(PoiType p);
+
+/// Radio clutter class implied by a land-use class.
+radio::Clutter clutter_for(LandUse lu);
+
+/// A city in the synthetic region: a radial density model centred on
+/// `center` with urban rings out to `radius_m`.
+struct CityConfig {
+  geo::Enu center;
+  double radius_m = 4000.0;
+  /// Relative cell-deployment density (1 = nominal). Heterogeneous values
+  /// across cities create the distribution shift between regions that real
+  /// multi-city datasets exhibit.
+  double density_scale = 1.0;
+};
+
+/// A highway: polyline between cities; influences land use (corridor) and
+/// motorway PoIs.
+struct HighwayConfig {
+  std::vector<geo::Enu> waypoints;
+};
+
+struct RegionConfig {
+  geo::LatLon origin;               // projection origin (region anchor)
+  double extent_m = 20000.0;        // half-width of the modelled square
+  std::vector<CityConfig> cities;
+  std::vector<HighwayConfig> highways;
+  uint64_t seed = 1;
+};
+
+/// Raster of land-use classes over the region plus PoI points; immutable
+/// after construction.
+class LandUseMap {
+ public:
+  LandUseMap(const RegionConfig& cfg, double cell_m = 100.0);
+
+  LandUse at(const geo::Enu& pos) const;
+  double cell_size_m() const { return cell_m_; }
+  const RegionConfig& config() const { return cfg_; }
+
+  /// Fraction of area of each land-use class within `radius_m` of pos
+  /// (sampled on the raster). Sums to 1 over classes.
+  std::array<double, kNumLandUse> land_use_fractions(const geo::Enu& pos, double radius_m) const;
+
+  /// Count of each PoI category within `radius_m` of pos.
+  std::array<int, kNumPoi> poi_counts(const geo::Enu& pos, double radius_m) const;
+
+  struct Poi {
+    PoiType type;
+    geo::Enu pos;
+  };
+  const std::vector<Poi>& pois() const { return pois_; }
+
+  /// Distance from pos to the nearest highway polyline; +inf if none.
+  double distance_to_highway_m(const geo::Enu& pos) const;
+
+ private:
+  int index(long gx, long gy) const;
+  void rasterize();
+  void scatter_pois();
+
+  RegionConfig cfg_;
+  double cell_m_;
+  long grid_n_;  // cells per side
+  std::vector<LandUse> grid_;
+  std::vector<Poi> pois_;
+  // PoI spatial hash: bucket -> indices into pois_.
+  double bucket_m_ = 500.0;
+  long buckets_per_side_ = 0;
+  std::vector<std::vector<int32_t>> poi_buckets_;
+};
+
+}  // namespace gendt::sim

@@ -1,0 +1,78 @@
+// Street network substrate: a per-region road graph with A* routing.
+// Vehicle scenarios (bus, tram, city driving) follow streets instead of
+// free-space random walks, which is what real drive-test trajectories do.
+//
+// Construction is procedural and deterministic in the region seed:
+//  * each city gets a jittered grid of intersections inside its radius,
+//    connected to 4-neighbours (secondary roads); a subset of longer
+//    through-links form primary roads;
+//  * highway polylines are imported as motorway edges and stitched to the
+//    nearest city intersections.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "gendt/sim/landuse.h"
+
+namespace gendt::sim {
+
+enum class RoadClass : uint8_t { kSecondary = 0, kPrimary, kMotorway };
+
+struct RoadNode {
+  geo::Enu pos;
+};
+
+struct RoadEdge {
+  int32_t a = 0;
+  int32_t b = 0;
+  RoadClass cls = RoadClass::kSecondary;
+  double length_m = 0.0;
+};
+
+class RoadNetwork {
+ public:
+  /// Build the network for a region. `block_m` is the nominal city block
+  /// edge length.
+  RoadNetwork(const RegionConfig& region, double block_m = 280.0);
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+  const std::vector<RoadNode>& nodes() const { return nodes_; }
+  const std::vector<RoadEdge>& edges() const { return edges_; }
+
+  /// Nearest node to a position; -1 only when the network is empty.
+  int32_t nearest_node(const geo::Enu& pos) const;
+
+  /// A* shortest path (by length) between two nodes; empty if unreachable.
+  std::vector<int32_t> shortest_path(int32_t from, int32_t to) const;
+
+  /// Polyline for a node path.
+  std::vector<geo::Enu> path_polyline(const std::vector<int32_t>& path) const;
+
+  /// Random street route inside city `city_index`: picks distinct random
+  /// intersections and routes between them until the polyline reaches
+  /// roughly `min_length_m`. Empty if the city has no nodes.
+  std::vector<geo::Enu> random_city_route(int city_index, double min_length_m,
+                                          std::mt19937_64& rng) const;
+
+  /// A fixed loop line (bus/tram) through city `city_index`: deterministic
+  /// for a given `line_id`, so repeated runs ride the same line.
+  std::vector<geo::Enu> transit_line(int city_index, int line_id) const;
+
+  /// Nodes belonging to a city (by construction).
+  const std::vector<int32_t>& city_nodes(int city_index) const;
+
+ private:
+  void add_edge(int32_t a, int32_t b, RoadClass cls);
+
+  const RegionConfig region_;
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<std::pair<int32_t, double>>> adjacency_;  // node -> (nbr, len)
+  std::vector<std::vector<int32_t>> city_nodes_;
+};
+
+}  // namespace gendt::sim

@@ -1,0 +1,70 @@
+// Scenario trajectory generators. Each produces a timestamped route with the
+// mobility characteristics the paper reports per scenario (Tables 1-2):
+// walk ~1.4 m/s @1 s, bus ~5.6 m/s @1 s (with stops), tram ~11.5 m/s @1 s,
+// city driving ~9-10 m/s @~3.5 s, highway ~27-31 m/s @~2.2 s.
+#pragma once
+
+#include <random>
+
+#include "gendt/geo/geo.h"
+#include "gendt/sim/landuse.h"
+#include "gendt/sim/roads.h"
+
+namespace gendt::sim {
+
+/// The seven measurement scenarios of the paper (Fig. 4 cases 1-7), plus the
+/// long multi-city trajectory of §6.1.3.
+enum class Scenario {
+  kWalk = 0,        // Dataset A
+  kBus,             // Dataset A
+  kTram,            // Dataset A
+  kCityDriving1,    // Dataset B
+  kCityDriving2,    // Dataset B
+  kHighway1,        // Dataset B
+  kHighway2,        // Dataset B
+  kLongComplex,     // Dataset B §6.1.3
+};
+std::string_view scenario_name(Scenario s);
+
+struct MobilityProfile {
+  double mean_speed_mps = 1.4;
+  double speed_jitter = 0.3;        // fraction of mean
+  double heading_persistence = 0.9; // 0 = random walk, 1 = straight line
+  double sample_period_s = 1.0;
+  double period_jitter_s = 0.0;     // Android-API-like sampling jitter
+  double stop_probability = 0.0;    // chance to dwell per segment (bus stops)
+  double stop_duration_s = 15.0;
+};
+
+MobilityProfile mobility_profile(Scenario s);
+
+/// Correlated random walk inside a disc around `center`; reflects at the
+/// boundary. Base generator for walk/bus/tram/city scenarios.
+geo::Trajectory random_route(const geo::LocalProjection& proj, const geo::Enu& center,
+                             double radius_m, const MobilityProfile& profile, double duration_s,
+                             std::mt19937_64& rng);
+
+/// Route that follows a polyline (tram line, highway) at the profile's speed
+/// with lateral jitter.
+geo::Trajectory polyline_route(const geo::LocalProjection& proj,
+                               const std::vector<geo::Enu>& waypoints,
+                               const MobilityProfile& profile, std::mt19937_64& rng,
+                               double lateral_jitter_m = 6.0);
+
+/// Convenience: build a scenario trajectory inside a region.
+/// For kWalk/kBus/kTram/kCityDriving* the route stays inside the city whose
+/// index is `city_index`; for kHighway* it follows highway `city_index`; for
+/// kLongComplex it chains city driving and highways across all cities.
+/// This free-space variant routes vehicles with correlated random walks.
+geo::Trajectory scenario_trajectory(const RegionConfig& region, Scenario s, double duration_s,
+                                    std::mt19937_64& rng, int city_index = 0);
+
+/// Road-following variant: vehicle scenarios (bus/tram/city driving and the
+/// city legs of kLongComplex) follow the street graph — buses and trams ride
+/// fixed transit lines, cars take A* routes between random intersections.
+/// Walking remains free-space (pedestrians are not bound to streets).
+geo::Trajectory scenario_trajectory(const RegionConfig& region, const RoadNetwork& roads,
+                                    Scenario s, double duration_s, std::mt19937_64& rng,
+                                    int city_index = 0);
+
+}  // namespace gendt::sim

@@ -1,0 +1,44 @@
+// A World bundles everything a drive test happens in: the land-use /
+// PoI environment, the deployed cells, and the propagation configuration.
+#pragma once
+
+#include <memory>
+
+#include "gendt/radio/cell.h"
+#include "gendt/radio/propagation.h"
+#include "gendt/sim/landuse.h"
+
+namespace gendt::sim {
+
+/// Target cell-site density (sites per km^2) by land use. Each site carries
+/// three sectors, so cell density is 3x site density. Tuned so the paper's
+/// Fig. 4 ordering holds: dense city >> suburban >> highway/rural.
+double site_density_per_km2(LandUse lu);
+
+struct DeploymentConfig {
+  double antenna_gain_dbi = 15.0;   // boresight gain on top of p_max
+  double p_max_dbm = 46.0;          // macro cells
+  double azimuth_jitter_deg = 20.0; // per-site orientation randomness
+  uint64_t seed = 17;
+};
+
+/// Generates a sectorized deployment over the region: Poisson site placement
+/// with land-use-dependent intensity plus a sparse chain of sites along
+/// highways so rural corridors keep coverage.
+radio::CellTable deploy_cells(const LandUseMap& map, const DeploymentConfig& cfg);
+
+struct World {
+  RegionConfig region;
+  std::shared_ptr<const LandUseMap> land_use;
+  radio::CellTable cells;
+  DeploymentConfig deployment;
+  radio::PathlossParams pathloss;
+
+  const geo::LocalProjection& projection() const { return cells.projection(); }
+};
+
+/// Build a world from a region config (rasterize land use, scatter PoIs,
+/// deploy cells).
+World make_world(const RegionConfig& region, const DeploymentConfig& deployment = {});
+
+}  // namespace gendt::sim

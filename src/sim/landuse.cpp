@@ -1,0 +1,282 @@
+#include "gendt/sim/landuse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace gendt::sim {
+
+std::string_view land_use_name(LandUse lu) {
+  switch (lu) {
+    case LandUse::kContinuousUrban: return "Continuous Urban";
+    case LandUse::kHighDenseUrban: return "High Dense Urban";
+    case LandUse::kMediumDenseUrban: return "Medium Dense Urban";
+    case LandUse::kLowDenseUrban: return "Low Dense Urban";
+    case LandUse::kVeryLowDenseUrban: return "Very-Low Dense Urban";
+    case LandUse::kIsolatedStructures: return "Isolated Structures";
+    case LandUse::kGreenUrban: return "Green Urban";
+    case LandUse::kIndustrialCommercial: return "Industrial/Commercial";
+    case LandUse::kAirSeaPorts: return "Air/Sea Ports";
+    case LandUse::kLeisureFacilities: return "Leisure Facilities";
+    case LandUse::kBarrenLands: return "Barren Lands";
+    case LandUse::kSea: return "Sea";
+  }
+  return "?";
+}
+
+std::string_view poi_name(PoiType p) {
+  switch (p) {
+    case PoiType::kTourism: return "Tourism";
+    case PoiType::kCafe: return "Cafe";
+    case PoiType::kParking: return "Parking";
+    case PoiType::kRestaurant: return "Restaurant";
+    case PoiType::kPostPolice: return "Post/Police";
+    case PoiType::kTrafficSignal: return "Traffic Signal";
+    case PoiType::kOffice: return "Office";
+    case PoiType::kPublicTransport: return "Public Transport";
+    case PoiType::kShop: return "Shop";
+    case PoiType::kPrimaryRoads: return "Primary Roads";
+    case PoiType::kSecondaryRoads: return "Secondary Roads";
+    case PoiType::kMotorways: return "Motorways";
+    case PoiType::kRailwayStations: return "Railway Stations";
+    case PoiType::kTramStops: return "Tram Stops";
+  }
+  return "?";
+}
+
+radio::Clutter clutter_for(LandUse lu) {
+  switch (lu) {
+    case LandUse::kContinuousUrban:
+      return radio::Clutter::kDenseUrban;
+    case LandUse::kHighDenseUrban:
+    case LandUse::kMediumDenseUrban:
+    case LandUse::kIndustrialCommercial:
+      return radio::Clutter::kUrban;
+    case LandUse::kLowDenseUrban:
+    case LandUse::kVeryLowDenseUrban:
+    case LandUse::kIsolatedStructures:
+    case LandUse::kGreenUrban:
+    case LandUse::kLeisureFacilities:
+      return radio::Clutter::kSuburban;
+    case LandUse::kAirSeaPorts:
+    case LandUse::kBarrenLands:
+    case LandUse::kSea:
+      return radio::Clutter::kOpen;
+  }
+  return radio::Clutter::kOpen;
+}
+
+namespace {
+// Deterministic per-grid-cell hash in [0,1).
+double cell_hash01(uint64_t seed, long gx, long gy, uint64_t salt) {
+  uint64_t z = seed ^ (static_cast<uint64_t>(gx) * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<uint64_t>(gy) * 0xc2b2ae3d27d4eb4fULL) ^ (salt * 0x165667b19e3779f9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) / 9007199254740992.0;
+}
+
+double point_segment_distance(const geo::Enu& p, const geo::Enu& a, const geo::Enu& b) {
+  const double vx = b.east - a.east, vy = b.north - a.north;
+  const double wx = p.east - a.east, wy = p.north - a.north;
+  const double vv = vx * vx + vy * vy;
+  const double t = vv > 0.0 ? std::clamp((wx * vx + wy * vy) / vv, 0.0, 1.0) : 0.0;
+  return geo::hypot2(wx - t * vx, wy - t * vy);
+}
+}  // namespace
+
+LandUseMap::LandUseMap(const RegionConfig& cfg, double cell_m) : cfg_(cfg), cell_m_(cell_m) {
+  grid_n_ = static_cast<long>(std::ceil(2.0 * cfg_.extent_m / cell_m_));
+  grid_.assign(static_cast<size_t>(grid_n_) * grid_n_, LandUse::kBarrenLands);
+  rasterize();
+  scatter_pois();
+}
+
+int LandUseMap::index(long gx, long gy) const {
+  gx = std::clamp(gx, 0L, grid_n_ - 1);
+  gy = std::clamp(gy, 0L, grid_n_ - 1);
+  return static_cast<int>(gy * grid_n_ + gx);
+}
+
+double LandUseMap::distance_to_highway_m(const geo::Enu& pos) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& hw : cfg_.highways) {
+    for (size_t i = 1; i < hw.waypoints.size(); ++i) {
+      best = std::min(best, point_segment_distance(pos, hw.waypoints[i - 1], hw.waypoints[i]));
+    }
+  }
+  return best;
+}
+
+void LandUseMap::rasterize() {
+  for (long gy = 0; gy < grid_n_; ++gy) {
+    for (long gx = 0; gx < grid_n_; ++gx) {
+      const geo::Enu pos{-cfg_.extent_m + (gx + 0.5) * cell_m_,
+                         -cfg_.extent_m + (gy + 0.5) * cell_m_};
+      // Distance to nearest city centre, normalized by that city's radius.
+      double best_r = std::numeric_limits<double>::infinity();
+      for (const auto& city : cfg_.cities) {
+        const double r = geo::distance_m(pos, city.center) / city.radius_m;
+        best_r = std::min(best_r, r);
+      }
+      const double noise = cell_hash01(cfg_.seed, gx, gy, 1);
+      // Radial ring model with hash jitter on the ring boundaries.
+      const double r = best_r + 0.15 * (noise - 0.5);
+      LandUse lu;
+      if (r < 0.12)
+        lu = LandUse::kContinuousUrban;
+      else if (r < 0.30)
+        lu = LandUse::kHighDenseUrban;
+      else if (r < 0.55)
+        lu = LandUse::kMediumDenseUrban;
+      else if (r < 0.80)
+        lu = LandUse::kLowDenseUrban;
+      else if (r < 1.00)
+        lu = LandUse::kVeryLowDenseUrban;
+      else if (r < 1.25)
+        lu = LandUse::kGreenUrban;
+      else
+        lu = LandUse::kBarrenLands;
+
+      // Sprinkle special classes deterministically inside the urban rings.
+      const double special = cell_hash01(cfg_.seed, gx, gy, 2);
+      if (r < 1.0) {
+        if (special < 0.04)
+          lu = LandUse::kIndustrialCommercial;
+        else if (special < 0.06)
+          lu = LandUse::kLeisureFacilities;
+        else if (special < 0.07)
+          lu = LandUse::kGreenUrban;
+      } else {
+        if (special < 0.02) lu = LandUse::kIsolatedStructures;
+        if (special >= 0.02 && special < 0.025) lu = LandUse::kAirSeaPorts;
+      }
+      // Highway corridors outside cities read as isolated structures strip.
+      if (r >= 1.0 && distance_to_highway_m(pos) < 150.0) lu = LandUse::kIsolatedStructures;
+
+      grid_[static_cast<size_t>(index(gx, gy))] = lu;
+    }
+  }
+}
+
+LandUse LandUseMap::at(const geo::Enu& pos) const {
+  const long gx = static_cast<long>(std::floor((pos.east + cfg_.extent_m) / cell_m_));
+  const long gy = static_cast<long>(std::floor((pos.north + cfg_.extent_m) / cell_m_));
+  return grid_[static_cast<size_t>(index(gx, gy))];
+}
+
+std::array<double, kNumLandUse> LandUseMap::land_use_fractions(const geo::Enu& pos,
+                                                               double radius_m) const {
+  std::array<double, kNumLandUse> frac{};
+  int total = 0;
+  const long span = std::max(1L, static_cast<long>(std::ceil(radius_m / cell_m_)));
+  const long cx = static_cast<long>(std::floor((pos.east + cfg_.extent_m) / cell_m_));
+  const long cy = static_cast<long>(std::floor((pos.north + cfg_.extent_m) / cell_m_));
+  for (long dy = -span; dy <= span; ++dy) {
+    for (long dx = -span; dx <= span; ++dx) {
+      const double dist = cell_m_ * geo::hypot2(static_cast<double>(dx), static_cast<double>(dy));
+      if (dist > radius_m) continue;
+      frac[static_cast<size_t>(grid_[static_cast<size_t>(index(cx + dx, cy + dy))])] += 1.0;
+      ++total;
+    }
+  }
+  if (total > 0)
+    for (auto& f : frac) f /= static_cast<double>(total);
+  return frac;
+}
+
+void LandUseMap::scatter_pois() {
+  std::mt19937_64 rng(cfg_.seed ^ 0x9d2c5680ULL);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  // Expected PoI count per raster cell by land use, per category.
+  auto rate = [](LandUse lu, PoiType p) -> double {
+    const bool core = lu == LandUse::kContinuousUrban || lu == LandUse::kHighDenseUrban;
+    const bool mid = lu == LandUse::kMediumDenseUrban || lu == LandUse::kIndustrialCommercial;
+    const bool low = lu == LandUse::kLowDenseUrban || lu == LandUse::kVeryLowDenseUrban;
+    switch (p) {
+      case PoiType::kCafe: return core ? 0.12 : mid ? 0.04 : low ? 0.01 : 0.0;
+      case PoiType::kRestaurant: return core ? 0.15 : mid ? 0.05 : low ? 0.015 : 0.0;
+      case PoiType::kShop: return core ? 0.25 : mid ? 0.08 : low ? 0.02 : 0.0;
+      case PoiType::kOffice: return core ? 0.10 : mid ? 0.06 : 0.0;
+      case PoiType::kTourism: return core ? 0.05 : 0.005;
+      case PoiType::kParking: return core ? 0.08 : mid ? 0.05 : low ? 0.02 : 0.002;
+      case PoiType::kPostPolice: return core ? 0.02 : mid ? 0.01 : 0.002;
+      case PoiType::kTrafficSignal: return core ? 0.12 : mid ? 0.06 : low ? 0.02 : 0.0;
+      case PoiType::kPublicTransport: return core ? 0.10 : mid ? 0.05 : low ? 0.02 : 0.001;
+      case PoiType::kRailwayStations: return core ? 0.008 : mid ? 0.003 : 0.0005;
+      case PoiType::kTramStops: return core ? 0.05 : mid ? 0.015 : 0.0;
+      case PoiType::kPrimaryRoads: return core ? 0.06 : mid ? 0.04 : low ? 0.02 : 0.002;
+      case PoiType::kSecondaryRoads: return core ? 0.10 : mid ? 0.08 : low ? 0.05 : 0.005;
+      case PoiType::kMotorways: return 0.0;  // handled along highways below
+    }
+    return 0.0;
+  };
+
+  for (long gy = 0; gy < grid_n_; ++gy) {
+    for (long gx = 0; gx < grid_n_; ++gx) {
+      const LandUse lu = grid_[static_cast<size_t>(index(gx, gy))];
+      const geo::Enu base{-cfg_.extent_m + gx * cell_m_, -cfg_.extent_m + gy * cell_m_};
+      for (int p = 0; p < kNumPoi; ++p) {
+        const double lambda = rate(lu, static_cast<PoiType>(p));
+        if (lambda <= 0.0) continue;
+        std::poisson_distribution<int> pois_count(lambda);
+        const int n = pois_count(rng);
+        for (int k = 0; k < n; ++k) {
+          pois_.push_back({static_cast<PoiType>(p),
+                           {base.east + u01(rng) * cell_m_, base.north + u01(rng) * cell_m_}});
+        }
+      }
+    }
+  }
+  // Motorway markers every ~250 m along highway polylines.
+  for (const auto& hw : cfg_.highways) {
+    for (size_t i = 1; i < hw.waypoints.size(); ++i) {
+      const geo::Enu& a = hw.waypoints[i - 1];
+      const geo::Enu& b = hw.waypoints[i];
+      const double len = geo::distance_m(a, b);
+      const int n = std::max(1, static_cast<int>(len / 250.0));
+      for (int k = 0; k <= n; ++k) {
+        const double f = static_cast<double>(k) / n;
+        pois_.push_back({PoiType::kMotorways,
+                         {a.east + f * (b.east - a.east), a.north + f * (b.north - a.north)}});
+      }
+    }
+  }
+
+  // Build the spatial hash for radius queries.
+  buckets_per_side_ = static_cast<long>(std::ceil(2.0 * cfg_.extent_m / bucket_m_)) + 1;
+  poi_buckets_.assign(static_cast<size_t>(buckets_per_side_) * buckets_per_side_, {});
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    const long bx = std::clamp(
+        static_cast<long>((pois_[i].pos.east + cfg_.extent_m) / bucket_m_), 0L, buckets_per_side_ - 1);
+    const long by = std::clamp(
+        static_cast<long>((pois_[i].pos.north + cfg_.extent_m) / bucket_m_), 0L, buckets_per_side_ - 1);
+    poi_buckets_[static_cast<size_t>(by * buckets_per_side_ + bx)].push_back(
+        static_cast<int32_t>(i));
+  }
+}
+
+std::array<int, kNumPoi> LandUseMap::poi_counts(const geo::Enu& pos, double radius_m) const {
+  std::array<int, kNumPoi> counts{};
+  const long span = static_cast<long>(std::ceil(radius_m / bucket_m_));
+  const long cx = std::clamp(static_cast<long>((pos.east + cfg_.extent_m) / bucket_m_), 0L,
+                             buckets_per_side_ - 1);
+  const long cy = std::clamp(static_cast<long>((pos.north + cfg_.extent_m) / bucket_m_), 0L,
+                             buckets_per_side_ - 1);
+  for (long by = std::max(0L, cy - span); by <= std::min(buckets_per_side_ - 1, cy + span); ++by) {
+    for (long bx = std::max(0L, cx - span); bx <= std::min(buckets_per_side_ - 1, cx + span);
+         ++bx) {
+      for (int32_t i : poi_buckets_[static_cast<size_t>(by * buckets_per_side_ + bx)]) {
+        if (geo::distance_m(pos, pois_[static_cast<size_t>(i)].pos) <= radius_m)
+          ++counts[static_cast<size_t>(pois_[static_cast<size_t>(i)].type)];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace gendt::sim

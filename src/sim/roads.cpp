@@ -1,0 +1,217 @@
+#include "gendt/sim/roads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace gendt::sim {
+
+RoadNetwork::RoadNetwork(const RegionConfig& region, double block_m) : region_(region) {
+  std::mt19937_64 rng(region.seed ^ 0x70adULL);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  city_nodes_.resize(region.cities.size());
+
+  // Per-city jittered grid of intersections.
+  for (size_t ci = 0; ci < region.cities.size(); ++ci) {
+    const CityConfig& city = region.cities[ci];
+    const long half = static_cast<long>(city.radius_m / block_m);
+    // Index grid (gx, gy) -> node id for this city, -1 where outside radius.
+    const long side = 2 * half + 1;
+    std::vector<int32_t> grid(static_cast<size_t>(side * side), -1);
+    auto grid_at = [&](long gx, long gy) -> int32_t& {
+      return grid[static_cast<size_t>((gy + half) * side + (gx + half))];
+    };
+    for (long gy = -half; gy <= half; ++gy) {
+      for (long gx = -half; gx <= half; ++gx) {
+        const double jitter_x = (u01(rng) - 0.5) * 0.35 * block_m;
+        const double jitter_y = (u01(rng) - 0.5) * 0.35 * block_m;
+        const geo::Enu pos{city.center.east + gx * block_m + jitter_x,
+                           city.center.north + gy * block_m + jitter_y};
+        if (geo::distance_m(pos, city.center) > city.radius_m) continue;
+        grid_at(gx, gy) = static_cast<int32_t>(nodes_.size());
+        nodes_.push_back({pos});
+        city_nodes_[ci].push_back(grid_at(gx, gy));
+      }
+    }
+    // 4-neighbour secondary streets; every ~4th row/column is primary.
+    for (long gy = -half; gy <= half; ++gy) {
+      for (long gx = -half; gx <= half; ++gx) {
+        const int32_t n = grid_at(gx, gy);
+        if (n < 0) continue;
+        if (gx < half && grid_at(gx + 1, gy) >= 0) {
+          add_edge(n, grid_at(gx + 1, gy),
+                   ((gy + half) % 4 == 0) ? RoadClass::kPrimary : RoadClass::kSecondary);
+        }
+        if (gy < half && grid_at(gx, gy + 1) >= 0) {
+          add_edge(n, grid_at(gx, gy + 1),
+                   ((gx + half) % 4 == 0) ? RoadClass::kPrimary : RoadClass::kSecondary);
+        }
+      }
+    }
+  }
+
+  // Highways: motorway chains stitched to the nearest city intersection at
+  // each end.
+  for (const auto& hw : region.highways) {
+    int32_t prev = -1;
+    for (const auto& wp : hw.waypoints) {
+      const int32_t n = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back({wp});
+      adjacency_.resize(nodes_.size());
+      if (prev >= 0) add_edge(prev, n, RoadClass::kMotorway);
+      prev = n;
+    }
+  }
+  adjacency_.resize(nodes_.size());
+  for (const auto& hw : region.highways) {
+    // Stitch both endpoints to the nearest non-motorway node.
+    for (const geo::Enu& endpoint : {hw.waypoints.front(), hw.waypoints.back()}) {
+      int32_t best = -1;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t ci = 0; ci < city_nodes_.size(); ++ci) {
+        for (int32_t n : city_nodes_[ci]) {
+          const double d = geo::distance_m(nodes_[static_cast<size_t>(n)].pos, endpoint);
+          if (d < best_d) {
+            best_d = d;
+            best = n;
+          }
+        }
+      }
+      if (best >= 0) {
+        // Endpoint node id: find the node at that exact position.
+        for (size_t n = 0; n < nodes_.size(); ++n) {
+          if (nodes_[n].pos.east == endpoint.east && nodes_[n].pos.north == endpoint.north) {
+            add_edge(static_cast<int32_t>(n), best, RoadClass::kPrimary);
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+void RoadNetwork::add_edge(int32_t a, int32_t b, RoadClass cls) {
+  assert(a >= 0 && b >= 0 && a != b);
+  if (adjacency_.size() < nodes_.size()) adjacency_.resize(nodes_.size());
+  RoadEdge e;
+  e.a = a;
+  e.b = b;
+  e.cls = cls;
+  e.length_m = geo::distance_m(nodes_[static_cast<size_t>(a)].pos,
+                               nodes_[static_cast<size_t>(b)].pos);
+  adjacency_[static_cast<size_t>(a)].emplace_back(b, e.length_m);
+  adjacency_[static_cast<size_t>(b)].emplace_back(a, e.length_m);
+  edges_.push_back(e);
+}
+
+int32_t RoadNetwork::nearest_node(const geo::Enu& pos) const {
+  int32_t best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const double d = geo::distance_m(nodes_[n].pos, pos);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int32_t>(n);
+    }
+  }
+  return best;
+}
+
+std::vector<int32_t> RoadNetwork::shortest_path(int32_t from, int32_t to) const {
+  if (from < 0 || to < 0 || from >= static_cast<int32_t>(nodes_.size()) ||
+      to >= static_cast<int32_t>(nodes_.size()))
+    return {};
+  const geo::Enu goal = nodes_[static_cast<size_t>(to)].pos;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(nodes_.size(), kInf);
+  std::vector<int32_t> parent(nodes_.size(), -1);
+  using Item = std::pair<double, int32_t>;  // (f = g + h, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> open;
+  g[static_cast<size_t>(from)] = 0.0;
+  open.emplace(geo::distance_m(nodes_[static_cast<size_t>(from)].pos, goal), from);
+  while (!open.empty()) {
+    const auto [f, n] = open.top();
+    open.pop();
+    if (n == to) break;
+    const double gn = g[static_cast<size_t>(n)];
+    if (f - geo::distance_m(nodes_[static_cast<size_t>(n)].pos, goal) > gn + 1e-9) continue;
+    for (const auto& [nbr, len] : adjacency_[static_cast<size_t>(n)]) {
+      const double cand = gn + len;
+      if (cand < g[static_cast<size_t>(nbr)]) {
+        g[static_cast<size_t>(nbr)] = cand;
+        parent[static_cast<size_t>(nbr)] = n;
+        open.emplace(cand + geo::distance_m(nodes_[static_cast<size_t>(nbr)].pos, goal), nbr);
+      }
+    }
+  }
+  if (g[static_cast<size_t>(to)] == kInf) return {};
+  std::vector<int32_t> path;
+  for (int32_t n = to; n >= 0; n = parent[static_cast<size_t>(n)]) path.push_back(n);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<geo::Enu> RoadNetwork::path_polyline(const std::vector<int32_t>& path) const {
+  std::vector<geo::Enu> out;
+  out.reserve(path.size());
+  for (int32_t n : path) out.push_back(nodes_[static_cast<size_t>(n)].pos);
+  return out;
+}
+
+const std::vector<int32_t>& RoadNetwork::city_nodes(int city_index) const {
+  static const std::vector<int32_t> empty;
+  if (city_index < 0 || city_index >= static_cast<int>(city_nodes_.size())) return empty;
+  return city_nodes_[static_cast<size_t>(city_index)];
+}
+
+std::vector<geo::Enu> RoadNetwork::random_city_route(int city_index, double min_length_m,
+                                                     std::mt19937_64& rng) const {
+  const auto& pool = city_nodes(city_index);
+  if (pool.size() < 2) return {};
+  std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+  std::vector<geo::Enu> out;
+  int32_t current = pool[pick(rng)];
+  double length = 0.0;
+  int guard = 0;
+  while (length < min_length_m && ++guard < 64) {
+    int32_t target = pool[pick(rng)];
+    if (target == current) continue;
+    const auto path = shortest_path(current, target);
+    if (path.size() < 2) continue;
+    auto poly = path_polyline(path);
+    if (!out.empty()) poly.erase(poly.begin());  // avoid duplicating the junction
+    for (size_t i = 0; i < poly.size(); ++i) {
+      if (!out.empty()) length += geo::distance_m(out.back(), poly[i]);
+      out.push_back(poly[i]);
+    }
+    current = target;
+  }
+  return out;
+}
+
+std::vector<geo::Enu> RoadNetwork::transit_line(int city_index, int line_id) const {
+  const auto& pool = city_nodes(city_index);
+  if (pool.size() < 2) return {};
+  // Deterministic pseudo-random endpoints from line_id: a line crossing the
+  // city through (near) the centre.
+  std::mt19937_64 rng(static_cast<uint64_t>(line_id) * 2654435761ULL + 17);
+  std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+  const int32_t a = pool[pick(rng)];
+  // Choose b far from a for a proper line.
+  int32_t b = a;
+  double best = -1.0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const int32_t cand = pool[pick(rng)];
+    const double d = geo::distance_m(nodes_[static_cast<size_t>(a)].pos,
+                                     nodes_[static_cast<size_t>(cand)].pos);
+    if (d > best) {
+      best = d;
+      b = cand;
+    }
+  }
+  return path_polyline(shortest_path(a, b));
+}
+
+}  // namespace gendt::sim

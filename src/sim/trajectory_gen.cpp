@@ -1,0 +1,289 @@
+#include "gendt/sim/trajectory_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gendt::sim {
+
+std::string_view scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kWalk: return "Walk";
+    case Scenario::kBus: return "Bus";
+    case Scenario::kTram: return "Tram";
+    case Scenario::kCityDriving1: return "City Driving 1";
+    case Scenario::kCityDriving2: return "City Driving 2";
+    case Scenario::kHighway1: return "Highway 1";
+    case Scenario::kHighway2: return "Highway 2";
+    case Scenario::kLongComplex: return "Long Complex";
+  }
+  return "?";
+}
+
+MobilityProfile mobility_profile(Scenario s) {
+  switch (s) {
+    case Scenario::kWalk:
+      return {.mean_speed_mps = 1.4, .speed_jitter = 0.3, .heading_persistence = 0.85,
+              .sample_period_s = 1.0};
+    case Scenario::kBus:
+      return {.mean_speed_mps = 6.5, .speed_jitter = 0.4, .heading_persistence = 0.93,
+              .sample_period_s = 1.0, .stop_probability = 0.02, .stop_duration_s = 15.0};
+    case Scenario::kTram:
+      return {.mean_speed_mps = 12.5, .speed_jitter = 0.25, .heading_persistence = 0.97,
+              .sample_period_s = 1.0, .stop_probability = 0.015, .stop_duration_s = 20.0};
+    case Scenario::kCityDriving1:
+      return {.mean_speed_mps = 9.1, .speed_jitter = 0.45, .heading_persistence = 0.92,
+              .sample_period_s = 3.8, .period_jitter_s = 0.8};
+    case Scenario::kCityDriving2:
+      return {.mean_speed_mps = 9.8, .speed_jitter = 0.45, .heading_persistence = 0.92,
+              .sample_period_s = 3.5, .period_jitter_s = 0.8};
+    case Scenario::kHighway1:
+      return {.mean_speed_mps = 26.7, .speed_jitter = 0.12, .heading_persistence = 0.995,
+              .sample_period_s = 2.1, .period_jitter_s = 0.4};
+    case Scenario::kHighway2:
+      return {.mean_speed_mps = 31.1, .speed_jitter = 0.10, .heading_persistence = 0.995,
+              .sample_period_s = 2.3, .period_jitter_s = 0.4};
+    case Scenario::kLongComplex:
+      return {.mean_speed_mps = 18.0, .speed_jitter = 0.3, .heading_persistence = 0.97,
+              .sample_period_s = 2.5, .period_jitter_s = 0.5};
+  }
+  return {};
+}
+
+namespace {
+double next_period(const MobilityProfile& p, std::mt19937_64& rng) {
+  if (p.period_jitter_s <= 0.0) return p.sample_period_s;
+  std::uniform_real_distribution<double> j(-p.period_jitter_s, p.period_jitter_s);
+  return std::max(0.5, p.sample_period_s + j(rng));
+}
+}  // namespace
+
+geo::Trajectory random_route(const geo::LocalProjection& proj, const geo::Enu& center,
+                             double radius_m, const MobilityProfile& profile, double duration_s,
+                             std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  geo::Enu pos = center;
+  double heading = u01(rng) * 2.0 * M_PI;
+  double t = 0.0;
+  double stop_until = -1.0;
+
+  geo::Trajectory out;
+  out.push_back({t, proj.to_latlon(pos)});
+  while (t < duration_s) {
+    const double dt = next_period(profile, rng);
+    t += dt;
+    if (t < stop_until) {  // dwelling at a stop
+      out.push_back({t, proj.to_latlon(pos)});
+      continue;
+    }
+    if (profile.stop_probability > 0.0 && u01(rng) < profile.stop_probability) {
+      stop_until = t + profile.stop_duration_s * (0.5 + u01(rng));
+    }
+    // Correlated heading: blend a random turn into the current heading.
+    const double turn = (1.0 - profile.heading_persistence) * gauss(rng) * M_PI;
+    heading += turn;
+    const double speed =
+        std::max(0.1, profile.mean_speed_mps * (1.0 + profile.speed_jitter * gauss(rng)));
+    geo::Enu next{pos.east + std::sin(heading) * speed * dt,
+                  pos.north + std::cos(heading) * speed * dt};
+    // Reflect at the disc boundary: steer back towards the centre.
+    if (geo::distance_m(next, center) > radius_m) {
+      heading = std::atan2(center.east - pos.east, center.north - pos.north) +
+                (u01(rng) - 0.5) * 0.8;
+      next = {pos.east + std::sin(heading) * speed * dt,
+              pos.north + std::cos(heading) * speed * dt};
+    }
+    pos = next;
+    out.push_back({t, proj.to_latlon(pos)});
+  }
+  return out;
+}
+
+geo::Trajectory polyline_route(const geo::LocalProjection& proj,
+                               const std::vector<geo::Enu>& waypoints,
+                               const MobilityProfile& profile, std::mt19937_64& rng,
+                               double lateral_jitter_m) {
+  assert(waypoints.size() >= 2);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  geo::Trajectory out;
+  double t = 0.0;
+  size_t seg = 1;
+  geo::Enu pos = waypoints.front();
+  out.push_back({t, proj.to_latlon(pos)});
+  double stop_until = -1.0;
+
+  while (seg < waypoints.size()) {
+    const double dt = next_period(profile, rng);
+    t += dt;
+    if (t < stop_until) {
+      out.push_back({t, proj.to_latlon(pos)});
+      continue;
+    }
+    if (profile.stop_probability > 0.0 && u01(rng) < profile.stop_probability) {
+      stop_until = t + profile.stop_duration_s * (0.5 + u01(rng));
+    }
+    double remaining =
+        std::max(0.1, profile.mean_speed_mps * (1.0 + profile.speed_jitter * gauss(rng))) * dt;
+    while (remaining > 0.0 && seg < waypoints.size()) {
+      const geo::Enu& target = waypoints[seg];
+      const double d = geo::distance_m(pos, target);
+      if (d <= remaining) {
+        pos = target;
+        remaining -= d;
+        ++seg;
+      } else {
+        const double f = remaining / d;
+        pos = {pos.east + f * (target.east - pos.east), pos.north + f * (target.north - pos.north)};
+        remaining = 0.0;
+      }
+    }
+    geo::Enu sample = pos;
+    sample.east += gauss(rng) * lateral_jitter_m;
+    sample.north += gauss(rng) * lateral_jitter_m;
+    out.push_back({t, proj.to_latlon(sample)});
+  }
+  return out;
+}
+
+geo::Trajectory scenario_trajectory(const RegionConfig& region, const RoadNetwork& roads,
+                                    Scenario s, double duration_s, std::mt19937_64& rng,
+                                    int city_index) {
+  const geo::LocalProjection proj(region.origin);
+  const MobilityProfile profile = mobility_profile(s);
+  std::uniform_int_distribution<int> line_pick(0, 999);
+
+  auto ride_polyline = [&](std::vector<geo::Enu> wps, const MobilityProfile& p,
+                           double lateral_m) {
+    if (wps.size() < 2) return geo::Trajectory{};
+    geo::Trajectory tr = polyline_route(proj, wps, p, rng, lateral_m);
+    while (tr.duration_s() < duration_s) {
+      std::reverse(wps.begin(), wps.end());
+      tr = tr.append(polyline_route(proj, wps, p, rng, lateral_m), 20.0);
+    }
+    return tr;
+  };
+
+  switch (s) {
+    case Scenario::kWalk:
+      // Pedestrians are not street-bound; keep the free-space walk.
+      return scenario_trajectory(region, s, duration_s, rng, city_index);
+    case Scenario::kBus:
+      return ride_polyline(roads.transit_line(city_index, 100 + line_pick(rng) % 5), profile,
+                           5.0);
+    case Scenario::kTram:
+      return ride_polyline(roads.transit_line(city_index, 200 + line_pick(rng) % 3), profile,
+                           2.0);
+    case Scenario::kCityDriving1:
+    case Scenario::kCityDriving2: {
+      const double min_len = profile.mean_speed_mps * duration_s;
+      auto route = roads.random_city_route(city_index, min_len, rng);
+      if (route.size() < 2) return scenario_trajectory(region, s, duration_s, rng, city_index);
+      return polyline_route(proj, route, profile, rng, 4.0);
+    }
+    case Scenario::kHighway1:
+    case Scenario::kHighway2:
+      // Highways were already polylines; same treatment as the free variant.
+      return scenario_trajectory(region, s, duration_s, rng, city_index);
+    case Scenario::kLongComplex: {
+      geo::Trajectory tr;
+      const int n_city = static_cast<int>(region.cities.size());
+      MobilityProfile city_profile = mobility_profile(Scenario::kCityDriving1);
+      MobilityProfile hw_profile = mobility_profile(Scenario::kHighway1);
+      for (int i = 0; i < n_city; ++i) {
+        const double leg_s = duration_s / (2.0 * n_city);
+        auto route = roads.random_city_route(i, city_profile.mean_speed_mps * leg_s, rng);
+        if (route.size() >= 2) {
+          geo::Trajectory leg = polyline_route(proj, route, city_profile, rng, 4.0);
+          tr = tr.empty() ? leg : tr.append(leg, 5.0);
+        }
+        if (i + 1 < n_city && !region.highways.empty()) {
+          const auto& hw = region.highways[static_cast<size_t>(i) % region.highways.size()];
+          tr = tr.append(polyline_route(proj, hw.waypoints, hw_profile, rng, 3.0), 5.0);
+        }
+      }
+      if (tr.empty()) return scenario_trajectory(region, s, duration_s, rng, city_index);
+      return tr;
+    }
+  }
+  return {};
+}
+
+geo::Trajectory scenario_trajectory(const RegionConfig& region, Scenario s, double duration_s,
+                                    std::mt19937_64& rng, int city_index) {
+  const geo::LocalProjection proj(region.origin);
+  const MobilityProfile profile = mobility_profile(s);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  auto city_center = [&](int i) {
+    assert(!region.cities.empty());
+    return region.cities[static_cast<size_t>(i) % region.cities.size()].center;
+  };
+  auto city_radius = [&](int i) {
+    return region.cities[static_cast<size_t>(i) % region.cities.size()].radius_m;
+  };
+
+  switch (s) {
+    case Scenario::kWalk:
+      return random_route(proj, city_center(city_index), 0.35 * city_radius(city_index), profile,
+                          duration_s, rng);
+    case Scenario::kBus:
+    case Scenario::kCityDriving1:
+    case Scenario::kCityDriving2:
+      return random_route(proj, city_center(city_index), 0.8 * city_radius(city_index), profile,
+                          duration_s, rng);
+    case Scenario::kTram: {
+      // Tram: fixed polyline through the city centre; back and forth.
+      const geo::Enu c = city_center(city_index);
+      const double r = 0.7 * city_radius(city_index);
+      const double ang = u01(rng) * 2.0 * M_PI;
+      std::vector<geo::Enu> line;
+      for (double f = -1.0; f <= 1.001; f += 0.25) {
+        line.push_back({c.east + f * r * std::sin(ang) + (u01(rng) - 0.5) * 300.0,
+                        c.north + f * r * std::cos(ang) + (u01(rng) - 0.5) * 300.0});
+      }
+      geo::Trajectory tr = polyline_route(proj, line, profile, rng);
+      while (tr.duration_s() < duration_s) {
+        std::reverse(line.begin(), line.end());
+        tr = tr.append(polyline_route(proj, line, profile, rng), 20.0);
+      }
+      return tr;
+    }
+    case Scenario::kHighway1:
+    case Scenario::kHighway2: {
+      assert(!region.highways.empty());
+      const auto& hw =
+          region.highways[static_cast<size_t>(city_index) % region.highways.size()];
+      geo::Trajectory tr = polyline_route(proj, hw.waypoints, profile, rng, 3.0);
+      std::vector<geo::Enu> wps = hw.waypoints;
+      while (tr.duration_s() < duration_s) {
+        std::reverse(wps.begin(), wps.end());
+        tr = tr.append(polyline_route(proj, wps, profile, rng, 3.0), 30.0);
+      }
+      return tr;
+    }
+    case Scenario::kLongComplex: {
+      // City A driving -> highway -> city B -> highway -> city C.
+      geo::Trajectory tr;
+      const int n_city = static_cast<int>(region.cities.size());
+      for (int i = 0; i < n_city; ++i) {
+        MobilityProfile city = mobility_profile(Scenario::kCityDriving1);
+        geo::Trajectory leg = random_route(proj, city_center(i), 0.7 * city_radius(i), city,
+                                           duration_s / (2.0 * n_city), rng);
+        tr = tr.empty() ? leg : tr.append(leg, 5.0);
+        if (i + 1 < n_city && !region.highways.empty()) {
+          const auto& hw = region.highways[static_cast<size_t>(i) % region.highways.size()];
+          MobilityProfile hwp = mobility_profile(Scenario::kHighway1);
+          tr = tr.append(polyline_route(proj, hw.waypoints, hwp, rng, 3.0), 5.0);
+        }
+      }
+      return tr;
+    }
+  }
+  return {};
+}
+
+}  // namespace gendt::sim

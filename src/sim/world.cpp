@@ -1,0 +1,119 @@
+#include "gendt/sim/world.h"
+
+#include <cmath>
+#include <random>
+
+namespace gendt::sim {
+
+double site_density_per_km2(LandUse lu) {
+  switch (lu) {
+    case LandUse::kContinuousUrban: return 9.0;
+    case LandUse::kHighDenseUrban: return 6.0;
+    case LandUse::kMediumDenseUrban: return 3.5;
+    case LandUse::kIndustrialCommercial: return 3.0;
+    case LandUse::kLowDenseUrban: return 2.0;
+    case LandUse::kLeisureFacilities: return 1.5;
+    case LandUse::kVeryLowDenseUrban: return 1.0;
+    case LandUse::kGreenUrban: return 0.8;
+    case LandUse::kAirSeaPorts: return 0.8;
+    case LandUse::kIsolatedStructures: return 0.5;
+    case LandUse::kBarrenLands: return 0.15;
+    case LandUse::kSea: return 0.0;
+  }
+  return 0.0;
+}
+
+radio::CellTable deploy_cells(const LandUseMap& map, const DeploymentConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const RegionConfig& region = map.config();
+  const geo::LocalProjection proj(region.origin);
+
+  std::vector<geo::Enu> sites;
+
+  // Poisson placement over a coarse lattice: expected sites per tile follows
+  // the land use at the tile centre.
+  const double tile_m = 250.0;
+  const double tile_km2 = tile_m * tile_m / 1e6;
+  auto city_density_scale = [&region](const geo::Enu& p) {
+    // Inside (or near) a city, inherit that city's relative deployment
+    // density; elsewhere nominal.
+    double scale = 1.0;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& city : region.cities) {
+      const double d = geo::distance_m(p, city.center);
+      if (d < 1.3 * city.radius_m && d < best) {
+        best = d;
+        scale = city.density_scale;
+      }
+    }
+    return scale;
+  };
+
+  for (double north = -region.extent_m; north < region.extent_m; north += tile_m) {
+    for (double east = -region.extent_m; east < region.extent_m; east += tile_m) {
+      const geo::Enu centre{east + tile_m / 2, north + tile_m / 2};
+      const double lambda =
+          site_density_per_km2(map.at(centre)) * tile_km2 * city_density_scale(centre);
+      if (lambda <= 0.0) continue;
+      std::poisson_distribution<int> count(lambda);
+      const int n = count(rng);
+      for (int i = 0; i < n; ++i)
+        sites.push_back({east + u01(rng) * tile_m, north + u01(rng) * tile_m});
+    }
+  }
+
+  // Highway chain: a site roughly every 2.5 km along each highway, offset
+  // sideways a little, but only where density placement left a gap.
+  for (const auto& hw : region.highways) {
+    for (size_t i = 1; i < hw.waypoints.size(); ++i) {
+      const geo::Enu& a = hw.waypoints[i - 1];
+      const geo::Enu& b = hw.waypoints[i];
+      const double len = geo::distance_m(a, b);
+      const int n = std::max(1, static_cast<int>(len / 2500.0));
+      for (int k = 0; k <= n; ++k) {
+        const double f = static_cast<double>(k) / n;
+        geo::Enu p{a.east + f * (b.east - a.east), a.north + f * (b.north - a.north)};
+        p.east += (u01(rng) - 0.5) * 600.0;
+        p.north += (u01(rng) - 0.5) * 600.0;
+        bool near_existing = false;
+        for (const auto& s : sites) {
+          if (geo::distance_m(s, p) < 1200.0) {
+            near_existing = true;
+            break;
+          }
+        }
+        if (!near_existing) sites.push_back(p);
+      }
+    }
+  }
+
+  // Three sectors per site at 0/120/240 degrees plus per-site jitter.
+  std::vector<radio::Cell> cells;
+  cells.reserve(sites.size() * 3);
+  radio::CellId next_id = 1;
+  std::normal_distribution<double> jitter(0.0, cfg.azimuth_jitter_deg);
+  for (const auto& s : sites) {
+    const double base_az = u01(rng) * 120.0;
+    for (int sector = 0; sector < 3; ++sector) {
+      radio::Cell c;
+      c.id = next_id++;
+      c.site = proj.to_latlon(s);
+      c.p_max_dbm = cfg.p_max_dbm + (u01(rng) - 0.5) * 2.0;  // slight per-cell power spread
+      c.azimuth_deg = std::fmod(base_az + 120.0 * sector + jitter(rng) + 360.0, 360.0);
+      cells.push_back(c);
+    }
+  }
+  return radio::CellTable(std::move(cells), region.origin);
+}
+
+World make_world(const RegionConfig& region, const DeploymentConfig& deployment) {
+  World w;
+  w.region = region;
+  w.land_use = std::make_shared<LandUseMap>(region);
+  w.deployment = deployment;
+  w.cells = deploy_cells(*w.land_use, deployment);
+  return w;
+}
+
+}  // namespace gendt::sim

@@ -1,0 +1,209 @@
+#include "gendt/baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "gendt/metrics/metrics.h"
+#include "gendt/sim/dataset.h"
+
+namespace gendt::baselines {
+namespace {
+
+class BaselinesF : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::DatasetScale scale;
+    scale.train_duration_s = 260.0;
+    scale.test_duration_s = 130.0;
+    scale.records_per_scenario = 1;
+    ds_ = new sim::Dataset(sim::make_dataset_a(scale));
+    norm_ = new context::KpiNorm(context::fit_kpi_norm(ds_->train, ds_->kpis));
+    context::ContextConfig cfg;
+    cfg.window_len = 25;
+    cfg.train_step = 10;
+    cfg.max_cells = 5;
+    builder_ = new context::ContextBuilder(ds_->world, cfg, *norm_, ds_->kpis);
+    train_windows_ = new std::vector<context::Window>();
+    for (const auto& rec : ds_->train) {
+      auto w = builder_->training_windows(rec);
+      train_windows_->insert(train_windows_->end(), w.begin(), w.end());
+    }
+    gen_windows_ = new std::vector<context::Window>(builder_->generation_windows(ds_->test[0]));
+  }
+  static void TearDownTestSuite() {
+    delete gen_windows_;
+    delete train_windows_;
+    delete builder_;
+    delete norm_;
+    delete ds_;
+    gen_windows_ = nullptr;
+    train_windows_ = nullptr;
+    builder_ = nullptr;
+    norm_ = nullptr;
+    ds_ = nullptr;
+  }
+  static size_t expected_length() {
+    size_t n = 0;
+    for (const auto& w : *gen_windows_) n += static_cast<size_t>(w.len);
+    return n;
+  }
+
+  static sim::Dataset* ds_;
+  static context::KpiNorm* norm_;
+  static context::ContextBuilder* builder_;
+  static std::vector<context::Window>* train_windows_;
+  static std::vector<context::Window>* gen_windows_;
+};
+sim::Dataset* BaselinesF::ds_ = nullptr;
+context::KpiNorm* BaselinesF::norm_ = nullptr;
+context::ContextBuilder* BaselinesF::builder_ = nullptr;
+std::vector<context::Window>* BaselinesF::train_windows_ = nullptr;
+std::vector<context::Window>* BaselinesF::gen_windows_ = nullptr;
+
+TEST_F(BaselinesF, FdasMatchesTrainingDistribution) {
+  FDaS f(*norm_);
+  f.fit(*train_windows_);
+  auto out = f.generate(*gen_windows_, 1);
+  ASSERT_EQ(out.channels.size(), 4u);
+  EXPECT_EQ(out.length(), expected_length());
+  // Distribution match vs the *training* RSRP data should be tight.
+  std::vector<double> train_rsrp;
+  for (const auto& rec : ds_->train)
+    for (const auto& m : rec.samples) train_rsrp.push_back(m.rsrp_dbm);
+  EXPECT_LT(metrics::hwd(train_rsrp, out.channels[0]), 3.0);
+}
+
+TEST_F(BaselinesF, FdasIgnoresTemporalStructure) {
+  FDaS f(*norm_);
+  f.fit(*train_windows_);
+  auto out = f.generate(*gen_windows_, 2);
+  // i.i.d. sampling: successive-differences should be much larger than the
+  // real series' rate of change.
+  auto real = core::real_series(*gen_windows_, *norm_);
+  EXPECT_GT(metrics::series_stats(out.channels[0]).roc,
+            2.0 * metrics::series_stats(real.channels[0]).roc);
+}
+
+TEST_F(BaselinesF, FdasDifferentSeedsDiffer) {
+  FDaS f(*norm_);
+  f.fit(*train_windows_);
+  auto a = f.generate(*gen_windows_, 1);
+  auto b = f.generate(*gen_windows_, 2);
+  double diff = 0.0;
+  for (size_t i = 0; i < a.channels[0].size(); ++i)
+    diff += std::abs(a.channels[0][i] - b.channels[0][i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST_F(BaselinesF, MlpLearnsContextRelationship) {
+  MlpRegressor mlp({.epochs = 15, .seed = 7}, *norm_, 4);
+  mlp.fit(*train_windows_);
+  auto out = mlp.generate(*gen_windows_, 1);
+  EXPECT_EQ(out.length(), expected_length());
+  auto real = core::real_series(*gen_windows_, *norm_);
+  // Should beat predicting the training mean on MAE.
+  std::vector<double> mean_pred(real.channels[0].size(), norm_->mean[0]);
+  EXPECT_LT(metrics::mae(real.channels[0], out.channels[0]),
+            metrics::mae(real.channels[0], mean_pred) * 1.05);
+}
+
+TEST_F(BaselinesF, MlpIsDeterministicAcrossSeeds) {
+  MlpRegressor mlp({.epochs = 2, .seed = 8}, *norm_, 4);
+  mlp.fit(*train_windows_);
+  auto a = mlp.generate(*gen_windows_, 1);
+  auto b = mlp.generate(*gen_windows_, 99);
+  for (size_t i = 0; i < a.channels[0].size(); ++i)
+    EXPECT_DOUBLE_EQ(a.channels[0][i], b.channels[0][i]);
+}
+
+TEST_F(BaselinesF, LstmGnnTrainsAndGenerates) {
+  LstmGnnPredictor lg({.epochs = 4, .seed = 9}, *norm_, 4);
+  lg.fit(*train_windows_);
+  auto out = lg.generate(*gen_windows_, 1);
+  EXPECT_EQ(out.length(), expected_length());
+  for (double v : out.channels[0]) {
+    EXPECT_GT(v, -200.0);
+    EXPECT_LT(v, 0.0);
+  }
+}
+
+TEST_F(BaselinesF, DgWindowContextShape) {
+  const nn::Mat ctx = DoppelGANger::window_context((*train_windows_)[0]);
+  EXPECT_EQ(ctx.rows(), 1);
+  EXPECT_EQ(ctx.cols(), DoppelGANger::context_dim());
+  EXPECT_EQ(DoppelGANger::context_dim(), 5 + 26);
+}
+
+TEST_F(BaselinesF, DgVariantsShareArchitectureButDifferInContextUse) {
+  DoppelGANger orig({.epochs = 3, .use_real_context = false, .seed = 10}, *norm_, 4);
+  DoppelGANger real_ctx({.epochs = 3, .use_real_context = true, .seed = 10}, *norm_, 4);
+  EXPECT_EQ(orig.name(), "Orig. DG");
+  EXPECT_EQ(real_ctx.name(), "Real Cont. DG");
+  orig.fit(*train_windows_);
+  real_ctx.fit(*train_windows_);
+  auto a = orig.generate(*gen_windows_, 5);
+  auto b = real_ctx.generate(*gen_windows_, 5);
+  EXPECT_EQ(a.length(), expected_length());
+  EXPECT_EQ(b.length(), expected_length());
+  // Same seed but different context path -> different outputs.
+  double diff = 0.0;
+  for (size_t i = 0; i < a.channels[0].size(); ++i)
+    diff += std::abs(a.channels[0][i] - b.channels[0][i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST_F(BaselinesF, ContextGanLearnsMetadataDistribution) {
+  // Original DG's stage-1 metadata GAN: sampled contexts should roughly
+  // match the real per-window context distribution in mean (per dimension).
+  DoppelGANger dg({.epochs = 1, .use_real_context = false, .ctx_epochs = 120, .seed = 21},
+                  *norm_, 4);
+  dg.fit(*train_windows_);
+  const int dim = DoppelGANger::context_dim();
+  std::vector<double> real_mean(static_cast<size_t>(dim), 0.0);
+  for (const auto& w : *train_windows_) {
+    const nn::Mat c = DoppelGANger::window_context(w);
+    for (int a = 0; a < dim; ++a) real_mean[static_cast<size_t>(a)] += c(0, a);
+  }
+  for (auto& v : real_mean) v /= static_cast<double>(train_windows_->size());
+
+  std::mt19937_64 rng(3);
+  std::vector<double> gen_mean(static_cast<size_t>(dim), 0.0);
+  const int n_samples = 200;
+  for (int k = 0; k < n_samples; ++k) {
+    const nn::Mat c = dg.sample_context(rng);
+    for (int a = 0; a < dim; ++a) gen_mean[static_cast<size_t>(a)] += c(0, a);
+  }
+  for (auto& v : gen_mean) v /= n_samples;
+
+  // Compare on the cell-attribute dimensions (first 5), which have O(1)
+  // scale after the builder's normalization.
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_NEAR(gen_mean[static_cast<size_t>(a)], real_mean[static_cast<size_t>(a)], 1.5)
+        << "dim " << a;
+  }
+}
+
+TEST_F(BaselinesF, RealContextDgBeatsOrigDgOnMae) {
+  // The paper's core finding about DG: generated context hurts fidelity.
+  DoppelGANger orig({.epochs = 8, .use_real_context = false, .seed = 11}, *norm_, 4);
+  DoppelGANger real_ctx({.epochs = 8, .use_real_context = true, .seed = 11}, *norm_, 4);
+  orig.fit(*train_windows_);
+  real_ctx.fit(*train_windows_);
+  auto truth = core::real_series(*gen_windows_, *norm_);
+  const double mae_orig =
+      metrics::mae(truth.channels[0], orig.generate(*gen_windows_, 3).channels[0]);
+  const double mae_real =
+      metrics::mae(truth.channels[0], real_ctx.generate(*gen_windows_, 3).channels[0]);
+  EXPECT_LE(mae_real, mae_orig * 1.1);  // real context at least as good
+}
+
+TEST_F(BaselinesF, MakeAllBaselinesReturnsFiveDistinctNames) {
+  auto all = make_all_baselines(*norm_, 4, 100);
+  ASSERT_EQ(all.size(), 5u);
+  std::vector<std::string> names;
+  for (const auto& b : all) names.push_back(b->name());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace gendt::baselines

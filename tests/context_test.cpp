@@ -1,0 +1,175 @@
+#include "gendt/context/context.h"
+
+#include <gtest/gtest.h>
+
+#include "gendt/sim/dataset.h"
+
+namespace gendt::context {
+namespace {
+
+class ContextF : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::DatasetScale scale;
+    scale.train_duration_s = 300.0;
+    scale.test_duration_s = 120.0;
+    scale.records_per_scenario = 1;
+    ds_ = new sim::Dataset(sim::make_dataset_a(scale));
+    norm_ = new KpiNorm(fit_kpi_norm(ds_->train, ds_->kpis));
+    ContextConfig cfg;
+    cfg.window_len = 30;
+    cfg.train_step = 5;
+    builder_ = new ContextBuilder(ds_->world, cfg, *norm_, ds_->kpis);
+  }
+  static void TearDownTestSuite() {
+    delete builder_;
+    delete norm_;
+    delete ds_;
+    builder_ = nullptr;
+    norm_ = nullptr;
+    ds_ = nullptr;
+  }
+  static sim::Dataset* ds_;
+  static KpiNorm* norm_;
+  static ContextBuilder* builder_;
+};
+sim::Dataset* ContextF::ds_ = nullptr;
+KpiNorm* ContextF::norm_ = nullptr;
+ContextBuilder* ContextF::builder_ = nullptr;
+
+TEST_F(ContextF, NormalizationRoundTrips) {
+  for (size_t ch = 0; ch < ds_->kpis.size(); ++ch) {
+    const double v = -87.3;
+    EXPECT_NEAR(norm_->denormalize(static_cast<int>(ch),
+                                   norm_->normalize(static_cast<int>(ch), v)),
+                v, 1e-9);
+  }
+}
+
+TEST_F(ContextF, NormalizedTrainKpisAreStandardized) {
+  // Normalizing the training data by its own stats gives ~0 mean, ~1 std.
+  for (size_t ch = 0; ch < ds_->kpis.size(); ++ch) {
+    double s = 0.0, s2 = 0.0;
+    long n = 0;
+    for (const auto& rec : ds_->train) {
+      for (const auto& m : rec.samples) {
+        const double v = norm_->normalize(static_cast<int>(ch), m.kpi(ds_->kpis[ch]));
+        s += v;
+        s2 += v * v;
+        ++n;
+      }
+    }
+    EXPECT_NEAR(s / n, 0.0, 1e-6);
+    EXPECT_NEAR(s2 / n, 1.0, 1e-6);
+  }
+}
+
+TEST_F(ContextF, TrainingWindowsOverlapWithStep) {
+  auto windows = builder_->training_windows(ds_->train[0]);
+  ASSERT_GT(windows.size(), 3u);
+  EXPECT_EQ(windows[0].start, 0);
+  EXPECT_EQ(windows[1].start, 5);
+  EXPECT_EQ(windows[0].len, 30);
+  // Expected count: floor((n - L) / step) + 1.
+  const int n = static_cast<int>(ds_->train[0].samples.size());
+  EXPECT_EQ(static_cast<int>(windows.size()), (n - 30) / 5 + 1);
+}
+
+TEST_F(ContextF, GenerationWindowsAreNonOverlapping) {
+  auto windows = builder_->generation_windows(ds_->test[0]);
+  ASSERT_GT(windows.size(), 1u);
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].start, windows[i - 1].start + windows[i - 1].len);
+  }
+  // Windows cover the whole record (except a possible sub-2-sample tail).
+  const auto& last = windows.back();
+  EXPECT_GE(last.start + last.len, static_cast<int>(ds_->test[0].samples.size()) - 1);
+}
+
+TEST_F(ContextF, WindowShapes) {
+  auto windows = builder_->training_windows(ds_->train[0]);
+  const auto& w = windows[0];
+  ASSERT_FALSE(w.cell_attrs.empty());
+  EXPECT_LE(static_cast<int>(w.cell_attrs.size()), builder_->config().max_cells);
+  for (const auto& ca : w.cell_attrs) {
+    EXPECT_EQ(ca.rows(), 30);
+    EXPECT_EQ(ca.cols(), kCellAttrs);
+  }
+  EXPECT_EQ(w.env.rows(), 30);
+  EXPECT_EQ(w.env.cols(), sim::kNumEnvAttributes);
+  EXPECT_EQ(w.target.rows(), 30);
+  EXPECT_EQ(w.target.cols(), static_cast<int>(ds_->kpis.size()));
+}
+
+TEST_F(ContextF, GenerationWindowFromTrajectoryHasNoTarget) {
+  auto windows = builder_->generation_windows(ds_->test[0].trajectory);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_TRUE(windows[0].target.empty());
+  EXPECT_FALSE(windows[0].cell_attrs.empty());
+}
+
+TEST_F(ContextF, CellsRankedByDistance) {
+  auto windows = builder_->training_windows(ds_->train[0]);
+  const auto& w = windows[0];
+  // Column 4 is distance (km): first cell must be the nearest on average.
+  auto mean_dist = [&](const nn::Mat& ca) {
+    double s = 0.0;
+    for (int t = 0; t < ca.rows(); ++t) s += ca(t, 4);
+    return s / ca.rows();
+  };
+  for (size_t i = 1; i < w.cell_attrs.size(); ++i) {
+    EXPECT_LE(mean_dist(w.cell_attrs[i - 1]), mean_dist(w.cell_attrs[i]) + 1e-9);
+  }
+}
+
+TEST_F(ContextF, DistanceAttributeConsistentWithOffsets) {
+  auto windows = builder_->training_windows(ds_->train[0]);
+  const auto& ca = windows[0].cell_attrs[0];
+  for (int t = 0; t < ca.rows(); t += 7) {
+    const double d = std::hypot(ca(t, 0), ca(t, 1));
+    EXPECT_NEAR(d, ca(t, 4), 1e-9);
+  }
+}
+
+TEST_F(ContextF, EnvAttributesInRange) {
+  auto windows = builder_->training_windows(ds_->train[0]);
+  const auto& env = windows[0].env;
+  for (int t = 0; t < env.rows(); ++t) {
+    double frac_sum = 0.0;
+    for (int i = 0; i < sim::kNumLandUse; ++i) {
+      EXPECT_GE(env(t, i), 0.0);
+      EXPECT_LE(env(t, i), 1.0);
+      frac_sum += env(t, i);
+    }
+    EXPECT_NEAR(frac_sum, 1.0, 1e-9);
+    for (int i = sim::kNumLandUse; i < sim::kNumEnvAttributes; ++i) {
+      EXPECT_GE(env(t, i), 0.0);
+      EXPECT_LE(env(t, i), 2.0);  // scaled & clipped PoI counts
+    }
+  }
+}
+
+TEST_F(ContextF, EnvAttributeNamesCoverAll26) {
+  for (int i = 0; i < sim::kNumEnvAttributes; ++i) {
+    EXPECT_NE(env_attribute_name(i), "?") << i;
+  }
+  EXPECT_EQ(env_attribute_name(26), "?");
+  EXPECT_EQ(env_attribute_name(-1), "?");
+}
+
+TEST_F(ContextF, ShortRecordYieldsNoTrainingWindows) {
+  sim::DriveTestRecord tiny;
+  tiny.samples.assign(5, ds_->train[0].samples[0]);
+  for (size_t i = 0; i < tiny.samples.size(); ++i) tiny.samples[i].t = static_cast<double>(i);
+  EXPECT_TRUE(builder_->training_windows(tiny).empty());
+}
+
+TEST(FitKpiNorm, HandlesEmptyRecords) {
+  std::vector<sim::DriveTestRecord> empty;
+  KpiNorm n = fit_kpi_norm(empty, {sim::Kpi::kRsrp});
+  EXPECT_DOUBLE_EQ(n.mean[0], 0.0);
+  EXPECT_DOUBLE_EQ(n.stddev[0], 1.0);
+}
+
+}  // namespace
+}  // namespace gendt::context

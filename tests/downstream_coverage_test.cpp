@@ -1,0 +1,110 @@
+#include "gendt/downstream/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "gendt/core/model.h"
+#include "gendt/sim/dataset.h"
+
+namespace gendt::downstream {
+namespace {
+
+class CoverageF : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::DatasetScale scale;
+    scale.train_duration_s = 250.0;
+    scale.test_duration_s = 100.0;
+    scale.records_per_scenario = 1;
+    ds_ = new sim::Dataset(sim::make_dataset_a(scale));
+    norm_ = new context::KpiNorm(context::fit_kpi_norm(ds_->train, ds_->kpis));
+    context::ContextConfig ccfg;
+    ccfg.window_len = 20;
+    ccfg.train_step = 10;
+    ccfg.max_cells = 5;
+    builder_ = new context::ContextBuilder(ds_->world, ccfg, *norm_, ds_->kpis);
+    core::GenDTConfig mcfg;
+    mcfg.num_channels = static_cast<int>(ds_->kpis.size());
+    mcfg.hidden = 16;
+    gen_ = new core::GenDTGenerator(mcfg, core::TrainConfig{.epochs = 4, .seed = 2}, *norm_);
+    std::vector<context::Window> windows;
+    for (const auto& rec : ds_->train) {
+      auto w = builder_->training_windows(rec);
+      windows.insert(windows.end(), w.begin(), w.end());
+    }
+    gen_->fit(windows);
+  }
+  static void TearDownTestSuite() {
+    delete gen_;
+    delete builder_;
+    delete norm_;
+    delete ds_;
+    gen_ = nullptr;
+    builder_ = nullptr;
+    norm_ = nullptr;
+    ds_ = nullptr;
+  }
+  static sim::Dataset* ds_;
+  static context::KpiNorm* norm_;
+  static context::ContextBuilder* builder_;
+  static core::GenDTGenerator* gen_;
+};
+sim::Dataset* CoverageF::ds_ = nullptr;
+context::KpiNorm* CoverageF::norm_ = nullptr;
+context::ContextBuilder* CoverageF::builder_ = nullptr;
+core::GenDTGenerator* CoverageF::gen_ = nullptr;
+
+TEST_F(CoverageF, MapsRequestedGrid) {
+  const geo::LocalProjection& proj = ds_->world.projection();
+  CoverageConfig cfg;
+  cfg.cell_m = 500.0;
+  cfg.probe_duration_s = 25.0;
+  CoverageMap map =
+      map_coverage(*gen_, *builder_, proj, {-750.0, -750.0}, {750.0, 750.0}, cfg);
+  EXPECT_EQ(map.cells.size(), 9u);  // 3x3 at 500 m over 1.5 km
+  for (const auto& c : map.cells) {
+    EXPECT_GT(c.samples, 0);
+    EXPECT_GT(c.mean_rsrp_dbm, -140.0);
+    EXPECT_LT(c.mean_rsrp_dbm, -30.0);
+    EXPECT_LE(c.p10_rsrp_dbm, c.mean_rsrp_dbm + 1e-9);
+  }
+}
+
+TEST_F(CoverageF, CoveredFractionMonotoneInThreshold) {
+  const geo::LocalProjection& proj = ds_->world.projection();
+  CoverageConfig cfg;
+  cfg.cell_m = 600.0;
+  cfg.probe_duration_s = 25.0;
+  CoverageMap map =
+      map_coverage(*gen_, *builder_, proj, {-900.0, -900.0}, {900.0, 900.0}, cfg);
+  double prev = 1.0;
+  for (double th = -130.0; th <= -60.0; th += 10.0) {
+    const double f = map.covered_fraction(th);
+    EXPECT_LE(f, prev + 1e-12);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(map.covered_fraction(-140.0), 1.0);
+  EXPECT_DOUBLE_EQ(map.covered_fraction(0.0), 0.0);
+}
+
+TEST_F(CoverageF, WeakestCellIsReported) {
+  const geo::LocalProjection& proj = ds_->world.projection();
+  CoverageConfig cfg;
+  cfg.cell_m = 700.0;
+  cfg.probe_duration_s = 25.0;
+  CoverageMap map =
+      map_coverage(*gen_, *builder_, proj, {-700.0, -700.0}, {700.0, 700.0}, cfg);
+  const CoverageCell* w = map.weakest();
+  ASSERT_NE(w, nullptr);
+  for (const auto& c : map.cells) EXPECT_GE(c.mean_rsrp_dbm, w->mean_rsrp_dbm);
+}
+
+TEST(CoverageMap, EmptyMapEdgeCases) {
+  CoverageMap map;
+  EXPECT_DOUBLE_EQ(map.covered_fraction(-100.0), 0.0);
+  EXPECT_EQ(map.weakest(), nullptr);
+}
+
+}  // namespace
+}  // namespace gendt::downstream

@@ -1,0 +1,157 @@
+#include "gendt/downstream/handover.h"
+#include "gendt/downstream/qoe.h"
+
+#include <gtest/gtest.h>
+
+#include "gendt/metrics/metrics.h"
+#include "gendt/sim/dataset.h"
+
+namespace gendt::downstream {
+namespace {
+
+class QoeF : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::DatasetScale scale;
+    scale.train_duration_s = 400.0;
+    scale.test_duration_s = 150.0;
+    scale.records_per_scenario = 1;
+    ds_ = new sim::Dataset(sim::make_dataset_a(scale));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static sim::Dataset* ds_;
+};
+sim::Dataset* QoeF::ds_ = nullptr;
+
+TEST_F(QoeF, PredictsThroughputBetterWithRadioKpis) {
+  // Reproduces the paper's Fig. 12a/12b contrast: dropping RSRP/RSRQ from
+  // the QoE model degrades throughput prediction substantially.
+  QoePredictor with({.epochs = 30, .use_radio_kpis = true, .seed = 1},
+                    ds_->world.region.origin);
+  QoePredictor without({.epochs = 30, .use_radio_kpis = false, .seed = 1},
+                       ds_->world.region.origin);
+  with.fit(ds_->train);
+  without.fit(ds_->train);
+
+  const auto& test = ds_->test[0];
+  const QoeFeatures f = QoePredictor::features_from_record(test);
+  const auto real_tput = test.kpi_series(sim::Kpi::kThroughput);
+
+  const double mae_with = metrics::mae(real_tput, with.predict(f).throughput_mbps);
+  const double mae_without = metrics::mae(real_tput, without.predict(f).throughput_mbps);
+  EXPECT_LT(mae_with, mae_without);
+}
+
+TEST_F(QoeF, PredictionsHavePhysicalRanges) {
+  QoePredictor q({.epochs = 10, .seed = 2}, ds_->world.region.origin);
+  q.fit(ds_->train);
+  const QoeFeatures f = QoePredictor::features_from_record(ds_->test[0]);
+  const QoePrediction p = q.predict(f);
+  ASSERT_EQ(p.throughput_mbps.size(), f.rsrp.size());
+  for (size_t i = 0; i < p.per.size(); ++i) {
+    EXPECT_GE(p.throughput_mbps[i], 0.0);
+    EXPECT_GE(p.per[i], 0.0);
+    EXPECT_LE(p.per[i], 1.0);
+  }
+}
+
+TEST_F(QoeF, BeatsMeanPredictorOnThroughput) {
+  QoePredictor q({.epochs = 30, .seed = 3}, ds_->world.region.origin);
+  q.fit(ds_->train);
+  const auto& test = ds_->test[0];
+  const auto real_tput = test.kpi_series(sim::Kpi::kThroughput);
+  const auto pred = q.predict(QoePredictor::features_from_record(test)).throughput_mbps;
+  const double mean = metrics::series_stats(real_tput).mean;
+  std::vector<double> mean_pred(real_tput.size(), mean);
+  EXPECT_LT(metrics::mae(real_tput, pred), metrics::mae(real_tput, mean_pred));
+}
+
+TEST_F(QoeF, FeaturesFromRecordAligned) {
+  const auto& rec = ds_->test[0];
+  const QoeFeatures f = QoePredictor::features_from_record(rec);
+  ASSERT_EQ(f.rsrp.size(), rec.samples.size());
+  EXPECT_DOUBLE_EQ(f.rsrp[0], rec.samples[0].rsrp_dbm);
+  EXPECT_DOUBLE_EQ(f.rsrq[0], rec.samples[0].rsrq_db);
+  EXPECT_DOUBLE_EQ(f.pos[0].lat, rec.samples[0].pos.lat);
+}
+
+TEST(HandoverDetect, ExactForIntegerSeries) {
+  std::vector<double> cells{1, 1, 2, 2, 2, 5, 5};
+  std::vector<double> t{0, 1, 2, 3, 4, 5, 6};
+  auto d = detect_inter_handover_times(cells, t, 0.5);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+}
+
+TEST(HandoverDetect, ThresholdSuppressesNoise) {
+  // Noisy continuous serving-cell series: small wiggles are not handovers.
+  std::vector<double> series{10.0, 10.1, 9.9, 10.05, 20.0, 19.9, 20.1};
+  std::vector<double> t{0, 1, 2, 3, 4, 5, 6};
+  auto d = detect_inter_handover_times(series, t, 2.0);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+}
+
+TEST(HandoverDetect, EmptyInput) {
+  std::vector<double> none;
+  EXPECT_TRUE(detect_inter_handover_times(none, none, 0.5).empty());
+}
+
+TEST(MedianFilter, RemovesImpulseNoiseKeepsSteps) {
+  // An impulse is erased; a sustained step survives.
+  std::vector<double> s{1, 1, 9, 1, 1, 5, 5, 5, 5};
+  auto f = median_filter(s, 3);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);  // impulse removed
+  EXPECT_DOUBLE_EQ(f[6], 5.0);  // step level kept
+}
+
+TEST(MedianFilter, WindowOneIsIdentity) {
+  std::vector<double> s{3, 1, 4, 1, 5};
+  auto f = median_filter(s, 1);
+  for (size_t i = 0; i < s.size(); ++i) EXPECT_DOUBLE_EQ(f[i], s[i]);
+}
+
+TEST(MedianFilter, EdgesShrinkGracefully) {
+  std::vector<double> s{10, 0, 0, 0, 10};
+  auto f = median_filter(s, 5);
+  EXPECT_EQ(f.size(), s.size());
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+}
+
+TEST(MedianFilter, SmoothedSeriesYieldsFewerDetections) {
+  // Noisy two-level serving series: filtering must cut false handovers.
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> g(0.0, 0.4);
+  std::vector<double> s, t;
+  for (int i = 0; i < 200; ++i) {
+    s.push_back((i < 100 ? 10.0 : 20.0) + g(rng));
+    t.push_back(i);
+  }
+  const auto raw = detect_inter_handover_times(s, t, 0.8);
+  const auto smooth = detect_inter_handover_times(median_filter(s, 5), t, 0.8);
+  EXPECT_LT(smooth.size(), raw.size());
+  EXPECT_GE(smooth.size(), 1u);  // the real level change survives
+}
+
+TEST(HandoverCompare, IdenticalDistributionsScoreNearZero) {
+  std::vector<double> a{10, 20, 30, 40, 50, 15, 25, 35};
+  auto cmp = compare_handover_distributions(a, a);
+  EXPECT_NEAR(cmp.hwd, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cmp.real_mean_s, cmp.generated_mean_s);
+  EXPECT_EQ(cmp.real_count, a.size());
+}
+
+TEST(HandoverCompare, DetectsShiftedDistribution) {
+  std::vector<double> a{10, 20, 30, 40};
+  std::vector<double> b{60, 70, 80, 90};
+  auto cmp = compare_handover_distributions(a, b);
+  EXPECT_GT(cmp.hwd, 20.0);
+  EXPECT_GT(cmp.generated_mean_s, cmp.real_mean_s);
+}
+
+}  // namespace
+}  // namespace gendt::downstream

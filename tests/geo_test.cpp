@@ -1,0 +1,116 @@
+#include "gendt/geo/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace gendt::geo {
+namespace {
+
+constexpr LatLon kDortmund{51.5136, 7.4653};
+
+TEST(Haversine, ZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(haversine_m(kDortmund, kDortmund), 0.0);
+}
+
+TEST(Haversine, KnownDistanceDortmundCologne) {
+  const LatLon cologne{50.9375, 6.9603};
+  const double d = haversine_m(kDortmund, cologne);
+  EXPECT_NEAR(d, 73000.0, 3000.0);  // ~73 km
+}
+
+TEST(Haversine, Symmetric) {
+  const LatLon a{51.5, 7.4}, b{51.6, 7.6};
+  EXPECT_DOUBLE_EQ(haversine_m(a, b), haversine_m(b, a));
+}
+
+TEST(LocalProjection, RoundTrip) {
+  LocalProjection proj(kDortmund);
+  const LatLon p{51.52, 7.48};
+  const LatLon back = proj.to_latlon(proj.to_enu(p));
+  EXPECT_NEAR(back.lat, p.lat, 1e-9);
+  EXPECT_NEAR(back.lon, p.lon, 1e-9);
+}
+
+TEST(LocalProjection, MatchesHaversineLocally) {
+  LocalProjection proj(kDortmund);
+  const LatLon p{51.55, 7.52};
+  const double planar = distance_m(proj.to_enu(kDortmund), proj.to_enu(p));
+  const double sphere = haversine_m(kDortmund, p);
+  EXPECT_NEAR(planar / sphere, 1.0, 1e-3);
+}
+
+TEST(Bearing, CardinalDirections) {
+  const Enu o{0, 0};
+  EXPECT_NEAR(bearing_deg(o, {0, 100}), 0.0, 1e-9);    // north
+  EXPECT_NEAR(bearing_deg(o, {100, 0}), 90.0, 1e-9);   // east
+  EXPECT_NEAR(bearing_deg(o, {0, -100}), 180.0, 1e-9); // south
+  EXPECT_NEAR(bearing_deg(o, {-100, 0}), 270.0, 1e-9); // west
+}
+
+TEST(AngleDiff, WrapsAround) {
+  EXPECT_DOUBLE_EQ(angle_diff_deg(350.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(angle_diff_deg(0.0, 180.0), 180.0);
+  EXPECT_DOUBLE_EQ(angle_diff_deg(90.0, 90.0), 0.0);
+}
+
+Trajectory line_traj(int n, double dt, double dlat) {
+  Trajectory t;
+  for (int i = 0; i < n; ++i) t.push_back({i * dt, {51.5 + i * dlat, 7.46}});
+  return t;
+}
+
+TEST(Trajectory, DurationAndLength) {
+  Trajectory t = line_traj(11, 1.0, 0.0001);  // ~11.1 m per step
+  EXPECT_DOUBLE_EQ(t.duration_s(), 10.0);
+  EXPECT_NEAR(t.length_m(), 10 * 11.12, 0.5);
+  EXPECT_NEAR(t.mean_speed_mps(), 11.12, 0.1);
+}
+
+TEST(Trajectory, InterpolationAt) {
+  Trajectory t = line_traj(3, 2.0, 0.001);
+  auto mid = t.at(1.0);  // halfway between first two points
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_NEAR(mid->lat, 51.5005, 1e-9);
+  EXPECT_FALSE(t.at(-1.0).has_value());
+  EXPECT_FALSE(t.at(100.0).has_value());
+}
+
+TEST(Trajectory, AtExactPoints) {
+  Trajectory t = line_traj(3, 1.0, 0.001);
+  auto p0 = t.at(0.0);
+  ASSERT_TRUE(p0.has_value());
+  EXPECT_DOUBLE_EQ(p0->lat, 51.5);
+  auto p2 = t.at(2.0);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_DOUBLE_EQ(p2->lat, 51.502);
+}
+
+TEST(Trajectory, ResamplePreservesEndpointsAndPeriod) {
+  Trajectory t = line_traj(5, 2.5, 0.001);  // 0..10 s
+  Trajectory r = t.resample(1.0);
+  ASSERT_EQ(r.size(), 11u);
+  EXPECT_DOUBLE_EQ(r[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(r[10].t, 10.0);
+  EXPECT_NEAR(r[10].pos.lat, t.back().pos.lat, 1e-12);
+}
+
+TEST(Trajectory, AppendShiftsTimes) {
+  Trajectory a = line_traj(3, 1.0, 0.001);  // ends at t=2
+  Trajectory b = line_traj(3, 1.0, 0.001);
+  Trajectory c = a.append(b, 5.0);
+  ASSERT_EQ(c.size(), 6u);
+  EXPECT_NEAR(c[3].t, 7.0, 1e-5);  // 2 + 5 gap
+  EXPECT_GT(c[3].t, c[2].t);
+}
+
+TEST(Trajectory, EmptyEdgeCases) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.duration_s(), 0.0);
+  EXPECT_DOUBLE_EQ(t.length_m(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_speed_mps(), 0.0);
+  EXPECT_FALSE(t.at(0.0).has_value());
+  EXPECT_TRUE(t.resample(1.0).empty());
+}
+
+}  // namespace
+}  // namespace gendt::geo

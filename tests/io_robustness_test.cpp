@@ -1,0 +1,125 @@
+// Robustness sweep (TEST_P) over malformed CSV inputs: every corrupted file
+// must be rejected cleanly (nullopt + error message), never crash or return
+// partially-parsed data.
+#include "gendt/io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace gendt::io {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream os(path, std::ios::trunc);
+  os << content;
+  return path;
+}
+
+struct BadCsvCase {
+  const char* label;
+  const char* content;
+};
+
+class BadTrajectoryP : public ::testing::TestWithParam<BadCsvCase> {};
+
+TEST_P(BadTrajectoryP, RejectedWithError) {
+  const auto& c = GetParam();
+  const std::string path = write_temp(std::string("gendt_badtraj_") + c.label + ".csv",
+                                      c.content);
+  EXPECT_FALSE(read_trajectory_csv(path).has_value()) << c.label;
+  EXPECT_FALSE(last_error().empty());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BadTrajectoryP,
+    ::testing::Values(
+        BadCsvCase{"empty", ""},
+        BadCsvCase{"header_only_wrong_cols", "a,b\n"},
+        BadCsvCase{"too_few_fields", "t,lat,lon\n0,51.5\n"},
+        BadCsvCase{"too_many_fields", "t,lat,lon\n0,51.5,7.4,9\n"},
+        BadCsvCase{"non_numeric_t", "t,lat,lon\nx,51.5,7.4\n"},
+        BadCsvCase{"non_numeric_lat", "t,lat,lon\n0,north,7.4\n"},
+        BadCsvCase{"duplicate_timestamp", "t,lat,lon\n0,51.5,7.4\n0,51.6,7.5\n"},
+        BadCsvCase{"decreasing_timestamp", "t,lat,lon\n5,51.5,7.4\n1,51.6,7.5\n"},
+        BadCsvCase{"trailing_garbage", "t,lat,lon\n0,51.5,7.4abc\n"}),
+    [](const auto& info) { return info.param.label; });
+
+class BadRecordP : public ::testing::TestWithParam<BadCsvCase> {};
+
+TEST_P(BadRecordP, RejectedWithError) {
+  const auto& c = GetParam();
+  const std::string path = write_temp(std::string("gendt_badrec_") + c.label + ".csv",
+                                      c.content);
+  EXPECT_FALSE(read_record_csv(path).has_value()) << c.label;
+  std::remove(path.c_str());
+}
+
+namespace rec_headers {
+constexpr const char* kGood =
+    "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BadRecordP,
+    ::testing::Values(
+        BadCsvCase{"empty", ""},
+        BadCsvCase{"wrong_header_cols", "t,lat,lon\n"},
+        BadCsvCase{"short_row",
+                   "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
+                   "0,51.5,7.4\n"},
+        BadCsvCase{"float_cell_id",
+                   "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
+                   "0,51.5,7.4,1.5,-85,-11,8,9,12,0.01\n"},
+        BadCsvCase{"text_cqi",
+                   "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
+                   "0,51.5,7.4,1,-85,-11,8,high,12,0.01\n"}),
+    [](const auto& info) { return info.param.label; });
+
+class BadCellsP : public ::testing::TestWithParam<BadCsvCase> {};
+
+TEST_P(BadCellsP, RejectedWithError) {
+  const auto& c = GetParam();
+  const std::string path = write_temp(std::string("gendt_badcells_") + c.label + ".csv",
+                                      c.content);
+  EXPECT_FALSE(read_cells_csv(path, {51.5, 7.4}).has_value()) << c.label;
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BadCellsP,
+    ::testing::Values(
+        BadCsvCase{"empty", ""},
+        BadCsvCase{"wrong_header", "id,lat,lon\n"},
+        BadCsvCase{"bad_power",
+                   "id,lat,lon,p_max_dbm,azimuth_deg,beamwidth_deg,n_rb,earfcn\n"
+                   "1,51.5,7.4,loud,0,65,50,1300\n"},
+        BadCsvCase{"float_n_rb",
+                   "id,lat,lon,p_max_dbm,azimuth_deg,beamwidth_deg,n_rb,earfcn\n"
+                   "1,51.5,7.4,46,0,65,50.5,1300\n"}),
+    [](const auto& info) { return info.param.label; });
+
+// Whitespace tolerance: leading spaces in numeric fields must parse.
+TEST(CsvTolerance, LeadingWhitespaceAccepted) {
+  const std::string path = write_temp("gendt_ws.csv", "t,lat,lon\n 0, 51.5, 7.4\n 1, 51.6, 7.5\n");
+  auto t = read_trajectory_csv(path);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->size(), 2u);
+  std::remove(path.c_str());
+}
+
+// CRLF line endings (Windows exports) must parse.
+TEST(CsvTolerance, CrlfAccepted) {
+  const std::string path = write_temp("gendt_crlf.csv", "t,lat,lon\r\n0,51.5,7.4\r\n1,51.6,7.5\r\n");
+  auto t = read_trajectory_csv(path);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gendt::io

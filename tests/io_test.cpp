@@ -1,0 +1,165 @@
+#include "gendt/io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace gendt::io {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::trunc);
+  os << content;
+}
+
+TEST(TrajectoryCsv, RoundTrip) {
+  geo::Trajectory t;
+  t.push_back({0.0, {51.5, 7.46}});
+  t.push_back({1.5, {51.5001, 7.4601}});
+  t.push_back({3.0, {51.5002, 7.4603}});
+  const std::string path = tmp_path("gendt_traj.csv");
+  ASSERT_TRUE(write_trajectory_csv(t, path));
+  auto back = read_trajectory_csv(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_DOUBLE_EQ((*back)[1].t, 1.5);
+  EXPECT_DOUBLE_EQ((*back)[2].pos.lon, 7.4603);
+  std::remove(path.c_str());
+}
+
+TEST(TrajectoryCsv, RejectsNonMonotoneTimestamps) {
+  const std::string path = tmp_path("gendt_traj_bad.csv");
+  write_file(path, "t,lat,lon\n0,51.5,7.4\n0,51.6,7.5\n");
+  EXPECT_FALSE(read_trajectory_csv(path).has_value());
+  EXPECT_NE(last_error().find("strictly increasing"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TrajectoryCsv, RejectsMalformedRow) {
+  const std::string path = tmp_path("gendt_traj_bad2.csv");
+  write_file(path, "t,lat,lon\n0,51.5,oops\n");
+  EXPECT_FALSE(read_trajectory_csv(path).has_value());
+  EXPECT_NE(last_error().find(":2:"), std::string::npos);  // line number reported
+  std::remove(path.c_str());
+}
+
+TEST(TrajectoryCsv, MissingFileSetsError) {
+  EXPECT_FALSE(read_trajectory_csv("/nonexistent/file.csv").has_value());
+  EXPECT_NE(last_error().find("cannot open"), std::string::npos);
+}
+
+TEST(RecordCsv, RoundTrip) {
+  sim::DriveTestRecord rec;
+  for (int i = 0; i < 5; ++i) {
+    sim::Measurement m;
+    m.t = i;
+    m.pos = {51.5 + i * 1e-4, 7.46};
+    m.serving_cell = 100 + i % 2;
+    m.rsrp_dbm = -85.0 - i;
+    m.rsrq_db = -11.0;
+    m.sinr_db = 8.5;
+    m.cqi = 9;
+    m.throughput_mbps = 12.25;
+    m.per = 0.01;
+    rec.samples.push_back(m);
+    rec.trajectory.push_back({m.t, m.pos});
+  }
+  const std::string path = tmp_path("gendt_rec.csv");
+  ASSERT_TRUE(write_record_csv(rec, path));
+  auto back = read_record_csv(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->samples.size(), 5u);
+  EXPECT_EQ(back->samples[1].serving_cell, 101);
+  EXPECT_DOUBLE_EQ(back->samples[4].rsrp_dbm, -89.0);
+  EXPECT_EQ(back->trajectory.size(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordCsv, RejectsWrongColumnCount) {
+  const std::string path = tmp_path("gendt_rec_bad.csv");
+  write_file(path, "t,lat,lon\n0,51.5,7.4\n");
+  EXPECT_FALSE(read_record_csv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CellsCsv, RoundTrip) {
+  std::vector<radio::Cell> cells;
+  for (int i = 0; i < 4; ++i) {
+    radio::Cell c;
+    c.id = i + 1;
+    c.site = {51.5 + 0.001 * i, 7.46};
+    c.p_max_dbm = 43.0 + i;
+    c.azimuth_deg = 90.0 * i;
+    cells.push_back(c);
+  }
+  radio::CellTable table(std::move(cells), {51.5, 7.46});
+  const std::string path = tmp_path("gendt_cells.csv");
+  ASSERT_TRUE(write_cells_csv(table, path));
+  auto back = read_cells_csv(path, {51.5, 7.46});
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 4u);
+  EXPECT_EQ(back->find(3)->id, 3);
+  EXPECT_DOUBLE_EQ((*back)[2].azimuth_deg, 180.0);
+  EXPECT_EQ((*back)[0].n_rb, 50);  // defaults preserved
+  std::remove(path.c_str());
+}
+
+TEST(SeriesCsv, RoundTrip) {
+  core::GeneratedSeries s;
+  s.channels = {{-85.0, -86.5, -87.0}, {-11.0, -11.5, -12.0}};
+  const std::string path = tmp_path("gendt_series.csv");
+  ASSERT_TRUE(write_series_csv(s, {"RSRP", "RSRQ"}, path, 10.0, 2.0));
+  auto back = read_series_csv(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->channels.size(), 2u);
+  EXPECT_DOUBLE_EQ(back->channels[0][1], -86.5);
+  EXPECT_DOUBLE_EQ(back->channels[1][2], -12.0);
+  std::remove(path.c_str());
+}
+
+TEST(SeriesCsv, RejectsChannelNameMismatch) {
+  core::GeneratedSeries s;
+  s.channels = {{1.0}};
+  EXPECT_FALSE(write_series_csv(s, {"A", "B"}, tmp_path("never.csv")));
+}
+
+TEST(SeriesCsv, RejectsRaggedRows) {
+  const std::string path = tmp_path("gendt_series_bad.csv");
+  write_file(path, "t,RSRP\n0,-85\n1,-86,-11\n");
+  EXPECT_FALSE(read_series_csv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(EndToEnd, SimulatedRecordSurvivesCsvAndBack) {
+  // Full integration: simulate -> export -> import -> identical KPI series.
+  sim::RegionConfig r;
+  r.origin = {51.5, 7.46};
+  r.extent_m = 4000.0;
+  r.cities.push_back({{0.0, 0.0}, 2000.0});
+  r.seed = 2;
+  sim::World w = sim::make_world(r);
+  sim::DriveTestSimulator sim(w);
+  std::mt19937_64 rng(3);
+  geo::Trajectory traj = sim::scenario_trajectory(r, sim::Scenario::kWalk, 120.0, rng);
+  sim::DriveTestRecord rec = sim.run(traj, sim::Scenario::kWalk, 4);
+
+  const std::string path = tmp_path("gendt_rec_e2e.csv");
+  ASSERT_TRUE(write_record_csv(rec, path));
+  auto back = read_record_csv(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->samples.size(), rec.samples.size());
+  for (size_t i = 0; i < rec.samples.size(); i += 13) {
+    EXPECT_NEAR(back->samples[i].rsrp_dbm, rec.samples[i].rsrp_dbm, 1e-7);
+    EXPECT_EQ(back->samples[i].serving_cell, rec.samples[i].serving_cell);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gendt::io

@@ -1,0 +1,123 @@
+// Property-based sweeps over the fidelity metrics: identities, bounds and
+// ordering relations that must hold for arbitrary series.
+#include "gendt/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace gendt::metrics {
+namespace {
+
+std::vector<double> random_walk(size_t n, uint64_t seed, double step = 1.0) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, step);
+  std::vector<double> v(n);
+  double x = -90.0;
+  for (auto& e : v) {
+    x += g(rng);
+    e = x;
+  }
+  return v;
+}
+
+class SeedP : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedP, DtwLowerBoundedByZeroAndUpperBoundedByMae) {
+  // DTW with the identity alignment equals the sum of pointwise costs, so
+  // the optimal warping can only do better: DTW <= MAE (both normalized by
+  // max length; lengths equal here).
+  const auto a = random_walk(300, GetParam());
+  const auto b = random_walk(300, GetParam() + 1000);
+  const double d = dtw(a, b);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, mae(a, b) + 1e-9);
+}
+
+TEST_P(SeedP, DtwIdentityOfIndiscernibles) {
+  const auto a = random_walk(200, GetParam());
+  EXPECT_DOUBLE_EQ(dtw(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(mae(a, a), 0.0);
+  EXPECT_NEAR(wasserstein1(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(hwd(a, a), 0.0, 1e-12);
+}
+
+TEST_P(SeedP, WassersteinTranslationEquivariance) {
+  // W1(a + c, b) = |shift effect|: translating one sample set by c changes
+  // W1 by at most |c|, and exactly c when a == b.
+  const auto a = random_walk(500, GetParam());
+  std::vector<double> shifted = a;
+  for (auto& v : shifted) v += 7.5;
+  EXPECT_NEAR(wasserstein1(a, shifted), 7.5, 1e-9);
+}
+
+TEST_P(SeedP, WassersteinSymmetry) {
+  const auto a = random_walk(400, GetParam());
+  const auto b = random_walk(300, GetParam() + 7);
+  EXPECT_NEAR(wasserstein1(a, b), wasserstein1(b, a), 1e-9);
+}
+
+TEST_P(SeedP, HwdApproximatesExactWasserstein) {
+  const auto a = random_walk(2000, GetParam());
+  const auto b = random_walk(2000, GetParam() + 13);
+  const double exact = wasserstein1(a, b);
+  const double approx = hwd(a, b, 200);
+  EXPECT_NEAR(approx, exact, std::max(0.5, exact * 0.15));
+}
+
+TEST_P(SeedP, EcdfMonotoneNondecreasing) {
+  const auto a = random_walk(300, GetParam());
+  std::vector<double> thresholds;
+  for (double t = -150.0; t <= -30.0; t += 5.0) thresholds.push_back(t);
+  const auto c = ecdf(a, thresholds);
+  for (size_t i = 1; i < c.size(); ++i) EXPECT_GE(c[i], c[i - 1]);
+  EXPECT_GE(c.front(), 0.0);
+  EXPECT_LE(c.back(), 1.0);
+}
+
+TEST_P(SeedP, SeriesStatsScaleEquivariance) {
+  const auto a = random_walk(300, GetParam());
+  std::vector<double> scaled = a;
+  for (auto& v : scaled) v = 2.0 * v + 3.0;
+  const auto sa = series_stats(a);
+  const auto ss = series_stats(scaled);
+  EXPECT_NEAR(ss.mean, 2.0 * sa.mean + 3.0, 1e-9);
+  EXPECT_NEAR(ss.stddev, 2.0 * sa.stddev, 1e-9);
+  EXPECT_NEAR(ss.roc, 2.0 * sa.roc, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedP, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---- DTW band sweep ---------------------------------------------------------
+
+class DtwBandP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtwBandP, WiderBandNeverWorse) {
+  const auto a = random_walk(256, 99);
+  const auto b = random_walk(256, 100);
+  const int band = GetParam();
+  const double narrow = dtw(a, b, band);
+  const double wider = dtw(a, b, band * 2);
+  EXPECT_LE(wider, narrow + 1e-9);  // more alignment freedom -> lower cost
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, DtwBandP, ::testing::Values(4, 8, 16, 32, 64));
+
+// ---- Histogram bin-count sweep ----------------------------------------------
+
+class HistBinsP : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistBinsP, DensitySumsToOneForAnyBinCount) {
+  const auto a = random_walk(512, 5);
+  const auto h = histogram(a, -200.0, 0.0, GetParam());
+  double s = 0.0;
+  for (double v : h) s += v;
+  EXPECT_NEAR(s, 1.0, 1e-9);
+  EXPECT_EQ(h.size(), static_cast<size_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, HistBinsP, ::testing::Values(1, 2, 10, 50, 500));
+
+}  // namespace
+}  // namespace gendt::metrics

@@ -1,0 +1,165 @@
+#include "gendt/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace gendt::metrics {
+namespace {
+
+TEST(Mae, IdenticalSeriesIsZero) {
+  std::vector<double> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(mae(a, a), 0.0);
+}
+
+TEST(Mae, KnownValue) {
+  std::vector<double> a{0, 0, 0};
+  std::vector<double> b{1, -2, 3};
+  EXPECT_DOUBLE_EQ(mae(a, b), 2.0);
+}
+
+TEST(Mae, EmptyIsZero) {
+  std::vector<double> e;
+  EXPECT_DOUBLE_EQ(mae(e, e), 0.0);
+}
+
+TEST(Dtw, IdenticalSeriesIsZero) {
+  std::vector<double> a{1, 2, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dtw(a, a), 0.0);
+}
+
+TEST(Dtw, ShiftToleranceBeatsMae) {
+  // A pulse and its shifted copy: MAE is large, DTW small — the exact
+  // property §5.1 cites for choosing DTW.
+  std::vector<double> a(40, 0.0), b(40, 0.0);
+  for (int i = 10; i < 15; ++i) a[static_cast<size_t>(i)] = 5.0;
+  for (int i = 13; i < 18; ++i) b[static_cast<size_t>(i)] = 5.0;
+  EXPECT_LT(dtw(a, b), mae(a, b) * 0.5);
+}
+
+TEST(Dtw, UnequalLengths) {
+  std::vector<double> a{0, 1, 2, 3, 4};
+  std::vector<double> b{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4};
+  EXPECT_LT(dtw(a, b), 0.5);  // same ramp at different sampling
+}
+
+TEST(Dtw, BandedApproximatesUnbanded) {
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> a(100), b(100);
+  for (auto& v : a) v = g(rng);
+  for (auto& v : b) v = g(rng);
+  const double full = dtw(a, b);
+  const double banded = dtw(a, b, 20);
+  EXPECT_GE(banded, full - 1e-12);      // band can only restrict paths
+  EXPECT_LT(banded, full * 1.5 + 0.5);  // but should stay close
+}
+
+TEST(Dtw, SymmetricAndNonNegative) {
+  std::vector<double> a{3, 1, 4, 1, 5};
+  std::vector<double> b{2, 7, 1, 8};
+  EXPECT_GE(dtw(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(dtw(a, b), dtw(b, a));
+}
+
+TEST(Histogram, DensitiesSumToOne) {
+  std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto h = histogram(x, 0.0, 10.0, 5);
+  double s = 0.0;
+  for (double v : h) s += v;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  std::vector<double> x{-100.0, 100.0};
+  auto h = histogram(x, 0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.front(), 0.5);
+  EXPECT_DOUBLE_EQ(h.back(), 0.5);
+}
+
+TEST(Wasserstein, IdenticalIsZero) {
+  std::vector<double> a{1, 2, 3, 4};
+  EXPECT_NEAR(wasserstein1(a, a), 0.0, 1e-12);
+}
+
+TEST(Wasserstein, ShiftedDeltaEqualsShift) {
+  std::vector<double> a(100, 0.0);
+  std::vector<double> b(100, 3.0);
+  EXPECT_NEAR(wasserstein1(a, b), 3.0, 1e-9);
+}
+
+TEST(Wasserstein, UnequalSampleCounts) {
+  std::vector<double> a(50, 1.0);
+  std::vector<double> b(200, 2.0);
+  EXPECT_NEAR(wasserstein1(a, b), 1.0, 1e-9);
+}
+
+TEST(Hwd, ZeroForSameDistribution) {
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> g(-90.0, 10.0);
+  std::vector<double> a(5000), b(5000);
+  for (auto& v : a) v = g(rng);
+  for (auto& v : b) v = g(rng);
+  EXPECT_LT(hwd(a, b), 1.0);  // same law -> small
+}
+
+TEST(Hwd, DetectsMeanShift) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> g1(-90.0, 10.0), g2(-80.0, 10.0);
+  std::vector<double> a(5000), b(5000);
+  for (auto& v : a) v = g1(rng);
+  for (auto& v : b) v = g2(rng);
+  EXPECT_NEAR(hwd(a, b), 10.0, 2.0);  // W1 of mean-shifted Gaussians = shift
+}
+
+TEST(Hwd, AgreesWithExactWassersteinOnSimpleCase) {
+  std::vector<double> a(100, 0.0);
+  std::vector<double> b(100, 5.0);
+  EXPECT_NEAR(hwd(a, b, 200), wasserstein1(a, b), 0.2);
+}
+
+TEST(Ecdf, MonotoneAndBounded) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> th{0, 2.5, 5, 10};
+  auto c = ecdf(x, th);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.4);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 1.0);
+}
+
+TEST(SeriesStats, KnownValues) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  auto st = series_stats(x);
+  EXPECT_DOUBLE_EQ(st.mean, 3.0);
+  EXPECT_NEAR(st.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(st.roc, 1.0);
+  EXPECT_EQ(st.n, 5u);
+}
+
+TEST(SeriesStats, EmptySeries) {
+  std::vector<double> x;
+  auto st = series_stats(x);
+  EXPECT_EQ(st.n, 0u);
+  EXPECT_DOUBLE_EQ(st.mean, 0.0);
+}
+
+TEST(InterHandoverTimes, ExtractsDurations) {
+  std::vector<double> cells{1, 1, 1, 2, 2, 3, 3, 3, 3, 1};
+  std::vector<double> t{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto d = inter_handover_times(cells, t);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);  // change at t=3
+  EXPECT_DOUBLE_EQ(d[1], 2.0);  // change at t=5
+  EXPECT_DOUBLE_EQ(d[2], 4.0);  // change at t=9
+}
+
+TEST(InterHandoverTimes, NoChangesGivesEmpty) {
+  std::vector<double> cells{7, 7, 7};
+  std::vector<double> t{0, 1, 2};
+  EXPECT_TRUE(inter_handover_times(cells, t).empty());
+}
+
+}  // namespace
+}  // namespace gendt::metrics

@@ -1,0 +1,125 @@
+#include "gendt/nn/mat.h"
+
+#include <gtest/gtest.h>
+
+namespace gendt::nn {
+namespace {
+
+TEST(Mat, DefaultIsEmpty) {
+  Mat m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Mat, FillConstructorAndAccess) {
+  Mat m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m[5], 7.0);
+}
+
+TEST(Mat, RowFactory) {
+  const double vals[] = {1.0, 2.0, 3.0};
+  Mat r = Mat::row(vals);
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 3);
+  EXPECT_DOUBLE_EQ(r(0, 1), 2.0);
+}
+
+TEST(Mat, SumMeanMinMax) {
+  Mat m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = -2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(m.min(), -2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 4.0);
+}
+
+TEST(Mat, AddScaled) {
+  Mat a = Mat::ones(2, 2);
+  Mat b = Mat::full(2, 2, 3.0);
+  a.add_scaled(b, 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 7.0);
+}
+
+TEST(Mat, Transpose) {
+  Mat m(2, 3);
+  int k = 0;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) m(r, c) = ++k;
+  Mat t = m.transpose();
+  ASSERT_EQ(t.rows(), 3);
+  ASSERT_EQ(t.cols(), 2);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t(c, r), m(r, c));
+}
+
+TEST(Mat, Matmul) {
+  Mat a(2, 3);
+  Mat b(3, 2);
+  int k = 0;
+  for (size_t i = 0; i < a.size(); ++i) a[i] = ++k;
+  k = 0;
+  for (size_t i = 0; i < b.size(); ++i) b[i] = ++k;
+  Mat c = matmul(a, b);
+  // a = [1 2 3; 4 5 6], b = [1 2; 3 4; 5 6]
+  EXPECT_DOUBLE_EQ(c(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 64.0);
+}
+
+TEST(Mat, MatmulNtMatchesExplicitTranspose) {
+  std::mt19937_64 rng(1);
+  Mat a = Mat::randn(3, 4, rng);
+  Mat b = Mat::randn(5, 4, rng);
+  Mat c1 = matmul_nt(a, b);
+  Mat c2 = matmul(a, b.transpose());
+  ASSERT_TRUE(c1.same_shape(c2));
+  for (size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-12);
+}
+
+TEST(Mat, MatmulTnMatchesExplicitTranspose) {
+  std::mt19937_64 rng(2);
+  Mat a = Mat::randn(4, 3, rng);
+  Mat b = Mat::randn(4, 5, rng);
+  Mat c1 = matmul_tn(a, b);
+  Mat c2 = matmul(a.transpose(), b);
+  ASSERT_TRUE(c1.same_shape(c2));
+  for (size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-12);
+}
+
+TEST(Mat, ElementwiseOps) {
+  Mat a = Mat::full(2, 2, 2.0);
+  Mat b = Mat::full(2, 2, 3.0);
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(hadamard(a, b)(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ((a * 4.0)(1, 1), 8.0);
+}
+
+TEST(Mat, RandnIsSeededAndDeterministic) {
+  std::mt19937_64 r1(42), r2(42);
+  Mat a = Mat::randn(3, 3, r1);
+  Mat b = Mat::randn(3, 3, r2);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Mat, UniformRange) {
+  std::mt19937_64 rng(7);
+  Mat u = Mat::uniform(10, 10, rng, -0.5, 0.5);
+  EXPECT_GE(u.min(), -0.5);
+  EXPECT_LT(u.max(), 0.5);
+}
+
+}  // namespace
+}  // namespace gendt::nn

@@ -1,0 +1,119 @@
+#include "gendt/nn/optim.h"
+#include "gendt/nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace gendt::nn {
+namespace {
+
+// Fits y = 2x + 1 with a Linear layer; both optimizers must converge.
+template <typename Opt>
+double fit_line(Opt& opt, int steps) {
+  std::mt19937_64 rng(1);
+  Linear l(1, 1, rng);
+  for (int s = 0; s < steps; ++s) {
+    std::uniform_real_distribution<double> xs(-1.0, 1.0);
+    const double xv = xs(rng);
+    Tensor x = Tensor::constant(Mat::full(1, 1, xv));
+    Tensor t = Tensor::constant(Mat::full(1, 1, 2.0 * xv + 1.0));
+    Tensor loss = mse_loss(l.forward(x), t);
+    l.zero_grad();
+    loss.backward();
+    opt.step(l.params());
+  }
+  // Report final loss on a probe point.
+  Tensor x = Tensor::constant(Mat::full(1, 1, 0.5));
+  Tensor t = Tensor::constant(Mat::full(1, 1, 2.0));
+  return mse_loss(l.forward(x), t).item();
+}
+
+TEST(Sgd, ConvergesOnLinearRegression) {
+  Sgd opt({.lr = 0.1});
+  EXPECT_LT(fit_line(opt, 2000), 1e-3);
+}
+
+TEST(Adam, ConvergesOnLinearRegression) {
+  Adam opt({.lr = 0.05});
+  EXPECT_LT(fit_line(opt, 2000), 1e-3);
+}
+
+TEST(Adam, ConvergesFasterThanSgdOnIllConditioned) {
+  // Quadratic bowl with very different curvatures per axis.
+  auto run = [](auto& opt, int steps) {
+    Tensor w(Mat::row(std::vector<double>{5.0, 5.0}), true);
+    Tensor scale = Tensor::constant(Mat::row(std::vector<double>{10.0, 0.1}));
+    for (int i = 0; i < steps; ++i) {
+      Tensor loss = sum(square(w * scale));
+      w.zero_grad();
+      loss.backward();
+      opt.step({{"w", w}});
+    }
+    return sum(square(w)).item();
+  };
+  Sgd sgd({.lr = 0.004});  // larger lr diverges on the stiff axis
+  Adam adam({.lr = 0.05, .clip_norm = 0.0});
+  const double sgd_final = run(sgd, 300);
+  const double adam_final = run(adam, 300);
+  EXPECT_LT(adam_final, sgd_final);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Tensor w(Mat::row(std::vector<double>{3.0, 4.0}), true);
+  Tensor loss = sum(w * 100.0);
+  w.zero_grad();
+  loss.backward();
+  clip_grad_norm({{"w", w}}, 1.0);
+  double sq = 0.0;
+  for (size_t i = 0; i < w.grad().size(); ++i) sq += w.grad()[i] * w.grad()[i];
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-9);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Tensor w(Mat::row(std::vector<double>{1.0}), true);
+  Tensor loss = sum(w * 0.5);
+  w.zero_grad();
+  loss.backward();
+  clip_grad_norm({{"w", w}}, 10.0);
+  EXPECT_DOUBLE_EQ(w.grad()(0, 0), 0.5);
+}
+
+TEST(Serialize, RoundTripsParams) {
+  std::mt19937_64 rng(2);
+  Mlp src({.layer_sizes = {3, 5, 2}}, rng, "m");
+  Mlp dst({.layer_sizes = {3, 5, 2}}, rng, "m");
+
+  const std::string path = (std::filesystem::temp_directory_path() / "gendt_ckpt_test.bin").string();
+  ASSERT_TRUE(save_params(src.params(), path));
+  ASSERT_TRUE(load_params(dst.params(), path));
+
+  Tensor x = Tensor::constant(Mat::randn(1, 3, rng));
+  std::mt19937_64 r2(0);
+  Tensor ys = src.forward(x, r2, false);
+  Tensor yd = dst.forward(x, r2, false);
+  for (int c = 0; c < ys.cols(); ++c)
+    EXPECT_DOUBLE_EQ(ys.value()(0, c), yd.value()(0, c));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  std::mt19937_64 rng(3);
+  Mlp src({.layer_sizes = {3, 5, 2}}, rng, "m");
+  Mlp dst({.layer_sizes = {3, 4, 2}}, rng, "m");  // different hidden size
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gendt_ckpt_mismatch.bin").string();
+  ASSERT_TRUE(save_params(src.params(), path));
+  EXPECT_FALSE(load_params(dst.params(), path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  std::mt19937_64 rng(4);
+  Mlp dst({.layer_sizes = {2, 2}}, rng, "m");
+  EXPECT_FALSE(load_params(dst.params(), "/nonexistent/path/ckpt.bin"));
+}
+
+}  // namespace
+}  // namespace gendt::nn

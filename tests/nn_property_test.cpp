@@ -1,0 +1,155 @@
+// Property-based sweeps over the autograd engine and layers: gradient checks
+// across layer geometries, invariances of the stochastic layer, and
+// optimizer behaviours that must hold regardless of shape.
+#include "gendt/nn/layers.h"
+#include "gendt/nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gendt::nn {
+namespace {
+
+// ---- Gradient check across Linear shapes -----------------------------------
+
+class LinearShapeP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LinearShapeP, GradCheckAllParams) {
+  const auto [in, out] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(in * 100 + out));
+  Linear l(in, out, rng);
+  Tensor x = Tensor::constant(Mat::randn(1, in, rng));
+  for (auto& p : l.params()) {
+    EXPECT_LT(gradient_check([&] { return sum(square(l.forward(x))); }, p.tensor), 1e-5)
+        << p.name << " in=" << in << " out=" << out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinearShapeP,
+                         ::testing::Combine(::testing::Values(1, 3, 9),
+                                            ::testing::Values(1, 4, 7)));
+
+// ---- Gradient check across LSTM geometries ---------------------------------
+
+class LstmShapeP : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LstmShapeP, GradCheckThroughUnroll) {
+  const auto [in, hidden, steps] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(in + hidden * 10 + steps * 100));
+  LstmCell cell(in, hidden, rng);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < steps; ++t) xs.push_back(Tensor::constant(Mat::randn(1, in, rng)));
+  auto unroll = [&] {
+    auto st = cell.initial_state();
+    for (const auto& x : xs) st = cell.step(x, st);
+    return sum(square(st.h) + square(st.c));
+  };
+  for (auto& p : cell.params()) {
+    EXPECT_LT(gradient_check(unroll, p.tensor, 1e-5), 2e-4) << p.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, LstmShapeP,
+                         ::testing::Combine(::testing::Values(2, 5), ::testing::Values(3, 6),
+                                            ::testing::Values(1, 3, 6)));
+
+// ---- Mlp depth sweep --------------------------------------------------------
+
+class MlpDepthP : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlpDepthP, ForwardFiniteAndGradsFlowToFirstLayer) {
+  const int depth = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(depth));
+  std::vector<int> sizes{6};
+  for (int i = 0; i < depth; ++i) sizes.push_back(8);
+  sizes.push_back(2);
+  Mlp mlp({.layer_sizes = sizes}, rng);
+  Tensor x = Tensor::constant(Mat::randn(1, 6, rng));
+  Tensor loss = sum(square(mlp.forward(x, rng, false)));
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  mlp.zero_grad();
+  loss.backward();
+  double g0 = 0.0;
+  const auto params = mlp.params();
+  for (size_t i = 0; i < params.front().tensor.grad().size(); ++i)
+    g0 += std::abs(params.front().tensor.grad()[i]);
+  EXPECT_GT(g0, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, MlpDepthP, ::testing::Values(1, 2, 4, 8));
+
+// ---- Stochastic layer invariants across intensities -------------------------
+
+class StochasticIntensityP : public ::testing::TestWithParam<double> {};
+
+TEST_P(StochasticIntensityP, SumPreservedAndScaleBounded) {
+  const double a = GetParam();
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor s = Tensor::constant(Mat::randn(1, 16, rng));
+    const double sum_before = s.value().sum();
+    Tensor p = stochastic_perturb(s, a, rng);
+    // Finite always; and the perturbed magnitude is bounded relative to the
+    // input (the scale clamp prevents blow-ups even when sums nearly cancel).
+    double max_in = 0.0, max_out = 0.0;
+    for (size_t i = 0; i < p.value().size(); ++i) {
+      EXPECT_TRUE(std::isfinite(p.value()[i])) << "a=" << a;
+      max_in = std::max(max_in, std::abs(s.value()[i]));
+      max_out = std::max(max_out, std::abs(p.value()[i]));
+    }
+    EXPECT_LE(max_out, 2.0 * (1.0 + a) * max_in + 1e-9) << "a=" << a;
+    (void)sum_before;
+  }
+}
+
+TEST_P(StochasticIntensityP, GradientStillFlowsThroughPerturbation) {
+  const double a = GetParam();
+  std::mt19937_64 rng(11);
+  Tensor s = Tensor(Mat::uniform(1, 8, rng, 0.2, 1.0), /*requires_grad=*/true);
+  Tensor p = stochastic_perturb(s, a, rng);
+  Tensor loss = sum(square(p));
+  s.zero_grad();
+  loss.backward();
+  double g = 0.0;
+  for (size_t i = 0; i < s.grad().size(); ++i) g += std::abs(s.grad()[i]);
+  EXPECT_GT(g, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, StochasticIntensityP,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0));
+
+// ---- Adam converges across learning rates ----------------------------------
+
+class AdamLrP : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdamLrP, DrivesQuadraticToZero) {
+  Adam opt({.lr = GetParam()});
+  Tensor w(Mat::row(std::vector<double>{4.0, -3.0, 2.0}), true);
+  for (int i = 0; i < 800; ++i) {
+    Tensor loss = sum(square(w));
+    w.zero_grad();
+    loss.backward();
+    opt.step({{"w", w}});
+  }
+  EXPECT_LT(sum(square(w)).item(), 1e-2) << "lr=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, AdamLrP, ::testing::Values(0.01, 0.03, 0.1));
+
+// ---- Dropout keeps expectation across rates ---------------------------------
+
+class DropoutRateP : public ::testing::TestWithParam<double> {};
+
+TEST_P(DropoutRateP, InvertedScalingKeepsMean) {
+  const double p = GetParam();
+  std::mt19937_64 rng(3);
+  Tensor a = Tensor::constant(Mat::ones(1, 20000));
+  Tensor d = dropout(a, p, rng, true);
+  EXPECT_NEAR(d.value().mean(), 1.0, 0.05) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DropoutRateP, ::testing::Values(0.1, 0.25, 0.5, 0.75));
+
+}  // namespace
+}  // namespace gendt::nn

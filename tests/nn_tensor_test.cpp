@@ -1,0 +1,197 @@
+#include "gendt/nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gendt::nn {
+namespace {
+
+Tensor param(std::initializer_list<double> vals, int rows, int cols) {
+  Mat m(rows, cols);
+  int i = 0;
+  for (double v : vals) m[i++] = v;
+  return Tensor(std::move(m), /*requires_grad=*/true);
+}
+
+TEST(Tensor, AddBackward) {
+  Tensor a = param({1, 2}, 1, 2);
+  Tensor b = param({3, 4}, 1, 2);
+  Tensor loss = sum(a + b);
+  loss.backward();
+  EXPECT_DOUBLE_EQ(loss.item(), 10.0);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.grad()(0, 1), 1.0);
+}
+
+TEST(Tensor, SubBackward) {
+  Tensor a = param({5, 7}, 1, 2);
+  Tensor b = param({2, 3}, 1, 2);
+  Tensor loss = sum(a - b);
+  loss.backward();
+  EXPECT_DOUBLE_EQ(loss.item(), 7.0);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.grad()(0, 0), -1.0);
+}
+
+TEST(Tensor, MulBackward) {
+  Tensor a = param({2, 3}, 1, 2);
+  Tensor b = param({5, 7}, 1, 2);
+  Tensor loss = sum(a * b);
+  loss.backward();
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(b.grad()(0, 1), 3.0);
+}
+
+TEST(Tensor, MatmulBackwardGradCheck) {
+  std::mt19937_64 rng(3);
+  Tensor w(Mat::randn(4, 3, rng), true);
+  Tensor x = Tensor::constant(Mat::randn(2, 4, rng));
+  auto loss_fn = [&] { return sum(square(matmul(x, w))); };
+  EXPECT_LT(gradient_check(loss_fn, w), 1e-5);
+}
+
+TEST(Tensor, ReusedNodeAccumulatesGradient) {
+  Tensor a = param({3}, 1, 1);
+  Tensor loss = sum(a * a + a);  // d/da (a^2 + a) = 2a + 1 = 7
+  loss.backward();
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 7.0);
+}
+
+TEST(Tensor, SigmoidTanhGradCheck) {
+  std::mt19937_64 rng(4);
+  Tensor w(Mat::randn(1, 5, rng), true);
+  EXPECT_LT(gradient_check([&] { return sum(sigmoid(w)); }, w), 1e-6);
+  EXPECT_LT(gradient_check([&] { return sum(tanh_t(w)); }, w), 1e-6);
+}
+
+TEST(Tensor, LeakyReluGradCheck) {
+  Tensor w = param({-2.0, -0.5, 0.5, 2.0}, 1, 4);
+  EXPECT_LT(gradient_check([&] { return sum(leaky_relu(w, 0.1)); }, w), 1e-6);
+  // Value check
+  Tensor y = leaky_relu(w, 0.1);
+  EXPECT_DOUBLE_EQ(y.value()(0, 0), -0.2);
+  EXPECT_DOUBLE_EQ(y.value()(0, 3), 2.0);
+}
+
+TEST(Tensor, ExpLogSoftplusGradCheck) {
+  Tensor w = param({0.5, 1.0, 2.0}, 1, 3);
+  EXPECT_LT(gradient_check([&] { return sum(exp_t(w)); }, w), 1e-5);
+  EXPECT_LT(gradient_check([&] { return sum(log_t(w)); }, w), 1e-5);
+  EXPECT_LT(gradient_check([&] { return sum(softplus(w)); }, w), 1e-5);
+}
+
+TEST(Tensor, DivideGradCheck) {
+  Tensor a = param({1.0, 2.0, 3.0}, 1, 3);
+  Tensor b = param({2.0, 4.0, 5.0}, 1, 3);
+  EXPECT_LT(gradient_check([&] { return sum(divide(a, b)); }, a), 1e-6);
+  EXPECT_LT(gradient_check([&] { return sum(divide(a, b)); }, b), 1e-6);
+}
+
+TEST(Tensor, ConcatAndSliceColsGradCheck) {
+  std::mt19937_64 rng(5);
+  Tensor a(Mat::randn(2, 3, rng), true);
+  Tensor b(Mat::randn(2, 2, rng), true);
+  auto loss_fn = [&] {
+    Tensor cat = concat_cols({a, b});
+    return sum(square(slice_cols(cat, 1, 4)));
+  };
+  EXPECT_LT(gradient_check(loss_fn, a), 1e-5);
+  EXPECT_LT(gradient_check(loss_fn, b), 1e-5);
+}
+
+TEST(Tensor, ConcatRowsGradCheck) {
+  std::mt19937_64 rng(6);
+  Tensor a(Mat::randn(1, 3, rng), true);
+  Tensor b(Mat::randn(2, 3, rng), true);
+  auto loss_fn = [&] { return sum(square(concat_rows({a, b}))); };
+  EXPECT_LT(gradient_check(loss_fn, a), 1e-5);
+  EXPECT_LT(gradient_check(loss_fn, b), 1e-5);
+}
+
+TEST(Tensor, MeanMatchesSumOverN) {
+  Tensor a = param({1, 2, 3, 4}, 2, 2);
+  EXPECT_DOUBLE_EQ(mean(a).item(), 2.5);
+}
+
+TEST(Tensor, MseLossValueAndGrad) {
+  Tensor p = param({1.0, 2.0}, 1, 2);
+  Tensor t = Tensor::constant(Mat::row(std::vector<double>{0.0, 4.0}));
+  Tensor loss = mse_loss(p, t);
+  EXPECT_DOUBLE_EQ(loss.item(), (1.0 + 4.0) / 2.0);
+  loss.backward();
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 1.0);   // 2/2 * (1-0)
+  EXPECT_DOUBLE_EQ(p.grad()(0, 1), -2.0);  // 2/2 * (2-4)
+}
+
+TEST(Tensor, BceWithLogitsGradCheck) {
+  Tensor logits = param({-1.0, 0.5, 2.0}, 1, 3);
+  Tensor targets = Tensor::constant(Mat::row(std::vector<double>{0.0, 1.0, 1.0}));
+  EXPECT_LT(gradient_check([&] { return bce_with_logits(logits, targets); }, logits), 1e-6);
+}
+
+TEST(Tensor, BceWithLogitsMatchesManual) {
+  Tensor logits = param({0.0}, 1, 1);
+  Tensor t1 = Tensor::constant(Mat::full(1, 1, 1.0));
+  // -log(sigmoid(0)) = log 2
+  EXPECT_NEAR(bce_with_logits(logits, t1).item(), std::log(2.0), 1e-12);
+}
+
+TEST(Tensor, GaussianNllGradCheck) {
+  Tensor mu = param({0.5, -0.2}, 1, 2);
+  Tensor ls = param({0.1, -0.3}, 1, 2);
+  Tensor target = Tensor::constant(Mat::row(std::vector<double>{1.0, 0.0}));
+  EXPECT_LT(gradient_check([&] { return gaussian_nll(mu, ls, target); }, mu), 1e-6);
+  EXPECT_LT(gradient_check([&] { return gaussian_nll(mu, ls, target); }, ls), 1e-6);
+}
+
+TEST(Tensor, DropoutTrainingMasksAndScales) {
+  std::mt19937_64 rng(11);
+  Tensor a = Tensor(Mat::ones(1, 1000), true);
+  Tensor d = dropout(a, 0.5, rng, /*training=*/true);
+  int zeros = 0;
+  for (size_t i = 0; i < d.value().size(); ++i) {
+    if (d.value()[i] == 0.0)
+      ++zeros;
+    else
+      EXPECT_DOUBLE_EQ(d.value()[i], 2.0);  // inverted dropout scale
+  }
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+}
+
+TEST(Tensor, DropoutInferenceIsIdentity) {
+  std::mt19937_64 rng(11);
+  Tensor a = Tensor(Mat::ones(1, 10), true);
+  Tensor d = dropout(a, 0.5, rng, /*training=*/false);
+  EXPECT_EQ(d.id(), a.id());
+}
+
+TEST(Tensor, DetachStopsGradient) {
+  Tensor a = param({2.0}, 1, 1);
+  Tensor loss = sum(detach(a) * a);  // grad wrt a should be value of detach(a)=2
+  loss.backward();
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 2.0);
+}
+
+TEST(Tensor, NoGradSubgraphSkipsBackward) {
+  Tensor a = Tensor::constant(Mat::ones(1, 3));
+  Tensor b = Tensor::constant(Mat::ones(1, 3));
+  Tensor loss = sum(a * b);
+  EXPECT_FALSE(loss.requires_grad());
+  loss.backward();  // no-op, must not crash
+  EXPECT_DOUBLE_EQ(loss.item(), 3.0);
+}
+
+TEST(Tensor, DeepChainBackwardDoesNotOverflowStack) {
+  Tensor a = param({1.0}, 1, 1);
+  Tensor x = a;
+  for (int i = 0; i < 20000; ++i) x = x + 0.0;
+  Tensor loss = sum(x);
+  loss.backward();  // iterative topo sort: must not blow the stack
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace gendt::nn

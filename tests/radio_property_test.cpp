@@ -1,0 +1,156 @@
+// Property-based sweeps (TEST_P) over the radio substrate: invariants that
+// must hold across the whole parameter space, not just spot values.
+#include "gendt/radio/cell.h"
+#include "gendt/radio/propagation.h"
+#include "gendt/radio/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gendt::radio {
+namespace {
+
+// ---- Pathloss monotonicity over every clutter class -----------------------
+
+class PathlossClutterP : public ::testing::TestWithParam<Clutter> {};
+
+TEST_P(PathlossClutterP, MonotoneInDistance) {
+  const Clutter c = GetParam();
+  double prev = -1e9;
+  for (double d = 30.0; d <= 20000.0; d *= 1.5) {
+    const double pl = pathloss_cost231_db(d, c);
+    EXPECT_GT(pl, prev) << "d=" << d;
+    prev = pl;
+  }
+}
+
+TEST_P(PathlossClutterP, SlopeMatchesHataForm) {
+  // Doubling distance beyond 1 km must add the Hata slope (~35 dB/decade
+  // at hb=30m): 10.6 dB per doubling, independent of clutter offset.
+  const Clutter c = GetParam();
+  const double delta = pathloss_cost231_db(4000.0, c) - pathloss_cost231_db(2000.0, c);
+  EXPECT_NEAR(delta, 35.2 * std::log10(2.0), 0.5);
+}
+
+TEST_P(PathlossClutterP, ClampsBelow20m) {
+  const Clutter c = GetParam();
+  EXPECT_DOUBLE_EQ(pathloss_cost231_db(1.0, c), pathloss_cost231_db(20.0, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClutter, PathlossClutterP,
+                         ::testing::Values(Clutter::kOpen, Clutter::kSuburban, Clutter::kUrban,
+                                           Clutter::kDenseUrban));
+
+// ---- Pathloss across frequencies and antenna heights ----------------------
+
+class PathlossParamsP : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PathlossParamsP, HigherFrequencyMoreLossAndTallerTowerLess) {
+  const auto [freq, hb] = GetParam();
+  PathlossParams p;
+  p.frequency_mhz = freq;
+  p.base_station_height_m = hb;
+  const double pl = pathloss_cost231_db(1000.0, Clutter::kUrban, p);
+
+  PathlossParams higher_f = p;
+  higher_f.frequency_mhz = freq + 100.0;
+  EXPECT_GT(pathloss_cost231_db(1000.0, Clutter::kUrban, higher_f), pl);
+
+  PathlossParams taller = p;
+  taller.base_station_height_m = hb + 10.0;
+  EXPECT_LT(pathloss_cost231_db(1000.0, Clutter::kUrban, taller), pl);
+}
+
+INSTANTIATE_TEST_SUITE_P(FreqHeightGrid, PathlossParamsP,
+                         ::testing::Combine(::testing::Values(1500.0, 1800.0, 1900.0),
+                                            ::testing::Values(20.0, 30.0, 50.0)));
+
+// ---- KPI relations hold for any operating point ----------------------------
+
+class KpiRelationP : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(KpiRelationP, RsrpRssiRsrqConsistency) {
+  const auto [rsrp, n_rb] = GetParam();
+  // Given any two of RSRP/RSSI/RSRQ the third follows (paper §2.2).
+  const double rssi = rssi_from_rsrp_dbm(rsrp, n_rb) + 5.0;  // loaded cell
+  const double rsrq = rsrq_db(rsrp, rssi, n_rb);
+  // Invert: rssi = 10log10(Nrb) + rsrp - rsrq.
+  EXPECT_NEAR(10.0 * std::log10(static_cast<double>(n_rb)) + rsrp - rsrq, rssi, 1e-9);
+  // Unloaded bound: RSRQ can never exceed 10log10(Nrb/(12Nrb)) ~ -10.8 dB
+  // when RSSI counts all REs at equal power; with only reference symbols it
+  // tops out at -3 dB per the standard. Our clamp enforces [-19.5, -3].
+  EXPECT_LE(clamp_rsrq(rsrq), kRsrqGoodDb);
+  EXPECT_GE(clamp_rsrq(rsrq), kRsrqBadDb);
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingPoints, KpiRelationP,
+                         ::testing::Combine(::testing::Values(-70.0, -85.0, -100.0, -120.0),
+                                            ::testing::Values(6, 25, 50, 100)));
+
+// ---- CQI/BLER consistency over the SINR axis -------------------------------
+
+class CqiSweepP : public ::testing::TestWithParam<double> {};
+
+TEST_P(CqiSweepP, BlerAtReportedCqiIsDecodableAboveCqi1Floor) {
+  const double sinr = GetParam();
+  const int cqi = cqi_from_sinr_db(sinr);
+  // The CQI definition point: the chosen MCS should be decodable with
+  // BLER around or below ~10% at the SINR that produced it. Below CQI 1's
+  // own requirement (-6 dB) there is no MCS left to step down to, so the
+  // bound only applies from there up.
+  if (sinr >= -6.0) {
+    EXPECT_LE(block_error_rate(sinr + 0.01, cqi), 0.35) << "sinr=" << sinr;
+  }
+  // One CQI step up (more aggressive MCS) must have higher BLER.
+  if (cqi < kCqiMax) {
+    EXPECT_GT(block_error_rate(sinr, cqi + 1), block_error_rate(sinr, cqi));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SinrAxis, CqiSweepP,
+                         ::testing::Values(-8.0, -4.0, 0.0, 4.0, 8.0, 12.0, 16.0, 20.0, 25.0));
+
+// ---- Sector gain over the full bearing circle ------------------------------
+
+class SectorGainP : public ::testing::TestWithParam<double> {};
+
+TEST_P(SectorGainP, BoundedAndSymmetric) {
+  const double az = GetParam();
+  for (double b = 0.0; b < 360.0; b += 15.0) {
+    const double g = sector_gain_db(b, az, 65.0);
+    EXPECT_LE(g, 0.0);
+    EXPECT_GE(g, -25.0);
+    // Symmetric around boresight.
+    const double opposite = az - (b - az);
+    EXPECT_NEAR(g, sector_gain_db(opposite, az, 65.0), 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(sector_gain_db(az, az, 65.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Azimuths, SectorGainP,
+                         ::testing::Values(0.0, 45.0, 90.0, 170.0, 255.0, 359.0));
+
+// ---- Shadowing process statistics across configurations --------------------
+
+class ShadowingP : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ShadowingP, StationaryVarianceIndependentOfStepSize) {
+  const auto [sigma, step_m] = GetParam();
+  ShadowingProcess sp(sigma, 50.0, 1234);
+  double s2 = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double v = sp.next(step_m);
+    s2 += v * v;
+  }
+  // Gauss-Markov keeps the marginal N(0, sigma^2) whatever the step.
+  EXPECT_NEAR(std::sqrt(s2 / n), sigma, sigma * 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(SigmaStepGrid, ShadowingP,
+                         ::testing::Combine(::testing::Values(4.0, 8.0),
+                                            ::testing::Values(1.0, 25.0, 500.0)));
+
+}  // namespace
+}  // namespace gendt::radio

@@ -1,0 +1,123 @@
+#include "gendt/sim/landuse.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gendt::sim {
+namespace {
+
+RegionConfig small_region() {
+  RegionConfig r;
+  r.origin = {51.5, 7.46};
+  r.extent_m = 5000.0;
+  r.cities.push_back({{0.0, 0.0}, 2500.0});
+  r.highways.push_back({{{-4500.0, -4500.0}, {4500.0, -4500.0}}});
+  r.seed = 3;
+  return r;
+}
+
+TEST(LandUseMap, CityCentreIsDenseUrban) {
+  LandUseMap map(small_region());
+  const LandUse centre = map.at({0.0, 0.0});
+  EXPECT_TRUE(centre == LandUse::kContinuousUrban || centre == LandUse::kHighDenseUrban ||
+              centre == LandUse::kIndustrialCommercial || centre == LandUse::kLeisureFacilities)
+      << static_cast<int>(centre);
+}
+
+TEST(LandUseMap, FarFieldIsRural) {
+  LandUseMap map(small_region());
+  const LandUse far = map.at({4800.0, 4800.0});
+  EXPECT_TRUE(far == LandUse::kBarrenLands || far == LandUse::kGreenUrban ||
+              far == LandUse::kIsolatedStructures || far == LandUse::kAirSeaPorts)
+      << static_cast<int>(far);
+}
+
+TEST(LandUseMap, Deterministic) {
+  LandUseMap m1(small_region());
+  LandUseMap m2(small_region());
+  for (double e = -4000; e <= 4000; e += 977) {
+    for (double n = -4000; n <= 4000; n += 977) {
+      EXPECT_EQ(m1.at({e, n}), m2.at({e, n}));
+    }
+  }
+}
+
+TEST(LandUseMap, FractionsSumToOne) {
+  LandUseMap map(small_region());
+  for (const geo::Enu pos : {geo::Enu{0, 0}, geo::Enu{2000, 1000}, geo::Enu{-3000, 2000}}) {
+    auto f = map.land_use_fractions(pos, 500.0);
+    const double total = std::accumulate(f.begin(), f.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double v : f) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(LandUseMap, CentreHasDenserUrbanFractionThanEdge) {
+  LandUseMap map(small_region());
+  auto fc = map.land_use_fractions({0, 0}, 500.0);
+  auto fe = map.land_use_fractions({4500, 4500}, 500.0);
+  const double urban_c = fc[0] + fc[1] + fc[2];  // continuous+high+medium
+  const double urban_e = fe[0] + fe[1] + fe[2];
+  EXPECT_GT(urban_c, urban_e);
+}
+
+TEST(LandUseMap, PoiCountsHigherDowntown) {
+  LandUseMap map(small_region());
+  auto centre = map.poi_counts({0, 0}, 500.0);
+  auto edge = map.poi_counts({4500, 4500}, 500.0);
+  const int c_total = std::accumulate(centre.begin(), centre.end(), 0);
+  const int e_total = std::accumulate(edge.begin(), edge.end(), 0);
+  EXPECT_GT(c_total, e_total);
+  EXPECT_GT(c_total, 0);
+}
+
+TEST(LandUseMap, PoiRadiusMonotone) {
+  LandUseMap map(small_region());
+  auto small = map.poi_counts({0, 0}, 250.0);
+  auto large = map.poi_counts({0, 0}, 1000.0);
+  for (int p = 0; p < kNumPoi; ++p) {
+    EXPECT_LE(small[static_cast<size_t>(p)], large[static_cast<size_t>(p)]);
+  }
+}
+
+TEST(LandUseMap, MotorwayPoisNearHighwayOnly) {
+  LandUseMap map(small_region());
+  auto near_hw = map.poi_counts({0, -4500}, 600.0);
+  auto centre = map.poi_counts({0, 0}, 600.0);
+  EXPECT_GT(near_hw[static_cast<size_t>(PoiType::kMotorways)], 0);
+  EXPECT_EQ(centre[static_cast<size_t>(PoiType::kMotorways)], 0);
+}
+
+TEST(LandUseMap, DistanceToHighway) {
+  LandUseMap map(small_region());
+  EXPECT_NEAR(map.distance_to_highway_m({0, -4500}), 0.0, 1.0);
+  EXPECT_NEAR(map.distance_to_highway_m({0, 0}), 4500.0, 1.0);
+  RegionConfig no_hw = small_region();
+  no_hw.highways.clear();
+  LandUseMap map2(no_hw);
+  EXPECT_TRUE(std::isinf(map2.distance_to_highway_m({0, 0})));
+}
+
+TEST(LandUse, NamesAndClutterCoverAllClasses) {
+  for (int i = 0; i < kNumLandUse; ++i) {
+    EXPECT_NE(land_use_name(static_cast<LandUse>(i)), "?");
+    (void)clutter_for(static_cast<LandUse>(i));  // must not abort
+  }
+  for (int i = 0; i < kNumPoi; ++i) {
+    EXPECT_NE(poi_name(static_cast<PoiType>(i)), "?");
+  }
+  EXPECT_EQ(kNumEnvAttributes, 26);
+}
+
+TEST(LandUse, ClutterMapping) {
+  EXPECT_EQ(clutter_for(LandUse::kContinuousUrban), radio::Clutter::kDenseUrban);
+  EXPECT_EQ(clutter_for(LandUse::kSea), radio::Clutter::kOpen);
+  EXPECT_EQ(clutter_for(LandUse::kLowDenseUrban), radio::Clutter::kSuburban);
+}
+
+}  // namespace
+}  // namespace gendt::sim

@@ -1,0 +1,158 @@
+// Property-based sweeps over the drive-test simulator: KPI invariants and
+// mobility characteristics that must hold in EVERY scenario, parameterized
+// over the scenario set (TEST_P).
+#include "gendt/sim/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace gendt::sim {
+namespace {
+
+// One shared world/simulator for the whole suite (expensive to build).
+struct Shared {
+  World world;
+  std::unique_ptr<DriveTestSimulator> sim;
+  Shared() {
+    RegionConfig r;
+    r.origin = {51.5, 7.46};
+    r.extent_m = 9000.0;
+    r.cities.push_back({{0.0, 0.0}, 3000.0});
+    r.cities.push_back({{6000.0, 5000.0}, 2000.0});
+    r.highways.push_back({{{1500.0, 1500.0}, {4000.0, 3200.0}, {6000.0, 5000.0}}});
+    r.seed = 77;
+    world = make_world(r);
+    sim = std::make_unique<DriveTestSimulator>(world, SimConfig{});
+  }
+  static Shared& get() {
+    static Shared s;
+    return s;
+  }
+};
+
+class ScenarioP : public ::testing::TestWithParam<Scenario> {
+ protected:
+  DriveTestRecord record(double duration = 400.0, uint64_t seed = 5) {
+    auto& s = Shared::get();
+    std::mt19937_64 rng(seed);
+    geo::Trajectory t = scenario_trajectory(s.world.region, GetParam(), duration, rng);
+    return s.sim->run(t, GetParam(), seed * 31);
+  }
+};
+
+TEST_P(ScenarioP, AllKpisInPhysicalRanges) {
+  DriveTestRecord rec = record();
+  ASSERT_GT(rec.samples.size(), 30u);
+  for (const auto& m : rec.samples) {
+    EXPECT_GE(m.rsrp_dbm, radio::kRsrpBadDbm);
+    EXPECT_LE(m.rsrp_dbm, radio::kRsrpGoodDbm);
+    EXPECT_GE(m.rsrq_db, radio::kRsrqBadDb);
+    EXPECT_LE(m.rsrq_db, radio::kRsrqGoodDb);
+    EXPECT_GE(m.sinr_db, -10.0);
+    EXPECT_LE(m.sinr_db, 30.0);
+    EXPECT_GE(m.cqi, radio::kCqiMin);
+    EXPECT_LE(m.cqi, radio::kCqiMax);
+    EXPECT_GE(m.throughput_mbps, 0.0);
+    EXPECT_LE(m.throughput_mbps, 80.0);
+    EXPECT_GE(m.per, 0.0);
+    EXPECT_LE(m.per, 1.0);
+  }
+}
+
+TEST_P(ScenarioP, TimestampsStrictlyIncreasing) {
+  DriveTestRecord rec = record();
+  for (size_t i = 1; i < rec.samples.size(); ++i)
+    EXPECT_GT(rec.samples[i].t, rec.samples[i - 1].t);
+}
+
+TEST_P(ScenarioP, MeanSpeedWithinProfileTolerance) {
+  DriveTestRecord rec = record(500.0);
+  const MobilityProfile p = mobility_profile(GetParam());
+  const double v = rec.trajectory.mean_speed_mps();
+  // Stops (bus/tram) pull the mean down; allow a wide but bounded band.
+  EXPECT_GT(v, p.mean_speed_mps * 0.4) << scenario_name(GetParam());
+  EXPECT_LT(v, p.mean_speed_mps * 1.6) << scenario_name(GetParam());
+}
+
+TEST_P(ScenarioP, RsrqNeverExceedsUnloadedBound) {
+  // RSRQ = Nrb * RSRP/RSSI; since RSSI >= 12*Nrb*RSRP_per_RE * serving
+  // fraction, RSRQ <= -3 dB by construction (clamped range).
+  DriveTestRecord rec = record();
+  for (const auto& m : rec.samples) EXPECT_LE(m.rsrq_db, -3.0);
+}
+
+TEST_P(ScenarioP, ServingCellAlwaysDeployed) {
+  DriveTestRecord rec = record();
+  auto& s = Shared::get();
+  for (size_t i = 0; i < rec.samples.size(); i += 17) {
+    EXPECT_NE(s.world.cells.find(rec.samples[i].serving_cell), nullptr);
+  }
+}
+
+TEST_P(ScenarioP, DifferentRunSeedsChangeKpisNotTrajectory) {
+  auto& s = Shared::get();
+  std::mt19937_64 rng(9);
+  geo::Trajectory t = scenario_trajectory(s.world.region, GetParam(), 300.0, rng);
+  DriveTestRecord a = s.sim->run(t, GetParam(), 1);
+  DriveTestRecord b = s.sim->run(t, GetParam(), 2);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  double diff = 0.0;
+  for (size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].pos.lat, b.samples[i].pos.lat);
+    diff += std::abs(a.samples[i].rsrp_dbm - b.samples[i].rsrp_dbm);
+  }
+  EXPECT_GT(diff / a.samples.size(), 0.5);
+}
+
+TEST_P(ScenarioP, HandoverRateBounded) {
+  DriveTestRecord rec = record(600.0);
+  const double dwell = rec.avg_serving_cell_duration_s();
+  EXPECT_GT(dwell, 3.0) << scenario_name(GetParam());  // no ping-pong
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioP,
+                         ::testing::Values(Scenario::kWalk, Scenario::kBus, Scenario::kTram,
+                                           Scenario::kCityDriving1, Scenario::kCityDriving2,
+                                           Scenario::kHighway1, Scenario::kLongComplex),
+                         [](const auto& info) {
+                           std::string n{scenario_name(info.param)};
+                           std::erase(n, ' ');
+                           return n;
+                         });
+
+// ---- Cross-scenario orderings (not per-scenario invariants) ----------------
+
+TEST(ScenarioOrdering, HighwaySeesFewerCellsThanCityWalk) {
+  auto& s = Shared::get();
+  std::mt19937_64 rng(4);
+  geo::Trajectory walk = scenario_trajectory(s.world.region, Scenario::kWalk, 300.0, rng);
+  geo::Trajectory hw = scenario_trajectory(s.world.region, Scenario::kHighway1, 300.0, rng);
+  const geo::LocalProjection& proj = s.world.projection();
+  auto mean_density = [&](const geo::Trajectory& t) {
+    double d = 0.0;
+    int n = 0;
+    for (size_t i = 0; i < t.size(); i += 10) {
+      d += s.world.cells.density_per_km2(proj.to_enu(t[i].pos), 1000.0);
+      ++n;
+    }
+    return d / n;
+  };
+  EXPECT_GT(mean_density(walk), mean_density(hw));
+}
+
+TEST(ScenarioOrdering, FasterScenariosHandoverMoreOften) {
+  auto& s = Shared::get();
+  std::mt19937_64 rng(6);
+  geo::Trajectory walk_t = scenario_trajectory(s.world.region, Scenario::kWalk, 500.0, rng);
+  geo::Trajectory tram_t = scenario_trajectory(s.world.region, Scenario::kTram, 500.0, rng);
+  const double walk_dwell =
+      s.sim->run(walk_t, Scenario::kWalk, 3).avg_serving_cell_duration_s();
+  const double tram_dwell =
+      s.sim->run(tram_t, Scenario::kTram, 3).avg_serving_cell_duration_s();
+  EXPECT_GT(walk_dwell, tram_dwell);
+}
+
+}  // namespace
+}  // namespace gendt::sim

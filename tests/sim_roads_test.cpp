@@ -1,0 +1,174 @@
+#include "gendt/sim/roads.h"
+
+#include <gtest/gtest.h>
+
+#include "gendt/sim/trajectory_gen.h"
+
+namespace gendt::sim {
+namespace {
+
+RegionConfig two_city_region() {
+  RegionConfig r;
+  r.origin = {51.5, 7.46};
+  r.extent_m = 10000.0;
+  r.cities.push_back({{0.0, 0.0}, 2500.0});
+  r.cities.push_back({{7000.0, 5000.0}, 1800.0});
+  r.highways.push_back({{{2000.0, 1500.0}, {4500.0, 3200.0}, {7000.0, 5000.0}}});
+  r.seed = 12;
+  return r;
+}
+
+class RoadsF : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { net_ = new RoadNetwork(two_city_region()); }
+  static void TearDownTestSuite() {
+    delete net_;
+    net_ = nullptr;
+  }
+  static RoadNetwork* net_;
+};
+RoadNetwork* RoadsF::net_ = nullptr;
+
+TEST_F(RoadsF, BuildsNodesAndEdges) {
+  EXPECT_GT(net_->node_count(), 100u);
+  EXPECT_GT(net_->edge_count(), net_->node_count());  // grid: ~2 edges/node
+}
+
+TEST_F(RoadsF, CityNodesInsideTheirCity) {
+  const auto& city0 = net_->city_nodes(0);
+  ASSERT_FALSE(city0.empty());
+  for (int32_t n : city0) {
+    EXPECT_LE(geo::distance_m(net_->nodes()[static_cast<size_t>(n)].pos, {0, 0}), 2500.0 + 1.0);
+  }
+  EXPECT_TRUE(net_->city_nodes(99).empty());
+  EXPECT_TRUE(net_->city_nodes(-1).empty());
+}
+
+TEST_F(RoadsF, EdgeLengthsMatchGeometry) {
+  for (size_t i = 0; i < std::min<size_t>(50, net_->edge_count()); ++i) {
+    const RoadEdge& e = net_->edges()[i];
+    const double d = geo::distance_m(net_->nodes()[static_cast<size_t>(e.a)].pos,
+                                     net_->nodes()[static_cast<size_t>(e.b)].pos);
+    EXPECT_NEAR(e.length_m, d, 1e-9);
+  }
+}
+
+TEST_F(RoadsF, HasAllThreeRoadClasses) {
+  bool sec = false, pri = false, mot = false;
+  for (const auto& e : net_->edges()) {
+    sec = sec || e.cls == RoadClass::kSecondary;
+    pri = pri || e.cls == RoadClass::kPrimary;
+    mot = mot || e.cls == RoadClass::kMotorway;
+  }
+  EXPECT_TRUE(sec);
+  EXPECT_TRUE(pri);
+  EXPECT_TRUE(mot);
+}
+
+TEST_F(RoadsF, NearestNodeIsActuallyNearest) {
+  const geo::Enu probe{123.0, 456.0};
+  const int32_t n = net_->nearest_node(probe);
+  ASSERT_GE(n, 0);
+  const double best = geo::distance_m(net_->nodes()[static_cast<size_t>(n)].pos, probe);
+  for (size_t i = 0; i < net_->node_count(); i += 7) {
+    EXPECT_GE(geo::distance_m(net_->nodes()[i].pos, probe) + 1e-9, best);
+  }
+}
+
+TEST_F(RoadsF, ShortestPathConnectsAndIsLocallyOptimal) {
+  const auto& city0 = net_->city_nodes(0);
+  ASSERT_GE(city0.size(), 2u);
+  const int32_t a = city0.front();
+  const int32_t b = city0.back();
+  const auto path = net_->shortest_path(a, b);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), a);
+  EXPECT_EQ(path.back(), b);
+  // Path length >= straight-line distance.
+  double len = 0.0;
+  const auto poly = net_->path_polyline(path);
+  for (size_t i = 1; i < poly.size(); ++i) len += geo::distance_m(poly[i - 1], poly[i]);
+  EXPECT_GE(len + 1e-9, geo::distance_m(net_->nodes()[static_cast<size_t>(a)].pos,
+                                        net_->nodes()[static_cast<size_t>(b)].pos));
+}
+
+TEST_F(RoadsF, CitiesConnectedViaHighway) {
+  // A node in city 0 must reach a node in city 1 (through the motorway).
+  const auto path = net_->shortest_path(net_->city_nodes(0).front(), net_->city_nodes(1).front());
+  EXPECT_GE(path.size(), 2u);
+}
+
+TEST_F(RoadsF, ShortestPathSameNodeIsTrivial) {
+  const int32_t a = net_->city_nodes(0).front();
+  const auto path = net_->shortest_path(a, a);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], a);
+}
+
+TEST_F(RoadsF, RandomCityRouteReachesRequestedLength) {
+  std::mt19937_64 rng(5);
+  const auto route = net_->random_city_route(0, 3000.0, rng);
+  ASSERT_GE(route.size(), 2u);
+  double len = 0.0;
+  for (size_t i = 1; i < route.size(); ++i) len += geo::distance_m(route[i - 1], route[i]);
+  EXPECT_GE(len, 3000.0 * 0.8);
+  // Route stays within the city.
+  for (const auto& p : route) EXPECT_LE(geo::distance_m(p, {0, 0}), 2500.0 + 1.0);
+}
+
+TEST_F(RoadsF, TransitLineDeterministicPerLineId) {
+  const auto l1 = net_->transit_line(0, 7);
+  const auto l2 = net_->transit_line(0, 7);
+  ASSERT_EQ(l1.size(), l2.size());
+  for (size_t i = 0; i < l1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(l1[i].east, l2[i].east);
+    EXPECT_DOUBLE_EQ(l1[i].north, l2[i].north);
+  }
+  // Different line ids give (usually) different lines.
+  const auto l3 = net_->transit_line(0, 8);
+  EXPECT_TRUE(l3.size() != l1.size() || l3.front().east != l1.front().east ||
+              l3.back().east != l1.back().east);
+}
+
+TEST_F(RoadsF, RoadTrajectoriesFollowTheGraph) {
+  RegionConfig r = two_city_region();
+  std::mt19937_64 rng(9);
+  geo::Trajectory t =
+      scenario_trajectory(r, *net_, Scenario::kCityDriving1, 200.0, rng, 0);
+  ASSERT_GT(t.size(), 20u);
+  // Every sample lies near some road node (within a block + jitter).
+  const geo::LocalProjection proj(r.origin);
+  for (size_t i = 0; i < t.size(); i += 9) {
+    const geo::Enu p = proj.to_enu(t[i].pos);
+    const int32_t n = net_->nearest_node(p);
+    EXPECT_LT(geo::distance_m(p, net_->nodes()[static_cast<size_t>(n)].pos), 300.0);
+  }
+}
+
+TEST_F(RoadsF, BusAndTramRideFixedLines) {
+  RegionConfig r = two_city_region();
+  std::mt19937_64 rng1(3), rng2(4);
+  // Two bus runs with different rngs may pick different lines, but each run
+  // must produce a usable trajectory of the requested duration.
+  for (auto s : {Scenario::kBus, Scenario::kTram}) {
+    geo::Trajectory t = scenario_trajectory(r, *net_, s, 300.0, rng1, 0);
+    EXPECT_GE(t.duration_s(), 300.0 * 0.9) << scenario_name(s);
+  }
+  (void)rng2;
+}
+
+TEST(RoadNetwork, EmptyRegionYieldsEmptyNetwork) {
+  RegionConfig r;
+  r.origin = {51.5, 7.46};
+  r.extent_m = 1000.0;
+  r.seed = 1;
+  RoadNetwork net(r);
+  EXPECT_EQ(net.node_count(), 0u);
+  EXPECT_EQ(net.nearest_node({0, 0}), -1);
+  std::mt19937_64 rng(1);
+  EXPECT_TRUE(net.random_city_route(0, 1000.0, rng).empty());
+  EXPECT_TRUE(net.transit_line(0, 1).empty());
+}
+
+}  // namespace
+}  // namespace gendt::sim

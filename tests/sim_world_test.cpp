@@ -1,0 +1,145 @@
+#include "gendt/sim/world.h"
+#include "gendt/sim/trajectory_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace gendt::sim {
+namespace {
+
+RegionConfig test_region() {
+  RegionConfig r;
+  r.origin = {51.5, 7.46};
+  r.extent_m = 6000.0;
+  r.cities.push_back({{0.0, 0.0}, 2500.0});
+  r.highways.push_back({{{-5500.0, -5000.0}, {5500.0, -5000.0}}});
+  r.seed = 9;
+  return r;
+}
+
+TEST(Deployment, CreatesThreeSectorSites) {
+  World w = make_world(test_region());
+  ASSERT_GT(w.cells.size(), 0u);
+  EXPECT_EQ(w.cells.size() % 3, 0u);  // 3 sectors per site
+  // Sector triplets share the site location.
+  const auto& c0 = w.cells[0];
+  const auto& c1 = w.cells[1];
+  EXPECT_DOUBLE_EQ(c0.site.lat, c1.site.lat);
+  EXPECT_DOUBLE_EQ(c0.site.lon, c1.site.lon);
+}
+
+TEST(Deployment, UniqueCellIds) {
+  World w = make_world(test_region());
+  std::vector<radio::CellId> ids;
+  for (const auto& c : w.cells.cells()) ids.push_back(c.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Deployment, DenserInCityThanRural) {
+  World w = make_world(test_region());
+  const double city = w.cells.density_per_km2({0, 0}, 1500.0);
+  const double rural = w.cells.density_per_km2({5000, 5000}, 1500.0);
+  EXPECT_GT(city, rural);
+  EXPECT_GT(city, 5.0);  // paper Fig. 4: dense city tens of cells / km^2
+}
+
+TEST(Deployment, HighwayCorridorHasCoverage) {
+  World w = make_world(test_region());
+  // Somewhere along the highway there must be cells within 3 km.
+  const auto near_hw = w.cells.cells_within({0, -5000}, 3000.0);
+  EXPECT_GT(near_hw.size(), 0u);
+}
+
+TEST(Deployment, DeterministicForSameSeed) {
+  World w1 = make_world(test_region());
+  World w2 = make_world(test_region());
+  ASSERT_EQ(w1.cells.size(), w2.cells.size());
+  for (size_t i = 0; i < w1.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w1.cells[i].azimuth_deg, w2.cells[i].azimuth_deg);
+  }
+}
+
+TEST(SiteDensity, OrderingMatchesIntuition) {
+  EXPECT_GT(site_density_per_km2(LandUse::kContinuousUrban),
+            site_density_per_km2(LandUse::kMediumDenseUrban));
+  EXPECT_GT(site_density_per_km2(LandUse::kMediumDenseUrban),
+            site_density_per_km2(LandUse::kBarrenLands));
+  EXPECT_EQ(site_density_per_km2(LandUse::kSea), 0.0);
+}
+
+TEST(MobilityProfile, MatchesPaperVelocities) {
+  EXPECT_NEAR(mobility_profile(Scenario::kWalk).mean_speed_mps, 1.4, 0.01);
+  EXPECT_NEAR(mobility_profile(Scenario::kHighway2).mean_speed_mps, 31.1, 0.01);
+  EXPECT_DOUBLE_EQ(mobility_profile(Scenario::kWalk).sample_period_s, 1.0);
+  EXPECT_GT(mobility_profile(Scenario::kCityDriving1).sample_period_s, 3.0);
+}
+
+TEST(TrajectoryGen, WalkSpeedAndSampling) {
+  RegionConfig r = test_region();
+  std::mt19937_64 rng(5);
+  geo::Trajectory t = scenario_trajectory(r, Scenario::kWalk, 600.0, rng);
+  ASSERT_GT(t.size(), 500u);
+  EXPECT_NEAR(t.mean_speed_mps(), 1.4, 0.5);
+  // 1 s sampling.
+  EXPECT_NEAR(t[1].t - t[0].t, 1.0, 1e-9);
+}
+
+TEST(TrajectoryGen, HighwayFasterThanCity) {
+  RegionConfig r = test_region();
+  std::mt19937_64 rng(6);
+  geo::Trajectory hw = scenario_trajectory(r, Scenario::kHighway1, 300.0, rng);
+  geo::Trajectory city = scenario_trajectory(r, Scenario::kCityDriving1, 300.0, rng);
+  EXPECT_GT(hw.mean_speed_mps(), 2.0 * city.mean_speed_mps());
+}
+
+TEST(TrajectoryGen, WalkStaysNearCityCentre) {
+  RegionConfig r = test_region();
+  std::mt19937_64 rng(7);
+  geo::Trajectory t = scenario_trajectory(r, Scenario::kWalk, 900.0, rng);
+  const geo::LocalProjection proj(r.origin);
+  for (const auto& p : t.points()) {
+    EXPECT_LT(geo::distance_m(proj.to_enu(p.pos), {0, 0}), 2500.0 * 0.5);
+  }
+}
+
+TEST(TrajectoryGen, StrictlyIncreasingTimestamps) {
+  RegionConfig r = test_region();
+  std::mt19937_64 rng(8);
+  for (Scenario s : {Scenario::kWalk, Scenario::kBus, Scenario::kTram, Scenario::kCityDriving1,
+                     Scenario::kHighway1}) {
+    geo::Trajectory t = scenario_trajectory(r, s, 200.0, rng);
+    for (size_t i = 1; i < t.size(); ++i) EXPECT_GT(t[i].t, t[i - 1].t) << scenario_name(s);
+  }
+}
+
+TEST(TrajectoryGen, LongComplexSpansCities) {
+  RegionConfig r = test_region();
+  r.cities.push_back({{4000.0, 4000.0}, 1500.0});
+  std::mt19937_64 rng(9);
+  geo::Trajectory t = scenario_trajectory(r, Scenario::kLongComplex, 1200.0, rng);
+  const geo::LocalProjection proj(r.origin);
+  bool near_a = false, near_b = false;
+  for (const auto& p : t.points()) {
+    const geo::Enu e = proj.to_enu(p.pos);
+    if (geo::distance_m(e, {0, 0}) < 2000.0) near_a = true;
+    if (geo::distance_m(e, {4000, 4000}) < 2000.0) near_b = true;
+  }
+  EXPECT_TRUE(near_a);
+  EXPECT_TRUE(near_b);
+}
+
+TEST(TrajectoryGen, BusHasStops) {
+  RegionConfig r = test_region();
+  std::mt19937_64 rng(10);
+  geo::Trajectory t = scenario_trajectory(r, Scenario::kBus, 900.0, rng);
+  // Stops show up as consecutive samples at (almost) the same position.
+  const geo::LocalProjection proj(r.origin);
+  int stationary = 0;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (geo::distance_m(proj.to_enu(t[i].pos), proj.to_enu(t[i - 1].pos)) < 0.01) ++stationary;
+  }
+  EXPECT_GT(stationary, 3);
+}
+
+}  // namespace
+}  // namespace gendt::sim

@@ -1,0 +1,292 @@
+// gendt — command-line front end for the GenDT library.
+//
+//   gendt simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]
+//       Simulate a drive-test campaign; writes per-scenario train/test
+//       record CSVs plus the deployment's cells.csv.
+//
+//   gendt train --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]
+//               [--record FILE]...
+//       Train a GenDT model. Records come from --record CSVs, or from a
+//       fresh simulation of the dataset when none are given. The KPI
+//       normalization is stored inside the checkpoint.
+//
+//   gendt generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv
+//                  [--dataset a|b] [--seed N] [--gen-seed N]
+//       Generate KPI series for a trajectory (no measurements needed).
+//
+//   gendt eval --real FILE.csv --generated FILE.csv
+//       Fidelity metrics (MAE/DTW/HWD) per channel between two series CSVs.
+//
+// The world (cells + environment context) is reconstructed from
+// --dataset/--seed; operators with real data would adapt sim::World to
+// their cell table and land-use sources.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gendt/core/model.h"
+#include "gendt/io/csv.h"
+#include "gendt/metrics/metrics.h"
+#include "gendt/sim/dataset.h"
+
+using namespace gendt;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> records;
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  long get_long(const std::string& key, long fallback) const {
+    const std::string v = get(key);
+    return v.empty() ? fallback : std::stol(v);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      if (key == "--record") {
+        a.records.emplace_back(argv[++i]);
+      } else {
+        a.options[key.substr(2)] = argv[++i];
+      }
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gendt <simulate|train|generate|eval> [options]\n"
+               "  simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]\n"
+               "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
+               " [--record FILE]...\n"
+               "  generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv"
+               " [--dataset a|b] [--seed N] [--gen-seed N]\n"
+               "  eval     --real FILE.csv --generated FILE.csv\n");
+  return 2;
+}
+
+sim::Dataset build_dataset(const Args& a) {
+  sim::DatasetScale scale;
+  scale.seed = static_cast<uint64_t>(a.get_long("seed", 42));
+  scale.train_duration_s = static_cast<double>(a.get_long("train-s", 600));
+  scale.test_duration_s = scale.train_duration_s / 2.0;
+  scale.records_per_scenario = 1;
+  return a.get("dataset", "a") == "b" ? sim::make_dataset_b(scale) : sim::make_dataset_a(scale);
+}
+
+context::ContextConfig default_context() {
+  context::ContextConfig cfg;
+  cfg.window_len = 50;
+  cfg.train_step = 10;
+  cfg.max_cells = 6;
+  return cfg;
+}
+
+// Norm stats travel inside the checkpoint as two extra parameter rows.
+std::vector<nn::NamedParam> norm_params(nn::Tensor& mean, nn::Tensor& stddev) {
+  return {{"kpi_norm.mean", mean}, {"kpi_norm.std", stddev}};
+}
+
+int cmd_simulate(const Args& a) {
+  const std::string out_dir = a.get("out");
+  if (out_dir.empty()) return usage();
+  std::filesystem::create_directories(out_dir);
+  sim::Dataset ds = build_dataset(a);
+
+  if (!io::write_cells_csv(ds.world.cells, out_dir + "/cells.csv")) {
+    std::fprintf(stderr, "error: cannot write %s/cells.csv\n", out_dir.c_str());
+    return 1;
+  }
+  auto dump = [&](const std::vector<sim::DriveTestRecord>& recs, const char* tag) {
+    for (const auto& rec : recs) {
+      std::string name{sim::scenario_name(rec.scenario)};
+      for (auto& c : name)
+        if (c == ' ') c = '_';
+      const std::string path = out_dir + "/" + tag + "_" + name + ".csv";
+      if (!io::write_record_csv(rec, path)) return false;
+      std::printf("wrote %s (%zu samples)\n", path.c_str(), rec.samples.size());
+    }
+    return true;
+  };
+  if (!dump(ds.train, "train") || !dump(ds.test, "test")) {
+    std::fprintf(stderr, "error: failed writing record CSVs\n");
+    return 1;
+  }
+  std::printf("wrote %s/cells.csv (%zu cells)\n", out_dir.c_str(), ds.world.cells.size());
+  return 0;
+}
+
+int cmd_train(const Args& a) {
+  const std::string out = a.get("out");
+  if (out.empty()) return usage();
+  sim::Dataset ds = build_dataset(a);
+
+  std::vector<sim::DriveTestRecord> records;
+  if (a.records.empty()) {
+    records = ds.train;
+    std::printf("no --record given: training on a simulated %s-style campaign "
+                "(%zu records)\n",
+                a.get("dataset", "a").c_str(), records.size());
+  } else {
+    for (const auto& path : a.records) {
+      auto rec = io::read_record_csv(path);
+      if (!rec) {
+        std::fprintf(stderr, "error: %s\n", io::last_error().c_str());
+        return 1;
+      }
+      records.push_back(std::move(*rec));
+    }
+  }
+
+  context::KpiNorm norm = context::fit_kpi_norm(records, ds.kpis);
+  context::ContextBuilder builder(ds.world, default_context(), norm, ds.kpis);
+  std::vector<context::Window> windows;
+  for (const auto& rec : records) {
+    auto w = builder.training_windows(rec);
+    windows.insert(windows.end(), w.begin(), w.end());
+  }
+  if (windows.empty()) {
+    std::fprintf(stderr, "error: no training windows (records too short?)\n");
+    return 1;
+  }
+
+  core::GenDTConfig mcfg;
+  mcfg.num_channels = static_cast<int>(ds.kpis.size());
+  mcfg.hidden = 48;
+  core::GenDTModel model(mcfg);
+  core::TrainConfig tcfg;
+  tcfg.epochs = static_cast<int>(a.get_long("epochs", 12));
+  tcfg.seed = static_cast<uint64_t>(a.get_long("seed", 42));
+  tcfg.verbose = true;
+  std::printf("training on %zu windows for %d epochs...\n", windows.size(), tcfg.epochs);
+  core::train_gendt(model, windows, tcfg);
+
+  auto params = model.generator_params();
+  for (auto& p : model.discriminator_params()) params.push_back(p);
+  nn::Tensor mean(nn::Mat::row(norm.mean), false);
+  nn::Tensor stddev(nn::Mat::row(norm.stddev), false);
+  for (auto& p : norm_params(mean, stddev)) params.push_back(p);
+  if (!nn::save_params(params, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("saved %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_generate(const Args& a) {
+  const std::string model_path = a.get("model");
+  const std::string traj_path = a.get("trajectory");
+  const std::string out = a.get("out");
+  if (model_path.empty() || traj_path.empty() || out.empty()) return usage();
+
+  sim::Dataset ds = build_dataset(a);
+  core::GenDTConfig mcfg;
+  mcfg.num_channels = static_cast<int>(ds.kpis.size());
+  mcfg.hidden = 48;
+  core::GenDTModel model(mcfg);
+
+  context::KpiNorm norm;
+  norm.mean.assign(ds.kpis.size(), 0.0);
+  norm.stddev.assign(ds.kpis.size(), 1.0);
+  {
+    auto params = model.generator_params();
+    for (auto& p : model.discriminator_params()) params.push_back(p);
+    nn::Tensor mean(nn::Mat::zeros(1, static_cast<int>(ds.kpis.size())), false);
+    nn::Tensor stddev(nn::Mat::ones(1, static_cast<int>(ds.kpis.size())), false);
+    for (auto& p : norm_params(mean, stddev)) params.push_back(p);
+    if (!nn::load_params(params, model_path)) {
+      std::fprintf(stderr, "error: cannot load %s (config mismatch?)\n", model_path.c_str());
+      return 1;
+    }
+    for (size_t ch = 0; ch < ds.kpis.size(); ++ch) {
+      norm.mean[ch] = mean.value()(0, static_cast<int>(ch));
+      norm.stddev[ch] = stddev.value()(0, static_cast<int>(ch));
+    }
+  }
+
+  auto traj = io::read_trajectory_csv(traj_path);
+  if (!traj) {
+    std::fprintf(stderr, "error: %s\n", io::last_error().c_str());
+    return 1;
+  }
+
+  context::ContextBuilder builder(ds.world, default_context(), norm, ds.kpis);
+  auto windows = builder.generation_windows(*traj);
+  if (windows.empty()) {
+    std::fprintf(stderr, "error: trajectory too short for one window\n");
+    return 1;
+  }
+
+  core::GeneratedSeries series;
+  series.channels.assign(ds.kpis.size(), {});
+  const uint64_t gen_seed = static_cast<uint64_t>(a.get_long("gen-seed", 1));
+  for (const auto& s : model.sample_windows(windows, gen_seed)) {
+    for (int t = 0; t < s.output.rows(); ++t)
+      for (size_t ch = 0; ch < ds.kpis.size(); ++ch)
+        series.channels[ch].push_back(
+            norm.denormalize(static_cast<int>(ch), s.output(t, static_cast<int>(ch))));
+  }
+
+  std::vector<std::string> names;
+  for (auto k : ds.kpis) names.emplace_back(sim::kpi_name(k));
+  const double period =
+      traj->size() > 1 ? (*traj)[1].t - (*traj)[0].t : 1.0;
+  if (!io::write_series_csv(series, names, out, traj->front().t, period)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu samples x %zu KPIs)\n", out.c_str(), series.length(),
+              series.channels.size());
+  return 0;
+}
+
+int cmd_eval(const Args& a) {
+  auto real = io::read_series_csv(a.get("real"));
+  auto gen = io::read_series_csv(a.get("generated"));
+  if (!real || !gen) {
+    std::fprintf(stderr, "error: %s\n", io::last_error().c_str());
+    return 1;
+  }
+  if (real->channels.size() != gen->channels.size()) {
+    std::fprintf(stderr, "error: channel count mismatch (%zu vs %zu)\n", real->channels.size(),
+                 gen->channels.size());
+    return 1;
+  }
+  std::printf("%-10s %10s %10s %10s\n", "channel", "MAE", "DTW", "HWD");
+  for (size_t ch = 0; ch < real->channels.size(); ++ch) {
+    const size_t n = std::min(real->channels[ch].size(), gen->channels[ch].size());
+    std::vector<double> r(real->channels[ch].begin(),
+                          real->channels[ch].begin() + static_cast<long>(n));
+    std::vector<double> g(gen->channels[ch].begin(),
+                          gen->channels[ch].begin() + static_cast<long>(n));
+    std::printf("%-10zu %10.3f %10.3f %10.3f\n", ch, metrics::mae(r, g),
+                metrics::dtw(r, g, 40), metrics::hwd(r, g));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "simulate") return cmd_simulate(a);
+  if (a.command == "train") return cmd_train(a);
+  if (a.command == "generate") return cmd_generate(a);
+  if (a.command == "eval") return cmd_eval(a);
+  return usage();
+}
