@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_sample_series.dir/bench_fig18_sample_series.cpp.o"
+  "CMakeFiles/bench_fig18_sample_series.dir/bench_fig18_sample_series.cpp.o.d"
+  "bench_fig18_sample_series"
+  "bench_fig18_sample_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_sample_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

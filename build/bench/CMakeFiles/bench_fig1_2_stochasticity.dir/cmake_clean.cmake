@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_2_stochasticity.dir/bench_fig1_2_stochasticity.cpp.o"
+  "CMakeFiles/bench_fig1_2_stochasticity.dir/bench_fig1_2_stochasticity.cpp.o.d"
+  "bench_fig1_2_stochasticity"
+  "bench_fig1_2_stochasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_2_stochasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_fig13_handover.dir/bench_table10_fig13_handover.cpp.o"
+  "CMakeFiles/bench_table10_fig13_handover.dir/bench_table10_fig13_handover.cpp.o.d"
+  "bench_table10_fig13_handover"
+  "bench_table10_fig13_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_fig13_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

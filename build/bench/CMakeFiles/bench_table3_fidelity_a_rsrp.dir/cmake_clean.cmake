@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fidelity_a_rsrp.dir/bench_table3_fidelity_a_rsrp.cpp.o"
+  "CMakeFiles/bench_table3_fidelity_a_rsrp.dir/bench_table3_fidelity_a_rsrp.cpp.o.d"
+  "bench_table3_fidelity_a_rsrp"
+  "bench_table3_fidelity_a_rsrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fidelity_a_rsrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

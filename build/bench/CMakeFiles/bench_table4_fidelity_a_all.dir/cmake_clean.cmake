@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fidelity_a_all.dir/bench_table4_fidelity_a_all.cpp.o"
+  "CMakeFiles/bench_table4_fidelity_a_all.dir/bench_table4_fidelity_a_all.cpp.o.d"
+  "bench_table4_fidelity_a_all"
+  "bench_table4_fidelity_a_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fidelity_a_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

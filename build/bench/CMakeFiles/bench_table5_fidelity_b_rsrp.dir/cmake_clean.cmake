@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fidelity_b_rsrp.dir/bench_table5_fidelity_b_rsrp.cpp.o"
+  "CMakeFiles/bench_table5_fidelity_b_rsrp.dir/bench_table5_fidelity_b_rsrp.cpp.o.d"
+  "bench_table5_fidelity_b_rsrp"
+  "bench_table5_fidelity_b_rsrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fidelity_b_rsrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_long_complex.dir/bench_table7_long_complex.cpp.o"
+  "CMakeFiles/bench_table7_long_complex.dir/bench_table7_long_complex.cpp.o.d"
+  "bench_table7_long_complex"
+  "bench_table7_long_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_long_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

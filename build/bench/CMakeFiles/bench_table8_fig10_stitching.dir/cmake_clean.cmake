@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_fig10_stitching.dir/bench_table8_fig10_stitching.cpp.o"
+  "CMakeFiles/bench_table8_fig10_stitching.dir/bench_table8_fig10_stitching.cpp.o.d"
+  "bench_table8_fig10_stitching"
+  "bench_table8_fig10_stitching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_fig10_stitching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

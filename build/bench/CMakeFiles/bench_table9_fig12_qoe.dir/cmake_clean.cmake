@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_fig12_qoe.dir/bench_table9_fig12_qoe.cpp.o"
+  "CMakeFiles/bench_table9_fig12_qoe.dir/bench_table9_fig12_qoe.cpp.o.d"
+  "bench_table9_fig12_qoe"
+  "bench_table9_fig12_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_fig12_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

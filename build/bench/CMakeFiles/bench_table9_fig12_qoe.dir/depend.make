@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table9_fig12_qoe.
+# This may be replaced when dependencies are built.

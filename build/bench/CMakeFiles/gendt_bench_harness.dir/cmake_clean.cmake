@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/gendt_bench_harness.dir/harness.cpp.o.d"
+  "libgendt_bench_harness.a"
+  "libgendt_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handover_study.dir/handover_study.cpp.o"
+  "CMakeFiles/handover_study.dir/handover_study.cpp.o.d"
+  "handover_study"
+  "handover_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handover_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

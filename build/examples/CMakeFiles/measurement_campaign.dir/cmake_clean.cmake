@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_campaign.dir/measurement_campaign.cpp.o"
+  "CMakeFiles/measurement_campaign.dir/measurement_campaign.cpp.o.d"
+  "measurement_campaign"
+  "measurement_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_new_cell.dir/whatif_new_cell.cpp.o"
+  "CMakeFiles/whatif_new_cell.dir/whatif_new_cell.cpp.o.d"
+  "whatif_new_cell"
+  "whatif_new_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_new_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/gendt_baselines.dir/baselines.cpp.o.d"
+  "CMakeFiles/gendt_baselines.dir/cvae.cpp.o"
+  "CMakeFiles/gendt_baselines.dir/cvae.cpp.o.d"
+  "libgendt_baselines.a"
+  "libgendt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

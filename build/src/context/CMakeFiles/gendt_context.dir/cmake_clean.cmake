@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_context.dir/context.cpp.o"
+  "CMakeFiles/gendt_context.dir/context.cpp.o.d"
+  "libgendt_context.a"
+  "libgendt_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

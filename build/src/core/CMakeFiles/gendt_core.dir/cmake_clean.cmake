@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_core.dir/active_learning.cpp.o"
+  "CMakeFiles/gendt_core.dir/active_learning.cpp.o.d"
+  "CMakeFiles/gendt_core.dir/model.cpp.o"
+  "CMakeFiles/gendt_core.dir/model.cpp.o.d"
+  "libgendt_core.a"
+  "libgendt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_downstream.dir/coverage.cpp.o"
+  "CMakeFiles/gendt_downstream.dir/coverage.cpp.o.d"
+  "CMakeFiles/gendt_downstream.dir/extended.cpp.o"
+  "CMakeFiles/gendt_downstream.dir/extended.cpp.o.d"
+  "CMakeFiles/gendt_downstream.dir/handover.cpp.o"
+  "CMakeFiles/gendt_downstream.dir/handover.cpp.o.d"
+  "CMakeFiles/gendt_downstream.dir/qoe.cpp.o"
+  "CMakeFiles/gendt_downstream.dir/qoe.cpp.o.d"
+  "libgendt_downstream.a"
+  "libgendt_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

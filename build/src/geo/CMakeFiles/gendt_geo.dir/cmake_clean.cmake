@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_geo.dir/geo.cpp.o"
+  "CMakeFiles/gendt_geo.dir/geo.cpp.o.d"
+  "libgendt_geo.a"
+  "libgendt_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_io.dir/csv.cpp.o"
+  "CMakeFiles/gendt_io.dir/csv.cpp.o.d"
+  "libgendt_io.a"
+  "libgendt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/gendt_metrics.dir/metrics.cpp.o.d"
+  "libgendt_metrics.a"
+  "libgendt_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgendt_metrics.a"
+)

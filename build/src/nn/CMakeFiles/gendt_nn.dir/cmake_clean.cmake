@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_nn.dir/layers.cpp.o"
+  "CMakeFiles/gendt_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/gendt_nn.dir/mat.cpp.o"
+  "CMakeFiles/gendt_nn.dir/mat.cpp.o.d"
+  "CMakeFiles/gendt_nn.dir/optim.cpp.o"
+  "CMakeFiles/gendt_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/gendt_nn.dir/serialize.cpp.o"
+  "CMakeFiles/gendt_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/gendt_nn.dir/tensor.cpp.o"
+  "CMakeFiles/gendt_nn.dir/tensor.cpp.o.d"
+  "libgendt_nn.a"
+  "libgendt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

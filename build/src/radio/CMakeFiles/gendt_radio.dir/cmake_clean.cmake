@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_radio.dir/cell.cpp.o"
+  "CMakeFiles/gendt_radio.dir/cell.cpp.o.d"
+  "CMakeFiles/gendt_radio.dir/propagation.cpp.o"
+  "CMakeFiles/gendt_radio.dir/propagation.cpp.o.d"
+  "CMakeFiles/gendt_radio.dir/units.cpp.o"
+  "CMakeFiles/gendt_radio.dir/units.cpp.o.d"
+  "libgendt_radio.a"
+  "libgendt_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

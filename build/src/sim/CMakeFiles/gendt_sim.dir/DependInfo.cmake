@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset.cpp" "src/sim/CMakeFiles/gendt_sim.dir/dataset.cpp.o" "gcc" "src/sim/CMakeFiles/gendt_sim.dir/dataset.cpp.o.d"
+  "/root/repo/src/sim/drive_test.cpp" "src/sim/CMakeFiles/gendt_sim.dir/drive_test.cpp.o" "gcc" "src/sim/CMakeFiles/gendt_sim.dir/drive_test.cpp.o.d"
+  "/root/repo/src/sim/landuse.cpp" "src/sim/CMakeFiles/gendt_sim.dir/landuse.cpp.o" "gcc" "src/sim/CMakeFiles/gendt_sim.dir/landuse.cpp.o.d"
+  "/root/repo/src/sim/roads.cpp" "src/sim/CMakeFiles/gendt_sim.dir/roads.cpp.o" "gcc" "src/sim/CMakeFiles/gendt_sim.dir/roads.cpp.o.d"
+  "/root/repo/src/sim/trajectory_gen.cpp" "src/sim/CMakeFiles/gendt_sim.dir/trajectory_gen.cpp.o" "gcc" "src/sim/CMakeFiles/gendt_sim.dir/trajectory_gen.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/gendt_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/gendt_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/gendt_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/gendt_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

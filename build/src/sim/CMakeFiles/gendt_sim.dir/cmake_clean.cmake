@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_sim.dir/dataset.cpp.o"
+  "CMakeFiles/gendt_sim.dir/dataset.cpp.o.d"
+  "CMakeFiles/gendt_sim.dir/drive_test.cpp.o"
+  "CMakeFiles/gendt_sim.dir/drive_test.cpp.o.d"
+  "CMakeFiles/gendt_sim.dir/landuse.cpp.o"
+  "CMakeFiles/gendt_sim.dir/landuse.cpp.o.d"
+  "CMakeFiles/gendt_sim.dir/roads.cpp.o"
+  "CMakeFiles/gendt_sim.dir/roads.cpp.o.d"
+  "CMakeFiles/gendt_sim.dir/trajectory_gen.cpp.o"
+  "CMakeFiles/gendt_sim.dir/trajectory_gen.cpp.o.d"
+  "CMakeFiles/gendt_sim.dir/world.cpp.o"
+  "CMakeFiles/gendt_sim.dir/world.cpp.o.d"
+  "libgendt_sim.a"
+  "libgendt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

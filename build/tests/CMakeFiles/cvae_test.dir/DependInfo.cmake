@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cvae_test.cpp" "tests/CMakeFiles/cvae_test.dir/cvae_test.cpp.o" "gcc" "tests/CMakeFiles/cvae_test.dir/cvae_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gendt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gendt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/gendt_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gendt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gendt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/gendt_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/gendt_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gendt_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

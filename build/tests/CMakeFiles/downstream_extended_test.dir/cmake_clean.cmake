@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downstream_extended_test.dir/downstream_extended_test.cpp.o"
+  "CMakeFiles/downstream_extended_test.dir/downstream_extended_test.cpp.o.d"
+  "downstream_extended_test"
+  "downstream_extended_test.pdb"
+  "downstream_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downstream_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

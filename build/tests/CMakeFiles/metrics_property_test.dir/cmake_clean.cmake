@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_property_test.dir/metrics_property_test.cpp.o"
+  "CMakeFiles/metrics_property_test.dir/metrics_property_test.cpp.o.d"
+  "metrics_property_test"
+  "metrics_property_test.pdb"
+  "metrics_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_mat_test.dir/nn_mat_test.cpp.o"
+  "CMakeFiles/nn_mat_test.dir/nn_mat_test.cpp.o.d"
+  "nn_mat_test"
+  "nn_mat_test.pdb"
+  "nn_mat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_mat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_property_test.dir/radio_property_test.cpp.o"
+  "CMakeFiles/radio_property_test.dir/radio_property_test.cpp.o.d"
+  "radio_property_test"
+  "radio_property_test.pdb"
+  "radio_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_drive_test_test.dir/sim_drive_test_test.cpp.o"
+  "CMakeFiles/sim_drive_test_test.dir/sim_drive_test_test.cpp.o.d"
+  "sim_drive_test_test"
+  "sim_drive_test_test.pdb"
+  "sim_drive_test_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_drive_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sim_drive_test_test.
+# This may be replaced when dependencies are built.

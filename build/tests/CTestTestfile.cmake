@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/nn_mat_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_optim_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/radio_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_landuse_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_world_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_drive_test_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/context_test[1]_include.cmake")
+include("/root/repo/build/tests/core_model_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/downstream_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_property_test[1]_include.cmake")
+include("/root/repo/build/tests/radio_property_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_property_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_roads_test[1]_include.cmake")
+include("/root/repo/build/tests/downstream_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/downstream_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/io_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_config_test[1]_include.cmake")
+include("/root/repo/build/tests/cvae_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gendt_cli.dir/gendt_cli.cpp.o"
+  "CMakeFiles/gendt_cli.dir/gendt_cli.cpp.o.d"
+  "gendt"
+  "gendt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gendt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
