@@ -1,7 +1,13 @@
 // Microbenchmarks (google-benchmark) for the library's hot paths: DTW,
-// Wasserstein, LSTM stepping, context-window extraction, simulator sample
-// rate, and GenDT window generation. These guard against performance
-// regressions rather than reproducing a paper result.
+// Wasserstein, matmul kernels (pre-blocking reference vs the blocked
+// library kernel), LSTM stepping, context-window extraction, simulator
+// sample rate, GenDT window generation, and the parallel training step at
+// several thread counts. These guard against performance regressions rather
+// than reproducing a paper result.
+//
+// Unless --benchmark_out is given, results are also written to
+// BENCH_micro_perf.json (committed to the repo so the perf trajectory is
+// tracked PR over PR).
 #include <benchmark/benchmark.h>
 
 #include "gendt/context/context.h"
@@ -42,6 +48,50 @@ void BM_Wasserstein(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(metrics::wasserstein1(a, b));
 }
 BENCHMARK(BM_Wasserstein)->Arg(1024)->Arg(8192);
+
+// The seed's matmul kernel (i-k-j with zero-skip, no tiling), kept here as
+// the fixed reference the blocked library kernel is measured against.
+nn::Mat naive_matmul(const nn::Mat& a, const nn::Mat& b) {
+  nn::Mat c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(21);
+  const nn::Mat a = nn::Mat::randn(n, n, rng);
+  const nn::Mat b = nn::Mat::randn(n, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(naive_matmul(a, b)(0, 0));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(21);
+  const nn::Mat a = nn::Mat::randn(n, n, rng);
+  const nn::Mat b = nn::Mat::randn(n, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(nn::matmul(a, b)(0, 0));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MatmulBlockedNT(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(22);
+  const nn::Mat a = nn::Mat::randn(n, n, rng);
+  const nn::Mat b = nn::Mat::randn(n, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(nn::matmul_nt(a, b)(0, 0));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulBlockedNT)->Arg(128)->Arg(512);
 
 void BM_LstmStep(benchmark::State& state) {
   std::mt19937_64 rng(5);
@@ -138,6 +188,72 @@ void BM_GenDTWindowGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_GenDTWindowGeneration);
 
+// One generator+discriminator training epoch at a given worker-thread
+// count. The trained numbers are bitwise identical across the Arg values
+// (runtime_determinism_test enforces it); only the wall-clock may differ.
+void BM_GenDTTrainEpochByThreads(benchmark::State& state) {
+  static std::vector<context::Window>* train_windows = [] {
+    auto* w = new std::vector<context::Window>();
+    auto& fx = SimFixtures::get();
+    context::KpiNorm norm = context::fit_kpi_norm(fx.ds.train, fx.ds.kpis);
+    context::ContextConfig ccfg;
+    ccfg.window_len = 25;
+    ccfg.train_step = 25;
+    ccfg.max_cells = 5;
+    context::ContextBuilder b(fx.ds.world, ccfg, norm, fx.ds.kpis);
+    for (const auto& rec : fx.ds.train) {
+      auto ws = b.training_windows(rec);
+      w->insert(w->end(), ws.begin(), ws.end());
+      if (w->size() >= 8) break;
+    }
+    if (w->size() > 8) w->resize(8);
+    return w;
+  }();
+
+  const int threads = static_cast<int>(state.range(0));
+  core::GenDTConfig mcfg;
+  mcfg.num_channels = 4;
+  mcfg.hidden = 28;
+  mcfg.parallelism = {.threads = threads};
+  core::TrainConfig tcfg;
+  tcfg.epochs = 1;
+  tcfg.windows_per_step = 4;
+  tcfg.parallelism = {.threads = threads};
+  for (auto _ : state) {
+    core::GenDTModel model(mcfg);
+    auto stats = core::train_gendt(model, *train_windows, tcfg);
+    benchmark::DoNotOptimize(stats.mse_per_epoch.back());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(train_windows->size()));
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_GenDTTrainEpochByThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to the committed
+// BENCH_micro_perf.json so every run leaves a machine-readable record.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_micro_perf.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

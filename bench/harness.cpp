@@ -27,6 +27,9 @@ EvalConfig default_eval_config() {
     cfg.gendt_epochs = 5;
     cfg.baseline_epochs = 4;
   }
+  if (const char* threads = std::getenv("GENDT_THREADS")) {
+    cfg.threads = std::atoi(threads);
+  }
   return cfg;
 }
 
@@ -65,9 +68,11 @@ std::unique_ptr<core::GenDTGenerator> train_gendt_generator(const sim::Dataset& 
   core::GenDTConfig mcfg = model_overrides;
   mcfg.num_channels = static_cast<int>(dataset.kpis.size());
   if (mcfg.hidden <= 0) mcfg.hidden = cfg.gendt_hidden;
+  mcfg.parallelism = {.threads = cfg.threads};
   core::TrainConfig tcfg;
   tcfg.epochs = cfg.gendt_epochs;
   tcfg.seed = cfg.seed;
+  tcfg.parallelism = {.threads = cfg.threads};
   auto gen = std::make_unique<core::GenDTGenerator>(mcfg, tcfg, pipe.norm);
   gen->fit(pipe.train_windows);
   return gen;

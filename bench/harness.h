@@ -48,6 +48,10 @@ struct EvalConfig {
   int baseline_epochs = 12;
   int dtw_band = 40;
   uint64_t seed = 7;
+  /// Worker threads for GenDT training/generation (0 = all hardware
+  /// threads, 1 = serial). Overridable with GENDT_THREADS; results are
+  /// bitwise identical at every setting, so this is purely a speed knob.
+  int threads = 0;
 };
 
 /// Applies GENDT_BENCH_FAST if set.

@@ -25,6 +25,7 @@
 #include "gendt/nn/layers.h"
 #include "gendt/nn/optim.h"
 #include "gendt/nn/serialize.h"
+#include "gendt/runtime/thread_pool.h"
 
 namespace gendt::core {
 
@@ -50,6 +51,12 @@ struct GenDTConfig {
   /// the generated series' dispersion match the data.
   double nll_weight = 0.5;
   uint64_t init_seed = 1;
+  /// Worker threads for inference-side fan-out: the per-cell G^n rollout
+  /// inside forward(), MC-dropout uncertainty passes, and per-trajectory
+  /// generation. 0 = all hardware threads, 1 = serial. Results are bitwise
+  /// identical at every setting: every parallel unit draws from its own
+  /// index-derived RNG stream and is reduced in index order.
+  runtime::Parallelism parallelism{.threads = 0};
 };
 
 /// Output of one generated window in normalized units, plus the ResGen
@@ -101,9 +108,19 @@ class GenDTModel {
                           std::mt19937_64& rng) const;
 
   /// Generate normalized KPI series over consecutive windows, carrying the
-  /// autoregressive tail across window boundaries.
+  /// autoregressive tail across window boundaries. Windows form one
+  /// autoregressive chain, so they are generated in order; parallelism
+  /// applies inside each forward (per-cell rollout).
   std::vector<WindowSample> sample_windows(const std::vector<context::Window>& windows,
                                            uint64_t seed, bool mc_dropout = false) const;
+
+  /// Request-level fan-out: generate several independent trajectories (each
+  /// a window chain) on the worker pool. Trajectory i uses the RNG stream
+  /// derive_stream_seed(seed, i), so results match a serial run bitwise and
+  /// do not depend on the thread count.
+  std::vector<std::vector<WindowSample>> sample_trajectories(
+      const std::vector<std::vector<context::Window>>& trajectories, uint64_t seed,
+      bool mc_dropout = false) const;
 
   bool save(const std::string& path) const;
   bool load(const std::string& path);
@@ -125,6 +142,13 @@ struct TrainConfig {
   double lr_disc = 1e-3;
   uint64_t seed = 99;
   bool verbose = false;
+  /// Worker threads for the per-window forward/backward of each
+  /// accumulation step (0 = all hardware threads, 1 = serial). Each worker
+  /// owns a full model replica and gradient buffer; per-window gradients are
+  /// reduced into the shared parameters in window order, and every window
+  /// runs on its own RNG stream — training is bitwise identical at any
+  /// thread count.
+  runtime::Parallelism parallelism{.threads = 0};
 };
 
 struct TrainStats {

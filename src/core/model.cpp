@@ -1,7 +1,9 @@
 #include "gendt/core/model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
 
 namespace gendt::core {
 
@@ -85,22 +87,30 @@ GenDTModel::Forward GenDTModel::forward(const context::Window& window, const Mat
 
   // ---- G^n: shared node LSTM over each cell's attribute series ----------
   // Hidden states per step per cell; averaged into h_avg (graph pooling).
+  // Cells are independent given the (read-only) shared weights, so their
+  // rollouts fan out across the worker pool. Each cell runs on its own RNG
+  // stream, seeded from the window stream in cell order — the math is
+  // bitwise identical at every thread count.
   std::vector<std::vector<Tensor>> cell_hidden(static_cast<size_t>(std::max(n_cells, 0)));
-  for (int ci = 0; ci < n_cells; ++ci) {
+  std::vector<uint64_t> cell_seed(static_cast<size_t>(std::max(n_cells, 0)));
+  for (int ci = 0; ci < n_cells; ++ci) cell_seed[static_cast<size_t>(ci)] = rng();
+  runtime::parallel_tasks(cfg_.parallelism, n_cells, [&](int ci) {
+    std::mt19937_64 cell_rng(cell_seed[static_cast<size_t>(ci)]);
+    std::normal_distribution<double> g01(0.0, 1.0);
     nn::LstmCell::State st = node_cell_.initial_state();
     auto& hs = cell_hidden[static_cast<size_t>(ci)];
     hs.reserve(static_cast<size_t>(len));
     for (int t = 0; t < len; ++t) {
+      // Noise is sampled straight into the input row (no z0 temporary).
       Mat x(1, kCellAttrs + cfg_.noise_dim_node);
       for (int a = 0; a < kCellAttrs; ++a)
         x(0, a) = window.cell_attrs[static_cast<size_t>(ci)](t, a);
-      const Mat z0 = gaussian_noise(1, cfg_.noise_dim_node, rng);
       for (int a = 0; a < cfg_.noise_dim_node; ++a)
-        x(0, kCellAttrs + a) = cfg_.noise_scale_node * z0(0, a);
-      st = node_cell_.step(Tensor::constant(std::move(x)), st, cfg_.stochastic, rng);
+        x(0, kCellAttrs + a) = cfg_.noise_scale_node * g01(cell_rng);
+      st = node_cell_.step(Tensor::constant(std::move(x)), st, cfg_.stochastic, cell_rng);
       hs.push_back(st.h);
     }
-  }
+  });
 
   fwd.h_avg.reserve(static_cast<size_t>(len));
   for (int t = 0; t < len; ++t) {
@@ -200,6 +210,18 @@ Tensor GenDTModel::discriminate(const std::vector<Tensor>& x_rows,
   return disc_head_.forward(hs.back());
 }
 
+std::vector<std::vector<WindowSample>> GenDTModel::sample_trajectories(
+    const std::vector<std::vector<context::Window>>& trajectories, uint64_t seed,
+    bool mc_dropout) const {
+  std::vector<std::vector<WindowSample>> out(trajectories.size());
+  runtime::parallel_tasks(cfg_.parallelism, static_cast<int>(trajectories.size()), [&](int ti) {
+    out[static_cast<size_t>(ti)] =
+        sample_windows(trajectories[static_cast<size_t>(ti)],
+                       runtime::derive_stream_seed(seed, static_cast<uint64_t>(ti)), mc_dropout);
+  });
+  return out;
+}
+
 std::vector<WindowSample> GenDTModel::sample_windows(const std::vector<context::Window>& windows,
                                                      uint64_t seed, bool mc_dropout) const {
   std::mt19937_64 rng(seed);
@@ -251,6 +273,55 @@ bool GenDTModel::load(const std::string& path) {
   return nn::load_params(params, path);
 }
 
+namespace {
+
+// One training worker: a full model replica whose parameter nodes act as the
+// private gradient buffer for the windows this worker processes. Replicas
+// share nothing with the master model, so per-window backward passes never
+// race on the master's grad buffers.
+struct TrainWorker {
+  explicit TrainWorker(const GenDTConfig& cfg)
+      : model(cfg),
+        gen_params(model.generator_params()),
+        disc_params(model.discriminator_params()) {}
+
+  GenDTModel model;
+  std::vector<nn::NamedParam> gen_params;
+  std::vector<nn::NamedParam> disc_params;
+
+  // Overwrite this replica's parameter values with the master's (same param
+  // order by construction — both sides enumerate the same module tree).
+  void sync_from(const std::vector<nn::NamedParam>& master_gen,
+                 const std::vector<nn::NamedParam>& master_disc) {
+    assert(gen_params.size() == master_gen.size());
+    assert(disc_params.size() == master_disc.size());
+    for (size_t i = 0; i < master_gen.size(); ++i)
+      gen_params[i].tensor.mutable_value() = master_gen[i].tensor.value();
+    for (size_t i = 0; i < master_disc.size(); ++i)
+      disc_params[i].tensor.mutable_value() = master_disc[i].tensor.value();
+  }
+};
+
+void snapshot_grads(const std::vector<nn::NamedParam>& params, std::vector<Mat>& out) {
+  out.resize(params.size());
+  for (size_t i = 0; i < params.size(); ++i) out[i] = params[i].tensor.grad();
+}
+
+// Ordered reduction: master grads = sum of per-window snapshots in window
+// index order. The order is what pins the FP rounding sequence — summing in
+// completion order would make results depend on thread scheduling.
+void reduce_grads(const std::vector<nn::NamedParam>& params,
+                  const std::vector<std::vector<Mat>>& snapshots, int count) {
+  for (auto& p : params) p.tensor.zero_grad();
+  for (int i = 0; i < count; ++i) {
+    const auto& snap = snapshots[static_cast<size_t>(i)];
+    for (size_t j = 0; j < params.size(); ++j)
+      if (!snap[j].empty()) params[j].tensor.accumulate_grad(snap[j]);
+  }
+}
+
+}  // namespace
+
 TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& windows,
                        const TrainConfig& cfg) {
   TrainStats stats;
@@ -265,90 +336,144 @@ TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& wi
   const double lambda = model.config().lambda_gan;
   const int nch = model.config().num_channels;
 
+  // Every thread count — including 1 — runs the same replica / snapshot /
+  // ordered-reduction path. A serial "fast path" accumulating directly into
+  // the master grads would produce a *different* FP rounding sequence
+  // (addition is not associative), breaking bitwise equality across thread
+  // counts, which runtime_determinism_test enforces.
+  const int batch_cap = std::max(1, cfg.windows_per_step);
+  const int pool_width = std::min(cfg.parallelism.resolved(), batch_cap);
+  const runtime::Parallelism train_par{.threads = pool_width};
+  std::vector<std::unique_ptr<TrainWorker>> workers;
+  workers.reserve(static_cast<size_t>(pool_width));
+  for (int i = 0; i < pool_width; ++i)
+    workers.push_back(std::make_unique<TrainWorker>(model.config()));
+
   std::vector<size_t> order(windows.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Per-window slots for the current accumulation step. Workers write only
+  // their own windows' slots; the main thread reads them after the join.
+  std::vector<uint64_t> win_seed(static_cast<size_t>(batch_cap));
+  std::vector<std::vector<Mat>> win_grads(static_cast<size_t>(batch_cap));
+  std::vector<double> win_mse(static_cast<size_t>(batch_cap), 0.0);
+  std::vector<double> win_gan(static_cast<size_t>(batch_cap), 0.0);
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
     double mse_sum = 0.0, gan_sum = 0.0;
     int steps = 0;
 
-    for (size_t start = 0; start < order.size();
-         start += static_cast<size_t>(cfg.windows_per_step)) {
-      const size_t end = std::min(order.size(), start + static_cast<size_t>(cfg.windows_per_step));
+    for (size_t start = 0; start < order.size(); start += static_cast<size_t>(batch_cap)) {
+      const size_t end = std::min(order.size(), start + static_cast<size_t>(batch_cap));
+      const int batch = static_cast<int>(end - start);
+      const double inv_batch = 1.0 / static_cast<double>(batch);
 
       // ---- Generator update -------------------------------------------
-      for (auto& p : gen_params) p.tensor.zero_grad();
-      double batch_mse = 0.0, batch_gan = 0.0;
-      for (size_t k = start; k < end; ++k) {
-        const context::Window& w = windows[order[k]];
-        auto fwd = model.forward(w, Mat{}, rng, /*training=*/true);
-        std::vector<Tensor> rows = fwd.outputs;
-        Tensor pred = nn::concat_rows(rows);
-        Tensor target = Tensor::constant(w.target);
-        Tensor loss = nn::mse_loss(pred, target);
-        batch_mse += loss.item();
-        if (!fwd.res_mu_t.empty() && model.config().nll_weight > 0.0) {
-          // Calibrate ResGen's Gaussian to the residual the aggregation
-          // network leaves behind: residual target = x - G^a(c), with the
-          // aggregation output detached so the NLL only shapes ResGen.
-          std::vector<Tensor> resid;
-          resid.reserve(rows.size());
-          for (int t = 0; t < w.len; ++t) {
-            Mat row(1, nch);
-            for (int ch = 0; ch < nch; ++ch) row(0, ch) = w.target(t, ch);
-            resid.push_back(Tensor::constant(std::move(row)) -
-                            nn::detach(fwd.agg_out_t[static_cast<size_t>(t)]));
+      // Per-window seeds come off the master stream on this thread, in
+      // window order, before any parallel work starts: the stream consumed
+      // by each window is a pure function of (cfg.seed, step, index).
+      for (int i = 0; i < batch; ++i) win_seed[static_cast<size_t>(i)] = rng();
+      for (auto& wk : workers) wk->sync_from(gen_params, disc_params);
+      {
+        // Replicas hold identical values, so which replica serves which
+        // chunk cannot affect the math — checkout order is free to race.
+        std::atomic<int> next_worker{0};
+        runtime::parallel_for(train_par, batch, [&](long lo, long hi) {
+          TrainWorker& wk = *workers[static_cast<size_t>(next_worker.fetch_add(1))];
+          for (long i = lo; i < hi; ++i) {
+            const context::Window& w = windows[order[start + static_cast<size_t>(i)]];
+            std::mt19937_64 wrng(win_seed[static_cast<size_t>(i)]);
+            for (auto& p : wk.gen_params) p.tensor.zero_grad();
+            auto fwd = wk.model.forward(w, Mat{}, wrng, /*training=*/true);
+            std::vector<Tensor> rows = fwd.outputs;
+            Tensor pred = nn::concat_rows(rows);
+            Tensor target = Tensor::constant(w.target);
+            Tensor loss = nn::mse_loss(pred, target);
+            win_mse[static_cast<size_t>(i)] = loss.item();
+            win_gan[static_cast<size_t>(i)] = 0.0;
+            if (!fwd.res_mu_t.empty() && wk.model.config().nll_weight > 0.0) {
+              // Calibrate ResGen's Gaussian to the residual the aggregation
+              // network leaves behind: residual target = x - G^a(c), with
+              // the aggregation output detached so the NLL only shapes
+              // ResGen.
+              std::vector<Tensor> resid;
+              resid.reserve(rows.size());
+              for (int t = 0; t < w.len; ++t) {
+                Mat row(1, nch);
+                for (int ch = 0; ch < nch; ++ch) row(0, ch) = w.target(t, ch);
+                resid.push_back(Tensor::constant(std::move(row)) -
+                                nn::detach(fwd.agg_out_t[static_cast<size_t>(t)]));
+              }
+              Tensor nll = nn::gaussian_nll(nn::concat_rows(fwd.res_mu_t),
+                                            nn::concat_rows(fwd.res_log_sigma_t),
+                                            nn::concat_rows(resid));
+              loss = loss + nll * wk.model.config().nll_weight;
+            }
+            if (use_gan) {
+              Tensor fake_logit = wk.model.discriminate(rows, fwd.h_avg, wrng);
+              // Non-saturating generator loss: push fake towards "real".
+              Tensor ones = Tensor::constant(Mat::ones(1, 1));
+              Tensor g_gan = nn::bce_with_logits(fake_logit, ones);
+              win_gan[static_cast<size_t>(i)] = g_gan.item();
+              loss = loss + g_gan * lambda;
+            }
+            loss = loss * inv_batch;
+            loss.backward();
+            snapshot_grads(wk.gen_params, win_grads[static_cast<size_t>(i)]);
           }
-          Tensor nll = nn::gaussian_nll(nn::concat_rows(fwd.res_mu_t),
-                                        nn::concat_rows(fwd.res_log_sigma_t),
-                                        nn::concat_rows(resid));
-          loss = loss + nll * model.config().nll_weight;
-        }
-        if (use_gan) {
-          Tensor fake_logit = model.discriminate(rows, fwd.h_avg, rng);
-          // Non-saturating generator loss: push fake towards "real".
-          Tensor ones = Tensor::constant(Mat::ones(1, 1));
-          Tensor g_gan = nn::bce_with_logits(fake_logit, ones);
-          batch_gan += g_gan.item();
-          loss = loss + g_gan * lambda;
-        }
-        loss = loss * (1.0 / static_cast<double>(end - start));
-        loss.backward();
+        });
       }
+      reduce_grads(gen_params, win_grads, batch);
       gen_opt.step(gen_params);
+
+      double batch_mse = 0.0, batch_gan = 0.0;
+      for (int i = 0; i < batch; ++i) {
+        batch_mse += win_mse[static_cast<size_t>(i)];
+        batch_gan += win_gan[static_cast<size_t>(i)];
+      }
 
       // ---- Discriminator update ----------------------------------------
       if (use_gan) {
-        for (auto& p : disc_params) p.tensor.zero_grad();
-        for (size_t k = start; k < end; ++k) {
-          const context::Window& w = windows[order[k]];
-          auto fwd = model.forward(w, Mat{}, rng, /*training=*/true);
-          // Fake sequence, detached so only D updates here.
-          std::vector<Tensor> fake_rows;
-          fake_rows.reserve(fwd.outputs.size());
-          for (const auto& o : fwd.outputs) fake_rows.push_back(nn::detach(o));
-          std::vector<Tensor> real_rows;
-          real_rows.reserve(static_cast<size_t>(w.len));
-          for (int t = 0; t < w.len; ++t) {
-            Mat row(1, nch);
-            for (int ch = 0; ch < nch; ++ch) row(0, ch) = w.target(t, ch);
-            real_rows.push_back(Tensor::constant(std::move(row)));
+        for (int i = 0; i < batch; ++i) win_seed[static_cast<size_t>(i)] = rng();
+        // Re-sync: the generator step above changed the master's gen params.
+        for (auto& wk : workers) wk->sync_from(gen_params, disc_params);
+        std::atomic<int> next_worker{0};
+        runtime::parallel_for(train_par, batch, [&](long lo, long hi) {
+          TrainWorker& wk = *workers[static_cast<size_t>(next_worker.fetch_add(1))];
+          for (long i = lo; i < hi; ++i) {
+            const context::Window& w = windows[order[start + static_cast<size_t>(i)]];
+            std::mt19937_64 wrng(win_seed[static_cast<size_t>(i)]);
+            for (auto& p : wk.disc_params) p.tensor.zero_grad();
+            auto fwd = wk.model.forward(w, Mat{}, wrng, /*training=*/true);
+            // Fake sequence, detached so only D updates here.
+            std::vector<Tensor> fake_rows;
+            fake_rows.reserve(fwd.outputs.size());
+            for (const auto& o : fwd.outputs) fake_rows.push_back(nn::detach(o));
+            std::vector<Tensor> real_rows;
+            real_rows.reserve(static_cast<size_t>(w.len));
+            for (int t = 0; t < w.len; ++t) {
+              Mat row(1, nch);
+              for (int ch = 0; ch < nch; ++ch) row(0, ch) = w.target(t, ch);
+              real_rows.push_back(Tensor::constant(std::move(row)));
+            }
+            Tensor real_logit = wk.model.discriminate(real_rows, fwd.h_avg, wrng);
+            Tensor fake_logit = wk.model.discriminate(fake_rows, fwd.h_avg, wrng);
+            Tensor ones = Tensor::constant(Mat::ones(1, 1));
+            Tensor zeros = Tensor::constant(Mat::zeros(1, 1));
+            Tensor d_loss = (nn::bce_with_logits(real_logit, ones) +
+                             nn::bce_with_logits(fake_logit, zeros)) *
+                            (0.5 * inv_batch);
+            d_loss.backward();
+            snapshot_grads(wk.disc_params, win_grads[static_cast<size_t>(i)]);
           }
-          Tensor real_logit = model.discriminate(real_rows, fwd.h_avg, rng);
-          Tensor fake_logit = model.discriminate(fake_rows, fwd.h_avg, rng);
-          Tensor ones = Tensor::constant(Mat::ones(1, 1));
-          Tensor zeros = Tensor::constant(Mat::zeros(1, 1));
-          Tensor d_loss = (nn::bce_with_logits(real_logit, ones) +
-                           nn::bce_with_logits(fake_logit, zeros)) *
-                          (0.5 / static_cast<double>(end - start));
-          d_loss.backward();
-        }
+        });
+        reduce_grads(disc_params, win_grads, batch);
         disc_opt.step(disc_params);
       }
 
-      mse_sum += batch_mse / static_cast<double>(end - start);
-      gan_sum += batch_gan / static_cast<double>(end - start);
+      mse_sum += batch_mse * inv_batch;
+      gan_sum += batch_gan * inv_batch;
       ++steps;
     }
     stats.mse_per_epoch.push_back(mse_sum / std::max(1, steps));
@@ -366,13 +491,15 @@ double model_uncertainty(const GenDTModel& model, const std::vector<context::Win
   if (windows.empty() || mc_samples < 2 || !model.config().use_resgen) return 0.0;
   const int nch = model.config().num_channels;
 
-  // Collect ResGen parameters across MC-dropout passes.
-  std::vector<std::vector<WindowSample>> passes;
-  passes.reserve(static_cast<size_t>(mc_samples));
-  for (int s = 0; s < mc_samples; ++s) {
-    passes.push_back(model.sample_windows(windows, seed + static_cast<uint64_t>(s) * 7919,
-                                          /*mc_dropout=*/true));
-  }
+  // Collect ResGen parameters across MC-dropout passes. Passes are mutually
+  // independent (each gets its own seed and writes its own slot), so they
+  // fan out across the worker pool; the reduction below reads the slots in
+  // index order either way.
+  std::vector<std::vector<WindowSample>> passes(static_cast<size_t>(mc_samples));
+  runtime::parallel_tasks(model.config().parallelism, mc_samples, [&](int s) {
+    passes[static_cast<size_t>(s)] = model.sample_windows(
+        windows, seed + static_cast<uint64_t>(s) * 7919, /*mc_dropout=*/true);
+  });
 
   double acc = 0.0;
   long count = 0;

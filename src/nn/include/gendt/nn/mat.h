@@ -58,6 +58,8 @@ class Mat {
   void add_scaled(const Mat& other, double alpha);
 
   double sum() const;
+  /// Reductions below assert a non-empty matrix (misuse contract above):
+  /// there is no meaningful mean/min/max of zero elements.
   double mean() const;
   double min() const;
   double max() const;
@@ -70,12 +72,23 @@ class Mat {
   std::vector<double> data_;
 };
 
+// Matrix products. All variants run one cache-blocked kernel family with
+// restrict inner loops; large products split whole output rows across the
+// shared runtime::ThreadPool. Results are bitwise identical at every thread
+// count (the per-element k-summation order never changes).
+
 /// C = A * B.
 Mat matmul(const Mat& a, const Mat& b);
 /// C = A * B^T (avoids materializing the transpose).
 Mat matmul_nt(const Mat& a, const Mat& b);
 /// C = A^T * B.
 Mat matmul_tn(const Mat& a, const Mat& b);
+
+/// Accumulating forms, C += product — used by autograd backward passes to
+/// add straight into gradient buffers without a temporary.
+void matmul_acc(const Mat& a, const Mat& b, Mat& c);
+void matmul_nt_acc(const Mat& a, const Mat& b, Mat& c);
+void matmul_tn_acc(const Mat& a, const Mat& b, Mat& c);
 
 Mat operator+(const Mat& a, const Mat& b);
 Mat operator-(const Mat& a, const Mat& b);

@@ -60,6 +60,9 @@ class Tensor {
   /// Zero this node's gradient buffer (for parameters, between steps).
   /// Const because Tensor is a handle: the node state is shared.
   void zero_grad() const;
+  /// grad += g (allocating the buffer on demand). Used by the trainer's
+  /// deterministic ordered reduction of per-window gradient snapshots.
+  void accumulate_grad(const Mat& g) const;
   /// Run backpropagation from this (scalar, 1x1) node.
   void backward();
 
@@ -88,6 +91,11 @@ inline Tensor operator*(double s, const Tensor& a) { return a * s; }
 Tensor operator+(const Tensor& a, double s);
 inline Tensor operator-(const Tensor& a) { return a * -1.0; }
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// Fused y = x1*W1 + x2*W2 + b (b broadcast over rows): one output
+/// allocation instead of the four temporaries of the unfused expression.
+/// This is the recurrent-cell gate preactivation, hoisted into a single op.
+Tensor affine2(const Tensor& x1, const Tensor& w1, const Tensor& x2, const Tensor& w2,
+               const Tensor& b);
 /// Elementwise division a / b.
 Tensor divide(const Tensor& a, const Tensor& b);
 

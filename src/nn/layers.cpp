@@ -109,7 +109,8 @@ LstmCell::State LstmCell::step(const Tensor& x, const State& prev,
     h_in = stochastic_perturb(h_in, stochastic.a_h, rng);
     c_in = stochastic_perturb(c_in, stochastic.a_c, rng);
   }
-  Tensor gates = matmul(x, wx_) + matmul(h_in, wh_) + b_;
+  // Fused gate preactivation: one [1 x 4H] allocation for x*wx + h*wh + b.
+  Tensor gates = affine2(x, wx_, h_in, wh_, b_);
   const int H = hidden_;
   Tensor i = sigmoid(slice_cols(gates, 0, H));
   Tensor f = sigmoid(slice_cols(gates, H, 2 * H));

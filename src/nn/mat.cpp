@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "gendt/runtime/thread_pool.h"
+
 namespace gendt::nn {
 
 Mat Mat::randn(int rows, int cols, std::mt19937_64& rng, double stddev) {
@@ -38,15 +40,20 @@ double Mat::sum() const {
   return s;
 }
 
-double Mat::mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size()); }
+double Mat::mean() const {
+  assert(!data_.empty());
+  return sum() / static_cast<double>(data_.size());
+}
 
 double Mat::min() const {
+  assert(!data_.empty());
   double m = std::numeric_limits<double>::infinity();
   for (double v : data_) m = std::min(m, v);
   return m;
 }
 
 double Mat::max() const {
+  assert(!data_.empty());
   double m = -std::numeric_limits<double>::infinity();
   for (double v : data_) m = std::max(m, v);
   return m;
@@ -59,42 +66,143 @@ Mat Mat::transpose() const {
   return t;
 }
 
-Mat matmul(const Mat& a, const Mat& b) {
-  assert(a.cols() == b.rows());
-  Mat c(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (int j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+// ---- Matmul kernels -------------------------------------------------------
+//
+// All three products share the same structure: cache-blocked (tiled) loops
+// with restrict-qualified row pointers in the inner loop, accumulating into
+// a caller-owned C. Tiling never reorders the k-summation of any output
+// element, and the row-parallel split assigns whole output rows to workers,
+// so results are bitwise identical at every tile size and thread count.
+
+namespace {
+
+constexpr int kDepthTile = 64;   // k-tile: A-panel rows kept hot
+constexpr int kColTile = 128;    // j-tile: C/B row segment kept hot (1 KiB)
+// Parallelize only when the mul-add count is worth a fork-join (~2M flops);
+// below that the pool round-trip dominates.
+constexpr long kParallelMinFlops = 1L << 21;
+
+// C[r0:r1, :] += A[r0:r1, :] * B with A [M x K], B [K x N].
+void mm_rows(const double* __restrict a, const double* __restrict b, double* __restrict c,
+             long r0, long r1, int K, int N) {
+  for (int kk = 0; kk < K; kk += kDepthTile) {
+    const int kend = std::min(K, kk + kDepthTile);
+    for (int jj = 0; jj < N; jj += kColTile) {
+      const int jend = std::min(N, jj + kColTile);
+      for (long i = r0; i < r1; ++i) {
+        const double* __restrict arow = a + i * K;
+        double* __restrict crow = c + i * N;
+        for (int k = kk; k < kend; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* __restrict brow = b + static_cast<long>(k) * N;
+          for (int j = jj; j < jend; ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
   }
+}
+
+// C[r0:r1, :] += A[r0:r1, :] * B^T with A [M x K], B [N x K].
+void mm_nt_rows(const double* __restrict a, const double* __restrict b, double* __restrict c,
+                long r0, long r1, int K, int N) {
+  for (int jj = 0; jj < N; jj += kDepthTile) {
+    const int jend = std::min(N, jj + kDepthTile);
+    for (long i = r0; i < r1; ++i) {
+      const double* __restrict arow = a + i * K;
+      double* __restrict crow = c + i * N;
+      for (int j = jj; j < jend; ++j) {
+        const double* __restrict brow = b + static_cast<long>(j) * K;
+        double s = 0.0;
+        for (int k = 0; k < K; ++k) s += arow[k] * brow[k];
+        crow[j] += s;
+      }
+    }
+  }
+}
+
+// C[r0:r1, :] += (A^T)[r0:r1, :] * B with A [K x M], B [K x N]; C is [M x N]
+// and the row range indexes columns of A.
+void mm_tn_rows(const double* __restrict a, const double* __restrict b, double* __restrict c,
+                long r0, long r1, int K, int M, int N) {
+  for (int jj = 0; jj < N; jj += kColTile) {
+    const int jend = std::min(N, jj + kColTile);
+    for (long i = r0; i < r1; ++i) {
+      double* __restrict crow = c + i * N;
+      for (int k = 0; k < K; ++k) {
+        const double aki = a[static_cast<long>(k) * M + i];
+        if (aki == 0.0) continue;
+        const double* __restrict brow = b + static_cast<long>(k) * N;
+        for (int j = jj; j < jend; ++j) crow[j] += aki * brow[j];
+      }
+    }
+  }
+}
+
+// Split [0, rows) across the shared pool when the product is big enough.
+// Whole rows per worker: no worker ever touches another's C elements.
+template <typename RowKernel>
+void run_rows(long rows, long flops, const RowKernel& kernel) {
+  const int width = (flops >= kParallelMinFlops && rows >= 2)
+                        ? runtime::Parallelism{.threads = 0}.resolved()
+                        : 1;
+  if (width <= 1 || runtime::ThreadPool::on_worker_thread()) {
+    kernel(0, rows);
+    return;
+  }
+  runtime::ThreadPool::shared().parallel_for(0, rows, width, kernel);
+}
+
+}  // namespace
+
+void matmul_acc(const Mat& a, const Mat& b, Mat& c) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  const int K = a.cols(), N = b.cols();
+  const double* ap = a.data().data();
+  const double* bp = b.data().data();
+  double* cp = c.data().data();
+  run_rows(a.rows(), static_cast<long>(a.rows()) * K * N,
+           [=](long r0, long r1) { mm_rows(ap, bp, cp, r0, r1, K, N); });
+}
+
+void matmul_nt_acc(const Mat& a, const Mat& b, Mat& c) {
+  assert(a.cols() == b.cols());
+  assert(c.rows() == a.rows() && c.cols() == b.rows());
+  const int K = a.cols(), N = b.rows();
+  const double* ap = a.data().data();
+  const double* bp = b.data().data();
+  double* cp = c.data().data();
+  run_rows(a.rows(), static_cast<long>(a.rows()) * K * N,
+           [=](long r0, long r1) { mm_nt_rows(ap, bp, cp, r0, r1, K, N); });
+}
+
+void matmul_tn_acc(const Mat& a, const Mat& b, Mat& c) {
+  assert(a.rows() == b.rows());
+  assert(c.rows() == a.cols() && c.cols() == b.cols());
+  const int K = a.rows(), M = a.cols(), N = b.cols();
+  const double* ap = a.data().data();
+  const double* bp = b.data().data();
+  double* cp = c.data().data();
+  run_rows(M, static_cast<long>(K) * M * N,
+           [=](long r0, long r1) { mm_tn_rows(ap, bp, cp, r0, r1, K, M, N); });
+}
+
+Mat matmul(const Mat& a, const Mat& b) {
+  Mat c(a.rows(), b.cols());
+  matmul_acc(a, b, c);
   return c;
 }
 
 Mat matmul_nt(const Mat& a, const Mat& b) {
-  assert(a.cols() == b.cols());
   Mat c(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < b.rows(); ++j) {
-      double s = 0.0;
-      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * b(j, k);
-      c(i, j) = s;
-    }
-  }
+  matmul_nt_acc(a, b, c);
   return c;
 }
 
 Mat matmul_tn(const Mat& a, const Mat& b) {
-  assert(a.rows() == b.rows());
   Mat c(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = a(k, i);
-      if (aki == 0.0) continue;
-      for (int j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
-    }
-  }
+  matmul_tn_acc(a, b, c);
   return c;
 }
 

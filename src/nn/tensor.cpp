@@ -22,6 +22,12 @@ void Tensor::zero_grad() const {
   }
 }
 
+void Tensor::accumulate_grad(const Mat& g) const {
+  assert(defined());
+  node_->ensure_grad();
+  node_->grad.add_scaled(g, 1.0);
+}
+
 Tensor make_op(Mat value, std::vector<Tensor> parents,
                std::function<void(detail::Node&)> backward_fn) {
   Tensor out(std::move(value), false);
@@ -145,9 +151,53 @@ Tensor operator+(const Tensor& a, double s) {
 Tensor matmul(const Tensor& a, const Tensor& b) {
   auto an = a.node(), bn = b.node();
   return make_op(matmul(a.value(), b.value()), {a, b}, [an, bn](detail::Node& out) {
-    // dA = dC * B^T ; dB = A^T * dC
-    if (an->requires_grad) accum(an, matmul_nt(out.grad, bn->value));
-    if (bn->requires_grad) accum(bn, matmul_tn(an->value, out.grad));
+    // dA += dC * B^T ; dB += A^T * dC — accumulated in place, no temporary.
+    if (an->requires_grad) {
+      an->ensure_grad();
+      matmul_nt_acc(out.grad, bn->value, an->grad);
+    }
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      matmul_tn_acc(an->value, out.grad, bn->grad);
+    }
+  });
+}
+
+Tensor affine2(const Tensor& x1, const Tensor& w1, const Tensor& x2, const Tensor& w2,
+               const Tensor& b) {
+  assert(x1.rows() == x2.rows());
+  assert(x1.cols() == w1.rows() && x2.cols() == w2.rows());
+  assert(w1.cols() == w2.cols() && w1.cols() == b.cols() && b.rows() == 1);
+  const int rows = x1.rows(), cols = w1.cols();
+  // y starts as the broadcast bias, then both products accumulate into it.
+  Mat y(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) y(r, c) = b.value()(0, c);
+  matmul_acc(x1.value(), w1.value(), y);
+  matmul_acc(x2.value(), w2.value(), y);
+  auto x1n = x1.node(), w1n = w1.node(), x2n = x2.node(), w2n = w2.node(), bn = b.node();
+  return make_op(std::move(y), {x1, w1, x2, w2, b}, [x1n, w1n, x2n, w2n, bn](detail::Node& out) {
+    if (x1n->requires_grad) {
+      x1n->ensure_grad();
+      matmul_nt_acc(out.grad, w1n->value, x1n->grad);
+    }
+    if (w1n->requires_grad) {
+      w1n->ensure_grad();
+      matmul_tn_acc(x1n->value, out.grad, w1n->grad);
+    }
+    if (x2n->requires_grad) {
+      x2n->ensure_grad();
+      matmul_nt_acc(out.grad, w2n->value, x2n->grad);
+    }
+    if (w2n->requires_grad) {
+      w2n->ensure_grad();
+      matmul_tn_acc(x2n->value, out.grad, w2n->grad);
+    }
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      for (int r = 0; r < out.grad.rows(); ++r)
+        for (int c = 0; c < out.grad.cols(); ++c) bn->grad(0, c) += out.grad(r, c);
+    }
   });
 }
 

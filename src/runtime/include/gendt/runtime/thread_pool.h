@@ -1,0 +1,103 @@
+// gendt::runtime — the process-wide compute runtime underneath the nn/core
+// layers: a fixed-size worker pool with blocking fork-join helpers, plus the
+// Parallelism knob that models/trainers thread through their configs.
+//
+// Design rules that the rest of the codebase relies on:
+//  * Determinism is the caller's job and the pool makes it easy: parallel_for
+//    splits an index range into contiguous chunks whose *work* is identical
+//    at every thread count — only the executing thread changes. Callers that
+//    need bitwise-stable results derive one RNG stream per index (never per
+//    thread) and reduce results in index order.
+//  * Nested parallelism never deadlocks: any fork-join helper invoked from a
+//    pool worker runs inline (serially) on that worker.
+//  * Exceptions thrown by a chunk are captured and rethrown on the calling
+//    thread after the join (first one wins; the rest are dropped).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gendt::runtime {
+
+/// Degree-of-parallelism request, carried inside GenDTConfig / TrainConfig.
+/// `threads == 1` means serial (never touches the pool), `0` means "auto"
+/// (hardware concurrency), anything else is an explicit worker count.
+struct Parallelism {
+  int threads = 1;
+
+  /// The effective worker count: >= 1 always.
+  int resolved() const;
+  bool serial() const { return resolved() <= 1; }
+};
+
+/// A fixed-size pool of worker threads draining one shared task queue.
+/// Construction spawns the workers; destruction drains the queue and joins.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one fire-and-forget task.
+  void submit(std::function<void()> task);
+
+  /// Fork-join over [begin, end): the range is split into at most
+  /// `max_chunks` contiguous chunks, each executed as body(lo, hi).
+  /// Blocks until every chunk finished; rethrows the first chunk exception.
+  /// Runs inline when the range is tiny, max_chunks <= 1, or the caller is
+  /// itself a pool worker.
+  void parallel_for(long begin, long end, int max_chunks,
+                    const std::function<void(long, long)>& body);
+
+  /// Convenience: n independent tasks body(0) .. body(n-1), at most
+  /// `max_concurrency` in flight conceptually (chunked like parallel_for
+  /// with grain 1). Blocks; rethrows the first exception.
+  void run_tasks(int n, int max_concurrency, const std::function<void(int)>& body);
+
+  /// True when the calling thread is one of *any* pool's workers.
+  static bool on_worker_thread();
+
+  /// The process-wide pool, created on first use. Its size defaults to the
+  /// hardware concurrency and grows (never shrinks) to satisfy the largest
+  /// `ensure_workers` request, so explicit Parallelism{N} requests get real
+  /// threads even on small machines.
+  static ThreadPool& shared();
+  /// Grow the shared pool to at least `threads` workers.
+  static void ensure_shared_workers(int threads);
+
+ private:
+  void worker_loop();
+  void add_workers_locked(int count);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Fork-join helper: split [0, n) across the shared pool honoring `par`.
+/// Serial (inline, pool untouched) when par.serial(), n <= 1, or when called
+/// from a pool worker. Deterministic chunking: chunk boundaries depend only
+/// on n and par.resolved(), never on the pool size.
+void parallel_for(const Parallelism& par, long n, const std::function<void(long, long)>& body);
+
+/// Run n independent index tasks body(0..n-1) with up to par.resolved()
+/// in flight. Same serial/nesting rules as parallel_for.
+void parallel_tasks(const Parallelism& par, int n, const std::function<void(int)>& body);
+
+/// Derive an independent, reproducible RNG stream for sub-task `index` of a
+/// computation seeded with `seed` (splitmix64 finalizer — avalanches even
+/// when seeds/indices differ by one bit).
+uint64_t derive_stream_seed(uint64_t seed, uint64_t index);
+
+}  // namespace gendt::runtime

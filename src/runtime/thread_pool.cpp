@@ -1,0 +1,163 @@
+#include "gendt/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace gendt::runtime {
+
+namespace {
+thread_local bool t_on_worker = false;
+
+// One fork-join region: completion counter + first captured exception.
+struct JoinState {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int pending = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (err && !error) error = std::move(err);
+    if (--pending == 0) done_cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [this] { return pending == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+}  // namespace
+
+int Parallelism::resolved() const {
+  if (threads == 1) return 1;
+  if (threads > 1) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  add_workers_locked(std::max(1, threads));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::add_workers_locked(int count) {
+  workers_.reserve(workers_.size() + static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::parallel_for(long begin, long end, int max_chunks,
+                              const std::function<void(long, long)>& body) {
+  const long n = end - begin;
+  if (n <= 0) return;
+  // Chunk boundaries depend only on (n, max_chunks) — identical work units
+  // at any pool size, which is what keeps index-seeded RNG schemes stable.
+  const int chunks = static_cast<int>(std::min<long>(n, std::max(1, max_chunks)));
+  if (chunks <= 1 || t_on_worker) {
+    body(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<JoinState>();
+  state->pending = chunks;
+  const long base = n / chunks, extra = n % chunks;
+  long lo = begin;
+  for (int c = 0; c < chunks; ++c) {
+    const long hi = lo + base + (c < extra ? 1 : 0);
+    submit([state, &body, lo, hi] {
+      std::exception_ptr err;
+      try {
+        body(lo, hi);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      state->finish_one(std::move(err));
+    });
+    lo = hi;
+  }
+  state->wait();
+}
+
+void ThreadPool::run_tasks(int n, int max_concurrency, const std::function<void(int)>& body) {
+  parallel_for(0, n, max_concurrency,
+               [&body](long lo, long hi) {
+                 for (long i = lo; i < hi; ++i) body(static_cast<int>(i));
+               });
+}
+
+ThreadPool& ThreadPool::shared() {
+  // Magic static: thread-safe construction, joined cleanly at process exit
+  // (keeps Leak/ThreadSanitizer runs quiet).
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 2 : static_cast<int>(hw);
+  }());
+  return pool;
+}
+
+void ThreadPool::ensure_shared_workers(int threads) {
+  ThreadPool& pool = shared();
+  std::lock_guard<std::mutex> lock(pool.mu_);
+  const int missing = threads - static_cast<int>(pool.workers_.size());
+  if (missing > 0) pool.add_workers_locked(missing);
+}
+
+void parallel_for(const Parallelism& par, long n, const std::function<void(long, long)>& body) {
+  const int width = par.resolved();
+  if (n <= 1 || width <= 1 || ThreadPool::on_worker_thread()) {
+    if (n > 0) body(0, n);
+    return;
+  }
+  ThreadPool::ensure_shared_workers(width);
+  ThreadPool::shared().parallel_for(0, n, width, body);
+}
+
+void parallel_tasks(const Parallelism& par, int n, const std::function<void(int)>& body) {
+  parallel_for(par, n, [&body](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) body(static_cast<int>(i));
+  });
+}
+
+uint64_t derive_stream_seed(uint64_t seed, uint64_t index) {
+  // splitmix64 finalizer over seed + golden-ratio-spaced index.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace gendt::runtime

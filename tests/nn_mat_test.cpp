@@ -121,5 +121,78 @@ TEST(Mat, UniformRange) {
   EXPECT_LT(u.max(), 0.5);
 }
 
+TEST(Mat, BlockedMatmulMatchesNaiveReferenceAcrossTileBoundaries) {
+  // Sizes straddle the kernel's depth/column tiles (64 / 128) and include
+  // odd remainders, so every tile-edge path is exercised.
+  const int dims[][3] = {{1, 1, 1}, {3, 5, 7}, {63, 65, 127}, {64, 64, 128}, {70, 130, 129}};
+  std::mt19937_64 rng(11);
+  for (const auto& d : dims) {
+    const int m = d[0], k = d[1], n = d[2];
+    Mat a = Mat::randn(m, k, rng);
+    Mat b = Mat::randn(k, n, rng);
+    Mat c = matmul(a, b);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double ref = 0.0;
+        for (int kk = 0; kk < k; ++kk) ref += a(i, kk) * b(kk, j);
+        ASSERT_NEAR(c(i, j), ref, 1e-9 * std::max(1.0, std::abs(ref)))
+            << m << "x" << k << "x" << n << " at " << i << "," << j;
+      }
+    }
+    // Transposed variants agree with the explicit-transpose formulation.
+    Mat cnt = matmul_nt(a, b.transpose());
+    Mat ctn = matmul_tn(a.transpose(), b);
+    for (size_t i = 0; i < c.size(); ++i) {
+      ASSERT_DOUBLE_EQ(cnt[i], c[i]);
+      ASSERT_NEAR(ctn[i], c[i], 1e-9 * std::max(1.0, std::abs(c[i])));
+    }
+  }
+}
+
+TEST(Mat, AccumulatingMatmulAddsIntoExistingValues) {
+  std::mt19937_64 rng(13);
+  Mat a = Mat::randn(4, 6, rng);
+  Mat b = Mat::randn(6, 5, rng);
+  Mat c(4, 5, 2.0);
+  matmul_acc(a, b, c);
+  Mat fresh = matmul(a, b);
+  // Accumulating into a non-zero C folds the initial value into the rounding
+  // sequence, so "fresh + 2" only matches to rounding error, not bitwise.
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], fresh[i] + 2.0, 1e-12);
+
+  Mat cnt(4, 5, -1.0);
+  matmul_nt_acc(a, b.transpose(), cnt);
+  for (size_t i = 0; i < cnt.size(); ++i) EXPECT_NEAR(cnt[i], fresh[i] - 1.0, 1e-12);
+
+  Mat ctn(4, 5, 0.5);
+  matmul_tn_acc(a.transpose(), b, ctn);
+  for (size_t i = 0; i < ctn.size(); ++i) EXPECT_NEAR(ctn[i], fresh[i] + 0.5, 1e-12);
+  // Accumulating into zeros *is* the fresh product, bitwise.
+  Mat zc = Mat::zeros(4, 5);
+  matmul_acc(a, b, zc);
+  for (size_t i = 0; i < zc.size(); ++i) EXPECT_DOUBLE_EQ(zc[i], fresh[i]);
+}
+
+TEST(Mat, SumOfEmptyIsZero) {
+  // sum() has a natural empty value; the order statistics below do not.
+  EXPECT_DOUBLE_EQ(Mat{}.sum(), 0.0);
+}
+
+// mean/min/max on an empty matrix used to return NaN / +-inf silently;
+// they now assert. Death tests only exist where assert() is live.
+#ifndef NDEBUG
+TEST(MatDeathTest, MeanOfEmptyAsserts) {
+  EXPECT_DEATH({ (void)Mat{}.mean(); }, "empty");
+}
+
+TEST(MatDeathTest, MinOfEmptyAsserts) {
+  EXPECT_DEATH({ (void)Mat{}.min(); }, "empty");
+}
+
+TEST(MatDeathTest, MaxOfEmptyAsserts) {
+  EXPECT_DEATH({ (void)Mat{}.max(); }, "empty");
+}
+#endif
+
 }  // namespace
 }  // namespace gendt::nn

@@ -101,6 +101,47 @@ TEST(Tensor, ConcatAndSliceColsGradCheck) {
   EXPECT_LT(gradient_check(loss_fn, b), 1e-5);
 }
 
+TEST(Tensor, FusedAffine2MatchesUnfusedExpression) {
+  std::mt19937_64 rng(9);
+  Tensor x1 = Tensor::constant(Mat::randn(3, 4, rng));
+  Tensor x2 = Tensor::constant(Mat::randn(3, 5, rng));
+  Tensor w1(Mat::randn(4, 6, rng), true);
+  Tensor w2(Mat::randn(5, 6, rng), true);
+  Tensor b(Mat::randn(1, 6, rng), true);
+  Tensor fused = affine2(x1, w1, x2, w2, b);
+  // The fused kernel performs the same per-element k-order summation, so
+  // the forward values match the unfused expression to the last bit.
+  Mat ref = matmul(x1.value(), w1.value());
+  ref.add_scaled(matmul(x2.value(), w2.value()), 1.0);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 6; ++c) EXPECT_NEAR(fused.value()(r, c), ref(r, c) + b.value()(0, c), 1e-12);
+}
+
+TEST(Tensor, FusedAffine2GradCheck) {
+  std::mt19937_64 rng(10);
+  Tensor x1(Mat::randn(2, 3, rng), true);
+  Tensor x2(Mat::randn(2, 4, rng), true);
+  Tensor w1(Mat::randn(3, 5, rng), true);
+  Tensor w2(Mat::randn(4, 5, rng), true);
+  Tensor b(Mat::randn(1, 5, rng), true);
+  auto loss_fn = [&] { return sum(square(affine2(x1, w1, x2, w2, b))); };
+  EXPECT_LT(gradient_check(loss_fn, x1), 1e-5);
+  EXPECT_LT(gradient_check(loss_fn, x2), 1e-5);
+  EXPECT_LT(gradient_check(loss_fn, w1), 1e-5);
+  EXPECT_LT(gradient_check(loss_fn, w2), 1e-5);
+  EXPECT_LT(gradient_check(loss_fn, b), 1e-5);
+}
+
+TEST(Tensor, AccumulateGradAddsIntoBuffer) {
+  Tensor p(Mat::ones(2, 2), true);
+  p.zero_grad();
+  Mat g(2, 2, 0.5);
+  p.accumulate_grad(g);
+  p.accumulate_grad(g);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(p.grad()(r, c), 1.0);
+}
+
 TEST(Tensor, ConcatRowsGradCheck) {
   std::mt19937_64 rng(6);
   Tensor a(Mat::randn(1, 3, rng), true);

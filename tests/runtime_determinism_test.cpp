@@ -1,0 +1,167 @@
+// Bitwise determinism of training and generation across thread counts.
+//
+// The runtime's contract (see gendt/runtime/thread_pool.h) is that the
+// *math* of a parallel region is a pure function of the input and the seed:
+// every parallel unit draws from its own index-derived RNG stream and
+// results are reduced in index order. These tests pin that contract with
+// exact (bitwise) floating-point comparisons — any scheduling leak into the
+// numbers shows up as a hard failure, not a tolerance drift.
+#include "gendt/core/model.h"
+
+#include <gtest/gtest.h>
+
+#include "gendt/sim/dataset.h"
+
+namespace gendt::core {
+namespace {
+
+class DeterminismF : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::DatasetScale scale;
+    scale.train_duration_s = 200.0;
+    scale.test_duration_s = 100.0;
+    scale.records_per_scenario = 1;
+    ds_ = new sim::Dataset(sim::make_dataset_a(scale));
+    norm_ = new context::KpiNorm(context::fit_kpi_norm(ds_->train, ds_->kpis));
+    context::ContextConfig cfg;
+    cfg.window_len = 20;
+    cfg.train_step = 20;
+    cfg.max_cells = 4;
+    builder_ = new context::ContextBuilder(ds_->world, cfg, *norm_, ds_->kpis);
+    train_windows_ = new std::vector<context::Window>();
+    for (const auto& rec : ds_->train) {
+      auto w = builder_->training_windows(rec);
+      train_windows_->insert(train_windows_->end(), w.begin(), w.end());
+    }
+    // Keep the suite fast: a handful of windows is enough to cross several
+    // accumulation-step and chunking boundaries.
+    if (train_windows_->size() > 6) train_windows_->resize(6);
+    gen_windows_ = new std::vector<context::Window>(builder_->generation_windows(ds_->test[0]));
+    if (gen_windows_->size() > 4) gen_windows_->resize(4);
+  }
+  static void TearDownTestSuite() {
+    delete gen_windows_;
+    delete train_windows_;
+    delete builder_;
+    delete norm_;
+    delete ds_;
+    gen_windows_ = nullptr;
+    train_windows_ = nullptr;
+    builder_ = nullptr;
+    norm_ = nullptr;
+    ds_ = nullptr;
+  }
+
+  static GenDTConfig model_config(int threads) {
+    GenDTConfig c;
+    c.num_channels = 4;
+    c.hidden = 10;
+    c.resgen_hidden = 12;
+    c.init_seed = 3;
+    c.parallelism = {.threads = threads};
+    return c;
+  }
+
+  static TrainConfig train_config(int threads) {
+    TrainConfig t;
+    t.epochs = 2;
+    t.windows_per_step = 3;
+    t.seed = 17;
+    t.parallelism = {.threads = threads};
+    return t;
+  }
+
+  // EXPECT_EQ on doubles is exact equality — that is the point here.
+  static void expect_same_mat(const nn::Mat& a, const nn::Mat& b, const char* what) {
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << what << " elem " << i;
+  }
+
+  static void expect_same_params(const GenDTModel& a, const GenDTModel& b) {
+    const auto pa = a.generator_params();
+    const auto pb = b.generator_params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(pa[i].name, pb[i].name);
+      expect_same_mat(pa[i].tensor.value(), pb[i].tensor.value(), pa[i].name.c_str());
+    }
+    const auto da = a.discriminator_params();
+    const auto db = b.discriminator_params();
+    ASSERT_EQ(da.size(), db.size());
+    for (size_t i = 0; i < da.size(); ++i)
+      expect_same_mat(da[i].tensor.value(), db[i].tensor.value(), da[i].name.c_str());
+  }
+
+  static void expect_same_samples(const std::vector<WindowSample>& a,
+                                  const std::vector<WindowSample>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      expect_same_mat(a[i].output, b[i].output, "output");
+      expect_same_mat(a[i].mean, b[i].mean, "mean");
+      expect_same_mat(a[i].res_mu, b[i].res_mu, "res_mu");
+      expect_same_mat(a[i].res_sigma, b[i].res_sigma, "res_sigma");
+    }
+  }
+
+  static sim::Dataset* ds_;
+  static context::KpiNorm* norm_;
+  static context::ContextBuilder* builder_;
+  static std::vector<context::Window>* train_windows_;
+  static std::vector<context::Window>* gen_windows_;
+};
+sim::Dataset* DeterminismF::ds_ = nullptr;
+context::KpiNorm* DeterminismF::norm_ = nullptr;
+context::ContextBuilder* DeterminismF::builder_ = nullptr;
+std::vector<context::Window>* DeterminismF::train_windows_ = nullptr;
+std::vector<context::Window>* DeterminismF::gen_windows_ = nullptr;
+
+TEST_F(DeterminismF, TrainingIsBitwiseIdenticalAcrossThreadCounts) {
+  GenDTModel serial(model_config(1));
+  train_gendt(serial, *train_windows_, train_config(1));
+
+  for (int threads : {2, 8}) {
+    GenDTModel threaded(model_config(threads));
+    train_gendt(threaded, *train_windows_, train_config(threads));
+    expect_same_params(serial, threaded);
+
+    // And the trained models generate bitwise-identical series — with the
+    // generation-side fan-out itself at different widths.
+    const auto s1 = serial.sample_windows(*gen_windows_, 77);
+    const auto s2 = threaded.sample_windows(*gen_windows_, 77);
+    expect_same_samples(s1, s2);
+  }
+}
+
+TEST_F(DeterminismF, GenerationIsBitwiseIdenticalAcrossThreadCounts) {
+  // Same weights (same init seed), different inference parallelism.
+  GenDTModel serial(model_config(1));
+  GenDTModel wide(model_config(8));
+  const auto a = serial.sample_windows(*gen_windows_, 123);
+  const auto b = wide.sample_windows(*gen_windows_, 123);
+  expect_same_samples(a, b);
+}
+
+TEST_F(DeterminismF, TrajectoryFanOutMatchesSerialPerTrajectoryRuns) {
+  GenDTModel model(model_config(4));
+  std::vector<std::vector<context::Window>> trajs = {*gen_windows_, *train_windows_};
+  const auto fanned = model.sample_trajectories(trajs, 555);
+  ASSERT_EQ(fanned.size(), trajs.size());
+  for (size_t ti = 0; ti < trajs.size(); ++ti) {
+    const auto serial =
+        model.sample_windows(trajs[ti], runtime::derive_stream_seed(555, ti));
+    expect_same_samples(fanned[ti], serial);
+  }
+}
+
+TEST_F(DeterminismF, ModelUncertaintyIsThreadCountInvariant) {
+  GenDTModel serial(model_config(1));
+  GenDTModel wide(model_config(8));
+  const double u1 = model_uncertainty(serial, *gen_windows_, 4, 9);
+  const double u2 = model_uncertainty(wide, *gen_windows_, 4, 9);
+  EXPECT_EQ(u1, u2);
+}
+
+}  // namespace
+}  // namespace gendt::core

@@ -1,0 +1,126 @@
+#include "gendt/runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace gendt::runtime {
+namespace {
+
+TEST(Parallelism, ResolvedSemantics) {
+  EXPECT_EQ((Parallelism{.threads = 1}).resolved(), 1);
+  EXPECT_EQ((Parallelism{.threads = 4}).resolved(), 4);
+  EXPECT_TRUE((Parallelism{.threads = 1}).serial());
+  EXPECT_FALSE((Parallelism{.threads = 4}).serial());
+  // 0 = auto: all hardware threads, at least one.
+  EXPECT_GE((Parallelism{.threads = 0}).resolved(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr long kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, kN, 8, [&](long lo, long hi) {
+    ASSERT_LE(0, lo);
+    ASSERT_LE(lo, hi);
+    ASSERT_LE(hi, kN);
+    for (long i = lo; i < hi; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (long i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 4, [&](long, long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  long seen_lo = -1, seen_hi = -1;
+  pool.parallel_for(7, 8, 4, [&](long lo, long hi) {
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(seen_lo, 7);
+  EXPECT_EQ(seen_hi, 8);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 8,
+                        [&](long lo, long) {
+                          if (lo >= 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool stays usable after a failed region.
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 10, 4, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 20, 4, [&](long lo, long hi) { total.fetch_add(hi - lo); });
+  }
+  EXPECT_EQ(total.load(), 50 * 20);
+}
+
+TEST(ThreadPool, NestedForkJoinRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<long> inner_total{0};
+  // Outer region occupies workers; inner regions must run inline on the
+  // worker thread instead of waiting on queue slots that may never free.
+  pool.parallel_for(0, 4, 4, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 8, 4, [&](long ilo, long ihi) { inner_total.fetch_add(ihi - ilo); });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPool, RunTasksDeliversEachIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(37);
+  for (auto& h : hits) h.store(0);
+  pool.run_tasks(37, 8, [&](int i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SharedPoolGrowsToExplicitWidth) {
+  ThreadPool::ensure_shared_workers(3);
+  EXPECT_GE(ThreadPool::shared().size(), 3);
+  // Free-function form with an explicit width exercises the shared pool.
+  std::atomic<long> sum{0};
+  parallel_for(Parallelism{.threads = 3}, 30, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) sum.fetch_add(i + 1);
+  });
+  EXPECT_EQ(sum.load(), 30 * 31 / 2);
+}
+
+TEST(ThreadPool, ParallelTasksSerialWidthRunsInline) {
+  bool inline_run = false;
+  parallel_tasks(Parallelism{.threads = 1}, 5, [&](int i) {
+    if (i == 0) inline_run = !ThreadPool::on_worker_thread();
+  });
+  EXPECT_TRUE(inline_run);
+}
+
+TEST(DeriveStreamSeed, StreamsAreDistinctAndStable) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(derive_stream_seed(42, i));
+  EXPECT_EQ(seen.size(), 1000u);
+  // Pure function of (seed, index): same inputs, same stream.
+  EXPECT_EQ(derive_stream_seed(42, 7), derive_stream_seed(42, 7));
+  EXPECT_NE(derive_stream_seed(42, 7), derive_stream_seed(43, 7));
+}
+
+}  // namespace
+}  // namespace gendt::runtime

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Sanitized check of the parallel runtime: builds the tree with
+# GENDT_SANITIZE=thread and runs the runtime + nn test subset (the code that
+# actually shares state across threads) under ThreadSanitizer.
+#
+# Usage: tools/check.sh [thread|address] [build-dir]
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+BUILD_DIR="${2:-build-${SANITIZER}san}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+case "$SANITIZER" in
+  thread|address) ;;
+  *) echo "usage: tools/check.sh [thread|address] [build-dir]" >&2; exit 2 ;;
+esac
+
+cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGENDT_SANITIZE="$SANITIZER"
+cmake --build "$ROOT/$BUILD_DIR" -j "$JOBS" --target \
+  runtime_test runtime_determinism_test nn_mat_test nn_tensor_test nn_layers_test nn_optim_test
+
+# Fail on any sanitizer report, not just on test assertion failures.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+ctest --test-dir "$ROOT/$BUILD_DIR" -L 'runtime|nn' --output-on-failure -j "$JOBS"
+
+echo "check.sh: ${SANITIZER}-sanitized runtime/nn suite passed"

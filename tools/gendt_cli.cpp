@@ -5,13 +5,13 @@
 //       record CSVs plus the deployment's cells.csv.
 //
 //   gendt train --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]
-//               [--record FILE]...
+//               [--threads N] [--record FILE]...
 //       Train a GenDT model. Records come from --record CSVs, or from a
 //       fresh simulation of the dataset when none are given. The KPI
 //       normalization is stored inside the checkpoint.
 //
 //   gendt generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv
-//                  [--dataset a|b] [--seed N] [--gen-seed N]
+//                  [--dataset a|b] [--seed N] [--gen-seed N] [--threads N]
 //       Generate KPI series for a trajectory (no measurements needed).
 //
 //   gendt eval --real FILE.csv --generated FILE.csv
@@ -21,9 +21,11 @@
 // --dataset/--seed; operators with real data would adapt sim::World to
 // their cell table and land-use sources.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,9 +47,20 @@ struct Args {
     auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
+  // Exits with a usage error on a malformed value rather than letting
+  // std::stol's exception escape to std::terminate.
   long get_long(const std::string& key, long fallback) const {
     const std::string v = get(key);
-    return v.empty() ? fallback : std::stol(v);
+    if (v.empty()) return fallback;
+    try {
+      size_t pos = 0;
+      const long parsed = std::stol(v, &pos);
+      if (pos != v.size()) throw std::invalid_argument(v);
+      return parsed;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "error: --%s expects an integer, got '%s'\n", key.c_str(), v.c_str());
+      std::exit(2);
+    }
   }
 };
 
@@ -72,10 +85,12 @@ int usage() {
                "usage: gendt <simulate|train|generate|eval> [options]\n"
                "  simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]\n"
                "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
-               " [--record FILE]...\n"
+               " [--threads N] [--record FILE]...\n"
                "  generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv"
-               " [--dataset a|b] [--seed N] [--gen-seed N]\n"
-               "  eval     --real FILE.csv --generated FILE.csv\n");
+               " [--dataset a|b] [--seed N] [--gen-seed N] [--threads N]\n"
+               "  eval     --real FILE.csv --generated FILE.csv\n"
+               "--threads N sets the worker-thread count (0 = all hardware threads,\n"
+               "1 = serial). Results are bitwise identical at every setting.\n");
   return 2;
 }
 
@@ -164,14 +179,17 @@ int cmd_train(const Args& a) {
     return 1;
   }
 
+  const int threads = static_cast<int>(a.get_long("threads", 0));
   core::GenDTConfig mcfg;
   mcfg.num_channels = static_cast<int>(ds.kpis.size());
   mcfg.hidden = 48;
+  mcfg.parallelism = {.threads = threads};
   core::GenDTModel model(mcfg);
   core::TrainConfig tcfg;
   tcfg.epochs = static_cast<int>(a.get_long("epochs", 12));
   tcfg.seed = static_cast<uint64_t>(a.get_long("seed", 42));
   tcfg.verbose = true;
+  tcfg.parallelism = {.threads = threads};
   std::printf("training on %zu windows for %d epochs...\n", windows.size(), tcfg.epochs);
   core::train_gendt(model, windows, tcfg);
 
@@ -198,6 +216,7 @@ int cmd_generate(const Args& a) {
   core::GenDTConfig mcfg;
   mcfg.num_channels = static_cast<int>(ds.kpis.size());
   mcfg.hidden = 48;
+  mcfg.parallelism = {.threads = static_cast<int>(a.get_long("threads", 0))};
   core::GenDTModel model(mcfg);
 
   context::KpiNorm norm;
