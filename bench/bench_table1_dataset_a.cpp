@@ -20,7 +20,8 @@ int main() {
 
   row("Time Granularity (s)", [](const sim::DriveTestRecord& r) {
     return r.samples.size() > 1
-               ? (r.samples.back().t - r.samples.front().t) / (r.samples.size() - 1)
+               ? (r.samples.back().t - r.samples.front().t) /
+                     static_cast<double>(r.samples.size() - 1)
                : 0.0;
   });
   row("Avg. Velocity (m/s)",

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace gendt::io {
@@ -37,6 +38,15 @@ bool parse_int(const std::string& s, long& out) {
   while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
   auto [ptr, ec] = std::from_chars(begin, end, out);
   return ec == std::errc() && ptr == end;
+}
+
+// Narrowing guard: the record/cell schemas store several fields as int32/int.
+// A long that does not fit makes the static_cast below implementation-defined,
+// so out-of-range values are malformed input, not silent wraparound.
+template <typename Target>
+bool fits(long v) {
+  return v >= static_cast<long>(std::numeric_limits<Target>::min()) &&
+         v <= static_cast<long>(std::numeric_limits<Target>::max());
 }
 
 // Reads all non-empty lines; returns false (with error set) on I/O failure.
@@ -129,6 +139,10 @@ std::optional<sim::DriveTestRecord> read_record_csv(const std::string& path) {
       set_error(path, static_cast<int>(i + 1), "malformed record row");
       return std::nullopt;
     }
+    if (!fits<radio::CellId>(serving) || !fits<int>(cqi)) {
+      set_error(path, static_cast<int>(i + 1), "integer field out of range");
+      return std::nullopt;
+    }
     m.serving_cell = static_cast<radio::CellId>(serving);
     m.cqi = static_cast<int>(cqi);
     rec.samples.push_back(m);
@@ -169,6 +183,10 @@ std::optional<radio::CellTable> read_cells_csv(const std::string& path,
         !parse_double(f[4], c.azimuth_deg) || !parse_double(f[5], c.beamwidth_deg) ||
         !parse_int(f[6], n_rb) || !parse_int(f[7], earfcn)) {
       set_error(path, static_cast<int>(i + 1), "malformed cell row");
+      return std::nullopt;
+    }
+    if (!fits<radio::CellId>(id) || !fits<int>(n_rb) || !fits<int>(earfcn)) {
+      set_error(path, static_cast<int>(i + 1), "integer field out of range");
       return std::nullopt;
     }
     c.id = static_cast<radio::CellId>(id);

@@ -66,8 +66,10 @@ double wasserstein1(std::span<const double> a, std::span<const double> b) {
   double s = 0.0;
   for (size_t i = 0; i < n; ++i) {
     const double q = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
-    const double qa = sa[std::min(sa.size() - 1, static_cast<size_t>(q * sa.size()))];
-    const double qb = sb[std::min(sb.size() - 1, static_cast<size_t>(q * sb.size()))];
+    const double qa =
+        sa[std::min(sa.size() - 1, static_cast<size_t>(q * static_cast<double>(sa.size())))];
+    const double qb =
+        sb[std::min(sb.size() - 1, static_cast<size_t>(q * static_cast<double>(sb.size())))];
     s += std::abs(qa - qb);
   }
   return s / static_cast<double>(n);

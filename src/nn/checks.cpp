@@ -1,0 +1,67 @@
+#include "gendt/nn/checks.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gendt::nn {
+
+namespace {
+
+bool env_default() {
+  const char* v = std::getenv("GENDT_DEBUG_CHECKS");
+  if (v == nullptr || *v == '\0') {
+#ifdef GENDT_DEBUG_CHECKS
+    return true;  // build-wide default requested via CMake option
+#else
+    return false;
+#endif
+  }
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> enabled{env_default()};
+  return enabled;
+}
+
+}  // namespace
+
+bool debug_checks_enabled() { return flag().load(std::memory_order_relaxed); }
+
+void set_debug_checks(bool enabled) { flag().store(enabled, std::memory_order_relaxed); }
+
+void check_failed(const char* file, int line, const char* condition,
+                  const std::string& message) {
+  std::fprintf(stderr, "GENDT_CHECK failed: %s\n  %s\n  at %s:%d\n", condition,
+               message.c_str(), file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string shape_str(const Mat& m) {
+  // snprintf instead of string operator+ chains: GCC 12's -Wrestrict fires a
+  // false positive (PR105329) on concatenated std::string temporaries.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "[%dx%d]", m.rows(), m.cols());
+  return buf;
+}
+
+void check_finite(const Mat& m, const char* where) {
+  if (!debug_checks_enabled()) return;
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(m[i])) {
+      const size_t r = m.cols() > 0 ? i / static_cast<size_t>(m.cols()) : 0;
+      const size_t c = m.cols() > 0 ? i % static_cast<size_t>(m.cols()) : 0;
+      check_failed(where, 0, "std::isfinite(element)",
+                   std::string("non-finite value ") + std::to_string(m[i]) + " at (" +
+                       std::to_string(r) + "," + std::to_string(c) + ") of " + shape_str(m) +
+                       " produced by " + where);
+    }
+  }
+}
+
+}  // namespace gendt::nn

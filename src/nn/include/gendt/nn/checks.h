@@ -1,0 +1,46 @@
+// Debug-mode correctness guards for the nn layer.
+//
+// GENDT_CHECK(cond, msg) is a runtime-switchable, release-build-capable
+// assert: when checks are enabled and `cond` is false it prints the failing
+// condition, the message and the source location to stderr and aborts — so a
+// gradcheck-class bug (shape mismatch, NaN poison) fails loudly at the op
+// that produced it instead of surfacing as a wrong loss thousands of steps
+// later. When checks are disabled the macro costs one relaxed atomic load
+// and a predictable branch; `msg` is never evaluated.
+//
+// Enabling:
+//  * environment: GENDT_DEBUG_CHECKS=1 (read once, at first query)
+//  * programmatic: gendt::nn::set_debug_checks(true)  (wins over the env)
+//  * build-wide default: -DGENDT_DEBUG_CHECKS (CMake option of the same name)
+#pragma once
+
+#include <string>
+
+#include "gendt/nn/mat.h"
+
+namespace gendt::nn {
+
+/// True when GENDT_CHECK guards are live. First call snapshots the
+/// GENDT_DEBUG_CHECKS environment variable (any value but "", "0", "off",
+/// "false" enables); set_debug_checks overrides it afterwards.
+bool debug_checks_enabled();
+void set_debug_checks(bool enabled);
+
+/// Report a failed check and abort. Never returns.
+[[noreturn]] void check_failed(const char* file, int line, const char* condition,
+                               const std::string& message);
+
+/// "[RxC]" — for building shape-mismatch messages.
+std::string shape_str(const Mat& m);
+
+/// Poison detection: abort if any element of `m` is NaN or +-Inf. No-op when
+/// checks are disabled. `where` names the op that produced the value.
+void check_finite(const Mat& m, const char* where);
+
+}  // namespace gendt::nn
+
+#define GENDT_CHECK(cond, msg)                                               \
+  do {                                                                       \
+    if (::gendt::nn::debug_checks_enabled() && !(cond))                      \
+      ::gendt::nn::check_failed(__FILE__, __LINE__, #cond, (msg));           \
+  } while (0)

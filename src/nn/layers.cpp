@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gendt/nn/checks.h"
+
 namespace gendt::nn {
 
 void Module::zero_grad() {
@@ -24,6 +26,8 @@ Linear::Linear(int in_features, int out_features, std::mt19937_64& rng, std::str
 }
 
 Tensor Linear::forward(const Tensor& x) const {
+  GENDT_CHECK(x.cols() == in_, name_ + ": input " + shape_str(x.value()) + " does not match " +
+                                   std::to_string(in_) + " input features");
   assert(x.cols() == in_);
   return matmul(x, weight_) + bias_;
 }
@@ -102,6 +106,12 @@ Tensor stochastic_perturb(const Tensor& s, double intensity, std::mt19937_64& rn
 
 LstmCell::State LstmCell::step(const Tensor& x, const State& prev,
                                const StochasticConfig& stochastic, std::mt19937_64& rng) const {
+  GENDT_CHECK(x.cols() == input_, name_ + ": step input " + shape_str(x.value()) +
+                                      " does not match input size " + std::to_string(input_));
+  GENDT_CHECK(prev.h.cols() == hidden_ && prev.c.cols() == hidden_,
+              name_ + ": state h " + shape_str(prev.h.value()) + " / c " +
+                  shape_str(prev.c.value()) + " does not match hidden size " +
+                  std::to_string(hidden_));
   assert(x.cols() == input_);
   Tensor h_in = prev.h;
   Tensor c_in = prev.c;
@@ -138,6 +148,10 @@ GruCell::GruCell(int input_size, int hidden_size, std::mt19937_64& rng, std::str
 Tensor GruCell::initial_state() const { return Tensor::zeros(1, hidden_); }
 
 Tensor GruCell::step(const Tensor& x, const Tensor& h) const {
+  GENDT_CHECK(x.cols() == input_ && h.cols() == hidden_,
+              name_ + ": step input " + shape_str(x.value()) + " / state " +
+                  shape_str(h.value()) + " does not match [" + std::to_string(input_) + ", " +
+                  std::to_string(hidden_) + "]");
   assert(x.cols() == input_ && h.cols() == hidden_);
   const int H = hidden_;
   Tensor gx = matmul(x, wx_) + b_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "gendt/nn/checks.h"
 #include "gendt/runtime/thread_pool.h"
 
 namespace gendt::nn {
@@ -156,6 +157,9 @@ void run_rows(long rows, long flops, const RowKernel& kernel) {
 }  // namespace
 
 void matmul_acc(const Mat& a, const Mat& b, Mat& c) {
+  GENDT_CHECK(a.cols() == b.rows() && c.rows() == a.rows() && c.cols() == b.cols(),
+              "matmul_acc shape mismatch: A " + shape_str(a) + " * B " + shape_str(b) +
+                  " -> C " + shape_str(c));
   assert(a.cols() == b.rows());
   assert(c.rows() == a.rows() && c.cols() == b.cols());
   const int K = a.cols(), N = b.cols();
@@ -167,6 +171,9 @@ void matmul_acc(const Mat& a, const Mat& b, Mat& c) {
 }
 
 void matmul_nt_acc(const Mat& a, const Mat& b, Mat& c) {
+  GENDT_CHECK(a.cols() == b.cols() && c.rows() == a.rows() && c.cols() == b.rows(),
+              "matmul_nt_acc shape mismatch: A " + shape_str(a) + " * B^T " + shape_str(b) +
+                  " -> C " + shape_str(c));
   assert(a.cols() == b.cols());
   assert(c.rows() == a.rows() && c.cols() == b.rows());
   const int K = a.cols(), N = b.rows();
@@ -178,6 +185,9 @@ void matmul_nt_acc(const Mat& a, const Mat& b, Mat& c) {
 }
 
 void matmul_tn_acc(const Mat& a, const Mat& b, Mat& c) {
+  GENDT_CHECK(a.rows() == b.rows() && c.rows() == a.cols() && c.cols() == b.cols(),
+              "matmul_tn_acc shape mismatch: A^T " + shape_str(a) + " * B " + shape_str(b) +
+                  " -> C " + shape_str(c));
   assert(a.rows() == b.rows());
   assert(c.rows() == a.cols() && c.cols() == b.cols());
   const int K = a.rows(), M = a.cols(), N = b.cols();

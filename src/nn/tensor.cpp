@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "gendt/nn/checks.h"
+
 namespace gendt::nn {
 
 Tensor::Tensor(Mat value, bool requires_grad) : node_(std::make_shared<detail::Node>()) {
@@ -30,6 +32,9 @@ void Tensor::accumulate_grad(const Mat& g) const {
 
 Tensor make_op(Mat value, std::vector<Tensor> parents,
                std::function<void(detail::Node&)> backward_fn) {
+  // Poison detection: a NaN/Inf op output aborts here, at the op that
+  // produced it, rather than corrupting the loss steps later.
+  check_finite(value, "autograd op (forward)");
   Tensor out(std::move(value), false);
   bool any_grad = false;
   out.node_->parents.reserve(parents.size());
@@ -76,8 +81,18 @@ void Tensor::backward() {
 
   for (detail::Node* n : order) n->ensure_grad();
   node_->grad(0, 0) = 1.0;
+  const bool poison_check = debug_checks_enabled();
   for (detail::Node* n : order) {
-    if (n->backward_fn) n->backward_fn(*n);
+    if (!n->backward_fn) continue;
+    n->backward_fn(*n);
+    if (poison_check) {
+      // backward_fn accumulated into the parents' grads: poison-check those
+      // buffers so a NaN gradient is pinned to the op that emitted it.
+      for (const auto& p : n->parents) {
+        if (p->requires_grad && !p->grad.empty())
+          check_finite(p->grad, "autograd op (backward)");
+      }
+    }
   }
 }
 
@@ -149,6 +164,9 @@ Tensor operator+(const Tensor& a, double s) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  GENDT_CHECK(a.value().cols() == b.value().rows(),
+              "matmul shape mismatch: A " + shape_str(a.value()) + " * B " +
+                  shape_str(b.value()));
   auto an = a.node(), bn = b.node();
   return make_op(matmul(a.value(), b.value()), {a, b}, [an, bn](detail::Node& out) {
     // dA += dC * B^T ; dB += A^T * dC — accumulated in place, no temporary.
@@ -165,6 +183,15 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 Tensor affine2(const Tensor& x1, const Tensor& w1, const Tensor& x2, const Tensor& w2,
                const Tensor& b) {
+  GENDT_CHECK(x1.rows() == x2.rows(), "affine2 row mismatch: x1 " + shape_str(x1.value()) +
+                                          " vs x2 " + shape_str(x2.value()));
+  GENDT_CHECK(x1.cols() == w1.rows() && x2.cols() == w2.rows(),
+              "affine2 inner-dim mismatch: x1 " + shape_str(x1.value()) + " * w1 " +
+                  shape_str(w1.value()) + ", x2 " + shape_str(x2.value()) + " * w2 " +
+                  shape_str(w2.value()));
+  GENDT_CHECK(w1.cols() == w2.cols() && w1.cols() == b.cols() && b.rows() == 1,
+              "affine2 output/bias mismatch: w1 " + shape_str(w1.value()) + ", w2 " +
+                  shape_str(w2.value()) + ", b " + shape_str(b.value()));
   assert(x1.rows() == x2.rows());
   assert(x1.cols() == w1.rows() && x2.cols() == w2.rows());
   assert(w1.cols() == w2.cols() && w1.cols() == b.cols() && b.rows() == 1);

@@ -1,0 +1,59 @@
+// Clang thread-safety-analysis annotation macros (GUARDED_BY, REQUIRES,
+// ACQUIRE/RELEASE, ...) in the Abseil style. Under Clang with
+// -Wthread-safety the compiler statically proves that every access to an
+// annotated field happens with the right capability (mutex) held; under other
+// compilers the macros expand to nothing. The annotations only do real work
+// on the gendt::runtime::Mutex wrapper (std::mutex itself is not a capability
+// under libstdc++), so runtime code takes Mutex/MutexLock from mutex.h rather
+// than the std types.
+//
+// The CMake toplevel turns the analysis on (as an error when GENDT_WERROR)
+// whenever the compiler is Clang; tools/ci.sh runs it when clang++ is
+// installed.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GENDT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GENDT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// Declares a type to be a capability (e.g. a mutex wrapper).
+#define GENDT_CAPABILITY(x) GENDT_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII type whose lifetime equals a region where the capability
+// is held.
+#define GENDT_SCOPED_CAPABILITY GENDT_THREAD_ANNOTATION(scoped_lockable)
+
+// Field/variable may only be accessed while holding the given capability.
+#define GENDT_GUARDED_BY(x) GENDT_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointee may only be accessed while holding the given capability.
+#define GENDT_PT_GUARDED_BY(x) GENDT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function requires the capability to be held by the caller.
+#define GENDT_REQUIRES(...) \
+  GENDT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it on return.
+#define GENDT_ACQUIRE(...) \
+  GENDT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability (held on entry, not on return).
+#define GENDT_RELEASE(...) \
+  GENDT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function acquires the capability if (and only if) it returns true.
+#define GENDT_TRY_ACQUIRE(...) \
+  GENDT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called with the capability held (deadlock guard).
+#define GENDT_EXCLUDES(...) GENDT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the capability guarding its result.
+#define GENDT_RETURN_CAPABILITY(x) GENDT_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: body is intentionally exempt from the analysis. Every use
+// must carry a comment justifying why it is race-free.
+#define GENDT_NO_THREAD_SAFETY_ANALYSIS \
+  GENDT_THREAD_ANNOTATION(no_thread_safety_analysis)

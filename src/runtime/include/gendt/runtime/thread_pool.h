@@ -14,13 +14,14 @@
 //    thread after the join (first one wins; the rest are dropped).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "gendt/runtime/mutex.h"
+#include "gendt/runtime/thread_annotations.h"
 
 namespace gendt::runtime {
 
@@ -45,10 +46,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int size() const { return static_cast<int>(workers_.size()); }
+  int size() const GENDT_EXCLUDES(mu_);
 
   /// Enqueue one fire-and-forget task.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) GENDT_EXCLUDES(mu_);
 
   /// Fork-join over [begin, end): the range is split into at most
   /// `max_chunks` contiguous chunks, each executed as body(lo, hi).
@@ -76,13 +77,15 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void add_workers_locked(int count);
+  void add_workers_locked(int count) GENDT_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  // mu_ guards all pool state. Workers are only ever spawned under mu_ and
+  // only joined in the destructor, after stop_ handed them their exit signal.
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GENDT_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ GENDT_GUARDED_BY(mu_);
+  bool stop_ GENDT_GUARDED_BY(mu_) = false;
 };
 
 /// Fork-join helper: split [0, n) across the shared pool honoring `par`.

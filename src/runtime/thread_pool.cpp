@@ -11,19 +11,19 @@ thread_local bool t_on_worker = false;
 
 // One fork-join region: completion counter + first captured exception.
 struct JoinState {
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int pending = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar done_cv;
+  int pending GENDT_GUARDED_BY(mu) = 0;
+  std::exception_ptr error GENDT_GUARDED_BY(mu);
 
-  void finish_one(std::exception_ptr err) {
-    std::lock_guard<std::mutex> lock(mu);
+  void finish_one(std::exception_ptr err) GENDT_EXCLUDES(mu) {
+    MutexLock lock(mu);
     if (err && !error) error = std::move(err);
     if (--pending == 0) done_cv.notify_all();
   }
-  void wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [this] { return pending == 0; });
+  void wait() GENDT_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    done_cv.wait(lock, mu, [this]() GENDT_REQUIRES(mu) { return pending == 0; });
     if (error) std::rethrow_exception(error);
   }
 };
@@ -37,17 +37,26 @@ int Parallelism::resolved() const {
 }
 
 ThreadPool::ThreadPool(int threads) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   add_workers_locked(std::max(1, threads));
 }
 
 ThreadPool::~ThreadPool() {
+  // Move the worker handles out under the lock, then join without it: the
+  // workers themselves need mu_ to observe stop_ and drain the queue.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers) w.join();
+}
+
+int ThreadPool::size() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(workers_.size());
 }
 
 void ThreadPool::add_workers_locked(int count) {
@@ -60,8 +69,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.wait(lock, mu_, [this]() GENDT_REQUIRES(mu_) { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -72,7 +81,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -131,7 +140,7 @@ ThreadPool& ThreadPool::shared() {
 
 void ThreadPool::ensure_shared_workers(int threads) {
   ThreadPool& pool = shared();
-  std::lock_guard<std::mutex> lock(pool.mu_);
+  MutexLock lock(pool.mu_);
   const int missing = threads - static_cast<int>(pool.workers_.size());
   if (missing > 0) pool.add_workers_locked(missing);
 }

@@ -114,8 +114,8 @@ double LandUseMap::distance_to_highway_m(const geo::Enu& pos) const {
 void LandUseMap::rasterize() {
   for (long gy = 0; gy < grid_n_; ++gy) {
     for (long gx = 0; gx < grid_n_; ++gx) {
-      const geo::Enu pos{-cfg_.extent_m + (gx + 0.5) * cell_m_,
-                         -cfg_.extent_m + (gy + 0.5) * cell_m_};
+      const geo::Enu pos{-cfg_.extent_m + (static_cast<double>(gx) + 0.5) * cell_m_,
+                         -cfg_.extent_m + (static_cast<double>(gy) + 0.5) * cell_m_};
       // Distance to nearest city centre, normalized by that city's radius.
       double best_r = std::numeric_limits<double>::infinity();
       for (const auto& city : cfg_.cities) {
@@ -219,7 +219,8 @@ void LandUseMap::scatter_pois() {
   for (long gy = 0; gy < grid_n_; ++gy) {
     for (long gx = 0; gx < grid_n_; ++gx) {
       const LandUse lu = grid_[static_cast<size_t>(index(gx, gy))];
-      const geo::Enu base{-cfg_.extent_m + gx * cell_m_, -cfg_.extent_m + gy * cell_m_};
+      const geo::Enu base{-cfg_.extent_m + static_cast<double>(gx) * cell_m_,
+                          -cfg_.extent_m + static_cast<double>(gy) * cell_m_};
       for (int p = 0; p < kNumPoi; ++p) {
         const double lambda = rate(lu, static_cast<PoiType>(p));
         if (lambda <= 0.0) continue;

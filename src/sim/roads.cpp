@@ -27,8 +27,8 @@ RoadNetwork::RoadNetwork(const RegionConfig& region, double block_m) : region_(r
       for (long gx = -half; gx <= half; ++gx) {
         const double jitter_x = (u01(rng) - 0.5) * 0.35 * block_m;
         const double jitter_y = (u01(rng) - 0.5) * 0.35 * block_m;
-        const geo::Enu pos{city.center.east + gx * block_m + jitter_x,
-                           city.center.north + gy * block_m + jitter_y};
+        const geo::Enu pos{city.center.east + static_cast<double>(gx) * block_m + jitter_x,
+                           city.center.north + static_cast<double>(gy) * block_m + jitter_y};
         if (geo::distance_m(pos, city.center) > city.radius_m) continue;
         grid_at(gx, gy) = static_cast<int32_t>(nodes_.size());
         nodes_.push_back({pos});

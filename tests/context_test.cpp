@@ -59,8 +59,8 @@ TEST_F(ContextF, NormalizedTrainKpisAreStandardized) {
         ++n;
       }
     }
-    EXPECT_NEAR(s / n, 0.0, 1e-6);
-    EXPECT_NEAR(s2 / n, 1.0, 1e-6);
+    EXPECT_NEAR(s / static_cast<double>(n), 0.0, 1e-6);
+    EXPECT_NEAR(s2 / static_cast<double>(n), 1.0, 1e-6);
   }
 }
 

@@ -47,7 +47,7 @@ INSTANTIATE_TEST_SUITE_P(
         BadCsvCase{"duplicate_timestamp", "t,lat,lon\n0,51.5,7.4\n0,51.6,7.5\n"},
         BadCsvCase{"decreasing_timestamp", "t,lat,lon\n5,51.5,7.4\n1,51.6,7.5\n"},
         BadCsvCase{"trailing_garbage", "t,lat,lon\n0,51.5,7.4abc\n"}),
-    [](const auto& info) { return info.param.label; });
+    [](const auto& param_info) { return param_info.param.label; });
 
 class BadRecordP : public ::testing::TestWithParam<BadCsvCase> {};
 
@@ -77,8 +77,14 @@ INSTANTIATE_TEST_SUITE_P(
                    "0,51.5,7.4,1.5,-85,-11,8,9,12,0.01\n"},
         BadCsvCase{"text_cqi",
                    "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
-                   "0,51.5,7.4,1,-85,-11,8,high,12,0.01\n"}),
-    [](const auto& info) { return info.param.label; });
+                   "0,51.5,7.4,1,-85,-11,8,high,12,0.01\n"},
+        BadCsvCase{"cell_id_overflows_int32",
+                   "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
+                   "0,51.5,7.4,4294967296,-85,-11,8,9,12,0.01\n"},
+        BadCsvCase{"cqi_overflows_int",
+                   "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
+                   "0,51.5,7.4,1,-85,-11,8,99999999999,12,0.01\n"}),
+    [](const auto& param_info) { return param_info.param.label; });
 
 class BadCellsP : public ::testing::TestWithParam<BadCsvCase> {};
 
@@ -100,8 +106,14 @@ INSTANTIATE_TEST_SUITE_P(
                    "1,51.5,7.4,loud,0,65,50,1300\n"},
         BadCsvCase{"float_n_rb",
                    "id,lat,lon,p_max_dbm,azimuth_deg,beamwidth_deg,n_rb,earfcn\n"
-                   "1,51.5,7.4,46,0,65,50.5,1300\n"}),
-    [](const auto& info) { return info.param.label; });
+                   "1,51.5,7.4,46,0,65,50.5,1300\n"},
+        BadCsvCase{"id_overflows_int32",
+                   "id,lat,lon,p_max_dbm,azimuth_deg,beamwidth_deg,n_rb,earfcn\n"
+                   "-4294967296,51.5,7.4,46,0,65,50,1300\n"},
+        BadCsvCase{"earfcn_overflows_int",
+                   "id,lat,lon,p_max_dbm,azimuth_deg,beamwidth_deg,n_rb,earfcn\n"
+                   "1,51.5,7.4,46,0,65,50,99999999999\n"}),
+    [](const auto& param_info) { return param_info.param.label; });
 
 // Whitespace tolerance: leading spaces in numeric fields must parse.
 TEST(CsvTolerance, LeadingWhitespaceAccepted) {

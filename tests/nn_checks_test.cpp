@@ -1,0 +1,138 @@
+// GENDT_CHECK guard coverage: shape mismatches and NaN/Inf poison must abort
+// loudly at the op that produced them, in ANY build type (the guards are
+// runtime-switchable, unlike assert()), and must cost nothing observable
+// when disabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "gendt/nn/checks.h"
+#include "gendt/nn/layers.h"
+#include "gendt/nn/tensor.h"
+
+namespace gendt::nn {
+namespace {
+
+// Death-test fixture: guards on for the test body (the forked death-test
+// child inherits the flag), restored after.
+class NnChecksDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_debug_checks(true); }
+  void TearDown() override { set_debug_checks(false); }
+};
+
+Mat filled(int rows, int cols, double v) { return Mat::full(rows, cols, v); }
+
+TEST_F(NnChecksDeathTest, MatmulShapeMismatchDies) {
+  Tensor a = Tensor::constant(filled(1, 3, 1.0));
+  Tensor b = Tensor::constant(filled(4, 2, 1.0));  // inner dim 3 != 4
+  EXPECT_DEATH({ (void)matmul(a, b); }, "matmul shape mismatch");
+}
+
+TEST_F(NnChecksDeathTest, MatmulAccShapeMismatchDies) {
+  Mat a = filled(2, 3, 1.0), b = filled(3, 4, 1.0);
+  Mat c = filled(2, 5, 0.0);  // wrong output cols
+  EXPECT_DEATH({ matmul_acc(a, b, c); }, "matmul_acc shape mismatch");
+}
+
+TEST_F(NnChecksDeathTest, Affine2ShapeMismatchDies) {
+  Tensor x1 = Tensor::constant(filled(1, 3, 1.0));
+  Tensor w1 = Tensor::constant(filled(3, 4, 1.0));
+  Tensor x2 = Tensor::constant(filled(1, 2, 1.0));
+  Tensor w2 = Tensor::constant(filled(2, 5, 1.0));  // 5 outputs != 4
+  Tensor b = Tensor::constant(filled(1, 4, 0.0));
+  EXPECT_DEATH({ (void)affine2(x1, w1, x2, w2, b); }, "affine2 output/bias mismatch");
+}
+
+TEST_F(NnChecksDeathTest, NanInputToMatmulDies) {
+  Mat bad = filled(1, 3, 1.0);
+  bad(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  Tensor a = Tensor::constant(std::move(bad));
+  Tensor w = Tensor::constant(filled(3, 2, 1.0));
+  EXPECT_DEATH({ (void)matmul(a, w); }, "non-finite value");
+}
+
+TEST_F(NnChecksDeathTest, InfForwardOutputDies) {
+  Tensor a = Tensor::constant(filled(1, 2, 1e308));
+  EXPECT_DEATH({ (void)(a + a); }, "non-finite value");
+}
+
+TEST_F(NnChecksDeathTest, BackwardOnlyInfIsCaughtByPoisonCheck) {
+  // log of a denormal: the forward value log(1e-320) = -736.9 is finite,
+  // but the gradient 1/1e-320 overflows to inf. The backward poison check
+  // must pin the poison to the op instead of letting it reach the optimizer.
+  Tensor x(filled(1, 2, 1e-320), /*requires_grad=*/true);
+  Tensor loss = sum(log_t(x));
+  ASSERT_TRUE(std::isfinite(loss.item()));
+  EXPECT_DEATH({ loss.backward(); }, "non-finite value");
+}
+
+TEST_F(NnChecksDeathTest, LstmStepInputWidthMismatchDies) {
+  std::mt19937_64 rng(3);
+  LstmCell cell(4, 8, rng);
+  Tensor wrong = Tensor::constant(filled(1, 5, 0.1));  // 5 != input size 4
+  EXPECT_DEATH({ (void)cell.step(wrong, cell.initial_state()); }, "step input");
+}
+
+TEST_F(NnChecksDeathTest, LstmStepStateWidthMismatchDies) {
+  std::mt19937_64 rng(3);
+  LstmCell cell(4, 8, rng);
+  LstmCell::State bad{Tensor::zeros(1, 7), Tensor::zeros(1, 8)};  // h width 7 != 8
+  EXPECT_DEATH({ (void)cell.step(Tensor::constant(filled(1, 4, 0.1)), bad); }, "state h");
+}
+
+TEST_F(NnChecksDeathTest, LinearForwardWidthMismatchDies) {
+  std::mt19937_64 rng(3);
+  Linear lin(6, 2, rng);
+  EXPECT_DEATH({ (void)lin.forward(Tensor::constant(filled(1, 3, 0.0))); },
+               "does not match 6 input features");
+}
+
+TEST(NnChecksDisabled, NanPassesThroughSilently) {
+  set_debug_checks(false);
+  Tensor a = Tensor::constant(filled(1, 2, std::numeric_limits<double>::quiet_NaN()));
+  Tensor out = a * 2.0;  // goes through make_op's poison check — must not abort
+  EXPECT_TRUE(std::isnan(out.value()(0, 0)));
+}
+
+TEST(NnChecksDisabled, CheckFiniteIsNoOp) {
+  set_debug_checks(false);
+  Mat m = filled(1, 1, std::numeric_limits<double>::infinity());
+  check_finite(m, "test");  // must not abort
+}
+
+TEST(NnChecksToggle, SetterWinsOverDefault) {
+  set_debug_checks(true);
+  EXPECT_TRUE(debug_checks_enabled());
+  set_debug_checks(false);
+  EXPECT_FALSE(debug_checks_enabled());
+}
+
+// The ResGen trunk's dropout path (paper §4: MLP generator head with dropout
+// before the final Linear) must be exactly differentiable for a fixed mask:
+// re-seeding the rng inside loss_fn pins the mask across the central
+// differences, and the guards stay on so any poison aborts the test.
+TEST(NnChecksGradcheck, ResGenDropoutPath) {
+  set_debug_checks(true);
+  std::mt19937_64 init_rng(7);
+  Mlp::Config cfg;
+  cfg.layer_sizes = {4, 8, 3};
+  cfg.leaky_slope = 0.01;
+  cfg.dropout_p = 0.4;
+  Mlp mlp(cfg, init_rng);
+  Tensor x = Tensor::constant(Mat::randn(1, 4, init_rng));
+  Tensor target = Tensor::constant(Mat::randn(1, 3, init_rng));
+
+  for (auto& p : mlp.params()) {
+    auto loss_fn = [&]() {
+      std::mt19937_64 mask_rng(1234);  // identical dropout mask every call
+      return mse_loss(mlp.forward(x, mask_rng, /*training=*/true), target);
+    };
+    EXPECT_LT(gradient_check(loss_fn, p.tensor), 1e-5) << p.name;
+  }
+  set_debug_checks(false);
+}
+
+}  // namespace
+}  // namespace gendt::nn

@@ -66,10 +66,11 @@ TEST_F(DriveTestF, KpisWithinLteRanges) {
 TEST_F(DriveTestF, PlausibleUrbanRsrpStatistics) {
   DriveTestRecord rec = sim_->run(walk_traj(3, 800.0), Scenario::kWalk, 102);
   const auto rsrp = rec.kpi_series(Kpi::kRsrp);
-  const double mean = std::accumulate(rsrp.begin(), rsrp.end(), 0.0) / rsrp.size();
+  const double mean =
+      std::accumulate(rsrp.begin(), rsrp.end(), 0.0) / static_cast<double>(rsrp.size());
   double var = 0.0;
   for (double v : rsrp) var += (v - mean) * (v - mean);
-  const double stddev = std::sqrt(var / rsrp.size());
+  const double stddev = std::sqrt(var / static_cast<double>(rsrp.size()));
   // Paper Table 1: mean ~ -85 dBm, std ~ 10 dB. Allow generous bands.
   EXPECT_GT(mean, -105.0);
   EXPECT_LT(mean, -65.0);
@@ -90,9 +91,9 @@ TEST_F(DriveTestF, RepeatedRunsDifferButShareStructure) {
     mean_a += a.samples[i].rsrp_dbm;
     mean_b += b.samples[i].rsrp_dbm;
   }
-  diff /= a.samples.size();
-  mean_a /= a.samples.size();
-  mean_b /= a.samples.size();
+  diff /= static_cast<double>(a.samples.size());
+  mean_a /= static_cast<double>(a.samples.size());
+  mean_b /= static_cast<double>(a.samples.size());
   EXPECT_GT(diff, 1.0);                       // point-wise variation exists
   EXPECT_LT(std::abs(mean_a - mean_b), 4.0);  // distribution similar
 }

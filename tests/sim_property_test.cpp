@@ -103,7 +103,7 @@ TEST_P(ScenarioP, DifferentRunSeedsChangeKpisNotTrajectory) {
     EXPECT_DOUBLE_EQ(a.samples[i].pos.lat, b.samples[i].pos.lat);
     diff += std::abs(a.samples[i].rsrp_dbm - b.samples[i].rsrp_dbm);
   }
-  EXPECT_GT(diff / a.samples.size(), 0.5);
+  EXPECT_GT(diff / static_cast<double>(a.samples.size()), 0.5);
 }
 
 TEST_P(ScenarioP, HandoverRateBounded) {
@@ -116,8 +116,8 @@ INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioP,
                          ::testing::Values(Scenario::kWalk, Scenario::kBus, Scenario::kTram,
                                            Scenario::kCityDriving1, Scenario::kCityDriving2,
                                            Scenario::kHighway1, Scenario::kLongComplex),
-                         [](const auto& info) {
-                           std::string n{scenario_name(info.param)};
+                         [](const auto& param_info) {
+                           std::string n{scenario_name(param_info.param)};
                            std::erase(n, ' ');
                            return n;
                          });

@@ -1,30 +1,48 @@
 #!/usr/bin/env bash
-# Sanitized check of the parallel runtime: builds the tree with
-# GENDT_SANITIZE=thread and runs the runtime + nn test subset (the code that
-# actually shares state across threads) under ThreadSanitizer.
+# Sanitized check of a test-label subset: builds the tree with
+# GENDT_SANITIZE=<sanitizer> into a per-sanitizer build dir and runs the
+# matching ctest labels under it. Defaults to the runtime + nn subset (the
+# code that actually shares state across threads) — pass a label regex to vet
+# anything else, e.g.:
 #
-# Usage: tools/check.sh [thread|address] [build-dir]
+#   tools/check.sh thread                 # TSan over runtime|nn
+#   tools/check.sh undefined              # UBSan (+float-cast-overflow)
+#   tools/check.sh leak 'runtime|nn|core' # LSan over a wider subset
+#
+# A label regex that matches zero tests is an error (a typo'd label must not
+# pass vacuously).
+#
+# Usage: tools/check.sh [thread|address|undefined|leak] [label-regex] [build-dir]
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
-BUILD_DIR="${2:-build-${SANITIZER}san}"
+LABEL="${2:-runtime|nn}"
+BUILD_DIR="${3:-build-${SANITIZER}san}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 case "$SANITIZER" in
-  thread|address) ;;
-  *) echo "usage: tools/check.sh [thread|address] [build-dir]" >&2; exit 2 ;;
+  thread|address|undefined|leak) ;;
+  *) echo "usage: tools/check.sh [thread|address|undefined|leak] [label-regex] [build-dir]" >&2
+     exit 2 ;;
 esac
 
 cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENDT_SANITIZE="$SANITIZER"
-cmake --build "$ROOT/$BUILD_DIR" -j "$JOBS" --target \
-  runtime_test runtime_determinism_test nn_mat_test nn_tensor_test nn_layers_test nn_optim_test
+cmake --build "$ROOT/$BUILD_DIR" -j "$JOBS"
+
+# Refuse to "pass" when the label matches nothing.
+MATCHED="$(ctest --test-dir "$ROOT/$BUILD_DIR" -N -L "$LABEL" | sed -n 's/^Total Tests: //p')"
+if [ -z "$MATCHED" ] || [ "$MATCHED" -eq 0 ]; then
+  echo "check.sh: label regex '$LABEL' matches no tests — refusing to pass vacuously" >&2
+  exit 3
+fi
 
 # Fail on any sanitizer report, not just on test assertion failures.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
-ctest --test-dir "$ROOT/$BUILD_DIR" -L 'runtime|nn' --output-on-failure -j "$JOBS"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "$ROOT/$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$JOBS"
 
-echo "check.sh: ${SANITIZER}-sanitized runtime/nn suite passed"
+echo "check.sh: ${SANITIZER}-sanitized suite '$LABEL' passed ($MATCHED tests)"

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# One-command verification pipeline: everything a PR must survive, in the
+# order that fails fastest.
+#
+#   1. warning-clean build        (-Wall -Wextra -Wshadow -Wconversion, -Werror)
+#   2. determinism lint           (tools/lint_determinism.py over src/)
+#   3. clang-tidy baseline        (.clang-tidy; skipped if clang-tidy absent)
+#   4. full ctest suite
+#   5. TSan subset                (tools/check.sh thread  -> runtime|nn)
+#   6. UBSan subset               (tools/check.sh undefined -> runtime|nn)
+#
+# Usage: tools/ci.sh [--fast]
+#   --fast stops after step 4 (skips the sanitizer builds; those dominate
+#   wall-clock on small machines).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+BUILD_DIR="$ROOT/build-ci"
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+step() { echo; echo "=== ci.sh [$1] $2"; }
+
+step 1/6 "warning-clean build (GENDT_WERROR=ON)"
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGENDT_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+step 2/6 "determinism lint"
+python3 "$ROOT/tools/lint_determinism.py" --self-test
+python3 "$ROOT/tools/lint_determinism.py"
+
+step 3/6 "clang-tidy baseline"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Compile commands come from the CI build dir; only first-party sources.
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find "$ROOT/src" -name '*.cpp' -print0 |
+    xargs -0 clang-tidy -p "$BUILD_DIR" --quiet
+else
+  echo "clang-tidy not installed — skipping (install it to run the .clang-tidy baseline)"
+fi
+
+step 4/6 "ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [ "$FAST" -eq 1 ]; then
+  echo; echo "ci.sh: fast mode — skipping sanitizer subsets"; exit 0
+fi
+
+step 5/6 "ThreadSanitizer subset"
+"$ROOT/tools/check.sh" thread
+
+step 6/6 "UndefinedBehaviorSanitizer subset"
+"$ROOT/tools/check.sh" undefined
+
+echo; echo "ci.sh: all stages passed"

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Determinism linter for the GenDT model/runtime code.
+
+GenDT's training and generation are pinned bitwise-reproducible (per-window
+RNG streams derived with runtime::derive_stream_seed, window-ordered gradient
+reduction — see runtime_determinism_test). This linter rejects the source
+patterns that silently break that guarantee:
+
+  rand               C rand()/srand() — hidden global state, not seedable
+                     per-window.
+  random-device      std::random_device — nondeterministic entropy source.
+  wallclock          std::chrono::{steady,system,high_resolution}_clock::now
+                     in model code — time-dependent behavior.
+  unseeded-mt19937   default-constructed std::mt19937/std::mt19937_64 — runs
+                     ignore the configured seed (deterministic but always the
+                     same stream, i.e. a silently dropped seed).
+  unordered-iteration  range-for over a std::unordered_{map,set} in gradient
+                     -reduction paths (src/nn, src/core) — iteration order is
+                     implementation-defined, so float accumulation order (and
+                     therefore the result bits) would vary.
+
+Scope: src/ only. Benches/tools may time things; tests may do what they like.
+Suppress a finding with a same-line comment:
+    // determinism-lint: allow(<rule>) <reason>
+
+Usage:
+  tools/lint_determinism.py [paths...]   # default: <repo>/src
+  tools/lint_determinism.py --self-test  # verify every rule fires
+Exit code 0 = clean, 1 = findings, 2 = usage/self-test failure.
+"""
+
+import os
+import re
+import sys
+
+# Rules applied to every scanned file: (rule-id, regex, message).
+GLOBAL_RULES = [
+    (
+        "rand",
+        re.compile(r"(?<![\w:.])s?rand\s*\("),
+        "C rand()/srand() uses hidden global state; derive a stream with "
+        "runtime::derive_stream_seed and use std::mt19937_64 instead",
+    ),
+    (
+        "random-device",
+        re.compile(r"std::random_device"),
+        "std::random_device is a nondeterministic entropy source; seeds must "
+        "come from the config",
+    ),
+    (
+        "wallclock",
+        re.compile(r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)::now"),
+        "wall-clock reads make model/runtime behavior time-dependent; pass "
+        "timestamps in explicitly",
+    ),
+    (
+        # Trailing-underscore identifiers are class members (repo naming
+        # convention): those are seeded in constructor init lists, so only
+        # default-constructed locals/globals are flagged.
+        "unseeded-mt19937",
+        re.compile(r"std::mt19937(?:_64)?\s+\w*[^_\W]\s*(?:;|\{\s*\})"),
+        "default-constructed mt19937 silently ignores the configured seed; "
+        "construct it from a derive_stream_seed value",
+    ),
+]
+
+# Directories whose files form gradient-reduction paths: here, iterating an
+# unordered container can reorder float accumulation between runs/platforms.
+ORDER_SENSITIVE_DIRS = ("src/nn", "src/core")
+
+UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)")
+RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*&?(\w+)\s*\)")
+
+ALLOW = re.compile(r"//\s*determinism-lint:\s*allow\((?P<rules>[\w,\s-]+)\)")
+SOURCE_EXTS = (".cpp", ".cc", ".h", ".hpp")
+
+
+def strip_strings(line):
+    """Blank out string/char literals so their contents can't match rules."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def allowed_rules(line):
+    m = ALLOW.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group("rules").split(",")}
+
+
+def scan_file(path, rel):
+    findings = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [(rel, 0, "io", f"cannot read file: {e}")]
+
+    order_sensitive = any(
+        rel.startswith(d + os.sep) or rel.replace("\\", "/").startswith(d + "/")
+        for d in ORDER_SENSITIVE_DIRS
+    )
+
+    unordered_vars = set()
+    if order_sensitive:
+        for line in lines:
+            for m in UNORDERED_DECL.finditer(strip_strings(line)):
+                unordered_vars.add(m.group(1))
+
+    in_block_comment = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and line.find("*/", start) < 0:
+            in_block_comment = True
+            line = line[:start]
+        allow = allowed_rules(raw)
+        code = strip_strings(line)
+        # Line comments can mention the patterns freely.
+        code = code.split("//")[0]
+
+        for rule, rx, msg in GLOBAL_RULES:
+            if rx.search(code) and rule not in allow:
+                findings.append((rel, lineno, rule, msg))
+        if order_sensitive and "unordered-iteration" not in allow:
+            m = RANGE_FOR.search(code)
+            if m and m.group(1) in unordered_vars:
+                findings.append(
+                    (rel, lineno, "unordered-iteration",
+                     f"range-for over unordered container '{m.group(1)}' in a "
+                     "gradient-reduction path; iterate a sorted/indexed view "
+                     "so float accumulation order is stable"))
+    return findings
+
+
+def scan_paths(root, paths):
+    findings = []
+    scanned = 0
+    for base in paths:
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, root)
+                findings.extend(scan_file(full, rel))
+                scanned += 1
+    return findings, scanned
+
+
+def self_test():
+    import tempfile
+
+    cases = {
+        "rand": "int x = rand();\n",
+        "random-device": "std::random_device rd;\n",
+        "wallclock": "auto t = std::chrono::steady_clock::now();\n",
+        "unseeded-mt19937": "std::mt19937_64 rng;\n",
+        "unordered-iteration":
+            "std::unordered_map<const void*, Mat> grads;\n"
+            "void reduce() { for (const auto& kv : grads) use(kv); }\n",
+    }
+    clean = (
+        "std::mt19937_64 rng(derive_stream_seed(seed, w));\n"
+        "std::mt19937_64 rng_;  // member decl, seeded in the ctor init list\n"
+        "std::unordered_map<const void*, Mat> grads;\n"
+        "for (const auto& p : params) apply(grads.at(p.id()));\n"
+        "int x = rand();  // determinism-lint: allow(rand) self-test fixture\n"
+    )
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        nn = os.path.join(tmp, "src", "nn")
+        os.makedirs(nn)
+        for rule, snippet in cases.items():
+            path = os.path.join(nn, f"case_{rule.replace('-', '_')}.cpp")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(snippet)
+            found, _ = scan_paths(tmp, [os.path.join(tmp, "src")])
+            hit = any(r == rule for (_f, _l, r, _m) in found)
+            os.remove(path)
+            if not hit:
+                print(f"self-test FAILED: rule '{rule}' did not fire", file=sys.stderr)
+                ok = False
+        path = os.path.join(nn, "clean.cpp")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(clean)
+        found, _ = scan_paths(tmp, [os.path.join(tmp, "src")])
+        if found:
+            for f_, l, r, m in found:
+                print(f"self-test FAILED: false positive {f_}:{l}: [{r}] {m}",
+                      file=sys.stderr)
+            ok = False
+    print("lint_determinism self-test:", "ok" if ok else "FAILED")
+    return 0 if ok else 2
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = [os.path.abspath(p) for p in argv] or [os.path.join(root, "src")]
+    for p in paths:
+        if not os.path.isdir(p):
+            print(f"lint_determinism: no such directory: {p}", file=sys.stderr)
+            return 2
+    findings, scanned = scan_paths(root, paths)
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s) in {scanned} files")
+        return 1
+    print(f"lint_determinism: clean ({scanned} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
