@@ -19,6 +19,7 @@
 // no GAN loss / no batching.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "gendt/core/generator.h"
@@ -122,8 +123,12 @@ class GenDTModel {
       const std::vector<std::vector<context::Window>>& trajectories, uint64_t seed,
       bool mc_dropout = false) const;
 
+  /// Atomic whole-model checkpoint (nn::save_checkpoint under the hood).
   bool save(const std::string& path) const;
-  bool load(const std::string& path);
+  /// Transactional load: on any failure the model is untouched and the
+  /// result says exactly what was wrong (bad magic, truncation, CRC
+  /// mismatch, unknown param, shape mismatch, duplicate name, ...).
+  nn::LoadResult load(const std::string& path, nn::LoadMode mode = nn::LoadMode::kStrict);
 
  private:
   GenDTConfig cfg_;
@@ -132,6 +137,17 @@ class GenDTModel {
   nn::Mlp resgen_;               // G^r trunk -> [mu, log_sigma] x Nch
   nn::LstmNetwork disc_net_;     // discriminator trunk
   nn::Linear disc_head_;         // final logit
+};
+
+/// Resumable training state emitted at every epoch boundary: the cursor and
+/// the Adam slots for both optimizers (records named "adam.gen/..." and
+/// "adam.disc/..."). Together with the model parameters this is everything
+/// a fresh process needs to continue the run bit-for-bit (each epoch runs
+/// on its own derive_stream_seed(seed, epoch) RNG stream, so no generator
+/// internals need to be persisted).
+struct TrainCheckpoint {
+  int epochs_done = 0;  ///< epochs completed; resume with start_epoch = this
+  std::vector<nn::TensorRecord> opt_state;
 };
 
 /// GenDT training (alternating generator / discriminator updates).
@@ -149,11 +165,24 @@ struct TrainConfig {
   /// runs on its own RNG stream — training is bitwise identical at any
   /// thread count.
   runtime::Parallelism parallelism{.threads = 0};
+  /// First epoch to run (resume cursor). Epoch e always draws from the RNG
+  /// stream derive_stream_seed(seed, e), so running epochs [k, epochs) on a
+  /// restored model + optimizer state is bitwise identical to the tail of
+  /// an uninterrupted [0, epochs) run.
+  int start_epoch = 0;
+  /// Adam slots from a prior TrainCheckpoint ("adam.gen/..." +
+  /// "adam.disc/..." records). Empty = fresh optimizers.
+  std::vector<nn::TensorRecord> resume_opt_state = {};
+  /// Called after every completed epoch with the state needed to resume
+  /// from that boundary; the CLI uses this to write a checkpoint per epoch.
+  std::function<void(const TrainCheckpoint&)> on_epoch_end = {};
 };
 
 struct TrainStats {
   std::vector<double> mse_per_epoch;
   std::vector<double> gan_per_epoch;
+  /// Non-empty when training refused to start (malformed resume state).
+  std::string error;
 };
 
 TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& windows,

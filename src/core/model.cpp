@@ -265,12 +265,12 @@ bool GenDTModel::save(const std::string& path) const {
   return nn::save_params(params, path);
 }
 
-bool GenDTModel::load(const std::string& path) {
+nn::LoadResult GenDTModel::load(const std::string& path, nn::LoadMode mode) {
   auto params = generator_params();
   for (auto& p : discriminator_params()) params.push_back(p);
   if (!cfg_.use_resgen)
     for (auto& p : resgen_.params()) params.push_back(p);
-  return nn::load_params(params, path);
+  return nn::load_params(params, path, mode);
 }
 
 namespace {
@@ -326,12 +326,21 @@ TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& wi
                        const TrainConfig& cfg) {
   TrainStats stats;
   if (windows.empty()) return stats;
-  std::mt19937_64 rng(cfg.seed);
 
   nn::Adam gen_opt({.lr = cfg.lr_gen, .clip_norm = 5.0});
   nn::Adam disc_opt({.lr = cfg.lr_disc, .clip_norm = 5.0});
   const auto gen_params = model.generator_params();
   const auto disc_params = model.discriminator_params();
+  if (!cfg.resume_opt_state.empty()) {
+    // Transactional restore of both optimizers' Adam slots; a malformed
+    // record set refuses to train rather than silently restarting Adam
+    // from step 0 (which would break resume determinism).
+    if (!gen_opt.import_state(gen_params, "adam.gen", cfg.resume_opt_state) ||
+        !disc_opt.import_state(disc_params, "adam.disc", cfg.resume_opt_state)) {
+      stats.error = "malformed resume optimizer state (adam.gen/adam.disc records)";
+      return stats;
+    }
+  }
   const bool use_gan = model.config().use_gan;
   const double lambda = model.config().lambda_gan;
   const int nch = model.config().num_channels;
@@ -359,7 +368,15 @@ TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& wi
   std::vector<double> win_mse(static_cast<size_t>(batch_cap), 0.0);
   std::vector<double> win_gan(static_cast<size_t>(batch_cap), 0.0);
 
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  for (int epoch = cfg.start_epoch; epoch < cfg.epochs; ++epoch) {
+    // Every epoch runs on its own derived RNG stream: the shuffle order and
+    // all per-window seeds below are a pure function of (seed, epoch), so a
+    // run resumed at an epoch boundary replays the remaining epochs
+    // bit-for-bit without persisting any generator internals.
+    std::mt19937_64 rng(runtime::derive_stream_seed(cfg.seed, static_cast<uint64_t>(epoch)));
+    // Re-derive the permutation from identity so it depends only on this
+    // epoch's stream, not on how many epochs ran before in this process.
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::shuffle(order.begin(), order.end(), rng);
     double mse_sum = 0.0, gan_sum = 0.0;
     int steps = 0;
@@ -481,6 +498,13 @@ TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& wi
     if (cfg.verbose) {
       std::fprintf(stderr, "[gendt] epoch %d mse=%.4f gan=%.4f\n", epoch,
                    stats.mse_per_epoch.back(), stats.gan_per_epoch.back());
+    }
+    if (cfg.on_epoch_end) {
+      TrainCheckpoint tc;
+      tc.epochs_done = epoch + 1;
+      gen_opt.export_state(gen_params, "adam.gen", tc.opt_state);
+      disc_opt.export_state(disc_params, "adam.disc", tc.opt_state);
+      cfg.on_epoch_end(tc);
     }
   }
   return stats;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gendt/nn/layers.h"
+#include "gendt/nn/serialize.h"
 
 namespace gendt::nn {
 
@@ -23,8 +24,11 @@ class Sgd {
   Config cfg_;
 };
 
-/// Adam (Kingma & Ba). State is keyed on parameter node identity, so a single
-/// optimizer instance can drive several modules.
+/// Adam (Kingma & Ba). State is keyed on the parameter *name* (unique per
+/// module tree by construction), so slots survive serialization and can be
+/// restored into a fresh process for exact training resume; a single
+/// optimizer instance can still drive several modules as long as their
+/// parameter names do not collide.
 class Adam {
  public:
   struct Config {
@@ -42,6 +46,19 @@ class Adam {
   const Config& config() const { return cfg_; }
   void set_lr(double lr) { cfg_.lr = lr; }
 
+  /// Append this optimizer's slots as tensor records named
+  /// "<prefix>/<param>/m|v|t", in `params` order (deterministic layout).
+  /// Parameters without a slot yet (no step taken) are skipped.
+  void export_state(const std::vector<NamedParam>& params, const std::string& prefix,
+                    std::vector<TensorRecord>& out) const;
+  /// Restore slots from records produced by export_state under `prefix`
+  /// (records under other prefixes are ignored, so several optimizers can
+  /// share one state vector). Transactional: returns false — leaving the
+  /// current state untouched — on a duplicate/partial/unknown record or a
+  /// slot shape that does not match its parameter.
+  bool import_state(const std::vector<NamedParam>& params, const std::string& prefix,
+                    const std::vector<TensorRecord>& records);
+
  private:
   struct Slot {
     Mat m;
@@ -49,10 +66,13 @@ class Adam {
     long t = 0;
   };
   Config cfg_;
-  std::unordered_map<const void*, Slot> state_;
+  std::unordered_map<std::string, Slot> state_;
 };
 
 /// Scale gradients in place so their global L2 norm is at most max_norm.
+/// A non-finite norm (NaN/Inf gradient upstream) aborts via GENDT_CHECK
+/// when debug checks are on; with checks off the scaling is skipped so one
+/// poisoned gradient cannot corrupt every other parameter's update.
 void clip_grad_norm(const std::vector<NamedParam>& params, double max_norm);
 
 }  // namespace gendt::nn

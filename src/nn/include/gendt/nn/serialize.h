@@ -1,19 +1,136 @@
-// Parameter checkpointing: a simple self-describing binary format
-// ("GDTCKPT1" magic, then name/shape/data records).
+// Checkpointing: versioned, corruption-proof model + trainer state files.
+//
+// Format v2 ("GDTCKPT2" magic): a self-describing header, an ordered
+// key -> bytes metadata section (KPI normalization stats, resume cursor,
+// RNG seeds), name/shape/data tensor records split into model *parameters*
+// and trainer *state* (Adam slots keyed by parameter name), and a CRC-32
+// footer over everything before it.
+//
+// Durability contract:
+//  * Saves are atomic: the file is written to `<path>.tmp`, flushed, then
+//    renamed over `path` — a crash mid-save never clobbers the previous
+//    good checkpoint.
+//  * Loads are transactional: the whole file is parsed and validated
+//    (bounds on every untrusted length field, CRC, duplicate/trailing-byte
+//    detection) into a staging buffer, matched against the live parameters,
+//    and only then committed — a failure at any point leaves the model
+//    untouched. Errors come back as a structured LoadResult, not a bool.
+//  * Legacy "GDTCKPT1" files (params only, no metadata/state/CRC) remain
+//    readable; LoadResult::version reports what was found.
+//
+// Byte order is host (little-endian on every supported target), matching
+// the v1 format.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gendt/nn/layers.h"
 
 namespace gendt::nn {
 
-/// Write all parameters to `path`. Returns false on I/O failure.
-bool save_params(const std::vector<NamedParam>& params, const std::string& path);
+/// A named dense tensor as stored in a checkpoint (decoupled from the live
+/// autograd Tensor so staged data can be validated before any commit).
+struct TensorRecord {
+  std::string name;
+  Mat value;
+};
 
-/// Load into matching (name + shape) parameters. Returns false on I/O
-/// failure, unknown format, or any name/shape mismatch.
-bool load_params(const std::vector<NamedParam>& params, const std::string& path);
+/// Insertion-ordered key -> bytes metadata. Ordered (not hashed) so the
+/// serialized layout — and therefore the file's CRC — is deterministic.
+class CkptMeta {
+ public:
+  using Entry = std::pair<std::string, std::vector<std::uint8_t>>;
+
+  /// Upserts preserve first-insertion order.
+  void set_bytes(const std::string& key, std::vector<std::uint8_t> value);
+  void set_u64(const std::string& key, std::uint64_t v);
+  void set_f64s(const std::string& key, std::span<const double> v);
+  void set_string(const std::string& key, const std::string& v);
+
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  /// Raw bytes for `key`, or nullptr when absent.
+  const std::vector<std::uint8_t>* find(const std::string& key) const;
+  /// Typed getters return false when the key is absent or the payload has
+  /// the wrong size/alignment for the requested type.
+  bool get_u64(const std::string& key, std::uint64_t& out) const;
+  bool get_f64s(const std::string& key, std::vector<double>& out) const;
+  bool get_string(const std::string& key, std::string& out) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& mutable_entries() { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// A fully staged checkpoint: everything a resumable training run needs.
+struct Checkpoint {
+  CkptMeta meta;
+  std::vector<TensorRecord> params;  ///< model parameters
+  std::vector<TensorRecord> state;   ///< optimizer / trainer state tensors
+};
+
+enum class LoadStatus {
+  kOk,
+  kIoError,             ///< file unreadable
+  kBadMagic,            ///< not a GenDT checkpoint at all
+  kUnsupportedVersion,  ///< GDTCKPT magic with an unknown version digit
+  kTruncated,           ///< a declared length exceeds the remaining bytes
+  kMalformed,           ///< a field fails its sanity bound (name len, dims)
+  kCrcMismatch,         ///< integrity footer does not match the contents
+  kDuplicateName,       ///< the same tensor name appears twice
+  kTrailingBytes,       ///< bytes after the declared records
+  kUnknownParam,        ///< file names a parameter the model does not have
+  kShapeMismatch,       ///< file/model shapes disagree for a parameter
+  kMissingParam,        ///< model parameter absent from the file (strict)
+};
+
+const char* load_status_name(LoadStatus s);
+
+/// Structured outcome of a checkpoint read/apply.
+struct LoadResult {
+  LoadStatus status = LoadStatus::kOk;
+  int version = 0;     ///< format version once the magic parsed (1 or 2)
+  std::string detail;  ///< human-readable context for failures
+  /// Partial mode only: live params the file did not cover.
+  std::vector<std::string> missing;
+  /// Partial mode only: file records that matched no live param.
+  std::vector<std::string> skipped;
+
+  bool ok() const { return status == LoadStatus::kOk; }
+  std::string message() const {
+    std::string m = load_status_name(status);
+    if (!detail.empty()) (m += ": ") += detail;
+    return m;
+  }
+};
+
+/// kStrict demands an exact parameter bijection (fine-tuning the same
+/// architecture); kPartial updates the intersection and reports the rest in
+/// LoadResult::missing/skipped (fine-tuning from a parameter subset).
+enum class LoadMode { kStrict, kPartial };
+
+/// Serialize `ckpt` to `path` atomically (temp file + rename). Returns
+/// false on any I/O failure; `path` is left untouched in that case.
+bool save_checkpoint(const Checkpoint& ckpt, const std::string& path);
+
+/// Parse and fully validate the file at `path` into `out` without touching
+/// any model. v1 files load as params-only checkpoints.
+LoadResult read_checkpoint(const std::string& path, Checkpoint& out);
+
+/// Transactionally copy `ckpt.params` into the matching live `params`:
+/// every record is validated (name, shape, duplicates) before the first
+/// write, so on failure no parameter has been modified.
+LoadResult apply_params(const std::vector<NamedParam>& params, const Checkpoint& ckpt,
+                        LoadMode mode = LoadMode::kStrict);
+
+/// Whole-model convenience wrappers (no metadata / trainer state).
+bool save_params(const std::vector<NamedParam>& params, const std::string& path);
+LoadResult load_params(const std::vector<NamedParam>& params, const std::string& path,
+                       LoadMode mode = LoadMode::kStrict);
 
 }  // namespace gendt::nn

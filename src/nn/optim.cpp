@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "gendt/nn/checks.h"
+
 namespace gendt::nn {
 
 Adam::Adam() : Adam(Config{}) {}
@@ -14,6 +16,12 @@ void clip_grad_norm(const std::vector<NamedParam>& params, double max_norm) {
     for (size_t i = 0; i < g.size(); ++i) sq += g[i] * g[i];
   }
   const double norm = std::sqrt(sq);
+  GENDT_CHECK(std::isfinite(norm),
+              "clip_grad_norm: non-finite gradient norm (NaN/Inf gradient upstream)");
+  // With checks off, skip scaling: max_norm / NaN would poison *every*
+  // parameter's gradient in this step, turning one bad gradient into a
+  // fully corrupted model.
+  if (!std::isfinite(norm)) return;
   if (norm <= max_norm || norm == 0.0) return;
   const double scale = max_norm / norm;
   for (const auto& p : params) {
@@ -39,7 +47,7 @@ void Adam::step(const std::vector<NamedParam>& params) {
     const Mat& g = p.tensor.grad();
     if (g.empty()) continue;
     Mat& v = p.tensor.node()->value;
-    Slot& s = state_[p.tensor.id()];
+    Slot& s = state_[p.name];
     if (s.m.empty()) {
       s.m = Mat::zeros(v.rows(), v.cols());
       s.v = Mat::zeros(v.rows(), v.cols());
@@ -55,6 +63,57 @@ void Adam::step(const std::vector<NamedParam>& params) {
       v[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
     }
   }
+}
+
+void Adam::export_state(const std::vector<NamedParam>& params, const std::string& prefix,
+                        std::vector<TensorRecord>& out) const {
+  for (const auto& p : params) {
+    const auto it = state_.find(p.name);
+    if (it == state_.end() || it->second.m.empty()) continue;
+    const Slot& s = it->second;
+    out.push_back({prefix + "/" + p.name + "/m", s.m});
+    out.push_back({prefix + "/" + p.name + "/v", s.v});
+    out.push_back({prefix + "/" + p.name + "/t", Mat::full(1, 1, static_cast<double>(s.t))});
+  }
+}
+
+bool Adam::import_state(const std::vector<NamedParam>& params, const std::string& prefix,
+                        const std::vector<TensorRecord>& records) {
+  const std::string pre = prefix + "/";
+  std::unordered_map<std::string, const Mat*> by_name;
+  for (const auto& r : records) {
+    if (r.name.rfind(pre, 0) != 0) continue;  // another optimizer's records
+    if (!by_name.emplace(r.name, &r.value).second) return false;  // duplicate
+  }
+
+  // Stage everything, validate everything, then commit — a malformed record
+  // set must not leave a half-restored optimizer.
+  std::unordered_map<std::string, Slot> staged;
+  size_t used = 0;
+  for (const auto& p : params) {
+    const auto mi = by_name.find(pre + p.name + "/m");
+    const auto vi = by_name.find(pre + p.name + "/v");
+    const auto ti = by_name.find(pre + p.name + "/t");
+    const int present = (mi != by_name.end()) + (vi != by_name.end()) + (ti != by_name.end());
+    if (present == 0) continue;  // parameter never stepped before the save
+    if (present != 3) return false;
+    const Mat& value = p.tensor.value();
+    if (!mi->second->same_shape(value) || !vi->second->same_shape(value)) return false;
+    if (ti->second->rows() != 1 || ti->second->cols() != 1) return false;
+    const double td = (*ti->second)(0, 0);
+    // t must be an exact non-negative step count (doubles are exact well
+    // past any reachable step index).
+    if (!(td >= 0.0) || td != std::floor(td) || td > 9.0e15) return false;
+    Slot s;
+    s.m = *mi->second;
+    s.v = *vi->second;
+    s.t = static_cast<long>(td);
+    staged.emplace(p.name, std::move(s));
+    used += 3;
+  }
+  if (used != by_name.size()) return false;  // records naming unknown params
+  state_ = std::move(staged);
+  return true;
 }
 
 }  // namespace gendt::nn

@@ -1,68 +1,447 @@
 #include "gendt/nn/serialize.h"
 
+#include "gendt/nn/checks.h"
+
+#include <array>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <unordered_map>
+#include <unordered_set>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace gendt::nn {
 
 namespace {
-constexpr char kMagic[8] = {'G', 'D', 'T', 'C', 'K', 'P', 'T', '1'};
 
-void write_u64(std::ostream& os, uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+constexpr char kMagicV1[8] = {'G', 'D', 'T', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'G', 'D', 'T', 'C', 'K', 'P', 'T', '2'};
+
+// Bounds on untrusted length fields. Each is far above anything a real
+// GenDT checkpoint contains but small enough that a corrupt field can
+// neither trigger a multi-GB allocation nor wrap an int dimension.
+constexpr std::uint64_t kMaxNameLen = 1u << 12;        // 4 KiB tensor/meta key
+constexpr std::uint64_t kMaxMetaValueLen = 1u << 26;   // 64 MiB per value
+constexpr std::uint64_t kMaxDim = 1u << 27;            // rows/cols, << INT_MAX
+constexpr std::uint64_t kMaxRecords = 1u << 20;        // per section
+
+// ---- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ----------------------
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
 }
-bool read_u64(std::istream& is, uint64_t& v) {
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+
+std::uint32_t crc32(const std::uint8_t* data, size_t n) {
+  const auto& t = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) c = t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---- Buffer writer --------------------------------------------------------
+
+void put_bytes(std::vector<std::uint8_t>& b, const void* p, size_t n) {
+  const auto* c = static_cast<const std::uint8_t*>(p);
+  b.insert(b.end(), c, c + n);
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  put_bytes(b, &v, sizeof(v));
+}
+
+void put_tensor(std::vector<std::uint8_t>& b, const TensorRecord& r) {
+  put_u64(b, r.name.size());
+  put_bytes(b, r.name.data(), r.name.size());
+  put_u64(b, static_cast<std::uint64_t>(r.value.rows()));
+  put_u64(b, static_cast<std::uint64_t>(r.value.cols()));
+  put_bytes(b, r.value.data().data(), r.value.size() * sizeof(double));
+}
+
+// ---- Buffer reader --------------------------------------------------------
+
+struct Reader {
+  const std::uint8_t* p = nullptr;
+  size_t n = 0;
+  size_t off = 0;
+
+  size_t remaining() const { return n - off; }
+  bool u64(std::uint64_t& v) {
+    if (remaining() < sizeof(v)) return false;
+    std::memcpy(&v, p + off, sizeof(v));
+    off += sizeof(v);
+    return true;
+  }
+  bool bytes(void* dst, size_t len) {
+    if (remaining() < len) return false;
+    // len == 0 is legal (a 0xN tensor): memcpy's pointers must be non-null
+    // even then, and an empty Mat's data pointer is null.
+    if (len != 0) std::memcpy(dst, p + off, len);
+    off += len;
+    return true;
+  }
+};
+
+LoadResult fail(LoadStatus status, int version, std::string detail) {
+  LoadResult r;
+  r.status = status;
+  r.version = version;
+  r.detail = std::move(detail);
+  return r;
+}
+
+std::string record_ref(const char* section, std::uint64_t index, const std::string& name) {
+  std::string s = section;
+  (s += " record ") += std::to_string(index);
+  if (!name.empty()) ((s += " ('") += name) += "')";
+  return s;
+}
+
+/// Parse one name/rows/cols/data record with every length field validated
+/// against its bound and the remaining bytes *before* any allocation.
+LoadResult parse_tensor(Reader& r, int version, const char* section, std::uint64_t index,
+                        TensorRecord& rec) {
+  std::uint64_t name_len = 0;
+  if (!r.u64(name_len))
+    return fail(LoadStatus::kTruncated, version, record_ref(section, index, "") + ": name length");
+  if (name_len == 0 || name_len > kMaxNameLen)
+    return fail(LoadStatus::kMalformed, version,
+                record_ref(section, index, "") + ": name length " + std::to_string(name_len) +
+                    " outside [1, " + std::to_string(kMaxNameLen) + "]");
+  if (name_len > r.remaining())
+    return fail(LoadStatus::kTruncated, version,
+                record_ref(section, index, "") + ": name overruns the file");
+  rec.name.assign(name_len, '\0');
+  r.bytes(rec.name.data(), name_len);
+
+  std::uint64_t rows = 0, cols = 0;
+  if (!r.u64(rows) || !r.u64(cols))
+    return fail(LoadStatus::kTruncated, version, record_ref(section, index, rec.name) + ": shape");
+  if (rows > kMaxDim || cols > kMaxDim)
+    return fail(LoadStatus::kMalformed, version,
+                record_ref(section, index, rec.name) + ": dims " + std::to_string(rows) + "x" +
+                    std::to_string(cols) + " exceed limit " + std::to_string(kMaxDim));
+  const std::uint64_t elems = rows * cols;  // <= 2^54, no overflow after the bound check
+  if (elems > r.remaining() / sizeof(double))
+    return fail(LoadStatus::kTruncated, version,
+                record_ref(section, index, rec.name) + ": declares " + std::to_string(elems) +
+                    " doubles but only " + std::to_string(r.remaining()) + " bytes remain");
+  rec.value = Mat(static_cast<int>(rows), static_cast<int>(cols));
+  r.bytes(rec.value.data().data(), static_cast<size_t>(elems) * sizeof(double));
+  return LoadResult{};
+}
+
+LoadResult parse_tensor_section(Reader& r, int version, const char* section,
+                                std::uint64_t count, std::vector<TensorRecord>& out) {
+  std::unordered_set<std::string> seen;
+  out.reserve(static_cast<size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TensorRecord rec;
+    LoadResult res = parse_tensor(r, version, section, i, rec);
+    if (!res.ok()) return res;
+    if (!seen.insert(rec.name).second)
+      return fail(LoadStatus::kDuplicateName, version,
+                  record_ref(section, i, rec.name) + ": name appears twice");
+    out.push_back(std::move(rec));
+  }
+  return LoadResult{};
+}
+
+LoadResult parse_v2(const std::vector<std::uint8_t>& buf, Checkpoint& out) {
+  constexpr int kV = 2;
+  constexpr size_t kFooter = sizeof(std::uint64_t);
+  Reader r{buf.data(), buf.size(), sizeof(kMagicV2)};
+
+  std::uint64_t meta_count = 0, param_count = 0, state_count = 0;
+  if (!r.u64(meta_count) || !r.u64(param_count) || !r.u64(state_count))
+    return fail(LoadStatus::kTruncated, kV, "header cut short");
+  if (meta_count > kMaxRecords || param_count > kMaxRecords || state_count > kMaxRecords)
+    return fail(LoadStatus::kMalformed, kV, "header record counts exceed limit");
+
+  for (std::uint64_t i = 0; i < meta_count; ++i) {
+    std::uint64_t key_len = 0, val_len = 0;
+    if (!r.u64(key_len))
+      return fail(LoadStatus::kTruncated, kV, record_ref("meta", i, "") + ": key length");
+    if (key_len == 0 || key_len > kMaxNameLen)
+      return fail(LoadStatus::kMalformed, kV,
+                  record_ref("meta", i, "") + ": key length " + std::to_string(key_len));
+    if (key_len > r.remaining())
+      return fail(LoadStatus::kTruncated, kV, record_ref("meta", i, "") + ": key overruns file");
+    std::string key(key_len, '\0');
+    r.bytes(key.data(), key_len);
+    if (!r.u64(val_len))
+      return fail(LoadStatus::kTruncated, kV, record_ref("meta", i, key) + ": value length");
+    if (val_len > kMaxMetaValueLen)
+      return fail(LoadStatus::kMalformed, kV,
+                  record_ref("meta", i, key) + ": value length " + std::to_string(val_len));
+    if (val_len > r.remaining())
+      return fail(LoadStatus::kTruncated, kV, record_ref("meta", i, key) + ": value overruns file");
+    std::vector<std::uint8_t> value(static_cast<size_t>(val_len));
+    r.bytes(value.data(), static_cast<size_t>(val_len));
+    if (out.meta.has(key))
+      return fail(LoadStatus::kDuplicateName, kV,
+                  record_ref("meta", i, key) + ": key appears twice");
+    out.meta.set_bytes(key, std::move(value));
+  }
+
+  LoadResult res = parse_tensor_section(r, kV, "param", param_count, out.params);
+  if (!res.ok()) return res;
+  res = parse_tensor_section(r, kV, "state", state_count, out.state);
+  if (!res.ok()) return res;
+
+  if (r.remaining() != kFooter)
+    return r.remaining() > kFooter
+               ? fail(LoadStatus::kTrailingBytes, kV,
+                      std::to_string(r.remaining() - kFooter) +
+                          " unexpected bytes between the last record and the CRC footer")
+               : fail(LoadStatus::kTruncated, kV, "CRC footer missing");
+  std::uint64_t stored = 0;
+  r.u64(stored);
+  const std::uint32_t computed = crc32(buf.data(), buf.size() - kFooter);
+  if (stored != computed)
+    return fail(LoadStatus::kCrcMismatch, kV,
+                "stored CRC does not match contents (file corrupted or bit-flipped)");
+  LoadResult okr;
+  okr.version = kV;
+  return okr;
+}
+
+LoadResult parse_v1(const std::vector<std::uint8_t>& buf, Checkpoint& out) {
+  constexpr int kV = 1;
+  Reader r{buf.data(), buf.size(), sizeof(kMagicV1)};
+  std::uint64_t count = 0;
+  if (!r.u64(count)) return fail(LoadStatus::kTruncated, kV, "record count cut short");
+  if (count > kMaxRecords)
+    return fail(LoadStatus::kMalformed, kV, "record count exceeds limit");
+  LoadResult res = parse_tensor_section(r, kV, "param", count, out.params);
+  if (!res.ok()) return res;
+  if (r.remaining() != 0)
+    return fail(LoadStatus::kTrailingBytes, kV,
+                std::to_string(r.remaining()) + " bytes after the declared records");
+  LoadResult okr;
+  okr.version = kV;
+  return okr;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) return false;
+  const std::streamoff size = is.tellg();
+  if (size < 0) return false;
+  out.resize(static_cast<size_t>(size));
+  is.seekg(0);
+  if (size > 0) is.read(reinterpret_cast<char*>(out.data()), size);
   return static_cast<bool>(is);
 }
+
 }  // namespace
 
-bool save_params(const std::vector<NamedParam>& params, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return false;
-  os.write(kMagic, sizeof(kMagic));
-  write_u64(os, params.size());
-  for (const auto& p : params) {
-    write_u64(os, p.name.size());
-    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
-    const Mat& m = p.tensor.value();
-    write_u64(os, static_cast<uint64_t>(m.rows()));
-    write_u64(os, static_cast<uint64_t>(m.cols()));
-    os.write(reinterpret_cast<const char*>(m.data().data()),
-             static_cast<std::streamsize>(m.size() * sizeof(double)));
+// ---- CkptMeta -------------------------------------------------------------
+
+void CkptMeta::set_bytes(const std::string& key, std::vector<std::uint8_t> value) {
+  for (auto& e : entries_) {
+    if (e.first == key) {
+      e.second = std::move(value);
+      return;
+    }
   }
-  return static_cast<bool>(os);
+  entries_.emplace_back(key, std::move(value));
 }
 
-bool load_params(const std::vector<NamedParam>& params, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
-  char magic[8];
-  is.read(magic, sizeof(magic));
-  if (!is || !std::equal(magic, magic + 8, kMagic)) return false;
-  uint64_t count = 0;
-  if (!read_u64(is, count)) return false;
+void CkptMeta::set_u64(const std::string& key, std::uint64_t v) {
+  std::vector<std::uint8_t> raw(sizeof(v));
+  std::memcpy(raw.data(), &v, sizeof(v));
+  set_bytes(key, std::move(raw));
+}
 
-  std::unordered_map<std::string, Tensor> by_name;
-  for (const auto& p : params) by_name.emplace(p.name, p.tensor);
+void CkptMeta::set_f64s(const std::string& key, std::span<const double> v) {
+  std::vector<std::uint8_t> raw(v.size() * sizeof(double));
+  if (!v.empty()) std::memcpy(raw.data(), v.data(), raw.size());
+  set_bytes(key, std::move(raw));
+}
 
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t name_len = 0, rows = 0, cols = 0;
-    if (!read_u64(is, name_len)) return false;
-    std::string name(name_len, '\0');
-    is.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (!read_u64(is, rows) || !read_u64(is, cols)) return false;
-    Mat m(static_cast<int>(rows), static_cast<int>(cols));
-    is.read(reinterpret_cast<char*>(m.data().data()),
-            static_cast<std::streamsize>(m.size() * sizeof(double)));
-    if (!is) return false;
-    auto it = by_name.find(name);
-    if (it == by_name.end()) return false;
-    if (!it->second.value().same_shape(m)) return false;
-    it->second.mutable_value() = std::move(m);
+void CkptMeta::set_string(const std::string& key, const std::string& v) {
+  set_bytes(key, std::vector<std::uint8_t>(v.begin(), v.end()));
+}
+
+const std::vector<std::uint8_t>* CkptMeta::find(const std::string& key) const {
+  for (const auto& e : entries_)
+    if (e.first == key) return &e.second;
+  return nullptr;
+}
+
+bool CkptMeta::get_u64(const std::string& key, std::uint64_t& out) const {
+  const auto* raw = find(key);
+  if (!raw || raw->size() != sizeof(out)) return false;
+  std::memcpy(&out, raw->data(), sizeof(out));
+  return true;
+}
+
+bool CkptMeta::get_f64s(const std::string& key, std::vector<double>& out) const {
+  const auto* raw = find(key);
+  if (!raw || raw->size() % sizeof(double) != 0) return false;
+  out.resize(raw->size() / sizeof(double));
+  if (!out.empty()) std::memcpy(out.data(), raw->data(), raw->size());
+  return true;
+}
+
+bool CkptMeta::get_string(const std::string& key, std::string& out) const {
+  const auto* raw = find(key);
+  if (!raw) return false;
+  out.assign(raw->begin(), raw->end());
+  return true;
+}
+
+// ---- Public API -----------------------------------------------------------
+
+const char* load_status_name(LoadStatus s) {
+  switch (s) {
+    case LoadStatus::kOk: return "ok";
+    case LoadStatus::kIoError: return "io-error";
+    case LoadStatus::kBadMagic: return "bad-magic";
+    case LoadStatus::kUnsupportedVersion: return "unsupported-version";
+    case LoadStatus::kTruncated: return "truncated";
+    case LoadStatus::kMalformed: return "malformed";
+    case LoadStatus::kCrcMismatch: return "crc-mismatch";
+    case LoadStatus::kDuplicateName: return "duplicate-name";
+    case LoadStatus::kTrailingBytes: return "trailing-bytes";
+    case LoadStatus::kUnknownParam: return "unknown-param";
+    case LoadStatus::kShapeMismatch: return "shape-mismatch";
+    case LoadStatus::kMissingParam: return "missing-param";
+  }
+  return "unknown";
+}
+
+bool save_checkpoint(const Checkpoint& ckpt, const std::string& path) {
+  std::vector<std::uint8_t> buf;
+  size_t estimate = 64;
+  for (const auto& e : ckpt.meta.entries()) estimate += 16 + e.first.size() + e.second.size();
+  for (const auto& t : ckpt.params) estimate += 24 + t.name.size() + t.value.size() * 8;
+  for (const auto& t : ckpt.state) estimate += 24 + t.name.size() + t.value.size() * 8;
+  buf.reserve(estimate);
+
+  put_bytes(buf, kMagicV2, sizeof(kMagicV2));
+  put_u64(buf, ckpt.meta.entries().size());
+  put_u64(buf, ckpt.params.size());
+  put_u64(buf, ckpt.state.size());
+  for (const auto& e : ckpt.meta.entries()) {
+    put_u64(buf, e.first.size());
+    put_bytes(buf, e.first.data(), e.first.size());
+    put_u64(buf, e.second.size());
+    put_bytes(buf, e.second.data(), e.second.size());
+  }
+  for (const auto& t : ckpt.params) put_tensor(buf, t);
+  for (const auto& t : ckpt.state) put_tensor(buf, t);
+  put_u64(buf, crc32(buf.data(), buf.size()));
+
+  // Atomic publish: write + flush the temp file, then rename over `path`.
+  // POSIX rename is atomic, so readers see either the old or the new
+  // checkpoint, never a torn one.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  bool ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  ok = (std::fflush(f) == 0) && ok;
+#if defined(__unix__) || defined(__APPLE__)
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
   }
   return true;
+}
+
+LoadResult read_checkpoint(const std::string& path, Checkpoint& out) {
+  out = Checkpoint{};
+  std::vector<std::uint8_t> buf;
+  if (!read_file(path, buf))
+    return fail(LoadStatus::kIoError, 0, "cannot read '" + path + "'");
+  if (buf.size() < sizeof(kMagicV2))
+    return fail(LoadStatus::kBadMagic, 0, "file shorter than the magic");
+  if (std::memcmp(buf.data(), kMagicV2, sizeof(kMagicV2)) == 0) return parse_v2(buf, out);
+  if (std::memcmp(buf.data(), kMagicV1, sizeof(kMagicV1)) == 0) return parse_v1(buf, out);
+  if (std::memcmp(buf.data(), kMagicV2, sizeof(kMagicV2) - 1) == 0)
+    return fail(LoadStatus::kUnsupportedVersion, 0,
+                std::string("GDTCKPT version '") + static_cast<char>(buf[7]) +
+                    "' (this build reads 1 and 2)");
+  return fail(LoadStatus::kBadMagic, 0, "not a GenDT checkpoint");
+}
+
+LoadResult apply_params(const std::vector<NamedParam>& params, const Checkpoint& ckpt,
+                        LoadMode mode) {
+  // Stage 1: index the live parameters (rejecting ambiguous duplicates).
+  std::unordered_map<std::string, Tensor> live;
+  live.reserve(params.size());
+  for (const auto& p : params) {
+    if (!live.emplace(p.name, p.tensor).second)
+      return fail(LoadStatus::kDuplicateName, 0,
+                  "model exposes parameter '" + p.name + "' twice");
+  }
+
+  // Stage 2: validate every record against the live set. Nothing is written
+  // until the whole file has been accepted.
+  LoadResult res;
+  std::vector<std::pair<Tensor, const Mat*>> staged;
+  staged.reserve(ckpt.params.size());
+  std::unordered_set<std::string> covered;
+  for (const auto& rec : ckpt.params) {
+    auto it = live.find(rec.name);
+    if (it == live.end()) {
+      if (mode == LoadMode::kStrict)
+        return fail(LoadStatus::kUnknownParam, 0,
+                    "checkpoint names '" + rec.name + "' which the model does not have");
+      res.skipped.push_back(rec.name);
+      continue;
+    }
+    if (!it->second.value().same_shape(rec.value))
+      return fail(LoadStatus::kShapeMismatch, 0,
+                  "'" + rec.name + "': file " + shape_str(rec.value) + " vs model " +
+                      shape_str(it->second.value()));
+    covered.insert(rec.name);
+    staged.emplace_back(it->second, &rec.value);
+  }
+  for (const auto& p : params) {
+    if (covered.count(p.name)) continue;
+    if (mode == LoadMode::kStrict)
+      return fail(LoadStatus::kMissingParam, 0,
+                  "checkpoint is missing parameter '" + p.name + "'");
+    res.missing.push_back(p.name);
+  }
+
+  // Stage 3: commit. Only reachable with every record validated.
+  for (auto& [tensor, value] : staged) tensor.mutable_value() = *value;
+  return res;
+}
+
+bool save_params(const std::vector<NamedParam>& params, const std::string& path) {
+  Checkpoint ck;
+  ck.params.reserve(params.size());
+  for (const auto& p : params) ck.params.push_back({p.name, p.tensor.value()});
+  return save_checkpoint(ck, path);
+}
+
+LoadResult load_params(const std::vector<NamedParam>& params, const std::string& path,
+                       LoadMode mode) {
+  Checkpoint ck;
+  LoadResult r = read_checkpoint(path, ck);
+  if (!r.ok()) return r;
+  LoadResult applied = apply_params(params, ck, mode);
+  applied.version = r.version;
+  return applied;
 }
 
 }  // namespace gendt::nn

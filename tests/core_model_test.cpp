@@ -198,7 +198,7 @@ TEST_F(CoreF, SaveLoadRoundTrip) {
       (std::filesystem::temp_directory_path() / "gendt_model_test.ckpt").string();
   ASSERT_TRUE(a.save(path));
   GenDTModel b(small_config());
-  ASSERT_TRUE(b.load(path));
+  ASSERT_TRUE(b.load(path).ok());
   auto sa = a.sample_windows(*gen_windows_, 3);
   auto sb = b.sample_windows(*gen_windows_, 3);
   for (size_t i = 0; i < sa.size(); ++i)

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
+
+#include "gendt/nn/checks.h"
 
 namespace gendt::nn {
 namespace {
@@ -80,39 +84,83 @@ TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
   EXPECT_DOUBLE_EQ(w.grad()(0, 0), 0.5);
 }
 
-TEST(Serialize, RoundTripsParams) {
-  std::mt19937_64 rng(2);
-  Mlp src({.layer_sizes = {3, 5, 2}}, rng, "m");
-  Mlp dst({.layer_sizes = {3, 5, 2}}, rng, "m");
-
-  const std::string path = (std::filesystem::temp_directory_path() / "gendt_ckpt_test.bin").string();
-  ASSERT_TRUE(save_params(src.params(), path));
-  ASSERT_TRUE(load_params(dst.params(), path));
-
-  Tensor x = Tensor::constant(Mat::randn(1, 3, rng));
-  std::mt19937_64 r2(0);
-  Tensor ys = src.forward(x, r2, false);
-  Tensor yd = dst.forward(x, r2, false);
-  for (int c = 0; c < ys.cols(); ++c)
-    EXPECT_DOUBLE_EQ(ys.value()(0, c), yd.value()(0, c));
-  std::remove(path.c_str());
+TEST(ClipGradNorm, SkipsScalingOnNonFiniteNormWithoutPoisoning) {
+  // One NaN gradient must not turn every other parameter's gradient into
+  // NaN via scale = max_norm / NaN (checks off: skip scaling instead).
+  set_debug_checks(false);
+  Tensor good(Mat::row(std::vector<double>{1.0, 2.0}), true);
+  Tensor bad(Mat::row(std::vector<double>{1.0}), true);
+  Tensor loss = sum(good * 100.0) + sum(bad);
+  good.zero_grad();
+  bad.zero_grad();
+  loss.backward();
+  bad.node()->grad(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  clip_grad_norm({{"good", good}, {"bad", bad}}, 1.0);
+  EXPECT_DOUBLE_EQ(good.grad()(0, 0), 100.0);  // untouched, not NaN
+  EXPECT_DOUBLE_EQ(good.grad()(0, 1), 100.0);
 }
 
-TEST(Serialize, RejectsShapeMismatch) {
-  std::mt19937_64 rng(3);
-  Mlp src({.layer_sizes = {3, 5, 2}}, rng, "m");
-  Mlp dst({.layer_sizes = {3, 4, 2}}, rng, "m");  // different hidden size
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "gendt_ckpt_mismatch.bin").string();
-  ASSERT_TRUE(save_params(src.params(), path));
-  EXPECT_FALSE(load_params(dst.params(), path));
-  std::remove(path.c_str());
+// Adam state round-trips by parameter *name*: stepping k times, exporting,
+// importing into a fresh optimizer and continuing must be bitwise identical
+// to stepping uninterrupted.
+TEST(Adam, ExportImportStateResumesBitwiseIdentically) {
+  auto make_params = [](std::vector<Tensor>& store) {
+    store.clear();
+    store.emplace_back(Mat::row(std::vector<double>{5.0, -3.0}), true);
+    store.emplace_back(Mat::row(std::vector<double>{2.0}), true);
+    return std::vector<NamedParam>{{"a", store[0]}, {"b", store[1]}};
+  };
+  auto step_once = [](Adam& opt, const std::vector<NamedParam>& params, int i) {
+    Tensor loss = sum(square(params[0].tensor)) * (1.0 + 0.1 * i) +
+                  sum(square(params[1].tensor));
+    for (const auto& p : params) p.tensor.zero_grad();
+    loss.backward();
+    opt.step(params);
+  };
+
+  std::vector<Tensor> s1;
+  auto p1 = make_params(s1);
+  Adam uninterrupted({.lr = 0.05});
+  for (int i = 0; i < 10; ++i) step_once(uninterrupted, p1, i);
+
+  std::vector<Tensor> s2;
+  auto p2 = make_params(s2);
+  Adam first_half({.lr = 0.05});
+  for (int i = 0; i < 5; ++i) step_once(first_half, p2, i);
+  std::vector<TensorRecord> state;
+  first_half.export_state(p2, "adam.test", state);
+  ASSERT_EQ(state.size(), 6u);  // m, v, t per parameter
+  Adam second_half({.lr = 0.05});
+  ASSERT_TRUE(second_half.import_state(p2, "adam.test", state));
+  for (int i = 5; i < 10; ++i) step_once(second_half, p2, i);
+
+  for (size_t j = 0; j < p1.size(); ++j)
+    for (size_t k = 0; k < p1[j].tensor.value().size(); ++k)
+      EXPECT_EQ(p1[j].tensor.value()[k], p2[j].tensor.value()[k]);
 }
 
-TEST(Serialize, RejectsMissingFile) {
-  std::mt19937_64 rng(4);
-  Mlp dst({.layer_sizes = {2, 2}}, rng, "m");
-  EXPECT_FALSE(load_params(dst.params(), "/nonexistent/path/ckpt.bin"));
+TEST(Adam, ImportStateRejectsMalformedRecords) {
+  std::vector<Tensor> store;
+  store.emplace_back(Mat::row(std::vector<double>{1.0, 2.0}), true);
+  std::vector<NamedParam> params{{"w", store[0]}};
+  Adam opt({.lr = 0.05});
+
+  // Partial slot (missing /t).
+  std::vector<TensorRecord> partial{{"adam.x/w/m", Mat::zeros(1, 2)},
+                                    {"adam.x/w/v", Mat::zeros(1, 2)}};
+  EXPECT_FALSE(opt.import_state(params, "adam.x", partial));
+  // Shape mismatch against the live parameter.
+  std::vector<TensorRecord> bad_shape{{"adam.x/w/m", Mat::zeros(1, 3)},
+                                      {"adam.x/w/v", Mat::zeros(1, 3)},
+                                      {"adam.x/w/t", Mat::full(1, 1, 4.0)}};
+  EXPECT_FALSE(opt.import_state(params, "adam.x", bad_shape));
+  // Record for a parameter the optimizer's param list does not have.
+  std::vector<TensorRecord> unknown{{"adam.x/ghost/m", Mat::zeros(1, 2)},
+                                    {"adam.x/ghost/v", Mat::zeros(1, 2)},
+                                    {"adam.x/ghost/t", Mat::full(1, 1, 1.0)}};
+  EXPECT_FALSE(opt.import_state(params, "adam.x", unknown));
+  // Records under another prefix are someone else's and ignored.
+  EXPECT_TRUE(opt.import_state(params, "adam.y", unknown));
 }
 
 }  // namespace

@@ -1,0 +1,442 @@
+// Fault-injection suite for the GDTCKPT2 checkpoint subsystem.
+//
+// Beyond the happy-path round trip, this hammers read_checkpoint with a
+// corruption corpus — truncation at every byte boundary, a bit flip in
+// every byte, oversized length fields, duplicate names, trailing garbage —
+// and asserts every one is rejected with a descriptive LoadResult instead
+// of crashing, over-allocating, or half-applying. Also covers the v1
+// legacy reader and strict-vs-partial apply semantics.
+#include "gendt/nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gendt::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  std::vector<std::uint8_t> buf(static_cast<size_t>(is.tellg()));
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  return buf;
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& buf) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  ASSERT_TRUE(static_cast<bool>(os)) << path;
+}
+
+void append_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(v));
+}
+
+void append_str(std::vector<std::uint8_t>& buf, const std::string& s) {
+  buf.insert(buf.end(), s.begin(), s.end());
+}
+
+void append_f64(std::vector<std::uint8_t>& buf, double d) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&d);
+  buf.insert(buf.end(), p, p + sizeof(d));
+}
+
+Mat counting_mat(int rows, int cols, double start) {
+  Mat m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m[i] = start + static_cast<double>(i);
+  return m;
+}
+
+// A small but structurally complete checkpoint: metadata of each flavor,
+// two params, one state record. Small keeps the per-byte sweeps fast.
+Checkpoint sample_checkpoint() {
+  Checkpoint ck;
+  ck.meta.set_u64("train.seed", 99);
+  ck.meta.set_string("train.dataset", "dataset-a");
+  const std::vector<double> mean = {0.5, -1.25};
+  ck.meta.set_f64s("kpi_norm.mean", mean);
+  ck.params.push_back({"gen/w", counting_mat(2, 3, 1.0)});
+  ck.params.push_back({"gen/b", counting_mat(1, 3, -4.0)});
+  ck.state.push_back({"adam.gen/gen/w/m", counting_mat(2, 3, 0.25)});
+  return ck;
+}
+
+TEST(Checkpoint, RoundTripsMetaParamsAndState) {
+  const std::string path = temp_path("gendt_ckpt_roundtrip.ckpt");
+  const Checkpoint ck = sample_checkpoint();
+  ASSERT_TRUE(save_checkpoint(ck, path));
+
+  Checkpoint back;
+  LoadResult res = read_checkpoint(path, back);
+  ASSERT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(res.version, 2);
+
+  std::uint64_t seed = 0;
+  EXPECT_TRUE(back.meta.get_u64("train.seed", seed));
+  EXPECT_EQ(seed, 99u);
+  std::string dataset;
+  EXPECT_TRUE(back.meta.get_string("train.dataset", dataset));
+  EXPECT_EQ(dataset, "dataset-a");
+  std::vector<double> mean;
+  EXPECT_TRUE(back.meta.get_f64s("kpi_norm.mean", mean));
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_EQ(mean[0], 0.5);
+  EXPECT_EQ(mean[1], -1.25);
+
+  ASSERT_EQ(back.params.size(), ck.params.size());
+  for (size_t i = 0; i < ck.params.size(); ++i) {
+    EXPECT_EQ(back.params[i].name, ck.params[i].name);
+    ASSERT_TRUE(back.params[i].value.same_shape(ck.params[i].value));
+    for (size_t j = 0; j < ck.params[i].value.size(); ++j)
+      EXPECT_EQ(back.params[i].value[j], ck.params[i].value[j]);  // bitwise
+  }
+  ASSERT_EQ(back.state.size(), 1u);
+  EXPECT_EQ(back.state[0].name, "adam.gen/gen/w/m");
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MetaTypedGettersRejectWrongSizes) {
+  CkptMeta meta;
+  meta.set_string("s", "abc");  // 3 bytes: not a u64, not a double array
+  std::uint64_t u = 0;
+  std::vector<double> d;
+  EXPECT_FALSE(meta.get_u64("s", u));
+  EXPECT_FALSE(meta.get_f64s("s", d));
+  EXPECT_FALSE(meta.get_u64("absent", u));
+  // Upsert preserves first-insertion order (deterministic file layout).
+  meta.set_string("t", "x");
+  meta.set_string("s", "rewritten");
+  ASSERT_EQ(meta.entries().size(), 2u);
+  EXPECT_EQ(meta.entries()[0].first, "s");
+  EXPECT_EQ(meta.entries()[1].first, "t");
+}
+
+TEST(Checkpoint, MissingFileIsIoError) {
+  Checkpoint out;
+  LoadResult res = read_checkpoint(temp_path("gendt_ckpt_does_not_exist.ckpt"), out);
+  EXPECT_EQ(res.status, LoadStatus::kIoError);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.message().find("io-error"), std::string::npos);
+}
+
+// Every possible prefix of a valid file must be rejected cleanly — no
+// crash, no OOM, and never a false "ok".
+TEST(Checkpoint, TruncationAtEveryByteIsRejected) {
+  const std::string path = temp_path("gendt_ckpt_trunc.ckpt");
+  ASSERT_TRUE(save_checkpoint(sample_checkpoint(), path));
+  const std::vector<std::uint8_t> full = slurp(path);
+  ASSERT_GT(full.size(), 8u);
+
+  for (size_t len = 0; len < full.size(); ++len) {
+    spit(path, std::vector<std::uint8_t>(full.begin(), full.begin() + len));
+    Checkpoint out;
+    LoadResult res = read_checkpoint(path, out);
+    EXPECT_FALSE(res.ok()) << "prefix of " << len << " bytes parsed as valid";
+    EXPECT_FALSE(res.message().empty());
+  }
+  std::remove(path.c_str());
+}
+
+// The CRC footer (or an earlier structural check) must catch a single bit
+// flip anywhere in the file.
+TEST(Checkpoint, BitFlipInEveryByteIsRejected) {
+  const std::string path = temp_path("gendt_ckpt_flip.ckpt");
+  ASSERT_TRUE(save_checkpoint(sample_checkpoint(), path));
+  const std::vector<std::uint8_t> good = slurp(path);
+
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::vector<std::uint8_t> bad = good;
+    bad[i] ^= 0x01;
+    spit(path, bad);
+    Checkpoint out;
+    LoadResult res = read_checkpoint(path, out);
+    EXPECT_FALSE(res.ok()) << "bit flip at byte " << i << " went undetected";
+  }
+  std::remove(path.c_str());
+}
+
+// Hand-crafted header claiming absurd sizes: must be refused by the bounds
+// checks *before* any allocation is attempted.
+TEST(Checkpoint, OversizedNameLenIsMalformedNotOom) {
+  std::vector<std::uint8_t> buf;
+  append_str(buf, "GDTCKPT2");
+  append_u64(buf, 0);  // meta
+  append_u64(buf, 1);  // params
+  append_u64(buf, 0);  // state
+  append_u64(buf, std::uint64_t{1} << 40);  // name_len: 1 TiB
+  const std::string path = temp_path("gendt_ckpt_bigname.ckpt");
+  spit(path, buf);
+  Checkpoint out;
+  LoadResult res = read_checkpoint(path, out);
+  EXPECT_EQ(res.status, LoadStatus::kMalformed);
+  EXPECT_NE(res.detail.find("name length"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, OversizedDimsAreMalformedNotOom) {
+  std::vector<std::uint8_t> buf;
+  append_str(buf, "GDTCKPT2");
+  append_u64(buf, 0);
+  append_u64(buf, 1);
+  append_u64(buf, 0);
+  append_u64(buf, 1);
+  append_str(buf, "w");
+  append_u64(buf, std::uint64_t{1} << 62);  // rows: would wrap int and OOM
+  append_u64(buf, std::uint64_t{1} << 62);  // cols
+  const std::string path = temp_path("gendt_ckpt_bigdims.ckpt");
+  spit(path, buf);
+  Checkpoint out;
+  LoadResult res = read_checkpoint(path, out);
+  EXPECT_EQ(res.status, LoadStatus::kMalformed);
+  EXPECT_NE(res.detail.find("dims"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PlausibleDimsBeyondFileSizeAreTruncated) {
+  // Dims within the sanity bound but far more data than the file holds:
+  // the remaining-bytes check must fire before the Mat allocation.
+  std::vector<std::uint8_t> buf;
+  append_str(buf, "GDTCKPT2");
+  append_u64(buf, 0);
+  append_u64(buf, 1);
+  append_u64(buf, 0);
+  append_u64(buf, 1);
+  append_str(buf, "w");
+  append_u64(buf, 1u << 20);  // legal rows/cols...
+  append_u64(buf, 1u << 20);  // ...but 8 TiB of doubles declared
+  const std::string path = temp_path("gendt_ckpt_overdecl.ckpt");
+  spit(path, buf);
+  Checkpoint out;
+  LoadResult res = read_checkpoint(path, out);
+  EXPECT_EQ(res.status, LoadStatus::kTruncated);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, HeaderCountsBeyondLimitAreMalformed) {
+  std::vector<std::uint8_t> buf;
+  append_str(buf, "GDTCKPT2");
+  append_u64(buf, std::uint64_t{1} << 50);  // meta_count
+  append_u64(buf, 0);
+  append_u64(buf, 0);
+  const std::string path = temp_path("gendt_ckpt_bigcounts.ckpt");
+  spit(path, buf);
+  Checkpoint out;
+  EXPECT_EQ(read_checkpoint(path, out).status, LoadStatus::kMalformed);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, DuplicateTensorNameIsRejected) {
+  Checkpoint ck;
+  ck.params.push_back({"w", counting_mat(1, 2, 0.0)});
+  ck.params.push_back({"w", counting_mat(1, 2, 5.0)});
+  const std::string path = temp_path("gendt_ckpt_dup.ckpt");
+  ASSERT_TRUE(save_checkpoint(ck, path));  // writer is not the validator
+  Checkpoint out;
+  LoadResult res = read_checkpoint(path, out);
+  EXPECT_EQ(res.status, LoadStatus::kDuplicateName);
+  EXPECT_NE(res.detail.find("'w'"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TrailingGarbageIsRejected) {
+  const std::string path = temp_path("gendt_ckpt_trailing.ckpt");
+  ASSERT_TRUE(save_checkpoint(sample_checkpoint(), path));
+  std::vector<std::uint8_t> buf = slurp(path);
+  buf.push_back(0xAB);
+  buf.push_back(0xCD);
+  spit(path, buf);
+  Checkpoint out;
+  EXPECT_EQ(read_checkpoint(path, out).status, LoadStatus::kTrailingBytes);
+  std::remove(path.c_str());
+}
+
+// ---- v1 back-compat --------------------------------------------------------
+
+std::vector<std::uint8_t> v1_file_bytes() {
+  std::vector<std::uint8_t> buf;
+  append_str(buf, "GDTCKPT1");
+  append_u64(buf, 1);  // record count
+  append_u64(buf, 1);  // name_len
+  append_str(buf, "w");
+  append_u64(buf, 1);  // rows
+  append_u64(buf, 2);  // cols
+  append_f64(buf, 3.5);
+  append_f64(buf, -7.25);
+  return buf;
+}
+
+TEST(Checkpoint, ReadsLegacyV1Files) {
+  const std::string path = temp_path("gendt_ckpt_v1.ckpt");
+  spit(path, v1_file_bytes());
+  Checkpoint out;
+  LoadResult res = read_checkpoint(path, out);
+  ASSERT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(res.version, 1);
+  ASSERT_EQ(out.params.size(), 1u);
+  EXPECT_EQ(out.params[0].name, "w");
+  ASSERT_EQ(out.params[0].value.size(), 2u);
+  EXPECT_EQ(out.params[0].value[0], 3.5);
+  EXPECT_EQ(out.params[0].value[1], -7.25);
+  EXPECT_TRUE(out.meta.entries().empty());
+  EXPECT_TRUE(out.state.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsV1TrailingBytesAndTruncation) {
+  const std::string path = temp_path("gendt_ckpt_v1_bad.ckpt");
+  std::vector<std::uint8_t> buf = v1_file_bytes();
+  buf.push_back(0x00);
+  spit(path, buf);
+  Checkpoint out;
+  EXPECT_EQ(read_checkpoint(path, out).status, LoadStatus::kTrailingBytes);
+  buf = v1_file_bytes();
+  buf.resize(buf.size() - 4);
+  spit(path, buf);
+  EXPECT_EQ(read_checkpoint(path, out).status, LoadStatus::kTruncated);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, UnknownVersionDigitIsUnsupported) {
+  const std::string path = temp_path("gendt_ckpt_v9.ckpt");
+  std::vector<std::uint8_t> buf;
+  append_str(buf, "GDTCKPT9");
+  append_u64(buf, 0);
+  spit(path, buf);
+  Checkpoint out;
+  LoadResult res = read_checkpoint(path, out);
+  EXPECT_EQ(res.status, LoadStatus::kUnsupportedVersion);
+  EXPECT_NE(res.detail.find('9'), std::string::npos);
+  spit(path, std::vector<std::uint8_t>{'n', 'o', 't', 'a', 'c', 'k', 'p', 't', 0});
+  EXPECT_EQ(read_checkpoint(path, out).status, LoadStatus::kBadMagic);
+  std::remove(path.c_str());
+}
+
+// ---- apply_params: strict vs partial, transactionality ---------------------
+
+struct LiveParams {
+  std::vector<Tensor> store;
+  std::vector<NamedParam> params;
+
+  void add(const std::string& name, Mat value) {
+    store.emplace_back(std::move(value), true);
+    params.push_back({name, store.back()});
+  }
+  std::vector<double> snapshot() const {
+    std::vector<double> s;
+    for (const auto& t : store)
+      for (size_t i = 0; i < t.value().size(); ++i) s.push_back(t.value()[i]);
+    return s;
+  }
+};
+
+TEST(ApplyParams, StrictRequiresExactBijection) {
+  LiveParams live;
+  live.add("a", counting_mat(1, 2, 0.0));
+  live.add("b", counting_mat(2, 2, 0.0));
+
+  Checkpoint ck;
+  ck.params.push_back({"a", counting_mat(1, 2, 10.0)});
+  EXPECT_EQ(apply_params(live.params, ck).status, LoadStatus::kMissingParam);
+
+  ck.params.push_back({"b", counting_mat(2, 2, 20.0)});
+  ck.params.push_back({"ghost", counting_mat(1, 1, 0.0)});
+  EXPECT_EQ(apply_params(live.params, ck).status, LoadStatus::kUnknownParam);
+
+  ck.params.pop_back();
+  LoadResult res = apply_params(live.params, ck);
+  ASSERT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(live.store[0].value()(0, 0), 10.0);
+  EXPECT_EQ(live.store[1].value()(0, 0), 20.0);
+}
+
+TEST(ApplyParams, PartialReportsMissingAndSkipped) {
+  LiveParams live;
+  live.add("a", counting_mat(1, 2, 0.0));
+  live.add("b", counting_mat(2, 2, 0.0));
+
+  Checkpoint ck;
+  ck.params.push_back({"a", counting_mat(1, 2, 10.0)});
+  ck.params.push_back({"ghost", counting_mat(1, 1, 0.0)});
+  LoadResult res = apply_params(live.params, ck, LoadMode::kPartial);
+  ASSERT_TRUE(res.ok()) << res.message();
+  ASSERT_EQ(res.missing.size(), 1u);
+  EXPECT_EQ(res.missing[0], "b");
+  ASSERT_EQ(res.skipped.size(), 1u);
+  EXPECT_EQ(res.skipped[0], "ghost");
+  EXPECT_EQ(live.store[0].value()(0, 0), 10.0);  // intersection applied
+  EXPECT_EQ(live.store[1].value()(0, 0), 0.0);   // untouched
+}
+
+TEST(ApplyParams, ShapeMismatchLeavesEveryParamUntouched) {
+  // Transactionality: record order is (good, bad) — the good record must
+  // NOT have been committed when the bad one aborts the load.
+  LiveParams live;
+  live.add("a", counting_mat(1, 2, 0.0));
+  live.add("b", counting_mat(2, 2, 0.0));
+  const std::vector<double> before = live.snapshot();
+
+  Checkpoint ck;
+  ck.params.push_back({"a", counting_mat(1, 2, 10.0)});
+  ck.params.push_back({"b", counting_mat(3, 3, 20.0)});  // wrong shape
+  LoadResult res = apply_params(live.params, ck);
+  EXPECT_EQ(res.status, LoadStatus::kShapeMismatch);
+  EXPECT_NE(res.detail.find("3x3"), std::string::npos);
+  EXPECT_EQ(live.snapshot(), before);  // bitwise unchanged
+
+  // Same in partial mode: shape mismatch is corruption, not a subset.
+  EXPECT_EQ(apply_params(live.params, ck, LoadMode::kPartial).status,
+            LoadStatus::kShapeMismatch);
+  EXPECT_EQ(live.snapshot(), before);
+}
+
+TEST(ApplyParams, CorruptFileNeverMutatesParams) {
+  // End-to-end: load_params over a truncated file must leave the live
+  // parameters bitwise unchanged for every truncation point.
+  LiveParams live;
+  live.add("gen/w", counting_mat(2, 3, 1.0));
+  live.add("gen/b", counting_mat(1, 3, -4.0));
+  const std::vector<double> before = live.snapshot();
+
+  const std::string path = temp_path("gendt_ckpt_nomut.ckpt");
+  ASSERT_TRUE(save_params(live.params, path));
+  const std::vector<std::uint8_t> full = slurp(path);
+  for (size_t len = 0; len < full.size(); ++len) {
+    spit(path, std::vector<std::uint8_t>(full.begin(), full.begin() + len));
+    EXPECT_FALSE(load_params(live.params, path).ok());
+    EXPECT_EQ(live.snapshot(), before) << "mutated by a " << len << "-byte prefix";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SaveFailureLeavesExistingFileIntact) {
+  // Writing to an unwritable location (the path is a directory) must fail
+  // without touching anything; atomic publish means no torn file appears.
+  const std::string dir = temp_path("gendt_ckpt_dir.ckpt");
+  std::filesystem::create_directory(dir);
+  EXPECT_FALSE(save_checkpoint(sample_checkpoint(), dir));
+  EXPECT_FALSE(std::filesystem::exists(dir + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, SaveLeavesNoTempFileBehind) {
+  const std::string path = temp_path("gendt_ckpt_notmp.ckpt");
+  ASSERT_TRUE(save_checkpoint(sample_checkpoint(), path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gendt::nn

@@ -3,11 +3,14 @@
 # order that fails fastest.
 #
 #   1. warning-clean build        (-Wall -Wextra -Wshadow -Wconversion, -Werror)
-#   2. determinism lint           (tools/lint_determinism.py over src/)
+#   2. determinism lint           (tools/lint_determinism.py over src/ + CLI)
 #   3. clang-tidy baseline        (.clang-tidy; skipped if clang-tidy absent)
 #   4. full ctest suite
-#   5. TSan subset                (tools/check.sh thread  -> runtime|nn)
-#   6. UBSan subset               (tools/check.sh undefined -> runtime|nn)
+#   5. TSan subset                (tools/check.sh thread  -> runtime|nn|serialize)
+#   6. UBSan subset               (tools/check.sh undefined -> runtime|nn|serialize)
+#   7. ASan over serialize        (checkpoint fault-injection corpus: every
+#                                  corrupt file must fail cleanly, not as a
+#                                  heap overflow the test harness can't see)
 #
 # Usage: tools/ci.sh [--fast]
 #   --fast stops after step 4 (skips the sanitizer builds; those dominate
@@ -22,15 +25,15 @@ FAST=0
 
 step() { echo; echo "=== ci.sh [$1] $2"; }
 
-step 1/6 "warning-clean build (GENDT_WERROR=ON)"
+step 1/7 "warning-clean build (GENDT_WERROR=ON)"
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGENDT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-step 2/6 "determinism lint"
+step 2/7 "determinism lint"
 python3 "$ROOT/tools/lint_determinism.py" --self-test
 python3 "$ROOT/tools/lint_determinism.py"
 
-step 3/6 "clang-tidy baseline"
+step 3/7 "clang-tidy baseline"
 if command -v clang-tidy >/dev/null 2>&1; then
   # Compile commands come from the CI build dir; only first-party sources.
   cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -40,17 +43,20 @@ else
   echo "clang-tidy not installed — skipping (install it to run the .clang-tidy baseline)"
 fi
 
-step 4/6 "ctest"
+step 4/7 "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [ "$FAST" -eq 1 ]; then
   echo; echo "ci.sh: fast mode — skipping sanitizer subsets"; exit 0
 fi
 
-step 5/6 "ThreadSanitizer subset"
+step 5/7 "ThreadSanitizer subset"
 "$ROOT/tools/check.sh" thread
 
-step 6/6 "UndefinedBehaviorSanitizer subset"
+step 6/7 "UndefinedBehaviorSanitizer subset"
 "$ROOT/tools/check.sh" undefined
+
+step 7/7 "AddressSanitizer over the checkpoint fault-injection corpus"
+"$ROOT/tools/check.sh" address 'serialize'
 
 echo; echo "ci.sh: all stages passed"

@@ -5,14 +5,20 @@
 //       record CSVs plus the deployment's cells.csv.
 //
 //   gendt train --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]
-//               [--threads N] [--record FILE]...
+//               [--threads N] [--resume] [--record FILE]...
 //       Train a GenDT model. Records come from --record CSVs, or from a
-//       fresh simulation of the dataset when none are given. The KPI
-//       normalization is stored inside the checkpoint.
+//       fresh simulation of the dataset when none are given. After every
+//       epoch the full training state — parameters, Adam slots, epoch
+//       cursor, KPI normalization — is written atomically to MODEL.ckpt
+//       (GDTCKPT2: CRC-protected, norm stats in header metadata). A run
+//       killed mid-way resumes with --resume and finishes bitwise
+//       identical to an uninterrupted run, at any --threads setting.
 //
 //   gendt generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv
 //                  [--dataset a|b] [--seed N] [--gen-seed N] [--threads N]
 //       Generate KPI series for a trajectory (no measurements needed).
+//       Reads GDTCKPT2 checkpoints and legacy GDTCKPT1 files (which carried
+//       the norm stats as two fake parameter rows).
 //
 //   gendt eval --real FILE.csv --generated FILE.csv
 //       Fidelity metrics (MAE/DTW/HWD) per channel between two series CSVs.
@@ -47,6 +53,7 @@ struct Args {
     auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
+  bool flag(const std::string& key) const { return options.count(key) != 0; }
   // Exits with a usage error on a malformed value rather than letting
   // std::stol's exception escape to std::terminate.
   long get_long(const std::string& key, long fallback) const {
@@ -69,7 +76,10 @@ Args parse(int argc, char** argv) {
   if (argc >= 2) a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+    if (key.rfind("--", 0) != 0) continue;
+    if (key == "--resume") {  // boolean flags take no value
+      a.options["resume"] = "1";
+    } else if (i + 1 < argc) {
       if (key == "--record") {
         a.records.emplace_back(argv[++i]);
       } else {
@@ -85,12 +95,14 @@ int usage() {
                "usage: gendt <simulate|train|generate|eval> [options]\n"
                "  simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]\n"
                "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
-               " [--threads N] [--record FILE]...\n"
+               " [--threads N] [--resume] [--record FILE]...\n"
                "  generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv"
                " [--dataset a|b] [--seed N] [--gen-seed N] [--threads N]\n"
                "  eval     --real FILE.csv --generated FILE.csv\n"
                "--threads N sets the worker-thread count (0 = all hardware threads,\n"
-               "1 = serial). Results are bitwise identical at every setting.\n");
+               "1 = serial). Results are bitwise identical at every setting.\n"
+               "train writes an atomic checkpoint after every epoch; --resume\n"
+               "continues a killed run bit-for-bit from the last epoch boundary.\n");
   return 2;
 }
 
@@ -111,8 +123,10 @@ context::ContextConfig default_context() {
   return cfg;
 }
 
-// Norm stats travel inside the checkpoint as two extra parameter rows.
-std::vector<nn::NamedParam> norm_params(nn::Tensor& mean, nn::Tensor& stddev) {
+// Legacy GDTCKPT1 checkpoints carried the norm stats as two fake parameter
+// rows; v2 files keep them in header metadata instead. This helper exists
+// only for the v1 read path in cmd_generate.
+std::vector<nn::NamedParam> legacy_norm_params(nn::Tensor& mean, nn::Tensor& stddev) {
   return {{"kpi_norm.mean", mean}, {"kpi_norm.std", stddev}};
 }
 
@@ -148,6 +162,8 @@ int cmd_simulate(const Args& a) {
 int cmd_train(const Args& a) {
   const std::string out = a.get("out");
   if (out.empty()) return usage();
+  const bool resume = a.flag("resume");
+  const std::string dataset = a.get("dataset", "a");
   sim::Dataset ds = build_dataset(a);
 
   std::vector<sim::DriveTestRecord> records;
@@ -155,7 +171,7 @@ int cmd_train(const Args& a) {
     records = ds.train;
     std::printf("no --record given: training on a simulated %s-style campaign "
                 "(%zu records)\n",
-                a.get("dataset", "a").c_str(), records.size());
+                dataset.c_str(), records.size());
   } else {
     for (const auto& path : a.records) {
       auto rec = io::read_record_csv(path);
@@ -167,7 +183,65 @@ int cmd_train(const Args& a) {
     }
   }
 
+  core::TrainConfig tcfg;
+  tcfg.epochs = static_cast<int>(a.get_long("epochs", 12));
+  tcfg.seed = static_cast<uint64_t>(a.get_long("seed", 42));
+  tcfg.verbose = true;
+  const int threads = static_cast<int>(a.get_long("threads", 0));
+  tcfg.parallelism = {.threads = threads};
+
+  // On --resume, the checkpoint is the source of truth for the norm stats
+  // and the training cursor; it is read (and fully validated) before the
+  // windows are built, because the norm shapes every window's target.
+  nn::Checkpoint ckpt;
   context::KpiNorm norm = context::fit_kpi_norm(records, ds.kpis);
+  if (resume) {
+    const nn::LoadResult r = nn::read_checkpoint(out, ckpt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: cannot resume from %s: %s\n", out.c_str(),
+                   r.message().c_str());
+      return 1;
+    }
+    if (r.version < 2) {
+      std::fprintf(stderr,
+                   "error: %s is a legacy GDTCKPT1 checkpoint with no training state; "
+                   "retrain without --resume\n",
+                   out.c_str());
+      return 1;
+    }
+    uint64_t saved_seed = 0, epochs_done = 0;
+    if (!ckpt.meta.get_u64("train.seed", saved_seed) ||
+        !ckpt.meta.get_u64("train.epochs_done", epochs_done)) {
+      std::fprintf(stderr, "error: %s carries no resume cursor (not written by 'gendt train')\n",
+                   out.c_str());
+      return 1;
+    }
+    if (saved_seed != tcfg.seed) {
+      std::fprintf(stderr,
+                   "error: checkpoint was trained with --seed %llu, not %llu — resuming would "
+                   "not reproduce the uninterrupted run\n",
+                   static_cast<unsigned long long>(saved_seed),
+                   static_cast<unsigned long long>(tcfg.seed));
+      return 1;
+    }
+    std::string saved_dataset;
+    if (ckpt.meta.get_string("train.dataset", saved_dataset) && saved_dataset != dataset) {
+      std::fprintf(stderr, "error: checkpoint was trained on dataset '%s', not '%s'\n",
+                   saved_dataset.c_str(), dataset.c_str());
+      return 1;
+    }
+    std::vector<double> mean, stddev;
+    if (!ckpt.meta.get_f64s("kpi_norm.mean", mean) ||
+        !ckpt.meta.get_f64s("kpi_norm.std", stddev) || mean.size() != ds.kpis.size() ||
+        stddev.size() != ds.kpis.size()) {
+      std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", out.c_str());
+      return 1;
+    }
+    norm.mean = std::move(mean);
+    norm.stddev = std::move(stddev);
+    tcfg.start_epoch = static_cast<int>(epochs_done);
+  }
+
   context::ContextBuilder builder(ds.world, default_context(), norm, ds.kpis);
   std::vector<context::Window> windows;
   for (const auto& rec : records) {
@@ -179,28 +253,76 @@ int cmd_train(const Args& a) {
     return 1;
   }
 
-  const int threads = static_cast<int>(a.get_long("threads", 0));
   core::GenDTConfig mcfg;
   mcfg.num_channels = static_cast<int>(ds.kpis.size());
   mcfg.hidden = 48;
   mcfg.parallelism = {.threads = threads};
   core::GenDTModel model(mcfg);
-  core::TrainConfig tcfg;
-  tcfg.epochs = static_cast<int>(a.get_long("epochs", 12));
-  tcfg.seed = static_cast<uint64_t>(a.get_long("seed", 42));
-  tcfg.verbose = true;
-  tcfg.parallelism = {.threads = threads};
-  std::printf("training on %zu windows for %d epochs...\n", windows.size(), tcfg.epochs);
-  core::train_gendt(model, windows, tcfg);
 
   auto params = model.generator_params();
   for (auto& p : model.discriminator_params()) params.push_back(p);
-  nn::Tensor mean(nn::Mat::row(norm.mean), false);
-  nn::Tensor stddev(nn::Mat::row(norm.stddev), false);
-  for (auto& p : norm_params(mean, stddev)) params.push_back(p);
-  if (!nn::save_params(params, out)) {
-    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+
+  if (resume) {
+    uint64_t saved_windows = 0;
+    if (ckpt.meta.get_u64("train.windows", saved_windows) && saved_windows != windows.size()) {
+      std::fprintf(stderr,
+                   "error: checkpoint was trained on %llu windows, this invocation built %zu — "
+                   "the training set changed\n",
+                   static_cast<unsigned long long>(saved_windows), windows.size());
+      return 1;
+    }
+    const nn::LoadResult r = nn::apply_params(params, ckpt, nn::LoadMode::kStrict);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: cannot resume from %s: %s\n", out.c_str(),
+                   r.message().c_str());
+      return 1;
+    }
+    tcfg.resume_opt_state = std::move(ckpt.state);
+    if (tcfg.start_epoch >= tcfg.epochs) {
+      std::printf("%s already holds %d trained epochs (requested %d) — nothing to resume\n",
+                  out.c_str(), tcfg.start_epoch, tcfg.epochs);
+      return 0;
+    }
+    std::printf("resuming %s at epoch %d/%d\n", out.c_str(), tcfg.start_epoch, tcfg.epochs);
+  }
+
+  // Metadata shared by every epoch's checkpoint: the norm stats (formerly
+  // smuggled as two fake parameter rows) plus the resume cursor inputs.
+  nn::CkptMeta meta;
+  meta.set_f64s("kpi_norm.mean", norm.mean);
+  meta.set_f64s("kpi_norm.std", norm.stddev);
+  meta.set_string("train.dataset", dataset);
+  meta.set_u64("train.seed", tcfg.seed);
+  meta.set_u64("train.total_epochs", static_cast<uint64_t>(tcfg.epochs));
+  meta.set_u64("train.windows", windows.size());
+
+  auto write_checkpoint = [&](int epochs_done, std::vector<nn::TensorRecord> opt_state) {
+    nn::Checkpoint ck;
+    ck.meta = meta;
+    ck.meta.set_u64("train.epochs_done", static_cast<uint64_t>(epochs_done));
+    ck.params.reserve(params.size());
+    for (const auto& p : params) ck.params.push_back({p.name, p.tensor.value()});
+    ck.state = std::move(opt_state);
+    if (!nn::save_checkpoint(ck, out)) {
+      std::fprintf(stderr, "warning: failed to write checkpoint %s\n", out.c_str());
+      return false;
+    }
+    return true;
+  };
+  tcfg.on_epoch_end = [&](const core::TrainCheckpoint& tc) {
+    write_checkpoint(tc.epochs_done, tc.opt_state);
+  };
+
+  std::printf("training on %zu windows for %d epochs...\n", windows.size(),
+              tcfg.epochs - tcfg.start_epoch);
+  const core::TrainStats stats = core::train_gendt(model, windows, tcfg);
+  if (!stats.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", stats.error.c_str());
     return 1;
+  }
+  if (tcfg.epochs <= tcfg.start_epoch) {
+    // Zero-epoch run: still publish a checkpoint so generate works.
+    if (!write_checkpoint(tcfg.start_epoch, {})) return 1;
   }
   std::printf("saved %s\n", out.c_str());
   return 0;
@@ -223,18 +345,47 @@ int cmd_generate(const Args& a) {
   norm.mean.assign(ds.kpis.size(), 0.0);
   norm.stddev.assign(ds.kpis.size(), 1.0);
   {
-    auto params = model.generator_params();
-    for (auto& p : model.discriminator_params()) params.push_back(p);
-    nn::Tensor mean(nn::Mat::zeros(1, static_cast<int>(ds.kpis.size())), false);
-    nn::Tensor stddev(nn::Mat::ones(1, static_cast<int>(ds.kpis.size())), false);
-    for (auto& p : norm_params(mean, stddev)) params.push_back(p);
-    if (!nn::load_params(params, model_path)) {
-      std::fprintf(stderr, "error: cannot load %s (config mismatch?)\n", model_path.c_str());
+    nn::Checkpoint ckpt;
+    const nn::LoadResult r = nn::read_checkpoint(model_path, ckpt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s\n", model_path.c_str(),
+                   r.message().c_str());
       return 1;
     }
-    for (size_t ch = 0; ch < ds.kpis.size(); ++ch) {
-      norm.mean[ch] = mean.value()(0, static_cast<int>(ch));
-      norm.stddev[ch] = stddev.value()(0, static_cast<int>(ch));
+    auto params = model.generator_params();
+    for (auto& p : model.discriminator_params()) params.push_back(p);
+    if (r.version >= 2) {
+      // v2: norm stats live in header metadata.
+      std::vector<double> mean, stddev;
+      if (!ckpt.meta.get_f64s("kpi_norm.mean", mean) ||
+          !ckpt.meta.get_f64s("kpi_norm.std", stddev) || mean.size() != ds.kpis.size() ||
+          stddev.size() != ds.kpis.size()) {
+        std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", model_path.c_str());
+        return 1;
+      }
+      norm.mean = std::move(mean);
+      norm.stddev = std::move(stddev);
+      const nn::LoadResult applied = nn::apply_params(params, ckpt, nn::LoadMode::kStrict);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n",
+                     model_path.c_str(), applied.message().c_str());
+        return 1;
+      }
+    } else {
+      // v1: norm stats ride along as two fake parameter rows.
+      nn::Tensor mean(nn::Mat::zeros(1, static_cast<int>(ds.kpis.size())), false);
+      nn::Tensor stddev(nn::Mat::ones(1, static_cast<int>(ds.kpis.size())), false);
+      for (auto& p : legacy_norm_params(mean, stddev)) params.push_back(p);
+      const nn::LoadResult applied = nn::apply_params(params, ckpt, nn::LoadMode::kStrict);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n",
+                     model_path.c_str(), applied.message().c_str());
+        return 1;
+      }
+      for (size_t ch = 0; ch < ds.kpis.size(); ++ch) {
+        norm.mean[ch] = mean.value()(0, static_cast<int>(ch));
+        norm.stddev[ch] = stddev.value()(0, static_cast<int>(ch));
+      }
     }
   }
 

@@ -19,12 +19,16 @@ patterns that silently break that guarantee:
                      implementation-defined, so float accumulation order (and
                      therefore the result bits) would vary.
 
-Scope: src/ only. Benches/tools may time things; tests may do what they like.
-Suppress a finding with a same-line comment:
+Scope: src/ plus tools/gendt_cli.cpp — the CLI owns the train-resume path,
+which serializes checkpoints whose byte layout (and therefore CRC) must be a
+pure function of the training state, so it obeys the same ordering rules as
+the gradient-reduction code. Benches and the other tools may time things;
+tests may do what they like. Suppress a finding with a same-line comment:
     // determinism-lint: allow(<rule>) <reason>
 
 Usage:
-  tools/lint_determinism.py [paths...]   # default: <repo>/src
+  tools/lint_determinism.py [paths...]   # files or dirs;
+                                         # default: <repo>/src + the CLI
   tools/lint_determinism.py --self-test  # verify every rule fires
 Exit code 0 = clean, 1 = findings, 2 = usage/self-test failure.
 """
@@ -64,9 +68,12 @@ GLOBAL_RULES = [
     ),
 ]
 
-# Directories whose files form gradient-reduction paths: here, iterating an
-# unordered container can reorder float accumulation between runs/platforms.
-ORDER_SENSITIVE_DIRS = ("src/nn", "src/core")
+# Paths (directories or single files) whose code must keep a stable
+# iteration order: gradient-reduction paths, where an unordered container
+# can reorder float accumulation between runs/platforms, and the CLI's
+# checkpoint writer, where it would reorder serialized records and change
+# the file bytes/CRC between identical runs.
+ORDER_SENSITIVE_PATHS = ("src/nn", "src/core", "tools/gendt_cli.cpp")
 
 UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)")
 RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*&?(\w+)\s*\)")
@@ -95,9 +102,10 @@ def scan_file(path, rel):
     except OSError as e:
         return [(rel, 0, "io", f"cannot read file: {e}")]
 
+    rel_posix = rel.replace("\\", "/")
     order_sensitive = any(
-        rel.startswith(d + os.sep) or rel.replace("\\", "/").startswith(d + "/")
-        for d in ORDER_SENSITIVE_DIRS
+        rel_posix == p or rel_posix.startswith(p + "/")
+        for p in ORDER_SENSITIVE_PATHS
     )
 
     unordered_vars = set()
@@ -142,6 +150,10 @@ def scan_paths(root, paths):
     findings = []
     scanned = 0
     for base in paths:
+        if os.path.isfile(base):
+            findings.extend(scan_file(base, os.path.relpath(base, root)))
+            scanned += 1
+            continue
         for dirpath, _dirnames, filenames in os.walk(base):
             for name in sorted(filenames):
                 if not name.endswith(SOURCE_EXTS):
@@ -203,10 +215,13 @@ def main(argv):
     if "--self-test" in argv:
         return self_test()
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    paths = [os.path.abspath(p) for p in argv] or [os.path.join(root, "src")]
+    paths = [os.path.abspath(p) for p in argv] or [
+        os.path.join(root, "src"),
+        os.path.join(root, "tools", "gendt_cli.cpp"),
+    ]
     for p in paths:
-        if not os.path.isdir(p):
-            print(f"lint_determinism: no such directory: {p}", file=sys.stderr)
+        if not os.path.exists(p):
+            print(f"lint_determinism: no such file or directory: {p}", file=sys.stderr)
             return 2
     findings, scanned = scan_paths(root, paths)
     for rel, lineno, rule, msg in findings:
