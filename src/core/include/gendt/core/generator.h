@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gendt/context/context.h"
+#include "gendt/runtime/cancel.h"
 
 namespace gendt::core {
 
@@ -35,6 +36,18 @@ class TimeSeriesGenerator {
   /// stochastic realizations.
   virtual GeneratedSeries generate(const std::vector<context::Window>& windows,
                                    uint64_t seed) const = 0;
+
+  /// Cancellable generation: implementations that can stop mid-series poll
+  /// `cancel` at window granularity and unwind with runtime::CancelledError
+  /// once it trips (GenDT does; see GenDTModel::sample_windows). The default
+  /// checks once up front and then runs the plain generate() to completion —
+  /// correct for cheap baselines whose whole pass is one "window" of work.
+  /// A null `cancel` is the plain uncancellable call.
+  virtual GeneratedSeries generate(const std::vector<context::Window>& windows, uint64_t seed,
+                                   const runtime::CancelToken* cancel) const {
+    runtime::check_cancel(cancel);
+    return generate(windows, seed);
+  }
 };
 
 /// Extract the real (denormalized) KPI series aligned with the given

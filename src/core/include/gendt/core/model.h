@@ -112,16 +112,25 @@ class GenDTModel {
   /// autoregressive tail across window boundaries. Windows form one
   /// autoregressive chain, so they are generated in order; parallelism
   /// applies inside each forward (per-cell rollout).
+  ///
+  /// A non-null `cancel` token is polled before every window — the rollout's
+  /// natural work boundary — and unwinds with runtime::CancelledError when it
+  /// trips, so an expired/abandoned serve request stops paying for windows
+  /// nobody will read. Cancellation never alters produced values: every
+  /// window that IS generated has the same bits as in an uncancelled run.
   std::vector<WindowSample> sample_windows(const std::vector<context::Window>& windows,
-                                           uint64_t seed, bool mc_dropout = false) const;
+                                           uint64_t seed, bool mc_dropout = false,
+                                           const runtime::CancelToken* cancel = nullptr) const;
 
   /// Request-level fan-out: generate several independent trajectories (each
   /// a window chain) on the worker pool. Trajectory i uses the RNG stream
   /// derive_stream_seed(seed, i), so results match a serial run bitwise and
-  /// do not depend on the thread count.
+  /// do not depend on the thread count. `cancel` is polled per trajectory
+  /// and per window; on trip the first observing task throws
+  /// runtime::CancelledError, which the fork-join rethrows here.
   std::vector<std::vector<WindowSample>> sample_trajectories(
       const std::vector<std::vector<context::Window>>& trajectories, uint64_t seed,
-      bool mc_dropout = false) const;
+      bool mc_dropout = false, const runtime::CancelToken* cancel = nullptr) const;
 
   /// Atomic whole-model checkpoint (nn::save_checkpoint under the hood).
   bool save(const std::string& path) const;
@@ -210,6 +219,9 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   }
   GeneratedSeries generate(const std::vector<context::Window>& windows,
                            uint64_t seed) const override;
+  /// Cancellable path: polls `cancel` before every window of the rollout.
+  GeneratedSeries generate(const std::vector<context::Window>& windows, uint64_t seed,
+                           const runtime::CancelToken* cancel) const override;
 
   GenDTModel& model() { return model_; }
   const GenDTModel& model() const { return model_; }

@@ -212,23 +212,30 @@ Tensor GenDTModel::discriminate(const std::vector<Tensor>& x_rows,
 
 std::vector<std::vector<WindowSample>> GenDTModel::sample_trajectories(
     const std::vector<std::vector<context::Window>>& trajectories, uint64_t seed,
-    bool mc_dropout) const {
+    bool mc_dropout, const runtime::CancelToken* cancel) const {
   std::vector<std::vector<WindowSample>> out(trajectories.size());
-  runtime::parallel_tasks(cfg_.parallelism, static_cast<int>(trajectories.size()), [&](int ti) {
-    out[static_cast<size_t>(ti)] =
-        sample_windows(trajectories[static_cast<size_t>(ti)],
-                       runtime::derive_stream_seed(seed, static_cast<uint64_t>(ti)), mc_dropout);
-  });
+  runtime::parallel_tasks(
+      cfg_.parallelism, static_cast<int>(trajectories.size()),
+      [&](int ti) {
+        out[static_cast<size_t>(ti)] = sample_windows(
+            trajectories[static_cast<size_t>(ti)],
+            runtime::derive_stream_seed(seed, static_cast<uint64_t>(ti)), mc_dropout, cancel);
+      },
+      cancel);
+  // Skipped tasks produce no exception; surface the cancellation uniformly.
+  runtime::check_cancel(cancel);
   return out;
 }
 
 std::vector<WindowSample> GenDTModel::sample_windows(const std::vector<context::Window>& windows,
-                                                     uint64_t seed, bool mc_dropout) const {
+                                                     uint64_t seed, bool mc_dropout,
+                                                     const runtime::CancelToken* cancel) const {
   std::mt19937_64 rng(seed);
   std::vector<WindowSample> out;
   out.reserve(windows.size());
   Mat tail;  // last m generated rows, carried across windows
   for (const auto& w : windows) {
+    runtime::check_cancel(cancel);
     Forward fwd = forward(w, tail, rng, /*training=*/false, mc_dropout);
     WindowSample s;
     s.output = Mat(w.len, cfg_.num_channels);
@@ -553,10 +560,16 @@ double model_uncertainty(const GenDTModel& model, const std::vector<context::Win
 
 GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& windows,
                                          uint64_t seed) const {
+  return generate(windows, seed, nullptr);
+}
+
+GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& windows,
+                                         uint64_t seed,
+                                         const runtime::CancelToken* cancel) const {
   GeneratedSeries out;
   const int nch = model_.config().num_channels;
   out.channels.assign(static_cast<size_t>(nch), {});
-  for (const auto& s : model_.sample_windows(windows, seed)) {
+  for (const auto& s : model_.sample_windows(windows, seed, /*mc_dropout=*/false, cancel)) {
     for (int t = 0; t < s.output.rows(); ++t) {
       for (int ch = 0; ch < nch; ++ch) {
         double v = norm_.denormalize(ch, s.output(t, ch));

@@ -29,7 +29,10 @@ bool parse_double(const std::string& s, double& out) {
   const char* end = begin + s.size();
   while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
   auto [ptr, ec] = std::from_chars(begin, end, out);
-  return ec == std::errc() && ptr == end;
+  // from_chars happily accepts "nan"/"inf"/"infinity", but a non-finite value
+  // in a numeric column is corrupt input that would poison every downstream
+  // statistic — treat it as a parse error at the offending line instead.
+  return ec == std::errc() && ptr == end && std::isfinite(out);
 }
 
 bool parse_int(const std::string& s, long& out) {

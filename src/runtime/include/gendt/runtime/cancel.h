@@ -1,0 +1,129 @@
+// Cooperative cancellation and deadlines for long-running generation work.
+//
+// The pieces compose into the serving layer's time model:
+//  * Clock — an injectable monotonic millisecond source. Production code uses
+//    steady_clock() (the only wall-clock read in the tree, suppressed for the
+//    determinism linter at its single definition); tests and the chaos
+//    harness use ManualClock, whose time only moves when the test says so,
+//    which is what makes deadline behavior bitwise-reproducible.
+//  * CancelToken — a shared flag a submitter flips (cancel()) or a deadline
+//    expires (arm_deadline()). Workers poll cancelled() at natural work
+//    boundaries — ThreadPool chunk/task granularity, one generation window in
+//    the GenDT rollout — so an abandoned request stops consuming CPU instead
+//    of running to completion.
+//  * CancelledError — thrown by check() so deep call stacks unwind to the
+//    owner with the reason (explicit cancel vs. deadline) preserved.
+//
+// All token state is atomic: one thread may arm/cancel while pool workers
+// poll concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace gendt::runtime {
+
+/// Monotonic millisecond time source. Virtual so tests/serving can inject
+/// manual time; implementations must be safe to read from several threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t now_ms() const = 0;
+};
+
+/// The process steady clock (the real time source for production serving).
+const Clock& steady_clock();
+
+/// A clock that only moves when told to — the time source for deterministic
+/// deadline/chaos tests and for per-request virtual time in the serve layer.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(int64_t start_ms = 0) : t_ms_(start_ms) {}
+  int64_t now_ms() const override { return t_ms_.load(std::memory_order_acquire); }
+  void advance_ms(int64_t delta_ms) { t_ms_.fetch_add(delta_ms, std::memory_order_acq_rel); }
+  void set_ms(int64_t t_ms) { t_ms_.store(t_ms, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> t_ms_;
+};
+
+/// Shared cancellation handle. Cheap to poll (one relaxed load, plus a clock
+/// read once a deadline is armed); copyable only by reference — the owner
+/// keeps it alive for the duration of the work it governs.
+class CancelToken {
+ public:
+  enum class Reason : uint8_t { kNone = 0, kCancelled = 1, kDeadline = 2 };
+
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cooperative cancellation. Idempotent; an explicit cancel takes
+  /// precedence over a later deadline expiry in reason().
+  void cancel() { flag_.store(true, std::memory_order_release); }
+
+  /// Arm an absolute deadline: the token reads as cancelled (Reason::kDeadline)
+  /// once clock.now_ms() >= deadline_ms. May be re-armed; `clock` must outlive
+  /// the token's last use.
+  void arm_deadline(const Clock& clock, int64_t deadline_ms) {
+    deadline_ms_.store(deadline_ms, std::memory_order_release);
+    clock_.store(&clock, std::memory_order_release);
+  }
+
+  bool cancelled() const { return reason() != Reason::kNone; }
+
+  Reason reason() const {
+    if (flag_.load(std::memory_order_acquire)) return Reason::kCancelled;
+    const Clock* clock = clock_.load(std::memory_order_acquire);
+    if (clock != nullptr && clock->now_ms() >= deadline_ms_.load(std::memory_order_acquire))
+      return Reason::kDeadline;
+    return Reason::kNone;
+  }
+
+  /// Milliseconds until the armed deadline (kNoDeadline when none, 0 when
+  /// already expired).
+  int64_t remaining_ms() const {
+    const Clock* clock = clock_.load(std::memory_order_acquire);
+    if (clock == nullptr) return kNoDeadline;
+    const int64_t left = deadline_ms_.load(std::memory_order_acquire) - clock->now_ms();
+    return left > 0 ? left : 0;
+  }
+
+  /// Throws CancelledError when the token is cancelled/expired.
+  void check() const;
+
+ private:
+  std::atomic<bool> flag_{false};
+  std::atomic<const Clock*> clock_{nullptr};
+  std::atomic<int64_t> deadline_ms_{kNoDeadline};
+};
+
+/// Unwinds a cancelled computation back to its owner; `reason` distinguishes
+/// an explicit cancel from a deadline expiry.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelToken::Reason reason)
+      : std::runtime_error(reason == CancelToken::Reason::kDeadline ? "deadline exceeded"
+                                                                    : "cancelled"),
+        reason_(reason) {}
+  CancelToken::Reason reason() const { return reason_; }
+
+ private:
+  CancelToken::Reason reason_;
+};
+
+inline void CancelToken::check() const {
+  const Reason r = reason();
+  if (r != Reason::kNone) throw CancelledError(r);
+}
+
+/// Convenience for optional tokens: no-op on nullptr.
+inline void check_cancel(const CancelToken* token) {
+  if (token != nullptr) token->check();
+}
+
+}  // namespace gendt::runtime

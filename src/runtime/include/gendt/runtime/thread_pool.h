@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "gendt/runtime/cancel.h"
 #include "gendt/runtime/mutex.h"
 #include "gendt/runtime/thread_annotations.h"
 
@@ -56,16 +57,32 @@ class ThreadPool {
   /// Blocks until every chunk finished; rethrows the first chunk exception.
   /// Runs inline when the range is tiny, max_chunks <= 1, or the caller is
   /// itself a pool worker.
+  ///
+  /// With a non-null `cancel` token, chunks that have not started when the
+  /// token trips are skipped (the join still completes normally); chunking is
+  /// unchanged, so cancellation never perturbs the work units a non-cancelled
+  /// run executes. The caller owns the policy: check the token after the join
+  /// to distinguish "finished" from "stopped early".
   void parallel_for(long begin, long end, int max_chunks,
-                    const std::function<void(long, long)>& body);
+                    const std::function<void(long, long)>& body,
+                    const CancelToken* cancel = nullptr);
 
   /// Convenience: n independent tasks body(0) .. body(n-1), at most
   /// `max_concurrency` in flight conceptually (chunked like parallel_for
-  /// with grain 1). Blocks; rethrows the first exception.
-  void run_tasks(int n, int max_concurrency, const std::function<void(int)>& body);
+  /// with grain 1). Blocks; rethrows the first exception. A tripped `cancel`
+  /// token is checked before every task index, including on the inline path.
+  void run_tasks(int n, int max_concurrency, const std::function<void(int)>& body,
+                 const CancelToken* cancel = nullptr);
 
   /// True when the calling thread is one of *any* pool's workers.
   static bool on_worker_thread();
+
+  /// Count of exceptions that escaped fire-and-forget submit() tasks. Such
+  /// tasks have no join to rethrow at, so the worker loop contains them
+  /// (instead of letting them std::terminate the process) and counts them
+  /// here. Fork-join helpers never hit this path — their chunk exceptions are
+  /// captured and rethrown on the submitting thread.
+  static uint64_t dropped_task_exceptions();
 
   /// The process-wide pool, created on first use. Its size defaults to the
   /// hardware concurrency and grows (never shrinks) to satisfy the largest
@@ -91,12 +108,16 @@ class ThreadPool {
 /// Fork-join helper: split [0, n) across the shared pool honoring `par`.
 /// Serial (inline, pool untouched) when par.serial(), n <= 1, or when called
 /// from a pool worker. Deterministic chunking: chunk boundaries depend only
-/// on n and par.resolved(), never on the pool size.
-void parallel_for(const Parallelism& par, long n, const std::function<void(long, long)>& body);
+/// on n and par.resolved(), never on the pool size. A tripped `cancel` token
+/// skips chunks that have not started yet (see ThreadPool::parallel_for).
+void parallel_for(const Parallelism& par, long n, const std::function<void(long, long)>& body,
+                  const CancelToken* cancel = nullptr);
 
 /// Run n independent index tasks body(0..n-1) with up to par.resolved()
-/// in flight. Same serial/nesting rules as parallel_for.
-void parallel_tasks(const Parallelism& par, int n, const std::function<void(int)>& body);
+/// in flight. Same serial/nesting rules as parallel_for; a tripped `cancel`
+/// token is checked before every task index.
+void parallel_tasks(const Parallelism& par, int n, const std::function<void(int)>& body,
+                    const CancelToken* cancel = nullptr);
 
 /// Derive an independent, reproducible RNG stream for sub-task `index` of a
 /// computation seeded with `seed` (splitmix64 finalizer — avalanches even

@@ -9,6 +9,9 @@ namespace gendt::runtime {
 namespace {
 thread_local bool t_on_worker = false;
 
+// Exceptions escaping fire-and-forget submit() tasks (no join to rethrow at).
+std::atomic<uint64_t> g_dropped_task_exceptions{0};
+
 // One fork-join region: completion counter + first captured exception.
 struct JoinState {
   Mutex mu;
@@ -75,7 +78,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A raw submit() task has no fork-join state to hand its exception to;
+    // letting it escape here would std::terminate the whole process. Contain
+    // it and count it — fork-join chunks catch their own exceptions before
+    // this layer and rethrow them on the submitting thread.
+    try {
+      task();
+    } catch (...) {
+      g_dropped_task_exceptions.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -89,14 +100,20 @@ void ThreadPool::submit(std::function<void()> task) {
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
 
+uint64_t ThreadPool::dropped_task_exceptions() {
+  return g_dropped_task_exceptions.load(std::memory_order_relaxed);
+}
+
 void ThreadPool::parallel_for(long begin, long end, int max_chunks,
-                              const std::function<void(long, long)>& body) {
+                              const std::function<void(long, long)>& body,
+                              const CancelToken* cancel) {
   const long n = end - begin;
   if (n <= 0) return;
   // Chunk boundaries depend only on (n, max_chunks) — identical work units
   // at any pool size, which is what keeps index-seeded RNG schemes stable.
   const int chunks = static_cast<int>(std::min<long>(n, std::max(1, max_chunks)));
   if (chunks <= 1 || t_on_worker) {
+    if (cancel != nullptr && cancel->cancelled()) return;
     body(begin, end);
     return;
   }
@@ -107,12 +124,14 @@ void ThreadPool::parallel_for(long begin, long end, int max_chunks,
   long lo = begin;
   for (int c = 0; c < chunks; ++c) {
     const long hi = lo + base + (c < extra ? 1 : 0);
-    submit([state, &body, lo, hi] {
+    submit([state, &body, cancel, lo, hi] {
       std::exception_ptr err;
-      try {
-        body(lo, hi);
-      } catch (...) {
-        err = std::current_exception();
+      if (cancel == nullptr || !cancel->cancelled()) {
+        try {
+          body(lo, hi);
+        } catch (...) {
+          err = std::current_exception();
+        }
       }
       state->finish_one(std::move(err));
     });
@@ -121,11 +140,17 @@ void ThreadPool::parallel_for(long begin, long end, int max_chunks,
   state->wait();
 }
 
-void ThreadPool::run_tasks(int n, int max_concurrency, const std::function<void(int)>& body) {
-  parallel_for(0, n, max_concurrency,
-               [&body](long lo, long hi) {
-                 for (long i = lo; i < hi; ++i) body(static_cast<int>(i));
-               });
+void ThreadPool::run_tasks(int n, int max_concurrency, const std::function<void(int)>& body,
+                           const CancelToken* cancel) {
+  parallel_for(
+      0, n, max_concurrency,
+      [&body, cancel](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          if (cancel != nullptr && cancel->cancelled()) return;
+          body(static_cast<int>(i));
+        }
+      },
+      cancel);
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -145,20 +170,29 @@ void ThreadPool::ensure_shared_workers(int threads) {
   if (missing > 0) pool.add_workers_locked(missing);
 }
 
-void parallel_for(const Parallelism& par, long n, const std::function<void(long, long)>& body) {
+void parallel_for(const Parallelism& par, long n, const std::function<void(long, long)>& body,
+                  const CancelToken* cancel) {
   const int width = par.resolved();
   if (n <= 1 || width <= 1 || ThreadPool::on_worker_thread()) {
+    if (cancel != nullptr && cancel->cancelled()) return;
     if (n > 0) body(0, n);
     return;
   }
   ThreadPool::ensure_shared_workers(width);
-  ThreadPool::shared().parallel_for(0, n, width, body);
+  ThreadPool::shared().parallel_for(0, n, width, body, cancel);
 }
 
-void parallel_tasks(const Parallelism& par, int n, const std::function<void(int)>& body) {
-  parallel_for(par, n, [&body](long lo, long hi) {
-    for (long i = lo; i < hi; ++i) body(static_cast<int>(i));
-  });
+void parallel_tasks(const Parallelism& par, int n, const std::function<void(int)>& body,
+                    const CancelToken* cancel) {
+  parallel_for(
+      par, n,
+      [&body, cancel](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          if (cancel != nullptr && cancel->cancelled()) return;
+          body(static_cast<int>(i));
+        }
+      },
+      cancel);
 }
 
 uint64_t derive_stream_seed(uint64_t seed, uint64_t index) {

@@ -1,0 +1,126 @@
+#include "gendt/serve/fault.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+#include "gendt/runtime/thread_pool.h"
+
+namespace gendt::serve {
+
+std::vector<Fault> FaultPlan::at(int request, int window) const {
+  std::vector<Fault> out;
+  for (const auto& f : faults_)
+    if (f.request == request && f.window == window) out.push_back(f);
+  return out;
+}
+
+FaultPlan FaultPlan::random(uint64_t seed, int num_requests, int windows_per_request,
+                            double delay_rate, double throw_rate, double poison_rate,
+                            int64_t max_delay_ms) {
+  FaultPlan plan;
+  for (int r = 0; r < num_requests; ++r) {
+    for (int w = 0; w < windows_per_request; ++w) {
+      // One independent stream per slot: the roll for slot (r, w) never
+      // depends on how many faults earlier slots drew.
+      const uint64_t slot = static_cast<uint64_t>(r) * 8191u + static_cast<uint64_t>(w);
+      std::mt19937_64 rng(runtime::derive_stream_seed(seed, slot));
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      if (coin(rng) < delay_rate) {
+        std::uniform_int_distribution<int64_t> d(1, std::max<int64_t>(1, max_delay_ms));
+        plan.add({Fault::Kind::kDelay, r, w, d(rng), 1});
+      }
+      if (coin(rng) < throw_rate) {
+        // Half the throws are transient (retry succeeds), half sticky.
+        const int attempts = coin(rng) < 0.5 ? 1 : std::numeric_limits<int>::max();
+        plan.add({Fault::Kind::kThrow, r, w, 0, attempts});
+      }
+      if (coin(rng) < poison_rate) {
+        const int attempts = coin(rng) < 0.5 ? 1 : std::numeric_limits<int>::max();
+        plan.add({Fault::Kind::kPoison, r, w, 0, attempts});
+      }
+    }
+  }
+  return plan;
+}
+
+ScriptedGenerator::ScriptedGenerator(Config cfg, FaultPlan plan, int num_requests)
+    : cfg_(cfg), plan_(std::move(plan)), attempts_(static_cast<size_t>(num_requests)) {
+  for (auto& a : attempts_) a.store(0, std::memory_order_relaxed);
+}
+
+void ScriptedGenerator::bind_request(uint64_t seed, int request_index,
+                                     runtime::ManualClock* clock) {
+  bindings_[seed] = Binding{request_index, clock};
+}
+
+int ScriptedGenerator::attempt_count(int request_index) const {
+  return attempts_[static_cast<size_t>(request_index)].load(std::memory_order_relaxed);
+}
+
+double ScriptedGenerator::expected_value(uint64_t seed, int window, int t, int channel) {
+  // A full-avalanche hash mapped into [-1, 1): pure in its arguments, so the
+  // bits of a served series are checkable against the request alone.
+  const uint64_t h = runtime::derive_stream_seed(
+      seed, (static_cast<uint64_t>(window) << 40) ^ (static_cast<uint64_t>(t) << 16) ^
+                static_cast<uint64_t>(channel));
+  return static_cast<double>(h >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+}
+
+core::GeneratedSeries ScriptedGenerator::generate(const std::vector<context::Window>& windows,
+                                                  uint64_t seed,
+                                                  const runtime::CancelToken* cancel) const {
+  const auto it = bindings_.find(seed);
+  if (it == bindings_.end())
+    throw std::logic_error("ScriptedGenerator: request seed was never bound");
+  const Binding& bind = it->second;
+  const int attempt =
+      attempts_[static_cast<size_t>(bind.index)].fetch_add(1, std::memory_order_relaxed);
+
+  core::GeneratedSeries out;
+  out.channels.assign(static_cast<size_t>(cfg_.num_channels), {});
+  for (size_t w = 0; w < windows.size(); ++w) {
+    runtime::check_cancel(cancel);
+
+    // Charge the window's virtual cost, then any injected slowness, before
+    // doing the "work" — a deadline that expires mid-window is observed at
+    // the next boundary, exactly like the real rollout loop.
+    int64_t delay = cfg_.window_cost_ms;
+    bool poison = false;
+    bool do_throw = false;
+    for (const auto& f : plan_.at(bind.index, static_cast<int>(w))) {
+      if (attempt >= f.attempts) continue;  // fault already "healed"
+      switch (f.kind) {
+        case Fault::Kind::kDelay: delay += f.delay_ms; break;
+        case Fault::Kind::kThrow: do_throw = true; break;
+        case Fault::Kind::kPoison: poison = true; break;
+      }
+    }
+    if (bind.clock != nullptr && delay > 0) bind.clock->advance_ms(delay);
+    runtime::check_cancel(cancel);
+    if (do_throw) throw TransientError("injected transient failure");
+
+    for (int t = 0; t < windows[w].len; ++t) {
+      for (int ch = 0; ch < cfg_.num_channels; ++ch) {
+        out.channels[static_cast<size_t>(ch)].push_back(
+            poison ? std::numeric_limits<double>::quiet_NaN()
+                   : expected_value(seed, static_cast<int>(w), t, ch));
+      }
+    }
+  }
+  return out;
+}
+
+core::GeneratedSeries ConstantGenerator::generate(const std::vector<context::Window>& windows,
+                                                  uint64_t /*seed*/) const {
+  core::GeneratedSeries out;
+  out.channels.assign(static_cast<size_t>(num_channels_), {});
+  for (const auto& w : windows)
+    for (int t = 0; t < w.len; ++t)
+      for (auto& ch : out.channels) ch.push_back(value_);
+  return out;
+}
+
+}  // namespace gendt::serve

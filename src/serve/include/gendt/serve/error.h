@@ -1,0 +1,51 @@
+// Structured failure taxonomy for the generation serving layer. Every
+// request the engine admits resolves to OK, degraded, or exactly one of
+// these codes — never an uncaught exception, a hang, or a torn result.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gendt::serve {
+
+enum class ServeErrorCode {
+  kNone = 0,
+  /// The request can never succeed as stated (empty/ill-formed windows,
+  /// nonsense deadline). Not retryable; the client must fix the request.
+  kInvalidRequest,
+  /// Shed at admission: the bounded queue was full under the shed policy.
+  /// Retryable by the client after backing off.
+  kOverloaded,
+  /// The deadline expired before a result was produced (generation was
+  /// cooperatively cancelled at a window boundary).
+  kDeadlineExceeded,
+  /// The model threw or produced a poisoned (non-finite / wrong-shape)
+  /// series, and retries + fallback did not rescue it.
+  kModelFailure,
+  /// The caller cancelled the request via its CancelToken.
+  kCancelled,
+};
+
+std::string_view to_string(ServeErrorCode code);
+
+/// Only these classes are worth retrying inside the engine: a transient
+/// model hiccup may pass on the next attempt; everything else is either
+/// permanent (invalid, cancelled) or already the retry's verdict (deadline).
+inline bool retryable(ServeErrorCode code) { return code == ServeErrorCode::kModelFailure; }
+
+struct ServeError {
+  ServeErrorCode code = ServeErrorCode::kNone;
+  std::string message;
+};
+
+/// Thrown by a generator for a failure that is plausibly transient (e.g. a
+/// flaky data dependency); the engine retries these with exponential
+/// backoff before degrading. Any other exception type from the model is
+/// treated as permanent for the request.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace gendt::serve

@@ -1,0 +1,135 @@
+// Deterministic, seed-driven fault injection for the serving layer.
+//
+// A FaultPlan is a fixed table of faults keyed by (request index, window
+// index): inject a virtual-time delay, throw a transient error, or poison
+// the emitted values with NaN. Plans are either hand-built or derived from a
+// seed (FaultPlan::random), so a chaos run is a pure function of
+// (seed, plan) — the same schedule replays bit-for-bit at any thread count.
+//
+// ScriptedGenerator is the instrumented TimeSeriesGenerator the chaos tests
+// serve: a synthetic model whose output is a pure function of
+// (seed, window, t, channel) and whose misbehavior comes entirely from the
+// plan. Time is virtual — each request binds its own ManualClock, which the
+// generator advances by a per-window base cost plus any injected delay, so
+// "slow model" and "deadline expiry" are exactly reproducible and isolated
+// between concurrently-executing requests.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gendt/core/generator.h"
+#include "gendt/runtime/cancel.h"
+#include "gendt/serve/error.h"
+
+namespace gendt::serve {
+
+struct Fault {
+  enum class Kind : uint8_t {
+    kDelay,   ///< advance the request's virtual clock by delay_ms
+    kThrow,   ///< throw TransientError before emitting the window
+    kPoison,  ///< emit NaN for every value of the window
+  };
+  Kind kind = Kind::kDelay;
+  int request = 0;       ///< request index the fault targets
+  int window = 0;        ///< window index within the request
+  int64_t delay_ms = 0;  ///< kDelay only
+  /// The fault fires while the request's attempt number is < `attempts`:
+  /// 1 models a transient hiccup (a retry succeeds), a large value a sticky
+  /// failure that must exhaust retries and degrade.
+  int attempts = 1;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(const Fault& fault) { faults_.push_back(fault); }
+  const std::vector<Fault>& faults() const { return faults_; }
+
+  /// All faults registered for (request, window).
+  std::vector<Fault> at(int request, int window) const;
+
+  /// Derive a random plan from `seed`: every (request, window) slot rolls
+  /// independently for each fault kind on its own
+  /// derive_stream_seed(seed, slot) stream, so the plan is a pure function
+  /// of its arguments. Rates are per-slot probabilities in [0, 1].
+  static FaultPlan random(uint64_t seed, int num_requests, int windows_per_request,
+                          double delay_rate, double throw_rate, double poison_rate,
+                          int64_t max_delay_ms);
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+/// Synthetic generator for chaos/serve tests: deterministic output, faults
+/// from a FaultPlan, virtual per-request time. Concurrent generate() calls
+/// for different requests are independent; all shared state is either
+/// immutable during serving (bindings, plan) or per-request atomics.
+class ScriptedGenerator final : public core::TimeSeriesGenerator {
+ public:
+  struct Config {
+    int num_channels = 2;
+    /// Virtual cost of generating one window, charged to the request's
+    /// clock before the window is emitted — what makes a deadline bite even
+    /// without injected delays.
+    int64_t window_cost_ms = 1;
+  };
+
+  ScriptedGenerator(Config cfg, FaultPlan plan, int num_requests);
+
+  /// Associate a request seed with its index and virtual clock. Must be
+  /// called for every request before serving starts (bindings are read-only
+  /// during serving). The engine passes Request::seed through to generate()
+  /// untouched, which is what makes this lookup well-defined.
+  void bind_request(uint64_t seed, int request_index, runtime::ManualClock* clock);
+
+  /// Attempts generate() has seen for a request (fault `attempts` gating).
+  int attempt_count(int request_index) const;
+
+  /// The value the generator emits at (seed, window, t, channel) — exposed
+  /// so tests can assert a served series is exactly the expected bits.
+  static double expected_value(uint64_t seed, int window, int t, int channel);
+
+  std::string name() const override { return "Scripted"; }
+  void fit(const std::vector<context::Window>&) override {}
+  core::GeneratedSeries generate(const std::vector<context::Window>& windows,
+                                 uint64_t seed) const override {
+    return generate(windows, seed, nullptr);
+  }
+  core::GeneratedSeries generate(const std::vector<context::Window>& windows, uint64_t seed,
+                                 const runtime::CancelToken* cancel) const override;
+
+ private:
+  struct Binding {
+    int index = 0;
+    runtime::ManualClock* clock = nullptr;
+  };
+
+  Config cfg_;
+  FaultPlan plan_;
+  std::map<uint64_t, Binding> bindings_;
+  /// Per-request attempt counters; only the thread executing a request
+  /// increments its own slot, so ordering is deterministic per request.
+  mutable std::vector<std::atomic<int>> attempts_;
+};
+
+/// Trivial fallback generator for tests: constant per-channel values,
+/// instant, never fails. (The CLI uses the real baselines::FDaS instead.)
+class ConstantGenerator final : public core::TimeSeriesGenerator {
+ public:
+  explicit ConstantGenerator(int num_channels, double value = 0.0)
+      : num_channels_(num_channels), value_(value) {}
+  std::string name() const override { return "Constant"; }
+  void fit(const std::vector<context::Window>&) override {}
+  core::GeneratedSeries generate(const std::vector<context::Window>& windows,
+                                 uint64_t seed) const override;
+
+ private:
+  int num_channels_;
+  double value_;
+};
+
+}  // namespace gendt::serve

@@ -1,0 +1,131 @@
+// End-to-end contract tests for the `gendt` binary: argument hardening
+// (specific diagnostics + non-zero exit for misuse), --help, and the serve
+// command's file-in/file-out round trip. The binary path is baked in at
+// build time (GENDT_CLI_PATH).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(GENDT_CLI_PATH) + " " + args + " 2>&1";
+  CliResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream os(path);
+  os << content;
+  ASSERT_TRUE(os.good()) << path;
+}
+
+TEST(Cli, HelpExitsZeroWithUsage) {
+  const CliResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage: gendt"), std::string::npos);
+  EXPECT_NE(r.output.find("serve"), std::string::npos);
+}
+
+TEST(Cli, NoCommandIsUsageError) {
+  const CliResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage: gendt"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandNamesTheCommand) {
+  const CliResult r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionNamesOptionAndCommand) {
+  const CliResult r = run_cli("eval --bogus 1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option '--bogus' for command 'eval'"), std::string::npos);
+}
+
+TEST(Cli, OptionMissingItsValueIsRejected) {
+  const CliResult r = run_cli("train --out");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("option '--out' expects a value"), std::string::npos);
+}
+
+TEST(Cli, NonIntegerValueIsRejected) {
+  const auto dir = fresh_dir("cli_badint");
+  const CliResult r = run_cli("simulate --out " + (dir / "sim").string() + " --seed pi");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--seed expects an integer"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsMalformedRequestsFile) {
+  const auto dir = fresh_dir("cli_badreq");
+  write_file(dir / "requests.txt", "traj.csv notanumber\n");
+  const CliResult r = run_cli("serve --requests " + (dir / "requests.txt").string() +
+                              " --model missing.ckpt --out " + (dir / "out").string());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("malformed field 'notanumber'"), std::string::npos);
+}
+
+// Full round trip: checkpoint a (zero-epoch) model, then serve a requests
+// file against it. One request has no deadline, one a generous deadline, one
+// names a missing trajectory — the batch must finish with per-request
+// statuses and a non-zero exit only because of the structured error.
+TEST(Cli, ServeRoundTripProducesPerRequestOutput) {
+  const auto dir = fresh_dir("cli_serve");
+  const std::string ckpt = (dir / "model.ckpt").string();
+  const CliResult train =
+      run_cli("train --out " + ckpt + " --epochs 0 --train-s 120 --seed 3");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+
+  std::string traj = "t,lat,lon\n";
+  for (int i = 0; i < 120; ++i)
+    traj += std::to_string(i) + "," + std::to_string(47.0 + 1e-4 * i) + ",8.0\n";
+  write_file(dir / "traj.csv", traj);
+  write_file(dir / "requests.txt",
+             "# one request per line: trajectory [gen-seed] [deadline-ms]\n" +
+                 (dir / "traj.csv").string() + " 5\n" + (dir / "traj.csv").string() +
+                 " 7 60000\n" + (dir / "missing.csv").string() + "\n");
+
+  const std::string out_dir = (dir / "out").string();
+  const CliResult serve = run_cli("serve --requests " + (dir / "requests.txt").string() +
+                                  " --model " + ckpt + " --out " + out_dir +
+                                  " --train-s 120 --seed 3 --threads 2");
+  EXPECT_EQ(serve.exit_code, 1) << serve.output;  // the missing trajectory
+  EXPECT_NE(serve.output.find("invalid-request"), std::string::npos) << serve.output;
+  EXPECT_NE(serve.output.find("served 3 requests"), std::string::npos) << serve.output;
+  EXPECT_TRUE(std::filesystem::exists(out_dir + "/response_0.csv")) << serve.output;
+  EXPECT_TRUE(std::filesystem::exists(out_dir + "/response_1.csv")) << serve.output;
+  EXPECT_FALSE(std::filesystem::exists(out_dir + "/response_2.csv")) << serve.output;
+
+  // All-valid requests exit 0.
+  write_file(dir / "requests_ok.txt", (dir / "traj.csv").string() + " 5\n");
+  const CliResult ok = run_cli("serve --requests " + (dir / "requests_ok.txt").string() +
+                               " --model " + ckpt + " --out " + out_dir +
+                               " --train-s 120 --seed 3");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+}
+
+}  // namespace

@@ -46,7 +46,12 @@ INSTANTIATE_TEST_SUITE_P(
         BadCsvCase{"non_numeric_lat", "t,lat,lon\n0,north,7.4\n"},
         BadCsvCase{"duplicate_timestamp", "t,lat,lon\n0,51.5,7.4\n0,51.6,7.5\n"},
         BadCsvCase{"decreasing_timestamp", "t,lat,lon\n5,51.5,7.4\n1,51.6,7.5\n"},
-        BadCsvCase{"trailing_garbage", "t,lat,lon\n0,51.5,7.4abc\n"}),
+        BadCsvCase{"trailing_garbage", "t,lat,lon\n0,51.5,7.4abc\n"},
+        // from_chars parses these; the reader must still refuse non-finite
+        // values in numeric columns.
+        BadCsvCase{"nan_lat", "t,lat,lon\n0,nan,7.4\n"},
+        BadCsvCase{"inf_lon", "t,lat,lon\n0,51.5,inf\n"},
+        BadCsvCase{"neg_inf_t", "t,lat,lon\n-inf,51.5,7.4\n"}),
     [](const auto& param_info) { return param_info.param.label; });
 
 class BadRecordP : public ::testing::TestWithParam<BadCsvCase> {};
@@ -83,7 +88,13 @@ INSTANTIATE_TEST_SUITE_P(
                    "0,51.5,7.4,4294967296,-85,-11,8,9,12,0.01\n"},
         BadCsvCase{"cqi_overflows_int",
                    "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
-                   "0,51.5,7.4,1,-85,-11,8,99999999999,12,0.01\n"}),
+                   "0,51.5,7.4,1,-85,-11,8,99999999999,12,0.01\n"},
+        BadCsvCase{"nan_rsrp",
+                   "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
+                   "0,51.5,7.4,1,nan,-11,8,9,12,0.01\n"},
+        BadCsvCase{"inf_throughput",
+                   "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
+                   "0,51.5,7.4,1,-85,-11,8,9,infinity,0.01\n"}),
     [](const auto& param_info) { return param_info.param.label; });
 
 class BadCellsP : public ::testing::TestWithParam<BadCsvCase> {};

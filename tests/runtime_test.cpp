@@ -122,5 +122,139 @@ TEST(DeriveStreamSeed, StreamsAreDistinctAndStable) {
   EXPECT_NE(derive_stream_seed(42, 7), derive_stream_seed(43, 7));
 }
 
+// Regression: an exception escaping a fire-and-forget submit() task must be
+// contained by the worker loop (counted, not std::terminate) and the pool
+// must keep serving fork-join work afterwards. Fork-join exceptions are a
+// different path — they are captured per chunk and rethrown at the join.
+TEST(ThreadPool, SubmittedTaskExceptionDoesNotKillWorker) {
+  ThreadPool pool(2);
+  const uint64_t before = ThreadPool::dropped_task_exceptions();
+  std::atomic<bool> ran{false};
+  pool.submit([] { throw std::runtime_error("fire-and-forget boom"); });
+  pool.submit([&ran] { ran.store(true); });
+  // Fork-join on the same pool barriers behind the two queued tasks.
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 10, 4, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(sum.load(), 45);
+  EXPECT_GE(ThreadPool::dropped_task_exceptions(), before + 1);
+}
+
+TEST(ThreadPool, RunTasksRethrowsFirstExceptionOnSubmitter) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run_tasks(50, 8,
+                              [](int i) {
+                                if (i % 7 == 3) throw std::runtime_error("task boom");
+                              }),
+               std::runtime_error);
+  // Pool stays usable after the failed batch.
+  std::atomic<int> count{0};
+  pool.run_tasks(20, 8, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(CancelToken, ExplicitCancelAndReasonPrecedence) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kNone);
+  EXPECT_EQ(token.remaining_ms(), CancelToken::kNoDeadline);
+  EXPECT_NO_THROW(token.check());
+  EXPECT_NO_THROW(check_cancel(nullptr));
+
+  ManualClock clock(100);
+  token.arm_deadline(clock, 150);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.remaining_ms(), 50);
+  token.cancel();  // explicit cancel wins over a later deadline expiry
+  clock.advance_ms(1000);
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kCancelled);
+  try {
+    token.check();
+    FAIL() << "check() must throw when cancelled";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelToken::Reason::kCancelled);
+  }
+}
+
+TEST(CancelToken, DeadlineExpiryAgainstManualClock) {
+  ManualClock clock;
+  CancelToken token;
+  token.arm_deadline(clock, 30);
+  EXPECT_FALSE(token.cancelled());
+  clock.advance_ms(29);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.remaining_ms(), 1);
+  clock.advance_ms(1);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::kDeadline);
+  EXPECT_EQ(token.remaining_ms(), 0);
+  EXPECT_THROW(token.check(), CancelledError);
+}
+
+TEST(SteadyClock, MonotoneNonDecreasing) {
+  const Clock& clock = steady_clock();
+  const int64_t a = clock.now_ms();
+  const int64_t b = clock.now_ms();
+  EXPECT_LE(a, b);
+}
+
+TEST(ThreadPool, ParallelForSkipsChunksAfterCancel) {
+  // One worker drains the 64 chunks in submit order, so cancelling inside
+  // the first body deterministically skips the other 63 — and the join must
+  // still complete normally.
+  ThreadPool pool(1);
+  CancelToken token;
+  std::atomic<int> executed{0};
+  pool.parallel_for(
+      0, 64, 64,
+      [&](long, long) {
+        executed.fetch_add(1);
+        token.cancel();
+      },
+      &token);
+  EXPECT_EQ(executed.load(), 1);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ThreadPool, RunTasksChecksCancelPerIndexInline) {
+  CancelToken token;
+  int executed = 0;
+  // Serial width forces the inline path; the per-index check must still stop
+  // the loop mid-way.
+  parallel_tasks(Parallelism{.threads = 1}, 100,
+                 [&](int i) {
+                   ++executed;
+                   if (i == 4) token.cancel();
+                 },
+                 &token);
+  EXPECT_EQ(executed, 5);
+}
+
+TEST(ThreadPool, PreCancelledTokenSkipsAllWork) {
+  ThreadPool pool(2);
+  CancelToken token;
+  token.cancel();
+  std::atomic<int> executed{0};
+  pool.parallel_for(0, 100, 8, [&](long, long) { executed.fetch_add(1); }, &token);
+  pool.run_tasks(100, 8, [&](int) { executed.fetch_add(1); }, &token);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPool, DeadlineTokenStopsParallelWorkWhenClockExpires) {
+  ManualClock clock;
+  CancelToken token;
+  token.arm_deadline(clock, 10);
+  int executed = 0;
+  parallel_tasks(Parallelism{.threads = 1}, 50,
+                 [&](int i) {
+                   ++executed;
+                   if (i == 2) clock.advance_ms(10);  // simulated slow task
+                 },
+                 &token);
+  EXPECT_EQ(executed, 3);
+}
+
 }  // namespace
 }  // namespace gendt::runtime

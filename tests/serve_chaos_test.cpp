@@ -1,0 +1,183 @@
+// Deterministic chaos sweep over seeded fault schedules.
+//
+// Every request runs against its own ManualClock, so delays, deadline expiry
+// and backoff waits are virtual time — a pure function of (plan seed, request)
+// no matter how worker threads interleave. The sweep asserts the two
+// ISSUE-level properties:
+//   1. every request resolves to exactly one of OK / degraded / structured
+//      error, with a coherent Response for that outcome, and
+//   2. the full batch outcome (including the served bits) is bitwise
+//      reproducible for a given (seed, plan) at 1 worker and at 4 workers,
+//      and across repeat runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gendt/serve/engine.h"
+#include "gendt/serve/fault.h"
+
+namespace gendt::serve {
+namespace {
+
+using runtime::ManualClock;
+
+constexpr int kRequests = 12;
+constexpr int kWindowsPerRequest = 6;
+constexpr int kWindowLen = 5;
+
+uint64_t fnv_mix(uint64_t h, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t fnv_double(uint64_t h, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv_mix(h, bits);
+}
+
+std::vector<context::Window> request_windows() {
+  std::vector<context::Window> out(kWindowsPerRequest);
+  for (int w = 0; w < kWindowsPerRequest; ++w) {
+    out[static_cast<size_t>(w)].start = w * kWindowLen;
+    out[static_cast<size_t>(w)].len = kWindowLen;
+  }
+  return out;
+}
+
+// Deterministic budget mix: every third request gets a tight deadline, every
+// third runs with none at all, the rest get a generous one.
+int64_t budget_for(int r) {
+  switch (r % 3) {
+    case 0: return 25 + r;
+    case 1: return -1;
+    default: return 1000;
+  }
+}
+
+struct RunResult {
+  uint64_t digest = 0;
+  GenerationEngine::Stats stats;
+};
+
+RunResult run_batch(uint64_t plan_seed, int workers) {
+  const FaultPlan plan =
+      FaultPlan::random(plan_seed, kRequests, kWindowsPerRequest,
+                        /*delay_rate=*/0.25, /*throw_rate=*/0.2, /*poison_rate=*/0.15,
+                        /*max_delay_ms=*/30);
+  ScriptedGenerator gen({.num_channels = 2, .window_cost_ms = 1}, plan, kRequests);
+  ConstantGenerator fallback(2, 0.0);
+
+  std::vector<ManualClock> clocks(kRequests);
+  std::vector<Request> reqs(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    const uint64_t seed = plan_seed * 1000 + static_cast<uint64_t>(r);
+    gen.bind_request(seed, r, &clocks[static_cast<size_t>(r)]);
+    auto& req = reqs[static_cast<size_t>(r)];
+    req.windows = request_windows();
+    req.seed = seed;
+    req.deadline_ms = budget_for(r);
+    req.virtual_clock = &clocks[static_cast<size_t>(r)];
+  }
+
+  EngineConfig cfg;
+  // kBlock keeps admission outcome-free: under kShed the overloaded verdicts
+  // would depend on real queue occupancy, which no seed controls.
+  cfg.backpressure = EngineConfig::Backpressure::kBlock;
+  cfg.max_queue = 4;
+  cfg.workers = workers;
+  cfg.max_retries = 2;
+  cfg.backoff_base_ms = 1;
+  cfg.expected_channels = 2;
+  GenerationEngine engine(gen, cfg);
+  engine.set_fallback(&fallback);
+
+  const auto out = engine.serve(reqs);
+  EXPECT_EQ(out.size(), static_cast<size_t>(kRequests));
+
+  RunResult result;
+  result.stats = engine.stats();
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int r = 0; r < kRequests; ++r) {
+    const Response& resp = out[static_cast<size_t>(r)];
+
+    // Property 1: exactly one coherent terminal state per request.
+    switch (resp.outcome) {
+      case Outcome::kOk:
+        EXPECT_EQ(resp.error.code, ServeErrorCode::kNone) << "request " << r;
+        EXPECT_FALSE(resp.fallback_used) << "request " << r;
+        break;
+      case Outcome::kDegraded:
+        EXPECT_TRUE(resp.fallback_used) << "request " << r;
+        EXPECT_NE(resp.error.code, ServeErrorCode::kNone) << "request " << r;
+        break;
+      case Outcome::kError:
+        EXPECT_NE(resp.error.code, ServeErrorCode::kNone) << "request " << r;
+        EXPECT_FALSE(resp.error.message.empty()) << "request " << r;
+        break;
+    }
+    if (resp.outcome != Outcome::kError) {
+      EXPECT_EQ(resp.series.channels.size(), 2u) << "request " << r;
+      for (const auto& ch : resp.series.channels) {
+        EXPECT_EQ(ch.size(), static_cast<size_t>(kWindowsPerRequest * kWindowLen));
+        for (double v : ch) EXPECT_TRUE(std::isfinite(v)) << "request " << r;
+      }
+    }
+    EXPECT_GE(resp.attempts, 0) << "request " << r;
+
+    h = fnv_mix(h, static_cast<uint64_t>(resp.outcome));
+    h = fnv_mix(h, static_cast<uint64_t>(resp.error.code));
+    h = fnv_mix(h, static_cast<uint64_t>(resp.attempts));
+    h = fnv_mix(h, resp.fallback_used ? 1 : 0);
+    for (const auto& ch : resp.series.channels)
+      for (double v : ch) h = fnv_double(h, v);
+  }
+  result.digest = h;
+
+  // Conservation: every admitted request lands in exactly one bucket.
+  EXPECT_EQ(result.stats.admitted, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(result.stats.shed, 0u);
+  EXPECT_EQ(result.stats.ok + result.stats.degraded + result.stats.failed,
+            static_cast<uint64_t>(kRequests));
+  return result;
+}
+
+TEST(ServeChaos, OutcomesAreBitwiseReproducibleAcrossThreadCounts) {
+  for (uint64_t plan_seed : {11u, 29u, 47u}) {
+    const RunResult serial = run_batch(plan_seed, /*workers=*/1);
+    const RunResult wide = run_batch(plan_seed, /*workers=*/4);
+    EXPECT_EQ(serial.digest, wide.digest) << "plan seed " << plan_seed;
+    EXPECT_EQ(serial.stats.ok, wide.stats.ok) << "plan seed " << plan_seed;
+    EXPECT_EQ(serial.stats.degraded, wide.stats.degraded) << "plan seed " << plan_seed;
+    EXPECT_EQ(serial.stats.failed, wide.stats.failed) << "plan seed " << plan_seed;
+    EXPECT_EQ(serial.stats.retries, wide.stats.retries) << "plan seed " << plan_seed;
+    EXPECT_EQ(serial.stats.deadline_expirations, wide.stats.deadline_expirations)
+        << "plan seed " << plan_seed;
+  }
+}
+
+TEST(ServeChaos, RepeatRunsAreBitwiseIdentical) {
+  const RunResult a = run_batch(83, /*workers=*/4);
+  const RunResult b = run_batch(83, /*workers=*/4);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(ServeChaos, DistinctPlansProduceDistinctOutcomeMixes) {
+  // Not a hard determinism property, but a sanity check that the fault plans
+  // are actually doing something: across several seeds at these rates, at
+  // least one batch must degrade or fail somewhere.
+  uint64_t non_ok = 0;
+  for (uint64_t plan_seed : {11u, 29u, 47u, 83u}) {
+    const RunResult r = run_batch(plan_seed, /*workers=*/2);
+    non_ok += r.stats.degraded + r.stats.failed;
+  }
+  EXPECT_GT(non_ok, 0u);
+}
+
+}  // namespace
+}  // namespace gendt::serve

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Sanitized check of a test-label subset: builds the tree with
 # GENDT_SANITIZE=<sanitizer> into a per-sanitizer build dir and runs the
-# matching ctest labels under it. Defaults to the runtime + nn + serialize
-# subset (code that shares state across threads, plus the checkpoint
-# fault-injection corpus, which parses untrusted bytes and belongs under
-# every sanitizer) — pass a label regex to vet anything else, e.g.:
+# matching ctest labels under it. Defaults to the runtime + nn + serialize +
+# serve subset (code that shares state across threads, the checkpoint
+# fault-injection corpus, and the serving engine's chaos sweep — the latter
+# runs multi-worker batches whose determinism claim is only credible with
+# TSan watching) — pass a label regex to vet anything else, e.g.:
 #
-#   tools/check.sh thread                 # TSan over runtime|nn|serialize
+#   tools/check.sh thread                 # TSan over runtime|nn|serialize|serve
 #   tools/check.sh undefined              # UBSan (+float-cast-overflow)
 #   tools/check.sh address 'serialize'    # ASan over the corruption corpus
 #   tools/check.sh leak 'runtime|nn|core' # LSan over a wider subset
@@ -18,7 +19,7 @@
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
-LABEL="${2:-runtime|nn|serialize}"
+LABEL="${2:-runtime|nn|serialize|serve}"
 BUILD_DIR="${3:-build-${SANITIZER}san}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"

@@ -6,11 +6,13 @@
 #   2. determinism lint           (tools/lint_determinism.py over src/ + CLI)
 #   3. clang-tidy baseline        (.clang-tidy; skipped if clang-tidy absent)
 #   4. full ctest suite
-#   5. TSan subset                (tools/check.sh thread  -> runtime|nn|serialize)
-#   6. UBSan subset               (tools/check.sh undefined -> runtime|nn|serialize)
-#   7. ASan over serialize        (checkpoint fault-injection corpus: every
-#                                  corrupt file must fail cleanly, not as a
-#                                  heap overflow the test harness can't see)
+#   5. TSan subset                (tools/check.sh thread  -> runtime|nn|serialize|serve)
+#   6. UBSan subset               (tools/check.sh undefined -> runtime|nn|serialize|serve)
+#   7. ASan serve-chaos + corpus  (serialize|serve: the checkpoint
+#                                  fault-injection corpus and the serving
+#                                  engine's chaos sweep — corrupt files and
+#                                  injected faults must fail cleanly, not as
+#                                  heap errors the test harness can't see)
 #
 # Usage: tools/ci.sh [--fast]
 #   --fast stops after step 4 (skips the sanitizer builds; those dominate
@@ -56,7 +58,7 @@ step 5/7 "ThreadSanitizer subset"
 step 6/7 "UndefinedBehaviorSanitizer subset"
 "$ROOT/tools/check.sh" undefined
 
-step 7/7 "AddressSanitizer over the checkpoint fault-injection corpus"
-"$ROOT/tools/check.sh" address 'serialize'
+step 7/7 "AddressSanitizer over the fault-injection suites (serialize + serve chaos)"
+"$ROOT/tools/check.sh" address 'serialize|serve'
 
 echo; echo "ci.sh: all stages passed"

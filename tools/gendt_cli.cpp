@@ -23,6 +23,17 @@
 //   gendt eval --real FILE.csv --generated FILE.csv
 //       Fidelity metrics (MAE/DTW/HWD) per channel between two series CSVs.
 //
+//   gendt serve --requests FILE --model MODEL.ckpt --out DIR
+//               [--deadline-ms N] [--max-queue N] [--shed] [--threads N]
+//               [--dataset a|b] [--seed N]
+//       Batch-serve generation requests through the fault-tolerant
+//       GenerationEngine: bounded admission, per-request deadlines,
+//       retry-with-backoff, and graceful degradation to an FDaS fallback.
+//       FILE lists one request per line: `trajectory.csv [gen-seed]
+//       [deadline-ms]` ('#' starts a comment). Exits non-zero iff any
+//       request ends in a structured error (degraded responses are
+//       successes — that is the point of the fallback).
+//
 // The world (cells + environment context) is reconstructed from
 // --dataset/--seed; operators with real data would adapt sim::World to
 // their cell table and land-use sources.
@@ -30,14 +41,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "gendt/baselines/baselines.h"
 #include "gendt/core/model.h"
 #include "gendt/io/csv.h"
 #include "gendt/metrics/metrics.h"
+#include "gendt/serve/engine.h"
 #include "gendt/sim/dataset.h"
 
 using namespace gendt;
@@ -71,38 +87,91 @@ struct Args {
   }
 };
 
+// Per-command vocabulary: anything else is a hard usage error, not a silent
+// skip — a typoed `--thread 4` must not quietly run serial.
+const std::map<std::string, std::set<std::string>>& command_options() {
+  static const std::map<std::string, std::set<std::string>> kOptions = {
+      {"simulate", {"out", "dataset", "seed", "train-s"}},
+      {"train", {"out", "dataset", "seed", "train-s", "epochs", "threads", "resume", "record"}},
+      {"generate",
+       {"model", "trajectory", "out", "dataset", "seed", "train-s", "gen-seed", "threads"}},
+      {"eval", {"real", "generated"}},
+      {"serve",
+       {"requests", "model", "out", "dataset", "seed", "train-s", "deadline-ms", "max-queue",
+        "shed", "threads"}},
+  };
+  return kOptions;
+}
+
+bool is_help(const std::string& command) {
+  return command == "--help" || command == "-h" || command == "help";
+}
+
 Args parse(int argc, char** argv) {
   Args a;
   if (argc >= 2) a.command = argv[1];
+  if (a.command.empty() || is_help(a.command)) return a;
+  const auto cmd = command_options().find(a.command);
+  if (cmd == command_options().end()) {
+    std::fprintf(stderr,
+                 "error: unknown command '%s' (expected simulate, train, generate, eval, or "
+                 "serve; see 'gendt --help')\n",
+                 a.command.c_str());
+    std::exit(2);
+  }
+  static const std::set<std::string> kBoolFlags = {"resume", "shed"};
   for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
-    if (key == "--resume") {  // boolean flags take no value
-      a.options["resume"] = "1";
-    } else if (i + 1 < argc) {
-      if (key == "--record") {
-        a.records.emplace_back(argv[++i]);
-      } else {
-        a.options[key.substr(2)] = argv[++i];
-      }
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected argument '%s' (options start with --)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    const std::string key = arg.substr(2);
+    if (cmd->second.count(key) == 0) {
+      std::fprintf(stderr, "error: unknown option '--%s' for command '%s'\n", key.c_str(),
+                   a.command.c_str());
+      std::exit(2);
+    }
+    if (kBoolFlags.count(key) != 0) {  // boolean flags take no value
+      a.options[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: option '--%s' expects a value\n", key.c_str());
+      std::exit(2);
+    }
+    if (key == "record") {
+      a.records.emplace_back(argv[++i]);
+    } else {
+      a.options[key] = argv[++i];
     }
   }
   return a;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: gendt <simulate|train|generate|eval> [options]\n"
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: gendt <simulate|train|generate|eval|serve> [options]\n"
                "  simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]\n"
                "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
                " [--threads N] [--resume] [--record FILE]...\n"
                "  generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv"
                " [--dataset a|b] [--seed N] [--gen-seed N] [--threads N]\n"
                "  eval     --real FILE.csv --generated FILE.csv\n"
+               "  serve    --requests FILE --model MODEL.ckpt --out DIR [--deadline-ms N]"
+               " [--max-queue N] [--shed] [--threads N] [--dataset a|b] [--seed N]\n"
                "--threads N sets the worker-thread count (0 = all hardware threads,\n"
                "1 = serial). Results are bitwise identical at every setting.\n"
                "train writes an atomic checkpoint after every epoch; --resume\n"
-               "continues a killed run bit-for-bit from the last epoch boundary.\n");
+               "continues a killed run bit-for-bit from the last epoch boundary.\n"
+               "serve reads one request per line from --requests ('trajectory.csv\n"
+               "[gen-seed] [deadline-ms]'), enforces deadlines cooperatively, and\n"
+               "degrades to an FDaS fallback instead of failing when it can.\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -450,13 +519,205 @@ int cmd_eval(const Args& a) {
   return 0;
 }
 
+// One line of a --requests file: `trajectory.csv [gen-seed] [deadline-ms]`.
+struct ServeRequestSpec {
+  std::string trajectory;
+  uint64_t gen_seed = 1;
+  int64_t deadline_ms = -1;  // -1 inherits --deadline-ms
+};
+
+bool parse_requests_file(const std::string& path, std::vector<ServeRequestSpec>& out) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "error: cannot open requests file %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    ServeRequestSpec spec;
+    if (!(fields >> spec.trajectory)) continue;  // blank / comment-only line
+    std::string token;
+    try {
+      if (fields >> token) {
+        size_t pos = 0;
+        spec.gen_seed = std::stoull(token, &pos);
+        if (pos != token.size()) throw std::invalid_argument(token);
+      }
+      if (fields >> token) {
+        size_t pos = 0;
+        spec.deadline_ms = std::stoll(token, &pos);
+        if (pos != token.size() || spec.deadline_ms < -1) throw std::invalid_argument(token);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "error: %s:%d: malformed field '%s' (expected: trajectory.csv"
+                   " [gen-seed] [deadline-ms])\n",
+                   path.c_str(), lineno, token.c_str());
+      return false;
+    }
+    if (fields >> token) {
+      std::fprintf(stderr, "error: %s:%d: trailing field '%s'\n", path.c_str(), lineno,
+                   token.c_str());
+      return false;
+    }
+    out.push_back(std::move(spec));
+  }
+  return true;
+}
+
+int cmd_serve(const Args& a) {
+  const std::string req_path = a.get("requests");
+  const std::string model_path = a.get("model");
+  const std::string out_dir = a.get("out");
+  if (req_path.empty() || model_path.empty() || out_dir.empty()) return usage();
+
+  std::vector<ServeRequestSpec> specs;
+  if (!parse_requests_file(req_path, specs)) return 1;
+  if (specs.empty()) {
+    std::fprintf(stderr, "error: %s lists no requests\n", req_path.c_str());
+    return 1;
+  }
+
+  sim::Dataset ds = build_dataset(a);
+  core::GenDTConfig mcfg;
+  mcfg.num_channels = static_cast<int>(ds.kpis.size());
+  mcfg.hidden = 48;
+  // Parallelism lives across requests (engine workers), not inside the model.
+  mcfg.parallelism = {.threads = 1};
+
+  nn::Checkpoint ckpt;
+  const nn::LoadResult r = nn::read_checkpoint(model_path, ckpt);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: cannot load %s: %s\n", model_path.c_str(), r.message().c_str());
+    return 1;
+  }
+  if (r.version < 2) {
+    std::fprintf(stderr,
+                 "error: serve requires a GDTCKPT2 checkpoint; %s is v%d (retrain to upgrade)\n",
+                 model_path.c_str(), r.version);
+    return 1;
+  }
+  context::KpiNorm norm;
+  if (!ckpt.meta.get_f64s("kpi_norm.mean", norm.mean) ||
+      !ckpt.meta.get_f64s("kpi_norm.std", norm.stddev) || norm.mean.size() != ds.kpis.size() ||
+      norm.stddev.size() != ds.kpis.size()) {
+    std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", model_path.c_str());
+    return 1;
+  }
+
+  core::GenDTGenerator primary(mcfg, core::TrainConfig{}, norm);
+  primary.set_kpis(ds.kpis);
+  auto params = primary.model().generator_params();
+  for (auto& p : primary.model().discriminator_params()) params.push_back(p);
+  const nn::LoadResult applied = nn::apply_params(params, ckpt, nn::LoadMode::kStrict);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n", model_path.c_str(),
+                 applied.message().c_str());
+    return 1;
+  }
+
+  // Graceful-degradation path: FDaS fitted on the simulated campaign — cheap,
+  // unconditionally finite, and honest about being a distribution sample.
+  context::ContextBuilder builder(ds.world, default_context(), norm, ds.kpis);
+  std::vector<context::Window> train_windows;
+  for (const auto& rec : ds.train) {
+    auto w = builder.training_windows(rec);
+    train_windows.insert(train_windows.end(), w.begin(), w.end());
+  }
+  baselines::FDaS fallback(norm);
+  fallback.fit(train_windows);
+
+  // A spec whose trajectory fails to load keeps an empty window list and
+  // resolves through the engine as a structured invalid-request.
+  std::vector<serve::Request> requests(specs.size());
+  std::vector<std::string> notes(specs.size());
+  std::vector<double> start_t(specs.size(), 0.0), period(specs.size(), 1.0);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    requests[i].seed = specs[i].gen_seed;
+    requests[i].deadline_ms = specs[i].deadline_ms;
+    auto traj = io::read_trajectory_csv(specs[i].trajectory);
+    if (!traj) {
+      notes[i] = io::last_error();
+      continue;
+    }
+    auto windows = builder.generation_windows(*traj);
+    if (windows.empty()) {
+      notes[i] = specs[i].trajectory + ": trajectory too short for one window";
+      continue;
+    }
+    requests[i].windows = std::move(windows);
+    start_t[i] = traj->front().t;
+    period[i] = traj->size() > 1 ? (*traj)[1].t - (*traj)[0].t : 1.0;
+  }
+
+  serve::EngineConfig cfg;
+  cfg.max_queue = static_cast<int>(a.get_long("max-queue", 64));
+  cfg.backpressure = a.flag("shed") ? serve::EngineConfig::Backpressure::kShed
+                                    : serve::EngineConfig::Backpressure::kBlock;
+  cfg.workers = runtime::Parallelism{.threads = static_cast<int>(a.get_long("threads", 0))}
+                    .resolved();
+  cfg.default_deadline_ms = a.get_long("deadline-ms", -1);
+  cfg.expected_channels = static_cast<int>(ds.kpis.size());
+  serve::GenerationEngine engine(primary, cfg);
+  engine.set_fallback(&fallback);
+
+  std::filesystem::create_directories(out_dir);
+  const std::vector<serve::Response> responses = engine.serve(requests);
+
+  std::vector<std::string> names;
+  for (auto k : ds.kpis) names.emplace_back(sim::kpi_name(k));
+  int errors = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const serve::Response& resp = responses[i];
+    if (resp.outcome == serve::Outcome::kError) {
+      ++errors;
+      std::fprintf(stderr, "request %zu (%s): error %s: %s%s%s\n", i,
+                   specs[i].trajectory.c_str(),
+                   std::string(serve::to_string(resp.error.code)).c_str(),
+                   resp.error.message.c_str(), notes[i].empty() ? "" : " — ",
+                   notes[i].c_str());
+      continue;
+    }
+    const std::string out_path = out_dir + "/response_" + std::to_string(i) + ".csv";
+    if (!io::write_series_csv(resp.series, names, out_path, start_t[i], period[i])) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("request %zu (%s): %s%s%s attempts=%d -> %s\n", i, specs[i].trajectory.c_str(),
+                std::string(serve::to_string(resp.outcome)).c_str(),
+                resp.outcome == serve::Outcome::kDegraded ? " " : "",
+                resp.outcome == serve::Outcome::kDegraded
+                    ? ("(" + std::string(serve::to_string(resp.error.code)) + ")").c_str()
+                    : "",
+                resp.attempts, out_path.c_str());
+  }
+  const serve::GenerationEngine::Stats stats = engine.stats();
+  std::printf("served %zu requests: %llu ok, %llu degraded, %llu failed, %llu shed, "
+              "%llu retries\n",
+              specs.size(), static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.degraded),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.retries));
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  if (is_help(a.command)) {
+    print_usage(stdout);
+    return 0;
+  }
   if (a.command == "simulate") return cmd_simulate(a);
   if (a.command == "train") return cmd_train(a);
   if (a.command == "generate") return cmd_generate(a);
   if (a.command == "eval") return cmd_eval(a);
-  return usage();
+  if (a.command == "serve") return cmd_serve(a);
+  return usage();  // no command given
 }

@@ -22,7 +22,13 @@ patterns that silently break that guarantee:
 Scope: src/ plus tools/gendt_cli.cpp — the CLI owns the train-resume path,
 which serializes checkpoints whose byte layout (and therefore CRC) must be a
 pure function of the training state, so it obeys the same ordering rules as
-the gradient-reduction code. Benches and the other tools may time things;
+the gradient-reduction code. src/serve is held to the same bar: retry
+backoff jitter must come from derive_stream_seed (never global RNG state),
+deadlines must be measured through the injectable runtime::Clock, and no
+serving decision path may read the wall clock directly — the chaos tests'
+bitwise-reproducibility claim depends on all three. The single sanctioned
+wall-clock read is the SteadyClock impl behind runtime::steady_clock(),
+suppressed at its definition. Benches and the other tools may time things;
 tests may do what they like. Suppress a finding with a same-line comment:
     // determinism-lint: allow(<rule>) <reason>
 
@@ -70,10 +76,12 @@ GLOBAL_RULES = [
 
 # Paths (directories or single files) whose code must keep a stable
 # iteration order: gradient-reduction paths, where an unordered container
-# can reorder float accumulation between runs/platforms, and the CLI's
+# can reorder float accumulation between runs/platforms; the CLI's
 # checkpoint writer, where it would reorder serialized records and change
-# the file bytes/CRC between identical runs.
-ORDER_SENSITIVE_PATHS = ("src/nn", "src/core", "tools/gendt_cli.cpp")
+# the file bytes/CRC between identical runs; and the serving layer, where
+# fault-plan lookup and outcome digests must not depend on hash-table
+# iteration order or the chaos sweep's cross-thread-count equality breaks.
+ORDER_SENSITIVE_PATHS = ("src/nn", "src/core", "src/serve", "tools/gendt_cli.cpp")
 
 UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)")
 RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*&?(\w+)\s*\)")
