@@ -11,8 +11,10 @@
 #include <benchmark/benchmark.h>
 
 #include "gendt/context/context.h"
+#include "gendt/core/infer_session.h"
 #include "gendt/core/model.h"
 #include "gendt/metrics/metrics.h"
+#include "gendt/serve/engine.h"
 #include "gendt/sim/dataset.h"
 
 using namespace gendt;
@@ -187,6 +189,62 @@ void BM_GenDTWindowGeneration(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * samples);
 }
 BENCHMARK(BM_GenDTWindowGeneration);
+
+// Same rollout through the tape-free InferenceSession (bitwise-identical
+// output, enforced by gen_parity_test). The session persists across
+// iterations, so steady-state runs allocate nothing — the comparison against
+// BM_GenDTWindowGeneration is the fast path's headline number.
+void BM_GenDTWindowGenerationFast(benchmark::State& state) {
+  auto& f = SimFixtures::get();
+  core::InferenceSession session(*f.model);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto s = session.run(f.windows, ++seed);
+    benchmark::DoNotOptimize(s.size());
+  }
+  int64_t samples = 0;
+  for (const auto& w : f.windows) samples += w.len;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * samples);
+}
+BENCHMARK(BM_GenDTWindowGenerationFast);
+
+// End-to-end serving throughput at several batch_max values: 8 requests
+// through GenerationEngine with 2 workers. batch_max=1 is classic
+// one-request-per-worker dispatch; larger values drain the queue and fan the
+// batch out on the shared pool.
+void BM_ServeBatchThroughput(benchmark::State& state) {
+  auto& f = SimFixtures::get();
+  static core::GenDTGenerator* generator = [] {
+    auto& fx = SimFixtures::get();
+    core::GenDTConfig mcfg;
+    mcfg.num_channels = 4;
+    mcfg.hidden = 28;
+    auto* g = new core::GenDTGenerator(mcfg, core::TrainConfig{},
+                                       context::fit_kpi_norm(fx.ds.train, fx.ds.kpis));
+    g->set_kpis(fx.ds.kpis);
+    return g;
+  }();
+
+  constexpr int kRequests = 8;
+  serve::EngineConfig cfg;
+  cfg.backpressure = serve::EngineConfig::Backpressure::kBlock;
+  cfg.workers = 2;
+  cfg.batch_max = static_cast<int>(state.range(0));
+  cfg.expected_channels = 4;
+  serve::GenerationEngine engine(*generator, cfg);
+  std::vector<serve::Request> requests(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    requests[r].windows = f.windows;
+    requests[r].seed = 100 + static_cast<uint64_t>(r);
+  }
+  for (auto _ : state) {
+    auto responses = engine.serve(requests);
+    benchmark::DoNotOptimize(responses.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRequests);
+  state.counters["batch_max"] = cfg.batch_max;
+}
+BENCHMARK(BM_ServeBatchThroughput)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // One generator+discriminator training epoch at a given worker-thread
 // count. The trained numbers are bitwise identical across the Arg values

@@ -1,0 +1,52 @@
+// Tape-free generation: InferenceSession runs GenDTModel's whole rollout —
+// per-cell G^n, aggregation LSTM, autoregressive ResGen — on reusable
+// Workspace buffers (gendt/nn/infer.h) instead of the autograd Tensor graph.
+//
+// Guarantees:
+//  * Bitwise parity: run(windows, seed, mc_dropout) returns the exact bits
+//    of GenDTModel::sample_windows(windows, seed, mc_dropout), at every
+//    thread count. The kernels replay the graph's FP op sequence and RNG
+//    draw order (enforced by gen_parity_test).
+//  * No steady-state allocation: after the first window of a given shape
+//    (warmup), further windows, MC-dropout passes and run() calls reuse the
+//    same buffers — allocations() stops moving. Only the returned
+//    WindowSample Mats are freshly allocated (they are the product).
+//  * Same cancellation contract as sample_windows: `cancel` is polled before
+//    every window; produced windows are unaffected by a cancellation.
+//
+// A session is single-user (not thread-safe) but cheap to pool:
+// GenDTGenerator keeps a pool of sessions and leases one per request, so
+// batched serving reuses warm buffers across requests.
+#pragma once
+
+#include "gendt/core/model.h"
+#include "gendt/nn/infer.h"
+
+namespace gendt::core {
+
+class InferenceSession {
+ public:
+  /// The model must outlive the session; weights are read, never copied.
+  explicit InferenceSession(const GenDTModel& model) : model_(&model) {}
+
+  /// Fast-path equivalent of GenDTModel::sample_windows (same seed, same
+  /// bits, same cancellation semantics).
+  std::vector<WindowSample> run(const std::vector<context::Window>& windows, uint64_t seed,
+                                bool mc_dropout = false,
+                                const runtime::CancelToken* cancel = nullptr);
+
+  /// Total workspace Mat (re)allocations across all internal workspaces.
+  /// Constant across repeat run() calls on same-shaped inputs.
+  size_t allocations() const;
+
+ private:
+  void run_window(const context::Window& w, const nn::Mat* prev_tail, std::mt19937_64& rng,
+                  bool mc_dropout, WindowSample& s);
+
+  const GenDTModel* model_;
+  nn::infer::Workspace ws_;                    // window-level buffers
+  std::vector<nn::infer::Workspace> cell_ws_;  // one per cell slot (parallel rollout)
+  std::vector<uint64_t> cell_seeds_;
+};
+
+}  // namespace gendt::core

@@ -75,6 +75,12 @@ class GenDTModel {
 
   const GenDTConfig& config() const { return cfg_; }
 
+  /// Raw sub-network views for the tape-free InferenceSession (read-only;
+  /// the fast path shares weights with the graph path, never copies them).
+  const nn::LstmCell& node_cell() const { return node_cell_; }
+  const nn::LstmNetwork& agg_net() const { return agg_net_; }
+  const nn::Mlp& resgen() const { return resgen_; }
+
   /// All trainable generator parameters.
   std::vector<nn::NamedParam> generator_params() const;
   /// Discriminator parameters.
@@ -202,11 +208,21 @@ TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& wi
 double model_uncertainty(const GenDTModel& model, const std::vector<context::Window>& windows,
                          int mc_samples = 5, uint64_t seed = 1);
 
+class InferenceSession;  // gendt/core/infer_session.h
+
 /// TimeSeriesGenerator adapter around GenDTModel (fits + denormalizes).
+///
+/// generate() runs on the tape-free InferenceSession fast path by default
+/// (bitwise identical to the Tensor graph — see infer_session.h); sessions
+/// are pooled so concurrent serve requests reuse warm workspaces instead of
+/// re-allocating per call. set_fast_path(false) routes through
+/// GenDTModel::sample_windows for A/B parity checks.
 class GenDTGenerator final : public TimeSeriesGenerator {
  public:
-  GenDTGenerator(GenDTConfig model_cfg, TrainConfig train_cfg, context::KpiNorm norm)
-      : model_(model_cfg), train_cfg_(train_cfg), norm_(std::move(norm)) {}
+  // Both out-of-line: InferenceSession is incomplete here, and member
+  // construction/destruction must see its definition.
+  GenDTGenerator(GenDTConfig model_cfg, TrainConfig train_cfg, context::KpiNorm norm);
+  ~GenDTGenerator() override;
 
   /// Declare the KPI meaning of each channel. Discrete KPIs (CQI) are
   /// snapped to their integer grid after denormalization — the paper notes
@@ -227,11 +243,29 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   const GenDTModel& model() const { return model_; }
   const context::KpiNorm& norm() const { return norm_; }
 
+  /// Toggle the tape-free fast path (on by default). Switching drops the
+  /// warm session pool; both settings produce the same bits.
+  void set_fast_path(bool on);
+  bool fast_path() const { return fast_path_; }
+
  private:
+  /// Fast-path sample_windows: leases a warm InferenceSession from the pool
+  /// (building one on first use) and always returns it, even on cancellation.
+  std::vector<WindowSample> sample_fast(const std::vector<context::Window>& windows,
+                                        uint64_t seed,
+                                        const runtime::CancelToken* cancel) const;
+
   GenDTModel model_;
   TrainConfig train_cfg_;
   context::KpiNorm norm_;
   std::vector<sim::Kpi> kpis_;  // optional channel semantics
+  bool fast_path_ = true;
+  // Warm InferenceSessions, leased one per in-flight generate() call.
+  // generate() is const (TimeSeriesGenerator contract) and called from many
+  // serve workers at once, hence the mutable pool + its own lock.
+  mutable runtime::Mutex session_mu_;
+  mutable std::vector<std::unique_ptr<InferenceSession>> sessions_
+      GENDT_GUARDED_BY(session_mu_);
 };
 
 }  // namespace gendt::core

@@ -1,0 +1,254 @@
+// InferenceSession: the tape-free rollout. This file compiles with
+// -ffp-contract=off (src/core/CMakeLists.txt) for the same reason as
+// src/nn/infer.cpp — the residual combine below must round its mul and adds
+// exactly like the graph's separate hadamard/add ops.
+#include "gendt/core/infer_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gendt/nn/checks.h"
+#include "gendt/runtime/cancel.h"
+#include "gendt/sim/landuse.h"
+
+namespace gendt::core {
+
+using nn::Mat;
+using nn::infer::Lease;
+
+namespace {
+
+// Window-level workspace slots. The MLP trunk uses [kMlpBase, kMlpBase + L]
+// for its hidden activations, so kMlpBase must stay last.
+enum MainSlot : int {
+  kTail = 0,   // [m x nch] autoregressive tail carried across windows
+  kHavg,       // [len x H] pooled node hidden states
+  kAggH,       // [1 x H]
+  kAggC,       // [1 x H]
+  kAggX,       // [1 x H] h_avg row fed to the aggregation cell
+  kAggGates,   // [1 x 4H]
+  kAggScratch, // [1 x H] perturbation noise
+  kAggOut,     // [len x nch] projected aggregation outputs
+  kHeadRow,    // [1 x nch] per-step projection before copy-out
+  kRecent,     // [m x nch] rolling ResGen lookback
+  kU,          // [1 x res_in] ResGen input row
+  kResHead,    // [1 x 2*nch] ResGen head (mu ++ raw log_sigma)
+  kEps,        // [1 x nch] reparameterization noise
+  kMlpBase,    // first MLP activation slot
+};
+
+// Per-cell workspace slots (each cell slot owns a private Workspace so the
+// rollout can fan out with no shared mutable state).
+enum CellSlot : int {
+  kCellHist = 0,  // [len x H] hidden state per step (pooled afterwards)
+  kCellH,         // [1 x H]
+  kCellC,         // [1 x H]
+  kCellX,         // [1 x in]
+  kCellGates,     // [1 x 4H]
+  kCellScratch,   // [1 x H]
+};
+
+// Fresh standard-normal draws, replaying model.cpp's gaussian_noise (a new
+// distribution per call — no cached polar-method value carries over).
+void gaussian_fill(double* dst, int n, std::mt19937_64& rng) {
+  std::normal_distribution<double> g(0.0, 1.0);
+  for (int i = 0; i < n; ++i) dst[i] = g(rng);
+}
+
+}  // namespace
+
+size_t InferenceSession::allocations() const {
+  size_t n = ws_.allocations();
+  for (const auto& cws : cell_ws_) n += cws.allocations();
+  return n;
+}
+
+std::vector<WindowSample> InferenceSession::run(const std::vector<context::Window>& windows,
+                                                uint64_t seed, bool mc_dropout,
+                                                const runtime::CancelToken* cancel) {
+  const GenDTConfig& cfg = model_->config();
+  const int m = cfg.resgen_lookback;
+  const int nch = cfg.num_channels;
+
+  std::mt19937_64 rng(seed);
+  std::vector<WindowSample> out;
+  out.reserve(windows.size());
+
+  Lease tail(ws_, kTail, m, nch);
+  bool have_tail = false;  // mirrors sample_windows' initially-empty tail Mat
+  for (const auto& w : windows) {
+    runtime::check_cancel(cancel);
+    WindowSample s;
+    run_window(w, have_tail ? &tail.mat() : nullptr, rng, mc_dropout, s);
+
+    for (int i = 0; i < m; ++i) {
+      const int src = std::max(0, w.len - m + i);
+      for (int ch = 0; ch < nch; ++ch) tail.mat()(i, ch) = s.output(src, ch);
+    }
+    have_tail = true;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void InferenceSession::run_window(const context::Window& w, const Mat* prev_tail,
+                                  std::mt19937_64& rng, bool mc_dropout, WindowSample& s) {
+  const GenDTConfig& cfg = model_->config();
+  const int len = w.len;
+  const int H = cfg.hidden;
+  const int nch = cfg.num_channels;
+  const int m = cfg.resgen_lookback;
+  const int n_cells = static_cast<int>(w.cell_attrs.size());
+  const int node_in = context::kCellAttrs + cfg.noise_dim_node;
+
+  // ---- G^n: per-cell rollout on private workspaces -----------------------
+  // Same fan-out and per-cell seed scheme as GenDTModel::forward: seeds come
+  // off the window stream in cell order before any parallel work, so the
+  // math never depends on scheduling.
+  if (static_cast<int>(cell_ws_.size()) < n_cells) cell_ws_.resize(static_cast<size_t>(n_cells));
+  cell_seeds_.resize(static_cast<size_t>(std::max(n_cells, 0)));
+  for (int ci = 0; ci < n_cells; ++ci) cell_seeds_[static_cast<size_t>(ci)] = rng();
+
+  // Hidden-state histories outlive the parallel region (pooled below), so
+  // they are checked out up front on this thread; each task leases only its
+  // own cell's step buffers.
+  std::vector<Lease> hists;
+  hists.reserve(static_cast<size_t>(n_cells));
+  for (int ci = 0; ci < n_cells; ++ci)
+    hists.emplace_back(cell_ws_[static_cast<size_t>(ci)], kCellHist, len, H);
+
+  const nn::LstmCell& node = model_->node_cell();
+  runtime::parallel_tasks(cfg.parallelism, n_cells, [&](int ci) {
+    nn::infer::Workspace& cws = cell_ws_[static_cast<size_t>(ci)];
+    Mat& hist = hists[static_cast<size_t>(ci)].mat();
+    Lease h(cws, kCellH, 1, H);
+    Lease c(cws, kCellC, 1, H);
+    Lease x(cws, kCellX, 1, node_in);
+    Lease gates(cws, kCellGates, 1, 4 * H);
+    Lease scratch(cws, kCellScratch, 1, H);
+    h.mat().set_zero();
+    c.mat().set_zero();
+
+    std::mt19937_64 cell_rng(cell_seeds_[static_cast<size_t>(ci)]);
+    std::normal_distribution<double> g01(0.0, 1.0);  // persists across steps
+    const Mat& attrs = w.cell_attrs[static_cast<size_t>(ci)];
+    for (int t = 0; t < len; ++t) {
+      for (int a = 0; a < context::kCellAttrs; ++a) x.mat()(0, a) = attrs(t, a);
+      for (int a = 0; a < cfg.noise_dim_node; ++a)
+        x.mat()(0, context::kCellAttrs + a) = cfg.noise_scale_node * g01(cell_rng);
+      nn::infer::lstm_step_fwd(node, x.mat(), cfg.stochastic, cell_rng, h.mat(), c.mat(),
+                               gates.mat(), scratch.mat());
+      const double* hp = h.mat().data().data();
+      for (int j = 0; j < H; ++j) hist(t, j) = hp[j];
+    }
+  });
+
+  // ---- Graph pooling: h_avg = mean over cells, summed in cell order ------
+  Lease havg(ws_, kHavg, len, H);
+  if (n_cells == 0) {
+    havg.mat().set_zero();
+  } else {
+    const double inv = 1.0 / static_cast<double>(n_cells);
+    for (int t = 0; t < len; ++t) {
+      for (int j = 0; j < H; ++j) {
+        double sum = hists[0].mat()(t, j);
+        for (int ci = 1; ci < n_cells; ++ci) sum += hists[static_cast<size_t>(ci)].mat()(t, j);
+        havg.mat()(t, j) = sum * inv;
+      }
+    }
+  }
+  hists.clear();  // release the per-cell histories
+
+  // ---- G^a: aggregation LSTM + head ------------------------------------
+  // The head projection consumes no RNG, so projecting inside the step loop
+  // (instead of after the full rollout like LstmNetwork::forward) leaves
+  // both the stream and the values untouched.
+  const nn::LstmCell& agg_cell = model_->agg_net().cell();
+  const nn::Linear& agg_head = model_->agg_net().head();
+  Lease agg_out(ws_, kAggOut, len, nch);
+  {
+    Lease ah(ws_, kAggH, 1, H);
+    Lease ac(ws_, kAggC, 1, H);
+    Lease ax(ws_, kAggX, 1, H);
+    Lease agates(ws_, kAggGates, 1, 4 * H);
+    Lease ascratch(ws_, kAggScratch, 1, H);
+    Lease head_row(ws_, kHeadRow, 1, nch);
+    ah.mat().set_zero();
+    ac.mat().set_zero();
+    for (int t = 0; t < len; ++t) {
+      for (int j = 0; j < H; ++j) ax.mat()(0, j) = havg.mat()(t, j);
+      nn::infer::lstm_step_fwd(agg_cell, ax.mat(), cfg.stochastic, rng, ah.mat(), ac.mat(),
+                               agates.mat(), ascratch.mat());
+      nn::infer::linear_fwd(ah.mat(), agg_head, head_row.mat());
+      for (int ch = 0; ch < nch; ++ch) agg_out.mat()(t, ch) = head_row.mat()(0, ch);
+    }
+  }
+
+  // ---- G^r: autoregressive residual ------------------------------------
+  s.output = Mat(len, nch);
+  s.mean = Mat(len, nch);
+  s.res_mu = Mat::zeros(len, nch);
+  s.res_sigma = Mat::zeros(len, nch);
+
+  if (!cfg.use_resgen) {
+    for (int t = 0; t < len; ++t) {
+      for (int ch = 0; ch < nch; ++ch) {
+        s.output(t, ch) = agg_out.mat()(t, ch);
+        s.mean(t, ch) = s.output(t, ch);
+      }
+    }
+    return;
+  }
+
+  const nn::Mlp& resgen = model_->resgen();
+  const int res_in = sim::kNumEnvAttributes + cfg.noise_dim_res + m * nch;
+  Lease recent(ws_, kRecent, m, nch);
+  recent.mat().set_zero();
+  if (prev_tail != nullptr) {
+    for (int i = 0; i < m; ++i) {
+      const int src = prev_tail->rows() - m + i;
+      if (src >= 0)
+        for (int ch = 0; ch < nch; ++ch) recent.mat()(i, ch) = (*prev_tail)(src, ch);
+    }
+  }
+
+  Lease u(ws_, kU, 1, res_in);
+  Lease head(ws_, kResHead, 1, 2 * nch);
+  Lease eps(ws_, kEps, 1, nch);
+  for (int t = 0; t < len; ++t) {
+    int col = 0;
+    for (int a = 0; a < sim::kNumEnvAttributes; ++a) u.mat()(0, col++) = w.env(t, a);
+    gaussian_fill(u.mat().data().data() + col, cfg.noise_dim_res, rng);  // z1
+    col += cfg.noise_dim_res;
+    for (int r = 0; r < m; ++r)
+      for (int ch = 0; ch < nch; ++ch) u.mat()(0, col++) = recent.mat()(r, ch);
+
+    // Draw order per step matches forward(): z1, then the dropout mask
+    // inside the MLP (MC dropout only), then eps.
+    nn::infer::mlp_fwd(resgen, u.mat(), rng, /*training=*/mc_dropout, ws_, kMlpBase,
+                       head.mat());
+    for (int ch = 0; ch < nch; ++ch) {
+      const double mu = head.mat()(0, ch);
+      // log_sigma = tanh(raw * 0.25) * 4.0, sigma = exp(log_sigma) — the
+      // graph's scale / tanh / scale / exp ops, in order.
+      const double log_sigma = std::tanh(head.mat()(0, nch + ch) * 0.25) * 4.0;
+      s.res_mu(t, ch) = mu;
+      s.res_sigma(t, ch) = std::exp(log_sigma);
+    }
+    gaussian_fill(eps.mat().data().data(), nch, rng);
+    for (int ch = 0; ch < nch; ++ch) {
+      const double agg_v = agg_out.mat()(t, ch);
+      // out = (agg + mu) + sigma*eps; mean = agg + mu (same adds as the
+      // graph's left-associated `out_t + mu + sigma * eps`).
+      const double mean_v = agg_v + s.res_mu(t, ch);
+      s.mean(t, ch) = mean_v;
+      s.output(t, ch) = mean_v + s.res_sigma(t, ch) * eps.mat()(0, ch);
+    }
+
+    for (int r = 0; r + 1 < m; ++r)
+      for (int ch = 0; ch < nch; ++ch) recent.mat()(r, ch) = recent.mat()(r + 1, ch);
+    for (int ch = 0; ch < nch; ++ch) recent.mat()(m - 1, ch) = s.output(t, ch);
+  }
+}
+
+}  // namespace gendt::core

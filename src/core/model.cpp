@@ -1,6 +1,8 @@
 #include "gendt/core/model.h"
 
 #include <algorithm>
+
+#include "gendt/core/infer_session.h"
 #include <atomic>
 #include <cmath>
 #include <memory>
@@ -558,6 +560,47 @@ double model_uncertainty(const GenDTModel& model, const std::vector<context::Win
   return count > 0 ? acc / static_cast<double>(count) : 0.0;
 }
 
+GenDTGenerator::GenDTGenerator(GenDTConfig model_cfg, TrainConfig train_cfg,
+                               context::KpiNorm norm)
+    : model_(model_cfg), train_cfg_(train_cfg), norm_(std::move(norm)) {}
+
+GenDTGenerator::~GenDTGenerator() = default;
+
+void GenDTGenerator::set_fast_path(bool on) {
+  runtime::MutexLock lock(session_mu_);
+  if (fast_path_ != on) sessions_.clear();
+  fast_path_ = on;
+}
+
+std::vector<WindowSample> GenDTGenerator::sample_fast(
+    const std::vector<context::Window>& windows, uint64_t seed,
+    const runtime::CancelToken* cancel) const {
+  // Lease a warm session from the pool (or build one); return it even when
+  // the rollout unwinds with CancelledError, so cancellations don't leak the
+  // warmed buffers.
+  std::unique_ptr<InferenceSession> session;
+  {
+    runtime::MutexLock lock(session_mu_);
+    if (!sessions_.empty()) {
+      session = std::move(sessions_.back());
+      sessions_.pop_back();
+    }
+  }
+  if (!session) session = std::make_unique<InferenceSession>(model_);
+  auto pool_return = [this, &session]() {
+    runtime::MutexLock lock(session_mu_);
+    sessions_.push_back(std::move(session));
+  };
+  try {
+    auto samples = session->run(windows, seed, /*mc_dropout=*/false, cancel);
+    pool_return();
+    return samples;
+  } catch (...) {
+    pool_return();
+    throw;
+  }
+}
+
 GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& windows,
                                          uint64_t seed) const {
   return generate(windows, seed, nullptr);
@@ -569,7 +612,10 @@ GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& win
   GeneratedSeries out;
   const int nch = model_.config().num_channels;
   out.channels.assign(static_cast<size_t>(nch), {});
-  for (const auto& s : model_.sample_windows(windows, seed, /*mc_dropout=*/false, cancel)) {
+  const std::vector<WindowSample> samples =
+      fast_path_ ? sample_fast(windows, seed, cancel)
+                 : model_.sample_windows(windows, seed, /*mc_dropout=*/false, cancel);
+  for (const auto& s : samples) {
     for (int t = 0; t < s.output.rows(); ++t) {
       for (int ch = 0; ch < nch; ++ch) {
         double v = norm_.denormalize(ch, s.output(t, ch));

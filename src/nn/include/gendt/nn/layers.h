@@ -41,6 +41,10 @@ class Linear : public Module {
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 
+  /// Raw parameter views for the tape-free inference kernels (infer.h).
+  const Mat& weight_value() const { return weight_.value(); }
+  const Mat& bias_value() const { return bias_.value(); }
+
  private:
   int in_ = 0, out_ = 0;
   std::string name_;
@@ -67,6 +71,8 @@ class Mlp : public Module {
   std::vector<NamedParam> params() const override;
 
   const Config& config() const { return cfg_; }
+  /// Layer views for the tape-free inference kernels (infer.h).
+  const std::vector<Linear>& layers() const { return layers_; }
 
  private:
   Config cfg_;
@@ -109,6 +115,11 @@ class LstmCell : public Module {
 
   int input_size() const { return input_; }
   int hidden_size() const { return hidden_; }
+
+  /// Raw parameter views for the tape-free inference kernels (infer.h).
+  const Mat& wx_value() const { return wx_.value(); }
+  const Mat& wh_value() const { return wh_.value(); }
+  const Mat& bias_value() const { return b_.value(); }
 
  private:
   int input_ = 0, hidden_ = 0;
@@ -172,6 +183,7 @@ class LstmNetwork : public Module {
   int input_size() const { return cell_.input_size(); }
   int output_size() const { return head_.out_features(); }
   const LstmCell& cell() const { return cell_; }
+  const Linear& head() const { return head_; }
 
  private:
   LstmCell cell_;

@@ -54,6 +54,17 @@ class Mat {
   void fill(double v);
   void set_zero() { fill(0.0); }
 
+  /// Reshape in place; contents become unspecified. Reuses the existing
+  /// storage when the new size fits its capacity (no heap traffic) — this is
+  /// what lets inference Workspace slots absorb varying window lengths
+  /// without reallocating.
+  void resize(int rows, int cols) {
+    assert(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+
   /// In-place axpy: *this += alpha * other (same shape).
   void add_scaled(const Mat& other, double alpha);
 

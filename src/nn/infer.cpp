@@ -1,0 +1,186 @@
+// Tape-free forward kernels. This file compiles with -ffp-contract=off (see
+// src/nn/CMakeLists.txt): the Tensor graph rounds every mul and add
+// separately, so letting GCC fuse a*b + c into an FMA here would silently
+// break the bitwise-parity contract gen_parity_test enforces.
+#include "gendt/nn/infer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "gendt/nn/checks.h"
+
+namespace gendt::nn::infer {
+
+Mat& Workspace::checkout(int key, int rows, int cols) {
+  assert(key >= 0 && rows >= 0 && cols >= 0);
+  if (key >= static_cast<int>(slots_.size())) slots_.resize(static_cast<size_t>(key) + 1);
+  Slot& s = slots_[static_cast<size_t>(key)];
+  GENDT_CHECK(!s.out, "workspace slot " + std::to_string(key) +
+                          " checked out twice without release");
+  assert(!s.out);
+  const size_t need = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (s.buf == nullptr) {
+    s.buf = std::make_unique<Mat>(rows, cols);
+    s.capacity = need;
+    ++allocations_;
+  } else if (s.buf->rows() != rows || s.buf->cols() != cols) {
+    // Reshape in place; only growth beyond the slot's high-water mark costs
+    // (and counts as) an allocation, so alternating window lengths reuse the
+    // same storage after warmup.
+    if (need > s.capacity) {
+      s.capacity = need;
+      ++allocations_;
+    }
+    s.buf->resize(rows, cols);
+  }
+  s.out = true;
+  return *s.buf;
+}
+
+void Workspace::release(int key) {
+  const bool live = key >= 0 && key < static_cast<int>(slots_.size()) &&
+                    slots_[static_cast<size_t>(key)].out;
+  GENDT_CHECK(live, "workspace release of slot " + std::to_string(key) +
+                        " that is not checked out");
+  assert(live);
+  if (live) slots_[static_cast<size_t>(key)].out = false;
+}
+
+bool Workspace::checked_out(int key) const {
+  return key >= 0 && key < static_cast<int>(slots_.size()) &&
+         slots_[static_cast<size_t>(key)].out;
+}
+
+void affine2_fwd(const Mat& x1, const Mat& w1, const Mat& x2, const Mat& w2, const Mat& b,
+                 Mat& y) {
+  GENDT_CHECK(x1.rows() == x2.rows() && x1.cols() == w1.rows() && x2.cols() == w2.rows() &&
+                  w1.cols() == w2.cols() && w1.cols() == b.cols() && b.rows() == 1 &&
+                  y.rows() == x1.rows() && y.cols() == w1.cols(),
+              "affine2_fwd shape mismatch: x1 " + shape_str(x1) + " w1 " + shape_str(w1) +
+                  " x2 " + shape_str(x2) + " w2 " + shape_str(w2) + " b " + shape_str(b) +
+                  " -> y " + shape_str(y));
+  assert(y.rows() == x1.rows() && y.cols() == w1.cols());
+  const int rows = y.rows(), cols = y.cols();
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) y(r, c) = b(0, c);
+  matmul_acc(x1, w1, y);
+  matmul_acc(x2, w2, y);
+  check_finite(y, "affine2_fwd");
+}
+
+void linear_fwd(const Mat& x, const Linear& layer, Mat& y) {
+  const Mat& w = layer.weight_value();
+  const Mat& b = layer.bias_value();
+  GENDT_CHECK(x.cols() == w.rows() && y.rows() == x.rows() && y.cols() == w.cols(),
+              "linear_fwd shape mismatch: x " + shape_str(x) + " * W " + shape_str(w) +
+                  " -> y " + shape_str(y));
+  assert(x.cols() == w.rows() && y.rows() == x.rows() && y.cols() == w.cols());
+  // matmul(x, W) + b: zero-init then accumulate, bias added as its own pass
+  // (the graph rounds the product before the bias add — keep that order).
+  y.set_zero();
+  matmul_acc(x, w, y);
+  for (int r = 0; r < y.rows(); ++r)
+    for (int c = 0; c < y.cols(); ++c) y(r, c) += b(0, c);
+  check_finite(y, "linear_fwd");
+}
+
+void stochastic_perturb_fwd(Mat& s, double intensity, std::mt19937_64& rng, Mat& noise) {
+  if (intensity <= 0.0) return;
+  assert(noise.same_shape(s));
+  double mean_abs = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) mean_abs += std::abs(s[i]);
+  mean_abs /= static_cast<double>(s.size());
+  if (mean_abs <= 0.0) return;
+
+  std::uniform_real_distribution<double> dist(0.0, mean_abs);
+  for (size_t i = 0; i < noise.size(); ++i) noise[i] = intensity * dist(rng);
+
+  const double sum_before = s.sum();
+  const double sum_after = sum_before + noise.sum();
+  double scale = (std::abs(sum_after) > 1e-12) ? sum_before / sum_after : 1.0;
+  scale = std::clamp(scale, 0.5, 2.0);
+  // (s + noise) * scale: the graph's add and scale are distinct ops.
+  for (size_t i = 0; i < s.size(); ++i) s[i] = (s[i] + noise[i]) * scale;
+}
+
+void lstm_step_fwd(const LstmCell& cell, const Mat& x, const StochasticConfig& stoch,
+                   std::mt19937_64& rng, Mat& h, Mat& c, Mat& gates, Mat& scratch) {
+  const int H = cell.hidden_size();
+  GENDT_CHECK(x.cols() == cell.input_size() && h.cols() == H && c.cols() == H &&
+                  gates.cols() == 4 * H && scratch.cols() == H,
+              "lstm_step_fwd shape mismatch: x " + shape_str(x) + " h " + shape_str(h) +
+                  " gates " + shape_str(gates));
+  assert(x.cols() == cell.input_size() && h.cols() == H && c.cols() == H);
+  assert(gates.rows() == 1 && gates.cols() == 4 * H && scratch.cols() == H);
+  if (stoch.enabled) {
+    stochastic_perturb_fwd(h, stoch.a_h, rng, scratch);
+    stochastic_perturb_fwd(c, stoch.a_c, rng, scratch);
+  }
+  affine2_fwd(x, cell.wx_value(), h, cell.wh_value(), cell.bias_value(), gates);
+
+  double* __restrict hp = h.data().data();
+  double* __restrict cp = c.data().data();
+  const double* __restrict gp = gates.data().data();
+  for (int j = 0; j < H; ++j) {
+    const double ig = 1.0 / (1.0 + std::exp(-gp[j]));
+    const double fg = 1.0 / (1.0 + std::exp(-gp[H + j]));
+    const double gg = std::tanh(gp[2 * H + j]);
+    const double og = 1.0 / (1.0 + std::exp(-gp[3 * H + j]));
+    // c' = f*c + i*g, h' = o*tanh(c'): mul/mul/add rounded separately
+    // (-ffp-contract=off), exactly like the graph's hadamard + add ops.
+    const double cn = fg * cp[j] + ig * gg;
+    cp[j] = cn;
+    hp[j] = og * std::tanh(cn);
+  }
+  check_finite(h, "lstm_step_fwd");
+}
+
+void leaky_relu_inplace(Mat& h, double negative_slope) {
+  for (size_t i = 0; i < h.size(); ++i) h[i] = h[i] > 0.0 ? h[i] : negative_slope * h[i];
+}
+
+void dropout_inplace(Mat& h, double p, std::mt19937_64& rng) {
+  assert(p > 0.0 && p < 1.0);
+  std::bernoulli_distribution keep(1.0 - p);
+  const double scale = 1.0 / (1.0 - p);
+  // Same draw order and same per-element multiply as dropout()'s mask path;
+  // a dropped element computes h[i] * 0.0 (not an assignment of 0.0), so
+  // signed zeros match the graph too.
+  for (size_t i = 0; i < h.size(); ++i) h[i] *= keep(rng) ? scale : 0.0;
+}
+
+void mlp_fwd(const Mlp& mlp, const Mat& x, std::mt19937_64& rng, bool training, Workspace& ws,
+             int key_base, Mat& out) {
+  const std::vector<Linear>& layers = mlp.layers();
+  GENDT_CHECK(!layers.empty(), "mlp_fwd on an empty Mlp");
+  assert(!layers.empty());
+  const size_t n = layers.size();
+  const double p = mlp.config().dropout_p;
+  const bool drop = p > 0.0 && training;
+
+  Mat* cur = nullptr;  // last hidden activation (null = still the input x)
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const Mat& in = cur != nullptr ? *cur : x;
+    Mat& y = ws.checkout(key_base + static_cast<int>(i), in.rows(), layers[i].out_features());
+    linear_fwd(in, layers[i], y);
+    leaky_relu_inplace(y, mlp.config().leaky_slope);
+    cur = &y;
+  }
+  bool copied_input = false;
+  if (drop) {
+    if (cur == nullptr) {  // single-layer MLP: dropout applies to the input
+      Mat& cp = ws.checkout(key_base + static_cast<int>(n), x.rows(), x.cols());
+      std::copy(x.data().begin(), x.data().end(), cp.data().begin());
+      cur = &cp;
+      copied_input = true;
+    }
+    dropout_inplace(*cur, p, rng);
+  }
+  linear_fwd(cur != nullptr ? *cur : x, layers[n - 1], out);
+
+  for (size_t i = 0; i + 1 < n; ++i) ws.release(key_base + static_cast<int>(i));
+  if (copied_input) ws.release(key_base + static_cast<int>(n));
+}
+
+}  // namespace gendt::nn::infer

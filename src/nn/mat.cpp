@@ -105,18 +105,38 @@ void mm_rows(const double* __restrict a, const double* __restrict b, double* __r
 }
 
 // C[r0:r1, :] += A[r0:r1, :] * B^T with A [M x K], B [N x K].
+//
+// The j-th output column reads B's j-th ROW, so a direct loop is a
+// dot-product over strided memory with a loop-carried sum — it neither
+// vectorizes nor reuses cache lines, and benched at ~2.2x slower than the
+// naive NN kernel. Instead each [k x j] tile of B^T is packed once into a
+// contiguous buffer, turning the inner loop into the same unit-stride axpy
+// as mm_rows. Packing only relocates values; every output element still
+// accumulates its products in ascending-k order, so results stay bitwise
+// identical at every tile size and thread count.
 void mm_nt_rows(const double* __restrict a, const double* __restrict b, double* __restrict c,
                 long r0, long r1, int K, int N) {
-  for (int jj = 0; jj < N; jj += kDepthTile) {
-    const int jend = std::min(N, jj + kDepthTile);
-    for (long i = r0; i < r1; ++i) {
-      const double* __restrict arow = a + i * K;
-      double* __restrict crow = c + i * N;
+  thread_local std::vector<double> pack;
+  pack.resize(static_cast<size_t>(kDepthTile) * kColTile);
+  double* __restrict pk = pack.data();
+  for (int kk = 0; kk < K; kk += kDepthTile) {
+    const int kend = std::min(K, kk + kDepthTile);
+    for (int jj = 0; jj < N; jj += kColTile) {
+      const int jend = std::min(N, jj + kColTile);
+      const int jw = jend - jj;
       for (int j = jj; j < jend; ++j) {
         const double* __restrict brow = b + static_cast<long>(j) * K;
-        double s = 0.0;
-        for (int k = 0; k < K; ++k) s += arow[k] * brow[k];
-        crow[j] += s;
+        for (int k = kk; k < kend; ++k) pk[static_cast<size_t>(k - kk) * jw + (j - jj)] = brow[k];
+      }
+      for (long i = r0; i < r1; ++i) {
+        const double* __restrict arow = a + i * K;
+        double* __restrict crow = c + i * N;
+        for (int k = kk; k < kend; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* __restrict prow = pk + static_cast<size_t>(k - kk) * jw;
+          for (int j = jj; j < jend; ++j) crow[j] += aik * prow[j - jj];
+        }
       }
     }
   }

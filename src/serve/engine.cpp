@@ -76,6 +76,24 @@ class BoundedQueue {
     return true;
   }
 
+  /// Drain up to `max_n` queued indices in FIFO order into `batch` (cleared
+  /// first). Blocks until at least one is available; returns an empty batch
+  /// only once closed and drained. Takes what is there — it never waits to
+  /// fill the batch, so batching adds no latency when traffic is sparse.
+  void pop_batch(std::vector<size_t>& batch, size_t max_n) GENDT_EXCLUDES(mu_) {
+    batch.clear();
+    {
+      runtime::MutexLock lock(mu_);
+      not_empty_.wait(lock, mu_,
+                      [this]() GENDT_REQUIRES(mu_) { return !q_.empty() || closed_; });
+      while (!q_.empty() && batch.size() < max_n) {
+        batch.push_back(q_.front());
+        q_.pop_front();
+      }
+    }
+    if (!batch.empty()) not_full_.notify_all();
+  }
+
   void close() GENDT_EXCLUDES(mu_) {
     {
       runtime::MutexLock lock(mu_);
@@ -287,12 +305,34 @@ std::vector<Response> GenerationEngine::serve(const std::vector<Request>& reques
 
   BoundedQueue queue(static_cast<size_t>(std::max(1, cfg_.max_queue)));
   const int workers = std::max(1, cfg_.workers);
+  const size_t batch_max = static_cast<size_t>(std::max(1, cfg_.batch_max));
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    pool.emplace_back([this, &queue, &requests, &out] {
-      size_t idx = 0;
-      while (queue.pop(idx)) out[idx] = execute(requests[idx], static_cast<int>(idx));
+    pool.emplace_back([this, &queue, &requests, &out, batch_max] {
+      if (batch_max == 1) {
+        size_t idx = 0;
+        while (queue.pop(idx)) out[idx] = execute(requests[idx], static_cast<int>(idx));
+        return;
+      }
+      std::vector<size_t> batch;
+      for (;;) {
+        queue.pop_batch(batch, batch_max);
+        if (batch.empty()) return;  // closed and drained
+        if (batch.size() == 1) {
+          const size_t idx = batch[0];
+          out[idx] = execute(requests[idx], static_cast<int>(idx));
+          continue;
+        }
+        // One pool task per request. execute() is keyed by the ORIGINAL
+        // request index — never the batch slot — so every response is
+        // bitwise identical whatever batch it happened to ride in.
+        runtime::parallel_tasks(runtime::Parallelism{.threads = static_cast<int>(batch.size())},
+                                static_cast<int>(batch.size()), [&](int bi) {
+                                  const size_t idx = batch[static_cast<size_t>(bi)];
+                                  out[idx] = execute(requests[idx], static_cast<int>(idx));
+                                });
+      }
     });
   }
 

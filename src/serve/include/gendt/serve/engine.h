@@ -86,6 +86,14 @@ struct EngineConfig {
   Backpressure backpressure = Backpressure::kShed;
   /// Executor threads consuming the admission queue.
   int workers = 1;
+  /// Requests a worker drains from the queue per dispatch (>= 1). A batch
+  /// runs fan-out on the shared runtime pool, one task per request; each
+  /// request keeps its own RNG stream (keyed by its seed and original
+  /// index, never its batch slot), so responses are bitwise independent of
+  /// batch composition. 1 = classic one-request-per-worker serving, which
+  /// also keeps the shed policy's "a worker holds at most one request"
+  /// occupancy bound.
+  int batch_max = 1;
   /// Retries after the first attempt for retryable failures.
   int max_retries = 2;
   /// Exponential backoff: base << (attempt-1) plus seeded jitter in

@@ -128,4 +128,68 @@ TEST(Cli, ServeRoundTripProducesPerRequestOutput) {
   EXPECT_EQ(ok.exit_code, 0) << ok.output;
 }
 
+// The tape-free fast path (default) and the autograd reference path must
+// produce byte-identical CSVs — the CLI-level face of the gen-parity
+// guarantee.
+TEST(Cli, GenerateFastAndReferenceCsvsAreByteIdentical) {
+  const auto dir = fresh_dir("cli_gen_parity");
+  const std::string ckpt = (dir / "model.ckpt").string();
+  const CliResult train =
+      run_cli("train --out " + ckpt + " --epochs 0 --train-s 120 --seed 3");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+
+  std::string traj = "t,lat,lon\n";
+  for (int i = 0; i < 120; ++i)
+    traj += std::to_string(i) + "," + std::to_string(47.0 + 1e-4 * i) + ",8.0\n";
+  write_file(dir / "traj.csv", traj);
+
+  const std::string common = "generate --model " + ckpt + " --trajectory " +
+                             (dir / "traj.csv").string() +
+                             " --train-s 120 --seed 3 --gen-seed 11 --out ";
+  const std::string fast_csv = (dir / "fast.csv").string();
+  const std::string ref_csv = (dir / "ref.csv").string();
+  const CliResult fast = run_cli(common + fast_csv + " --fast");
+  ASSERT_EQ(fast.exit_code, 0) << fast.output;
+  const CliResult ref = run_cli(common + ref_csv + " --reference");
+  ASSERT_EQ(ref.exit_code, 0) << ref.output;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  const std::string fast_bytes = slurp(fast_csv);
+  ASSERT_FALSE(fast_bytes.empty());
+  EXPECT_EQ(fast_bytes, slurp(ref_csv));
+
+  const CliResult both = run_cli(common + (dir / "x.csv").string() + " --fast --reference");
+  EXPECT_EQ(both.exit_code, 2);
+  EXPECT_NE(both.output.find("mutually exclusive"), std::string::npos) << both.output;
+}
+
+TEST(Cli, ServeAcceptsBatchMaxAndRejectsNonPositive) {
+  const auto dir = fresh_dir("cli_batch_max");
+  const std::string ckpt = (dir / "model.ckpt").string();
+  const CliResult train =
+      run_cli("train --out " + ckpt + " --epochs 0 --train-s 120 --seed 3");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+
+  std::string traj = "t,lat,lon\n";
+  for (int i = 0; i < 120; ++i)
+    traj += std::to_string(i) + "," + std::to_string(47.0 + 1e-4 * i) + ",8.0\n";
+  write_file(dir / "traj.csv", traj);
+  write_file(dir / "requests.txt", (dir / "traj.csv").string() + " 5\n" +
+                                       (dir / "traj.csv").string() + " 7\n");
+
+  const std::string base = "serve --requests " + (dir / "requests.txt").string() +
+                           " --model " + ckpt + " --out " + (dir / "out").string() +
+                           " --train-s 120 --seed 3 --threads 2";
+  const CliResult batched = run_cli(base + " --batch-max 4");
+  EXPECT_EQ(batched.exit_code, 0) << batched.output;
+  EXPECT_NE(batched.output.find("served 2 requests"), std::string::npos) << batched.output;
+
+  const CliResult bad = run_cli(base + " --batch-max 0");
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("--batch-max must be >= 1"), std::string::npos) << bad.output;
+}
+
 }  // namespace

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a committed baseline.
+
+Guards the perf trajectory tracked in BENCH_micro_perf.json: a benchmark
+whose cpu_time regressed by more than the threshold (default 25%) versus the
+baseline fails the run. Benchmarks present on only one side are reported but
+never fail — renames and new benchmarks must not break CI, and a retired
+benchmark must not pin its baseline entry forever.
+
+Aggregate rows (BigO/RMS/mean/...) are skipped: only per-iteration timings
+are comparable run to run. Times are normalized to nanoseconds before
+comparing, so a benchmark switching time_unit doesn't fake a regression.
+
+Usage:
+  tools/bench_compare.py [--threshold PCT] BASELINE.json FRESH.json
+  tools/bench_compare.py --self-test
+
+Exit code 0 = within threshold, 1 = regression(s), 2 = usage/bad input.
+"""
+
+import argparse
+import json
+import sys
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_timings(path):
+    """Return {benchmark name: cpu_time in ns} for per-iteration entries."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    timings = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        cpu = bench.get("cpu_time")
+        unit = bench.get("time_unit", "ns")
+        name = bench.get("name")
+        if name is None or cpu is None or unit not in _NS_PER_UNIT:
+            continue
+        timings[name] = float(cpu) * _NS_PER_UNIT[unit]
+    return timings
+
+
+def compare(baseline, fresh, threshold_pct):
+    """Return (regressions, report lines). A regression is >threshold slower."""
+    regressions = []
+    lines = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            lines.append(f"  only-baseline  {name} (retired or renamed — ignored)")
+            continue
+        if name not in baseline:
+            lines.append(f"  only-fresh     {name} (new benchmark — ignored)")
+            continue
+        base, cur = baseline[name], fresh[name]
+        if base <= 0.0:
+            lines.append(f"  skipped        {name} (non-positive baseline)")
+            continue
+        delta_pct = 100.0 * (cur - base) / base
+        tag = "ok"
+        if delta_pct > threshold_pct:
+            tag = "REGRESSION"
+            regressions.append(name)
+        lines.append(
+            f"  {tag:<14} {name}: {base:.0f}ns -> {cur:.0f}ns ({delta_pct:+.1f}%)")
+    return regressions, lines
+
+
+def self_test():
+    baseline = {"a": 100.0, "b": 100.0, "gone": 50.0}
+    fresh = {"a": 120.0, "b": 130.0, "new": 10.0}
+    regressions, _ = compare(baseline, fresh, 25.0)
+    ok = regressions == ["b"]  # +20% passes, +30% fails, new/retired ignored
+    regressions, _ = compare(baseline, fresh, 35.0)
+    ok = ok and regressions == []
+    print("bench_compare self-test:", "ok" if ok else "FAILED")
+    return 0 if ok else 2
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max allowed cpu_time increase in percent")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    args = parser.parse_args(argv)
+
+    baseline = load_timings(args.baseline)
+    fresh = load_timings(args.fresh)
+    if not baseline or not fresh:
+        print("bench_compare: no comparable per-iteration timings found",
+              file=sys.stderr)
+        return 2
+
+    regressions, lines = compare(baseline, fresh, args.threshold)
+    print(f"bench_compare: {args.fresh} vs baseline {args.baseline} "
+          f"(threshold +{args.threshold:g}%)")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"+{args.threshold:g}%: {', '.join(regressions)}")
+        return 1
+    print("bench_compare: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,12 +2,13 @@
 # Sanitized check of a test-label subset: builds the tree with
 # GENDT_SANITIZE=<sanitizer> into a per-sanitizer build dir and runs the
 # matching ctest labels under it. Defaults to the runtime + nn + serialize +
-# serve subset (code that shares state across threads, the checkpoint
-# fault-injection corpus, and the serving engine's chaos sweep — the latter
-# runs multi-worker batches whose determinism claim is only credible with
-# TSan watching) — pass a label regex to vet anything else, e.g.:
+# serve + gen-parity subset (code that shares state across threads, the
+# checkpoint fault-injection corpus, the serving engine's chaos sweep, and
+# the inference fast path's bitwise-parity suite — the latter two run
+# multi-worker batches whose determinism claim is only credible with TSan
+# watching) — pass a label regex to vet anything else, e.g.:
 #
-#   tools/check.sh thread                 # TSan over runtime|nn|serialize|serve
+#   tools/check.sh thread                 # TSan over the default subset
 #   tools/check.sh undefined              # UBSan (+float-cast-overflow)
 #   tools/check.sh address 'serialize'    # ASan over the corruption corpus
 #   tools/check.sh leak 'runtime|nn|core' # LSan over a wider subset
@@ -19,7 +20,7 @@
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
-LABEL="${2:-runtime|nn|serialize|serve}"
+LABEL="${2:-runtime|nn|serialize|serve|gen-parity}"
 BUILD_DIR="${3:-build-${SANITIZER}san}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"

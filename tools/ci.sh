@@ -14,16 +14,27 @@
 #                                  injected faults must fail cleanly, not as
 #                                  heap errors the test harness can't see)
 #
-# Usage: tools/ci.sh [--fast]
+# Usage: tools/ci.sh [--fast] [--bench]
 #   --fast stops after step 4 (skips the sanitizer builds; those dominate
 #   wall-clock on small machines).
+#   --bench additionally runs a smoke-filtered bench_micro_perf pass and
+#   gates it with tools/bench_compare.py against the committed
+#   BENCH_micro_perf.json (>25% cpu_time regression fails). Off by default:
+#   microbenchmark timings are only meaningful on a quiet machine.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 BUILD_DIR="$ROOT/build-ci"
 FAST=0
-[ "${1:-}" = "--fast" ] && FAST=1
+BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --bench) BENCH=1 ;;
+    *) echo "usage: tools/ci.sh [--fast] [--bench]" >&2; exit 2 ;;
+  esac
+done
 
 step() { echo; echo "=== ci.sh [$1] $2"; }
 
@@ -47,6 +58,20 @@ fi
 
 step 4/7 "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [ "$BENCH" -eq 1 ]; then
+  # Optional perf gate: a fast smoke subset (the kernels and the generation
+  # fast path — the benchmarks this repo's perf work targets) against the
+  # committed baseline. Full runs still go through bench/bench_micro_perf
+  # directly.
+  step bench "bench_compare smoke subset (--bench)"
+  python3 "$ROOT/tools/bench_compare.py" --self-test
+  BENCH_JSON="$BUILD_DIR/bench_smoke.json"
+  "$BUILD_DIR/bench/bench_micro_perf" \
+    --benchmark_filter='BM_Matmul|BM_LstmStep|BM_GenDTWindowGeneration' \
+    --benchmark_out="$BENCH_JSON" --benchmark_out_format=json
+  python3 "$ROOT/tools/bench_compare.py" "$ROOT/BENCH_micro_perf.json" "$BENCH_JSON"
+fi
 
 if [ "$FAST" -eq 1 ]; then
   echo; echo "ci.sh: fast mode — skipping sanitizer subsets"; exit 0

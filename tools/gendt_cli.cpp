@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "gendt/baselines/baselines.h"
+#include "gendt/core/infer_session.h"
 #include "gendt/core/model.h"
 #include "gendt/io/csv.h"
 #include "gendt/metrics/metrics.h"
@@ -94,11 +95,12 @@ const std::map<std::string, std::set<std::string>>& command_options() {
       {"simulate", {"out", "dataset", "seed", "train-s"}},
       {"train", {"out", "dataset", "seed", "train-s", "epochs", "threads", "resume", "record"}},
       {"generate",
-       {"model", "trajectory", "out", "dataset", "seed", "train-s", "gen-seed", "threads"}},
+       {"model", "trajectory", "out", "dataset", "seed", "train-s", "gen-seed", "threads",
+        "fast", "reference"}},
       {"eval", {"real", "generated"}},
       {"serve",
        {"requests", "model", "out", "dataset", "seed", "train-s", "deadline-ms", "max-queue",
-        "shed", "threads"}},
+        "shed", "threads", "batch-max"}},
   };
   return kOptions;
 }
@@ -119,7 +121,7 @@ Args parse(int argc, char** argv) {
                  a.command.c_str());
     std::exit(2);
   }
-  static const std::set<std::string> kBoolFlags = {"resume", "shed"};
+  static const std::set<std::string> kBoolFlags = {"resume", "shed", "fast", "reference"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -157,17 +159,23 @@ void print_usage(std::FILE* to) {
                "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
                " [--threads N] [--resume] [--record FILE]...\n"
                "  generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv"
-               " [--dataset a|b] [--seed N] [--gen-seed N] [--threads N]\n"
+               " [--dataset a|b] [--seed N] [--gen-seed N] [--threads N] [--fast|--reference]\n"
                "  eval     --real FILE.csv --generated FILE.csv\n"
                "  serve    --requests FILE --model MODEL.ckpt --out DIR [--deadline-ms N]"
-               " [--max-queue N] [--shed] [--threads N] [--dataset a|b] [--seed N]\n"
+               " [--max-queue N] [--shed] [--threads N] [--batch-max N] [--dataset a|b]"
+               " [--seed N]\n"
                "--threads N sets the worker-thread count (0 = all hardware threads,\n"
                "1 = serial). Results are bitwise identical at every setting.\n"
                "train writes an atomic checkpoint after every epoch; --resume\n"
                "continues a killed run bit-for-bit from the last epoch boundary.\n"
                "serve reads one request per line from --requests ('trajectory.csv\n"
                "[gen-seed] [deadline-ms]'), enforces deadlines cooperatively, and\n"
-               "degrades to an FDaS fallback instead of failing when it can.\n");
+               "degrades to an FDaS fallback instead of failing when it can.\n"
+               "generate runs the tape-free fast path by default; --reference runs\n"
+               "the autograd graph instead — outputs are bitwise identical.\n"
+               "serve --batch-max N lets each worker drain up to N queued requests\n"
+               "and fan them out on the shared pool; responses are bitwise\n"
+               "independent of batch composition.\n");
 }
 
 int usage() {
@@ -471,10 +479,24 @@ int cmd_generate(const Args& a) {
     return 1;
   }
 
+  // --fast (default) runs the tape-free InferenceSession; --reference runs
+  // the autograd Tensor graph. Outputs are bitwise identical (the gen-parity
+  // suite enforces it); --reference exists for A/B checks of exactly that.
+  if (a.flag("fast") && a.flag("reference")) {
+    std::fprintf(stderr, "error: --fast and --reference are mutually exclusive\n");
+    return 2;
+  }
   core::GeneratedSeries series;
   series.channels.assign(ds.kpis.size(), {});
   const uint64_t gen_seed = static_cast<uint64_t>(a.get_long("gen-seed", 1));
-  for (const auto& s : model.sample_windows(windows, gen_seed)) {
+  std::vector<core::WindowSample> samples;
+  if (a.flag("reference")) {
+    samples = model.sample_windows(windows, gen_seed);
+  } else {
+    core::InferenceSession session(model);
+    samples = session.run(windows, gen_seed);
+  }
+  for (const auto& s : samples) {
     for (int t = 0; t < s.output.rows(); ++t)
       for (size_t ch = 0; ch < ds.kpis.size(); ++ch)
         series.channels[ch].push_back(
@@ -661,6 +683,11 @@ int cmd_serve(const Args& a) {
   cfg.workers = runtime::Parallelism{.threads = static_cast<int>(a.get_long("threads", 0))}
                     .resolved();
   cfg.default_deadline_ms = a.get_long("deadline-ms", -1);
+  cfg.batch_max = static_cast<int>(a.get_long("batch-max", 1));
+  if (cfg.batch_max < 1) {
+    std::fprintf(stderr, "error: --batch-max must be >= 1\n");
+    return 2;
+  }
   cfg.expected_channels = static_cast<int>(ds.kpis.size());
   serve::GenerationEngine engine(primary, cfg);
   engine.set_fallback(&fallback);

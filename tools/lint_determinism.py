@@ -81,6 +81,10 @@ GLOBAL_RULES = [
 # the file bytes/CRC between identical runs; and the serving layer, where
 # fault-plan lookup and outcome digests must not depend on hash-table
 # iteration order or the chaos sweep's cross-thread-count equality breaks.
+# src/nn and src/core also cover the tape-free inference fast path
+# (nn/infer.cpp, core/infer_session.cpp): its bitwise-parity contract with
+# the Tensor graph needs the same stable accumulation and RNG-draw order as
+# the training code, so those files are held to the same rules.
 ORDER_SENSITIVE_PATHS = ("src/nn", "src/core", "src/serve", "tools/gendt_cli.cpp")
 
 UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)")
