@@ -10,10 +10,16 @@
 // tracked PR over PR).
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "gendt/context/context.h"
 #include "gendt/core/infer_session.h"
 #include "gendt/core/model.h"
 #include "gendt/metrics/metrics.h"
+#include "gendt/nn/infer.h"
+#include "gendt/nn/pack.h"
+#include "gendt/nn/serialize.h"
+#include "gendt/nn/simd.h"
 #include "gendt/serve/engine.h"
 #include "gendt/sim/dataset.h"
 
@@ -75,7 +81,11 @@ void BM_MatmulNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(128)->Arg(512);
 
+// Pinned to the scalar route: this is the committed-baseline number tracked
+// PR over PR, and the scalar kernels are the cross-release anchor. The SIMD
+// route gets its own series (BM_MatmulSimd) so the two trend independently.
 void BM_MatmulBlocked(benchmark::State& state) {
+  const nn::simd::ScopedRoute pin(nn::simd::Route::kScalar);
   const int n = static_cast<int>(state.range(0));
   std::mt19937_64 rng(21);
   const nn::Mat a = nn::Mat::randn(n, n, rng);
@@ -86,6 +96,7 @@ void BM_MatmulBlocked(benchmark::State& state) {
 BENCHMARK(BM_MatmulBlocked)->Arg(32)->Arg(128)->Arg(512);
 
 void BM_MatmulBlockedNT(benchmark::State& state) {
+  const nn::simd::ScopedRoute pin(nn::simd::Route::kScalar);
   const int n = static_cast<int>(state.range(0));
   std::mt19937_64 rng(22);
   const nn::Mat a = nn::Mat::randn(n, n, rng);
@@ -94,6 +105,47 @@ void BM_MatmulBlockedNT(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2LL * n * n * n);
 }
 BENCHMARK(BM_MatmulBlockedNT)->Arg(128)->Arg(512);
+
+// The AVX2/FMA route over the same shapes as BM_MatmulBlocked — the ratio
+// between the two series is the headline SIMD speedup.
+void BM_MatmulSimd(benchmark::State& state) {
+  const nn::simd::ScopedRoute pin(nn::simd::Route::kAvx2);
+  if (!pin.ok()) {
+    state.SkipWithError("avx2 route unsupported on this build/CPU");
+    return;
+  }
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(21);
+  const nn::Mat a = nn::Mat::randn(n, n, rng);
+  const nn::Mat b = nn::Mat::randn(n, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(nn::matmul(a, b)(0, 0));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulSimd)->Arg(128)->Arg(512);
+
+// The fused single-row y = b + x1*W1 + x2*W2 kernel (avx2 only), at the
+// shape every LSTM step issues: gate pre-activations from input + recurrent
+// weights. The scalar route's generic path is the implicit baseline via
+// BM_LstmStep.
+void BM_Affine2Simd(benchmark::State& state) {
+  const nn::simd::ScopedRoute pin(nn::simd::Route::kAvx2);
+  if (!pin.ok()) {
+    state.SkipWithError("avx2 route unsupported on this build/CPU");
+    return;
+  }
+  std::mt19937_64 rng(23);
+  const nn::Mat x1 = nn::Mat::randn(1, 9, rng);
+  const nn::Mat w1 = nn::Mat::randn(9, 112, rng);
+  const nn::Mat x2 = nn::Mat::randn(1, 28, rng);
+  const nn::Mat w2 = nn::Mat::randn(28, 112, rng);
+  const nn::Mat b = nn::Mat::randn(1, 112, rng);
+  nn::Mat y(1, 112);
+  for (auto _ : state) {
+    nn::infer::affine2_fwd(x1, w1, x2, w2, b, y);
+    benchmark::DoNotOptimize(y(0, 0));
+  }
+}
+BENCHMARK(BM_Affine2Simd);
 
 void BM_LstmStep(benchmark::State& state) {
   std::mt19937_64 rng(5);
@@ -106,6 +158,28 @@ void BM_LstmStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LstmStep)->Args({9, 28})->Args({9, 100})->Args({31, 100});
+
+// The same recurrent step through the tape-free fast path on the avx2 route:
+// fused affine2 gate pre-activations + vectorized gate nonlinearities.
+void BM_LstmStepSimd(benchmark::State& state) {
+  const nn::simd::ScopedRoute pin(nn::simd::Route::kAvx2);
+  if (!pin.ok()) {
+    state.SkipWithError("avx2 route unsupported on this build/CPU");
+    return;
+  }
+  const int in = static_cast<int>(state.range(0));
+  const int hidden = static_cast<int>(state.range(1));
+  std::mt19937_64 rng(5);
+  nn::LstmCell cell(in, hidden, rng);
+  const nn::Mat x = nn::Mat::randn(1, in, rng);
+  nn::Mat h(1, hidden), c(1, hidden), gates(1, 4 * hidden), scratch(1, hidden);
+  std::mt19937_64 step_rng(7);
+  for (auto _ : state) {
+    nn::infer::lstm_step_fwd(cell, x, nn::StochasticConfig{}, step_rng, h, c, gates, scratch);
+    benchmark::DoNotOptimize(h(0, 0));
+  }
+}
+BENCHMARK(BM_LstmStepSimd)->Args({9, 28})->Args({9, 100});
 
 void BM_LstmWindowBackward(benchmark::State& state) {
   std::mt19937_64 rng(6);
@@ -121,6 +195,64 @@ void BM_LstmWindowBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LstmWindowBackward);
+
+// Cold-start cost of the two model-file formats over the same ~25 MB of
+// weights: GDTCKPT2 (full parse + per-tensor copy + CRC) vs a GDTPACK1 map
+// (one mmap + directory walk; kStructural is the serve path, kFull adds the
+// payload CRC pass). The structural/ckpt ratio is the headline instant-load
+// number.
+struct LoadFixtures {
+  std::string ckpt_path;
+  std::string pack_path;
+
+  LoadFixtures() {
+    nn::Checkpoint ck;
+    ck.meta.set_string("bench", "model-load");
+    std::mt19937_64 rng(31);
+    for (int i = 0; i < 12; ++i)
+      ck.params.push_back({"layer" + std::to_string(i) + "/w", nn::Mat::randn(512, 512, rng)});
+    const auto dir = std::filesystem::temp_directory_path();
+    ckpt_path = (dir / "gendt_bench_load.ckpt").string();
+    pack_path = (dir / "gendt_bench_load.gdtpack").string();
+    nn::save_checkpoint(ck, ckpt_path);
+    nn::write_packed(ck, pack_path);
+  }
+  static LoadFixtures& get() {
+    static LoadFixtures f;
+    return f;
+  }
+};
+
+void BM_CkptModelLoad(benchmark::State& state) {
+  auto& f = LoadFixtures::get();
+  for (auto _ : state) {
+    nn::Checkpoint ck;
+    const nn::LoadResult res = nn::read_checkpoint(f.ckpt_path, ck);
+    if (!res.ok()) {
+      state.SkipWithError(res.message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(ck.params.size());
+  }
+}
+BENCHMARK(BM_CkptModelLoad);
+
+void BM_PackedModelLoad(benchmark::State& state) {
+  auto& f = LoadFixtures::get();
+  const nn::PackVerify verify =
+      state.range(0) != 0 ? nn::PackVerify::kFull : nn::PackVerify::kStructural;
+  for (auto _ : state) {
+    nn::PackedModel pack;
+    const nn::LoadResult res = pack.map(f.pack_path, verify);
+    if (!res.ok()) {
+      state.SkipWithError(res.message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(pack.tensors().size());
+  }
+  state.counters["full_verify"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PackedModelLoad)->Arg(0)->Arg(1);
 
 struct SimFixtures {
   sim::Dataset ds;

@@ -25,6 +25,7 @@
 #include "gendt/core/generator.h"
 #include "gendt/nn/layers.h"
 #include "gendt/nn/optim.h"
+#include "gendt/nn/pack.h"
 #include "gendt/nn/serialize.h"
 #include "gendt/runtime/thread_pool.h"
 
@@ -248,6 +249,14 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   void set_fast_path(bool on);
   bool fast_path() const { return fast_path_; }
 
+  /// Point the model's parameters at a mapped GDTPACK1 weight arena
+  /// (zero-copy read-only views — see gendt/nn/pack.h). On success the
+  /// generator takes ownership of the mapping (the views alias it) and
+  /// becomes inference-only: fit() on packed weights asserts in debug
+  /// builds. On failure the model is untouched.
+  nn::LoadResult load_packed(nn::PackedModel pack);
+  bool packed() const { return pack_ != nullptr; }
+
  private:
   /// Fast-path sample_windows: leases a warm InferenceSession from the pool
   /// (building one on first use) and always returns it, even on cancellation.
@@ -260,6 +269,10 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   context::KpiNorm norm_;
   std::vector<sim::Kpi> kpis_;  // optional channel semantics
   bool fast_path_ = true;
+  // Non-null after load_packed(): the mapping the parameter views alias.
+  // Held for the generator's whole lifetime; Mat destructors never touch a
+  // view's bytes, so member destruction order is not load-bearing.
+  std::unique_ptr<nn::PackedModel> pack_;
   // Warm InferenceSessions, leased one per in-flight generate() call.
   // generate() is const (TimeSeriesGenerator contract) and called from many
   // serve workers at once, hence the mutable pool + its own lock.

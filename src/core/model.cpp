@@ -572,6 +572,19 @@ void GenDTGenerator::set_fast_path(bool on) {
   fast_path_ = on;
 }
 
+nn::LoadResult GenDTGenerator::load_packed(nn::PackedModel pack) {
+  std::vector<nn::NamedParam> params = model_.generator_params();
+  for (auto& p : model_.discriminator_params()) params.push_back(p);
+  nn::LoadResult res = nn::apply_packed(params, pack, nn::LoadMode::kStrict);
+  if (!res.ok()) return res;  // transactional: nothing was modified
+  pack_ = std::make_unique<nn::PackedModel>(std::move(pack));
+  // Drop warm sessions, mirroring set_fast_path: no session may straddle a
+  // weight swap.
+  runtime::MutexLock lock(session_mu_);
+  sessions_.clear();
+  return res;
+}
+
 std::vector<WindowSample> GenDTGenerator::sample_fast(
     const std::vector<context::Window>& windows, uint64_t seed,
     const runtime::CancelToken* cancel) const {

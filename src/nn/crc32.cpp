@@ -1,0 +1,57 @@
+#include "crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace gendt::nn::detail {
+
+namespace {
+
+// table[0] is the classic byte-at-a-time CRC-32 table; table[k] advances a
+// byte through k additional zero bytes, which is what lets one iteration
+// fold 8 input bytes: crc32(a || b) decomposes into per-byte lookups at
+// different zero-extension depths.
+const std::array<std::array<std::uint32_t, 256>, 8>& crc_tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t n) {
+  const auto& t = crc_tables();
+  std::uint32_t c = 0xFFFFFFFFu;
+  // 8 bytes per step: XOR the low word into the CRC, then combine all eight
+  // bytes via tables at matching zero-extension depths.
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, data, sizeof(lo));
+    std::memcpy(&hi, data + 4, sizeof(hi));
+    c ^= lo;
+    c = t[7][c & 0xFFu] ^ t[6][(c >> 8) & 0xFFu] ^ t[5][(c >> 16) & 0xFFu] ^
+        t[4][(c >> 24) & 0xFFu] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
+    data += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gendt::nn::detail

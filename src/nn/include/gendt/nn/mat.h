@@ -2,23 +2,87 @@
 // Tensor. Kept deliberately small — only the operations the GenDT networks
 // need — and exception-light: dimension mismatches are programming errors
 // and abort via assert in debug builds.
+//
+// Storage is 64-byte aligned (AlignedAllocator) so both kernel routes see
+// cache-line/vector-friendly buffers. A Mat can also be a non-owning
+// read-only VIEW over external memory (Mat::view) — that is how GDTPACK1
+// weight arenas are applied with zero per-tensor copies: the view points
+// straight into the mmap. Views are borrowed and immutable: every mutating
+// member asserts !is_view(); COPYING a view materializes an owned deep copy
+// (so accidental copies can never dangle), while MOVES transfer the view.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <random>
 #include <span>
 #include <vector>
 
 namespace gendt::nn {
 
+/// Minimal over-aligned allocator (C++17 aligned operator new).
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0);
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+};
+
+/// Alignment of every owned Mat buffer and of each tensor in a GDTPACK1
+/// arena (a cache line; enough for AVX-512 loads too).
+inline constexpr std::size_t kMatAlignment = 64;
+
 class Mat {
  public:
+  using Storage = std::vector<double, AlignedAllocator<double, kMatAlignment>>;
+
   Mat() = default;
   Mat(int rows, int cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
     assert(rows >= 0 && cols >= 0);
   }
+
+  // Copies materialize: a copy of a view owns its elements. Moves transfer
+  // the view (apply_packed installs views into Tensors by move-assignment).
+  Mat(const Mat& o) : rows_(o.rows_), cols_(o.cols_) {
+    if (o.ext_ != nullptr) {
+      data_.assign(o.ext_, o.ext_ + o.size());
+    } else {
+      data_ = o.data_;
+    }
+  }
+  Mat& operator=(const Mat& o) {
+    if (this == &o) return *this;
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    if (o.ext_ != nullptr) {
+      data_.assign(o.ext_, o.ext_ + o.size());
+    } else {
+      data_ = o.data_;
+    }
+    ext_ = nullptr;
+    return *this;
+  }
+  Mat(Mat&&) noexcept = default;
+  Mat& operator=(Mat&&) noexcept = default;
+  ~Mat() = default;
 
   static Mat zeros(int rows, int cols) { return Mat(rows, cols, 0.0); }
   static Mat ones(int rows, int cols) { return Mat(rows, cols, 1.0); }
@@ -31,25 +95,48 @@ class Mat {
   /// Row vector from values.
   static Mat row(std::span<const double> values);
 
+  /// Non-owning read-only view over `rows*cols` doubles at `data` (which
+  /// must outlive the view — for packed models the PackedModel mapping
+  /// guarantees it). Mutating members assert on a view.
+  static Mat view(const double* data, int rows, int cols) {
+    assert(rows >= 0 && cols >= 0 && (data != nullptr || rows * cols == 0));
+    Mat m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.ext_ = data;
+    return m;
+  }
+  bool is_view() const { return ext_ != nullptr; }
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  size_t size() const {
+    return ext_ != nullptr ? static_cast<size_t>(rows_) * static_cast<size_t>(cols_)
+                           : data_.size();
+  }
+  bool empty() const { return size() == 0; }
   bool same_shape(const Mat& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
 
   double& operator()(int r, int c) {
+    assert(!is_view());
     assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) + static_cast<size_t>(c)];
   }
   double operator()(int r, int c) const {
     assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    return cdata()[static_cast<size_t>(r) * static_cast<size_t>(cols_) + static_cast<size_t>(c)];
   }
-  double& operator[](size_t i) { return data_[i]; }
-  double operator[](size_t i) const { return data_[i]; }
+  double& operator[](size_t i) {
+    assert(!is_view());
+    return data_[i];
+  }
+  double operator[](size_t i) const { return cdata()[i]; }
 
-  std::span<double> data() { return data_; }
-  std::span<const double> data() const { return data_; }
+  std::span<double> data() {
+    assert(!is_view());
+    return data_;
+  }
+  std::span<const double> data() const { return {cdata(), size()}; }
 
   void fill(double v);
   void set_zero() { fill(0.0); }
@@ -59,10 +146,11 @@ class Mat {
   /// what lets inference Workspace slots absorb varying window lengths
   /// without reallocating.
   void resize(int rows, int cols) {
+    assert(!is_view());
     assert(rows >= 0 && cols >= 0);
     rows_ = rows;
     cols_ = cols;
-    data_.resize(static_cast<size_t>(rows) * cols);
+    data_.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
   }
 
   /// In-place axpy: *this += alpha * other (same shape).
@@ -78,15 +166,20 @@ class Mat {
   Mat transpose() const;
 
  private:
+  const double* cdata() const { return ext_ != nullptr ? ext_ : data_.data(); }
+
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<double> data_;
+  Storage data_;
+  const double* ext_ = nullptr;  // non-null: non-owning view, data_ unused
 };
 
-// Matrix products. All variants run one cache-blocked kernel family with
-// restrict inner loops; large products split whole output rows across the
-// shared runtime::ThreadPool. Results are bitwise identical at every thread
-// count (the per-element k-summation order never changes).
+// Matrix products. Every variant runs one cache-blocked kernel family
+// (dispatched per the active gendt::nn::simd route) with restrict inner
+// loops; large products split whole output rows across the shared
+// runtime::ThreadPool. Within a route, results are bitwise identical at
+// every thread count (the per-element k-summation order never changes); the
+// scalar route is additionally the cross-release bitwise anchor.
 
 /// C = A * B.
 Mat matmul(const Mat& a, const Mat& b);

@@ -1,0 +1,121 @@
+// Zero-copy weight arena ("GDTPACK1"): a packed, mmap-friendly model file
+// for instant cold-start loading.
+//
+// A GDTCKPT2 checkpoint is parsed record-by-record into freshly allocated
+// Mats — O(model bytes) of read + copy + CRC before the first inference.
+// `gendt pack` converts it once, offline, into a flat arena image:
+//
+//   [0]        magic "GDTPACK1"
+//   [8]        u64 file_size      (must equal the real size — truncation check)
+//   [16]       u64 meta_count
+//   [24]       u64 tensor_count
+//   [32]       u64 data_off       (64-byte aligned start of the data region)
+//   [40]       u64 data_size
+//   [48]       meta entries       (key_len, key, val_len, val) x meta_count
+//   ...        tensor directory   (name_len, name, u64 rows, u64 cols,
+//                                  u64 offset-into-data) x tensor_count
+//   ...        u64 dir_crc        CRC-32 of every byte before it
+//   ...        zero padding up to data_off
+//   [data_off] tensor payloads    raw doubles, each offset 64-byte aligned
+//   [size-8]   u64 data_crc       CRC-32 of the data region
+//
+// Loading is one mmap plus a directory walk: tensors are *pointed at*, never
+// copied — apply_packed() installs read-only Mat views into the live
+// parameters, so cold-start cost is O(directory) + page faults on first
+// touch, and the page cache shares one copy of the weights across every
+// process serving the same file.
+//
+// Integrity is split in two so the fast path stays fast: the directory CRC
+// (names, shapes, offsets — everything that could misdirect a pointer) is
+// always verified; the data CRC covers the tensor payloads and is verified
+// under PackVerify::kFull (the default, and what `gendt pack` uses to check
+// its own output) but skipped under kStructural, the instant-load mode.
+//
+// Only model parameters and metadata are packed; trainer state (Adam slots,
+// resume cursor) stays in the GDTCKPT2 file — a pack is an inference
+// artifact, not a training checkpoint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gendt/nn/serialize.h"
+
+namespace gendt::nn {
+
+/// How much of a GDTPACK1 file map() verifies before exposing it.
+enum class PackVerify {
+  kFull,        ///< directory CRC + data CRC (reads every byte once)
+  kStructural,  ///< directory CRC only: O(page-fault) instant load
+};
+
+/// One tensor in the arena. `data` points into the mapping and stays valid
+/// for the PackedModel's lifetime.
+struct PackedTensor {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  const double* data = nullptr;
+};
+
+/// A mapped GDTPACK1 file. Move-only: the mapping is unmapped (or the
+/// fallback buffer freed) on destruction, so anything holding Mat views into
+/// it — a GenDTGenerator that loaded packed weights — must keep the
+/// PackedModel alive.
+class PackedModel {
+ public:
+  PackedModel() = default;
+  PackedModel(PackedModel&& o) noexcept;
+  PackedModel& operator=(PackedModel&& o) noexcept;
+  PackedModel(const PackedModel&) = delete;
+  PackedModel& operator=(const PackedModel&) = delete;
+  ~PackedModel();
+
+  /// Map and validate `path`. On failure the model stays unmapped and the
+  /// LoadResult says why (same status taxonomy as checkpoint loads; version
+  /// reports 3 for GDTPACK1 once the magic parsed).
+  LoadResult map(const std::string& path, PackVerify verify = PackVerify::kFull);
+
+  bool mapped() const { return base_ != nullptr; }
+  /// False when the platform has no mmap and map() fell back to a heap read
+  /// (correct, just not zero-copy / shared).
+  bool is_mmap() const { return is_mmap_; }
+  std::size_t size_bytes() const { return len_; }
+
+  const CkptMeta& meta() const { return meta_; }
+  const std::vector<PackedTensor>& tensors() const { return tensors_; }
+  /// Directory lookup by name; nullptr when absent.
+  const PackedTensor* find(const std::string& name) const;
+  /// True when `p` points inside the mapped arena — lets tests assert that
+  /// applied parameters really alias the file instead of holding copies.
+  bool contains(const void* p) const;
+
+ private:
+  void reset();
+
+  const std::uint8_t* base_ = nullptr;
+  std::size_t len_ = 0;
+  bool is_mmap_ = false;
+  std::vector<std::uint8_t> fallback_;  // owns the bytes when !is_mmap_
+  CkptMeta meta_;
+  std::vector<PackedTensor> tensors_;
+};
+
+/// Write `ckpt.meta` + `ckpt.params` as a GDTPACK1 arena at `path`
+/// (atomically: temp file + rename). Trainer state is intentionally dropped.
+/// Returns false on I/O failure; `path` is untouched in that case.
+bool write_packed(const Checkpoint& ckpt, const std::string& path);
+
+/// Transactionally point the matching live `params` at the arena's tensors
+/// (read-only Mat views — zero copies). Validation mirrors apply_params:
+/// nothing is modified unless every record passes. The PackedModel must
+/// outlive the parameters.
+LoadResult apply_packed(const std::vector<NamedParam>& params, const PackedModel& pack,
+                        LoadMode mode = LoadMode::kStrict);
+
+/// Cheap magic sniff: true when the file starts with "GDTPACK1".
+bool sniff_packed(const std::string& path);
+
+}  // namespace gendt::nn

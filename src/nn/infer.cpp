@@ -9,6 +9,30 @@
 #include <string>
 
 #include "gendt/nn/checks.h"
+#include "gendt/nn/simd.h"
+#include "kernels_internal.h"
+
+namespace gendt::nn::detail {
+
+// Scalar LSTM gate kernel (simd::Route::kScalar). Lives in this TU so it
+// keeps -ffp-contract=off; the body is the bitwise anchor the avx2 variant
+// is tolerance-tested against.
+void lstm_gates_scalar(const double* __restrict gp, double* __restrict hp, double* __restrict cp,
+                       int H) {
+  for (int j = 0; j < H; ++j) {
+    const double ig = 1.0 / (1.0 + std::exp(-gp[j]));
+    const double fg = 1.0 / (1.0 + std::exp(-gp[H + j]));
+    const double gg = std::tanh(gp[2 * H + j]);
+    const double og = 1.0 / (1.0 + std::exp(-gp[3 * H + j]));
+    // c' = f*c + i*g, h' = o*tanh(c'): mul/mul/add rounded separately
+    // (-ffp-contract=off), exactly like the graph's hadamard + add ops.
+    const double cn = fg * cp[j] + ig * gg;
+    cp[j] = cn;
+    hp[j] = og * std::tanh(cn);
+  }
+}
+
+}  // namespace gendt::nn::detail
 
 namespace gendt::nn::infer {
 
@@ -62,10 +86,19 @@ void affine2_fwd(const Mat& x1, const Mat& w1, const Mat& x2, const Mat& w2, con
                   " -> y " + shape_str(y));
   assert(y.rows() == x1.rows() && y.cols() == w1.cols());
   const int rows = y.rows(), cols = y.cols();
-  for (int r = 0; r < rows; ++r)
-    for (int c = 0; c < cols; ++c) y(r, c) = b(0, c);
-  matmul_acc(x1, w1, y);
-  matmul_acc(x2, w2, y);
+  // Fused single-row kernel when the active route provides one (the LSTM
+  // step always lands here with rows == 1); otherwise bias-seed + two
+  // accumulating matmuls — the graph-parity reference order.
+  const simd::Affine2RowFn fused = simd::kernels().affine2_row;
+  if (fused != nullptr && rows == 1) {
+    fused(x1.data().data(), w1.data().data(), x1.cols(), x2.data().data(), w2.data().data(),
+          x2.cols(), b.data().data(), y.data().data(), cols);
+  } else {
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) y(r, c) = b(0, c);
+    matmul_acc(x1, w1, y);
+    matmul_acc(x2, w2, y);
+  }
   check_finite(y, "affine2_fwd");
 }
 
@@ -119,20 +152,10 @@ void lstm_step_fwd(const LstmCell& cell, const Mat& x, const StochasticConfig& s
   }
   affine2_fwd(x, cell.wx_value(), h, cell.wh_value(), cell.bias_value(), gates);
 
-  double* __restrict hp = h.data().data();
-  double* __restrict cp = c.data().data();
-  const double* __restrict gp = gates.data().data();
-  for (int j = 0; j < H; ++j) {
-    const double ig = 1.0 / (1.0 + std::exp(-gp[j]));
-    const double fg = 1.0 / (1.0 + std::exp(-gp[H + j]));
-    const double gg = std::tanh(gp[2 * H + j]);
-    const double og = 1.0 / (1.0 + std::exp(-gp[3 * H + j]));
-    // c' = f*c + i*g, h' = o*tanh(c'): mul/mul/add rounded separately
-    // (-ffp-contract=off), exactly like the graph's hadamard + add ops.
-    const double cn = fg * cp[j] + ig * gg;
-    cp[j] = cn;
-    hp[j] = og * std::tanh(cn);
-  }
+  double* hp = h.data().data();
+  double* cp = c.data().data();
+  const double* gp = gates.data().data();
+  simd::kernels().lstm_gates(gp, hp, cp, H);
   check_finite(h, "lstm_step_fwd");
 }
 

@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "gendt/nn/checks.h"
+#include "gendt/nn/simd.h"
 #include "gendt/runtime/thread_pool.h"
+#include "kernels_internal.h"
 
 namespace gendt::nn {
 
@@ -28,35 +30,40 @@ Mat Mat::row(std::span<const double> values) {
   return m;
 }
 
-void Mat::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+void Mat::fill(double v) {
+  assert(!is_view());
+  std::fill(data_.begin(), data_.end(), v);
+}
 
 void Mat::add_scaled(const Mat& other, double alpha) {
+  assert(!is_view());
   assert(same_shape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  const double* op = other.cdata();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * op[i];
 }
 
 double Mat::sum() const {
   double s = 0.0;
-  for (double v : data_) s += v;
+  for (double v : data()) s += v;
   return s;
 }
 
 double Mat::mean() const {
-  assert(!data_.empty());
-  return sum() / static_cast<double>(data_.size());
+  assert(!empty());
+  return sum() / static_cast<double>(size());
 }
 
 double Mat::min() const {
-  assert(!data_.empty());
+  assert(!empty());
   double m = std::numeric_limits<double>::infinity();
-  for (double v : data_) m = std::min(m, v);
+  for (double v : data()) m = std::min(m, v);
   return m;
 }
 
 double Mat::max() const {
-  assert(!data_.empty());
+  assert(!empty());
   double m = -std::numeric_limits<double>::infinity();
-  for (double v : data_) m = std::max(m, v);
+  for (double v : data()) m = std::max(m, v);
   return m;
 }
 
@@ -67,25 +74,23 @@ Mat Mat::transpose() const {
   return t;
 }
 
-// ---- Matmul kernels -------------------------------------------------------
+// ---- Matmul kernels (scalar route) ----------------------------------------
 //
 // All three products share the same structure: cache-blocked (tiled) loops
 // with restrict-qualified row pointers in the inner loop, accumulating into
 // a caller-owned C. Tiling never reorders the k-summation of any output
 // element, and the row-parallel split assigns whole output rows to workers,
 // so results are bitwise identical at every tile size and thread count.
+//
+// These are the REFERENCE kernels behind simd::Route::kScalar — the bitwise
+// determinism anchor (see gendt/nn/simd.h). Their bodies must not change
+// observable arithmetic; the AVX2 route lives in kernels_avx2.cpp.
 
-namespace {
-
-constexpr int kDepthTile = 64;   // k-tile: A-panel rows kept hot
-constexpr int kColTile = 128;    // j-tile: C/B row segment kept hot (1 KiB)
-// Parallelize only when the mul-add count is worth a fork-join (~2M flops);
-// below that the pool round-trip dominates.
-constexpr long kParallelMinFlops = 1L << 21;
+namespace detail {
 
 // C[r0:r1, :] += A[r0:r1, :] * B with A [M x K], B [K x N].
-void mm_rows(const double* __restrict a, const double* __restrict b, double* __restrict c,
-             long r0, long r1, int K, int N) {
+void mm_rows_scalar(const double* __restrict a, const double* __restrict b, double* __restrict c,
+                    long r0, long r1, int K, int N) {
   for (int kk = 0; kk < K; kk += kDepthTile) {
     const int kend = std::min(K, kk + kDepthTile);
     for (int jj = 0; jj < N; jj += kColTile) {
@@ -114,8 +119,8 @@ void mm_rows(const double* __restrict a, const double* __restrict b, double* __r
 // as mm_rows. Packing only relocates values; every output element still
 // accumulates its products in ascending-k order, so results stay bitwise
 // identical at every tile size and thread count.
-void mm_nt_rows(const double* __restrict a, const double* __restrict b, double* __restrict c,
-                long r0, long r1, int K, int N) {
+void mm_nt_rows_scalar(const double* __restrict a, const double* __restrict b,
+                       double* __restrict c, long r0, long r1, int K, int N) {
   thread_local std::vector<double> pack;
   pack.resize(static_cast<size_t>(kDepthTile) * kColTile);
   double* __restrict pk = pack.data();
@@ -144,8 +149,8 @@ void mm_nt_rows(const double* __restrict a, const double* __restrict b, double* 
 
 // C[r0:r1, :] += (A^T)[r0:r1, :] * B with A [K x M], B [K x N]; C is [M x N]
 // and the row range indexes columns of A.
-void mm_tn_rows(const double* __restrict a, const double* __restrict b, double* __restrict c,
-                long r0, long r1, int K, int M, int N) {
+void mm_tn_rows_scalar(const double* __restrict a, const double* __restrict b,
+                       double* __restrict c, long r0, long r1, int K, int M, int N) {
   for (int jj = 0; jj < N; jj += kColTile) {
     const int jend = std::min(N, jj + kColTile);
     for (long i = r0; i < r1; ++i) {
@@ -159,6 +164,14 @@ void mm_tn_rows(const double* __restrict a, const double* __restrict b, double* 
     }
   }
 }
+
+}  // namespace detail
+
+namespace {
+
+// Parallelize only when the mul-add count is worth a fork-join (~2M flops);
+// below that the pool round-trip dominates.
+constexpr long kParallelMinFlops = 1L << 21;
 
 // Split [0, rows) across the shared pool when the product is big enough.
 // Whole rows per worker: no worker ever touches another's C elements.
@@ -186,8 +199,11 @@ void matmul_acc(const Mat& a, const Mat& b, Mat& c) {
   const double* ap = a.data().data();
   const double* bp = b.data().data();
   double* cp = c.data().data();
+  // Resolve the route's kernel pointer once, outside the parallel region, so
+  // every worker of one product runs the same route even if a test flips it.
+  const simd::MmRowsFn mm = simd::kernels().mm_rows;
   run_rows(a.rows(), static_cast<long>(a.rows()) * K * N,
-           [=](long r0, long r1) { mm_rows(ap, bp, cp, r0, r1, K, N); });
+           [=](long r0, long r1) { mm(ap, bp, cp, r0, r1, K, N); });
 }
 
 void matmul_nt_acc(const Mat& a, const Mat& b, Mat& c) {
@@ -200,8 +216,9 @@ void matmul_nt_acc(const Mat& a, const Mat& b, Mat& c) {
   const double* ap = a.data().data();
   const double* bp = b.data().data();
   double* cp = c.data().data();
+  const simd::MmRowsFn mm = simd::kernels().mm_nt_rows;
   run_rows(a.rows(), static_cast<long>(a.rows()) * K * N,
-           [=](long r0, long r1) { mm_nt_rows(ap, bp, cp, r0, r1, K, N); });
+           [=](long r0, long r1) { mm(ap, bp, cp, r0, r1, K, N); });
 }
 
 void matmul_tn_acc(const Mat& a, const Mat& b, Mat& c) {
@@ -214,8 +231,9 @@ void matmul_tn_acc(const Mat& a, const Mat& b, Mat& c) {
   const double* ap = a.data().data();
   const double* bp = b.data().data();
   double* cp = c.data().data();
+  const simd::MmTnRowsFn mm = simd::kernels().mm_tn_rows;
   run_rows(M, static_cast<long>(K) * M * N,
-           [=](long r0, long r1) { mm_tn_rows(ap, bp, cp, r0, r1, K, M, N); });
+           [=](long r0, long r1) { mm(ap, bp, cp, r0, r1, K, M, N); });
 }
 
 Mat matmul(const Mat& a, const Mat& b) {

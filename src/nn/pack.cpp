@@ -1,0 +1,429 @@
+#include "gendt/nn/pack.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "crc32.h"
+#include "gendt/nn/checks.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define GENDT_PACK_HAVE_MMAP 1
+#endif
+
+namespace gendt::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'D', 'T', 'P', 'A', 'C', 'K', '1'};
+constexpr int kV = 3;  // LoadResult::version for GDTPACK1 (GDTCKPT used 1/2)
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + 5 * sizeof(std::uint64_t);
+constexpr std::size_t kAlign = 64;  // data_off and every tensor offset
+
+// Same untrusted-field bounds as the GDTCKPT2 parser (serialize.cpp).
+constexpr std::uint64_t kMaxNameLen = 1u << 12;
+constexpr std::uint64_t kMaxMetaValueLen = 1u << 26;
+constexpr std::uint64_t kMaxDim = 1u << 27;
+constexpr std::uint64_t kMaxRecords = 1u << 20;
+
+std::uint64_t align_up(std::uint64_t v) { return (v + (kAlign - 1)) & ~static_cast<std::uint64_t>(kAlign - 1); }
+
+void put_bytes(std::vector<std::uint8_t>& b, const void* p, std::size_t n) {
+  const auto* c = static_cast<const std::uint8_t*>(p);
+  b.insert(b.end(), c, c + n);
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) { put_bytes(b, &v, sizeof(v)); }
+
+LoadResult fail(LoadStatus status, int version, std::string detail) {
+  LoadResult r;
+  r.status = status;
+  r.version = version;
+  r.detail = std::move(detail);
+  return r;
+}
+
+// Bounded little-endian reader over the directory region (never the data
+// region — the caller caps `n` at data_off).
+struct Reader {
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  std::size_t off = 0;
+
+  std::size_t remaining() const { return n - off; }
+  bool u64(std::uint64_t& v) {
+    if (remaining() < sizeof(v)) return false;
+    std::memcpy(&v, p + off, sizeof(v));
+    off += sizeof(v);
+    return true;
+  }
+  bool str(std::string& s, std::size_t len) {
+    if (remaining() < len) return false;
+    s.assign(reinterpret_cast<const char*>(p + off), len);
+    off += len;
+    return true;
+  }
+};
+
+}  // namespace
+
+// ---- PackedModel ----------------------------------------------------------
+
+PackedModel::PackedModel(PackedModel&& o) noexcept
+    : base_(o.base_), len_(o.len_), is_mmap_(o.is_mmap_), fallback_(std::move(o.fallback_)),
+      meta_(std::move(o.meta_)), tensors_(std::move(o.tensors_)) {
+  o.base_ = nullptr;
+  o.len_ = 0;
+  o.is_mmap_ = false;
+}
+
+PackedModel& PackedModel::operator=(PackedModel&& o) noexcept {
+  if (this == &o) return *this;
+  reset();
+  base_ = o.base_;
+  len_ = o.len_;
+  is_mmap_ = o.is_mmap_;
+  fallback_ = std::move(o.fallback_);
+  meta_ = std::move(o.meta_);
+  tensors_ = std::move(o.tensors_);
+  o.base_ = nullptr;
+  o.len_ = 0;
+  o.is_mmap_ = false;
+  return *this;
+}
+
+PackedModel::~PackedModel() { reset(); }
+
+void PackedModel::reset() {
+#ifdef GENDT_PACK_HAVE_MMAP
+  if (is_mmap_ && base_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(base_), len_);
+  }
+#endif
+  base_ = nullptr;
+  len_ = 0;
+  is_mmap_ = false;
+  fallback_.clear();
+  meta_ = CkptMeta{};
+  tensors_.clear();
+}
+
+const PackedTensor* PackedModel::find(const std::string& name) const {
+  for (const auto& t : tensors_)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+bool PackedModel::contains(const void* p) const {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  return base_ != nullptr && b >= base_ && b < base_ + len_;
+}
+
+LoadResult PackedModel::map(const std::string& path, PackVerify verify) {
+  reset();
+
+  // Acquire the bytes: one read-only mmap on unix (the zero-copy path — the
+  // page cache backs every mapping of the same file with one physical copy),
+  // a whole-file heap read elsewhere.
+  const std::uint8_t* base = nullptr;
+  std::size_t len = 0;
+#ifdef GENDT_PACK_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail(LoadStatus::kIoError, 0, "cannot open '" + path + "'");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return fail(LoadStatus::kIoError, 0, "cannot stat '" + path + "'");
+  }
+  len = static_cast<std::size_t>(st.st_size);
+  void* m = len > 0 ? ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0) : MAP_FAILED;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (m == MAP_FAILED)
+    return fail(LoadStatus::kIoError, 0, "cannot mmap '" + path + "'");
+  base = static_cast<const std::uint8_t*>(m);
+  base_ = base;
+  len_ = len;
+  is_mmap_ = true;
+#else
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) return fail(LoadStatus::kIoError, 0, "cannot read '" + path + "'");
+  const std::streamoff size = is.tellg();
+  if (size < 0) return fail(LoadStatus::kIoError, 0, "cannot read '" + path + "'");
+  fallback_.resize(static_cast<std::size_t>(size));
+  is.seekg(0);
+  if (size > 0) is.read(reinterpret_cast<char*>(fallback_.data()), size);
+  if (!is) {
+    reset();
+    return fail(LoadStatus::kIoError, 0, "cannot read '" + path + "'");
+  }
+  base = fallback_.data();
+  len = fallback_.size();
+  base_ = base;
+  len_ = len;
+  is_mmap_ = false;
+#endif
+
+  // Structural validation. Every length/offset field is untrusted: checked
+  // against its bound and the real file size before any pointer is formed.
+  const auto bail = [this](LoadResult r) {
+    reset();
+    return r;
+  };
+  if (len < sizeof(kMagic)) return bail(fail(LoadStatus::kBadMagic, 0, "file shorter than the magic"));
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    if (std::memcmp(base, kMagic, sizeof(kMagic) - 1) == 0)
+      return bail(fail(LoadStatus::kUnsupportedVersion, 0,
+                       std::string("GDTPACK version '") + static_cast<char>(base[7]) +
+                           "' (this build reads 1)"));
+    return bail(fail(LoadStatus::kBadMagic, 0, "not a GenDT packed model"));
+  }
+  if (len < kHeaderSize + sizeof(std::uint64_t))
+    return bail(fail(LoadStatus::kTruncated, kV, "header cut short"));
+
+  Reader hdr{base, kHeaderSize, sizeof(kMagic)};
+  std::uint64_t file_size = 0, meta_count = 0, tensor_count = 0, data_off = 0, data_size = 0;
+  hdr.u64(file_size);
+  hdr.u64(meta_count);
+  hdr.u64(tensor_count);
+  hdr.u64(data_off);
+  hdr.u64(data_size);
+  if (file_size != len)
+    return bail(fail(file_size > len ? LoadStatus::kTruncated : LoadStatus::kTrailingBytes, kV,
+                     "header declares " + std::to_string(file_size) + " bytes but the file has " +
+                         std::to_string(len)));
+  if (meta_count > kMaxRecords || tensor_count > kMaxRecords)
+    return bail(fail(LoadStatus::kMalformed, kV, "header record counts exceed limit"));
+  if (data_off % kAlign != 0 || data_off < kHeaderSize)
+    return bail(fail(LoadStatus::kMalformed, kV,
+                     "data offset " + std::to_string(data_off) + " is not 64-byte aligned"));
+  if (data_off > len || data_size > len - data_off ||
+      data_off + data_size + sizeof(std::uint64_t) != len)
+    return bail(fail(LoadStatus::kTruncated, kV,
+                     "data region [" + std::to_string(data_off) + ", +" +
+                         std::to_string(data_size) + "] does not fit the file"));
+
+  // Directory: meta entries then the tensor table, capped at data_off so a
+  // corrupt length can never walk into the data region.
+  Reader r{base, static_cast<std::size_t>(data_off), kHeaderSize};
+  for (std::uint64_t i = 0; i < meta_count; ++i) {
+    std::uint64_t key_len = 0, val_len = 0;
+    std::string key;
+    if (!r.u64(key_len))
+      return bail(fail(LoadStatus::kTruncated, kV, "meta record " + std::to_string(i) + ": key length"));
+    if (key_len == 0 || key_len > kMaxNameLen)
+      return bail(fail(LoadStatus::kMalformed, kV,
+                       "meta record " + std::to_string(i) + ": key length " + std::to_string(key_len)));
+    if (!r.str(key, static_cast<std::size_t>(key_len)))
+      return bail(fail(LoadStatus::kTruncated, kV, "meta record " + std::to_string(i) + ": key overruns directory"));
+    if (!r.u64(val_len))
+      return bail(fail(LoadStatus::kTruncated, kV, "meta record '" + key + "': value length"));
+    if (val_len > kMaxMetaValueLen)
+      return bail(fail(LoadStatus::kMalformed, kV,
+                       "meta record '" + key + "': value length " + std::to_string(val_len)));
+    if (val_len > r.remaining())
+      return bail(fail(LoadStatus::kTruncated, kV, "meta record '" + key + "': value overruns directory"));
+    if (meta_.has(key))
+      return bail(fail(LoadStatus::kDuplicateName, kV, "meta key '" + key + "' appears twice"));
+    meta_.set_bytes(key, std::vector<std::uint8_t>(r.p + r.off, r.p + r.off + val_len));
+    r.off += static_cast<std::size_t>(val_len);
+  }
+
+  std::unordered_set<std::string> seen;
+  tensors_.reserve(static_cast<std::size_t>(tensor_count));
+  for (std::uint64_t i = 0; i < tensor_count; ++i) {
+    std::uint64_t name_len = 0, rows = 0, cols = 0, off = 0;
+    PackedTensor t;
+    if (!r.u64(name_len))
+      return bail(fail(LoadStatus::kTruncated, kV, "tensor record " + std::to_string(i) + ": name length"));
+    if (name_len == 0 || name_len > kMaxNameLen)
+      return bail(fail(LoadStatus::kMalformed, kV,
+                       "tensor record " + std::to_string(i) + ": name length " + std::to_string(name_len)));
+    if (!r.str(t.name, static_cast<std::size_t>(name_len)))
+      return bail(fail(LoadStatus::kTruncated, kV, "tensor record " + std::to_string(i) + ": name overruns directory"));
+    if (!r.u64(rows) || !r.u64(cols) || !r.u64(off))
+      return bail(fail(LoadStatus::kTruncated, kV, "tensor record '" + t.name + "': shape/offset"));
+    if (rows > kMaxDim || cols > kMaxDim)
+      return bail(fail(LoadStatus::kMalformed, kV,
+                       "tensor record '" + t.name + "': dims " + std::to_string(rows) + "x" +
+                           std::to_string(cols) + " exceed limit"));
+    if (off % kAlign != 0)
+      return bail(fail(LoadStatus::kMalformed, kV,
+                       "tensor record '" + t.name + "': offset " + std::to_string(off) +
+                           " is not 64-byte aligned"));
+    const std::uint64_t elems = rows * cols;  // <= 2^54 after the bound check
+    if (off > data_size || elems > (data_size - off) / sizeof(double))
+      return bail(fail(LoadStatus::kTruncated, kV,
+                       "tensor record '" + t.name + "': payload overruns the data region"));
+    if (!seen.insert(t.name).second)
+      return bail(fail(LoadStatus::kDuplicateName, kV, "tensor '" + t.name + "' appears twice"));
+    t.rows = static_cast<int>(rows);
+    t.cols = static_cast<int>(cols);
+    t.data = reinterpret_cast<const double*>(base + data_off + off);
+    tensors_.push_back(std::move(t));
+  }
+
+  // Directory CRC sits right after the last record; everything from there to
+  // data_off must be zero padding.
+  const std::size_t dir_end = r.off;
+  std::uint64_t dir_crc = 0;
+  if (!r.u64(dir_crc))
+    return bail(fail(LoadStatus::kTruncated, kV, "directory CRC missing"));
+  if (dir_crc != detail::crc32_ieee(base, dir_end))
+    return bail(fail(LoadStatus::kCrcMismatch, kV,
+                     "directory CRC does not match (file corrupted or bit-flipped)"));
+  for (std::size_t i = r.off; i < data_off; ++i) {
+    if (base[i] != 0)
+      return bail(fail(LoadStatus::kTrailingBytes, kV,
+                       "nonzero byte in the directory padding at offset " + std::to_string(i)));
+  }
+
+  if (verify == PackVerify::kFull) {
+    std::uint64_t data_crc = 0;
+    std::memcpy(&data_crc, base + len - sizeof(data_crc), sizeof(data_crc));
+    if (data_crc != detail::crc32_ieee(base + data_off, static_cast<std::size_t>(data_size)))
+      return bail(fail(LoadStatus::kCrcMismatch, kV,
+                       "data CRC does not match (tensor payload corrupted)"));
+  }
+
+  LoadResult okr;
+  okr.version = kV;
+  return okr;
+}
+
+// ---- Writer ---------------------------------------------------------------
+
+bool write_packed(const Checkpoint& ckpt, const std::string& path) {
+  // Layout pass: directory size, then 64-aligned running offsets for every
+  // payload.
+  std::size_t dir_size = kHeaderSize;
+  for (const auto& e : ckpt.meta.entries()) dir_size += 16 + e.first.size() + e.second.size();
+  for (const auto& t : ckpt.params) dir_size += 32 + t.name.size();
+  dir_size += sizeof(std::uint64_t);  // dir_crc
+
+  const std::uint64_t data_off = align_up(dir_size);
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(ckpt.params.size());
+  std::uint64_t cursor = 0;
+  for (const auto& t : ckpt.params) {
+    offsets.push_back(cursor);
+    cursor = align_up(cursor + t.value.size() * sizeof(double));
+  }
+  const std::uint64_t data_size = cursor;
+  const std::uint64_t file_size = data_off + data_size + sizeof(std::uint64_t);
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(static_cast<std::size_t>(file_size));
+  put_bytes(buf, kMagic, sizeof(kMagic));
+  put_u64(buf, file_size);
+  put_u64(buf, ckpt.meta.entries().size());
+  put_u64(buf, ckpt.params.size());
+  put_u64(buf, data_off);
+  put_u64(buf, data_size);
+  for (const auto& e : ckpt.meta.entries()) {
+    put_u64(buf, e.first.size());
+    put_bytes(buf, e.first.data(), e.first.size());
+    put_u64(buf, e.second.size());
+    put_bytes(buf, e.second.data(), e.second.size());
+  }
+  for (std::size_t i = 0; i < ckpt.params.size(); ++i) {
+    const auto& t = ckpt.params[i];
+    put_u64(buf, t.name.size());
+    put_bytes(buf, t.name.data(), t.name.size());
+    put_u64(buf, static_cast<std::uint64_t>(t.value.rows()));
+    put_u64(buf, static_cast<std::uint64_t>(t.value.cols()));
+    put_u64(buf, offsets[i]);
+  }
+  put_u64(buf, detail::crc32_ieee(buf.data(), buf.size()));
+  buf.resize(static_cast<std::size_t>(data_off), 0);  // zero padding
+  for (std::size_t i = 0; i < ckpt.params.size(); ++i) {
+    const auto& t = ckpt.params[i];
+    buf.resize(static_cast<std::size_t>(data_off + offsets[i]), 0);  // inter-tensor padding
+    put_bytes(buf, t.value.data().data(), t.value.size() * sizeof(double));
+  }
+  buf.resize(static_cast<std::size_t>(data_off + data_size), 0);
+  put_u64(buf, detail::crc32_ieee(buf.data() + data_off, static_cast<std::size_t>(data_size)));
+
+  // Atomic publish, same contract as save_checkpoint: readers see the old
+  // file or the new one, never a torn write.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  bool ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  ok = (std::fflush(f) == 0) && ok;
+#if defined(__unix__) || defined(__APPLE__)
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// ---- Apply ----------------------------------------------------------------
+
+LoadResult apply_packed(const std::vector<NamedParam>& params, const PackedModel& pack,
+                        LoadMode mode) {
+  if (!pack.mapped()) return fail(LoadStatus::kIoError, kV, "packed model is not mapped");
+
+  // Same three-stage shape as apply_params: index, validate everything,
+  // then commit — except the commit installs read-only views into the arena
+  // instead of copying.
+  std::unordered_map<std::string, Tensor> live;
+  live.reserve(params.size());
+  for (const auto& p : params) {
+    if (!live.emplace(p.name, p.tensor).second)
+      return fail(LoadStatus::kDuplicateName, kV, "model exposes parameter '" + p.name + "' twice");
+  }
+
+  LoadResult res;
+  res.version = kV;
+  std::vector<std::pair<Tensor, const PackedTensor*>> staged;
+  staged.reserve(pack.tensors().size());
+  std::unordered_set<std::string> covered;
+  for (const auto& rec : pack.tensors()) {
+    auto it = live.find(rec.name);
+    if (it == live.end()) {
+      if (mode == LoadMode::kStrict)
+        return fail(LoadStatus::kUnknownParam, kV,
+                    "packed model names '" + rec.name + "' which the model does not have");
+      res.skipped.push_back(rec.name);
+      continue;
+    }
+    const Mat& cur = it->second.value();
+    if (cur.rows() != rec.rows || cur.cols() != rec.cols)
+      return fail(LoadStatus::kShapeMismatch, kV,
+                  "'" + rec.name + "': file [" + std::to_string(rec.rows) + " x " +
+                      std::to_string(rec.cols) + "] vs model " + shape_str(cur));
+    covered.insert(rec.name);
+    staged.emplace_back(it->second, &rec);
+  }
+  for (const auto& p : params) {
+    if (covered.count(p.name)) continue;
+    if (mode == LoadMode::kStrict)
+      return fail(LoadStatus::kMissingParam, kV, "packed model is missing parameter '" + p.name + "'");
+    res.missing.push_back(p.name);
+  }
+
+  for (auto& [tensor, rec] : staged)
+    tensor.mutable_value() = Mat::view(rec->data, rec->rows, rec->cols);
+  return res;
+}
+
+bool sniff_packed(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char head[sizeof(kMagic)] = {};
+  is.read(head, sizeof(head));
+  return is.gcount() == sizeof(head) && std::memcmp(head, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace gendt::nn

@@ -17,8 +17,9 @@ struct CliResult {
   std::string output;  // stdout + stderr interleaved
 };
 
-CliResult run_cli(const std::string& args) {
-  const std::string cmd = std::string(GENDT_CLI_PATH) + " " + args + " 2>&1";
+CliResult run_cli_env(const std::string& env, const std::string& args) {
+  const std::string cmd = env + (env.empty() ? "" : " ") + std::string(GENDT_CLI_PATH) + " " +
+                          args + " 2>&1";
   CliResult result;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -28,6 +29,8 @@ CliResult run_cli(const std::string& args) {
   result.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
   return result;
 }
+
+CliResult run_cli(const std::string& args) { return run_cli_env("", args); }
 
 std::filesystem::path fresh_dir(const std::string& name) {
   const auto dir = std::filesystem::path(::testing::TempDir()) / name;
@@ -130,7 +133,9 @@ TEST(Cli, ServeRoundTripProducesPerRequestOutput) {
 
 // The tape-free fast path (default) and the autograd reference path must
 // produce byte-identical CSVs — the CLI-level face of the gen-parity
-// guarantee.
+// guarantee. Pinned to GENDT_SIMD=off: graph/fast bitwise parity is a
+// scalar-route contract (the avx2 route's fused kernels match within
+// tolerance, not bits — see docs/ARCHITECTURE.md).
 TEST(Cli, GenerateFastAndReferenceCsvsAreByteIdentical) {
   const auto dir = fresh_dir("cli_gen_parity");
   const std::string ckpt = (dir / "model.ckpt").string();
@@ -148,9 +153,9 @@ TEST(Cli, GenerateFastAndReferenceCsvsAreByteIdentical) {
                              " --train-s 120 --seed 3 --gen-seed 11 --out ";
   const std::string fast_csv = (dir / "fast.csv").string();
   const std::string ref_csv = (dir / "ref.csv").string();
-  const CliResult fast = run_cli(common + fast_csv + " --fast");
+  const CliResult fast = run_cli_env("GENDT_SIMD=off", common + fast_csv + " --fast");
   ASSERT_EQ(fast.exit_code, 0) << fast.output;
-  const CliResult ref = run_cli(common + ref_csv + " --reference");
+  const CliResult ref = run_cli_env("GENDT_SIMD=off", common + ref_csv + " --reference");
   ASSERT_EQ(ref.exit_code, 0) << ref.output;
 
   const auto slurp = [](const std::string& path) {
@@ -164,6 +169,65 @@ TEST(Cli, GenerateFastAndReferenceCsvsAreByteIdentical) {
   const CliResult both = run_cli(common + (dir / "x.csv").string() + " --fast --reference");
   EXPECT_EQ(both.exit_code, 2);
   EXPECT_NE(both.output.find("mutually exclusive"), std::string::npos) << both.output;
+}
+
+// pack converts a checkpoint into a GDTPACK1 arena; generate must accept
+// either file and emit byte-identical CSVs — mmap'd views and heap-copied
+// weights hold the same bits, so the whole rollout must too. The packed
+// serve path must also announce the arena in its startup log.
+TEST(Cli, PackRoundTripGeneratesByteIdenticalCsv) {
+  const auto dir = fresh_dir("cli_pack");
+  const std::string ckpt = (dir / "model.ckpt").string();
+  const std::string pack = (dir / "model.gdtpack").string();
+  const CliResult train =
+      run_cli("train --out " + ckpt + " --epochs 1 --train-s 120 --seed 3");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+
+  const CliResult packed = run_cli("pack --in " + ckpt + " --out " + pack);
+  ASSERT_EQ(packed.exit_code, 0) << packed.output;
+  EXPECT_NE(packed.output.find("packed"), std::string::npos) << packed.output;
+  // A 1-epoch checkpoint carries Adam state; pack must say it dropped it.
+  EXPECT_NE(packed.output.find("trainer-state tensors dropped"), std::string::npos)
+      << packed.output;
+
+  std::string traj = "t,lat,lon\n";
+  for (int i = 0; i < 120; ++i)
+    traj += std::to_string(i) + "," + std::to_string(47.0 + 1e-4 * i) + ",8.0\n";
+  write_file(dir / "traj.csv", traj);
+
+  const std::string common = "generate --trajectory " + (dir / "traj.csv").string() +
+                             " --train-s 120 --seed 3 --gen-seed 11 --out ";
+  const CliResult from_ckpt =
+      run_cli(common + (dir / "from_ckpt.csv").string() + " --model " + ckpt);
+  ASSERT_EQ(from_ckpt.exit_code, 0) << from_ckpt.output;
+  const CliResult from_pack =
+      run_cli(common + (dir / "from_pack.csv").string() + " --model " + pack);
+  ASSERT_EQ(from_pack.exit_code, 0) << from_pack.output;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  const std::string ckpt_bytes = slurp((dir / "from_ckpt.csv").string());
+  ASSERT_FALSE(ckpt_bytes.empty());
+  EXPECT_EQ(ckpt_bytes, slurp((dir / "from_pack.csv").string()));
+
+  write_file(dir / "requests.txt", (dir / "traj.csv").string() + " 5\n");
+  const CliResult serve = run_cli("serve --requests " + (dir / "requests.txt").string() +
+                                  " --model " + pack + " --out " + (dir / "out").string() +
+                                  " --train-s 120 --seed 3");
+  EXPECT_EQ(serve.exit_code, 0) << serve.output;
+  EXPECT_NE(serve.output.find("model=GDTPACK1"), std::string::npos) << serve.output;
+}
+
+TEST(Cli, VersionReportsCpuFeaturesAndDispatch) {
+  const CliResult r = run_cli("--version");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cpu features:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("kernel dispatch:"), std::string::npos) << r.output;
+  // The route override must be visible end to end.
+  const CliResult off = run_cli_env("GENDT_SIMD=off", "--version");
+  EXPECT_NE(off.output.find("kernel dispatch: scalar"), std::string::npos) << off.output;
 }
 
 TEST(Cli, ServeAcceptsBatchMaxAndRejectsNonPositive) {

@@ -10,10 +10,18 @@
 
 #include "gendt/nn/checks.h"
 #include "gendt/nn/layers.h"
+#include "gendt/nn/simd.h"
 #include "gendt/nn/tensor.h"
 
 namespace gendt::nn::infer {
 namespace {
+
+// Kernel-vs-graph bitwise parity holds on the scalar route only (the avx2
+// route's fast-path-only fused kernels match within tolerance instead —
+// simd_parity_test). Pin it for the whole binary.
+[[maybe_unused]] const bool g_scalar_route = [] {
+  return simd::set_route(simd::Route::kScalar);
+}();
 
 void expect_bits_equal(const Mat& a, const Mat& b) {
   ASSERT_EQ(a.rows(), b.rows());

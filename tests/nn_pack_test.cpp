@@ -1,0 +1,417 @@
+// Fault-injection and zero-copy suite for the GDTPACK1 weight arena.
+//
+// Mirrors nn_serialize_test's corpus style for the packed format: happy-path
+// round trip (meta + tensors, bitwise), then a corruption corpus — truncation
+// at every byte boundary, a bit flip in every byte, wrong magic/version,
+// nonzero padding, unaligned offsets, oversized fields — asserting every
+// corruption is rejected with a descriptive LoadResult. The load-mode split
+// is pinned exactly: kFull catches any flipped byte anywhere; kStructural
+// (the instant-load mode) catches everything BEFORE the data region and, by
+// design, nothing inside it. apply_packed is checked for the zero-copy
+// contract (live params end up as views aliasing the mapping) and for
+// apply_params-grade transactionality.
+#include "gendt/nn/pack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gendt::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  std::vector<std::uint8_t> buf(static_cast<size_t>(is.tellg()));
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  return buf;
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& buf) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  ASSERT_TRUE(static_cast<bool>(os)) << path;
+}
+
+std::uint64_t read_u64_at(const std::vector<std::uint8_t>& buf, size_t off) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf.data() + off, sizeof(v));
+  return v;
+}
+
+Mat counting_mat(int rows, int cols, double start) {
+  Mat m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m[i] = start + static_cast<double>(i);
+  return m;
+}
+
+// Meta of each flavor, params with shapes that leave inter-tensor padding
+// (2x3 = 48 bytes, not a multiple of 64), one trainer-state record the pack
+// must DROP. Small keeps the per-byte corruption sweeps fast.
+Checkpoint sample_checkpoint() {
+  Checkpoint ck;
+  ck.meta.set_u64("train.seed", 99);
+  ck.meta.set_string("train.dataset", "dataset-a");
+  const std::vector<double> mean = {0.5, -1.25};
+  ck.meta.set_f64s("kpi_norm.mean", mean);
+  ck.params.push_back({"gen/w", counting_mat(2, 3, 1.0)});
+  ck.params.push_back({"gen/b", counting_mat(1, 3, -4.0)});
+  ck.params.push_back({"disc/w", counting_mat(3, 5, 0.125)});
+  ck.state.push_back({"adam.gen/gen/w/m", counting_mat(2, 3, 0.25)});
+  return ck;
+}
+
+std::string write_sample_pack(const char* name) {
+  const std::string path = temp_path(name);
+  EXPECT_TRUE(write_packed(sample_checkpoint(), path));
+  return path;
+}
+
+// Live parameter rig, same shape as nn_serialize_test's.
+struct LiveParams {
+  std::vector<Tensor> store;
+  std::vector<NamedParam> params;
+
+  void add(const std::string& name, Mat value) {
+    store.emplace_back(std::move(value), true);
+    params.push_back({name, store.back()});
+  }
+  std::vector<double> snapshot() const {
+    std::vector<double> s;
+    for (const auto& t : store)
+      for (size_t i = 0; i < t.value().size(); ++i) s.push_back(t.value()[i]);
+    return s;
+  }
+};
+
+LiveParams matching_live() {
+  LiveParams live;
+  live.add("gen/w", Mat(2, 3));
+  live.add("gen/b", Mat(1, 3));
+  live.add("disc/w", Mat(3, 5));
+  return live;
+}
+
+// ---- Round trip ------------------------------------------------------------
+
+TEST(Pack, RoundTripsMetaAndTensorsBitwise) {
+  const std::string path = write_sample_pack("gendt_pack_roundtrip.gdtpack");
+  const Checkpoint ck = sample_checkpoint();
+
+  PackedModel pack;
+  LoadResult res = pack.map(path);
+  ASSERT_TRUE(res.ok()) << res.message();
+  EXPECT_EQ(res.version, 3);
+  ASSERT_TRUE(pack.mapped());
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(pack.is_mmap());
+#endif
+
+  std::uint64_t seed = 0;
+  EXPECT_TRUE(pack.meta().get_u64("train.seed", seed));
+  EXPECT_EQ(seed, 99u);
+  std::string dataset;
+  EXPECT_TRUE(pack.meta().get_string("train.dataset", dataset));
+  EXPECT_EQ(dataset, "dataset-a");
+  std::vector<double> mean;
+  EXPECT_TRUE(pack.meta().get_f64s("kpi_norm.mean", mean));
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_EQ(mean[0], 0.5);
+  EXPECT_EQ(mean[1], -1.25);
+
+  ASSERT_EQ(pack.tensors().size(), ck.params.size());
+  for (const auto& want : ck.params) {
+    const PackedTensor* t = pack.find(want.name);
+    ASSERT_NE(t, nullptr) << want.name;
+    ASSERT_EQ(t->rows, want.value.rows());
+    ASSERT_EQ(t->cols, want.value.cols());
+    // Every payload sits 64-byte aligned inside the (page-aligned) mapping.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t->data) % kMatAlignment, 0u) << want.name;
+    for (size_t i = 0; i < want.value.size(); ++i)
+      EXPECT_EQ(t->data[i], want.value[i]) << want.name << " flat " << i;  // bitwise
+  }
+  // Trainer state is an inference-irrelevant GDTCKPT2 concern: never packed.
+  EXPECT_EQ(pack.find("adam.gen/gen/w/m"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Pack, EmptyCheckpointRoundTrips) {
+  const std::string path = temp_path("gendt_pack_empty.gdtpack");
+  ASSERT_TRUE(write_packed(Checkpoint{}, path));
+  PackedModel pack;
+  LoadResult res = pack.map(path);
+  ASSERT_TRUE(res.ok()) << res.message();
+  EXPECT_TRUE(pack.tensors().empty());
+  EXPECT_TRUE(pack.meta().entries().empty());
+  std::remove(path.c_str());
+}
+
+TEST(Pack, SniffRecognizesPackedFilesOnly) {
+  const std::string pack_path = write_sample_pack("gendt_pack_sniff.gdtpack");
+  EXPECT_TRUE(sniff_packed(pack_path));
+
+  const std::string ckpt_path = temp_path("gendt_pack_sniff.ckpt");
+  ASSERT_TRUE(save_checkpoint(sample_checkpoint(), ckpt_path));
+  EXPECT_FALSE(sniff_packed(ckpt_path));
+
+  const std::string short_path = temp_path("gendt_pack_sniff_short");
+  spit(short_path, {'G', 'D', 'T'});
+  EXPECT_FALSE(sniff_packed(short_path));
+  EXPECT_FALSE(sniff_packed(temp_path("gendt_pack_sniff_absent")));
+
+  std::remove(pack_path.c_str());
+  std::remove(ckpt_path.c_str());
+  std::remove(short_path.c_str());
+}
+
+TEST(Pack, WriteFailureLeavesNothingBehind) {
+  // Target path is a directory: the atomic temp+rename publish must fail
+  // cleanly and sweep its temp file.
+  const std::string dir = temp_path("gendt_pack_dir.gdtpack");
+  std::filesystem::create_directory(dir);
+  EXPECT_FALSE(write_packed(sample_checkpoint(), dir));
+  EXPECT_FALSE(std::filesystem::exists(dir + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+// ---- apply_packed: zero-copy contract --------------------------------------
+
+TEST(ApplyPacked, InstallsViewsAliasingTheMapping) {
+  const std::string path = write_sample_pack("gendt_pack_apply.gdtpack");
+  PackedModel pack;
+  ASSERT_TRUE(pack.map(path).ok());
+
+  LiveParams live = matching_live();
+  LoadResult res = apply_packed(live.params, pack);
+  ASSERT_TRUE(res.ok()) << res.message();
+
+  const Checkpoint ck = sample_checkpoint();
+  for (size_t i = 0; i < live.store.size(); ++i) {
+    const Mat& m = live.store[i].value();
+    // The zero-copy claim, literally: the live parameter is a view whose
+    // bytes live inside the mapped file — no per-tensor heap copy exists.
+    EXPECT_TRUE(m.is_view()) << live.params[i].name;
+    EXPECT_TRUE(pack.contains(m.data().data())) << live.params[i].name;
+    ASSERT_EQ(m.rows(), ck.params[i].value.rows());
+    ASSERT_EQ(m.cols(), ck.params[i].value.cols());
+    for (size_t j = 0; j < m.size(); ++j) EXPECT_EQ(m[j], ck.params[i].value[j]);
+  }
+
+  // Copying an applied parameter materializes an owned Mat (safe to outlive
+  // the mapping); the original stays a view.
+  const Mat copy = live.store[0].value();
+  EXPECT_FALSE(copy.is_view());
+  EXPECT_FALSE(pack.contains(copy.data().data()));
+  EXPECT_TRUE(live.store[0].value().is_view());
+  std::remove(path.c_str());
+}
+
+TEST(ApplyPacked, StrictRequiresExactBijection) {
+  const std::string path = write_sample_pack("gendt_pack_strict.gdtpack");
+  PackedModel pack;
+  ASSERT_TRUE(pack.map(path).ok());
+
+  LiveParams extra = matching_live();
+  extra.add("ghost", Mat(1, 1));
+  EXPECT_EQ(apply_packed(extra.params, pack).status, LoadStatus::kMissingParam);
+
+  LiveParams fewer;
+  fewer.add("gen/w", Mat(2, 3));
+  EXPECT_EQ(apply_packed(fewer.params, pack).status, LoadStatus::kUnknownParam);
+  std::remove(path.c_str());
+}
+
+TEST(ApplyPacked, PartialReportsMissingAndSkipped) {
+  const std::string path = write_sample_pack("gendt_pack_partial.gdtpack");
+  PackedModel pack;
+  ASSERT_TRUE(pack.map(path).ok());
+
+  LiveParams live;
+  live.add("gen/w", Mat(2, 3));
+  live.add("ghost", counting_mat(1, 1, 7.0));
+  LoadResult res = apply_packed(live.params, pack, LoadMode::kPartial);
+  ASSERT_TRUE(res.ok()) << res.message();
+  ASSERT_EQ(res.missing.size(), 1u);
+  EXPECT_EQ(res.missing[0], "ghost");
+  ASSERT_EQ(res.skipped.size(), 2u);  // gen/b, disc/w have no live partner
+  EXPECT_TRUE(live.store[0].value().is_view());   // intersection applied
+  EXPECT_FALSE(live.store[1].value().is_view());  // untouched
+  EXPECT_EQ(live.store[1].value()[0], 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(ApplyPacked, ShapeMismatchLeavesEveryParamUntouched) {
+  const std::string path = write_sample_pack("gendt_pack_txn.gdtpack");
+  PackedModel pack;
+  ASSERT_TRUE(pack.map(path).ok());
+
+  // Directory order is (gen/w, gen/b, disc/w): the first two match, the
+  // last does not — transactionality means the first two must NOT have been
+  // turned into views when the third aborts the apply.
+  LiveParams live;
+  live.add("gen/w", counting_mat(2, 3, 50.0));
+  live.add("gen/b", counting_mat(1, 3, 60.0));
+  live.add("disc/w", counting_mat(4, 4, 70.0));  // wrong shape
+  const std::vector<double> before = live.snapshot();
+
+  LoadResult res = apply_packed(live.params, pack);
+  EXPECT_EQ(res.status, LoadStatus::kShapeMismatch);
+  EXPECT_NE(res.detail.find("disc/w"), std::string::npos);
+  for (const auto& t : live.store) EXPECT_FALSE(t.value().is_view());
+  EXPECT_EQ(live.snapshot(), before);  // bitwise unchanged
+
+  EXPECT_EQ(apply_packed(live.params, pack, LoadMode::kPartial).status,
+            LoadStatus::kShapeMismatch);
+  EXPECT_EQ(live.snapshot(), before);
+  std::remove(path.c_str());
+}
+
+TEST(ApplyPacked, UnmappedPackIsAnError) {
+  PackedModel pack;
+  LiveParams live = matching_live();
+  EXPECT_EQ(apply_packed(live.params, pack).status, LoadStatus::kIoError);
+}
+
+// ---- Corruption corpus -----------------------------------------------------
+
+TEST(PackCorruption, MissingFileIsIoError) {
+  PackedModel pack;
+  LoadResult res = pack.map(temp_path("gendt_pack_does_not_exist.gdtpack"));
+  EXPECT_EQ(res.status, LoadStatus::kIoError);
+  EXPECT_FALSE(pack.mapped());
+}
+
+TEST(PackCorruption, TruncationAtEveryByteIsRejected) {
+  const std::string src = write_sample_pack("gendt_pack_trunc_src.gdtpack");
+  const std::vector<std::uint8_t> full = slurp(src);
+  ASSERT_GT(full.size(), 8u);
+  const std::string path = temp_path("gendt_pack_trunc.gdtpack");
+
+  for (size_t len = 1; len < full.size(); ++len) {
+    spit(path, std::vector<std::uint8_t>(full.begin(), full.begin() + len));
+    PackedModel pack;
+    LoadResult res = pack.map(path);
+    EXPECT_FALSE(res.ok()) << "prefix of " << len << " bytes parsed as valid";
+    EXPECT_FALSE(res.message().empty());
+    EXPECT_FALSE(pack.mapped()) << "failed map left a mapping at " << len;
+  }
+  std::remove(src.c_str());
+  std::remove(path.c_str());
+}
+
+// The verify-mode contract, byte by byte: under kFull every single-bit flip
+// anywhere in the file is rejected; under kStructural exactly the bytes
+// BEFORE the data region are protected (header/directory/CRC/padding), while
+// flips inside the data region or its CRC footer load fine — that is the
+// price of the instant-load mode, paid knowingly (serve uses it only on
+// packs self-verified at pack time).
+TEST(PackCorruption, BitFlipsSplitExactlyAtTheDataRegion) {
+  const std::string src = write_sample_pack("gendt_pack_flip_src.gdtpack");
+  const std::vector<std::uint8_t> good = slurp(src);
+  const std::uint64_t data_off = read_u64_at(good, 32);
+  ASSERT_LT(data_off, good.size());
+  const std::string path = temp_path("gendt_pack_flip.gdtpack");
+
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::vector<std::uint8_t> bad = good;
+    bad[i] ^= 0x01;
+    spit(path, bad);
+    PackedModel full_pack;
+    EXPECT_FALSE(full_pack.map(path, PackVerify::kFull).ok())
+        << "kFull missed a bit flip at byte " << i;
+    PackedModel structural;
+    const bool ok = structural.map(path, PackVerify::kStructural).ok();
+    EXPECT_EQ(ok, i >= data_off) << "kStructural contract broken at byte " << i;
+  }
+  std::remove(src.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PackCorruption, WrongMagicAndVersionAreDistinguished) {
+  const std::string src = write_sample_pack("gendt_pack_magic_src.gdtpack");
+  std::vector<std::uint8_t> buf = slurp(src);
+  const std::string path = temp_path("gendt_pack_magic.gdtpack");
+
+  buf[7] = '2';  // GDTPACK2: a future format revision
+  spit(path, buf);
+  PackedModel pack;
+  LoadResult res = pack.map(path);
+  EXPECT_EQ(res.status, LoadStatus::kUnsupportedVersion);
+  EXPECT_NE(res.detail.find('2'), std::string::npos);
+
+  buf[0] = 'X';  // not ours at all
+  spit(path, buf);
+  EXPECT_EQ(pack.map(path).status, LoadStatus::kBadMagic);
+  std::remove(src.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PackCorruption, TrailingBytesAreRejected) {
+  const std::string src = write_sample_pack("gendt_pack_trail_src.gdtpack");
+  std::vector<std::uint8_t> buf = slurp(src);
+  buf.push_back(0xAB);
+  const std::string path = temp_path("gendt_pack_trail.gdtpack");
+  spit(path, buf);
+  PackedModel pack;
+  EXPECT_EQ(pack.map(path).status, LoadStatus::kTrailingBytes);
+  std::remove(src.c_str());
+  std::remove(path.c_str());
+}
+
+// Hand-crafted headers claiming absurd sizes must hit the bounds checks
+// before any pointer is formed or allocation attempted.
+TEST(PackCorruption, OversizedHeaderCountsAreMalformed) {
+  std::vector<std::uint8_t> buf;
+  const char magic[8] = {'G', 'D', 'T', 'P', 'A', 'C', 'K', '1'};
+  buf.insert(buf.end(), magic, magic + 8);
+  const auto u64 = [&buf](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf.insert(buf.end(), p, p + sizeof(v));
+  };
+  u64(64 + 8);              // file_size (patched below)
+  u64(std::uint64_t{1} << 50);  // meta_count: absurd
+  u64(0);
+  u64(64);  // data_off
+  u64(0);   // data_size
+  buf.resize(64, 0);
+  u64(0);  // data_crc slot
+  const std::uint64_t real_size = buf.size();
+  std::memcpy(buf.data() + 8, &real_size, sizeof(real_size));
+
+  const std::string path = temp_path("gendt_pack_bigcounts.gdtpack");
+  spit(path, buf);
+  PackedModel pack;
+  EXPECT_EQ(pack.map(path).status, LoadStatus::kMalformed);
+  std::remove(path.c_str());
+}
+
+TEST(PackCorruption, MisalignedDataOffsetIsMalformed) {
+  const std::string src = write_sample_pack("gendt_pack_align_src.gdtpack");
+  std::vector<std::uint8_t> buf = slurp(src);
+  // Knock data_off off its 64-byte grid, keeping file_size consistent is
+  // irrelevant — the alignment check fires first among the data_off checks.
+  std::uint64_t data_off = read_u64_at(buf, 32) + 1;
+  std::memcpy(buf.data() + 32, &data_off, sizeof(data_off));
+  const std::string path = temp_path("gendt_pack_align.gdtpack");
+  spit(path, buf);
+  PackedModel pack;
+  LoadResult res = pack.map(path);
+  EXPECT_EQ(res.status, LoadStatus::kMalformed);
+  EXPECT_NE(res.detail.find("aligned"), std::string::npos);
+  std::remove(src.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gendt::nn

@@ -47,14 +47,24 @@ def load_timings(path):
 
 
 def compare(baseline, fresh, threshold_pct):
-    """Return (regressions, report lines). A regression is >threshold slower."""
+    """Return (regressions, warnings, report lines).
+
+    A regression is >threshold slower. Warnings cover names present on only
+    one side: never fatal (exit stays 0), but loud on stderr so a PR adding
+    benchmarks knows the baseline wants regenerating.
+    """
     regressions = []
+    warnings = []
     lines = []
     for name in sorted(set(baseline) | set(fresh)):
         if name not in fresh:
+            warnings.append(f"'{name}' is only in the baseline (retired or "
+                            "renamed?) — not compared")
             lines.append(f"  only-baseline  {name} (retired or renamed — ignored)")
             continue
         if name not in baseline:
+            warnings.append(f"'{name}' is new (absent from the baseline) — "
+                            "not compared; regenerate the baseline to track it")
             lines.append(f"  only-fresh     {name} (new benchmark — ignored)")
             continue
         base, cur = baseline[name], fresh[name]
@@ -68,16 +78,24 @@ def compare(baseline, fresh, threshold_pct):
             regressions.append(name)
         lines.append(
             f"  {tag:<14} {name}: {base:.0f}ns -> {cur:.0f}ns ({delta_pct:+.1f}%)")
-    return regressions, lines
+    return regressions, warnings, lines
 
 
 def self_test():
     baseline = {"a": 100.0, "b": 100.0, "gone": 50.0}
     fresh = {"a": 120.0, "b": 130.0, "new": 10.0}
-    regressions, _ = compare(baseline, fresh, 25.0)
+    regressions, warnings, _ = compare(baseline, fresh, 25.0)
     ok = regressions == ["b"]  # +20% passes, +30% fails, new/retired ignored
-    regressions, _ = compare(baseline, fresh, 35.0)
-    ok = ok and regressions == []
+    # One-sided names warn (loudly, on stderr in main) but never fail.
+    ok = ok and len(warnings) == 2
+    ok = ok and any("'gone'" in w and "baseline" in w for w in warnings)
+    ok = ok and any("'new'" in w and "new" in w for w in warnings)
+    regressions, warnings, _ = compare(baseline, fresh, 35.0)
+    ok = ok and regressions == [] and len(warnings) == 2
+    # A fresh run that only ADDS benchmarks is clean: no regressions, and the
+    # additions surface as warnings only.
+    regressions, warnings, _ = compare({"a": 100.0}, {"a": 100.0, "x": 1.0}, 25.0)
+    ok = ok and regressions == [] and warnings and "'x'" in warnings[0]
     print("bench_compare self-test:", "ok" if ok else "FAILED")
     return 0 if ok else 2
 
@@ -99,11 +117,13 @@ def main(argv):
               file=sys.stderr)
         return 2
 
-    regressions, lines = compare(baseline, fresh, args.threshold)
+    regressions, warnings, lines = compare(baseline, fresh, args.threshold)
     print(f"bench_compare: {args.fresh} vs baseline {args.baseline} "
           f"(threshold +{args.threshold:g}%)")
     for line in lines:
         print(line)
+    for warning in warnings:
+        print(f"bench_compare: warning: {warning}", file=sys.stderr)
     if regressions:
         print(f"bench_compare: {len(regressions)} regression(s) beyond "
               f"+{args.threshold:g}%: {', '.join(regressions)}")

@@ -13,6 +13,12 @@
 #                                  engine's chaos sweep — corrupt files and
 #                                  injected faults must fail cleanly, not as
 #                                  heap errors the test harness can't see)
+#   8. UBSan scalar-route gate    (GENDT_SIMD=off over serialize|gen-parity:
+#                                  the pack/checkpoint corpora and both
+#                                  parity suites with kernel dispatch forced
+#                                  to the scalar anchor — the bitwise
+#                                  contract must hold, UB-clean, with SIMD
+#                                  disabled end to end)
 #
 # Usage: tools/ci.sh [--fast] [--bench]
 #   --fast stops after step 4 (skips the sanitizer builds; those dominate
@@ -38,15 +44,15 @@ done
 
 step() { echo; echo "=== ci.sh [$1] $2"; }
 
-step 1/7 "warning-clean build (GENDT_WERROR=ON)"
+step 1/8 "warning-clean build (GENDT_WERROR=ON)"
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGENDT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-step 2/7 "determinism lint"
+step 2/8 "determinism lint"
 python3 "$ROOT/tools/lint_determinism.py" --self-test
 python3 "$ROOT/tools/lint_determinism.py"
 
-step 3/7 "clang-tidy baseline"
+step 3/8 "clang-tidy baseline"
 if command -v clang-tidy >/dev/null 2>&1; then
   # Compile commands come from the CI build dir; only first-party sources.
   cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -56,7 +62,7 @@ else
   echo "clang-tidy not installed — skipping (install it to run the .clang-tidy baseline)"
 fi
 
-step 4/7 "ctest"
+step 4/8 "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [ "$BENCH" -eq 1 ]; then
@@ -68,7 +74,7 @@ if [ "$BENCH" -eq 1 ]; then
   python3 "$ROOT/tools/bench_compare.py" --self-test
   BENCH_JSON="$BUILD_DIR/bench_smoke.json"
   "$BUILD_DIR/bench/bench_micro_perf" \
-    --benchmark_filter='BM_Matmul|BM_LstmStep|BM_GenDTWindowGeneration' \
+    --benchmark_filter='BM_Matmul|BM_LstmStep|BM_GenDTWindowGeneration|BM_Affine2Simd|BM_CkptModelLoad|BM_PackedModelLoad' \
     --benchmark_out="$BENCH_JSON" --benchmark_out_format=json
   python3 "$ROOT/tools/bench_compare.py" "$ROOT/BENCH_micro_perf.json" "$BENCH_JSON"
 fi
@@ -77,13 +83,16 @@ if [ "$FAST" -eq 1 ]; then
   echo; echo "ci.sh: fast mode — skipping sanitizer subsets"; exit 0
 fi
 
-step 5/7 "ThreadSanitizer subset"
+step 5/8 "ThreadSanitizer subset"
 "$ROOT/tools/check.sh" thread
 
-step 6/7 "UndefinedBehaviorSanitizer subset"
+step 6/8 "UndefinedBehaviorSanitizer subset"
 "$ROOT/tools/check.sh" undefined
 
-step 7/7 "AddressSanitizer over the fault-injection suites (serialize + serve chaos)"
+step 7/8 "AddressSanitizer over the fault-injection suites (serialize + serve chaos)"
 "$ROOT/tools/check.sh" address 'serialize|serve'
+
+step 8/8 "UBSan scalar-route gate (GENDT_SIMD=off over serialize + parity suites)"
+GENDT_SIMD=off "$ROOT/tools/check.sh" undefined 'serialize|gen-parity'
 
 echo; echo "ci.sh: all stages passed"

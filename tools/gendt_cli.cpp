@@ -23,6 +23,12 @@
 //   gendt eval --real FILE.csv --generated FILE.csv
 //       Fidelity metrics (MAE/DTW/HWD) per channel between two series CSVs.
 //
+//   gendt pack --in MODEL.ckpt --out MODEL.gdtpack
+//       Convert a checkpoint into a GDTPACK1 zero-copy weight arena:
+//       parameters + metadata laid out 64-byte aligned for one-mmap loading
+//       (trainer state is dropped — a pack is an inference artifact).
+//       generate and serve accept either format and detect it by magic.
+//
 //   gendt serve --requests FILE --model MODEL.ckpt --out DIR
 //               [--deadline-ms N] [--max-queue N] [--shed] [--threads N]
 //               [--dataset a|b] [--seed N]
@@ -54,6 +60,8 @@
 #include "gendt/core/model.h"
 #include "gendt/io/csv.h"
 #include "gendt/metrics/metrics.h"
+#include "gendt/nn/pack.h"
+#include "gendt/nn/simd.h"
 #include "gendt/serve/engine.h"
 #include "gendt/sim/dataset.h"
 
@@ -98,6 +106,7 @@ const std::map<std::string, std::set<std::string>>& command_options() {
        {"model", "trajectory", "out", "dataset", "seed", "train-s", "gen-seed", "threads",
         "fast", "reference"}},
       {"eval", {"real", "generated"}},
+      {"pack", {"in", "out"}},
       {"serve",
        {"requests", "model", "out", "dataset", "seed", "train-s", "deadline-ms", "max-queue",
         "shed", "threads", "batch-max"}},
@@ -109,15 +118,19 @@ bool is_help(const std::string& command) {
   return command == "--help" || command == "-h" || command == "help";
 }
 
+bool is_version(const std::string& command) {
+  return command == "--version" || command == "-V" || command == "version";
+}
+
 Args parse(int argc, char** argv) {
   Args a;
   if (argc >= 2) a.command = argv[1];
-  if (a.command.empty() || is_help(a.command)) return a;
+  if (a.command.empty() || is_help(a.command) || is_version(a.command)) return a;
   const auto cmd = command_options().find(a.command);
   if (cmd == command_options().end()) {
     std::fprintf(stderr,
-                 "error: unknown command '%s' (expected simulate, train, generate, eval, or "
-                 "serve; see 'gendt --help')\n",
+                 "error: unknown command '%s' (expected simulate, train, generate, eval, "
+                 "pack, or serve; see 'gendt --help')\n",
                  a.command.c_str());
     std::exit(2);
   }
@@ -154,13 +167,14 @@ Args parse(int argc, char** argv) {
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: gendt <simulate|train|generate|eval|serve> [options]\n"
+               "usage: gendt <simulate|train|generate|eval|pack|serve> [options]\n"
                "  simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]\n"
                "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
                " [--threads N] [--resume] [--record FILE]...\n"
                "  generate --model MODEL.ckpt --trajectory TRAJ.csv --out OUT.csv"
                " [--dataset a|b] [--seed N] [--gen-seed N] [--threads N] [--fast|--reference]\n"
                "  eval     --real FILE.csv --generated FILE.csv\n"
+               "  pack     --in MODEL.ckpt --out MODEL.gdtpack\n"
                "  serve    --requests FILE --model MODEL.ckpt --out DIR [--deadline-ms N]"
                " [--max-queue N] [--shed] [--threads N] [--batch-max N] [--dataset a|b]"
                " [--seed N]\n"
@@ -175,7 +189,11 @@ void print_usage(std::FILE* to) {
                "the autograd graph instead — outputs are bitwise identical.\n"
                "serve --batch-max N lets each worker drain up to N queued requests\n"
                "and fan them out on the shared pool; responses are bitwise\n"
-               "independent of batch composition.\n");
+               "independent of batch composition.\n"
+               "pack converts a GDTCKPT2 checkpoint into a GDTPACK1 weight arena\n"
+               "that generate/serve load with one mmap and zero tensor copies;\n"
+               "GENDT_SIMD=off|avx2|auto selects the kernel route (gendt --version\n"
+               "shows the CPU features and the route in effect).\n");
 }
 
 int usage() {
@@ -421,7 +439,34 @@ int cmd_generate(const Args& a) {
   context::KpiNorm norm;
   norm.mean.assign(ds.kpis.size(), 0.0);
   norm.stddev.assign(ds.kpis.size(), 1.0);
-  {
+  // Declared at function scope: when the model is a GDTPACK1 arena, the live
+  // parameters are views into this mapping for the rest of the command.
+  nn::PackedModel pack;
+  if (nn::sniff_packed(model_path)) {
+    const nn::LoadResult r = pack.map(model_path);  // kFull: one-shot command
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s\n", model_path.c_str(),
+                   r.message().c_str());
+      return 1;
+    }
+    std::vector<double> mean, stddev;
+    if (!pack.meta().get_f64s("kpi_norm.mean", mean) ||
+        !pack.meta().get_f64s("kpi_norm.std", stddev) || mean.size() != ds.kpis.size() ||
+        stddev.size() != ds.kpis.size()) {
+      std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", model_path.c_str());
+      return 1;
+    }
+    norm.mean = std::move(mean);
+    norm.stddev = std::move(stddev);
+    auto params = model.generator_params();
+    for (auto& p : model.discriminator_params()) params.push_back(p);
+    const nn::LoadResult applied = nn::apply_packed(params, pack, nn::LoadMode::kStrict);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n", model_path.c_str(),
+                   applied.message().c_str());
+      return 1;
+    }
+  } else {
     nn::Checkpoint ckpt;
     const nn::LoadResult r = nn::read_checkpoint(model_path, ckpt);
     if (!r.ok()) {
@@ -541,6 +586,48 @@ int cmd_eval(const Args& a) {
   return 0;
 }
 
+int cmd_pack(const Args& a) {
+  const std::string in = a.get("in");
+  const std::string out = a.get("out");
+  if (in.empty() || out.empty()) return usage();
+
+  nn::Checkpoint ckpt;
+  const nn::LoadResult r = nn::read_checkpoint(in, ckpt);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n", in.c_str(), r.message().c_str());
+    return 1;
+  }
+  if (!nn::write_packed(ckpt, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  // Self-verify the published file end to end (kFull reads every byte back
+  // through the real loader) before reporting success.
+  nn::PackedModel pack;
+  const nn::LoadResult v = pack.map(out, nn::PackVerify::kFull);
+  if (!v.ok()) {
+    std::fprintf(stderr, "error: %s failed verification after packing: %s\n", out.c_str(),
+                 v.message().c_str());
+    return 1;
+  }
+  std::printf("packed %s -> %s (%zu tensors, %zu bytes)\n", in.c_str(), out.c_str(),
+              pack.tensors().size(), pack.size_bytes());
+  if (!ckpt.state.empty())
+    std::printf("note: %zu trainer-state tensors dropped (a pack is inference-only; keep the "
+                ".ckpt to resume training)\n",
+                ckpt.state.size());
+  return 0;
+}
+
+int cmd_version() {
+  std::printf("gendt (GenDT drive-test generation toolkit)\n");
+  const std::string features = nn::simd::cpu_feature_string();
+  std::printf("cpu features: %s\n", features.empty() ? "(none detected)" : features.c_str());
+  std::printf("kernel dispatch: %s%s\n", nn::simd::route_name(nn::simd::active_route()),
+              nn::simd::route_supported(nn::simd::Route::kAvx2) ? "" : " (avx2 unavailable)");
+  return 0;
+}
+
 // One line of a --requests file: `trajectory.csv [gen-seed] [deadline-ms]`.
 struct ServeRequestSpec {
   std::string trajectory;
@@ -611,36 +698,70 @@ int cmd_serve(const Args& a) {
   // Parallelism lives across requests (engine workers), not inside the model.
   mcfg.parallelism = {.threads = 1};
 
+  // Either model format, detected by magic. A GDTPACK1 arena maps with
+  // kStructural (directory CRC only): serve cold-start is O(page faults),
+  // the payload CRC having been verified when `gendt pack` wrote the file.
+  const bool packed = nn::sniff_packed(model_path);
+  nn::PackedModel pack;
   nn::Checkpoint ckpt;
-  const nn::LoadResult r = nn::read_checkpoint(model_path, ckpt);
-  if (!r.ok()) {
-    std::fprintf(stderr, "error: cannot load %s: %s\n", model_path.c_str(), r.message().c_str());
-    return 1;
-  }
-  if (r.version < 2) {
-    std::fprintf(stderr,
-                 "error: serve requires a GDTCKPT2 checkpoint; %s is v%d (retrain to upgrade)\n",
-                 model_path.c_str(), r.version);
-    return 1;
-  }
   context::KpiNorm norm;
-  if (!ckpt.meta.get_f64s("kpi_norm.mean", norm.mean) ||
-      !ckpt.meta.get_f64s("kpi_norm.std", norm.stddev) || norm.mean.size() != ds.kpis.size() ||
-      norm.stddev.size() != ds.kpis.size()) {
-    std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", model_path.c_str());
-    return 1;
+  if (packed) {
+    const nn::LoadResult r = pack.map(model_path, nn::PackVerify::kStructural);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s\n", model_path.c_str(),
+                   r.message().c_str());
+      return 1;
+    }
+    if (!pack.meta().get_f64s("kpi_norm.mean", norm.mean) ||
+        !pack.meta().get_f64s("kpi_norm.std", norm.stddev) ||
+        norm.mean.size() != ds.kpis.size() || norm.stddev.size() != ds.kpis.size()) {
+      std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", model_path.c_str());
+      return 1;
+    }
+  } else {
+    const nn::LoadResult r = nn::read_checkpoint(model_path, ckpt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s\n", model_path.c_str(),
+                   r.message().c_str());
+      return 1;
+    }
+    if (r.version < 2) {
+      std::fprintf(stderr,
+                   "error: serve requires a GDTCKPT2 checkpoint; %s is v%d (retrain to upgrade)\n",
+                   model_path.c_str(), r.version);
+      return 1;
+    }
+    if (!ckpt.meta.get_f64s("kpi_norm.mean", norm.mean) ||
+        !ckpt.meta.get_f64s("kpi_norm.std", norm.stddev) || norm.mean.size() != ds.kpis.size() ||
+        norm.stddev.size() != ds.kpis.size()) {
+      std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", model_path.c_str());
+      return 1;
+    }
   }
 
   core::GenDTGenerator primary(mcfg, core::TrainConfig{}, norm);
   primary.set_kpis(ds.kpis);
-  auto params = primary.model().generator_params();
-  for (auto& p : primary.model().discriminator_params()) params.push_back(p);
-  const nn::LoadResult applied = nn::apply_params(params, ckpt, nn::LoadMode::kStrict);
-  if (!applied.ok()) {
-    std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n", model_path.c_str(),
-                 applied.message().c_str());
-    return 1;
+  if (packed) {
+    const nn::LoadResult applied = primary.load_packed(std::move(pack));
+    if (!applied.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n", model_path.c_str(),
+                   applied.message().c_str());
+      return 1;
+    }
+  } else {
+    auto params = primary.model().generator_params();
+    for (auto& p : primary.model().discriminator_params()) params.push_back(p);
+    const nn::LoadResult applied = nn::apply_params(params, ckpt, nn::LoadMode::kStrict);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n", model_path.c_str(),
+                   applied.message().c_str());
+      return 1;
+    }
   }
+  std::printf("serve: kernels=%s cpu=[%s] model=%s\n",
+              nn::simd::route_name(nn::simd::active_route()),
+              nn::simd::cpu_feature_string().c_str(),
+              packed ? "GDTPACK1 (mmap)" : "GDTCKPT2");
 
   // Graceful-degradation path: FDaS fitted on the simulated campaign — cheap,
   // unconditionally finite, and honest about being a distribution sample.
@@ -741,10 +862,12 @@ int main(int argc, char** argv) {
     print_usage(stdout);
     return 0;
   }
+  if (is_version(a.command)) return cmd_version();
   if (a.command == "simulate") return cmd_simulate(a);
   if (a.command == "train") return cmd_train(a);
   if (a.command == "generate") return cmd_generate(a);
   if (a.command == "eval") return cmd_eval(a);
+  if (a.command == "pack") return cmd_pack(a);
   if (a.command == "serve") return cmd_serve(a);
   return usage();  // no command given
 }

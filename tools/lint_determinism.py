@@ -18,6 +18,13 @@ patterns that silently break that guarantee:
                      -reduction paths (src/nn, src/core) — iteration order is
                      implementation-defined, so float accumulation order (and
                      therefore the result bits) would vary.
+  intrinsics         x86 SIMD intrinsics (_mm*, __m128/__m256/__m512,
+                     immintrin.h/x86intrin.h) anywhere except
+                     src/nn/kernels_avx2.cpp. Vector code must live behind
+                     the gendt::nn::simd kernel table: ad-hoc intrinsics
+                     elsewhere would fork the arithmetic away from the
+                     dispatched routes and silently break the scalar route's
+                     bitwise-anchor contract.
 
 Scope: src/ plus tools/gendt_cli.cpp — the CLI owns the train-resume path,
 which serializes checkpoints whose byte layout (and therefore CRC) must be a
@@ -87,6 +94,18 @@ GLOBAL_RULES = [
 # the training code, so those files are held to the same rules.
 ORDER_SENSITIVE_PATHS = ("src/nn", "src/core", "src/serve", "tools/gendt_cli.cpp")
 
+# The single file allowed to use x86 intrinsics: the AVX2 kernel TU behind
+# the gendt::nn::simd dispatch table (built with file-local -mavx2 -mfma).
+INTRINSICS_EXEMPT = "src/nn/kernels_avx2.cpp"
+INTRINSICS = re.compile(
+    r"(?<![\w])_mm(?:\d{3})?_\w+\s*\("      # _mm_*, _mm256_*, _mm512_* calls
+    r"|(?<![\w])__m\d{3}[di]?(?![\w])"      # __m128/__m256d/__m512i vector types
+    r"|#\s*include\s*[<\"](?:imm|x86)intrin\.h[>\"]")
+INTRINSICS_MSG = (
+    "x86 intrinsics outside src/nn/kernels_avx2.cpp; vector code must sit "
+    "behind the gendt::nn::simd kernel table so the scalar route stays the "
+    "bitwise determinism anchor")
+
 UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)")
 RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*&?(\w+)\s*\)")
 
@@ -147,6 +166,9 @@ def scan_file(path, rel):
         for rule, rx, msg in GLOBAL_RULES:
             if rx.search(code) and rule not in allow:
                 findings.append((rel, lineno, rule, msg))
+        if (rel_posix != INTRINSICS_EXEMPT and "intrinsics" not in allow
+                and INTRINSICS.search(code)):
+            findings.append((rel, lineno, "intrinsics", INTRINSICS_MSG))
         if order_sensitive and "unordered-iteration" not in allow:
             m = RANGE_FOR.search(code)
             if m and m.group(1) in unordered_vars:
@@ -188,6 +210,9 @@ def self_test():
         "unordered-iteration":
             "std::unordered_map<const void*, Mat> grads;\n"
             "void reduce() { for (const auto& kv : grads) use(kv); }\n",
+        "intrinsics":
+            "#include <immintrin.h>\n"
+            "__m256d v = _mm256_mul_pd(a, b);\n",
     }
     clean = (
         "std::mt19937_64 rng(derive_stream_seed(seed, w));\n"
@@ -213,6 +238,10 @@ def self_test():
         path = os.path.join(nn, "clean.cpp")
         with open(path, "w", encoding="utf-8") as f:
             f.write(clean)
+        # The one sanctioned intrinsics TU must NOT fire the rule.
+        exempt = os.path.join(nn, "kernels_avx2.cpp")
+        with open(exempt, "w", encoding="utf-8") as f:
+            f.write("#include <immintrin.h>\n__m256d v = _mm256_setzero_pd();\n")
         found, _ = scan_paths(tmp, [os.path.join(tmp, "src")])
         if found:
             for f_, l, r, m in found:
