@@ -16,7 +16,12 @@
 //
 // A session is single-user (not thread-safe) but cheap to pool:
 // GenDTGenerator keeps a pool of sessions and leases one per request, so
-// batched serving reuses warm buffers across requests.
+// batched serving reuses warm buffers across requests. The thread-safety
+// story is ownership transfer, not locking: a session is handed out and
+// returned under GenDTGenerator::session_mu_ (GUARDED_BY-annotated pool),
+// and between those two points exactly one request thread owns it — which
+// is why this class holds no lock of its own and the rawmutex lint rule
+// has nothing to flag here. The pool mutex is never held across run().
 #pragma once
 
 #include "gendt/core/model.h"

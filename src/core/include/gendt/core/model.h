@@ -245,38 +245,47 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   const context::KpiNorm& norm() const { return norm_; }
 
   /// Toggle the tape-free fast path (on by default). Switching drops the
-  /// warm session pool; both settings produce the same bits.
-  void set_fast_path(bool on);
-  bool fast_path() const { return fast_path_; }
+  /// warm session pool; both settings produce the same bits. Safe to call
+  /// concurrently with generate() — the flag lives under the pool lock.
+  void set_fast_path(bool on) GENDT_EXCLUDES(session_mu_);
+  bool fast_path() const GENDT_EXCLUDES(session_mu_) {
+    runtime::MutexLock lock(session_mu_);
+    return fast_path_;
+  }
 
   /// Point the model's parameters at a mapped GDTPACK1 weight arena
   /// (zero-copy read-only views — see gendt/nn/pack.h). On success the
   /// generator takes ownership of the mapping (the views alias it) and
   /// becomes inference-only: fit() on packed weights asserts in debug
   /// builds. On failure the model is untouched.
-  nn::LoadResult load_packed(nn::PackedModel pack);
+  nn::LoadResult load_packed(nn::PackedModel pack) GENDT_EXCLUDES(session_mu_);
   bool packed() const { return pack_ != nullptr; }
 
  private:
   /// Fast-path sample_windows: leases a warm InferenceSession from the pool
   /// (building one on first use) and always returns it, even on cancellation.
+  /// Takes session_mu_ only for the lease/return — never across the rollout.
   std::vector<WindowSample> sample_fast(const std::vector<context::Window>& windows,
                                         uint64_t seed,
-                                        const runtime::CancelToken* cancel) const;
+                                        const runtime::CancelToken* cancel) const
+      GENDT_EXCLUDES(session_mu_);
 
   GenDTModel model_;
   TrainConfig train_cfg_;
   context::KpiNorm norm_;
   std::vector<sim::Kpi> kpis_;  // optional channel semantics
-  bool fast_path_ = true;
   // Non-null after load_packed(): the mapping the parameter views alias.
   // Held for the generator's whole lifetime; Mat destructors never touch a
   // view's bytes, so member destruction order is not load-bearing.
   std::unique_ptr<nn::PackedModel> pack_;
   // Warm InferenceSessions, leased one per in-flight generate() call.
   // generate() is const (TimeSeriesGenerator contract) and called from many
-  // serve workers at once, hence the mutable pool + its own lock.
+  // serve workers at once, hence the mutable pool + its own lock. The
+  // fast_path_ route flag shares the lock: set_fast_path() must both flip it
+  // and drop the pool atomically (a session must never straddle a route
+  // switch), and generate() reads it from those same serve workers.
   mutable runtime::Mutex session_mu_;
+  bool fast_path_ GENDT_GUARDED_BY(session_mu_) = true;
   mutable std::vector<std::unique_ptr<InferenceSession>> sessions_
       GENDT_GUARDED_BY(session_mu_);
 };

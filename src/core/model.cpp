@@ -625,9 +625,16 @@ GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& win
   GeneratedSeries out;
   const int nch = model_.config().num_channels;
   out.channels.assign(static_cast<size_t>(nch), {});
+  // Snapshot the route flag under the pool lock (serve workers call this
+  // concurrently with set_fast_path); never hold it across the rollout.
+  bool fast;
+  {
+    runtime::MutexLock lock(session_mu_);
+    fast = fast_path_;
+  }
   const std::vector<WindowSample> samples =
-      fast_path_ ? sample_fast(windows, seed, cancel)
-                 : model_.sample_windows(windows, seed, /*mc_dropout=*/false, cancel);
+      fast ? sample_fast(windows, seed, cancel)
+           : model_.sample_windows(windows, seed, /*mc_dropout=*/false, cancel);
   for (const auto& s : samples) {
     for (int t = 0; t < s.output.rows(); ++t) {
       for (int ch = 0; ch < nch; ++ch) {

@@ -11,7 +11,10 @@ namespace gendt::nn {
 namespace {
 
 bool env_default() {
-  const char* v = std::getenv("GENDT_DEBUG_CHECKS");
+  // Startup-time config read: evaluated once to seed the checks-enabled
+  // default before threads exist; nothing in the process calls setenv, so
+  // the concurrency-mt-unsafe hazard cannot occur.
+  const char* v = std::getenv("GENDT_DEBUG_CHECKS");  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') {
 #ifdef GENDT_DEBUG_CHECKS
     return true;  // build-wide default requested via CMake option

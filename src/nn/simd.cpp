@@ -33,7 +33,10 @@ bool avx2_available() {
 }
 
 Route detect_route() {
-  const char* env = std::getenv("GENDT_SIMD");
+  // Startup-time config read: detect_route() runs once, inside the guarded
+  // static initialization of the route cell, and nothing in the process
+  // calls setenv — the concurrency-mt-unsafe hazard cannot occur.
+  const char* env = std::getenv("GENDT_SIMD");  // NOLINT(concurrency-mt-unsafe)
   const std::string pref = env != nullptr ? env : GENDT_SIMD_BUILD_DEFAULT;
   if (pref == "off" || pref == "scalar") return Route::kScalar;
   if (pref == "avx2") {

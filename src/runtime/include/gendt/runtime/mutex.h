@@ -4,6 +4,12 @@
 // capability type, so GUARDED_BY(std_mutex_member) would be vacuous; wrapping
 // it gives the analysis something to reason about at zero runtime cost (all
 // calls inline to the std operation).
+//
+// This header is the ONE file allowed to name the std synchronization types:
+// tools/gendt_lint.py's `rawmutex` pack flags std::mutex / std::lock_guard /
+// std::condition_variable (and friends) everywhere else in src/, so locking
+// added anywhere in the tree is forced through these wrappers and stays
+// inside -Wthread-safety's view.
 #pragma once
 
 #include <condition_variable>

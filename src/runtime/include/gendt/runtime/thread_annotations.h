@@ -8,8 +8,10 @@
 // than the std types.
 //
 // The CMake toplevel turns the analysis on (as an error when GENDT_WERROR)
-// whenever the compiler is Clang; tools/ci.sh runs it when clang++ is
-// installed.
+// whenever the compiler is Clang. On GCC-only boxes the contract is still
+// enforced structurally: tools/gendt_lint.py's `rawmutex` pack forbids the
+// raw std synchronization types outside runtime/mutex.h, so every lock in
+// the tree is an annotated capability the moment a Clang build sees it.
 #pragma once
 
 #if defined(__clang__) && (!defined(SWIG))

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Sanitized check of a test-label subset: builds the tree with
-# GENDT_SANITIZE=<sanitizer> into a per-sanitizer build dir and runs the
-# matching ctest labels under it. Defaults to the runtime + nn + serialize +
-# serve + gen-parity subset (code that shares state across threads, the
-# checkpoint fault-injection corpus, the serving engine's chaos sweep, and
-# the inference fast path's bitwise-parity suite — the latter two run
-# multi-worker batches whose determinism claim is only credible with TSan
-# watching) — pass a label regex to vet anything else, e.g.:
+# Sanitized check of a test-label subset, plus a `lint` mode for the static
+# gate. Sanitizer modes build the tree with GENDT_SANITIZE=<sanitizer> into a
+# per-sanitizer build dir and run the matching ctest labels under it.
+# Defaults to the runtime + nn + serialize + serve + gen-parity subset (code
+# that shares state across threads, the checkpoint fault-injection corpus,
+# the serving engine's chaos sweep, and the inference fast path's
+# bitwise-parity suite — the latter two run multi-worker batches whose
+# determinism claim is only credible with TSan watching) — pass a label
+# regex to vet anything else, e.g.:
 #
+#   tools/check.sh lint                   # unified static analysis
+#                                         # (gendt_lint.py self-test + all
+#                                         # rule packs + clang-tidy gate when
+#                                         # clang-tidy is installed)
 #   tools/check.sh thread                 # TSan over the default subset
 #   tools/check.sh undefined              # UBSan (+float-cast-overflow)
 #   tools/check.sh address 'serialize'    # ASan over the corruption corpus
@@ -16,7 +21,7 @@
 # A label regex that matches zero tests is an error (a typo'd label must not
 # pass vacuously).
 #
-# Usage: tools/check.sh [thread|address|undefined|leak] [label-regex] [build-dir]
+# Usage: tools/check.sh [lint|thread|address|undefined|leak] [label-regex] [build-dir]
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
@@ -25,9 +30,21 @@ BUILD_DIR="${3:-build-${SANITIZER}san}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+if [ "$SANITIZER" = "lint" ]; then
+  # Static gate: fixture corpus, then all source rule packs over the tree,
+  # then the clang-tidy gate (skipped with a notice when the tool is
+  # absent). The tidy build dir defaults to build/ so local runs share the
+  # compile_commands.json a plain configure already exported.
+  python3 "$ROOT/tools/gendt_lint.py" --self-test
+  python3 "$ROOT/tools/gendt_lint.py"
+  python3 "$ROOT/tools/gendt_lint.py" --tidy --build-dir "${3:-$ROOT/build}"
+  echo "check.sh: lint gate passed"
+  exit 0
+fi
+
 case "$SANITIZER" in
   thread|address|undefined|leak) ;;
-  *) echo "usage: tools/check.sh [thread|address|undefined|leak] [label-regex] [build-dir]" >&2
+  *) echo "usage: tools/check.sh [lint|thread|address|undefined|leak] [label-regex] [build-dir]" >&2
      exit 2 ;;
 esac
 

@@ -2,10 +2,21 @@
 # One-command verification pipeline: everything a PR must survive, in the
 # order that fails fastest.
 #
-#   1. warning-clean build        (-Wall -Wextra -Wshadow -Wconversion, -Werror)
-#   2. determinism lint           (tools/lint_determinism.py over src/ + CLI)
-#   3. clang-tidy baseline        (.clang-tidy; skipped if clang-tidy absent)
-#   4. full ctest suite
+#   1. warning-clean build        (-Wall -Wextra -Wshadow -Wconversion, -Werror;
+#                                  -Wthread-safety as error under Clang)
+#   2. unified static analysis    (tools/gendt_lint.py: fixture self-test,
+#                                  then the determinism + layering + rawmutex
+#                                  rule packs over src/ + CLI, with the
+#                                  machine-readable findings JSON left in the
+#                                  build dir for diffing)
+#   3. clang-tidy gate            (tools/gendt_lint.py --tidy against the CI
+#                                  build's compile_commands.json; .clang-tidy
+#                                  WarningsAsErrors makes any finding fail the
+#                                  step. Skipped with a notice when clang-tidy
+#                                  is not installed — tool presence is the
+#                                  opt-in, so installing it hardens the gate)
+#   4. full ctest suite           (includes the gendt_lint_self_test /
+#                                  gendt_lint_tree entries, label `lint`)
 #   5. TSan subset                (tools/check.sh thread  -> runtime|nn|serialize|serve)
 #   6. UBSan subset               (tools/check.sh undefined -> runtime|nn|serialize|serve)
 #   7. ASan serve-chaos + corpus  (serialize|serve: the checkpoint
@@ -48,19 +59,12 @@ step 1/8 "warning-clean build (GENDT_WERROR=ON)"
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release -DGENDT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-step 2/8 "determinism lint"
-python3 "$ROOT/tools/lint_determinism.py" --self-test
-python3 "$ROOT/tools/lint_determinism.py"
+step 2/8 "unified static analysis (gendt_lint.py: determinism + layering + rawmutex)"
+python3 "$ROOT/tools/gendt_lint.py" --self-test
+python3 "$ROOT/tools/gendt_lint.py" --json "$BUILD_DIR/lint_findings.json"
 
-step 3/8 "clang-tidy baseline"
-if command -v clang-tidy >/dev/null 2>&1; then
-  # Compile commands come from the CI build dir; only first-party sources.
-  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  find "$ROOT/src" -name '*.cpp' -print0 |
-    xargs -0 clang-tidy -p "$BUILD_DIR" --quiet
-else
-  echo "clang-tidy not installed — skipping (install it to run the .clang-tidy baseline)"
-fi
+step 3/8 "clang-tidy gate (hard-fails on findings when the tool is installed)"
+python3 "$ROOT/tools/gendt_lint.py" --tidy --build-dir "$BUILD_DIR"
 
 step 4/8 "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

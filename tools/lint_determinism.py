@@ -1,278 +1,29 @@
 #!/usr/bin/env python3
-"""Determinism linter for the GenDT model/runtime code.
+"""DEPRECATED entry point — the determinism rules moved into the unified
+static-analysis driver, tools/gendt_lint.py, as its `determinism` rule pack
+(alongside the `layering` and `rawmutex` packs and the clang-tidy gate).
 
-GenDT's training and generation are pinned bitwise-reproducible (per-window
-RNG streams derived with runtime::derive_stream_seed, window-ordered gradient
-reduction — see runtime_determinism_test). This linter rejects the source
-patterns that silently break that guarantee:
+This shim forwards every invocation to
 
-  rand               C rand()/srand() — hidden global state, not seedable
-                     per-window.
-  random-device      std::random_device — nondeterministic entropy source.
-  wallclock          std::chrono::{steady,system,high_resolution}_clock::now
-                     in model code — time-dependent behavior.
-  unseeded-mt19937   default-constructed std::mt19937/std::mt19937_64 — runs
-                     ignore the configured seed (deterministic but always the
-                     same stream, i.e. a silently dropped seed).
-  unordered-iteration  range-for over a std::unordered_{map,set} in gradient
-                     -reduction paths (src/nn, src/core) — iteration order is
-                     implementation-defined, so float accumulation order (and
-                     therefore the result bits) would vary.
-  intrinsics         x86 SIMD intrinsics (_mm*, __m128/__m256/__m512,
-                     immintrin.h/x86intrin.h) anywhere except
-                     src/nn/kernels_avx2.cpp. Vector code must live behind
-                     the gendt::nn::simd kernel table: ad-hoc intrinsics
-                     elsewhere would fork the arithmetic away from the
-                     dispatched routes and silently break the scalar route's
-                     bitwise-anchor contract.
+    tools/gendt_lint.py --packs determinism [args...]
 
-Scope: src/ plus tools/gendt_cli.cpp — the CLI owns the train-resume path,
-which serializes checkpoints whose byte layout (and therefore CRC) must be a
-pure function of the training state, so it obeys the same ordering rules as
-the gradient-reduction code. src/serve is held to the same bar: retry
-backoff jitter must come from derive_stream_seed (never global RNG state),
-deadlines must be measured through the injectable runtime::Clock, and no
-serving decision path may read the wall clock directly — the chaos tests'
-bitwise-reproducibility claim depends on all three. The single sanctioned
-wall-clock read is the SteadyClock impl behind runtime::steady_clock(),
-suppressed at its definition. Benches and the other tools may time things;
-tests may do what they like. Suppress a finding with a same-line comment:
-    // determinism-lint: allow(<rule>) <reason>
-
-Usage:
-  tools/lint_determinism.py [paths...]   # files or dirs;
-                                         # default: <repo>/src + the CLI
-  tools/lint_determinism.py --self-test  # verify every rule fires
-Exit code 0 = clean, 1 = findings, 2 = usage/self-test failure.
+with identical rule ids, suppression comments (both the legacy
+`// determinism-lint: allow(...)` and the unified `// gendt-lint: allow(...)`
+spellings), default scope (src/ + tools/gendt_cli.cpp), --self-test
+semantics, and exit codes — so existing scripts and muscle memory keep
+linting instead of silently doing nothing. New scripts should call
+gendt_lint.py directly (it also checks layering and raw-mutex usage).
 """
 
 import os
-import re
 import sys
 
-# Rules applied to every scanned file: (rule-id, regex, message).
-GLOBAL_RULES = [
-    (
-        "rand",
-        re.compile(r"(?<![\w:.])s?rand\s*\("),
-        "C rand()/srand() uses hidden global state; derive a stream with "
-        "runtime::derive_stream_seed and use std::mt19937_64 instead",
-    ),
-    (
-        "random-device",
-        re.compile(r"std::random_device"),
-        "std::random_device is a nondeterministic entropy source; seeds must "
-        "come from the config",
-    ),
-    (
-        "wallclock",
-        re.compile(r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)::now"),
-        "wall-clock reads make model/runtime behavior time-dependent; pass "
-        "timestamps in explicitly",
-    ),
-    (
-        # Trailing-underscore identifiers are class members (repo naming
-        # convention): those are seeded in constructor init lists, so only
-        # default-constructed locals/globals are flagged.
-        "unseeded-mt19937",
-        re.compile(r"std::mt19937(?:_64)?\s+\w*[^_\W]\s*(?:;|\{\s*\})"),
-        "default-constructed mt19937 silently ignores the configured seed; "
-        "construct it from a derive_stream_seed value",
-    ),
-]
-
-# Paths (directories or single files) whose code must keep a stable
-# iteration order: gradient-reduction paths, where an unordered container
-# can reorder float accumulation between runs/platforms; the CLI's
-# checkpoint writer, where it would reorder serialized records and change
-# the file bytes/CRC between identical runs; and the serving layer, where
-# fault-plan lookup and outcome digests must not depend on hash-table
-# iteration order or the chaos sweep's cross-thread-count equality breaks.
-# src/nn and src/core also cover the tape-free inference fast path
-# (nn/infer.cpp, core/infer_session.cpp): its bitwise-parity contract with
-# the Tensor graph needs the same stable accumulation and RNG-draw order as
-# the training code, so those files are held to the same rules.
-ORDER_SENSITIVE_PATHS = ("src/nn", "src/core", "src/serve", "tools/gendt_cli.cpp")
-
-# The single file allowed to use x86 intrinsics: the AVX2 kernel TU behind
-# the gendt::nn::simd dispatch table (built with file-local -mavx2 -mfma).
-INTRINSICS_EXEMPT = "src/nn/kernels_avx2.cpp"
-INTRINSICS = re.compile(
-    r"(?<![\w])_mm(?:\d{3})?_\w+\s*\("      # _mm_*, _mm256_*, _mm512_* calls
-    r"|(?<![\w])__m\d{3}[di]?(?![\w])"      # __m128/__m256d/__m512i vector types
-    r"|#\s*include\s*[<\"](?:imm|x86)intrin\.h[>\"]")
-INTRINSICS_MSG = (
-    "x86 intrinsics outside src/nn/kernels_avx2.cpp; vector code must sit "
-    "behind the gendt::nn::simd kernel table so the scalar route stays the "
-    "bitwise determinism anchor")
-
-UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)")
-RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*&?(\w+)\s*\)")
-
-ALLOW = re.compile(r"//\s*determinism-lint:\s*allow\((?P<rules>[\w,\s-]+)\)")
-SOURCE_EXTS = (".cpp", ".cc", ".h", ".hpp")
-
-
-def strip_strings(line):
-    """Blank out string/char literals so their contents can't match rules."""
-    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
-
-
-def allowed_rules(line):
-    m = ALLOW.search(line)
-    if not m:
-        return set()
-    return {r.strip() for r in m.group("rules").split(",")}
-
-
-def scan_file(path, rel):
-    findings = []
-    try:
-        with open(path, encoding="utf-8", errors="replace") as f:
-            lines = f.read().splitlines()
-    except OSError as e:
-        return [(rel, 0, "io", f"cannot read file: {e}")]
-
-    rel_posix = rel.replace("\\", "/")
-    order_sensitive = any(
-        rel_posix == p or rel_posix.startswith(p + "/")
-        for p in ORDER_SENSITIVE_PATHS
-    )
-
-    unordered_vars = set()
-    if order_sensitive:
-        for line in lines:
-            for m in UNORDERED_DECL.finditer(strip_strings(line)):
-                unordered_vars.add(m.group(1))
-
-    in_block_comment = False
-    for lineno, raw in enumerate(lines, start=1):
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = line[end + 2:]
-            in_block_comment = False
-        start = line.find("/*")
-        if start >= 0 and line.find("*/", start) < 0:
-            in_block_comment = True
-            line = line[:start]
-        allow = allowed_rules(raw)
-        code = strip_strings(line)
-        # Line comments can mention the patterns freely.
-        code = code.split("//")[0]
-
-        for rule, rx, msg in GLOBAL_RULES:
-            if rx.search(code) and rule not in allow:
-                findings.append((rel, lineno, rule, msg))
-        if (rel_posix != INTRINSICS_EXEMPT and "intrinsics" not in allow
-                and INTRINSICS.search(code)):
-            findings.append((rel, lineno, "intrinsics", INTRINSICS_MSG))
-        if order_sensitive and "unordered-iteration" not in allow:
-            m = RANGE_FOR.search(code)
-            if m and m.group(1) in unordered_vars:
-                findings.append(
-                    (rel, lineno, "unordered-iteration",
-                     f"range-for over unordered container '{m.group(1)}' in a "
-                     "gradient-reduction path; iterate a sorted/indexed view "
-                     "so float accumulation order is stable"))
-    return findings
-
-
-def scan_paths(root, paths):
-    findings = []
-    scanned = 0
-    for base in paths:
-        if os.path.isfile(base):
-            findings.extend(scan_file(base, os.path.relpath(base, root)))
-            scanned += 1
-            continue
-        for dirpath, _dirnames, filenames in os.walk(base):
-            for name in sorted(filenames):
-                if not name.endswith(SOURCE_EXTS):
-                    continue
-                full = os.path.join(dirpath, name)
-                rel = os.path.relpath(full, root)
-                findings.extend(scan_file(full, rel))
-                scanned += 1
-    return findings, scanned
-
-
-def self_test():
-    import tempfile
-
-    cases = {
-        "rand": "int x = rand();\n",
-        "random-device": "std::random_device rd;\n",
-        "wallclock": "auto t = std::chrono::steady_clock::now();\n",
-        "unseeded-mt19937": "std::mt19937_64 rng;\n",
-        "unordered-iteration":
-            "std::unordered_map<const void*, Mat> grads;\n"
-            "void reduce() { for (const auto& kv : grads) use(kv); }\n",
-        "intrinsics":
-            "#include <immintrin.h>\n"
-            "__m256d v = _mm256_mul_pd(a, b);\n",
-    }
-    clean = (
-        "std::mt19937_64 rng(derive_stream_seed(seed, w));\n"
-        "std::mt19937_64 rng_;  // member decl, seeded in the ctor init list\n"
-        "std::unordered_map<const void*, Mat> grads;\n"
-        "for (const auto& p : params) apply(grads.at(p.id()));\n"
-        "int x = rand();  // determinism-lint: allow(rand) self-test fixture\n"
-    )
-    ok = True
-    with tempfile.TemporaryDirectory() as tmp:
-        nn = os.path.join(tmp, "src", "nn")
-        os.makedirs(nn)
-        for rule, snippet in cases.items():
-            path = os.path.join(nn, f"case_{rule.replace('-', '_')}.cpp")
-            with open(path, "w", encoding="utf-8") as f:
-                f.write(snippet)
-            found, _ = scan_paths(tmp, [os.path.join(tmp, "src")])
-            hit = any(r == rule for (_f, _l, r, _m) in found)
-            os.remove(path)
-            if not hit:
-                print(f"self-test FAILED: rule '{rule}' did not fire", file=sys.stderr)
-                ok = False
-        path = os.path.join(nn, "clean.cpp")
-        with open(path, "w", encoding="utf-8") as f:
-            f.write(clean)
-        # The one sanctioned intrinsics TU must NOT fire the rule.
-        exempt = os.path.join(nn, "kernels_avx2.cpp")
-        with open(exempt, "w", encoding="utf-8") as f:
-            f.write("#include <immintrin.h>\n__m256d v = _mm256_setzero_pd();\n")
-        found, _ = scan_paths(tmp, [os.path.join(tmp, "src")])
-        if found:
-            for f_, l, r, m in found:
-                print(f"self-test FAILED: false positive {f_}:{l}: [{r}] {m}",
-                      file=sys.stderr)
-            ok = False
-    print("lint_determinism self-test:", "ok" if ok else "FAILED")
-    return 0 if ok else 2
-
-
-def main(argv):
-    if "--self-test" in argv:
-        return self_test()
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    paths = [os.path.abspath(p) for p in argv] or [
-        os.path.join(root, "src"),
-        os.path.join(root, "tools", "gendt_cli.cpp"),
-    ]
-    for p in paths:
-        if not os.path.exists(p):
-            print(f"lint_determinism: no such file or directory: {p}", file=sys.stderr)
-            return 2
-    findings, scanned = scan_paths(root, paths)
-    for rel, lineno, rule, msg in findings:
-        print(f"{rel}:{lineno}: [{rule}] {msg}")
-    if findings:
-        print(f"lint_determinism: {len(findings)} finding(s) in {scanned} files")
-        return 1
-    print(f"lint_determinism: clean ({scanned} files scanned)")
-    return 0
-
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import gendt_lint  # noqa: E402  (path set up just above)
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    print("lint_determinism.py is deprecated: forwarding to "
+          "`gendt_lint.py --packs determinism` (see tools/gendt_lint.py for "
+          "the layering/rawmutex packs and the clang-tidy gate)",
+          file=sys.stderr)
+    sys.exit(gendt_lint.main(["--packs", "determinism", *sys.argv[1:]]))
