@@ -253,6 +253,14 @@ class GenDTGenerator final : public TimeSeriesGenerator {
     return fast_path_;
   }
 
+  /// Grow the warm-session pool to `count` InferenceSessions so the first
+  /// `count` concurrent requests skip session construction. The serving
+  /// layer calls this when a model is (hot-)loaded into the registry, so a
+  /// freshly swapped-in version answers its first requests from warm state
+  /// instead of paying cold-start under traffic. No-op on the reference
+  /// (non-fast) path, which holds no pool.
+  void prewarm(size_t count) GENDT_EXCLUDES(session_mu_);
+
   /// Point the model's parameters at a mapped GDTPACK1 weight arena
   /// (zero-copy read-only views — see gendt/nn/pack.h). On success the
   /// generator takes ownership of the mapping (the views alias it) and

@@ -572,6 +572,13 @@ void GenDTGenerator::set_fast_path(bool on) {
   fast_path_ = on;
 }
 
+void GenDTGenerator::prewarm(size_t count) {
+  runtime::MutexLock lock(session_mu_);
+  if (!fast_path_) return;  // the reference path holds no pool
+  while (sessions_.size() < count)
+    sessions_.push_back(std::make_unique<InferenceSession>(model_));
+}
+
 nn::LoadResult GenDTGenerator::load_packed(nn::PackedModel pack) {
   std::vector<nn::NamedParam> params = model_.generator_params();
   for (auto& p : model_.discriminator_params()) params.push_back(p);

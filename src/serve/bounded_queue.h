@@ -1,0 +1,120 @@
+// Internal to src/serve: the admission queue shared by GenerationEngine and
+// ModelRouter, plus the worker drain loop both run on top of it. Not part of
+// the public gendt/serve API — include only from serve .cpp files.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "gendt/runtime/mutex.h"
+#include "gendt/runtime/thread_pool.h"
+
+namespace gendt::serve::internal {
+
+/// MPMC bounded queue of request indices: the admission boundary. close()
+/// releases every waiter; pop() returns false once closed and drained.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t cap) : cap_(std::max<size_t>(1, cap)) {}
+
+  void push_block(size_t v) GENDT_EXCLUDES(mu_) {
+    {
+      runtime::MutexLock lock(mu_);
+      not_full_.wait(lock, mu_, [this]() GENDT_REQUIRES(mu_) {
+        return q_.size() < cap_ || closed_;
+      });
+      if (closed_) return;  // serve() never closes while submitting
+      q_.push_back(v);
+    }
+    not_empty_.notify_one();
+  }
+
+  bool try_push(size_t v) GENDT_EXCLUDES(mu_) {
+    {
+      runtime::MutexLock lock(mu_);
+      if (closed_ || q_.size() >= cap_) return false;
+      q_.push_back(v);
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool pop(size_t& v) GENDT_EXCLUDES(mu_) {
+    {
+      runtime::MutexLock lock(mu_);
+      not_empty_.wait(lock, mu_,
+                      [this]() GENDT_REQUIRES(mu_) { return !q_.empty() || closed_; });
+      if (q_.empty()) return false;  // closed and drained
+      v = q_.front();
+      q_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Drain up to `max_n` queued indices in FIFO order into `batch` (cleared
+  /// first). Blocks until at least one is available; returns an empty batch
+  /// only once closed and drained. Takes what is there — it never waits to
+  /// fill the batch, so batching adds no latency when traffic is sparse.
+  void pop_batch(std::vector<size_t>& batch, size_t max_n) GENDT_EXCLUDES(mu_) {
+    batch.clear();
+    {
+      runtime::MutexLock lock(mu_);
+      not_empty_.wait(lock, mu_,
+                      [this]() GENDT_REQUIRES(mu_) { return !q_.empty() || closed_; });
+      while (!q_.empty() && batch.size() < max_n) {
+        batch.push_back(q_.front());
+        q_.pop_front();
+      }
+    }
+    if (!batch.empty()) not_full_.notify_all();
+  }
+
+  void close() GENDT_EXCLUDES(mu_) {
+    {
+      runtime::MutexLock lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  runtime::Mutex mu_;
+  runtime::CondVar not_full_;
+  runtime::CondVar not_empty_;
+  std::deque<size_t> q_ GENDT_GUARDED_BY(mu_);
+  const size_t cap_;
+  bool closed_ GENDT_GUARDED_BY(mu_) = false;
+};
+
+/// One worker's drain loop: pop indices (singly, or in batches fanned out on
+/// the shared runtime pool when batch_max > 1) and run `run_one(idx)` for
+/// each until the queue is closed and drained. `run_one` is keyed by the
+/// ORIGINAL request index — never the batch slot — so responses stay bitwise
+/// independent of batch composition.
+inline void drain_queue(BoundedQueue& queue, size_t batch_max,
+                        const std::function<void(size_t)>& run_one) {
+  if (batch_max <= 1) {
+    size_t idx = 0;
+    while (queue.pop(idx)) run_one(idx);
+    return;
+  }
+  std::vector<size_t> batch;
+  for (;;) {
+    queue.pop_batch(batch, batch_max);
+    if (batch.empty()) return;  // closed and drained
+    if (batch.size() == 1) {
+      run_one(batch[0]);
+      continue;
+    }
+    runtime::parallel_tasks(runtime::Parallelism{.threads = static_cast<int>(batch.size())},
+                            static_cast<int>(batch.size()),
+                            [&](int bi) { run_one(batch[static_cast<size_t>(bi)]); });
+  }
+}
+
+}  // namespace gendt::serve::internal

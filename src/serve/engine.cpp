@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <deque>
+#include <limits>
 #include <random>
 #include <thread>
+
+#include "bounded_queue.h"
 
 #include "gendt/runtime/mutex.h"
 #include "gendt/runtime/thread_pool.h"
@@ -29,88 +31,12 @@ std::string_view to_string(Outcome outcome) {
     case Outcome::kOk: return "ok";
     case Outcome::kDegraded: return "degraded";
     case Outcome::kError: return "error";
+    case Outcome::kShed: return "shed";
   }
   return "unknown";
 }
 
 namespace {
-
-/// MPMC bounded queue of request indices: the admission boundary. close()
-/// releases every waiter; pop() returns false once closed and drained.
-class BoundedQueue {
- public:
-  explicit BoundedQueue(size_t cap) : cap_(std::max<size_t>(1, cap)) {}
-
-  void push_block(size_t v) GENDT_EXCLUDES(mu_) {
-    {
-      runtime::MutexLock lock(mu_);
-      not_full_.wait(lock, mu_, [this]() GENDT_REQUIRES(mu_) {
-        return q_.size() < cap_ || closed_;
-      });
-      if (closed_) return;  // serve() never closes while submitting
-      q_.push_back(v);
-    }
-    not_empty_.notify_one();
-  }
-
-  bool try_push(size_t v) GENDT_EXCLUDES(mu_) {
-    {
-      runtime::MutexLock lock(mu_);
-      if (closed_ || q_.size() >= cap_) return false;
-      q_.push_back(v);
-    }
-    not_empty_.notify_one();
-    return true;
-  }
-
-  bool pop(size_t& v) GENDT_EXCLUDES(mu_) {
-    {
-      runtime::MutexLock lock(mu_);
-      not_empty_.wait(lock, mu_,
-                      [this]() GENDT_REQUIRES(mu_) { return !q_.empty() || closed_; });
-      if (q_.empty()) return false;  // closed and drained
-      v = q_.front();
-      q_.pop_front();
-    }
-    not_full_.notify_one();
-    return true;
-  }
-
-  /// Drain up to `max_n` queued indices in FIFO order into `batch` (cleared
-  /// first). Blocks until at least one is available; returns an empty batch
-  /// only once closed and drained. Takes what is there — it never waits to
-  /// fill the batch, so batching adds no latency when traffic is sparse.
-  void pop_batch(std::vector<size_t>& batch, size_t max_n) GENDT_EXCLUDES(mu_) {
-    batch.clear();
-    {
-      runtime::MutexLock lock(mu_);
-      not_empty_.wait(lock, mu_,
-                      [this]() GENDT_REQUIRES(mu_) { return !q_.empty() || closed_; });
-      while (!q_.empty() && batch.size() < max_n) {
-        batch.push_back(q_.front());
-        q_.pop_front();
-      }
-    }
-    if (!batch.empty()) not_full_.notify_all();
-  }
-
-  void close() GENDT_EXCLUDES(mu_) {
-    {
-      runtime::MutexLock lock(mu_);
-      closed_ = true;
-    }
-    not_empty_.notify_all();
-    not_full_.notify_all();
-  }
-
- private:
-  runtime::Mutex mu_;
-  runtime::CondVar not_full_;
-  runtime::CondVar not_empty_;
-  std::deque<size_t> q_ GENDT_GUARDED_BY(mu_);
-  const size_t cap_;
-  bool closed_ GENDT_GUARDED_BY(mu_) = false;
-};
 
 size_t expected_length(const Request& request) {
   size_t len = 0;
@@ -169,26 +95,57 @@ bool validate_request(const Request& request, std::string& why) {
 }  // namespace
 
 GenerationEngine::GenerationEngine(const core::TimeSeriesGenerator& primary, EngineConfig cfg)
-    : primary_(primary), cfg_(cfg) {}
+    : primary_(&primary), cfg_(cfg) {}
 
-int64_t GenerationEngine::backoff_delay_ms(int request_index, int attempt) const {
+GenerationEngine::GenerationEngine(EngineConfig cfg) : primary_(nullptr), cfg_(cfg) {}
+
+int64_t GenerationEngine::backoff_delay_ms(int request_index, int attempt,
+                                           int64_t budget_ms) const {
   // Exponential base with full-jitter from a per-(request, attempt) seeded
   // stream: reproducible, and uncorrelated across requests so a thundering
   // herd of retries spreads out.
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
   const int64_t base = std::max<int64_t>(1, cfg_.backoff_base_ms);
   const int shift = std::min(attempt - 1, 20);
-  const int64_t expo = base << shift;
-  std::mt19937_64 rng(runtime::derive_stream_seed(
-      cfg_.backoff_jitter_seed,
-      (static_cast<uint64_t>(request_index) << 8) ^ static_cast<uint64_t>(attempt)));
-  std::uniform_int_distribution<int64_t> jitter(0, base - 1);
-  return expo + (base > 1 ? jitter(rng) : 0);
+  // Saturate instead of shifting into signed overflow: base << shift is UB
+  // the moment base > 2^(63-shift), which a large backoff_base_ms reaches
+  // by attempt 2. The saturated value is immediately clamped below anyway.
+  int64_t wait = base > (kMax >> shift) ? kMax : base << shift;
+  if (base > 1) {
+    // Nested derive_stream_seed gives every (request, attempt) pair its own
+    // 64-bit stream. The former mix `(request_index << 8) ^ attempt`
+    // collided — e.g. (request 0, attempt 257) and (request 1, attempt 1)
+    // shared a jitter stream — correlating exactly the retries that backoff
+    // is supposed to spread apart.
+    std::mt19937_64 rng(runtime::derive_stream_seed(
+        runtime::derive_stream_seed(cfg_.backoff_jitter_seed,
+                                    static_cast<uint64_t>(request_index)),
+        static_cast<uint64_t>(attempt)));
+    std::uniform_int_distribution<int64_t> jitter(0, base - 1);
+    const int64_t j = jitter(rng);
+    wait = j > kMax - wait ? kMax : wait + j;
+  }
+  wait = std::min(wait, std::max<int64_t>(0, cfg_.backoff_max_ms));
+  // Clamp to the remaining deadline budget: a wait the budget cannot absorb
+  // comes back as exactly the budget, which the retry loop reads as
+  // "backing off would blow the deadline" and stops retrying.
+  if (budget_ms >= 0) wait = std::min(wait, budget_ms);
+  return wait;
 }
 
-bool GenerationEngine::run_fallback(const Request& request, Response& response) const {
+bool GenerationEngine::run_fallback(const Request& request, const runtime::Clock& clock,
+                                    Response& response) const {
   if (fallback_ == nullptr) return false;
+  // The degradation path gets its own small grace budget. The request's
+  // token is usually already tripped when we get here (that is why we are
+  // degrading), so reusing it would cancel the fallback before it produced
+  // anything; passing nullptr (the old behavior) let a slow fallback run
+  // unbounded after the deadline it was supposed to rescue.
+  runtime::CancelToken grace;
+  if (cfg_.fallback_grace_ms >= 0)
+    grace.arm_deadline(clock, clock.now_ms() + cfg_.fallback_grace_ms);
   try {
-    core::GeneratedSeries series = fallback_->generate(request.windows, request.seed, nullptr);
+    core::GeneratedSeries series = fallback_->generate(request.windows, request.seed, &grace);
     std::string why;
     if (!validate_series(series, expected_length(request), cfg_.expected_channels, why)) {
       fallback_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -205,6 +162,18 @@ bool GenerationEngine::run_fallback(const Request& request, Response& response) 
 }
 
 Response GenerationEngine::execute(const Request& request, int request_index) {
+  if (primary_ == nullptr) {
+    Response response;
+    response.error = {ServeErrorCode::kInvalidRequest,
+                      "engine has no primary generator (use execute_with)"};
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+  return execute_with(*primary_, request, request_index);
+}
+
+Response GenerationEngine::execute_with(const core::TimeSeriesGenerator& primary,
+                                        const Request& request, int request_index) {
   Response response;
 
   std::string why;
@@ -230,8 +199,11 @@ Response GenerationEngine::execute(const Request& request, int request_index) {
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       retries_.fetch_add(1, std::memory_order_relaxed);
-      const int64_t wait = backoff_delay_ms(request_index, attempt);
-      if (wait >= token->remaining_ms()) {
+      const int64_t remaining = token->remaining_ms();
+      const bool bounded = remaining != runtime::CancelToken::kNoDeadline;
+      const int64_t wait =
+          backoff_delay_ms(request_index, attempt, bounded ? remaining : int64_t{-1});
+      if (bounded && wait >= remaining) {
         // The backoff alone would blow the budget — stop retrying under
         // deadline pressure and let the degradation path answer.
         last_error = {ServeErrorCode::kDeadlineExceeded,
@@ -255,7 +227,7 @@ Response GenerationEngine::execute(const Request& request, int request_index) {
 
     response.attempts = attempt + 1;
     try {
-      core::GeneratedSeries series = primary_.generate(request.windows, request.seed, token);
+      core::GeneratedSeries series = primary.generate(request.windows, request.seed, token);
       if (!validate_series(series, want_len, cfg_.expected_channels, why)) {
         last_error = {ServeErrorCode::kModelFailure, "poisoned output: " + why};
         continue;  // retryable: the poison may be transient
@@ -287,7 +259,7 @@ Response GenerationEngine::execute(const Request& request, int request_index) {
   const bool degradable =
       last_error.code == ServeErrorCode::kModelFailure ||
       (last_error.code == ServeErrorCode::kDeadlineExceeded && cfg_.fallback_on_deadline);
-  if (degradable && run_fallback(request, response)) {
+  if (degradable && run_fallback(request, clock, response)) {
     response.error = last_error;  // why the primary path lost
     degraded_.fetch_add(1, std::memory_order_relaxed);
     return response;
@@ -303,36 +275,16 @@ std::vector<Response> GenerationEngine::serve(const std::vector<Request>& reques
   std::vector<Response> out(requests.size());
   if (requests.empty()) return out;
 
-  BoundedQueue queue(static_cast<size_t>(std::max(1, cfg_.max_queue)));
+  internal::BoundedQueue queue(static_cast<size_t>(std::max(1, cfg_.max_queue)));
   const int workers = std::max(1, cfg_.workers);
   const size_t batch_max = static_cast<size_t>(std::max(1, cfg_.batch_max));
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     pool.emplace_back([this, &queue, &requests, &out, batch_max] {
-      if (batch_max == 1) {
-        size_t idx = 0;
-        while (queue.pop(idx)) out[idx] = execute(requests[idx], static_cast<int>(idx));
-        return;
-      }
-      std::vector<size_t> batch;
-      for (;;) {
-        queue.pop_batch(batch, batch_max);
-        if (batch.empty()) return;  // closed and drained
-        if (batch.size() == 1) {
-          const size_t idx = batch[0];
-          out[idx] = execute(requests[idx], static_cast<int>(idx));
-          continue;
-        }
-        // One pool task per request. execute() is keyed by the ORIGINAL
-        // request index — never the batch slot — so every response is
-        // bitwise identical whatever batch it happened to ride in.
-        runtime::parallel_tasks(runtime::Parallelism{.threads = static_cast<int>(batch.size())},
-                                static_cast<int>(batch.size()), [&](int bi) {
-                                  const size_t idx = batch[static_cast<size_t>(bi)];
-                                  out[idx] = execute(requests[idx], static_cast<int>(idx));
-                                });
-      }
+      internal::drain_queue(queue, batch_max, [&](size_t idx) {
+        out[idx] = execute(requests[idx], static_cast<int>(idx));
+      });
     });
   }
 
@@ -343,7 +295,10 @@ std::vector<Response> GenerationEngine::serve(const std::vector<Request>& reques
     } else if (queue.try_push(i)) {
       admitted_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      out[i].outcome = Outcome::kError;
+      // Shed is its own outcome, not kError: the request never executed, so
+      // it lands in Stats::shed (not failed_) and the buckets partition the
+      // batch — ok + degraded + failed + shed == total.
+      out[i].outcome = Outcome::kShed;
       out[i].error = {ServeErrorCode::kOverloaded,
                       "admission queue full (" + std::to_string(cfg_.max_queue) + ")"};
       shed_.fetch_add(1, std::memory_order_relaxed);

@@ -18,9 +18,10 @@
 //                registered cheap fallback generator (e.g. baselines::FDaS)
 //                answers instead and the response is tagged kDegraded — the
 //                client gets a usable series plus the truth about it.
-//   taxonomy:    every admitted request resolves to exactly one of
-//                OK / degraded / ServeError — never an escaped exception, a
-//                hang, or a torn result.
+//   taxonomy:    every request resolves to exactly one of OK / degraded /
+//                shed / ServeError — never an escaped exception, a hang, or
+//                a torn result — and the Stats buckets partition the batch
+//                (ok + degraded + failed + shed == total).
 //
 // Determinism: with per-request virtual clocks (Request::virtual_clock) and
 // the block policy, a serve() batch's outcomes are a pure function of the
@@ -62,6 +63,10 @@ enum class Outcome : uint8_t {
   kOk = 0,        ///< primary model answered within budget
   kDegraded = 1,  ///< fallback answered; `error` says why the primary lost
   kError = 2,     ///< structured failure in `error`
+  kShed = 3,      ///< rejected at admission (`error` carries kOverloaded);
+                  ///< the request never executed, so `series` is empty and
+                  ///< `attempts` is 0. Counted in Stats::shed, not failed —
+                  ///< the two buckets partition cleanly (see Stats).
 };
 
 std::string_view to_string(Outcome outcome);
@@ -97,9 +102,15 @@ struct EngineConfig {
   /// Retries after the first attempt for retryable failures.
   int max_retries = 2;
   /// Exponential backoff: base << (attempt-1) plus seeded jitter in
-  /// [0, base). Waits advance the request's virtual clock when it has one,
-  /// otherwise sleep real time.
+  /// [0, base), saturating (never overflowing) and clamped to
+  /// [0, backoff_max_ms] and then to the remaining deadline budget. Waits
+  /// advance the request's virtual clock when it has one, otherwise sleep
+  /// real time.
   int64_t backoff_base_ms = 1;
+  /// Ceiling on any single backoff wait, applied after the exponential and
+  /// jitter. Keeps a mis-sized base (or a deep retry ladder) from parking a
+  /// deadline-less request for hours.
+  int64_t backoff_max_ms = 30'000;
   uint64_t backoff_jitter_seed = 0x5eedf00dULL;
   /// Deadline for requests that don't set one; -1 = none.
   int64_t default_deadline_ms = -1;
@@ -107,6 +118,13 @@ struct EngineConfig {
   int expected_channels = 0;
   /// Degrade to the fallback on a blown deadline (not just model failure).
   bool fallback_on_deadline = true;
+  /// Time budget for the degradation path itself: the fallback runs under a
+  /// fresh CancelToken armed `fallback_grace_ms` past the moment it starts
+  /// (on the request's clock), so a degraded answer after a blown deadline
+  /// is still deadline-bounded instead of running unboundedly. The request's
+  /// own token is NOT reused — it is typically already tripped, which would
+  /// cancel the fallback before it produced anything. -1 = unbounded.
+  int64_t fallback_grace_ms = 100;
   /// Time source for deadlines/backoff of requests without a virtual clock.
   const runtime::Clock* clock = &runtime::steady_clock();
 };
@@ -115,12 +133,18 @@ class GenerationEngine {
  public:
   GenerationEngine(const core::TimeSeriesGenerator& primary, EngineConfig cfg);
 
+  /// Primary-less engine: every request must go through execute_with(),
+  /// which supplies the generator per call. This is the form the model
+  /// registry/router uses — one engine, N routed models. execute()/serve()
+  /// on a primary-less engine resolve each request to kInvalidRequest.
+  explicit GenerationEngine(EngineConfig cfg);
+
   GenerationEngine(const GenerationEngine&) = delete;
   GenerationEngine& operator=(const GenerationEngine&) = delete;
 
   /// Register the graceful-degradation path. Null disables it. The fallback
-  /// must be cheap and reliable (it runs without retry, uncancellable);
-  /// callers keep ownership.
+  /// must be cheap and reliable (it runs without retry, under a small
+  /// fallback_grace_ms budget); callers keep ownership.
   void set_fallback(const core::TimeSeriesGenerator* fallback) { fallback_ = fallback; }
 
   /// Serve a batch: admit every request in order through the bounded queue,
@@ -134,6 +158,17 @@ class GenerationEngine {
   /// directly. `request_index` keys the backoff jitter stream.
   Response execute(const Request& request, int request_index);
 
+  /// execute() against an explicit generator instead of the constructor
+  /// primary — the router's entry point: it resolves a model lease per
+  /// request and runs it through the shared engine (one Stats surface, one
+  /// retry/degrade policy). Thread-safe like execute().
+  Response execute_with(const core::TimeSeriesGenerator& primary, const Request& request,
+                        int request_index);
+
+  /// Accounting invariant (enforced by tests): every request handed to
+  /// serve()/execute() lands in exactly one of ok/degraded/failed/shed, so
+  ///   ok + degraded + failed + shed == total submitted
+  /// and admitted == ok + degraded + failed (shed requests never execute).
   struct Stats {
     uint64_t admitted = 0;
     uint64_t shed = 0;
@@ -143,16 +178,27 @@ class GenerationEngine {
     uint64_t retries = 0;
     uint64_t deadline_expirations = 0;
     uint64_t fallback_failures = 0;
+
+    /// Requests that reached a terminal outcome. Equals the batch size once
+    /// serve() returns — the invariant the accounting tests pin.
+    uint64_t resolved() const { return ok + degraded + failed + shed; }
   };
   Stats stats() const;
 
   const EngineConfig& config() const { return cfg_; }
 
- private:
-  int64_t backoff_delay_ms(int request_index, int attempt) const;
-  bool run_fallback(const Request& request, Response& response) const;
+  /// Seeded backoff wait before retry `attempt` (>= 1) of `request_index`:
+  /// saturating exponential `base << (attempt-1)` plus full jitter in
+  /// [0, base), clamped to backoff_max_ms and then to `budget_ms` (the
+  /// remaining deadline budget; -1 = unbounded). Public because the
+  /// overflow/collision regression tests probe it directly.
+  int64_t backoff_delay_ms(int request_index, int attempt, int64_t budget_ms) const;
 
-  const core::TimeSeriesGenerator& primary_;
+ private:
+  bool run_fallback(const Request& request, const runtime::Clock& clock,
+                    Response& response) const;
+
+  const core::TimeSeriesGenerator* primary_;
   const core::TimeSeriesGenerator* fallback_ = nullptr;
   EngineConfig cfg_;
 

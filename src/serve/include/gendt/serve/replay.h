@@ -1,0 +1,152 @@
+// gendt::serve — trace-replay load harness (the MASS-style validation shape:
+// replay a recorded/generated traffic trace against the serving stack and
+// measure what real clients would see).
+//
+// A Trace is an arrival-ordered list of requests — model id, arrival time,
+// seed, deadline, context windows. replay() plays it against a ModelRegistry
+// entirely on VIRTUAL time:
+//
+//   phase 1 (sequential, deterministic): walk the trace in arrival order,
+//     apply scripted hot-swaps when their virtual time comes due, make the
+//     per-model budget decision from virtual occupancy (admitted requests
+//     occupy their model until their nominal finish), and schedule every
+//     admitted request onto `sim_workers` simulated servers (earliest-free
+//     wins, lowest index breaks ties). The request's model-version lease is
+//     pinned here, at virtual admission time.
+//   phase 2 (parallel, outcome-pure): execute the admitted requests on
+//     `threads` real threads. Each request runs against its own ManualClock
+//     started at its scheduled virtual start, with its deadline budget
+//     reduced by its virtual queue wait — so outcomes, latencies, attempts
+//     and series bits are a pure function of (trace, registry contents,
+//     swaps, config), bitwise identical at ANY `threads` value and at any
+//     real interleaving. That purity is what the serve-replay tests sweep.
+//
+// Latency is virtual: finish − arrival, where finish is the request's clock
+// after execution (or at least start + nominal service cost, for models that
+// charge no virtual time). Per-model p50/p99 latency and shed rate feed
+// BENCH_serve_replay.json.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gendt/context/context.h"
+#include "gendt/runtime/cancel.h"
+#include "gendt/serve/engine.h"
+#include "gendt/serve/registry.h"
+#include "gendt/sim/trajectory_gen.h"
+
+namespace gendt::serve {
+
+/// One trace entry. Traces must be sorted by arrival_ms (replay enforces).
+struct TraceRequest {
+  std::string model_id;
+  int64_t arrival_ms = 0;
+  uint64_t seed = 1;
+  int64_t deadline_ms = -1;  ///< budget from ARRIVAL (queue wait counts); -1 none
+  std::vector<context::Window> windows;
+};
+
+struct Trace {
+  std::vector<TraceRequest> requests;
+};
+
+/// Shape of a generated trace. Arrivals are a seeded Poisson process at
+/// rate_hz on the virtual clock; model ids round-robin over `model_ids`;
+/// request seeds are derive_stream_seed(seed, index) — unique per request,
+/// which ScriptedGenerator bindings require.
+struct TraceConfig {
+  int num_requests = 1000;
+  double rate_hz = 200.0;
+  uint64_t seed = 1;
+  int64_t deadline_ms = -1;
+  std::vector<std::string> model_ids = {"default"};
+  // synthetic_trace: bare windows (start/len only) for scripted models.
+  int windows_per_request = 4;
+  int window_len = 10;
+  // sim_trace: one simulated user trajectory per request.
+  double trajectory_duration_s = 60.0;
+};
+
+/// Bare-window trace for scripted/synthetic models (no context extraction).
+Trace synthetic_trace(const TraceConfig& cfg);
+
+/// Trace whose windows come from simulated drive-test user trajectories:
+/// each request is one scenario trajectory (cycling the paper's scenarios)
+/// run through the context pipeline — the "~10^5 user trajectories from
+/// gendt::sim" load shape.
+Trace sim_trace(const context::ContextBuilder& builder, const sim::RegionConfig& region,
+                const TraceConfig& cfg);
+
+/// A scripted hot-swap: at virtual time `at_ms`, install `next` as model
+/// `model_id`'s new version (the checkpoint "load" happened when `next` was
+/// built; the swap itself is the atomic install). Requests with
+/// arrival_ms >= at_ms lease the new version; earlier ones drain on the old.
+struct SwapScript {
+  int64_t at_ms = 0;
+  std::string model_id;
+  std::unique_ptr<core::TimeSeriesGenerator> next;
+};
+
+struct ReplayConfig {
+  /// Simulated service capacity: concurrent requests on virtual time.
+  int sim_workers = 4;
+  /// Nominal virtual service cost per context window (the scheduler's
+  /// occupancy model; scripted generators should charge the same per-window
+  /// cost to their bound clock so schedule and execution agree).
+  int64_t per_window_cost_ms = 1;
+  /// Real execution threads. NEVER changes any outcome — only wall time.
+  int threads = 1;
+  /// Retry/backoff/fallback/validation policy (queue fields are unused:
+  /// admission is the virtual-time scheduler above).
+  EngineConfig engine;
+};
+
+/// Terminal record of one trace entry. Byte-comparable: the determinism
+/// tests require identical vectors at any thread count / swap timing.
+struct RequestOutcome {
+  Outcome outcome = Outcome::kError;
+  ServeErrorCode code = ServeErrorCode::kNone;
+  int attempts = 0;
+  bool fallback_used = false;
+  uint64_t series_digest = 0;  ///< FNV over the exact series bits (0 if none)
+  uint64_t version = 0;        ///< model version leased (0 = never admitted)
+  int64_t arrival_ms = 0;
+  int64_t start_ms = 0;   ///< virtual execution start (arrival if shed)
+  int64_t finish_ms = 0;  ///< virtual completion (arrival if shed)
+  int64_t latency_ms = 0; ///< finish − arrival (0 if shed)
+};
+
+/// Per-model rollup: the BENCH_serve_replay.json payload.
+struct ModelReport {
+  std::string id;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t failed = 0;
+  uint64_t shed = 0;
+  double p50_latency_ms = 0.0;  ///< nearest-rank over non-shed requests
+  double p99_latency_ms = 0.0;
+  double shed_rate = 0.0;  ///< shed / requests
+};
+
+struct ReplayReport {
+  std::vector<RequestOutcome> outcomes;  ///< trace order
+  std::vector<ModelReport> models;       ///< sorted by id
+  uint64_t digest = 0;  ///< FNV over all outcomes, trace order
+};
+
+/// Replay `trace` against `registry`. `clocks` supplies the per-request
+/// ManualClocks (size >= trace size) and is caller-owned so scripted
+/// generators can be bound to them BEFORE the replay runs (bindings need
+/// stable clock addresses; the clocks' start times are set internally).
+/// Throws std::invalid_argument on a malformed call (unsorted trace, short
+/// clocks vector); per-request failures never throw.
+ReplayReport replay(ModelRegistry& registry, const Trace& trace,
+                    std::vector<runtime::ManualClock>& clocks, const ReplayConfig& cfg,
+                    std::vector<SwapScript> swaps = {},
+                    const core::TimeSeriesGenerator* fallback = nullptr);
+
+}  // namespace gendt::serve

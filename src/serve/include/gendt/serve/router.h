@@ -1,0 +1,64 @@
+// gendt::serve — request router: GenerationEngine's batch serving loop in
+// front of a ModelRegistry instead of a single primary model.
+//
+// Admission is two-gated, in request order:
+//   1. per-model budget (registry.admit) — an overloaded model sheds its own
+//      traffic (kShed/kOverloaded) without consuming queue space another
+//      model could use;
+//   2. the shared bounded queue (EngineConfig::max_queue + backpressure) —
+//      global shed/block exactly as the single-model engine.
+// A request's model-version lease is taken at admission (gate 1) and
+// released after its outcome is recorded, so a hot-swap during the batch
+// never changes — or destroys — the model a routed request runs on.
+//
+// Determinism: same contract as GenerationEngine::serve — with per-request
+// virtual clocks and the block policy, outcomes are a pure function of the
+// routed requests (and any swaps that happen-before serve()), bitwise
+// identical at any worker count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gendt/serve/engine.h"
+#include "gendt/serve/registry.h"
+
+namespace gendt::serve {
+
+/// One routed request: which model, plus the ordinary engine request.
+struct RoutedRequest {
+  std::string model_id;
+  Request request;
+};
+
+class ModelRouter {
+ public:
+  /// The registry must outlive the router. EngineConfig supplies the queue,
+  /// worker, retry, deadline and fallback policy shared by all models.
+  ModelRouter(ModelRegistry& registry, EngineConfig cfg)
+      : registry_(registry), engine_(std::move(cfg)) {}
+
+  ModelRouter(const ModelRouter&) = delete;
+  ModelRouter& operator=(const ModelRouter&) = delete;
+
+  /// Shared degradation path for every model (callers keep ownership).
+  void set_fallback(const core::TimeSeriesGenerator* fallback) {
+    engine_.set_fallback(fallback);
+  }
+
+  /// Route and serve a batch; responses come back in request order. An
+  /// unknown model_id resolves to kError/kInvalidRequest; a model over its
+  /// budget (or a full global queue) resolves to kShed/kOverloaded.
+  /// Per-model tallies land in the registry (ModelStats invariant holds per
+  /// model); execution tallies also land in engine().stats().
+  std::vector<Response> serve(const std::vector<RoutedRequest>& requests);
+
+  /// The shared execution engine (aggregate Stats across all models).
+  const GenerationEngine& engine() const { return engine_; }
+
+ private:
+  ModelRegistry& registry_;
+  GenerationEngine engine_;
+};
+
+}  // namespace gendt::serve

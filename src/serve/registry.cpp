@@ -1,0 +1,137 @@
+#include "gendt/serve/registry.h"
+
+#include <utility>
+
+namespace gendt::serve {
+
+bool ModelRegistry::add(const std::string& id,
+                        std::unique_ptr<core::TimeSeriesGenerator> generator,
+                        ModelBudget budget) {
+  if (generator == nullptr) return false;
+  auto version = std::make_shared<Version>();
+  version->generator = std::move(generator);
+  version->number = 1;
+  runtime::MutexLock lock(mu_);
+  auto [it, inserted] = models_.try_emplace(id);
+  if (!inserted) return false;
+  it->second.current = std::move(version);
+  it->second.budget = budget;
+  return true;
+}
+
+bool ModelRegistry::swap(const std::string& id,
+                         std::unique_ptr<core::TimeSeriesGenerator> next) {
+  if (next == nullptr) return false;
+  auto version = std::make_shared<Version>();
+  version->generator = std::move(next);
+  std::shared_ptr<const Version> old;  // retired outside the lock (see below)
+  {
+    runtime::MutexLock lock(mu_);
+    auto it = models_.find(id);
+    if (it == models_.end()) return false;
+    version->number = it->second.next_version++;
+    old = std::move(it->second.current);
+    it->second.current = std::move(version);
+    it->second.stats.swaps++;
+  }
+  // `old` drops here. If no request still holds a lease on it, this is the
+  // retirement point (destructor may unmap an arena / free a session pool —
+  // too heavy to run under mu_). Otherwise the last lease holder retires it.
+  return true;
+}
+
+ModelRegistry::Lease ModelRegistry::acquire(const std::string& id) const {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return Lease{};
+  return Lease{it->second.current};
+}
+
+ModelRegistry::Admission ModelRegistry::admit(const std::string& id) {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return Admission{Lease{}, /*unknown=*/true};
+  Model& m = it->second;
+  if (m.budget.max_in_flight >= 0 && m.in_flight >= m.budget.max_in_flight) {
+    m.stats.shed++;
+    return Admission{Lease{}, /*unknown=*/false};
+  }
+  m.in_flight++;
+  m.stats.admitted++;
+  return Admission{Lease{m.current}, /*unknown=*/false};
+}
+
+void ModelRegistry::complete(const std::string& id, Outcome outcome) {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return;
+  Model& m = it->second;
+  if (m.in_flight > 0) m.in_flight--;
+  switch (outcome) {
+    case Outcome::kOk: m.stats.ok++; break;
+    case Outcome::kDegraded: m.stats.degraded++; break;
+    default: m.stats.failed++; break;
+  }
+}
+
+void ModelRegistry::abandon(const std::string& id) {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return;
+  Model& m = it->second;
+  if (m.in_flight > 0) m.in_flight--;
+  if (m.stats.admitted > 0) m.stats.admitted--;
+  m.stats.shed++;
+}
+
+void ModelRegistry::record(const std::string& id, Outcome outcome) {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return;
+  ModelStats& s = it->second.stats;
+  switch (outcome) {
+    case Outcome::kOk: s.admitted++; s.ok++; break;
+    case Outcome::kDegraded: s.admitted++; s.degraded++; break;
+    case Outcome::kShed: s.shed++; break;
+    default: s.admitted++; s.failed++; break;
+  }
+}
+
+ModelBudget ModelRegistry::budget(const std::string& id) const {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  return it == models_.end() ? ModelBudget{} : it->second.budget;
+}
+
+ModelStats ModelRegistry::stats(const std::string& id) const {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  return it == models_.end() ? ModelStats{} : it->second.stats;
+}
+
+uint64_t ModelRegistry::active_version(const std::string& id) const {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  return it == models_.end() ? 0 : it->second.current->number;
+}
+
+int ModelRegistry::in_flight(const std::string& id) const {
+  runtime::MutexLock lock(mu_);
+  auto it = models_.find(id);
+  return it == models_.end() ? -1 : it->second.in_flight;
+}
+
+std::vector<std::string> ModelRegistry::ids() const {
+  runtime::MutexLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [id, model] : models_) out.push_back(id);
+  return out;
+}
+
+size_t ModelRegistry::size() const {
+  runtime::MutexLock lock(mu_);
+  return models_.size();
+}
+
+}  // namespace gendt::serve

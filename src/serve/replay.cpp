@@ -1,0 +1,312 @@
+#include "gendt/serve/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "gendt/runtime/thread_pool.h"
+
+namespace gendt::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t fnv_mix(uint64_t h, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t fnv_double(uint64_t h, double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv_mix(h, bits);
+}
+
+uint64_t digest_series(const core::GeneratedSeries& series) {
+  if (series.channels.empty()) return 0;
+  uint64_t h = kFnvOffset;
+  h = fnv_mix(h, series.channels.size());
+  for (const auto& ch : series.channels) {
+    h = fnv_mix(h, ch.size());
+    for (double v : ch) h = fnv_double(h, v);
+  }
+  return h;
+}
+
+/// Seeded Poisson arrival times (ms, non-decreasing) at cfg.rate_hz.
+std::vector<int64_t> poisson_arrivals(const TraceConfig& cfg) {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(std::max(0, cfg.num_requests)));
+  std::mt19937_64 rng(runtime::derive_stream_seed(cfg.seed, 0xA441AA1ULL));
+  const double rate = cfg.rate_hz > 0.0 ? cfg.rate_hz : 1.0;
+  std::exponential_distribution<double> gap_s(rate);
+  double t_ms = 0.0;
+  for (int i = 0; i < cfg.num_requests; ++i) {
+    t_ms += gap_s(rng) * 1000.0;
+    out.push_back(static_cast<int64_t>(std::llround(t_ms)));
+  }
+  return out;
+}
+
+const std::string& model_for(const TraceConfig& cfg, int i) {
+  static const std::string kDefault = "default";
+  if (cfg.model_ids.empty()) return kDefault;
+  return cfg.model_ids[static_cast<size_t>(i) % cfg.model_ids.size()];
+}
+
+}  // namespace
+
+Trace synthetic_trace(const TraceConfig& cfg) {
+  Trace trace;
+  const std::vector<int64_t> arrivals = poisson_arrivals(cfg);
+  trace.requests.reserve(arrivals.size());
+  for (int i = 0; i < static_cast<int>(arrivals.size()); ++i) {
+    TraceRequest req;
+    req.model_id = model_for(cfg, i);
+    req.arrival_ms = arrivals[static_cast<size_t>(i)];
+    req.seed = runtime::derive_stream_seed(cfg.seed, static_cast<uint64_t>(i));
+    req.deadline_ms = cfg.deadline_ms;
+    const int wlen = std::max(1, cfg.window_len);
+    req.windows.resize(static_cast<size_t>(std::max(1, cfg.windows_per_request)));
+    for (size_t w = 0; w < req.windows.size(); ++w) {
+      req.windows[w].start = static_cast<int>(w) * wlen;
+      req.windows[w].len = wlen;
+    }
+    trace.requests.push_back(std::move(req));
+  }
+  return trace;
+}
+
+Trace sim_trace(const context::ContextBuilder& builder, const sim::RegionConfig& region,
+                const TraceConfig& cfg) {
+  Trace trace;
+  const std::vector<int64_t> arrivals = poisson_arrivals(cfg);
+  trace.requests.reserve(arrivals.size());
+  // Cycle the paper's seven measurement scenarios across the user
+  // population; each request is one user's trajectory through the region.
+  // Highway scenarios need a highway polyline to ride — a region without
+  // one (small test worlds) keeps the city/transit scenarios only.
+  std::vector<sim::Scenario> scenarios = {
+      sim::Scenario::kWalk,         sim::Scenario::kBus, sim::Scenario::kTram,
+      sim::Scenario::kCityDriving1, sim::Scenario::kCityDriving2};
+  if (!region.highways.empty()) {
+    scenarios.push_back(sim::Scenario::kHighway1);
+    scenarios.push_back(sim::Scenario::kHighway2);
+  }
+  const size_t kNumScenarios = scenarios.size();
+  const int cities = std::max<int>(1, static_cast<int>(region.cities.size()));
+  for (int i = 0; i < static_cast<int>(arrivals.size()); ++i) {
+    TraceRequest req;
+    req.model_id = model_for(cfg, i);
+    req.arrival_ms = arrivals[static_cast<size_t>(i)];
+    req.seed = runtime::derive_stream_seed(cfg.seed, static_cast<uint64_t>(i));
+    req.deadline_ms = cfg.deadline_ms;
+    std::mt19937_64 rng(runtime::derive_stream_seed(cfg.seed ^ 0x7Ace5eedULL,
+                                                    static_cast<uint64_t>(i)));
+    const geo::Trajectory traj = sim::scenario_trajectory(
+        region, scenarios[static_cast<size_t>(i) % kNumScenarios],
+        cfg.trajectory_duration_s, rng, i % cities);
+    req.windows = builder.generation_windows(traj);
+    if (req.windows.empty()) continue;  // trajectory too short for one window
+    trace.requests.push_back(std::move(req));
+  }
+  return trace;
+}
+
+ReplayReport replay(ModelRegistry& registry, const Trace& trace,
+                    std::vector<runtime::ManualClock>& clocks, const ReplayConfig& cfg,
+                    std::vector<SwapScript> swaps,
+                    const core::TimeSeriesGenerator* fallback) {
+  const size_t n = trace.requests.size();
+  if (clocks.size() < n)
+    throw std::invalid_argument("replay: clocks vector smaller than trace");
+
+  ReplayReport report;
+  report.outcomes.resize(n);
+
+  // ---- phase 1: virtual-time admission & scheduling (sequential) --------
+  std::stable_sort(swaps.begin(), swaps.end(),
+                   [](const SwapScript& a, const SwapScript& b) { return a.at_ms < b.at_ms; });
+  struct Sched {
+    bool admitted = false;
+    int64_t start = 0;
+    int64_t cost = 0;
+    ModelRegistry::Lease lease;
+  };
+  std::vector<Sched> sched(n);
+  std::vector<int64_t> worker_free(static_cast<size_t>(std::max(1, cfg.sim_workers)), 0);
+  using MinHeap = std::priority_queue<int64_t, std::vector<int64_t>, std::greater<int64_t>>;
+  std::map<std::string, MinHeap> occupancy;  // per-model nominal finish times
+
+  size_t swap_i = 0;
+  int64_t prev_arrival = std::numeric_limits<int64_t>::min();
+  for (size_t i = 0; i < n; ++i) {
+    const TraceRequest& tr = trace.requests[i];
+    if (tr.arrival_ms < prev_arrival)
+      throw std::invalid_argument("replay: trace arrivals must be non-decreasing");
+    prev_arrival = tr.arrival_ms;
+
+    // Scripted hot-swaps come due strictly by virtual time: every request
+    // arriving at or after a swap leases the new version, every earlier one
+    // drains on the version it pinned. Swap timing can therefore move WHICH
+    // version answers, but never how — the determinism tests pin that.
+    while (swap_i < swaps.size() && swaps[swap_i].at_ms <= tr.arrival_ms) {
+      registry.swap(swaps[swap_i].model_id, std::move(swaps[swap_i].next));
+      ++swap_i;
+    }
+
+    RequestOutcome& o = report.outcomes[i];
+    o.arrival_ms = tr.arrival_ms;
+    o.start_ms = tr.arrival_ms;
+    o.finish_ms = tr.arrival_ms;
+
+    ModelRegistry::Lease lease = registry.acquire(tr.model_id);
+    if (!lease) {
+      o.outcome = Outcome::kError;
+      o.code = ServeErrorCode::kInvalidRequest;  // unknown model id
+      continue;
+    }
+
+    // Budget decision from virtual occupancy: requests admitted earlier
+    // occupy the model until their nominal finish.
+    MinHeap& occ = occupancy[tr.model_id];
+    while (!occ.empty() && occ.top() <= tr.arrival_ms) occ.pop();
+    const int budget = registry.budget(tr.model_id).max_in_flight;
+    if (budget >= 0 && occ.size() >= static_cast<size_t>(budget)) {
+      o.outcome = Outcome::kShed;
+      o.code = ServeErrorCode::kOverloaded;
+      o.version = lease.version();
+      registry.record(tr.model_id, Outcome::kShed);
+      continue;
+    }
+
+    // Earliest-free simulated server, lowest index breaking ties.
+    size_t k = 0;
+    for (size_t w = 1; w < worker_free.size(); ++w)
+      if (worker_free[w] < worker_free[k]) k = w;
+    const int64_t start = std::max(tr.arrival_ms, worker_free[k]);
+    const int64_t cost =
+        std::max<int64_t>(0, cfg.per_window_cost_ms) * static_cast<int64_t>(tr.windows.size());
+    worker_free[k] = start + cost;
+    occ.push(start + cost);
+
+    o.version = lease.version();
+    sched[i].admitted = true;
+    sched[i].start = start;
+    sched[i].cost = cost;
+    sched[i].lease = std::move(lease);
+  }
+
+  std::vector<size_t> admitted;
+  admitted.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    if (sched[i].admitted) admitted.push_back(i);
+
+  // ---- phase 2: execution (parallel, outcome-pure) ----------------------
+  // Every admitted request runs against its own ManualClock started at its
+  // scheduled virtual start with its lease pinned in phase 1, so nothing a
+  // sibling thread does can move its outcome: `threads` is wall-time only.
+  GenerationEngine engine(cfg.engine);
+  if (fallback != nullptr) engine.set_fallback(fallback);
+  if (!admitted.empty()) {
+    runtime::parallel_tasks(
+        runtime::Parallelism{.threads = std::max(1, cfg.threads)},
+        static_cast<int>(admitted.size()), [&](int t) {
+          const size_t i = admitted[static_cast<size_t>(t)];
+          const TraceRequest& tr = trace.requests[i];
+          runtime::ManualClock& clock = clocks[i];
+          clock.set_ms(sched[i].start);
+
+          Request req;
+          req.windows = tr.windows;
+          req.seed = tr.seed;
+          req.virtual_clock = &clock;
+          int64_t deadline = tr.deadline_ms;
+          if (deadline >= 0) {
+            // The deadline budget is measured from ARRIVAL: virtual queue
+            // wait spends it before execution even starts.
+            deadline = std::max<int64_t>(0, deadline - (sched[i].start - tr.arrival_ms));
+          }
+          req.deadline_ms = deadline;
+
+          Response resp =
+              engine.execute_with(sched[i].lease.generator(), req, static_cast<int>(i));
+
+          RequestOutcome& o = report.outcomes[i];
+          o.outcome = resp.outcome;
+          o.code = resp.error.code;
+          o.attempts = resp.attempts;
+          o.fallback_used = resp.fallback_used;
+          o.series_digest = digest_series(resp.series);
+          // Models that charge virtual time (scripted) move the clock; ones
+          // that don't (real inference) bill at least the nominal cost.
+          o.finish_ms = std::max(clock.now_ms(), sched[i].start + sched[i].cost);
+          o.start_ms = sched[i].start;
+          o.latency_ms = o.finish_ms - o.arrival_ms;
+
+          registry.record(tr.model_id, resp.outcome);
+          sched[i].lease.release();  // last lease out retires a swapped version
+        });
+  }
+
+  // ---- rollup ------------------------------------------------------------
+  struct Agg {
+    ModelReport r;
+    std::vector<int64_t> latencies;
+  };
+  std::map<std::string, Agg> by_model;
+  uint64_t digest = kFnvOffset;
+  for (size_t i = 0; i < n; ++i) {
+    const RequestOutcome& o = report.outcomes[i];
+    Agg& a = by_model[trace.requests[i].model_id];
+    a.r.requests++;
+    switch (o.outcome) {
+      case Outcome::kOk: a.r.ok++; break;
+      case Outcome::kDegraded: a.r.degraded++; break;
+      case Outcome::kShed: a.r.shed++; break;
+      case Outcome::kError: a.r.failed++; break;
+    }
+    if (o.outcome != Outcome::kShed) a.latencies.push_back(o.latency_ms);
+    digest = fnv_mix(digest, static_cast<uint64_t>(o.outcome));
+    digest = fnv_mix(digest, static_cast<uint64_t>(o.code));
+    digest = fnv_mix(digest, static_cast<uint64_t>(o.attempts));
+    digest = fnv_mix(digest, o.fallback_used ? 1u : 0u);
+    digest = fnv_mix(digest, o.series_digest);
+    digest = fnv_mix(digest, o.version);
+    digest = fnv_mix(digest, static_cast<uint64_t>(o.start_ms));
+    digest = fnv_mix(digest, static_cast<uint64_t>(o.finish_ms));
+  }
+  report.digest = digest;
+  for (auto& [id, agg] : by_model) {
+    agg.r.id = id;
+    agg.r.shed_rate =
+        agg.r.requests == 0 ? 0.0
+                            : static_cast<double>(agg.r.shed) / static_cast<double>(agg.r.requests);
+    std::sort(agg.latencies.begin(), agg.latencies.end());
+    const auto pct = [&](double q) -> double {
+      if (agg.latencies.empty()) return 0.0;
+      const double rank = std::ceil(q * static_cast<double>(agg.latencies.size()));
+      const size_t idx =
+          std::min(agg.latencies.size() - 1, static_cast<size_t>(std::max(1.0, rank)) - 1);
+      return static_cast<double>(agg.latencies[idx]);
+    };
+    agg.r.p50_latency_ms = pct(0.50);
+    agg.r.p99_latency_ms = pct(0.99);
+    report.models.push_back(agg.r);
+  }
+  return report;
+}
+
+}  // namespace gendt::serve

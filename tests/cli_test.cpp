@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -217,7 +218,7 @@ TEST(Cli, PackRoundTripGeneratesByteIdenticalCsv) {
                                   " --model " + pack + " --out " + (dir / "out").string() +
                                   " --train-s 120 --seed 3");
   EXPECT_EQ(serve.exit_code, 0) << serve.output;
-  EXPECT_NE(serve.output.find("model=GDTPACK1"), std::string::npos) << serve.output;
+  EXPECT_NE(serve.output.find("GDTPACK1 (mmap)"), std::string::npos) << serve.output;
 }
 
 TEST(Cli, VersionReportsCpuFeaturesAndDispatch) {
@@ -254,6 +255,93 @@ TEST(Cli, ServeAcceptsBatchMaxAndRejectsNonPositive) {
   const CliResult bad = run_cli(base + " --batch-max 0");
   EXPECT_EQ(bad.exit_code, 2);
   EXPECT_NE(bad.output.find("--batch-max must be >= 1"), std::string::npos) << bad.output;
+}
+
+// Multi-model serving: --models registers N checkpoints under distinct ids,
+// the optional 4th request field routes, an unknown id is a structured
+// error, and the per-model registry tallies surface in the summary.
+TEST(Cli, ServeRoutesRequestsAcrossMultipleModels) {
+  const auto dir = fresh_dir("cli_multimodel");
+  const std::string ckpt = (dir / "model.ckpt").string();
+  const CliResult train =
+      run_cli("train --out " + ckpt + " --epochs 0 --train-s 120 --seed 3");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+
+  std::string traj = "t,lat,lon\n";
+  for (int i = 0; i < 120; ++i)
+    traj += std::to_string(i) + "," + std::to_string(47.0 + 1e-4 * i) + ",8.0\n";
+  write_file(dir / "traj.csv", traj);
+  const std::string t = (dir / "traj.csv").string();
+  // Default-route, explicit routes to both models, and an unknown id.
+  write_file(dir / "requests.txt",
+             t + " 5\n" + t + " 7 60000 blue\n" + t + " 9 60000 green\n" + t +
+                 " 11 60000 ghost\n");
+
+  const std::string base = "serve --requests " + (dir / "requests.txt").string() +
+                           " --out " + (dir / "out").string() +
+                           " --train-s 120 --seed 3 --threads 2";
+  const CliResult both = run_cli(base + " --models blue=" + ckpt + ",green=" + ckpt);
+  EXPECT_EQ(both.exit_code, 1) << both.output;  // the ghost request
+  EXPECT_NE(both.output.find("unknown model id 'ghost'"), std::string::npos) << both.output;
+  EXPECT_NE(both.output.find("model 'blue' (v1): 2 routed"), std::string::npos) << both.output;
+  EXPECT_NE(both.output.find("model 'green' (v1): 1 routed"), std::string::npos)
+      << both.output;
+  EXPECT_NE(both.output.find("served 4 requests"), std::string::npos) << both.output;
+  EXPECT_TRUE(std::filesystem::exists((dir / "out" / "response_2.csv"))) << both.output;
+  EXPECT_FALSE(std::filesystem::exists((dir / "out" / "response_3.csv"))) << both.output;
+
+  // --model and --models are mutually exclusive; malformed --models is usage.
+  const CliResult excl =
+      run_cli(base + " --model " + ckpt + " --models blue=" + ckpt);
+  EXPECT_EQ(excl.exit_code, 2);
+  EXPECT_NE(excl.output.find("mutually exclusive"), std::string::npos) << excl.output;
+  const CliResult malformed = run_cli(base + " --models nopath");
+  EXPECT_EQ(malformed.exit_code, 2);
+  EXPECT_NE(malformed.output.find("--models expects id=path"), std::string::npos)
+      << malformed.output;
+}
+
+// The trace-replay harness is a pure function of (trace, seed, config): two
+// identical scripted runs — including a mid-trace hot-swap — must emit
+// byte-identical benchmark JSON and print the same digest.
+TEST(Cli, ReplayScriptedRunsAreByteIdentical) {
+  const auto dir = fresh_dir("cli_replay");
+  const std::string base =
+      "replay --scripted 2 --requests 3000 --rate-hz 400 --deadline-ms 50 --budget 6"
+      " --swap-at 2000 --seed 11";
+  const CliResult r1 = run_cli(base + " --out " + (dir / "a.json").string());
+  ASSERT_EQ(r1.exit_code, 0) << r1.output;
+  const CliResult r2 =
+      run_cli(base + " --threads 1 --out " + (dir / "b.json").string());
+  ASSERT_EQ(r2.exit_code, 0) << r2.output;
+
+  const auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream is(p);
+    return std::string(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  };
+  const std::string a = slurp(dir / "a.json");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(dir / "b.json"));
+  EXPECT_NE(a.find("BM_ServeReplay/scripted0/p50_latency_ms"), std::string::npos) << a;
+  EXPECT_NE(a.find("shed_rate_pct"), std::string::npos) << a;
+
+  // The digest line is the replay's outcome fingerprint; identical runs
+  // must print the identical fingerprint.
+  const auto digest_of = [](const std::string& out) {
+    const size_t pos = out.find("digest ");
+    return pos == std::string::npos ? std::string() : out.substr(pos, 7 + 16);
+  };
+  EXPECT_FALSE(digest_of(r1.output).empty()) << r1.output;
+  EXPECT_EQ(digest_of(r1.output), digest_of(r2.output));
+}
+
+TEST(Cli, ReplayRequiresExactlyOneSource) {
+  const CliResult neither = run_cli("replay --out /tmp/never.json");
+  EXPECT_EQ(neither.exit_code, 2);
+  EXPECT_NE(neither.output.find("exactly one of --scripted N or --models"), std::string::npos)
+      << neither.output;
+  const CliResult both = run_cli("replay --scripted 2 --models a=b --out /tmp/never.json");
+  EXPECT_EQ(both.exit_code, 2);
 }
 
 }  // namespace

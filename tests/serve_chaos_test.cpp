@@ -120,8 +120,12 @@ RunResult run_batch(uint64_t plan_seed, int workers) {
         EXPECT_NE(resp.error.code, ServeErrorCode::kNone) << "request " << r;
         EXPECT_FALSE(resp.error.message.empty()) << "request " << r;
         break;
+      case Outcome::kShed:
+        // kBlock backpressure in this harness: admission never sheds.
+        ADD_FAILURE() << "request " << r << " unexpectedly shed";
+        break;
     }
-    if (resp.outcome != Outcome::kError) {
+    if (resp.outcome != Outcome::kError && resp.outcome != Outcome::kShed) {
       EXPECT_EQ(resp.series.channels.size(), 2u) << "request " << r;
       for (const auto& ch : resp.series.channels) {
         EXPECT_EQ(ch.size(), static_cast<size_t>(kWindowsPerRequest * kWindowLen));
@@ -144,6 +148,7 @@ RunResult run_batch(uint64_t plan_seed, int workers) {
   EXPECT_EQ(result.stats.shed, 0u);
   EXPECT_EQ(result.stats.ok + result.stats.degraded + result.stats.failed,
             static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(result.stats.resolved(), static_cast<uint64_t>(kRequests));
   return result;
 }
 

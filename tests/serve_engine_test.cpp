@@ -49,6 +49,7 @@ TEST(ServeError, CodeNames) {
   EXPECT_EQ(to_string(Outcome::kOk), "ok");
   EXPECT_EQ(to_string(Outcome::kDegraded), "degraded");
   EXPECT_EQ(to_string(Outcome::kError), "error");
+  EXPECT_EQ(to_string(Outcome::kShed), "shed");
 }
 
 TEST(GenerationEngine, InvalidRequestsAreRejectedStructurally) {
@@ -353,7 +354,7 @@ TEST(GenerationEngine, ShedPolicyRejectsOverflowWithOverloaded) {
     if (r.outcome == Outcome::kOk) {
       ++ok;
     } else {
-      ASSERT_EQ(r.outcome, Outcome::kError);
+      ASSERT_EQ(r.outcome, Outcome::kShed);
       EXPECT_EQ(r.error.code, ServeErrorCode::kOverloaded);
       ++overloaded;
     }
@@ -362,6 +363,7 @@ TEST(GenerationEngine, ShedPolicyRejectsOverflowWithOverloaded) {
   EXPECT_EQ(ok + overloaded, static_cast<uint64_t>(kN));
   EXPECT_EQ(stats.shed, overloaded);
   EXPECT_EQ(stats.admitted, ok);
+  EXPECT_EQ(stats.resolved(), static_cast<uint64_t>(kN));
   // The single gated worker holds at most one request and the queue at most
   // kQueue more, so at least kN - kQueue - 1 submissions must shed.
   EXPECT_GE(overloaded, static_cast<uint64_t>(kN - kQueue - 1));
@@ -406,6 +408,153 @@ TEST(GenerationEngine, BatchedDispatchMatchesSerialBitwise) {
       }
     }
   }
+}
+
+// A fallback that charges virtual time before producing anything and honors
+// the grace token the engine arms for it — the double for the unbounded-
+// degraded-answer regression.
+class SlowFallback final : public core::TimeSeriesGenerator {
+ public:
+  SlowFallback(ManualClock* clock, int64_t step_ms) : clock_(clock), step_ms_(step_ms) {}
+  std::string name() const override { return "SlowFallback"; }
+  void fit(const std::vector<context::Window>&) override {}
+  core::GeneratedSeries generate(const std::vector<context::Window>& windows,
+                                 uint64_t) const override {
+    core::GeneratedSeries out;
+    out.channels.assign(2, {});
+    for (const auto& w : windows)
+      for (int t = 0; t < w.len; ++t)
+        for (auto& ch : out.channels) ch.push_back(0.25);
+    return out;
+  }
+  core::GeneratedSeries generate(const std::vector<context::Window>& windows, uint64_t seed,
+                                 const runtime::CancelToken* cancel) const override {
+    clock_->advance_ms(step_ms_);
+    runtime::check_cancel(cancel);
+    return generate(windows, seed);
+  }
+
+ private:
+  ManualClock* clock_;
+  int64_t step_ms_;
+};
+
+// Regression: `base << shift` at high attempt counts overflowed int64 and
+// produced negative (i.e. zero-length, busy-spin) backoff waits. The delay
+// must saturate, stay non-negative, respect the backoff_max_ms ceiling, and
+// clamp to the remaining deadline budget.
+TEST(GenerationEngine, BackoffDelaySaturatesAndClampsToBudget) {
+  EngineConfig cfg = test_config();
+  cfg.backoff_base_ms = 1000;
+  cfg.backoff_max_ms = 30'000;
+  GenerationEngine engine(cfg);
+
+  int64_t prev = 0;
+  for (int attempt = 1; attempt <= 200; ++attempt) {
+    const int64_t d = engine.backoff_delay_ms(/*request_index=*/3, attempt, /*budget_ms=*/-1);
+    EXPECT_GE(d, 0) << "attempt " << attempt;
+    EXPECT_LE(d, cfg.backoff_max_ms) << "attempt " << attempt;
+    if (attempt > 1) {
+      EXPECT_GE(d + cfg.backoff_base_ms, prev) << "attempt " << attempt;
+    }
+    prev = d;
+  }
+  // Deep into saturation the ceiling is exact, not just an upper bound.
+  EXPECT_EQ(engine.backoff_delay_ms(3, 120, -1), cfg.backoff_max_ms);
+
+  // The wait never exceeds what is left of the deadline.
+  EXPECT_LE(engine.backoff_delay_ms(3, 7, /*budget_ms=*/5), 5);
+  EXPECT_EQ(engine.backoff_delay_ms(3, 7, /*budget_ms=*/0), 0);
+}
+
+// Regression: the jitter seed was mixed as (request_index << 8) ^ attempt, so
+// e.g. request 0 at attempt 257 shared its jitter stream with request 1 at
+// attempt 1. The nested derive_stream_seed mix keeps the streams distinct
+// (and deterministic for a fixed config).
+TEST(GenerationEngine, BackoffJitterStreamsAreDistinctAndDeterministic) {
+  EngineConfig cfg = test_config();
+  cfg.backoff_base_ms = 1'000'000;  // wide jitter range isolates the stream
+  cfg.backoff_max_ms = std::numeric_limits<int64_t>::max();
+  GenerationEngine engine(cfg);
+
+  // Strip the deterministic exponential part to recover the raw jitter.
+  const auto jitter = [&](int request_index, int attempt) {
+    const int shift = std::min(attempt - 1, 20);
+    return engine.backoff_delay_ms(request_index, attempt, -1) -
+           (cfg.backoff_base_ms << shift);
+  };
+  // Old-scheme collision pairs: (r << 8) ^ a identical across the pair.
+  EXPECT_NE(jitter(0, 257), jitter(1, 1));
+  EXPECT_NE(jitter(0, 258), jitter(1, 2));
+  EXPECT_NE(jitter(2, 257), jitter(3, 1));
+
+  GenerationEngine twin(cfg);
+  EXPECT_EQ(engine.backoff_delay_ms(5, 4, -1), twin.backoff_delay_ms(5, 4, -1));
+}
+
+// Regression: run_fallback passed a null cancel token, so a slow fallback
+// could burn unbounded time producing a degraded answer. The engine now arms
+// a fresh grace token (the request's own token has already tripped).
+TEST(GenerationEngine, FallbackGraceBudgetBoundsDegradedAnswers) {
+  FaultPlan plan;
+  plan.add({Fault::Kind::kThrow, 0, 0, 0, std::numeric_limits<int>::max()});
+
+  const auto run = [&](int64_t grace_ms) {
+    ScriptedGenerator gen({.num_channels = 2}, plan, 1);
+    ManualClock clock;
+    gen.bind_request(7, 0, &clock);
+    EngineConfig cfg = test_config();
+    cfg.fallback_grace_ms = grace_ms;
+    GenerationEngine engine(gen, cfg);
+    SlowFallback fallback(&clock, /*step_ms=*/50);
+    engine.set_fallback(&fallback);
+
+    Request req;
+    req.windows = make_windows(2, 4);
+    req.seed = 7;
+    req.virtual_clock = &clock;
+    return engine.execute(req, 0);
+  };
+
+  // Fallback needs 50 virtual ms; a 10 ms grace budget cuts it off and the
+  // original model failure surfaces instead of a late degraded answer.
+  const Response bounded = run(/*grace_ms=*/10);
+  EXPECT_EQ(bounded.outcome, Outcome::kError);
+  EXPECT_EQ(bounded.error.code, ServeErrorCode::kModelFailure);
+  EXPECT_FALSE(bounded.fallback_used);
+
+  // A generous budget (and the unbounded escape hatch) still degrade.
+  EXPECT_EQ(run(/*grace_ms=*/500).outcome, Outcome::kDegraded);
+  EXPECT_EQ(run(/*grace_ms=*/-1).outcome, Outcome::kDegraded);
+}
+
+// A primary-less engine (the router's configuration) rejects execute() but
+// serves execute_with() against a caller-chosen generator.
+TEST(GenerationEngine, PrimarylessEngineRequiresExecuteWith) {
+  EngineConfig cfg = test_config();
+  GenerationEngine engine(cfg);
+
+  Request req;
+  req.windows = make_windows(2, 4);
+  req.seed = 11;
+  const Response bare = engine.execute(req, 0);
+  EXPECT_EQ(bare.outcome, Outcome::kError);
+  EXPECT_EQ(bare.error.code, ServeErrorCode::kInvalidRequest);
+
+  ScriptedGenerator gen({.num_channels = 2}, FaultPlan{}, 1);
+  ManualClock clock;
+  gen.bind_request(11, 0, &clock);
+  req.virtual_clock = &clock;
+  const Response routed = engine.execute_with(gen, req, 0);
+  ASSERT_EQ(routed.outcome, Outcome::kOk);
+  ASSERT_EQ(routed.series.channels.size(), 2u);
+  EXPECT_EQ(routed.series.channels[0][0],
+            ScriptedGenerator::expected_value(11, 0, 0, 0));
+  // The partition invariant counts the failed bare call and the ok routed one.
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.resolved(), 2u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.failed, 1u);
 }
 
 TEST(FaultPlan, RandomPlanIsAPureFunctionOfItsSeed) {

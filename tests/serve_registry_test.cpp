@@ -1,0 +1,253 @@
+// ModelRegistry + ModelRouter tests: lease lifetime across hot-swaps,
+// per-model admission budgets (and their isolation), the per-model stats
+// partition invariant, and model-id routing through the shared engine.
+#include "gendt/serve/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gendt/serve/fault.h"
+#include "gendt/serve/router.h"
+
+namespace gendt::serve {
+namespace {
+
+std::vector<context::Window> make_windows(int count, int len) {
+  std::vector<context::Window> out(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out[static_cast<size_t>(i)].start = i * len;
+    out[static_cast<size_t>(i)].len = len;
+  }
+  return out;
+}
+
+EngineConfig router_config() {
+  EngineConfig cfg;
+  cfg.max_queue = 8;
+  cfg.backpressure = EngineConfig::Backpressure::kBlock;
+  cfg.workers = 2;
+  cfg.max_retries = 1;
+  cfg.backoff_base_ms = 1;
+  cfg.expected_channels = 2;
+  return cfg;
+}
+
+// A ConstantGenerator whose destructor reports retirement — the probe for
+// "the old version dies exactly when its last lease returns".
+class TrackedGenerator final : public core::TimeSeriesGenerator {
+ public:
+  TrackedGenerator(double value, bool* destroyed) : inner_(2, value), destroyed_(destroyed) {}
+  ~TrackedGenerator() override { *destroyed_ = true; }
+  std::string name() const override { return "Tracked"; }
+  void fit(const std::vector<context::Window>&) override {}
+  core::GeneratedSeries generate(const std::vector<context::Window>& windows,
+                                 uint64_t seed) const override {
+    return inner_.generate(windows, seed);
+  }
+
+ private:
+  ConstantGenerator inner_;
+  bool* destroyed_;
+};
+
+TEST(ModelRegistry, AddAcquireAndVersionNumbers) {
+  ModelRegistry registry;
+  EXPECT_TRUE(registry.add("b", std::make_unique<ConstantGenerator>(2, 2.0)));
+  EXPECT_TRUE(registry.add("a", std::make_unique<ConstantGenerator>(2, 1.0)));
+  EXPECT_FALSE(registry.add("a", std::make_unique<ConstantGenerator>(2, 9.0)));  // dup id
+  EXPECT_FALSE(registry.add("c", nullptr));
+
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.ids(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(registry.active_version("a"), 1u);
+  EXPECT_EQ(registry.in_flight("a"), 0);
+  EXPECT_EQ(registry.active_version("nope"), 0u);
+  EXPECT_EQ(registry.in_flight("nope"), -1);
+
+  ModelRegistry::Lease lease = registry.acquire("a");
+  ASSERT_TRUE(lease);
+  EXPECT_EQ(lease.version(), 1u);
+  EXPECT_EQ(lease.generator().name(), "Constant");
+  EXPECT_FALSE(registry.acquire("nope"));
+
+  EXPECT_TRUE(registry.swap("a", std::make_unique<ConstantGenerator>(2, 3.0)));
+  EXPECT_FALSE(registry.swap("nope", std::make_unique<ConstantGenerator>(2, 3.0)));
+  EXPECT_EQ(registry.active_version("a"), 2u);
+  EXPECT_EQ(registry.stats("a").swaps, 1u);
+  // The pre-swap lease still points at version 1.
+  EXPECT_EQ(lease.version(), 1u);
+  EXPECT_EQ(registry.acquire("a").version(), 2u);
+}
+
+TEST(ModelRegistry, SwapRetiresOldVersionOnlyAfterLastLeaseReleases) {
+  bool v1_destroyed = false, v2_destroyed = false;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add("m", std::make_unique<TrackedGenerator>(1.0, &v1_destroyed)));
+
+  ModelRegistry::Lease pin = registry.acquire("m");
+  ModelRegistry::Lease pin2 = pin;  // leases are shared pins
+  ASSERT_TRUE(registry.swap("m", std::make_unique<TrackedGenerator>(2.0, &v2_destroyed)));
+
+  // In-flight leases keep the retired version alive...
+  EXPECT_FALSE(v1_destroyed);
+  pin.release();
+  EXPECT_FALSE(v1_destroyed);
+  // ...until the LAST one returns.
+  pin2.release();
+  EXPECT_TRUE(v1_destroyed);
+
+  // With no leases outstanding, the swap itself retires the old version.
+  ASSERT_TRUE(registry.swap("m", std::make_unique<ConstantGenerator>(2, 3.0)));
+  EXPECT_TRUE(v2_destroyed);
+  EXPECT_EQ(registry.active_version("m"), 3u);
+}
+
+TEST(ModelRegistry, AdmitEnforcesBudgetAndKeepsThePartitionInvariant) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add("m", std::make_unique<ConstantGenerator>(2, 1.0),
+                           ModelBudget{/*max_in_flight=*/2}));
+
+  ModelRegistry::Admission a1 = registry.admit("m");
+  ModelRegistry::Admission a2 = registry.admit("m");
+  ASSERT_TRUE(a1.lease);
+  ASSERT_TRUE(a2.lease);
+  EXPECT_EQ(registry.in_flight("m"), 2);
+
+  // Third concurrent request exceeds the budget: shed, counted.
+  ModelRegistry::Admission a3 = registry.admit("m");
+  EXPECT_FALSE(a3.lease);
+  EXPECT_FALSE(a3.unknown);
+  EXPECT_EQ(registry.stats("m").shed, 1u);
+
+  // Unknown ids are reported, not counted.
+  ModelRegistry::Admission ax = registry.admit("ghost");
+  EXPECT_FALSE(ax.lease);
+  EXPECT_TRUE(ax.unknown);
+
+  registry.complete("m", Outcome::kOk);
+  a1.lease.release();
+  // The freed slot readmits immediately.
+  ModelRegistry::Admission a4 = registry.admit("m");
+  ASSERT_TRUE(a4.lease);
+
+  // abandon() rolls an admission back into the shed tally (the router's
+  // global-queue-shed-after-admit path).
+  registry.abandon("m");
+  a4.lease.release();
+  registry.complete("m", Outcome::kDegraded);
+  a2.lease.release();
+
+  const ModelStats stats = registry.stats("m");
+  EXPECT_EQ(registry.in_flight("m"), 0);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.total(), stats.admitted + stats.shed);
+}
+
+TEST(ModelRegistry, BudgetExhaustionIsIsolatedPerModel) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add("hot", std::make_unique<ConstantGenerator>(2, 1.0),
+                           ModelBudget{/*max_in_flight=*/1}));
+  ASSERT_TRUE(registry.add("cold", std::make_unique<ConstantGenerator>(2, 2.0)));
+
+  ModelRegistry::Admission held = registry.admit("hot");
+  ASSERT_TRUE(held.lease);
+  EXPECT_FALSE(registry.admit("hot").lease);  // hot is saturated...
+  for (int i = 0; i < 4; ++i) {               // ...cold's headroom is untouched
+    ModelRegistry::Admission a = registry.admit("cold");
+    ASSERT_TRUE(a.lease) << i;
+    registry.complete("cold", Outcome::kOk);
+    a.lease.release();
+  }
+  EXPECT_EQ(registry.stats("hot").shed, 1u);
+  EXPECT_EQ(registry.stats("cold").shed, 0u);
+  registry.complete("hot", Outcome::kOk);
+  held.lease.release();
+}
+
+TEST(ModelRouter, RoutesRequestsToTheirModelById) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add("ones", std::make_unique<ConstantGenerator>(2, 1.0)));
+  ASSERT_TRUE(registry.add("twos", std::make_unique<ConstantGenerator>(2, 2.0)));
+  ModelRouter router(registry, router_config());
+
+  std::vector<RoutedRequest> reqs(3);
+  for (auto& r : reqs) r.request.windows = make_windows(2, 4);
+  reqs[0].model_id = "ones";
+  reqs[1].model_id = "twos";
+  reqs[2].model_id = "ghost";
+
+  const std::vector<Response> out = router.serve(reqs);
+  ASSERT_EQ(out.size(), 3u);
+  ASSERT_EQ(out[0].outcome, Outcome::kOk);
+  EXPECT_EQ(out[0].series.channels[0][0], 1.0);
+  ASSERT_EQ(out[1].outcome, Outcome::kOk);
+  EXPECT_EQ(out[1].series.channels[0][0], 2.0);
+  EXPECT_EQ(out[2].outcome, Outcome::kError);
+  EXPECT_EQ(out[2].error.code, ServeErrorCode::kInvalidRequest);
+  EXPECT_NE(out[2].error.message.find("ghost"), std::string::npos);
+
+  EXPECT_EQ(registry.stats("ones").ok, 1u);
+  EXPECT_EQ(registry.stats("twos").ok, 1u);
+  EXPECT_EQ(registry.in_flight("ones"), 0);
+  EXPECT_EQ(registry.in_flight("twos"), 0);
+  // The unknown id resolved at the routing gate, never reaching the engine.
+  EXPECT_EQ(router.engine().stats().resolved(), 2u);
+}
+
+TEST(ModelRouter, ZeroBudgetModelShedsWithoutTouchingOthers) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add("hot", std::make_unique<ConstantGenerator>(2, 1.0),
+                           ModelBudget{/*max_in_flight=*/0}));
+  ASSERT_TRUE(registry.add("cold", std::make_unique<ConstantGenerator>(2, 2.0)));
+  ModelRouter router(registry, router_config());
+
+  std::vector<RoutedRequest> reqs(6);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].model_id = i % 2 == 0 ? "hot" : "cold";
+    reqs[i].request.windows = make_windows(1, 4);
+  }
+
+  const std::vector<Response> out = router.serve(reqs);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(out[i].outcome, Outcome::kShed) << i;
+      EXPECT_EQ(out[i].error.code, ServeErrorCode::kOverloaded) << i;
+    } else {
+      EXPECT_EQ(out[i].outcome, Outcome::kOk) << i;
+    }
+  }
+  const ModelStats hot = registry.stats("hot");
+  const ModelStats cold = registry.stats("cold");
+  EXPECT_EQ(hot.shed, 3u);
+  EXPECT_EQ(hot.total(), 3u);
+  EXPECT_EQ(cold.ok, 3u);
+  EXPECT_EQ(cold.shed, 0u);
+  EXPECT_EQ(cold.total(), 3u);
+}
+
+TEST(ModelRouter, HotSwapBetweenBatchesServesTheNewVersion) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add("m", std::make_unique<ConstantGenerator>(2, 1.0)));
+  ModelRouter router(registry, router_config());
+
+  std::vector<RoutedRequest> reqs(1);
+  reqs[0].model_id = "m";
+  reqs[0].request.windows = make_windows(1, 4);
+
+  EXPECT_EQ(router.serve(reqs)[0].series.channels[0][0], 1.0);
+  ASSERT_TRUE(registry.swap("m", std::make_unique<ConstantGenerator>(2, 5.0)));
+  EXPECT_EQ(router.serve(reqs)[0].series.channels[0][0], 5.0);
+  const ModelStats stats = registry.stats("m");
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.swaps, 1u);
+}
+
+}  // namespace
+}  // namespace gendt::serve

@@ -1,0 +1,280 @@
+// Trace-replay harness tests: the determinism bar the tentpole sets — the
+// same trace + seed must produce byte-identical per-request outcomes at any
+// real thread count and at any hot-swap virtual timing — plus per-model
+// budget isolation, queue-wait deadlines, and stats reconciliation.
+#include "gendt/serve/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gendt/serve/fault.h"
+
+namespace gendt::serve {
+namespace {
+
+struct Harness {
+  ModelRegistry registry;
+  std::vector<runtime::ManualClock> clocks;
+  Trace trace;
+};
+
+TraceConfig base_trace_config() {
+  TraceConfig cfg;
+  cfg.num_requests = 400;
+  cfg.rate_hz = 500.0;  // fast enough that a small budget/worker pool bites
+  cfg.seed = 7;
+  cfg.deadline_ms = 40;
+  cfg.model_ids = {"alpha", "beta"};
+  cfg.windows_per_request = 4;
+  cfg.window_len = 10;
+  return cfg;
+}
+
+// Build a registry of scripted models bound to every trace request, so the
+// whole replay runs on virtual time. Returns the harness by pointer-stable
+// parts (clocks must not move after binding).
+std::unique_ptr<Harness> make_harness(const TraceConfig& tcfg, int64_t window_cost_ms,
+                                      int budget) {
+  auto h = std::make_unique<Harness>();
+  h->trace = synthetic_trace(tcfg);
+  // ManualClock (atomic member) is immovable: size the vector in one shot.
+  h->clocks = std::vector<runtime::ManualClock>(h->trace.requests.size());
+  const auto make_scripted = [&]() {
+    ScriptedGenerator::Config scfg;
+    scfg.num_channels = 2;
+    scfg.window_cost_ms = window_cost_ms;
+    auto gen = std::make_unique<ScriptedGenerator>(scfg, FaultPlan{},
+                                                   static_cast<int>(h->trace.requests.size()));
+    for (size_t i = 0; i < h->trace.requests.size(); ++i)
+      gen->bind_request(h->trace.requests[i].seed, static_cast<int>(i), &h->clocks[i]);
+    return gen;
+  };
+  for (const std::string& id : tcfg.model_ids)
+    h->registry.add(id, make_scripted(), ModelBudget{budget});
+  return h;
+}
+
+ReplayConfig base_replay_config(int threads) {
+  ReplayConfig cfg;
+  cfg.sim_workers = 2;
+  cfg.per_window_cost_ms = 5;
+  cfg.threads = threads;
+  cfg.engine.expected_channels = 2;
+  cfg.engine.max_retries = 1;
+  cfg.engine.backoff_base_ms = 1;
+  return cfg;
+}
+
+void expect_identical(const ReplayReport& a, const ReplayReport& b, const std::string& what) {
+  EXPECT_EQ(a.digest, b.digest) << what;
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << what;
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    const RequestOutcome& x = a.outcomes[i];
+    const RequestOutcome& y = b.outcomes[i];
+    EXPECT_EQ(x.outcome, y.outcome) << what << " request " << i;
+    EXPECT_EQ(x.code, y.code) << what << " request " << i;
+    EXPECT_EQ(x.attempts, y.attempts) << what << " request " << i;
+    EXPECT_EQ(x.fallback_used, y.fallback_used) << what << " request " << i;
+    EXPECT_EQ(x.series_digest, y.series_digest) << what << " request " << i;
+    EXPECT_EQ(x.version, y.version) << what << " request " << i;
+    EXPECT_EQ(x.start_ms, y.start_ms) << what << " request " << i;
+    EXPECT_EQ(x.finish_ms, y.finish_ms) << what << " request " << i;
+    EXPECT_EQ(x.latency_ms, y.latency_ms) << what << " request " << i;
+  }
+}
+
+TEST(ServeReplay, OutcomesAreBitwiseIdenticalAcrossThreadCounts) {
+  const TraceConfig tcfg = base_trace_config();
+  std::vector<ReplayReport> reports;
+  for (int threads : {1, 4}) {
+    auto h = make_harness(tcfg, /*window_cost_ms=*/5, /*budget=*/3);
+    reports.push_back(
+        replay(h->registry, h->trace, h->clocks, base_replay_config(threads)));
+  }
+  // The load shape must actually exercise every path for this to mean much.
+  uint64_t shed = 0, failed = 0, ok = 0;
+  for (const ModelReport& m : reports[0].models) {
+    shed += m.shed;
+    failed += m.failed;
+    ok += m.ok;
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u) << "budget never bit — raise the rate or cost";
+  EXPECT_GT(failed, 0u) << "deadline never bit — tighten it";
+  expect_identical(reports[0], reports[1], "threads 1 vs 4");
+}
+
+TEST(ServeReplay, HotSwapToIdenticalWeightsNeverChangesOutcomes) {
+  const TraceConfig tcfg = base_trace_config();
+  // The swap target is scripted identically, so only the version number may
+  // differ between runs with different swap timings — never an outcome.
+  const auto run = [&](int64_t swap_at_ms) {
+    auto h = make_harness(tcfg, /*window_cost_ms=*/5, /*budget=*/3);
+    std::vector<SwapScript> swaps;
+    if (swap_at_ms >= 0) {
+      ScriptedGenerator::Config scfg;
+      scfg.num_channels = 2;
+      scfg.window_cost_ms = 5;
+      auto next = std::make_unique<ScriptedGenerator>(
+          scfg, FaultPlan{}, static_cast<int>(h->trace.requests.size()));
+      for (size_t i = 0; i < h->trace.requests.size(); ++i)
+        next->bind_request(h->trace.requests[i].seed, static_cast<int>(i), &h->clocks[i]);
+      swaps.push_back({swap_at_ms, "alpha", std::move(next)});
+    }
+    return replay(h->registry, h->trace, h->clocks, base_replay_config(2), std::move(swaps));
+  };
+
+  const ReplayReport baseline = run(-1);
+  const int64_t mid = baseline.outcomes[baseline.outcomes.size() / 2].arrival_ms;
+  const int64_t last = baseline.outcomes.back().arrival_ms;
+
+  // A swap scheduled past the last arrival never installs: byte-identical.
+  expect_identical(baseline, run(last + 1), "swap after the trace ends");
+
+  for (int64_t at : {int64_t{0}, mid}) {
+    const ReplayReport swapped = run(at);
+    EXPECT_NE(swapped.digest, baseline.digest)
+        << "swap at " << at << " should change leased versions (and the digest)";
+    ASSERT_EQ(swapped.outcomes.size(), baseline.outcomes.size());
+    uint64_t v2 = 0;
+    for (size_t i = 0; i < swapped.outcomes.size(); ++i) {
+      const RequestOutcome& x = baseline.outcomes[i];
+      const RequestOutcome& y = swapped.outcomes[i];
+      EXPECT_EQ(x.outcome, y.outcome) << "swap " << at << " request " << i;
+      EXPECT_EQ(x.code, y.code) << "swap " << at << " request " << i;
+      EXPECT_EQ(x.attempts, y.attempts) << "swap " << at << " request " << i;
+      EXPECT_EQ(x.series_digest, y.series_digest) << "swap " << at << " request " << i;
+      EXPECT_EQ(x.start_ms, y.start_ms) << "swap " << at << " request " << i;
+      EXPECT_EQ(x.finish_ms, y.finish_ms) << "swap " << at << " request " << i;
+      // Version flips to 2 exactly for alpha requests at/after the swap
+      // (synthetic traces round-robin model ids, so even indices are alpha).
+      if (i % 2 == 0 && y.version != 0) {
+        const bool post = y.arrival_ms >= at;
+        EXPECT_EQ(y.version, post ? 2u : 1u) << "swap " << at << " request " << i;
+        v2 += y.version == 2 ? 1 : 0;
+      }
+    }
+    if (at == 0) {
+      EXPECT_GT(v2, 0u);
+    }
+  }
+}
+
+TEST(ServeReplay, SwapTimingIsReproducible) {
+  const TraceConfig tcfg = base_trace_config();
+  const auto run = [&]() {
+    auto h = make_harness(tcfg, /*window_cost_ms=*/5, /*budget=*/3);
+    ScriptedGenerator::Config scfg;
+    scfg.num_channels = 2;
+    scfg.window_cost_ms = 5;
+    auto next = std::make_unique<ScriptedGenerator>(
+        scfg, FaultPlan{}, static_cast<int>(h->trace.requests.size()));
+    for (size_t i = 0; i < h->trace.requests.size(); ++i)
+      next->bind_request(h->trace.requests[i].seed, static_cast<int>(i), &h->clocks[i]);
+    std::vector<SwapScript> swaps;
+    swaps.push_back({/*at_ms=*/200, "alpha", std::move(next)});
+    return replay(h->registry, h->trace, h->clocks, base_replay_config(4), std::move(swaps));
+  };
+  expect_identical(run(), run(), "same swap script, two runs");
+}
+
+TEST(ServeReplay, BudgetShedsAreIsolatedPerModel) {
+  TraceConfig tcfg = base_trace_config();
+  tcfg.deadline_ms = -1;  // isolate the budget effect
+  auto h = make_harness(tcfg, /*window_cost_ms=*/5, /*budget=*/-1);
+  // Rebuild with asymmetric budgets: alpha starved, beta unlimited.
+  auto starved = std::make_unique<Harness>();
+  starved->trace = h->trace;
+  starved->clocks = std::vector<runtime::ManualClock>(starved->trace.requests.size());
+  const auto make_scripted = [&]() {
+    ScriptedGenerator::Config scfg;
+    scfg.num_channels = 2;
+    scfg.window_cost_ms = 5;
+    auto gen = std::make_unique<ScriptedGenerator>(
+        scfg, FaultPlan{}, static_cast<int>(starved->trace.requests.size()));
+    for (size_t i = 0; i < starved->trace.requests.size(); ++i)
+      gen->bind_request(starved->trace.requests[i].seed, static_cast<int>(i),
+                        &starved->clocks[i]);
+    return gen;
+  };
+  starved->registry.add("alpha", make_scripted(), ModelBudget{1});
+  starved->registry.add("beta", make_scripted(), ModelBudget{-1});
+
+  const ReplayReport report =
+      replay(starved->registry, starved->trace, starved->clocks, base_replay_config(2));
+  ASSERT_EQ(report.models.size(), 2u);
+  const ModelReport& alpha = report.models[0];
+  const ModelReport& beta = report.models[1];
+  ASSERT_EQ(alpha.id, "alpha");
+  ASSERT_EQ(beta.id, "beta");
+  EXPECT_GT(alpha.shed, 0u) << "alpha's budget of 1 never bit";
+  EXPECT_EQ(beta.shed, 0u) << "beta is unlimited; alpha's pressure must not leak";
+  EXPECT_GT(beta.ok, 0u);
+  EXPECT_DOUBLE_EQ(beta.shed_rate, 0.0);
+  EXPECT_GT(alpha.shed_rate, 0.0);
+}
+
+TEST(ServeReplay, QueueWaitCountsAgainstTheDeadline) {
+  TraceConfig tcfg = base_trace_config();
+  tcfg.model_ids = {"solo"};
+  tcfg.num_requests = 100;
+  tcfg.rate_hz = 1000.0;  // arrivals far outpace one 20ms-per-request worker
+  tcfg.deadline_ms = 60;
+  auto h = make_harness(tcfg, /*window_cost_ms=*/5, /*budget=*/-1);
+  ReplayConfig rcfg = base_replay_config(2);
+  rcfg.sim_workers = 1;
+
+  const ReplayReport report = replay(h->registry, h->trace, h->clocks, rcfg);
+  uint64_t deadline_failures = 0;
+  for (const RequestOutcome& o : report.outcomes)
+    if (o.outcome == Outcome::kError && o.code == ServeErrorCode::kDeadlineExceeded)
+      ++deadline_failures;
+  EXPECT_GT(deadline_failures, 0u)
+      << "queued requests must inherit their queue wait as spent deadline budget";
+  // Latency reflects the virtual queue, not just service time.
+  int64_t max_latency = 0;
+  for (const RequestOutcome& o : report.outcomes)
+    if (o.outcome != Outcome::kShed) max_latency = std::max(max_latency, o.latency_ms);
+  EXPECT_GT(max_latency, 20);  // 4 windows * 5ms = pure service time
+}
+
+TEST(ServeReplay, RegistryStatsReconcileWithTheReport) {
+  const TraceConfig tcfg = base_trace_config();
+  auto h = make_harness(tcfg, /*window_cost_ms=*/5, /*budget=*/3);
+  const ReplayReport report = replay(h->registry, h->trace, h->clocks, base_replay_config(2));
+
+  uint64_t total = 0;
+  for (const ModelReport& m : report.models) {
+    const ModelStats stats = h->registry.stats(m.id);
+    EXPECT_EQ(stats.ok, m.ok) << m.id;
+    EXPECT_EQ(stats.degraded, m.degraded) << m.id;
+    EXPECT_EQ(stats.failed, m.failed) << m.id;
+    EXPECT_EQ(stats.shed, m.shed) << m.id;
+    EXPECT_EQ(stats.total(), m.requests) << m.id;
+    EXPECT_EQ(m.ok + m.degraded + m.failed + m.shed, m.requests) << m.id;
+    total += m.requests;
+  }
+  EXPECT_EQ(total, h->trace.requests.size());
+}
+
+TEST(ServeReplay, MalformedCallsThrow) {
+  const TraceConfig tcfg = base_trace_config();
+  auto h = make_harness(tcfg, 5, -1);
+
+  std::vector<runtime::ManualClock> short_clocks(h->trace.requests.size() - 1);
+  EXPECT_THROW(replay(h->registry, h->trace, short_clocks, base_replay_config(1)),
+               std::invalid_argument);
+
+  Trace unsorted = h->trace;
+  std::swap(unsorted.requests.front().arrival_ms, unsorted.requests.back().arrival_ms);
+  EXPECT_THROW(replay(h->registry, unsorted, h->clocks, base_replay_config(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gendt::serve

@@ -4,10 +4,11 @@
 # per-sanitizer build dir and run the matching ctest labels under it.
 # Defaults to the runtime + nn + serialize + serve + gen-parity subset (code
 # that shares state across threads, the checkpoint fault-injection corpus,
-# the serving engine's chaos sweep, and the inference fast path's
-# bitwise-parity suite — the latter two run multi-worker batches whose
-# determinism claim is only credible with TSan watching) — pass a label
-# regex to vet anything else, e.g.:
+# the serving engine's chaos sweep plus the registry/router and trace-replay
+# suites ("serve" also matches the hyphenated serve-replay label), and the
+# inference fast path's bitwise-parity suite — these run multi-worker
+# batches whose determinism claim is only credible with TSan watching) —
+# pass a label regex to vet anything else, e.g.:
 #
 #   tools/check.sh lint                   # unified static analysis
 #                                         # (gendt_lint.py self-test + all

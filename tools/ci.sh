@@ -81,6 +81,17 @@ if [ "$BENCH" -eq 1 ]; then
     --benchmark_filter='BM_Matmul|BM_LstmStep|BM_GenDTWindowGeneration|BM_Affine2Simd|BM_CkptModelLoad|BM_PackedModelLoad' \
     --benchmark_out="$BENCH_JSON" --benchmark_out_format=json
   python3 "$ROOT/tools/bench_compare.py" "$ROOT/BENCH_micro_perf.json" "$BENCH_JSON"
+
+  # Serving-layer load gate: replay the canonical 10^5-request scripted
+  # trace against the model registry and compare p50/p99 latency + shed
+  # rate per model with the committed baseline. The replay runs on virtual
+  # time, so the numbers are exact — any drift is a behavior change in the
+  # serve layer, not machine noise.
+  step bench "trace-replay serve gate (BENCH_serve_replay.json)"
+  REPLAY_JSON="$BUILD_DIR/bench_serve_replay.json"
+  "$BUILD_DIR/tools/gendt" replay --scripted 2 --requests 100000 --rate-hz 1000 \
+    --deadline-ms 44 --budget 48 --swap-at 30000 --seed 1 --out "$REPLAY_JSON"
+  python3 "$ROOT/tools/bench_compare.py" "$ROOT/BENCH_serve_replay.json" "$REPLAY_JSON"
 fi
 
 if [ "$FAST" -eq 1 ]; then

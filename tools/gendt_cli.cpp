@@ -29,16 +29,30 @@
 //       (trainer state is dropped — a pack is an inference artifact).
 //       generate and serve accept either format and detect it by magic.
 //
-//   gendt serve --requests FILE --model MODEL.ckpt --out DIR
-//               [--deadline-ms N] [--max-queue N] [--shed] [--threads N]
-//               [--dataset a|b] [--seed N]
-//       Batch-serve generation requests through the fault-tolerant
-//       GenerationEngine: bounded admission, per-request deadlines,
+//   gendt serve --requests FILE (--model MODEL.ckpt | --models id=PATH,...)
+//               --out DIR [--deadline-ms N] [--max-queue N] [--shed]
+//               [--model-budget N] [--threads N] [--dataset a|b] [--seed N]
+//       Batch-serve generation requests through the fault-tolerant serving
+//       stack: a ModelRegistry of named models routed by request model id,
+//       bounded admission with per-model budgets, per-request deadlines,
 //       retry-with-backoff, and graceful degradation to an FDaS fallback.
 //       FILE lists one request per line: `trajectory.csv [gen-seed]
-//       [deadline-ms]` ('#' starts a comment). Exits non-zero iff any
-//       request ends in a structured error (degraded responses are
-//       successes — that is the point of the fallback).
+//       [deadline-ms] [model-id]` ('#' starts a comment; the model id
+//       defaults to the first --models entry). Exits non-zero iff any
+//       request ends in a structured error or was shed (degraded responses
+//       are successes — that is the point of the fallback).
+//
+//   gendt replay --out BENCH.json (--scripted N | --models id=PATH,...)
+//               [--requests N] [--rate-hz R] [--seed N] [--deadline-ms N]
+//               [--sim-workers W] [--budget B] [--threads T] [--swap-at MS]
+//       Trace-replay load harness: generate a request trace (synthetic
+//       windows against N scripted models, or simulated user trajectories
+//       against real checkpoints), replay it against the model registry on
+//       virtual time, and write per-model p50/p99 latency + shed rate as
+//       google-benchmark JSON (tools/bench_compare.py format). Outcomes are
+//       bitwise deterministic at any --threads value and any --swap-at
+//       timing; --swap-at hot-swaps the first model to identically-loaded
+//       weights mid-replay to prove it.
 //
 // The world (cells + environment context) is reconstructed from
 // --dataset/--seed; operators with real data would adapt sim::World to
@@ -63,6 +77,10 @@
 #include "gendt/nn/pack.h"
 #include "gendt/nn/simd.h"
 #include "gendt/serve/engine.h"
+#include "gendt/serve/fault.h"
+#include "gendt/serve/registry.h"
+#include "gendt/serve/replay.h"
+#include "gendt/serve/router.h"
 #include "gendt/sim/dataset.h"
 
 using namespace gendt;
@@ -108,8 +126,12 @@ const std::map<std::string, std::set<std::string>>& command_options() {
       {"eval", {"real", "generated"}},
       {"pack", {"in", "out"}},
       {"serve",
-       {"requests", "model", "out", "dataset", "seed", "train-s", "deadline-ms", "max-queue",
-        "shed", "threads", "batch-max"}},
+       {"requests", "model", "models", "model-budget", "out", "dataset", "seed", "train-s",
+        "deadline-ms", "max-queue", "shed", "threads", "batch-max"}},
+      {"replay",
+       {"out", "scripted", "models", "requests", "rate-hz", "seed", "deadline-ms",
+        "sim-workers", "budget", "threads", "window-cost-ms", "windows", "window-len",
+        "swap-at", "duration-s", "dataset", "train-s"}},
   };
   return kOptions;
 }
@@ -130,7 +152,7 @@ Args parse(int argc, char** argv) {
   if (cmd == command_options().end()) {
     std::fprintf(stderr,
                  "error: unknown command '%s' (expected simulate, train, generate, eval, "
-                 "pack, or serve; see 'gendt --help')\n",
+                 "pack, serve, or replay; see 'gendt --help')\n",
                  a.command.c_str());
     std::exit(2);
   }
@@ -167,7 +189,7 @@ Args parse(int argc, char** argv) {
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: gendt <simulate|train|generate|eval|pack|serve> [options]\n"
+               "usage: gendt <simulate|train|generate|eval|pack|serve|replay> [options]\n"
                "  simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]\n"
                "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
                " [--threads N] [--resume] [--record FILE]...\n"
@@ -175,16 +197,23 @@ void print_usage(std::FILE* to) {
                " [--dataset a|b] [--seed N] [--gen-seed N] [--threads N] [--fast|--reference]\n"
                "  eval     --real FILE.csv --generated FILE.csv\n"
                "  pack     --in MODEL.ckpt --out MODEL.gdtpack\n"
-               "  serve    --requests FILE --model MODEL.ckpt --out DIR [--deadline-ms N]"
-               " [--max-queue N] [--shed] [--threads N] [--batch-max N] [--dataset a|b]"
-               " [--seed N]\n"
+               "  serve    --requests FILE (--model MODEL.ckpt | --models id=PATH,...)"
+               " --out DIR [--deadline-ms N] [--max-queue N] [--shed] [--model-budget N]"
+               " [--threads N] [--batch-max N] [--dataset a|b] [--seed N]\n"
+               "  replay   --out BENCH.json (--scripted N | --models id=PATH,...)"
+               " [--requests N] [--rate-hz R] [--seed N] [--deadline-ms N] [--sim-workers W]"
+               " [--budget B] [--threads T] [--swap-at MS]\n"
                "--threads N sets the worker-thread count (0 = all hardware threads,\n"
                "1 = serial). Results are bitwise identical at every setting.\n"
                "train writes an atomic checkpoint after every epoch; --resume\n"
                "continues a killed run bit-for-bit from the last epoch boundary.\n"
                "serve reads one request per line from --requests ('trajectory.csv\n"
-               "[gen-seed] [deadline-ms]'), enforces deadlines cooperatively, and\n"
+               "[gen-seed] [deadline-ms] [model-id]'), routes by model id through a\n"
+               "multi-model registry (--models id=PATH,... with per-model\n"
+               "--model-budget admission), enforces deadlines cooperatively, and\n"
                "degrades to an FDaS fallback instead of failing when it can.\n"
+               "replay load-tests the registry on virtual time and writes per-model\n"
+               "p50/p99 latency + shed rate as bench_compare.py-compatible JSON.\n"
                "generate runs the tape-free fast path by default; --reference runs\n"
                "the autograd graph instead — outputs are bitwise identical.\n"
                "serve --batch-max N lets each worker drain up to N queued requests\n"
@@ -628,11 +657,13 @@ int cmd_version() {
   return 0;
 }
 
-// One line of a --requests file: `trajectory.csv [gen-seed] [deadline-ms]`.
+// One line of a --requests file:
+// `trajectory.csv [gen-seed] [deadline-ms] [model-id]`.
 struct ServeRequestSpec {
   std::string trajectory;
   uint64_t gen_seed = 1;
   int64_t deadline_ms = -1;  // -1 inherits --deadline-ms
+  std::string model_id;      // empty routes to the first loaded model
 };
 
 bool parse_requests_file(const std::string& path, std::vector<ServeRequestSpec>& out) {
@@ -664,10 +695,11 @@ bool parse_requests_file(const std::string& path, std::vector<ServeRequestSpec>&
       }
     } catch (const std::exception&) {
       std::fprintf(stderr, "error: %s:%d: malformed field '%s' (expected: trajectory.csv"
-                   " [gen-seed] [deadline-ms])\n",
+                   " [gen-seed] [deadline-ms] [model-id])\n",
                    path.c_str(), lineno, token.c_str());
       return false;
     }
+    if (fields >> token) spec.model_id = token;
     if (fields >> token) {
       std::fprintf(stderr, "error: %s:%d: trailing field '%s'\n", path.c_str(), lineno,
                    token.c_str());
@@ -678,29 +710,49 @@ bool parse_requests_file(const std::string& path, std::vector<ServeRequestSpec>&
   return true;
 }
 
-int cmd_serve(const Args& a) {
-  const std::string req_path = a.get("requests");
-  const std::string model_path = a.get("model");
-  const std::string out_dir = a.get("out");
-  if (req_path.empty() || model_path.empty() || out_dir.empty()) return usage();
-
-  std::vector<ServeRequestSpec> specs;
-  if (!parse_requests_file(req_path, specs)) return 1;
-  if (specs.empty()) {
-    std::fprintf(stderr, "error: %s lists no requests\n", req_path.c_str());
-    return 1;
+// Parse --models "id=path[,id=path]..." preserving order (the first entry is
+// the default route for request lines that name no model).
+bool parse_models_flag(const std::string& value,
+                       std::vector<std::pair<std::string, std::string>>& out) {
+  std::stringstream ss(value);
+  std::string entry;
+  while (std::getline(ss, entry, ',')) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      std::fprintf(stderr, "error: --models expects id=path[,id=path]..., got '%s'\n",
+                   entry.c_str());
+      return false;
+    }
+    const std::string id = entry.substr(0, eq);
+    for (const auto& existing : out) {
+      if (existing.first == id) {
+        std::fprintf(stderr, "error: --models lists model id '%s' twice\n", id.c_str());
+        return false;
+      }
+    }
+    out.emplace_back(id, entry.substr(eq + 1));
   }
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --models lists no models\n");
+    return false;
+  }
+  return true;
+}
 
-  sim::Dataset ds = build_dataset(a);
+// Load a GDTCKPT2 checkpoint or GDTPACK1 arena (detected by magic) into a
+// ready GenDTGenerator. A pack maps with kStructural (directory CRC only):
+// serve cold-start is O(page faults), the payload CRC having been verified
+// when `gendt pack` wrote the file. Prints the failure and returns null on
+// error.
+std::unique_ptr<core::GenDTGenerator> load_generator(const std::string& model_path,
+                                                     const sim::Dataset& ds,
+                                                     std::string* format_out) {
   core::GenDTConfig mcfg;
   mcfg.num_channels = static_cast<int>(ds.kpis.size());
   mcfg.hidden = 48;
   // Parallelism lives across requests (engine workers), not inside the model.
   mcfg.parallelism = {.threads = 1};
 
-  // Either model format, detected by magic. A GDTPACK1 arena maps with
-  // kStructural (directory CRC only): serve cold-start is O(page faults),
-  // the payload CRC having been verified when `gendt pack` wrote the file.
   const bool packed = nn::sniff_packed(model_path);
   nn::PackedModel pack;
   nn::Checkpoint ckpt;
@@ -710,91 +762,84 @@ int cmd_serve(const Args& a) {
     if (!r.ok()) {
       std::fprintf(stderr, "error: cannot load %s: %s\n", model_path.c_str(),
                    r.message().c_str());
-      return 1;
+      return nullptr;
     }
     if (!pack.meta().get_f64s("kpi_norm.mean", norm.mean) ||
         !pack.meta().get_f64s("kpi_norm.std", norm.stddev) ||
         norm.mean.size() != ds.kpis.size() || norm.stddev.size() != ds.kpis.size()) {
       std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", model_path.c_str());
-      return 1;
+      return nullptr;
     }
   } else {
     const nn::LoadResult r = nn::read_checkpoint(model_path, ckpt);
     if (!r.ok()) {
       std::fprintf(stderr, "error: cannot load %s: %s\n", model_path.c_str(),
                    r.message().c_str());
-      return 1;
+      return nullptr;
     }
     if (r.version < 2) {
       std::fprintf(stderr,
                    "error: serve requires a GDTCKPT2 checkpoint; %s is v%d (retrain to upgrade)\n",
                    model_path.c_str(), r.version);
-      return 1;
+      return nullptr;
     }
     if (!ckpt.meta.get_f64s("kpi_norm.mean", norm.mean) ||
         !ckpt.meta.get_f64s("kpi_norm.std", norm.stddev) || norm.mean.size() != ds.kpis.size() ||
         norm.stddev.size() != ds.kpis.size()) {
       std::fprintf(stderr, "error: %s has no usable kpi_norm metadata\n", model_path.c_str());
-      return 1;
+      return nullptr;
     }
   }
 
-  core::GenDTGenerator primary(mcfg, core::TrainConfig{}, norm);
-  primary.set_kpis(ds.kpis);
+  auto primary = std::make_unique<core::GenDTGenerator>(mcfg, core::TrainConfig{}, norm);
+  primary->set_kpis(ds.kpis);
   if (packed) {
-    const nn::LoadResult applied = primary.load_packed(std::move(pack));
+    const nn::LoadResult applied = primary->load_packed(std::move(pack));
     if (!applied.ok()) {
       std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n", model_path.c_str(),
                    applied.message().c_str());
-      return 1;
+      return nullptr;
     }
   } else {
-    auto params = primary.model().generator_params();
-    for (auto& p : primary.model().discriminator_params()) params.push_back(p);
+    auto params = primary->model().generator_params();
+    for (auto& p : primary->model().discriminator_params()) params.push_back(p);
     const nn::LoadResult applied = nn::apply_params(params, ckpt, nn::LoadMode::kStrict);
     if (!applied.ok()) {
       std::fprintf(stderr, "error: cannot load %s: %s (config mismatch?)\n", model_path.c_str(),
                    applied.message().c_str());
-      return 1;
+      return nullptr;
     }
   }
-  std::printf("serve: kernels=%s cpu=[%s] model=%s\n",
-              nn::simd::route_name(nn::simd::active_route()),
-              nn::simd::cpu_feature_string().c_str(),
-              packed ? "GDTPACK1 (mmap)" : "GDTCKPT2");
+  if (format_out != nullptr) *format_out = packed ? "GDTPACK1 (mmap)" : "GDTCKPT2";
+  return primary;
+}
 
-  // Graceful-degradation path: FDaS fitted on the simulated campaign — cheap,
-  // unconditionally finite, and honest about being a distribution sample.
-  context::ContextBuilder builder(ds.world, default_context(), norm, ds.kpis);
-  std::vector<context::Window> train_windows;
-  for (const auto& rec : ds.train) {
-    auto w = builder.training_windows(rec);
-    train_windows.insert(train_windows.end(), w.begin(), w.end());
+int cmd_serve(const Args& a) {
+  const std::string req_path = a.get("requests");
+  const std::string model_path = a.get("model");
+  const std::string models_flag = a.get("models");
+  const std::string out_dir = a.get("out");
+  if (req_path.empty() || out_dir.empty() || (model_path.empty() && models_flag.empty()))
+    return usage();
+  if (!model_path.empty() && !models_flag.empty()) {
+    std::fprintf(stderr, "error: --model and --models are mutually exclusive\n");
+    return 2;
   }
-  baselines::FDaS fallback(norm);
-  fallback.fit(train_windows);
 
-  // A spec whose trajectory fails to load keeps an empty window list and
-  // resolves through the engine as a structured invalid-request.
-  std::vector<serve::Request> requests(specs.size());
-  std::vector<std::string> notes(specs.size());
-  std::vector<double> start_t(specs.size(), 0.0), period(specs.size(), 1.0);
-  for (size_t i = 0; i < specs.size(); ++i) {
-    requests[i].seed = specs[i].gen_seed;
-    requests[i].deadline_ms = specs[i].deadline_ms;
-    auto traj = io::read_trajectory_csv(specs[i].trajectory);
-    if (!traj) {
-      notes[i] = io::last_error();
-      continue;
-    }
-    auto windows = builder.generation_windows(*traj);
-    if (windows.empty()) {
-      notes[i] = specs[i].trajectory + ": trajectory too short for one window";
-      continue;
-    }
-    requests[i].windows = std::move(windows);
-    start_t[i] = traj->front().t;
-    period[i] = traj->size() > 1 ? (*traj)[1].t - (*traj)[0].t : 1.0;
+  std::vector<ServeRequestSpec> specs;
+  if (!parse_requests_file(req_path, specs)) return 1;
+  if (specs.empty()) {
+    std::fprintf(stderr, "error: %s lists no requests\n", req_path.c_str());
+    return 1;
+  }
+
+  sim::Dataset ds = build_dataset(a);
+
+  std::vector<std::pair<std::string, std::string>> model_specs;
+  if (!models_flag.empty()) {
+    if (!parse_models_flag(models_flag, model_specs)) return 2;
+  } else {
+    model_specs.emplace_back("default", model_path);
   }
 
   serve::EngineConfig cfg;
@@ -810,26 +855,88 @@ int cmd_serve(const Args& a) {
     return 2;
   }
   cfg.expected_channels = static_cast<int>(ds.kpis.size());
-  serve::GenerationEngine engine(primary, cfg);
-  engine.set_fallback(&fallback);
+
+  // Every model becomes a registry entry with its own warmed session pool
+  // and (optional) per-model admission budget; requests route by model id.
+  const int model_budget = static_cast<int>(a.get_long("model-budget", -1));
+  serve::ModelRegistry registry;
+  context::KpiNorm first_norm;
+  for (size_t m = 0; m < model_specs.size(); ++m) {
+    std::string format;
+    std::unique_ptr<core::GenDTGenerator> gen =
+        load_generator(model_specs[m].second, ds, &format);
+    if (gen == nullptr) return 1;
+    if (m == 0) first_norm = gen->norm();
+    gen->prewarm(static_cast<size_t>(std::max(1, cfg.workers)));
+    std::printf("serve: model '%s' <- %s (%s, budget=%d)\n", model_specs[m].first.c_str(),
+                model_specs[m].second.c_str(), format.c_str(), model_budget);
+    registry.add(model_specs[m].first, std::move(gen), serve::ModelBudget{model_budget});
+  }
+  std::printf("serve: kernels=%s cpu=[%s] models=%zu\n",
+              nn::simd::route_name(nn::simd::active_route()),
+              nn::simd::cpu_feature_string().c_str(), registry.size());
+
+  // Graceful-degradation path: FDaS fitted on the simulated campaign — cheap,
+  // unconditionally finite, and honest about being a distribution sample.
+  // Request windows carry no KPI-normalized targets, so one builder (first
+  // model's norm) serves every model; each model denormalizes with its own.
+  context::ContextBuilder builder(ds.world, default_context(), first_norm, ds.kpis);
+  std::vector<context::Window> train_windows;
+  for (const auto& rec : ds.train) {
+    auto w = builder.training_windows(rec);
+    train_windows.insert(train_windows.end(), w.begin(), w.end());
+  }
+  baselines::FDaS fallback(first_norm);
+  fallback.fit(train_windows);
+
+  // A spec whose trajectory fails to load keeps an empty window list and
+  // resolves through the engine as a structured invalid-request.
+  std::vector<serve::RoutedRequest> routed(specs.size());
+  std::vector<std::string> notes(specs.size());
+  std::vector<double> start_t(specs.size(), 0.0), period(specs.size(), 1.0);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    routed[i].model_id = specs[i].model_id.empty() ? model_specs[0].first : specs[i].model_id;
+    routed[i].request.seed = specs[i].gen_seed;
+    routed[i].request.deadline_ms = specs[i].deadline_ms;
+    auto traj = io::read_trajectory_csv(specs[i].trajectory);
+    if (!traj) {
+      notes[i] = io::last_error();
+      continue;
+    }
+    auto windows = builder.generation_windows(*traj);
+    if (windows.empty()) {
+      notes[i] = specs[i].trajectory + ": trajectory too short for one window";
+      continue;
+    }
+    routed[i].request.windows = std::move(windows);
+    start_t[i] = traj->front().t;
+    period[i] = traj->size() > 1 ? (*traj)[1].t - (*traj)[0].t : 1.0;
+  }
+
+  serve::ModelRouter router(registry, cfg);
+  router.set_fallback(&fallback);
 
   std::filesystem::create_directories(out_dir);
-  const std::vector<serve::Response> responses = engine.serve(requests);
+  const std::vector<serve::Response> responses = router.serve(routed);
 
   std::vector<std::string> names;
   for (auto k : ds.kpis) names.emplace_back(sim::kpi_name(k));
   int errors = 0;
+  uint64_t n_ok = 0, n_degraded = 0, n_failed = 0, n_shed = 0;
   for (size_t i = 0; i < responses.size(); ++i) {
     const serve::Response& resp = responses[i];
-    if (resp.outcome == serve::Outcome::kError) {
+    if (resp.outcome == serve::Outcome::kError || resp.outcome == serve::Outcome::kShed) {
       ++errors;
-      std::fprintf(stderr, "request %zu (%s): error %s: %s%s%s\n", i,
+      resp.outcome == serve::Outcome::kError ? ++n_failed : ++n_shed;
+      std::fprintf(stderr, "request %zu (%s): %s %s: %s%s%s\n", i,
                    specs[i].trajectory.c_str(),
+                   std::string(serve::to_string(resp.outcome)).c_str(),
                    std::string(serve::to_string(resp.error.code)).c_str(),
                    resp.error.message.c_str(), notes[i].empty() ? "" : " — ",
                    notes[i].c_str());
       continue;
     }
+    resp.outcome == serve::Outcome::kOk ? ++n_ok : ++n_degraded;
     const std::string out_path = out_dir + "/response_" + std::to_string(i) + ".csv";
     if (!io::write_series_csv(resp.series, names, out_path, start_t[i], period[i])) {
       std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
@@ -843,15 +950,177 @@ int cmd_serve(const Args& a) {
                     : "",
                 resp.attempts, out_path.c_str());
   }
-  const serve::GenerationEngine::Stats stats = engine.stats();
+  for (const std::string& id : registry.ids()) {
+    const serve::ModelStats ms = registry.stats(id);
+    std::printf("model '%s' (v%llu): %llu routed, %llu ok, %llu degraded, %llu failed, "
+                "%llu shed\n",
+                id.c_str(), static_cast<unsigned long long>(registry.active_version(id)),
+                static_cast<unsigned long long>(ms.total()),
+                static_cast<unsigned long long>(ms.ok),
+                static_cast<unsigned long long>(ms.degraded),
+                static_cast<unsigned long long>(ms.failed),
+                static_cast<unsigned long long>(ms.shed));
+  }
   std::printf("served %zu requests: %llu ok, %llu degraded, %llu failed, %llu shed, "
               "%llu retries\n",
-              specs.size(), static_cast<unsigned long long>(stats.ok),
-              static_cast<unsigned long long>(stats.degraded),
-              static_cast<unsigned long long>(stats.failed),
-              static_cast<unsigned long long>(stats.shed),
-              static_cast<unsigned long long>(stats.retries));
+              specs.size(), static_cast<unsigned long long>(n_ok),
+              static_cast<unsigned long long>(n_degraded),
+              static_cast<unsigned long long>(n_failed),
+              static_cast<unsigned long long>(n_shed),
+              static_cast<unsigned long long>(router.engine().stats().retries));
   return errors == 0 ? 0 : 1;
+}
+
+// Serialize a ReplayReport as google-benchmark JSON (the exact shape
+// tools/bench_compare.py consumes). Pure function of the report — no
+// timestamps, no environment — so identical replays produce identical bytes.
+bool write_replay_bench_json(const serve::ReplayReport& report, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  char buf[64];
+  os << "{\n  \"context\": {\"harness\": \"gendt replay\"},\n  \"benchmarks\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& name, double value) {
+    if (!first) os << ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    os << "    {\"name\": \"" << name << "\", \"run_type\": \"iteration\", "
+       << "\"iterations\": 1, \"real_time\": " << buf << ", \"cpu_time\": " << buf
+       << ", \"time_unit\": \"ms\"}";
+  };
+  for (const serve::ModelReport& m : report.models) {
+    emit("BM_ServeReplay/" + m.id + "/p50_latency_ms", m.p50_latency_ms);
+    emit("BM_ServeReplay/" + m.id + "/p99_latency_ms", m.p99_latency_ms);
+    emit("BM_ServeReplay/" + m.id + "/shed_rate_pct", 100.0 * m.shed_rate);
+  }
+  os << "\n  ]\n}\n";
+  return static_cast<bool>(os);
+}
+
+int cmd_replay(const Args& a) {
+  const std::string out_path = a.get("out");
+  if (out_path.empty()) return usage();
+  const long scripted_n = a.get_long("scripted", 0);
+  const std::string models_flag = a.get("models");
+  if ((scripted_n > 0) == !models_flag.empty()) {
+    std::fprintf(stderr,
+                 "error: replay needs exactly one of --scripted N or --models id=path,...\n");
+    return 2;
+  }
+
+  serve::TraceConfig tcfg;
+  tcfg.num_requests = static_cast<int>(a.get_long("requests", 1000));
+  tcfg.rate_hz = static_cast<double>(a.get_long("rate-hz", 200));
+  tcfg.seed = static_cast<uint64_t>(a.get_long("seed", 1));
+  tcfg.deadline_ms = a.get_long("deadline-ms", -1);
+  tcfg.windows_per_request = static_cast<int>(a.get_long("windows", 4));
+  tcfg.window_len = static_cast<int>(a.get_long("window-len", 10));
+  tcfg.trajectory_duration_s = static_cast<double>(a.get_long("duration-s", 60));
+
+  serve::ReplayConfig rcfg;
+  rcfg.sim_workers = static_cast<int>(a.get_long("sim-workers", 4));
+  rcfg.per_window_cost_ms = a.get_long("window-cost-ms", 1);
+  rcfg.threads = runtime::Parallelism{.threads = static_cast<int>(a.get_long("threads", 0))}
+                     .resolved();
+  const int64_t swap_at = a.get_long("swap-at", -1);
+  const int budget = static_cast<int>(a.get_long("budget", -1));
+
+  serve::ModelRegistry registry;
+  serve::Trace trace;
+  std::vector<serve::SwapScript> swaps;
+  std::unique_ptr<core::TimeSeriesGenerator> fallback;
+
+  if (scripted_n > 0) {
+    // Scripted mode: N synthetic models whose output is a pure function of
+    // (request seed, window, t, channel) and whose virtual per-window cost
+    // matches the scheduler's occupancy model — the cheap, deterministic
+    // load shape the committed BENCH_serve_replay.json is built from.
+    tcfg.model_ids.clear();
+    for (long m = 0; m < scripted_n; ++m)
+      tcfg.model_ids.push_back("scripted" + std::to_string(m));
+    trace = serve::synthetic_trace(tcfg);
+    rcfg.engine.expected_channels = 2;
+    fallback = std::make_unique<serve::ConstantGenerator>(2, 0.0);
+  } else {
+    std::vector<std::pair<std::string, std::string>> model_specs;
+    if (!parse_models_flag(models_flag, model_specs)) return 2;
+    sim::Dataset ds = build_dataset(a);
+    context::KpiNorm first_norm;
+    for (size_t m = 0; m < model_specs.size(); ++m) {
+      std::unique_ptr<core::GenDTGenerator> gen =
+          load_generator(model_specs[m].second, ds, nullptr);
+      if (gen == nullptr) return 1;
+      if (m == 0) first_norm = gen->norm();
+      gen->prewarm(static_cast<size_t>(std::max(1, rcfg.threads)));
+      registry.add(model_specs[m].first, std::move(gen), serve::ModelBudget{budget});
+      tcfg.model_ids = {};
+    }
+    for (const auto& [id, path] : model_specs) tcfg.model_ids.push_back(id);
+    context::ContextBuilder builder(ds.world, default_context(), first_norm, ds.kpis);
+    std::printf("replay: generating %d user trajectories through gendt::sim...\n",
+                tcfg.num_requests);
+    trace = serve::sim_trace(builder, ds.world.region, tcfg);
+    rcfg.engine.expected_channels = static_cast<int>(ds.kpis.size());
+    std::vector<context::Window> train_windows;
+    for (const auto& rec : ds.train) {
+      auto w = builder.training_windows(rec);
+      train_windows.insert(train_windows.end(), w.begin(), w.end());
+    }
+    auto fdas = std::make_unique<baselines::FDaS>(first_norm);
+    fdas->fit(train_windows);
+    fallback = std::move(fdas);
+    if (swap_at >= 0) {
+      // Hot-swap the first model to a fresh load of the same artifact:
+      // identical weights, new arena/session pool — the zero-downtime path.
+      std::unique_ptr<core::GenDTGenerator> next =
+          load_generator(model_specs[0].second, ds, nullptr);
+      if (next == nullptr) return 1;
+      next->prewarm(static_cast<size_t>(std::max(1, rcfg.threads)));
+      swaps.push_back({swap_at, model_specs[0].first, std::move(next)});
+    }
+  }
+
+  // Per-request virtual clocks: allocated before the scripted generators
+  // bind to them (bindings need stable addresses), started by replay().
+  std::vector<runtime::ManualClock> clocks(trace.requests.size());
+  if (scripted_n > 0) {
+    serve::ScriptedGenerator::Config scfg;
+    scfg.num_channels = 2;
+    scfg.window_cost_ms = rcfg.per_window_cost_ms;
+    const auto make_scripted = [&]() {
+      auto gen = std::make_unique<serve::ScriptedGenerator>(
+          scfg, serve::FaultPlan{}, static_cast<int>(trace.requests.size()));
+      for (size_t i = 0; i < trace.requests.size(); ++i)
+        gen->bind_request(trace.requests[i].seed, static_cast<int>(i), &clocks[i]);
+      return gen;
+    };
+    for (const std::string& id : tcfg.model_ids)
+      registry.add(id, make_scripted(), serve::ModelBudget{budget});
+    if (swap_at >= 0)
+      swaps.push_back({swap_at, tcfg.model_ids.front(), make_scripted()});
+  }
+
+  const serve::ReplayReport report =
+      serve::replay(registry, trace, clocks, rcfg, std::move(swaps), fallback.get());
+
+  for (const serve::ModelReport& m : report.models) {
+    std::printf("model '%s': %llu requests, %llu ok, %llu degraded, %llu failed, %llu shed "
+                "| p50=%.0fms p99=%.0fms shed=%.2f%%\n",
+                m.id.c_str(), static_cast<unsigned long long>(m.requests),
+                static_cast<unsigned long long>(m.ok),
+                static_cast<unsigned long long>(m.degraded),
+                static_cast<unsigned long long>(m.failed),
+                static_cast<unsigned long long>(m.shed), m.p50_latency_ms, m.p99_latency_ms,
+                100.0 * m.shed_rate);
+  }
+  std::printf("replay: %zu requests, digest %016llx\n", trace.requests.size(),
+              static_cast<unsigned long long>(report.digest));
+  if (!write_replay_bench_json(report, out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -869,5 +1138,6 @@ int main(int argc, char** argv) {
   if (a.command == "eval") return cmd_eval(a);
   if (a.command == "pack") return cmd_pack(a);
   if (a.command == "serve") return cmd_serve(a);
+  if (a.command == "replay") return cmd_replay(a);
   return usage();  // no command given
 }

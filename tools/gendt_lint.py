@@ -210,7 +210,9 @@ LAYER_DEPS = {
     "io": ("core",),
     "baselines": ("core",),
     "downstream": ("nn", "sim", "metrics", "core", "context"),
-    "serve": ("core",),
+    # serve -> sim is the trace-replay harness generating load from simulated
+    # user trajectories (mirrors src/serve/CMakeLists.txt).
+    "serve": ("core", "sim"),
 }
 
 GENDT_INCLUDE = re.compile(r'#\s*include\s*[<"]gendt/([A-Za-z0-9_]+)/')
