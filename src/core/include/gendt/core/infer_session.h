@@ -24,10 +24,31 @@
 // has nothing to flag here. The pool mutex is never held across run().
 #pragma once
 
+#include <random>
+
 #include "gendt/core/model.h"
 #include "gendt/nn/infer.h"
 
 namespace gendt::core {
+
+/// The cross-window generation state of a windowed rollout: the
+/// autoregressive ResGen tail (last m KPI rows) plus the window-level RNG.
+/// The per-cell and aggregation LSTM h/c states are zeroed at every window
+/// boundary (see run_window), so this struct IS the complete carried state —
+/// copying it snapshots a stream at a chunk boundary, and restoring the copy
+/// replays the remainder bit-for-bit. That is the contract core::StreamSession
+/// builds seam-free RESUME on.
+struct InferStreamState {
+  std::mt19937_64 rng{0};  // placeholder seed; reset() seeds it for real
+  nn::Mat tail;            // [m x nch]; meaningful once have_tail
+  bool have_tail = false;
+
+  /// Rewind to the start-of-stream state for `seed` (what run() uses).
+  void reset(uint64_t seed) {
+    rng.seed(seed);
+    have_tail = false;
+  }
+};
 
 class InferenceSession {
  public:
@@ -39,6 +60,16 @@ class InferenceSession {
   std::vector<WindowSample> run(const std::vector<context::Window>& windows, uint64_t seed,
                                 bool mc_dropout = false,
                                 const runtime::CancelToken* cancel = nullptr);
+
+  /// Incremental run(): generate `windows` continuing from `state`, leaving
+  /// `state` at the boundary after the last produced window. Splitting a
+  /// window list across any number of run_stream calls — with the state
+  /// snapshot/restored anywhere between them — yields exactly the bits of a
+  /// single run() over the whole list (run() is implemented on top of this).
+  /// On cancellation `state` still reflects every window that WAS produced.
+  std::vector<WindowSample> run_stream(const std::vector<context::Window>& windows,
+                                       InferStreamState& state, bool mc_dropout = false,
+                                       const runtime::CancelToken* cancel = nullptr);
 
   /// Total workspace Mat (re)allocations across all internal workspaces.
   /// Constant across repeat run() calls on same-shaped inputs.

@@ -229,6 +229,9 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   /// snapped to their integer grid after denormalization — the paper notes
   /// CQI generation is really a classification over 1..15.
   void set_kpis(std::vector<sim::Kpi> kpis) { kpis_ = std::move(kpis); }
+  /// Channel semantics declared via set_kpis (empty when never declared —
+  /// denormalization then applies no per-KPI snapping).
+  const std::vector<sim::Kpi>& kpis() const { return kpis_; }
 
   std::string name() const override { return "GenDT"; }
   void fit(const std::vector<context::Window>& train_windows) override {

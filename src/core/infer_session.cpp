@@ -21,8 +21,9 @@ namespace {
 // Window-level workspace slots. The MLP trunk uses [kMlpBase, kMlpBase + L]
 // for its hidden activations, so kMlpBase must stay last.
 enum MainSlot : int {
-  kTail = 0,   // [m x nch] autoregressive tail carried across windows
-  kHavg,       // [len x H] pooled node hidden states
+  // (the cross-window autoregressive tail lives in InferStreamState, not in
+  // a workspace slot, so chunk-boundary snapshots are plain struct copies)
+  kHavg = 0,   // [len x H] pooled node hidden states
   kAggH,       // [1 x H]
   kAggC,       // [1 x H]
   kAggX,       // [1 x H] h_avg row fed to the aggregation cell
@@ -66,26 +67,34 @@ size_t InferenceSession::allocations() const {
 std::vector<WindowSample> InferenceSession::run(const std::vector<context::Window>& windows,
                                                 uint64_t seed, bool mc_dropout,
                                                 const runtime::CancelToken* cancel) {
+  InferStreamState state;
+  state.reset(seed);
+  return run_stream(windows, state, mc_dropout, cancel);
+}
+
+std::vector<WindowSample> InferenceSession::run_stream(
+    const std::vector<context::Window>& windows, InferStreamState& state, bool mc_dropout,
+    const runtime::CancelToken* cancel) {
   const GenDTConfig& cfg = model_->config();
   const int m = cfg.resgen_lookback;
   const int nch = cfg.num_channels;
 
-  std::mt19937_64 rng(seed);
+  // The tail lives in the state (not a workspace lease) so a struct copy of
+  // `state` is a complete chunk-boundary snapshot.
+  if (state.tail.rows() != m || state.tail.cols() != nch) state.tail = Mat::zeros(m, nch);
   std::vector<WindowSample> out;
   out.reserve(windows.size());
 
-  Lease tail(ws_, kTail, m, nch);
-  bool have_tail = false;  // mirrors sample_windows' initially-empty tail Mat
   for (const auto& w : windows) {
     runtime::check_cancel(cancel);
     WindowSample s;
-    run_window(w, have_tail ? &tail.mat() : nullptr, rng, mc_dropout, s);
+    run_window(w, state.have_tail ? &state.tail : nullptr, state.rng, mc_dropout, s);
 
     for (int i = 0; i < m; ++i) {
       const int src = std::max(0, w.len - m + i);
-      for (int ch = 0; ch < nch; ++ch) tail.mat()(i, ch) = s.output(src, ch);
+      for (int ch = 0; ch < nch; ++ch) state.tail(i, ch) = s.output(src, ch);
     }
-    have_tail = true;
+    state.have_tail = true;
     out.push_back(std::move(s));
   }
   return out;

@@ -1,0 +1,64 @@
+#include "gendt/core/stream_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gendt/radio/units.h"
+
+namespace gendt::core {
+
+StreamSession::StreamSession(const GenDTModel& model, context::KpiNorm norm,
+                             std::vector<sim::Kpi> kpis, std::vector<context::Window> windows,
+                             uint64_t seed, int chunk_windows)
+    : model_(&model),
+      norm_(std::move(norm)),
+      kpis_(std::move(kpis)),
+      windows_(std::move(windows)),
+      chunk_windows_(std::max(1, chunk_windows)),
+      session_(model) {
+  state_.reset(seed);
+}
+
+GeneratedSeries StreamSession::next_chunk(const runtime::CancelToken* cancel) {
+  const int nch = model_->config().num_channels;
+  GeneratedSeries out;
+  out.channels.assign(static_cast<size_t>(nch), {});
+  if (done()) return out;
+
+  const size_t take =
+      std::min(static_cast<size_t>(chunk_windows_), windows_.size() - next_window_);
+  const std::vector<context::Window> chunk(
+      windows_.begin() + static_cast<long>(next_window_),
+      windows_.begin() + static_cast<long>(next_window_ + take));
+
+  // Roll forward on a copy; commit only on success. A drain/deadline cancel
+  // mid-chunk must leave the session at the pre-chunk boundary so a later
+  // RESUME regenerates the identical chunk.
+  InferStreamState st = state_;
+  const std::vector<WindowSample> samples =
+      session_.run_stream(chunk, st, /*mc_dropout=*/false, cancel);
+
+  // Denormalization replicates GenDTGenerator::generate bit-for-bit: plain
+  // denormalize, plus the CQI integer snap when channel semantics are
+  // declared. With kpis_ empty this is exactly the `gendt generate` loop.
+  for (const auto& s : samples) {
+    for (int t = 0; t < s.output.rows(); ++t) {
+      for (int ch = 0; ch < nch; ++ch) {
+        double v = norm_.denormalize(ch, s.output(t, ch));
+        if (static_cast<size_t>(ch) < kpis_.size() &&
+            kpis_[static_cast<size_t>(ch)] == sim::Kpi::kCqi) {
+          v = std::clamp(std::round(v), static_cast<double>(radio::kCqiMin),
+                         static_cast<double>(radio::kCqiMax));
+        }
+        out.channels[static_cast<size_t>(ch)].push_back(v);
+      }
+    }
+  }
+
+  state_ = std::move(st);
+  next_window_ += take;
+  ++next_chunk_;
+  return out;
+}
+
+}  // namespace gendt::core

@@ -10,9 +10,20 @@ namespace gendt::io {
 
 namespace {
 thread_local std::string g_last_error;
+thread_local size_t g_max_line_bytes = 1u << 20;
 
 void set_error(const std::string& path, int line, const std::string& what) {
   g_last_error = path + ":" + std::to_string(line) + ": " + what;
+}
+
+// Structured column-count check, separate from per-field parse failures: a
+// row with the wrong shape usually means a truncated write or the wrong file
+// kind, and the error should say what was found vs. expected.
+bool check_columns(const std::string& path, int line, size_t got, size_t want) {
+  if (got == want) return true;
+  set_error(path, line, "column count mismatch (got " + std::to_string(got) + ", expected " +
+                            std::to_string(want) + ")");
+  return false;
 }
 
 std::vector<std::string> split_csv(const std::string& line) {
@@ -52,7 +63,8 @@ bool fits(long v) {
          v <= static_cast<long>(std::numeric_limits<Target>::max());
 }
 
-// Reads all non-empty lines; returns false (with error set) on I/O failure.
+// Reads all non-empty lines; returns false (with error set) on I/O failure
+// or on a line longer than max_line_bytes().
 bool read_lines(const std::string& path, std::vector<std::string>& lines) {
   std::ifstream is(path);
   if (!is) {
@@ -60,8 +72,16 @@ bool read_lines(const std::string& path, std::vector<std::string>& lines) {
     return false;
   }
   std::string line;
+  int lineno = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.pop_back();
+    if (line.size() > g_max_line_bytes) {
+      set_error(path, lineno,
+                "line of " + std::to_string(line.size()) + " bytes exceeds the " +
+                    std::to_string(g_max_line_bytes) + "-byte limit");
+      return false;
+    }
     if (!line.empty()) lines.push_back(line);
   }
   return true;
@@ -69,6 +89,14 @@ bool read_lines(const std::string& path, std::vector<std::string>& lines) {
 }  // namespace
 
 const std::string& last_error() { return g_last_error; }
+
+size_t max_line_bytes() { return g_max_line_bytes; }
+
+size_t set_max_line_bytes(size_t bytes) {
+  const size_t prev = g_max_line_bytes;
+  g_max_line_bytes = bytes == 0 ? 1 : bytes;
+  return prev;
+}
 
 // ---- Trajectories ----------------------------------------------------------
 
@@ -92,9 +120,9 @@ std::optional<geo::Trajectory> read_trajectory_csv(const std::string& path) {
   geo::Trajectory out;
   for (size_t i = 1; i < lines.size(); ++i) {
     const auto f = split_csv(lines[i]);
+    if (!check_columns(path, static_cast<int>(i + 1), f.size(), 3)) return std::nullopt;
     double t, lat, lon;
-    if (f.size() != 3 || !parse_double(f[0], t) || !parse_double(f[1], lat) ||
-        !parse_double(f[2], lon)) {
+    if (!parse_double(f[0], t) || !parse_double(f[1], lat) || !parse_double(f[2], lon)) {
       set_error(path, static_cast<int>(i + 1), "malformed trajectory row");
       return std::nullopt;
     }
@@ -132,9 +160,10 @@ std::optional<sim::DriveTestRecord> read_record_csv(const std::string& path) {
   sim::DriveTestRecord rec;
   for (size_t i = 1; i < lines.size(); ++i) {
     const auto f = split_csv(lines[i]);
+    if (!check_columns(path, static_cast<int>(i + 1), f.size(), 10)) return std::nullopt;
     sim::Measurement m;
     long serving, cqi;
-    if (f.size() != 10 || !parse_double(f[0], m.t) || !parse_double(f[1], m.pos.lat) ||
+    if (!parse_double(f[0], m.t) || !parse_double(f[1], m.pos.lat) ||
         !parse_double(f[2], m.pos.lon) || !parse_int(f[3], serving) ||
         !parse_double(f[4], m.rsrp_dbm) || !parse_double(f[5], m.rsrq_db) ||
         !parse_double(f[6], m.sinr_db) || !parse_int(f[7], cqi) ||
@@ -179,9 +208,10 @@ std::optional<radio::CellTable> read_cells_csv(const std::string& path,
   std::vector<radio::Cell> cells;
   for (size_t i = 1; i < lines.size(); ++i) {
     const auto f = split_csv(lines[i]);
+    if (!check_columns(path, static_cast<int>(i + 1), f.size(), 8)) return std::nullopt;
     radio::Cell c;
     long id, n_rb, earfcn;
-    if (f.size() != 8 || !parse_int(f[0], id) || !parse_double(f[1], c.site.lat) ||
+    if (!parse_int(f[0], id) || !parse_double(f[1], c.site.lat) ||
         !parse_double(f[2], c.site.lon) || !parse_double(f[3], c.p_max_dbm) ||
         !parse_double(f[4], c.azimuth_deg) || !parse_double(f[5], c.beamwidth_deg) ||
         !parse_int(f[6], n_rb) || !parse_int(f[7], earfcn)) {
@@ -236,10 +266,7 @@ std::optional<core::GeneratedSeries> read_series_csv(const std::string& path) {
   out.channels.assign(cols - 1, {});
   for (size_t i = 1; i < lines.size(); ++i) {
     const auto f = split_csv(lines[i]);
-    if (f.size() != cols) {
-      set_error(path, static_cast<int>(i + 1), "column count mismatch");
-      return std::nullopt;
-    }
+    if (!check_columns(path, static_cast<int>(i + 1), f.size(), cols)) return std::nullopt;
     for (size_t c = 1; c < cols; ++c) {
       double v;
       if (!parse_double(f[c], v)) {

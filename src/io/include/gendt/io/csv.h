@@ -25,6 +25,15 @@ namespace gendt::io {
 /// Human-readable description of the last parse failure on this thread.
 const std::string& last_error();
 
+/// Maximum accepted length of one CSV line, in bytes (newline excluded).
+/// A longer line fails the whole load with a structured error — a binary or
+/// truncated file should fail fast at the offending line, not feed megabytes
+/// of garbage into the field splitter. Thread-local, like last_error();
+/// default 1 MiB. set_max_line_bytes returns the previous limit (0 clamps
+/// to 1 so the limit can never be disabled by accident).
+size_t max_line_bytes();
+size_t set_max_line_bytes(size_t bytes);
+
 // ---- Trajectories ----------------------------------------------------------
 bool write_trajectory_csv(const geo::Trajectory& trajectory, const std::string& path);
 std::optional<geo::Trajectory> read_trajectory_csv(const std::string& path);

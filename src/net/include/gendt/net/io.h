@@ -1,0 +1,96 @@
+// Portable poll-based I/O primitives for the serving layer.
+//
+// This module owns every raw read/write/recv/send in the tree (enforced by
+// the gendt_lint `rawio` rule): the wrappers here retry EINTR, never raise
+// SIGPIPE (writes go through send(MSG_NOSIGNAL)), and surface partial
+// transfers explicitly, so callers above src/net can reason about short
+// reads/writes without ever touching errno themselves. Depends only on
+// src/runtime (for CancelToken-aware full-transfer loops).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gendt/runtime/cancel.h"
+
+namespace gendt::net {
+
+/// RAII file descriptor. Move-only; closes on destruction (retrying EINTR).
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() { reset(); }
+
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  FdGuard(FdGuard&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      reset(other.fd_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Give up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Close the held fd (if any) and take ownership of `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// One read(2), EINTR retried. Returns bytes read (0 = orderly EOF), or -1
+/// with errno preserved (EAGAIN/EWOULDBLOCK on a drained non-blocking fd).
+long read_some(int fd, void* buf, size_t len);
+
+/// One send/write, EINTR retried, SIGPIPE suppressed (MSG_NOSIGNAL; falls
+/// back to write(2) for non-socket fds). Returns bytes written or -1 with
+/// errno preserved.
+long write_some(int fd, const void* buf, size_t len);
+
+/// Write the whole buffer to a blocking fd, looping over partial writes and
+/// waiting for writability between attempts. False on error, peer close, or
+/// a tripped `cancel` token (checked between attempts).
+bool write_all(int fd, const void* buf, size_t len,
+               const runtime::CancelToken* cancel = nullptr);
+
+/// Read exactly `len` bytes from a blocking fd (same loop discipline as
+/// write_all). False on EOF, error, or cancellation.
+bool read_exact(int fd, void* buf, size_t len, const runtime::CancelToken* cancel = nullptr);
+
+/// O_NONBLOCK on/off. False on fcntl failure.
+bool set_nonblocking(int fd, bool on);
+
+/// poll(2) a single fd for readability. 1 = readable/hup, 0 = timeout or
+/// EINTR (callers treat a signal wake as a tick and re-check their cancel
+/// token), -1 = error.
+int wait_readable(int fd, int timeout_ms);
+
+/// poll(2) a single fd for writability. Same return convention.
+int wait_writable(int fd, int timeout_ms);
+
+/// One entry of a poll_fds() set. `readable`/`writable`/`hangup` are outputs;
+/// hangup also covers POLLERR/POLLNVAL so callers treat it as "close me".
+struct PollItem {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;
+};
+
+/// poll(2) a whole fd set (the event-loop primitive). Returns the number of
+/// entries with any output flag set, 0 on timeout or EINTR, -1 on error.
+int poll_fds(PollItem* items, size_t n, int timeout_ms);
+
+}  // namespace gendt::net

@@ -1,0 +1,31 @@
+// Unix-domain stream sockets for the gendt streaming daemon.
+//
+// The daemon listens on a filesystem socket (local, permission-guarded, no
+// port juggling in tests); clients connect by path. socket_pair() gives the
+// in-process tests a connected fd pair with no filesystem involvement at
+// all — the server adopts one end, the client under test the other.
+#pragma once
+
+#include <string>
+
+#include "gendt/net/io.h"
+
+namespace gendt::net {
+
+/// Bind + listen on a Unix-domain stream socket at `path` (an existing
+/// stale socket file is replaced). Invalid guard + `error` on failure.
+FdGuard unix_listen(const std::string& path, int backlog, std::string* error);
+
+/// Connect to a Unix-domain stream socket. Invalid guard + `error` on
+/// failure (including a daemon that is not up yet).
+FdGuard unix_connect(const std::string& path, std::string* error);
+
+/// Accept one pending connection from a listening fd, EINTR retried.
+/// Invalid guard when nothing is pending (EAGAIN on a non-blocking
+/// listener) or on error.
+FdGuard accept_connection(int listen_fd);
+
+/// A connected AF_UNIX stream pair (both ends blocking). False on failure.
+bool socket_pair(FdGuard& a, FdGuard& b);
+
+}  // namespace gendt::net

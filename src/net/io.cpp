@@ -1,0 +1,124 @@
+#include "gendt/net/io.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <vector>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gendt::net {
+
+void FdGuard::reset(int fd) {
+  if (fd_ >= 0) {
+    int r;
+    do {
+      r = ::close(fd_);
+    } while (r != 0 && errno == EINTR);
+  }
+  fd_ = fd;
+}
+
+long read_some(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno != EINTR) return -1;
+  }
+}
+
+long write_some(int fd, const void* buf, size_t len) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that vanished mid-stream must surface as EPIPE,
+    // not kill the daemon with SIGPIPE.
+    ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, buf, len);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno != EINTR) return -1;
+  }
+}
+
+bool write_all(int fd, const void* buf, size_t len, const runtime::CancelToken* cancel) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    const long n = write_some(fd, p + done, len - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (wait_writable(fd, 100) < 0) return false;
+      continue;
+    }
+    return false;  // 0-byte write or hard error
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* buf, size_t len, const runtime::CancelToken* cancel) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    const long n = read_some(fd, p + done, len - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (wait_readable(fd, 100) < 0) return false;
+      continue;
+    }
+    return false;  // EOF mid-message or hard error
+  }
+  return true;
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+namespace {
+int wait_event(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) return errno == EINTR ? 0 : -1;
+  if (r == 0) return 0;
+  if ((pfd.revents & POLLNVAL) != 0) return -1;
+  return 1;  // readable/writable/HUP/ERR — caller's next read/write resolves it
+}
+}  // namespace
+
+int wait_readable(int fd, int timeout_ms) { return wait_event(fd, POLLIN, timeout_ms); }
+
+int wait_writable(int fd, int timeout_ms) { return wait_event(fd, POLLOUT, timeout_ms); }
+
+int poll_fds(PollItem* items, size_t n, int timeout_ms) {
+  std::vector<struct pollfd> pfds(n);
+  for (size_t i = 0; i < n; ++i) {
+    pfds[i].fd = items[i].fd;
+    pfds[i].events = static_cast<short>((items[i].want_read ? POLLIN : 0) |
+                                        (items[i].want_write ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+  const int r = ::poll(pfds.data(), n, timeout_ms);
+  if (r < 0) return errno == EINTR ? 0 : -1;
+  int ready = 0;
+  for (size_t i = 0; i < n; ++i) {
+    items[i].readable = (pfds[i].revents & POLLIN) != 0;
+    items[i].writable = (pfds[i].revents & POLLOUT) != 0;
+    items[i].hangup = (pfds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    if (items[i].readable || items[i].writable || items[i].hangup) ++ready;
+  }
+  return ready;
+}
+
+}  // namespace gendt::net

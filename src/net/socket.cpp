@@ -1,0 +1,88 @@
+#include "gendt/net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace gendt::net {
+
+namespace {
+
+bool fill_addr(const std::string& path, sockaddr_un& addr, std::string* error) {
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+FdGuard unix_listen(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, addr, error)) return FdGuard();
+  FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = errno_message("socket");
+    return FdGuard();
+  }
+  // A stale socket file from a previous run blocks bind(); remove it. A
+  // live daemon on the same path is indistinguishable here — callers who
+  // care probe with unix_connect first.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = errno_message("bind " + path);
+    return FdGuard();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    if (error != nullptr) *error = errno_message("listen " + path);
+    return FdGuard();
+  }
+  return fd;
+}
+
+FdGuard unix_connect(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, addr, error)) return FdGuard();
+  FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = errno_message("socket");
+    return FdGuard();
+  }
+  int r;
+  do {
+    r = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) {
+    if (error != nullptr) *error = errno_message("connect " + path);
+    return FdGuard();
+  }
+  return fd;
+}
+
+FdGuard accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return FdGuard(fd);
+    if (errno != EINTR) return FdGuard();
+  }
+}
+
+bool socket_pair(FdGuard& a, FdGuard& b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+  a.reset(fds[0]);
+  b.reset(fds[1]);
+  return true;
+}
+
+}  // namespace gendt::net

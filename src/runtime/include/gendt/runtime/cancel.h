@@ -74,10 +74,25 @@ class CancelToken {
     clock_.store(&clock, std::memory_order_release);
   }
 
+  /// Chain this token below `parent`: it reads as cancelled whenever the
+  /// parent does (the parent's reason wins over a local deadline). This is
+  /// the signal-drain bridge's shape — each request keeps its own token (so
+  /// the engine can arm per-request deadlines without cross-talk) while a
+  /// single process-wide drain token fans out to all of them. `parent` must
+  /// outlive the token's last use; nullptr detaches.
+  void set_parent(const CancelToken* parent) {
+    parent_.store(parent, std::memory_order_release);
+  }
+
   bool cancelled() const { return reason() != Reason::kNone; }
 
   Reason reason() const {
     if (flag_.load(std::memory_order_acquire)) return Reason::kCancelled;
+    const CancelToken* parent = parent_.load(std::memory_order_acquire);
+    if (parent != nullptr) {
+      const Reason pr = parent->reason();
+      if (pr != Reason::kNone) return pr;
+    }
     const Clock* clock = clock_.load(std::memory_order_acquire);
     if (clock != nullptr && clock->now_ms() >= deadline_ms_.load(std::memory_order_acquire))
       return Reason::kDeadline;
@@ -98,6 +113,7 @@ class CancelToken {
 
  private:
   std::atomic<bool> flag_{false};
+  std::atomic<const CancelToken*> parent_{nullptr};
   std::atomic<const Clock*> clock_{nullptr};
   std::atomic<int64_t> deadline_ms_{kNoDeadline};
 };

@@ -1,0 +1,42 @@
+// Signal-to-CancelToken bridge: graceful drain on SIGINT/SIGTERM.
+//
+// A process that serves work (batch `gendt serve`, the streaming daemon)
+// must not die mid-request on Ctrl-C: it should stop admitting, finish or
+// deadline-cancel what is in flight, publish final stats, and exit. The
+// only thing a signal handler can safely do towards that is flip an atomic
+// flag — which is exactly what CancelToken::cancel() is — so the bridge is:
+//
+//   SignalDrain::install();                       // once, at startup
+//   per_request_token.set_parent(&SignalDrain::token());
+//
+// Every request keeps its own token (deadlines arm per request, no
+// cross-talk); the process-wide drain token fans out through set_parent.
+// Handlers are installed WITHOUT SA_RESTART, so a signal makes blocking
+// poll/read/accept calls return EINTR — the net layer's wrappers surface
+// that as a timeout tick, and every serve loop re-checks its token at the
+// top of the tick. No self-pipe needed.
+#pragma once
+
+#include "gendt/runtime/cancel.h"
+
+namespace gendt::runtime {
+
+class SignalDrain {
+ public:
+  /// Install SIGINT + SIGTERM handlers that cancel token(). Idempotent;
+  /// returns false if a handler could not be installed.
+  static bool install();
+
+  /// The process-wide drain token. Valid (and quiescent) before install();
+  /// parent per-request tokens to it with CancelToken::set_parent.
+  static const CancelToken& token();
+
+  /// Trip the drain token as if a signal had arrived — the hook tests and
+  /// in-process drains use instead of raise().
+  static void trigger();
+
+  /// True once a drain signal (or trigger()) has been observed.
+  static bool draining();
+};
+
+}  // namespace gendt::runtime

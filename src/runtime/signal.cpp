@@ -1,0 +1,44 @@
+#include "gendt/runtime/signal.h"
+
+#include <csignal>
+
+namespace gendt::runtime {
+
+namespace {
+
+// The drain token is a function-local static so it is constructed before
+// first use regardless of translation-unit init order; CancelToken is all
+// atomics, so cancel() from a signal handler is async-signal-safe
+// (lock-free atomic store, no allocation, no locks).
+CancelToken& drain_token() {
+  static CancelToken token;
+  return token;
+}
+
+std::sig_atomic_t g_installed = 0;
+
+extern "C" void gendt_drain_handler(int /*signum*/) { drain_token().cancel(); }
+
+}  // namespace
+
+bool SignalDrain::install() {
+  if (g_installed != 0) return true;
+  struct sigaction sa = {};
+  sa.sa_handler = &gendt_drain_handler;
+  sigemptyset(&sa.sa_mask);
+  // Deliberately no SA_RESTART: blocking poll/accept/read must come back
+  // with EINTR so serve loops reach their token check promptly.
+  sa.sa_flags = 0;
+  if (sigaction(SIGINT, &sa, nullptr) != 0) return false;
+  if (sigaction(SIGTERM, &sa, nullptr) != 0) return false;
+  g_installed = 1;
+  return true;
+}
+
+const CancelToken& SignalDrain::token() { return drain_token(); }
+
+void SignalDrain::trigger() { drain_token().cancel(); }
+
+bool SignalDrain::draining() { return drain_token().cancelled(); }
+
+}  // namespace gendt::runtime

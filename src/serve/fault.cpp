@@ -46,6 +46,12 @@ FaultPlan FaultPlan::random(uint64_t seed, int num_requests, int windows_per_req
   return plan;
 }
 
+const StreamFault* StreamScript::at(int session, uint64_t chunk) const {
+  for (const auto& f : faults_)
+    if (f.session == session && f.chunk == chunk) return &f;
+  return nullptr;
+}
+
 ScriptedGenerator::ScriptedGenerator(Config cfg, FaultPlan plan, int num_requests)
     : cfg_(cfg), plan_(std::move(plan)), attempts_(static_cast<size_t>(num_requests)) {
   for (auto& a : attempts_) a.store(0, std::memory_order_relaxed);

@@ -64,6 +64,47 @@ class FaultPlan {
   std::vector<Fault> faults_;
 };
 
+/// A client-side chaos action for the streaming service, keyed by
+/// (session index, chunk index). Where FaultPlan misbehaves the *model*,
+/// a StreamScript misbehaves the *client*: stream_chaos_test's scripted
+/// clients consult it after every chunk and act it out — so mid-chunk
+/// disconnects, stalled readers (withheld ACKs / backpressure), heartbeat
+/// loss, and kill-and-resume are all a fixed, replayable schedule rather
+/// than timing accidents.
+struct StreamFault {
+  enum class Kind : uint8_t {
+    /// Drop the connection after *receiving* chunk `chunk` without ACKing
+    /// it — the server sees a mid-chunk disconnect (sent, never ACKed).
+    kDisconnect,
+    /// Withhold the ACK for chunk `chunk` for `stall_ms` of virtual time —
+    /// the stalled-reader/backpressure path (one-chunk-in-flight means the
+    /// server must not generate ahead while the ACK is outstanding).
+    kStallAck,
+    /// Stop heartbeating after chunk `chunk` and go silent — drives the
+    /// server's idle-timeout detach.
+    kDropHeartbeat,
+    /// Kill the connection after ACKing chunk `chunk`, then RESUME on a
+    /// fresh connection — the seam-free resume path.
+    kKillResume,
+  };
+  Kind kind = Kind::kDisconnect;
+  int session = 0;     ///< scripted-client index the fault targets
+  uint64_t chunk = 0;  ///< chunk index the action triggers on
+  int64_t stall_ms = 0;  ///< kStallAck only
+};
+
+/// Ordered collection of StreamFaults; at() returns the first fault
+/// registered for a (session, chunk) slot, or nullptr.
+class StreamScript {
+ public:
+  void add(const StreamFault& fault) { faults_.push_back(fault); }
+  const std::vector<StreamFault>& faults() const { return faults_; }
+  const StreamFault* at(int session, uint64_t chunk) const;
+
+ private:
+  std::vector<StreamFault> faults_;
+};
+
 /// Synthetic generator for chaos/serve tests: deterministic output, faults
 /// from a FaultPlan, virtual per-request time. Concurrent generate() calls
 /// for different requests are independent; all shared state is either

@@ -1,0 +1,76 @@
+// Blocking GDTSTRM1 client: the consumer side of the streaming protocol,
+// used by the `gendt stream-client` subcommand and by the stream tests'
+// scripted clients. One connection, one session; resuming after a kill means
+// constructing a fresh client and calling resume() with the saved session
+// credentials.
+//
+// All receives run the same transactional FrameDecoder as the server, so a
+// malformed server (or a fuzzer) can never leave the client with a torn
+// message — it surfaces as Status::kProtocol and the connection is dropped.
+#pragma once
+
+#include <string>
+
+#include "gendt/net/io.h"
+#include "gendt/serve/stream/frame.h"
+
+namespace gendt::serve::stream {
+
+class StreamClient {
+ public:
+  struct Options {
+    /// Budget for one blocking receive (a whole frame must arrive in it).
+    int recv_timeout_ms = 30'000;
+    size_t max_frame_bytes = 64u << 20;
+  };
+
+  enum class Status {
+    kOk,        ///< expected frame received
+    kError,     ///< server sent an ERROR frame (see last_error())
+    kClosed,    ///< connection closed / EOF
+    kTimeout,   ///< recv_timeout_ms elapsed without a complete frame
+    kProtocol,  ///< malformed frame or unexpected type from the server
+  };
+
+  StreamClient() : StreamClient(Options()) {}
+  explicit StreamClient(Options opts) : opts_(opts), decoder_(opts.max_frame_bytes) {}
+
+  bool connect_unix(const std::string& path, std::string* error);
+  /// Adopt an already-connected fd (e.g. one end of net::socket_pair).
+  void adopt(net::FdGuard fd) { fd_ = std::move(fd); }
+  bool connected() const { return fd_.valid(); }
+
+  /// OPEN handshake: returns kOk with `ack` filled, or the failure class.
+  Status open(const OpenRequest& req, OpenAck* ack);
+
+  /// RESUME handshake on a fresh connection.
+  Status resume(const ResumeRequest& req, ResumeAck* ack);
+
+  /// Receive the next CHUNK (heartbeat replies are consumed transparently).
+  /// `last` reports the kFlagLast bit. Does NOT auto-ACK — call ack() once
+  /// the chunk is durably held, which is what gives resume its cursor.
+  Status recv_chunk(ChunkMsg* out, bool* last);
+
+  bool ack(uint64_t chunk_index);
+  bool heartbeat();  // fire-and-forget; the reply is consumed by recv_chunk
+
+  /// CLOSE handshake; returns kOk with the server's final session stats.
+  Status close_session(CloseStats* out);
+
+  /// Hard-drop the connection without CLOSE — the chaos tests' kill switch.
+  void kill() { fd_.reset(); }
+
+  /// The last ERROR frame received (valid after a kError status).
+  const ErrorMsg& last_error() const { return server_error_; }
+
+ private:
+  Status recv_frame(Frame& out);
+  bool send_frame(FrameType type, uint8_t flags, const std::vector<uint8_t>& body);
+
+  Options opts_;
+  net::FdGuard fd_;
+  FrameDecoder decoder_;
+  ErrorMsg server_error_;
+};
+
+}  // namespace gendt::serve::stream

@@ -1,0 +1,258 @@
+// GDTSTRM1: the length-prefixed, CRC-framed wire protocol of the streaming
+// generation service.
+//
+// Frame layout (all integers little-endian):
+//
+//   [u32 body_len][u8 type][u8 flags][body: body_len bytes][u32 crc]
+//
+// where crc is CRC-32 (IEEE 802.3) over type ++ flags ++ body. body_len is
+// bounded by the decoder's max_body (oversized lengths are rejected from
+// the 4 header bytes alone, before any allocation). KPI values travel as
+// raw IEEE-754 bit patterns (u64), so a streamed series is byte-exact —
+// the resume/parity tests compare bits, not decimal renderings.
+//
+// Frame types and their bodies (strings are u32 length + bytes):
+//
+//   OPEN       c->s  magic "GDTSTRM1", model_id, u64 seed, u32 chunk_windows,
+//                    u32 n_points, n_points x (f64 t, f64 lat, f64 lon)
+//   OPEN|R     s->c  session_id, u64 resume_token, u32 chunk_windows,
+//                    u32 total_windows, u32 num_channels, channel names,
+//                    f64 t0, f64 period_s
+//   CHUNK      s->c  u64 chunk_index, u32 first_window, u32 num_windows,
+//                    u32 num_points, u32 num_channels,
+//                    num_points*num_channels x f64 (row-major); flag LAST on
+//                    the final chunk of the stream
+//   ACK        c->s  u64 chunk_index (cumulative: all chunks <= index held)
+//   HEARTBEAT  c->s  empty; server replies HEARTBEAT|R (empty) and refreshes
+//                    the connection's idle clock
+//   RESUME     c->s  magic "GDTSTRM1", session_id, u64 resume_token,
+//                    u64 chunks_have
+//   RESUME|R   s->c  u64 next_chunk_index, u32 total_windows
+//   CLOSE      c->s  empty; server replies CLOSE|R with final session stats
+//   CLOSE|R    s->c  u64 chunks_sent, u64 points_sent
+//   ERROR      s->c  u8 code, message — the closed error taxonomy below;
+//                    always followed by connection close when terminal
+//
+// The decoder is transactional: bytes are consumed only when a complete,
+// CRC-valid frame is extracted; anything malformed poisons the decoder with
+// a sticky error and never yields a partial frame. stream_frame_test runs
+// the same corpus discipline as nn_serialize_test over it: truncation at
+// every byte offset, a full bit-flip sweep, oversized length fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gendt/serve/error.h"
+
+namespace gendt::serve::stream {
+
+inline constexpr char kMagic[8] = {'G', 'D', 'T', 'S', 'T', 'R', 'M', '1'};
+inline constexpr size_t kMagicLen = 8;
+inline constexpr size_t kHeaderLen = 6;   // u32 body_len + u8 type + u8 flags
+inline constexpr size_t kTrailerLen = 4;  // u32 crc
+
+enum class FrameType : uint8_t {
+  kOpen = 1,
+  kChunk = 2,
+  kAck = 3,
+  kHeartbeat = 4,
+  kResume = 5,
+  kClose = 6,
+  kError = 7,
+};
+
+/// Frame flags (bitmask).
+inline constexpr uint8_t kFlagReply = 0x1;  // server response to a client frame
+inline constexpr uint8_t kFlagLast = 0x2;   // CHUNK: final chunk of the stream
+
+/// Closed error taxonomy of the ERROR frame. The first six values mirror
+/// ServeErrorCode one-to-one (same semantics, same retryability story); the
+/// rest are protocol-level conditions that have no batch-engine equivalent.
+enum class StreamErrorCode : uint8_t {
+  kNone = 0,
+  kInvalidRequest = 1,
+  kOverloaded = 2,
+  kDeadlineExceeded = 3,
+  kModelFailure = 4,
+  kCancelled = 5,
+  kBadFrame = 6,        ///< CRC mismatch / unknown type / malformed body
+  kUnknownSession = 7,  ///< RESUME for a session the server no longer holds
+  kBadResumeToken = 8,  ///< RESUME with the wrong token or chunk cursor
+  kServerDraining = 9,  ///< admission or stream cut short by graceful drain
+};
+
+std::string_view to_string(StreamErrorCode code);
+StreamErrorCode from_serve_error(ServeErrorCode code);
+
+/// CRC-32 (IEEE 802.3), the same polynomial as the GDTCKPT2/GDTPACK1
+/// footers (kept local: serve cannot reach nn's private crc32.h without a
+/// layering hole, and the table is 20 lines).
+uint32_t crc32(const uint8_t* data, size_t n);
+
+// ---- Wire primitives -------------------------------------------------------
+
+/// Little-endian append-only encoder.
+class WireWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  /// IEEE-754 bit pattern as u64 — bitwise-exact round trip.
+  void f64(double v);
+  void str(const std::string& s);
+  void raw(const uint8_t* data, size_t n) { buf_.insert(buf_.end(), data, data + n); }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader. Every getter returns false (and
+/// poisons the reader) on underrun; `ok()` must be checked after a decode.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t n) : data_(data), len_(n) {}
+
+  bool u8(uint8_t& v);
+  bool u32(uint32_t& v);
+  bool u64(uint64_t& v);
+  bool f64(double& v);
+  /// String with a sanity cap: a length field larger than the remaining
+  /// bytes (or `max_len`) is malformed, not a huge allocation.
+  bool str(std::string& s, size_t max_len = 1 << 20);
+  bool ok() const { return ok_; }
+  size_t remaining() const { return len_ - pos_; }
+  /// True when the whole body was consumed (trailing garbage is malformed).
+  bool exhausted() const { return ok_ && pos_ == len_; }
+
+ private:
+  bool take(size_t n, const uint8_t*& p);
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Frames ----------------------------------------------------------------
+
+struct Frame {
+  uint8_t type = 0;
+  uint8_t flags = 0;
+  std::vector<uint8_t> body;
+
+  bool is(FrameType t) const { return type == static_cast<uint8_t>(t); }
+  bool reply() const { return (flags & kFlagReply) != 0; }
+  bool last() const { return (flags & kFlagLast) != 0; }
+};
+
+/// Encode one frame (header + body + CRC trailer), ready to write.
+std::vector<uint8_t> encode_frame(FrameType type, uint8_t flags,
+                                  const std::vector<uint8_t>& body);
+
+/// Transactional incremental decoder. feed() appends raw bytes; next()
+/// extracts at most one complete frame per call. Once an error is reported
+/// the decoder is poisoned — the connection must be failed, because frame
+/// boundaries are unrecoverable after corruption.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_body) : max_body_(max_body) {}
+
+  enum class Status { kNeedMore, kFrame, kError };
+
+  void feed(const uint8_t* data, size_t n);
+  Status next(Frame& out, std::string* error);
+
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  size_t max_body_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // compacted lazily
+  bool poisoned_ = false;
+  std::string poison_;
+};
+
+// ---- Message bodies --------------------------------------------------------
+
+struct TrajectoryPoint {
+  double t = 0.0;
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+struct OpenRequest {
+  std::string model_id;  // empty = server default
+  uint64_t seed = 1;
+  uint32_t chunk_windows = 0;  // 0 = server default; server clamps
+  std::vector<TrajectoryPoint> points;
+};
+
+struct OpenAck {
+  std::string session_id;
+  uint64_t resume_token = 0;
+  uint32_t chunk_windows = 0;
+  uint32_t total_windows = 0;
+  std::vector<std::string> channel_names;
+  double t0 = 0.0;
+  double period_s = 1.0;
+};
+
+struct ChunkMsg {
+  uint64_t index = 0;
+  uint32_t first_window = 0;
+  uint32_t num_windows = 0;
+  uint32_t num_points = 0;
+  uint32_t num_channels = 0;
+  std::vector<double> values;  // row-major [num_points x num_channels]
+};
+
+struct AckMsg {
+  uint64_t chunk_index = 0;
+};
+
+struct ResumeRequest {
+  std::string session_id;
+  uint64_t resume_token = 0;
+  uint64_t chunks_have = 0;
+};
+
+struct ResumeAck {
+  uint64_t next_chunk_index = 0;
+  uint32_t total_windows = 0;
+};
+
+struct CloseStats {
+  uint64_t chunks_sent = 0;
+  uint64_t points_sent = 0;
+};
+
+struct ErrorMsg {
+  StreamErrorCode code = StreamErrorCode::kNone;
+  std::string message;
+};
+
+// Body encoders/decoders. Decoders validate shape (magic, counts, value
+// payload sizes, full consumption) and return false on anything malformed;
+// `max_points` bounds the trajectory / chunk allocations.
+std::vector<uint8_t> encode_open(const OpenRequest& m);
+bool decode_open(const std::vector<uint8_t>& body, OpenRequest& m, uint32_t max_points);
+std::vector<uint8_t> encode_open_ack(const OpenAck& m);
+bool decode_open_ack(const std::vector<uint8_t>& body, OpenAck& m);
+std::vector<uint8_t> encode_chunk(const ChunkMsg& m);
+bool decode_chunk(const std::vector<uint8_t>& body, ChunkMsg& m, uint32_t max_points);
+std::vector<uint8_t> encode_ack(const AckMsg& m);
+bool decode_ack(const std::vector<uint8_t>& body, AckMsg& m);
+std::vector<uint8_t> encode_resume(const ResumeRequest& m);
+bool decode_resume(const std::vector<uint8_t>& body, ResumeRequest& m);
+std::vector<uint8_t> encode_resume_ack(const ResumeAck& m);
+bool decode_resume_ack(const std::vector<uint8_t>& body, ResumeAck& m);
+std::vector<uint8_t> encode_close_stats(const CloseStats& m);
+bool decode_close_stats(const std::vector<uint8_t>& body, CloseStats& m);
+std::vector<uint8_t> encode_error(const ErrorMsg& m);
+bool decode_error(const std::vector<uint8_t>& body, ErrorMsg& m);
+
+}  // namespace gendt::serve::stream

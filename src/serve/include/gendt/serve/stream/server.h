@@ -1,0 +1,240 @@
+// StreamServer: the fault-tolerant streaming generation daemon.
+//
+// One event-loop thread owns all connections and sessions; poll_once() is a
+// single steppable tick (poll fds -> accept -> read/dispatch frames -> apply
+// timeouts/drain -> fan out ready chunk generations -> flush outboxes), and
+// run() just loops it. Tests drive poll_once directly (or run() on a thread)
+// against socketpair ends adopted with adopt().
+//
+// Invariants the tests pin:
+//  * One chunk in flight per session: the next chunk is not generated until
+//    the previous one is ACKed, so a stalled reader exerts backpressure and
+//    per-session memory is bounded by one chunk + one outbox.
+//  * Seam-free resume: after every ACK the session's ChunkSource snapshot is
+//    refreshed; a RESUME restores it and regenerates exactly the bytes the
+//    uninterrupted stream would have carried.
+//  * Deterministic parallelism: each tick collects ready sessions in id
+//    order and fans their generations out via runtime::parallel_tasks —
+//    every worker count produces the identical transcript, because chunk
+//    values depend only on per-session source state and commits happen
+//    sequentially in session order.
+//  * Graceful drain: on request_drain() (or the config's external drain
+//    token, e.g. SignalDrain) new OPENs are shed, in-flight chunks finish
+//    (or are cancelled at the drain deadline), and every live session is
+//    closed with a clean ERROR kServerDraining. Every admitted session
+//    resolves to exactly one of ok/degraded/failed/shed:
+//    ok + degraded + failed + shed == total, always.
+//
+// All time is read from the injected runtime::Clock, so idle timeouts,
+// resume retention, and the drain deadline are virtual-time-testable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gendt/net/io.h"
+#include "gendt/runtime/cancel.h"
+#include "gendt/runtime/mutex.h"
+#include "gendt/runtime/thread_pool.h"
+#include "gendt/serve/stream/frame.h"
+#include "gendt/serve/stream/source.h"
+
+namespace gendt::serve::stream {
+
+struct StreamServerConfig {
+  /// Default / ceiling for a session's chunk size in windows. An OPEN asking
+  /// for 0 gets `chunk_windows`; anything above `max_chunk_windows` clamps.
+  int chunk_windows = 8;
+  int max_chunk_windows = 256;
+
+  /// A connection silent (no frames) for this long is closed; its session
+  /// detaches and stays resumable for `resume_retention_ms`, after which it
+  /// resolves as failed (abandoned).
+  int64_t idle_timeout_ms = 30'000;
+  int64_t resume_retention_ms = 60'000;
+
+  /// Budget for in-flight chunks to finish once a drain starts; generations
+  /// still running at the deadline are cancelled (still a clean degraded
+  /// close, just a cancelled chunk instead of a finished one).
+  int64_t drain_deadline_ms = 5'000;
+
+  /// Protocol bounds: decoder frame-body cap and OPEN trajectory cap.
+  size_t max_frame_bytes = 64u << 20;
+  uint32_t max_trajectory_points = 1u << 20;
+
+  /// Admission bound on live (attached + detached) sessions; beyond it new
+  /// OPENs are shed with kOverloaded.
+  int max_sessions = 64;
+
+  /// Transparent retries of a chunk whose generation threw TransientError
+  /// (the source is transactional, so a retry replays the same windows).
+  int max_chunk_retries = 2;
+
+  /// Worker fan-out for per-tick chunk generation.
+  runtime::Parallelism parallelism;
+
+  /// Time source for every timeout above. Defaults to the steady clock.
+  const runtime::Clock* clock = nullptr;
+
+  /// Optional external drain signal (e.g. &runtime::SignalDrain::token()):
+  /// polled every tick, same effect as request_drain().
+  const runtime::CancelToken* drain = nullptr;
+
+  /// Seed for resume tokens (tokens must be unguessable only to the extent
+  /// of "a client cannot resume a session it never opened by accident").
+  uint64_t token_seed = 0x67646E74u;  // "gdnt"
+
+  /// run() exit hooks for daemon tests: exit once this many sessions have
+  /// resolved (0 = never), or once the server has been completely idle (no
+  /// sessions, no connections) for `idle_exit_ms` (0 = never).
+  uint64_t exit_after_sessions = 0;
+  int64_t idle_exit_ms = 0;
+};
+
+/// Monotonic counters; `sessions_*` obey the partition invariant
+/// ok + degraded + failed + shed == total once the server is quiescent
+/// (total counts admissions *and* sheds; a live session is admitted but not
+/// yet resolved, so the sum lags total by the number of live sessions).
+struct StreamStats {
+  uint64_t sessions_total = 0;
+  uint64_t sessions_ok = 0;
+  uint64_t sessions_degraded = 0;
+  uint64_t sessions_failed = 0;
+  uint64_t sessions_shed = 0;
+  uint64_t chunks_sent = 0;
+  uint64_t points_sent = 0;
+  uint64_t resumes = 0;
+  uint64_t heartbeats = 0;
+  uint64_t bad_frames = 0;
+
+  uint64_t resolved() const {
+    return sessions_ok + sessions_degraded + sessions_failed + sessions_shed;
+  }
+};
+
+class StreamServer {
+ public:
+  /// Builds a session's ChunkSource from its OPEN. On failure return nullptr
+  /// and set `code`/`error` (kInvalidRequest for an unusable request, etc.);
+  /// the session resolves as failed. Called on the event-loop thread.
+  using SourceFactory = std::function<std::unique_ptr<ChunkSource>(
+      const OpenRequest& open, StreamErrorCode* code, std::string* error)>;
+
+  StreamServer(StreamServerConfig cfg, SourceFactory factory);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Bind + listen on a Unix-domain socket. False (with `error`) on failure.
+  bool listen_unix(const std::string& path, std::string* error);
+
+  /// Adopt an already-connected fd (e.g. one end of net::socket_pair) as a
+  /// client connection. Thread-safe; the fd joins the loop on the next tick.
+  void adopt(net::FdGuard fd);
+
+  /// One event-loop tick; blocks in poll(2) for at most `timeout_ms` when
+  /// there is nothing to do. Single-threaded: only one thread may call
+  /// poll_once/run. Returns false once the server is finished (drained, or
+  /// an exit hook fired) — run() loops while it returns true.
+  bool poll_once(int timeout_ms);
+
+  void run();
+
+  /// Begin graceful drain (idempotent, thread-safe): shed new work, finish
+  /// or cancel in-flight chunks within the drain deadline, close every
+  /// session cleanly, then let run() return.
+  void request_drain();
+  bool draining() const { return drain_requested_.load(std::memory_order_acquire); }
+
+  StreamStats stats() const;
+
+ private:
+  struct Conn {
+    net::FdGuard fd;
+    FrameDecoder decoder;
+    std::vector<uint8_t> outbox;
+    size_t out_pos = 0;
+    std::string session_id;  // empty until OPEN/RESUME attaches one
+    int64_t last_activity_ms = 0;
+    bool close_after_flush = false;
+    bool dead = false;
+
+    explicit Conn(net::FdGuard f, size_t max_body, int64_t now_ms)
+        : fd(std::move(f)), decoder(max_body), last_activity_ms(now_ms) {}
+  };
+
+  struct Session {
+    std::string id;
+    uint64_t token = 0;
+    std::unique_ptr<ChunkSource> source;
+    std::unique_ptr<SourceSnapshot> snap_acked;  // boundary after last ACK
+    bool has_inflight = false;                   // chunk sent, awaiting ACK
+    ChunkMsg inflight;
+    uint64_t acked = 0;      // chunks ACKed so far
+    int attempts = 0;        // transient-retry count for the next chunk
+    int conn = -1;           // owning connection id; -1 = detached
+    int64_t detached_at_ms = 0;
+    bool last_sent = false;  // the kFlagLast chunk has been sent
+    bool resolved = false;   // outcome already counted; lingers until close
+    uint64_t chunks_sent = 0;
+    uint64_t points_sent = 0;
+  };
+
+  enum class Outcome { kOk, kDegraded, kFailed };
+
+  int64_t now_ms() const;
+  void enqueue(Conn& conn, FrameType type, uint8_t flags, const std::vector<uint8_t>& body);
+  void send_error(Conn& conn, StreamErrorCode code, const std::string& message);
+  /// Count the session's outcome, send a terminal ERROR when `code` is set,
+  /// and schedule teardown. Idempotent per session.
+  void resolve(Session& s, Outcome outcome, StreamErrorCode code, const std::string& message);
+  void drop_conn(int conn_id);
+  void detach_session(Session& s);
+
+  void drain_adopted();
+  void accept_ready();
+  void read_conn(int conn_id);
+  void handle_frame(int conn_id, const Frame& frame);
+  void handle_open(int conn_id, const Frame& frame);
+  void handle_resume(int conn_id, const Frame& frame);
+  void handle_ack(int conn_id, const Frame& frame);
+  void handle_close(int conn_id);
+  void apply_timeouts();
+  void apply_drain();
+  void generate_ready();
+  void flush_conn(int conn_id);
+  void reap();
+  bool finished();
+
+  StreamServerConfig cfg_;
+  SourceFactory factory_;
+  net::FdGuard listen_fd_;
+
+  std::map<int, Conn> conns_;
+  std::map<std::string, Session> sessions_;
+  int next_conn_id_ = 1;
+  uint64_t next_session_ = 1;
+
+  std::atomic<bool> drain_requested_{false};
+  bool drain_started_ = false;
+  int64_t drain_start_ms_ = 0;
+  /// Cancel handle passed to every chunk generation; armed with the drain
+  /// deadline when a drain starts so straggling chunks are cut off.
+  runtime::CancelToken gen_cancel_;
+
+  int64_t idle_since_ms_ = -1;
+
+  mutable runtime::Mutex adopt_mu_;
+  std::vector<net::FdGuard> adopted_ GENDT_GUARDED_BY(adopt_mu_);
+
+  mutable runtime::Mutex stats_mu_;
+  StreamStats stats_ GENDT_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace gendt::serve::stream

@@ -1,0 +1,126 @@
+// ChunkSource: what a streaming session generates from.
+//
+// The server is generic over where chunk values come from. Production
+// sessions use GenDTChunkSource, a thin adapter over core::StreamSession
+// (real model, seam-free carried state, CQI-snap policy chosen by the
+// factory). Chaos tests use ScriptedChunkSource, whose values are the pure
+// function ScriptedGenerator::expected_value and whose misbehavior (virtual
+// delays, transient throws, NaN poisoning) comes from a FaultPlan on a
+// ManualClock — so a kill-and-resume scenario has a bit-exact expected
+// transcript at any worker count.
+//
+// Both implementations honor the transactional contract StreamSession
+// establishes: next_chunk() either returns a complete chunk and advances the
+// cursor, or throws and leaves the source at the pre-call boundary.
+// snapshot()/restore() capture the boundary for RESUME.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gendt/core/stream_session.h"
+#include "gendt/runtime/cancel.h"
+#include "gendt/serve/fault.h"
+#include "gendt/serve/stream/frame.h"
+
+namespace gendt::serve::stream {
+
+/// Opaque chunk-boundary state. Each ChunkSource implementation downcasts to
+/// its own concrete type; restore() with a foreign snapshot is a programming
+/// error and throws.
+class SourceSnapshot {
+ public:
+  virtual ~SourceSnapshot() = default;
+};
+
+class ChunkSource {
+ public:
+  struct Meta {
+    uint32_t total_windows = 0;
+    uint32_t chunk_windows = 1;
+    uint32_t num_channels = 0;
+    std::vector<std::string> channel_names;
+    double t0 = 0.0;
+    double period_s = 1.0;
+  };
+
+  virtual ~ChunkSource() = default;
+
+  virtual const Meta& meta() const = 0;
+  virtual bool done() const = 0;
+  virtual uint64_t next_chunk_index() const = 0;
+
+  /// Generate the next chunk (index/first_window/num_windows/num_points/
+  /// num_channels/values all filled). Transactional: any throw — including
+  /// CancelledError from a drain — leaves the cursor unmoved.
+  virtual ChunkMsg next_chunk(const runtime::CancelToken* cancel) = 0;
+
+  virtual std::unique_ptr<SourceSnapshot> snapshot() const = 0;
+  virtual void restore(const SourceSnapshot& snap) = 0;
+};
+
+/// Production source: a core::StreamSession over a loaded GenDT model. The
+/// model (and everything else referenced by the ctor arguments) must outlive
+/// the source; the serving layer guarantees this by keeping the model
+/// registry alive for the server's lifetime.
+class GenDTChunkSource final : public ChunkSource {
+ public:
+  GenDTChunkSource(const core::GenDTModel& model, context::KpiNorm norm,
+                   std::vector<sim::Kpi> kpis, std::vector<context::Window> windows,
+                   uint64_t seed, int chunk_windows, std::vector<std::string> channel_names,
+                   double t0, double period_s);
+
+  const Meta& meta() const override { return meta_; }
+  bool done() const override { return session_.done(); }
+  uint64_t next_chunk_index() const override { return session_.next_chunk_index(); }
+  ChunkMsg next_chunk(const runtime::CancelToken* cancel) override;
+  std::unique_ptr<SourceSnapshot> snapshot() const override;
+  void restore(const SourceSnapshot& snap) override;
+
+ private:
+  Meta meta_;
+  core::StreamSession session_;
+};
+
+/// Chaos-test source: values from ScriptedGenerator::expected_value, faults
+/// from a FaultPlan (window-keyed, same semantics as the batch engine:
+/// kDelay charges the bound ManualClock, kThrow raises TransientError while
+/// attempts are below the fault's budget, kPoison emits NaN). Stateless
+/// between chunks apart from the cursor, so snapshots are trivially exact.
+class ScriptedChunkSource final : public ChunkSource {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    int request_index = 0;  ///< FaultPlan request key
+    int total_windows = 8;
+    int window_len = 16;
+    int num_channels = 2;
+    int chunk_windows = 2;
+    int64_t window_cost_ms = 1;  ///< virtual cost charged per window
+  };
+
+  ScriptedChunkSource(Config cfg, FaultPlan plan, runtime::ManualClock* clock);
+
+  const Meta& meta() const override { return meta_; }
+  bool done() const override { return next_window_ >= cfg_.total_windows; }
+  uint64_t next_chunk_index() const override { return next_chunk_; }
+  ChunkMsg next_chunk(const runtime::CancelToken* cancel) override;
+  std::unique_ptr<SourceSnapshot> snapshot() const override;
+  void restore(const SourceSnapshot& snap) override;
+
+  /// The exact values chunk `index` carries on a fault-free stream — what
+  /// chaos tests compare resumed transcripts against.
+  static std::vector<double> expected_chunk(const Config& cfg, uint64_t index);
+
+ private:
+  Config cfg_;
+  FaultPlan plan_;
+  runtime::ManualClock* clock_;
+  Meta meta_;
+  int next_window_ = 0;
+  uint64_t next_chunk_ = 0;
+  std::vector<int> attempts_;  // per-window attempt counts (fault gating)
+};
+
+}  // namespace gendt::serve::stream

@@ -1,0 +1,134 @@
+#include "gendt/serve/stream/client.h"
+
+#include <cerrno>
+
+#include "gendt/net/socket.h"
+
+namespace gendt::serve::stream {
+
+bool StreamClient::connect_unix(const std::string& path, std::string* error) {
+  fd_ = net::unix_connect(path, error);
+  return fd_.valid();
+}
+
+bool StreamClient::send_frame(FrameType type, uint8_t flags,
+                              const std::vector<uint8_t>& body) {
+  if (!fd_.valid()) return false;
+  const std::vector<uint8_t> frame = encode_frame(type, flags, body);
+  if (!net::write_all(fd_.get(), frame.data(), frame.size())) {
+    fd_.reset();
+    return false;
+  }
+  return true;
+}
+
+StreamClient::Status StreamClient::recv_frame(Frame& out) {
+  if (!fd_.valid()) return Status::kClosed;
+  std::string error;
+  int64_t waited_ms = 0;
+  for (;;) {
+    const FrameDecoder::Status st = decoder_.next(out, &error);
+    if (st == FrameDecoder::Status::kFrame) return Status::kOk;
+    if (st == FrameDecoder::Status::kError) {
+      fd_.reset();
+      return Status::kProtocol;
+    }
+    if (waited_ms >= opts_.recv_timeout_ms) return Status::kTimeout;
+    const int slice = 100;
+    const int r = net::wait_readable(fd_.get(), slice);
+    if (r < 0) {
+      fd_.reset();
+      return Status::kClosed;
+    }
+    if (r == 0) {
+      waited_ms += slice;
+      continue;
+    }
+    uint8_t buf[4096];
+    const long n = net::read_some(fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    fd_.reset();
+    return Status::kClosed;
+  }
+}
+
+StreamClient::Status StreamClient::open(const OpenRequest& req, OpenAck* ack) {
+  if (!send_frame(FrameType::kOpen, 0, encode_open(req))) return Status::kClosed;
+  Frame frame;
+  const Status st = recv_frame(frame);
+  if (st != Status::kOk) return st;
+  if (frame.is(FrameType::kError)) {
+    if (!decode_error(frame.body, server_error_)) return Status::kProtocol;
+    return Status::kError;
+  }
+  if (!frame.is(FrameType::kOpen) || !frame.reply()) return Status::kProtocol;
+  if (ack != nullptr && !decode_open_ack(frame.body, *ack)) return Status::kProtocol;
+  return Status::kOk;
+}
+
+StreamClient::Status StreamClient::resume(const ResumeRequest& req, ResumeAck* ack) {
+  if (!send_frame(FrameType::kResume, 0, encode_resume(req))) return Status::kClosed;
+  Frame frame;
+  const Status st = recv_frame(frame);
+  if (st != Status::kOk) return st;
+  if (frame.is(FrameType::kError)) {
+    if (!decode_error(frame.body, server_error_)) return Status::kProtocol;
+    return Status::kError;
+  }
+  if (!frame.is(FrameType::kResume) || !frame.reply()) return Status::kProtocol;
+  if (ack != nullptr && !decode_resume_ack(frame.body, *ack)) return Status::kProtocol;
+  return Status::kOk;
+}
+
+StreamClient::Status StreamClient::recv_chunk(ChunkMsg* out, bool* last) {
+  for (;;) {
+    Frame frame;
+    const Status st = recv_frame(frame);
+    if (st != Status::kOk) return st;
+    if (frame.is(FrameType::kHeartbeat) && frame.reply()) continue;
+    if (frame.is(FrameType::kError)) {
+      if (!decode_error(frame.body, server_error_)) return Status::kProtocol;
+      return Status::kError;
+    }
+    if (!frame.is(FrameType::kChunk)) return Status::kProtocol;
+    if (out != nullptr &&
+        !decode_chunk(frame.body, *out, /*max_points=*/1u << 26)) {
+      return Status::kProtocol;
+    }
+    if (last != nullptr) *last = frame.last();
+    return Status::kOk;
+  }
+}
+
+bool StreamClient::ack(uint64_t chunk_index) {
+  AckMsg msg;
+  msg.chunk_index = chunk_index;
+  return send_frame(FrameType::kAck, 0, encode_ack(msg));
+}
+
+bool StreamClient::heartbeat() { return send_frame(FrameType::kHeartbeat, 0, {}); }
+
+StreamClient::Status StreamClient::close_session(CloseStats* out) {
+  if (!send_frame(FrameType::kClose, 0, {})) return Status::kClosed;
+  for (;;) {
+    Frame frame;
+    const Status st = recv_frame(frame);
+    if (st != Status::kOk) return st;
+    // An early CLOSE can cross an in-flight CHUNK; skip stream traffic.
+    if (frame.is(FrameType::kChunk)) continue;
+    if (frame.is(FrameType::kHeartbeat) && frame.reply()) continue;
+    if (frame.is(FrameType::kError)) {
+      if (!decode_error(frame.body, server_error_)) return Status::kProtocol;
+      return Status::kError;
+    }
+    if (!frame.is(FrameType::kClose) || !frame.reply()) return Status::kProtocol;
+    if (out != nullptr && !decode_close_stats(frame.body, *out)) return Status::kProtocol;
+    return Status::kOk;
+  }
+}
+
+}  // namespace gendt::serve::stream

@@ -1,0 +1,396 @@
+#include "gendt/serve/stream/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace gendt::serve::stream {
+
+std::string_view to_string(StreamErrorCode code) {
+  switch (code) {
+    case StreamErrorCode::kNone:
+      return "ok";
+    case StreamErrorCode::kInvalidRequest:
+      return "invalid_request";
+    case StreamErrorCode::kOverloaded:
+      return "overloaded";
+    case StreamErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StreamErrorCode::kModelFailure:
+      return "model_failure";
+    case StreamErrorCode::kCancelled:
+      return "cancelled";
+    case StreamErrorCode::kBadFrame:
+      return "bad_frame";
+    case StreamErrorCode::kUnknownSession:
+      return "unknown_session";
+    case StreamErrorCode::kBadResumeToken:
+      return "bad_resume_token";
+    case StreamErrorCode::kServerDraining:
+      return "server_draining";
+  }
+  return "unknown";
+}
+
+StreamErrorCode from_serve_error(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kNone:
+      return StreamErrorCode::kNone;
+    case ServeErrorCode::kInvalidRequest:
+      return StreamErrorCode::kInvalidRequest;
+    case ServeErrorCode::kOverloaded:
+      return StreamErrorCode::kOverloaded;
+    case ServeErrorCode::kDeadlineExceeded:
+      return StreamErrorCode::kDeadlineExceeded;
+    case ServeErrorCode::kModelFailure:
+      return StreamErrorCode::kModelFailure;
+    case ServeErrorCode::kCancelled:
+      return StreamErrorCode::kCancelled;
+  }
+  return StreamErrorCode::kModelFailure;
+}
+
+namespace {
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+uint32_t load_u32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t crc32(const uint8_t* data, size_t n) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---- Wire primitives -------------------------------------------------------
+
+void WireWriter::u32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v >> 16));
+  buf_.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void WireWriter::u64(uint64_t v) {
+  u32(static_cast<uint32_t>(v));
+  u32(static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::f64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<uint32_t>(s.size()));
+  raw(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+bool WireReader::take(size_t n, const uint8_t*& p) {
+  if (!ok_ || len_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  p = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::u8(uint8_t& v) {
+  const uint8_t* p = nullptr;
+  if (!take(1, p)) return false;
+  v = p[0];
+  return true;
+}
+
+bool WireReader::u32(uint32_t& v) {
+  const uint8_t* p = nullptr;
+  if (!take(4, p)) return false;
+  v = load_u32(p);
+  return true;
+}
+
+bool WireReader::u64(uint64_t& v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (!u32(lo) || !u32(hi)) return false;
+  v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool WireReader::f64(double& v) {
+  uint64_t bits = 0;
+  if (!u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool WireReader::str(std::string& s, size_t max_len) {
+  uint32_t n = 0;
+  if (!u32(n)) return false;
+  if (n > max_len || n > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  const uint8_t* p = nullptr;
+  if (!take(n, p)) return false;
+  s.assign(reinterpret_cast<const char*>(p), n);
+  return true;
+}
+
+// ---- Frame codec -----------------------------------------------------------
+
+std::vector<uint8_t> encode_frame(FrameType type, uint8_t flags,
+                                  const std::vector<uint8_t>& body) {
+  WireWriter w;
+  w.u32(static_cast<uint32_t>(body.size()));
+  w.u8(static_cast<uint8_t>(type));
+  w.u8(flags);
+  w.raw(body.data(), body.size());
+  // CRC covers type ++ flags ++ body: skip the 4 length bytes.
+  const std::vector<uint8_t>& so_far = w.bytes();
+  w.u32(crc32(so_far.data() + 4, so_far.size() - 4));
+  return w.take();
+}
+
+void FrameDecoder::feed(const uint8_t* data, size_t n) {
+  if (poisoned_) return;  // connection is dead; don't grow the buffer
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = poison_;
+    return Status::kError;
+  }
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return Status::kNeedMore;
+  const uint8_t* p = buf_.data() + consumed_;
+
+  // The length field alone decides admissibility — an oversized frame is
+  // rejected as soon as the 4 length bytes arrive, before buffering (or
+  // allocating) anything of its body.
+  const uint32_t body_len = load_u32(p);
+  if (body_len > max_body_) {
+    poisoned_ = true;
+    poison_ = "frame body length " + std::to_string(body_len) + " exceeds limit " +
+              std::to_string(max_body_);
+    if (error != nullptr) *error = poison_;
+    return Status::kError;
+  }
+  const size_t total = kHeaderLen + body_len + kTrailerLen;
+  if (avail < total) return Status::kNeedMore;
+
+  const uint32_t want_crc = load_u32(p + kHeaderLen + body_len);
+  const uint32_t got_crc = crc32(p + 4, 2 + body_len);
+  if (want_crc != got_crc) {
+    poisoned_ = true;
+    poison_ = "frame CRC mismatch";
+    if (error != nullptr) *error = poison_;
+    return Status::kError;
+  }
+  const uint8_t type = p[4];
+  if (type < static_cast<uint8_t>(FrameType::kOpen) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    poisoned_ = true;
+    poison_ = "unknown frame type " + std::to_string(type);
+    if (error != nullptr) *error = poison_;
+    return Status::kError;
+  }
+
+  out.type = type;
+  out.flags = p[5];
+  out.body.assign(p + kHeaderLen, p + kHeaderLen + body_len);
+  consumed_ += total;
+  // Compact once the dead prefix dominates, amortizing the memmove.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(consumed_));
+    consumed_ = 0;
+  }
+  return Status::kFrame;
+}
+
+// ---- Message bodies --------------------------------------------------------
+
+namespace {
+
+bool read_magic(WireReader& r) {
+  for (size_t i = 0; i < kMagicLen; ++i) {
+    uint8_t b = 0;
+    if (!r.u8(b) || b != static_cast<uint8_t>(kMagic[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_open(const OpenRequest& m) {
+  WireWriter w;
+  w.raw(reinterpret_cast<const uint8_t*>(kMagic), kMagicLen);
+  w.str(m.model_id);
+  w.u64(m.seed);
+  w.u32(m.chunk_windows);
+  w.u32(static_cast<uint32_t>(m.points.size()));
+  for (const TrajectoryPoint& p : m.points) {
+    w.f64(p.t);
+    w.f64(p.lat);
+    w.f64(p.lon);
+  }
+  return w.take();
+}
+
+bool decode_open(const std::vector<uint8_t>& body, OpenRequest& m, uint32_t max_points) {
+  WireReader r(body.data(), body.size());
+  if (!read_magic(r)) return false;
+  uint32_t n = 0;
+  if (!r.str(m.model_id) || !r.u64(m.seed) || !r.u32(m.chunk_windows) || !r.u32(n)) {
+    return false;
+  }
+  if (n > max_points || static_cast<size_t>(n) * 24 != r.remaining()) return false;
+  m.points.resize(n);
+  for (TrajectoryPoint& p : m.points) {
+    if (!r.f64(p.t) || !r.f64(p.lat) || !r.f64(p.lon)) return false;
+  }
+  return r.exhausted();
+}
+
+std::vector<uint8_t> encode_open_ack(const OpenAck& m) {
+  WireWriter w;
+  w.str(m.session_id);
+  w.u64(m.resume_token);
+  w.u32(m.chunk_windows);
+  w.u32(m.total_windows);
+  w.u32(static_cast<uint32_t>(m.channel_names.size()));
+  for (const std::string& name : m.channel_names) w.str(name);
+  w.f64(m.t0);
+  w.f64(m.period_s);
+  return w.take();
+}
+
+bool decode_open_ack(const std::vector<uint8_t>& body, OpenAck& m) {
+  WireReader r(body.data(), body.size());
+  uint32_t nch = 0;
+  if (!r.str(m.session_id) || !r.u64(m.resume_token) || !r.u32(m.chunk_windows) ||
+      !r.u32(m.total_windows) || !r.u32(nch)) {
+    return false;
+  }
+  if (nch > 4096) return false;
+  m.channel_names.resize(nch);
+  for (std::string& name : m.channel_names) {
+    if (!r.str(name)) return false;
+  }
+  if (!r.f64(m.t0) || !r.f64(m.period_s)) return false;
+  return r.exhausted();
+}
+
+std::vector<uint8_t> encode_chunk(const ChunkMsg& m) {
+  WireWriter w;
+  w.u64(m.index);
+  w.u32(m.first_window);
+  w.u32(m.num_windows);
+  w.u32(m.num_points);
+  w.u32(m.num_channels);
+  for (double v : m.values) w.f64(v);
+  return w.take();
+}
+
+bool decode_chunk(const std::vector<uint8_t>& body, ChunkMsg& m, uint32_t max_points) {
+  WireReader r(body.data(), body.size());
+  if (!r.u64(m.index) || !r.u32(m.first_window) || !r.u32(m.num_windows) ||
+      !r.u32(m.num_points) || !r.u32(m.num_channels)) {
+    return false;
+  }
+  if (m.num_points > max_points || m.num_channels > 4096) return false;
+  const size_t count = static_cast<size_t>(m.num_points) * m.num_channels;
+  if (count * 8 != r.remaining()) return false;
+  m.values.resize(count);
+  for (double& v : m.values) {
+    if (!r.f64(v)) return false;
+  }
+  return r.exhausted();
+}
+
+std::vector<uint8_t> encode_ack(const AckMsg& m) {
+  WireWriter w;
+  w.u64(m.chunk_index);
+  return w.take();
+}
+
+bool decode_ack(const std::vector<uint8_t>& body, AckMsg& m) {
+  WireReader r(body.data(), body.size());
+  return r.u64(m.chunk_index) && r.exhausted();
+}
+
+std::vector<uint8_t> encode_resume(const ResumeRequest& m) {
+  WireWriter w;
+  w.raw(reinterpret_cast<const uint8_t*>(kMagic), kMagicLen);
+  w.str(m.session_id);
+  w.u64(m.resume_token);
+  w.u64(m.chunks_have);
+  return w.take();
+}
+
+bool decode_resume(const std::vector<uint8_t>& body, ResumeRequest& m) {
+  WireReader r(body.data(), body.size());
+  if (!read_magic(r)) return false;
+  return r.str(m.session_id) && r.u64(m.resume_token) && r.u64(m.chunks_have) &&
+         r.exhausted();
+}
+
+std::vector<uint8_t> encode_resume_ack(const ResumeAck& m) {
+  WireWriter w;
+  w.u64(m.next_chunk_index);
+  w.u32(m.total_windows);
+  return w.take();
+}
+
+bool decode_resume_ack(const std::vector<uint8_t>& body, ResumeAck& m) {
+  WireReader r(body.data(), body.size());
+  return r.u64(m.next_chunk_index) && r.u32(m.total_windows) && r.exhausted();
+}
+
+std::vector<uint8_t> encode_close_stats(const CloseStats& m) {
+  WireWriter w;
+  w.u64(m.chunks_sent);
+  w.u64(m.points_sent);
+  return w.take();
+}
+
+bool decode_close_stats(const std::vector<uint8_t>& body, CloseStats& m) {
+  WireReader r(body.data(), body.size());
+  return r.u64(m.chunks_sent) && r.u64(m.points_sent) && r.exhausted();
+}
+
+std::vector<uint8_t> encode_error(const ErrorMsg& m) {
+  WireWriter w;
+  w.u8(static_cast<uint8_t>(m.code));
+  w.str(m.message);
+  return w.take();
+}
+
+bool decode_error(const std::vector<uint8_t>& body, ErrorMsg& m) {
+  WireReader r(body.data(), body.size());
+  uint8_t code = 0;
+  if (!r.u8(code) || code > static_cast<uint8_t>(StreamErrorCode::kServerDraining)) {
+    return false;
+  }
+  m.code = static_cast<StreamErrorCode>(code);
+  return r.str(m.message) && r.exhausted();
+}
+
+}  // namespace gendt::serve::stream

@@ -1,0 +1,159 @@
+#include "gendt/serve/stream/source.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gendt::serve::stream {
+
+namespace {
+
+struct GenDTSnapshot final : SourceSnapshot {
+  core::StreamSession::Snapshot snap;
+};
+
+struct ScriptedSnapshot final : SourceSnapshot {
+  int next_window = 0;
+  uint64_t next_chunk = 0;
+};
+
+}  // namespace
+
+// ---- GenDTChunkSource ------------------------------------------------------
+
+GenDTChunkSource::GenDTChunkSource(const core::GenDTModel& model, context::KpiNorm norm,
+                                   std::vector<sim::Kpi> kpis,
+                                   std::vector<context::Window> windows, uint64_t seed,
+                                   int chunk_windows, std::vector<std::string> channel_names,
+                                   double t0, double period_s)
+    : session_(model, std::move(norm), std::move(kpis), std::move(windows), seed,
+               chunk_windows) {
+  meta_.total_windows = static_cast<uint32_t>(session_.total_windows());
+  meta_.chunk_windows = static_cast<uint32_t>(session_.chunk_windows());
+  meta_.num_channels = static_cast<uint32_t>(session_.num_channels());
+  meta_.channel_names = std::move(channel_names);
+  meta_.t0 = t0;
+  meta_.period_s = period_s;
+}
+
+ChunkMsg GenDTChunkSource::next_chunk(const runtime::CancelToken* cancel) {
+  ChunkMsg msg;
+  msg.index = session_.next_chunk_index();
+  msg.first_window = static_cast<uint32_t>(session_.next_window());
+  const size_t before = session_.next_window();
+  const core::GeneratedSeries series = session_.next_chunk(cancel);
+  msg.num_windows = static_cast<uint32_t>(session_.next_window() - before);
+  msg.num_channels = meta_.num_channels;
+  const size_t points = series.channels.empty() ? 0 : series.channels[0].size();
+  msg.num_points = static_cast<uint32_t>(points);
+  msg.values.reserve(points * series.channels.size());
+  for (size_t t = 0; t < points; ++t) {
+    for (const std::vector<double>& col : series.channels) msg.values.push_back(col[t]);
+  }
+  return msg;
+}
+
+std::unique_ptr<SourceSnapshot> GenDTChunkSource::snapshot() const {
+  auto snap = std::make_unique<GenDTSnapshot>();
+  snap->snap = session_.snapshot();
+  return snap;
+}
+
+void GenDTChunkSource::restore(const SourceSnapshot& snap) {
+  const auto* s = dynamic_cast<const GenDTSnapshot*>(&snap);
+  if (s == nullptr) throw std::logic_error("GenDTChunkSource: foreign snapshot");
+  session_.restore(s->snap);
+}
+
+// ---- ScriptedChunkSource ---------------------------------------------------
+
+ScriptedChunkSource::ScriptedChunkSource(Config cfg, FaultPlan plan,
+                                         runtime::ManualClock* clock)
+    : cfg_(cfg), plan_(std::move(plan)), clock_(clock) {
+  if (cfg_.total_windows < 0 || cfg_.window_len <= 0 || cfg_.num_channels <= 0) {
+    throw std::invalid_argument("ScriptedChunkSource: bad config");
+  }
+  cfg_.chunk_windows = std::max(1, cfg_.chunk_windows);
+  meta_.total_windows = static_cast<uint32_t>(cfg_.total_windows);
+  meta_.chunk_windows = static_cast<uint32_t>(cfg_.chunk_windows);
+  meta_.num_channels = static_cast<uint32_t>(cfg_.num_channels);
+  for (int ch = 0; ch < cfg_.num_channels; ++ch) {
+    meta_.channel_names.push_back("ch" + std::to_string(ch));
+  }
+  attempts_.assign(static_cast<size_t>(cfg_.total_windows), 0);
+}
+
+ChunkMsg ScriptedChunkSource::next_chunk(const runtime::CancelToken* cancel) {
+  ChunkMsg msg;
+  msg.index = next_chunk_;
+  msg.first_window = static_cast<uint32_t>(next_window_);
+  const int end = std::min(cfg_.total_windows, next_window_ + cfg_.chunk_windows);
+  msg.num_windows = static_cast<uint32_t>(end - next_window_);
+  msg.num_channels = static_cast<uint32_t>(cfg_.num_channels);
+  msg.num_points = msg.num_windows * static_cast<uint32_t>(cfg_.window_len);
+  msg.values.reserve(static_cast<size_t>(msg.num_points) * msg.num_channels);
+
+  // Values accumulate in msg; the cursor commits only at the end, so a
+  // fault throw (or drain cancel) leaves the source at the chunk boundary —
+  // the retried/resumed chunk replays the identical windows.
+  for (int w = next_window_; w < end; ++w) {
+    runtime::check_cancel(cancel);
+    const int attempt = ++attempts_[static_cast<size_t>(w)];
+    bool poison = false;
+    for (const Fault& f : plan_.at(cfg_.request_index, w)) {
+      switch (f.kind) {
+        case Fault::Kind::kDelay:
+          if (attempt <= f.attempts && clock_ != nullptr) clock_->advance_ms(f.delay_ms);
+          break;
+        case Fault::Kind::kThrow:
+          if (attempt <= f.attempts) throw TransientError("injected transient failure");
+          break;
+        case Fault::Kind::kPoison:
+          if (attempt <= f.attempts) poison = true;
+          break;
+      }
+    }
+    if (clock_ != nullptr) clock_->advance_ms(cfg_.window_cost_ms);
+    for (int t = 0; t < cfg_.window_len; ++t) {
+      for (int ch = 0; ch < cfg_.num_channels; ++ch) {
+        msg.values.push_back(poison ? std::numeric_limits<double>::quiet_NaN()
+                                    : ScriptedGenerator::expected_value(cfg_.seed, w, t, ch));
+      }
+    }
+  }
+
+  next_window_ = end;
+  ++next_chunk_;
+  return msg;
+}
+
+std::unique_ptr<SourceSnapshot> ScriptedChunkSource::snapshot() const {
+  auto snap = std::make_unique<ScriptedSnapshot>();
+  snap->next_window = next_window_;
+  snap->next_chunk = next_chunk_;
+  return snap;
+}
+
+void ScriptedChunkSource::restore(const SourceSnapshot& snap) {
+  const auto* s = dynamic_cast<const ScriptedSnapshot*>(&snap);
+  if (s == nullptr) throw std::logic_error("ScriptedChunkSource: foreign snapshot");
+  next_window_ = s->next_window;
+  next_chunk_ = s->next_chunk;
+}
+
+std::vector<double> ScriptedChunkSource::expected_chunk(const Config& cfg, uint64_t index) {
+  const int chunk_windows = std::max(1, cfg.chunk_windows);
+  const int first = static_cast<int>(index) * chunk_windows;
+  const int end = std::min(cfg.total_windows, first + chunk_windows);
+  std::vector<double> values;
+  for (int w = first; w < end; ++w) {
+    for (int t = 0; t < cfg.window_len; ++t) {
+      for (int ch = 0; ch < cfg.num_channels; ++ch) {
+        values.push_back(ScriptedGenerator::expected_value(cfg.seed, w, t, ch));
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace gendt::serve::stream

@@ -4,12 +4,15 @@
 // build time (GENDT_CLI_PATH).
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iterator>
 #include <string>
+#include <thread>
 
 namespace {
 
@@ -342,6 +345,140 @@ TEST(Cli, ReplayRequiresExactlyOneSource) {
       << neither.output;
   const CliResult both = run_cli("replay --scripted 2 --models a=b --out /tmp/never.json");
   EXPECT_EQ(both.exit_code, 2);
+}
+
+// Start the binary as a background daemon via the shell and hand back its
+// pid ($! of the backgrounded simple command is the gendt process itself).
+// The daemon is expected to exit on its own through --stream-sessions; the
+// caller still gets the pid so a wedged run can be reaped instead of
+// hanging the suite.
+long spawn_daemon(const std::string& args, const std::string& log_path) {
+  const std::string cmd = std::string(GENDT_CLI_PATH) + " " + args + " > " + log_path +
+                          " 2>&1 & echo $!";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  long pid = -1;
+  if (std::fscanf(pipe, "%ld", &pid) != 1) pid = -1;
+  pclose(pipe);
+  return pid;
+}
+
+bool wait_for(const std::function<bool()>& pred, int budget_ms = 30'000) {
+  for (int waited = 0; waited < budget_ms; waited += 20) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+// The full streaming story against a real daemon over a real unix socket:
+// train -> serve --stream -> stream-client (uninterrupted), then a second
+// session that kills its connection after one ACKed chunk and resumes from
+// the client state file. Both CSVs must be byte-identical to plain
+// `gendt generate` with the same seed — the stream adds transport, not
+// numerics — and the daemon must then exit by itself (--stream-sessions 2)
+// reporting both sessions ok and exactly one resume.
+TEST(Cli, StreamServeRoundTripAndKillResumeMatchGenerateByteForByte) {
+  const auto dir = fresh_dir("cli_stream");
+  const std::string ckpt = (dir / "model.ckpt").string();
+  const CliResult train =
+      run_cli("train --out " + ckpt + " --epochs 0 --train-s 120 --seed 3");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+
+  std::string traj = "t,lat,lon\n";
+  for (int i = 0; i < 120; ++i)
+    traj += std::to_string(i) + "," + std::to_string(47.0 + 1e-4 * i) + ",8.0\n";
+  write_file(dir / "traj.csv", traj);
+  const std::string traj_csv = (dir / "traj.csv").string();
+
+  const std::string ref_csv = (dir / "ref.csv").string();
+  const CliResult gen = run_cli("generate --model " + ckpt + " --trajectory " + traj_csv +
+                                " --train-s 120 --seed 3 --gen-seed 11 --out " + ref_csv);
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  const std::string ref_bytes = slurp(ref_csv);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  const std::string sock = (dir / "gendt.sock").string();
+  const std::string log = (dir / "daemon.log").string();
+  const long pid = spawn_daemon("serve --stream --socket " + sock + " --model " + ckpt +
+                                    " --train-s 120 --seed 3 --chunk-windows 2"
+                                    " --stream-sessions 2",
+                                log);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for([&] { return std::filesystem::exists(sock); })) << slurp(log);
+
+  const std::string client = "stream-client --socket " + sock + " --gen-seed 11 ";
+  const std::string stream_csv = (dir / "stream.csv").string();
+  const CliResult full =
+      run_cli(client + "--trajectory " + traj_csv + " --out " + stream_csv);
+  ASSERT_EQ(full.exit_code, 0) << full.output << slurp(log);
+  EXPECT_EQ(slurp(stream_csv), ref_bytes);
+
+  // Session two: 2-window chunks over this trajectory yield several chunks,
+  // so killing after the first ACK leaves real work to resume. The killed
+  // run must not write an output CSV — only the state file.
+  const std::string state = (dir / "client.state").string();
+  const std::string dead_csv = (dir / "dead.csv").string();
+  const CliResult killed = run_cli(client + "--trajectory " + traj_csv +
+                                   " --kill-after-chunks 1 --state " + state + " --out " +
+                                   dead_csv);
+  ASSERT_EQ(killed.exit_code, 0) << killed.output << slurp(log);
+  EXPECT_NE(killed.output.find("killed connection after 1 chunks"), std::string::npos)
+      << killed.output;
+  EXPECT_FALSE(std::filesystem::exists(dead_csv));
+
+  const std::string resumed_csv = (dir / "resumed.csv").string();
+  const CliResult resumed =
+      run_cli(client + "--resume --state " + state + " --out " + resumed_csv);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output << slurp(log);
+  EXPECT_NE(resumed.output.find("resumed"), std::string::npos) << resumed.output;
+  EXPECT_EQ(slurp(resumed_csv), ref_bytes);
+
+  // Both sessions resolved -> the daemon exits on its own and its final
+  // stats line partitions every session as ok.
+  const auto daemon_pid = static_cast<pid_t>(pid);
+  const bool exited = wait_for([&] { return ::kill(daemon_pid, 0) != 0; });
+  if (!exited) ::kill(daemon_pid, SIGTERM);  // reap a wedged daemon before failing
+  ASSERT_TRUE(exited) << slurp(log);
+  const std::string daemon_log = slurp(log);
+  EXPECT_NE(daemon_log.find("2 sessions: 2 ok, 0 degraded, 0 failed, 0 shed"),
+            std::string::npos)
+      << daemon_log;
+  EXPECT_NE(daemon_log.find("1 resumes"), std::string::npos) << daemon_log;
+}
+
+// A state file that fails structural validation must be rejected before any
+// bytes reach the daemon, and misuse of the resume flags is a usage error.
+TEST(Cli, StreamClientRejectsCorruptStateAndFlagMisuse) {
+  const auto dir = fresh_dir("cli_stream_state");
+  const CliResult no_state = run_cli("stream-client --socket /tmp/nope.sock --resume --out " +
+                                     (dir / "x.csv").string());
+  EXPECT_EQ(no_state.exit_code, 2);
+  EXPECT_NE(no_state.output.find("--state"), std::string::npos) << no_state.output;
+
+  // Local inputs are validated before the network: a corrupt state file
+  // fails with its own diagnostic even though the socket does not exist.
+  write_file(dir / "bad.state", "NOTASTATE 1\n");
+  const CliResult bad = run_cli("stream-client --socket " + (dir / "none.sock").string() +
+                                " --resume --state " + (dir / "bad.state").string() +
+                                " --out " + (dir / "x.csv").string());
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.output.find("cannot read state file"), std::string::npos) << bad.output;
+
+  // With valid-looking flags but no daemon, the connect failure is a clean
+  // structured error, not a hang or a crash.
+  std::string points = "t,lat,lon\n0,47.0,8.0\n1,47.0001,8.0\n";
+  write_file(dir / "traj.csv", points);
+  const CliResult dead = run_cli("stream-client --socket " + (dir / "none.sock").string() +
+                                 " --trajectory " + (dir / "traj.csv").string() + " --out " +
+                                 (dir / "x.csv").string());
+  EXPECT_EQ(dead.exit_code, 1);
+  EXPECT_NE(dead.output.find("cannot connect"), std::string::npos) << dead.output;
 }
 
 }  // namespace

@@ -126,6 +126,67 @@ INSTANTIATE_TEST_SUITE_P(
                    "1,51.5,7.4,46,0,65,50,99999999999\n"}),
     [](const auto& param_info) { return param_info.param.label; });
 
+// ---- Line-length limit + column-count diagnostics --------------------------
+
+// A line longer than max_line_bytes() fails the load with a structured error
+// naming the limit, instead of feeding an unbounded line into the splitter.
+TEST(CsvLimits, OversizedLineRejected) {
+  const size_t prev = set_max_line_bytes(256);
+  // Whitespace padding keeps the row otherwise valid — only its length is bad.
+  std::string content = "t,lat,lon\n0,51.5,7.4\n1,";
+  content += std::string(1024, ' ');
+  content += "51.6,7.5\n";
+  const std::string path = write_temp("gendt_longline.csv", content);
+  EXPECT_FALSE(read_trajectory_csv(path).has_value());
+  EXPECT_NE(last_error().find("256-byte limit"), std::string::npos) << last_error();
+  set_max_line_bytes(prev);
+  std::remove(path.c_str());
+}
+
+// The limit is configurable: the same file parses once the limit covers it.
+TEST(CsvLimits, LimitIsConfigurable) {
+  std::string content = "t,lat,lon\n0,51.5,7.4\n1,";
+  content += std::string(1024, ' ');
+  content += "51.6,7.5\n";
+  const std::string path = write_temp("gendt_longline_ok.csv", content);
+  const size_t prev = set_max_line_bytes(4096);
+  EXPECT_TRUE(read_trajectory_csv(path).has_value()) << last_error();
+  set_max_line_bytes(prev);
+  EXPECT_EQ(max_line_bytes(), prev);
+  std::remove(path.c_str());
+}
+
+// Zero clamps to one instead of disabling the limit.
+TEST(CsvLimits, ZeroClampsToOne) {
+  const size_t prev = set_max_line_bytes(0);
+  EXPECT_EQ(max_line_bytes(), 1u);
+  set_max_line_bytes(prev);
+}
+
+// A row whose column count disagrees with the header gets a structured
+// got/expected diagnostic, distinct from a per-field parse failure.
+TEST(CsvLimits, ColumnCountMismatchDiagnostic) {
+  const std::string path =
+      write_temp("gendt_colcount.csv", "t,lat,lon\n0,51.5,7.4\n1,51.6\n");
+  EXPECT_FALSE(read_trajectory_csv(path).has_value());
+  EXPECT_NE(last_error().find("column count mismatch (got 2, expected 3)"),
+            std::string::npos)
+      << last_error();
+  std::remove(path.c_str());
+}
+
+TEST(CsvLimits, RecordColumnCountDiagnostic) {
+  const std::string path = write_temp(
+      "gendt_reccol.csv",
+      "t,lat,lon,serving_cell,rsrp_dbm,rsrq_db,sinr_db,cqi,throughput_mbps,per\n"
+      "0,51.5,7.4,1,-85,-11,8,9,12,0.01,extra\n");
+  EXPECT_FALSE(read_record_csv(path).has_value());
+  EXPECT_NE(last_error().find("column count mismatch (got 11, expected 10)"),
+            std::string::npos)
+      << last_error();
+  std::remove(path.c_str());
+}
+
 // Whitespace tolerance: leading spaces in numeric fields must parse.
 TEST(CsvTolerance, LeadingWhitespaceAccepted) {
   const std::string path = write_temp("gendt_ws.csv", "t,lat,lon\n 0, 51.5, 7.4\n 1, 51.6, 7.5\n");

@@ -1,0 +1,494 @@
+// Scripted chaos for the streaming daemon, on virtual time.
+//
+// Clients act out a StreamScript (mid-chunk disconnects, stalled readers,
+// heartbeat loss, kill-and-resume) against a StreamServer whose sources are
+// ScriptedChunkSource instances on a shared runtime::ManualClock — so idle
+// timeouts, resume retention and the drain deadline all fire exactly when
+// the test advances the clock, and every surviving stream must carry the
+// exact bits of ScriptedChunkSource::expected_chunk. The scenarios pin:
+//
+//  * fault-free streams are bitwise the expected transcript at 1 and 4
+//    generation workers, with identical server counters,
+//  * kill-and-resume replays exactly the missing bytes,
+//  * a stalled reader exerts backpressure (one chunk in flight, never more),
+//  * heartbeat loss -> idle-timeout detach -> RESUME completes the stream,
+//  * an un-resumed disconnect fails the session once retention expires,
+//  * transient model throws are retried invisibly; sticky NaN poisoning
+//    exhausts retries and fails with kModelFailure,
+//  * a drain under load resolves every admitted session within the drain
+//    deadline and the partition ok+degraded+failed+shed == total holds.
+#include "gendt/serve/stream/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gendt/net/socket.h"
+#include "gendt/runtime/cancel.h"
+#include "gendt/serve/fault.h"
+#include "gendt/serve/stream/client.h"
+#include "gendt/serve/stream/source.h"
+
+namespace gendt::serve::stream {
+namespace {
+
+ScriptedChunkSource::Config scripted_cfg(uint64_t seed) {
+  ScriptedChunkSource::Config cfg;
+  cfg.seed = seed;
+  cfg.total_windows = 8;
+  cfg.window_len = 16;
+  cfg.num_channels = 2;
+  cfg.chunk_windows = 2;
+  cfg.window_cost_ms = 1;
+  return cfg;
+}
+
+constexpr uint64_t kChunksPerStream = 4;  // total_windows 8 / chunk_windows 2
+
+// The exact bytes a fault-free stream for `seed` carries, all chunks
+// concatenated — what every surviving transcript is compared against.
+std::vector<double> expected_stream(uint64_t seed) {
+  const ScriptedChunkSource::Config cfg = scripted_cfg(seed);
+  std::vector<double> out;
+  for (uint64_t i = 0; i < kChunksPerStream; ++i) {
+    const std::vector<double> chunk = ScriptedChunkSource::expected_chunk(cfg, i);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+void expect_bitwise(const std::vector<double>& got, const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(std::bit_cast<uint64_t>(got[i]), std::bit_cast<uint64_t>(want[i]))
+        << "value " << i;
+}
+
+void expect_partition(const StreamStats& st) {
+  EXPECT_EQ(st.sessions_ok + st.sessions_degraded + st.sessions_failed + st.sessions_shed,
+            st.sessions_total);
+}
+
+// Server on a background thread, all timeouts on a ManualClock the test
+// owns. stop() drains and keeps advancing virtual time until run() returns,
+// so drain deadlines and idle timeouts cannot wedge the shutdown.
+struct ChaosHarness {
+  ChaosHarness(StreamServerConfig cfg, FaultPlan plan, int threads)
+      : server(with_clock(std::move(cfg), threads), scripted_factory(std::move(plan))) {
+    thread = std::thread([this] {
+      server.run();
+      done.store(true, std::memory_order_release);
+    });
+  }
+  ~ChaosHarness() { stop(); }
+
+  StreamClient connect() {
+    net::FdGuard server_end, client_end;
+    EXPECT_TRUE(net::socket_pair(server_end, client_end));
+    server.adopt(std::move(server_end));
+    StreamClient client;
+    client.adopt(std::move(client_end));
+    return client;
+  }
+
+  void stop() {
+    if (!thread.joinable()) return;
+    server.request_drain();
+    for (int i = 0; i < 5000 && !done.load(std::memory_order_acquire); ++i) {
+      clock.advance_ms(10'000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(done.load(std::memory_order_acquire)) << "server did not drain";
+    thread.join();
+  }
+
+  // Spin real time (the server thread keeps ticking) until `pred` holds.
+  template <typename F>
+  bool wait_until(F&& pred, int budget_ms = 5000) {
+    for (int i = 0; i < budget_ms; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+
+  runtime::ManualClock clock;
+  StreamServer server;
+  std::thread thread;
+  std::atomic<bool> done{false};
+
+ private:
+  StreamServerConfig with_clock(StreamServerConfig cfg, int threads) {
+    cfg.clock = &clock;
+    cfg.chunk_windows = 2;
+    cfg.parallelism.threads = threads;
+    return cfg;
+  }
+  StreamServer::SourceFactory scripted_factory(FaultPlan plan) {
+    // request_index assignment happens on the event-loop thread in OPEN
+    // order, which the tests keep deterministic by opening sequentially.
+    auto next_index = std::make_shared<int>(0);
+    return [this, plan = std::move(plan), next_index](
+               const OpenRequest& open, StreamErrorCode*,
+               std::string*) -> std::unique_ptr<ChunkSource> {
+      ScriptedChunkSource::Config cfg = scripted_cfg(open.seed);
+      cfg.request_index = (*next_index)++;
+      cfg.chunk_windows = static_cast<int>(open.chunk_windows);
+      return std::make_unique<ScriptedChunkSource>(cfg, plan, &clock);
+    };
+  }
+};
+
+OpenRequest open_request(uint64_t seed) {
+  OpenRequest req;
+  req.seed = seed;
+  req.chunk_windows = 2;
+  req.points = {{0.0, 51.5, 7.4}, {1.0, 51.6, 7.5}};
+  return req;
+}
+
+struct ScriptedOutcome {
+  std::vector<double> values;
+  uint64_t chunks_have = 0;
+  bool saw_last = false;
+  bool interrupted = false;  // the script cut the stream short
+  StreamClient::Status status = StreamClient::Status::kOk;
+};
+
+// Receive/ACK chunks, acting out the StreamScript for `session`: this is
+// the scripted client of the chaos scenarios. Values of every received
+// chunk are checked against the expected transcript as they arrive.
+ScriptedOutcome pump_scripted(StreamClient& client, const StreamScript& script, int session,
+                              uint64_t seed, uint64_t chunks_have, ChaosHarness& h) {
+  const std::vector<double> want = expected_stream(seed);
+  const size_t chunk_len = want.size() / kChunksPerStream;
+  ScriptedOutcome out;
+  out.chunks_have = chunks_have;
+  for (;;) {
+    ChunkMsg chunk;
+    bool last = false;
+    out.status = client.recv_chunk(&chunk, &last);
+    if (out.status != StreamClient::Status::kOk) return out;
+    EXPECT_EQ(chunk.index, out.chunks_have);
+    for (size_t i = 0; i < chunk.values.size(); ++i) {
+      const size_t flat = chunk.index * chunk_len + i;
+      if (flat >= want.size()) {
+        ADD_FAILURE() << "chunk " << chunk.index << " overruns the expected transcript";
+        break;
+      }
+      EXPECT_EQ(std::bit_cast<uint64_t>(chunk.values[i]), std::bit_cast<uint64_t>(want[flat]))
+          << "chunk " << chunk.index << " value " << i;
+    }
+    out.values.insert(out.values.end(), chunk.values.begin(), chunk.values.end());
+
+    const StreamFault* fault = script.at(session, chunk.index);
+    if (fault != nullptr && fault->kind == StreamFault::Kind::kDisconnect) {
+      client.kill();  // received, never ACKed: a mid-chunk disconnect
+      out.interrupted = true;
+      return out;
+    }
+    if (fault != nullptr && fault->kind == StreamFault::Kind::kStallAck) {
+      // Backpressure: with the ACK withheld the server must not generate
+      // ahead — one chunk in flight per session, always.
+      const uint64_t sent_before = h.server.stats().chunks_sent;
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      EXPECT_EQ(h.server.stats().chunks_sent, sent_before);
+      EXPECT_TRUE(client.heartbeat());
+    }
+    EXPECT_TRUE(client.ack(chunk.index));
+    out.chunks_have = chunk.index + 1;
+    if (fault != nullptr && fault->kind == StreamFault::Kind::kKillResume) {
+      client.kill();
+      out.interrupted = true;
+      return out;
+    }
+    if (fault != nullptr && fault->kind == StreamFault::Kind::kDropHeartbeat) {
+      out.interrupted = true;  // go silent; the caller advances the clock
+      return out;
+    }
+    if (last) {
+      out.saw_last = true;
+      return out;
+    }
+  }
+}
+
+TEST(StreamChaos, FaultFreeStreamsAreBitwiseExpectedAtAnyWorkerCount) {
+  StreamStats baseline;
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ChaosHarness h(StreamServerConfig{}, FaultPlan{}, threads);
+    const StreamScript script;  // no faults
+
+    const std::vector<uint64_t> seeds = {10, 20, 30};
+    std::vector<StreamClient> clients(seeds.size());
+    std::vector<OpenAck> acks(seeds.size());
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      clients[i] = h.connect();
+      ASSERT_EQ(clients[i].open(open_request(seeds[i]), &acks[i]), StreamClient::Status::kOk);
+      EXPECT_EQ(acks[i].total_windows, 8u);
+      EXPECT_EQ(acks[i].chunk_windows, 2u);
+    }
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      const ScriptedOutcome out =
+          pump_scripted(clients[i], script, static_cast<int>(i), seeds[i], 0, h);
+      EXPECT_TRUE(out.saw_last);
+      expect_bitwise(out.values, expected_stream(seeds[i]));
+      CloseStats cs;
+      ASSERT_EQ(clients[i].close_session(&cs), StreamClient::Status::kOk);
+      EXPECT_EQ(cs.chunks_sent, kChunksPerStream);
+    }
+
+    h.stop();
+    const StreamStats st = h.server.stats();
+    EXPECT_EQ(st.sessions_ok, seeds.size());
+    EXPECT_EQ(st.sessions_total, seeds.size());
+    expect_partition(st);
+    if (threads == 1) {
+      baseline = st;
+    } else {
+      // Worker-count invariance: identical transcript, identical counters.
+      EXPECT_EQ(st.chunks_sent, baseline.chunks_sent);
+      EXPECT_EQ(st.points_sent, baseline.points_sent);
+      EXPECT_EQ(st.sessions_ok, baseline.sessions_ok);
+    }
+  }
+}
+
+TEST(StreamChaos, KillAndResumeReplaysExactlyTheMissingBytes) {
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ChaosHarness h(StreamServerConfig{}, FaultPlan{}, threads);
+    StreamScript script;
+    script.add({StreamFault::Kind::kKillResume, /*session=*/0, /*chunk=*/1, /*stall_ms=*/0});
+
+    StreamClient first = h.connect();
+    OpenAck ack;
+    ASSERT_EQ(first.open(open_request(77), &ack), StreamClient::Status::kOk);
+    ScriptedOutcome part = pump_scripted(first, script, 0, 77, 0, h);
+    ASSERT_TRUE(part.interrupted);
+    ASSERT_EQ(part.chunks_have, 2u);
+
+    StreamClient second = h.connect();
+    ResumeRequest res;
+    res.session_id = ack.session_id;
+    res.resume_token = ack.resume_token;
+    res.chunks_have = part.chunks_have;
+    ResumeAck rack;
+    ASSERT_EQ(second.resume(res, &rack), StreamClient::Status::kOk);
+    EXPECT_EQ(rack.next_chunk_index, 2u);
+
+    const ScriptedOutcome rest =
+        pump_scripted(second, StreamScript{}, 0, 77, part.chunks_have, h);
+    EXPECT_TRUE(rest.saw_last);
+    std::vector<double> combined = part.values;
+    combined.insert(combined.end(), rest.values.begin(), rest.values.end());
+    expect_bitwise(combined, expected_stream(77));
+
+    CloseStats cs;
+    ASSERT_EQ(second.close_session(&cs), StreamClient::Status::kOk);
+    h.stop();
+    const StreamStats st = h.server.stats();
+    EXPECT_EQ(st.sessions_ok, 1u);
+    EXPECT_EQ(st.resumes, 1u);
+    expect_partition(st);
+  }
+}
+
+TEST(StreamChaos, StalledReaderIsBackpressuredNotOverrun) {
+  ChaosHarness h(StreamServerConfig{}, FaultPlan{}, 1);
+  StreamScript script;
+  script.add({StreamFault::Kind::kStallAck, /*session=*/0, /*chunk=*/1, /*stall_ms=*/30});
+
+  StreamClient client = h.connect();
+  ASSERT_EQ(client.open(open_request(5), nullptr), StreamClient::Status::kOk);
+  const ScriptedOutcome out = pump_scripted(client, script, 0, 5, 0, h);
+  EXPECT_TRUE(out.saw_last);
+  expect_bitwise(out.values, expected_stream(5));
+
+  CloseStats cs;
+  ASSERT_EQ(client.close_session(&cs), StreamClient::Status::kOk);
+  h.stop();
+  const StreamStats st = h.server.stats();
+  EXPECT_EQ(st.sessions_ok, 1u);
+  EXPECT_GE(st.heartbeats, 1u);
+  expect_partition(st);
+}
+
+TEST(StreamChaos, HeartbeatLossDetachesThenResumeCompletesTheStream) {
+  StreamServerConfig cfg;
+  cfg.idle_timeout_ms = 1'000;  // virtual
+  ChaosHarness h(cfg, FaultPlan{}, 1);
+  StreamScript script;
+  script.add({StreamFault::Kind::kDropHeartbeat, /*session=*/0, /*chunk=*/0, /*stall_ms=*/0});
+
+  StreamClient first = h.connect();
+  OpenAck ack;
+  ASSERT_EQ(first.open(open_request(13), &ack), StreamClient::Status::kOk);
+  ScriptedOutcome part = pump_scripted(first, script, 0, 13, 0, h);
+  ASSERT_TRUE(part.interrupted);
+  ASSERT_EQ(part.chunks_have, 1u);
+
+  // Wait until the server has processed the ACK (it responds by sending
+  // chunk 1) before advancing time — otherwise the ACK read would land
+  // after the advance and refresh the connection's activity stamp.
+  ASSERT_TRUE(h.wait_until([&] { return h.server.stats().chunks_sent == 2; }));
+
+  // Silence + virtual time past the idle timeout: the server must close the
+  // connection and detach the session, still resumable. The chunk sent
+  // before the silence took hold is received but never ACKed — a silent
+  // client just stops responding — and is discarded with the connection.
+  h.clock.advance_ms(2'000);
+  for (;;) {
+    ChunkMsg chunk;
+    bool last = false;
+    const StreamClient::Status st = first.recv_chunk(&chunk, &last);
+    if (st == StreamClient::Status::kClosed) break;
+    ASSERT_EQ(st, StreamClient::Status::kOk);
+  }
+
+  StreamClient second = h.connect();
+  ResumeRequest res;
+  res.session_id = ack.session_id;
+  res.resume_token = ack.resume_token;
+  res.chunks_have = part.chunks_have;
+  ResumeAck rack;
+  ASSERT_EQ(second.resume(res, &rack), StreamClient::Status::kOk);
+
+  const ScriptedOutcome rest = pump_scripted(second, StreamScript{}, 0, 13, part.chunks_have, h);
+  EXPECT_TRUE(rest.saw_last);
+  std::vector<double> combined = part.values;
+  combined.insert(combined.end(), rest.values.begin(), rest.values.end());
+  expect_bitwise(combined, expected_stream(13));
+
+  CloseStats cs;
+  ASSERT_EQ(second.close_session(&cs), StreamClient::Status::kOk);
+  h.stop();
+  const StreamStats st = h.server.stats();
+  EXPECT_EQ(st.sessions_ok, 1u);
+  EXPECT_EQ(st.resumes, 1u);
+  expect_partition(st);
+}
+
+TEST(StreamChaos, UnresumedDisconnectFailsOnceRetentionExpires) {
+  ChaosHarness h(StreamServerConfig{}, FaultPlan{}, 1);
+  StreamScript script;
+  script.add({StreamFault::Kind::kDisconnect, /*session=*/0, /*chunk=*/0, /*stall_ms=*/0});
+
+  StreamClient client = h.connect();
+  ASSERT_EQ(client.open(open_request(9), nullptr), StreamClient::Status::kOk);
+  const ScriptedOutcome out = pump_scripted(client, script, 0, 9, 0, h);
+  ASSERT_TRUE(out.interrupted);
+
+  // Nobody resumes; once resume_retention_ms (default 60 s virtual) passes,
+  // the abandoned session must resolve as failed. Keep advancing in steps —
+  // the server may not have registered the disconnect yet on the first one.
+  EXPECT_TRUE(h.wait_until([&] {
+    h.clock.advance_ms(70'000);
+    return h.server.stats().sessions_failed == 1;
+  }));
+  expect_partition(h.server.stats());
+}
+
+TEST(StreamChaos, TransientModelThrowIsRetriedInvisibly) {
+  // One TransientError on the first attempt of window 2 (= chunk 1): the
+  // server's transparent retry must succeed and the client sees the exact
+  // fault-free transcript.
+  FaultPlan plan;
+  Fault f;
+  f.kind = Fault::Kind::kThrow;
+  f.request = 0;
+  f.window = 2;
+  f.attempts = 1;
+  plan.add(f);
+  ChaosHarness h(StreamServerConfig{}, std::move(plan), 1);
+
+  StreamClient client = h.connect();
+  ASSERT_EQ(client.open(open_request(21), nullptr), StreamClient::Status::kOk);
+  const ScriptedOutcome out = pump_scripted(client, StreamScript{}, 0, 21, 0, h);
+  EXPECT_TRUE(out.saw_last);
+  expect_bitwise(out.values, expected_stream(21));
+
+  CloseStats cs;
+  ASSERT_EQ(client.close_session(&cs), StreamClient::Status::kOk);
+  h.stop();
+  const StreamStats st = h.server.stats();
+  EXPECT_EQ(st.sessions_ok, 1u);
+  expect_partition(st);
+}
+
+TEST(StreamChaos, StickyPoisonExhaustsRetriesAndFailsStructurally) {
+  // Window 4 (= chunk 2) emits NaN on every attempt: the server must rewind
+  // to the ACKed boundary, retry max_chunk_retries times, then fail the
+  // session with kModelFailure — never ship a poisoned chunk.
+  FaultPlan plan;
+  Fault f;
+  f.kind = Fault::Kind::kPoison;
+  f.request = 0;
+  f.window = 4;
+  f.attempts = 100;
+  plan.add(f);
+  ChaosHarness h(StreamServerConfig{}, std::move(plan), 1);
+
+  StreamClient client = h.connect();
+  ASSERT_EQ(client.open(open_request(33), nullptr), StreamClient::Status::kOk);
+  const ScriptedOutcome out = pump_scripted(client, StreamScript{}, 0, 33, 0, h);
+  EXPECT_FALSE(out.saw_last);
+  EXPECT_EQ(out.chunks_have, 2u);  // chunks 0 and 1 arrived clean
+  ASSERT_EQ(out.status, StreamClient::Status::kError);
+  EXPECT_EQ(client.last_error().code, StreamErrorCode::kModelFailure);
+
+  h.stop();
+  const StreamStats st = h.server.stats();
+  EXPECT_EQ(st.sessions_failed, 1u);
+  expect_partition(st);
+}
+
+TEST(StreamChaos, DrainUnderLoadResolvesEverySessionWithinTheDeadline) {
+  ChaosHarness h(StreamServerConfig{}, FaultPlan{}, 4);
+
+  // Three sessions, each holding a sent-but-unACKed chunk when the drain
+  // lands — the worst case: the server must give them the drain deadline,
+  // then cut them off cleanly.
+  std::vector<StreamClient> clients(3);
+  for (size_t i = 0; i < clients.size(); ++i) {
+    clients[i] = h.connect();
+    ASSERT_EQ(clients[i].open(open_request(100 + i), nullptr), StreamClient::Status::kOk);
+    ChunkMsg chunk;
+    bool last = false;
+    ASSERT_EQ(clients[i].recv_chunk(&chunk, &last), StreamClient::Status::kOk);
+    // No ACK: chunk 0 stays in flight.
+  }
+
+  h.server.request_drain();
+  EXPECT_TRUE(h.wait_until([&] {
+    h.clock.advance_ms(6'000);  // past drain_deadline_ms (5 s virtual)
+    return h.done.load(std::memory_order_acquire);
+  }));
+
+  // Every client is told, not just dropped: a draining ERROR (or, if the
+  // close crossed our read, a clean EOF).
+  for (auto& client : clients) {
+    ChunkMsg chunk;
+    bool last = false;
+    const StreamClient::Status st = client.recv_chunk(&chunk, &last);
+    if (st == StreamClient::Status::kError) {
+      EXPECT_EQ(client.last_error().code, StreamErrorCode::kServerDraining);
+    } else {
+      EXPECT_EQ(st, StreamClient::Status::kClosed);
+    }
+  }
+
+  const StreamStats st = h.server.stats();
+  EXPECT_EQ(st.sessions_total, 3u);
+  EXPECT_EQ(st.sessions_degraded, 3u);
+  expect_partition(st);
+}
+
+}  // namespace
+}  // namespace gendt::serve::stream

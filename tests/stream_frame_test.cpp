@@ -1,0 +1,368 @@
+// GDTSTRM1 wire-protocol corpus: every message codec round-trips bitwise,
+// and the transactional FrameDecoder survives the same corpus discipline as
+// nn_serialize_test — truncation at every byte offset, a full single-bit
+// flip sweep, oversized length fields — without ever crashing, hanging, or
+// yielding a frame it did not fully validate.
+#include "gendt/serve/stream/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace gendt::serve::stream {
+namespace {
+
+OpenRequest sample_open() {
+  OpenRequest m;
+  m.model_id = "default";
+  m.seed = 0xDEADBEEFCAFEF00Dull;
+  m.chunk_windows = 4;
+  m.points = {{0.0, 51.5, 7.4}, {1.0, 51.501, 7.401}, {2.0, 51.502, 7.402}};
+  return m;
+}
+
+ChunkMsg sample_chunk() {
+  ChunkMsg m;
+  m.index = 3;
+  m.first_window = 12;
+  m.num_windows = 2;
+  m.num_points = 8;
+  m.num_channels = 4;
+  // Bit patterns a decimal round trip would mangle: -0.0, denormals, NaN.
+  m.values.assign(static_cast<size_t>(m.num_points) * m.num_channels, 0.0);
+  m.values[0] = -0.0;
+  m.values[1] = std::numeric_limits<double>::denorm_min();
+  m.values[2] = std::numeric_limits<double>::quiet_NaN();
+  m.values[3] = -123.456789e-12;
+  for (size_t i = 4; i < m.values.size(); ++i) m.values[i] = 0.37 * static_cast<double>(i);
+  return m;
+}
+
+void expect_values_bitwise(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i]), std::bit_cast<uint64_t>(b[i])) << "value " << i;
+}
+
+// ---- Message codec round trips ---------------------------------------------
+
+TEST(StreamCodec, OpenRoundTrip) {
+  const OpenRequest m = sample_open();
+  OpenRequest out;
+  ASSERT_TRUE(decode_open(encode_open(m), out, /*max_points=*/1024));
+  EXPECT_EQ(out.model_id, m.model_id);
+  EXPECT_EQ(out.seed, m.seed);
+  EXPECT_EQ(out.chunk_windows, m.chunk_windows);
+  ASSERT_EQ(out.points.size(), m.points.size());
+  for (size_t i = 0; i < m.points.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(out.points[i].t), std::bit_cast<uint64_t>(m.points[i].t));
+    EXPECT_EQ(out.points[i].lat, m.points[i].lat);
+    EXPECT_EQ(out.points[i].lon, m.points[i].lon);
+  }
+}
+
+TEST(StreamCodec, OpenAckRoundTrip) {
+  OpenAck m;
+  m.session_id = "s42";
+  m.resume_token = 0x1122334455667788ull;
+  m.chunk_windows = 8;
+  m.total_windows = 40;
+  m.channel_names = {"rsrp_dbm", "sinr_db"};
+  m.t0 = -0.0;
+  m.period_s = 0.5;
+  OpenAck out;
+  ASSERT_TRUE(decode_open_ack(encode_open_ack(m), out));
+  EXPECT_EQ(out.session_id, m.session_id);
+  EXPECT_EQ(out.resume_token, m.resume_token);
+  EXPECT_EQ(out.chunk_windows, m.chunk_windows);
+  EXPECT_EQ(out.total_windows, m.total_windows);
+  EXPECT_EQ(out.channel_names, m.channel_names);
+  EXPECT_EQ(std::bit_cast<uint64_t>(out.t0), std::bit_cast<uint64_t>(m.t0));
+  EXPECT_EQ(out.period_s, m.period_s);
+}
+
+TEST(StreamCodec, ChunkRoundTripIsBitwise) {
+  const ChunkMsg m = sample_chunk();
+  ChunkMsg out;
+  ASSERT_TRUE(decode_chunk(encode_chunk(m), out, /*max_points=*/1 << 16));
+  EXPECT_EQ(out.index, m.index);
+  EXPECT_EQ(out.first_window, m.first_window);
+  EXPECT_EQ(out.num_windows, m.num_windows);
+  EXPECT_EQ(out.num_points, m.num_points);
+  EXPECT_EQ(out.num_channels, m.num_channels);
+  expect_values_bitwise(out.values, m.values);
+}
+
+TEST(StreamCodec, SmallMessagesRoundTrip) {
+  AckMsg ack{77};
+  AckMsg ack_out;
+  ASSERT_TRUE(decode_ack(encode_ack(ack), ack_out));
+  EXPECT_EQ(ack_out.chunk_index, 77u);
+
+  ResumeRequest res;
+  res.session_id = "s7";
+  res.resume_token = 9;
+  res.chunks_have = 3;
+  ResumeRequest res_out;
+  ASSERT_TRUE(decode_resume(encode_resume(res), res_out));
+  EXPECT_EQ(res_out.session_id, "s7");
+  EXPECT_EQ(res_out.resume_token, 9u);
+  EXPECT_EQ(res_out.chunks_have, 3u);
+
+  ResumeAck rack;
+  rack.next_chunk_index = 3;
+  rack.total_windows = 20;
+  ResumeAck rack_out;
+  ASSERT_TRUE(decode_resume_ack(encode_resume_ack(rack), rack_out));
+  EXPECT_EQ(rack_out.next_chunk_index, 3u);
+  EXPECT_EQ(rack_out.total_windows, 20u);
+
+  CloseStats cs{5, 640};
+  CloseStats cs_out;
+  ASSERT_TRUE(decode_close_stats(encode_close_stats(cs), cs_out));
+  EXPECT_EQ(cs_out.chunks_sent, 5u);
+  EXPECT_EQ(cs_out.points_sent, 640u);
+
+  ErrorMsg err{StreamErrorCode::kBadResumeToken, "wrong token"};
+  ErrorMsg err_out;
+  ASSERT_TRUE(decode_error(encode_error(err), err_out));
+  EXPECT_EQ(err_out.code, StreamErrorCode::kBadResumeToken);
+  EXPECT_EQ(err_out.message, "wrong token");
+}
+
+// ---- Body-shape validation -------------------------------------------------
+
+TEST(StreamCodec, TrailingGarbageIsMalformed) {
+  std::vector<uint8_t> body = encode_ack(AckMsg{1});
+  body.push_back(0);
+  AckMsg out;
+  EXPECT_FALSE(decode_ack(body, out));
+}
+
+TEST(StreamCodec, OpenRejectsWrongMagic) {
+  std::vector<uint8_t> body = encode_open(sample_open());
+  body[0] ^= 0x20;
+  OpenRequest out;
+  EXPECT_FALSE(decode_open(body, out, 1024));
+}
+
+TEST(StreamCodec, OpenRejectsTooManyPoints) {
+  OpenRequest out;
+  EXPECT_FALSE(decode_open(encode_open(sample_open()), out, /*max_points=*/2));
+}
+
+TEST(StreamCodec, ChunkRejectsPointCapAndShapeMismatch) {
+  const ChunkMsg m = sample_chunk();
+  ChunkMsg out;
+  EXPECT_FALSE(decode_chunk(encode_chunk(m), out, /*max_points=*/4));
+
+  // Value payload shorter than num_points*num_channels claims.
+  std::vector<uint8_t> body = encode_chunk(m);
+  body.resize(body.size() - 8);
+  EXPECT_FALSE(decode_chunk(body, out, 1 << 16));
+}
+
+TEST(StreamCodec, ErrorCodeOutOfRangeIsMalformed) {
+  std::vector<uint8_t> body = encode_error({StreamErrorCode::kNone, "x"});
+  body[0] = 200;  // beyond the closed taxonomy
+  ErrorMsg out;
+  EXPECT_FALSE(decode_error(body, out));
+}
+
+// ---- Frame decoder: happy paths --------------------------------------------
+
+TEST(FrameDecoder, SingleFrameRoundTrip) {
+  const std::vector<uint8_t> wire = encode_frame(FrameType::kChunk, kFlagLast,
+                                                 encode_chunk(sample_chunk()));
+  FrameDecoder dec(1 << 20);
+  dec.feed(wire.data(), wire.size());
+  Frame f;
+  std::string error;
+  ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kFrame) << error;
+  EXPECT_TRUE(f.is(FrameType::kChunk));
+  EXPECT_TRUE(f.last());
+  EXPECT_FALSE(f.reply());
+  ChunkMsg out;
+  ASSERT_TRUE(decode_chunk(f.body, out, 1 << 16));
+  expect_values_bitwise(out.values, sample_chunk().values);
+  EXPECT_EQ(dec.next(f, &error), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameDecoder, ByteAtATimeFeedingYieldsTheFrameOnceComplete) {
+  const std::vector<uint8_t> wire = encode_frame(FrameType::kAck, 0, encode_ack(AckMsg{5}));
+  FrameDecoder dec(1 << 20);
+  Frame f;
+  std::string error;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    dec.feed(&wire[i], 1);
+    ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kNeedMore) << "byte " << i;
+  }
+  dec.feed(&wire.back(), 1);
+  ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kFrame) << error;
+  EXPECT_TRUE(f.is(FrameType::kAck));
+}
+
+TEST(FrameDecoder, ManyFramesInOneBufferAllExtract) {
+  std::vector<uint8_t> wire;
+  const int kFrames = 500;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto one = encode_frame(FrameType::kAck, 0, encode_ack({static_cast<uint64_t>(i)}));
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  FrameDecoder dec(1 << 20);
+  dec.feed(wire.data(), wire.size());
+  Frame f;
+  std::string error;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kFrame) << "frame " << i << " " << error;
+    AckMsg m;
+    ASSERT_TRUE(decode_ack(f.body, m));
+    EXPECT_EQ(m.chunk_index, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(dec.next(f, &error), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+// Split feeds never tear a frame: a frame and a half, then the other half.
+TEST(FrameDecoder, PartialSecondFrameStaysBuffered) {
+  const auto a = encode_frame(FrameType::kHeartbeat, 0, {});
+  const auto b = encode_frame(FrameType::kClose, kFlagReply, encode_close_stats({1, 2}));
+  std::vector<uint8_t> first(a);
+  first.insert(first.end(), b.begin(), b.begin() + 3);
+  FrameDecoder dec(1 << 20);
+  dec.feed(first.data(), first.size());
+  Frame f;
+  std::string error;
+  ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kFrame);
+  EXPECT_TRUE(f.is(FrameType::kHeartbeat));
+  ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kNeedMore);
+  dec.feed(b.data() + 3, b.size() - 3);
+  ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kFrame);
+  EXPECT_TRUE(f.is(FrameType::kClose));
+  EXPECT_TRUE(f.reply());
+}
+
+// ---- Frame decoder: corpus discipline --------------------------------------
+
+// Truncation at every byte offset: a prefix is never an error and never a
+// frame — and completing the bytes afterwards still yields the exact frame,
+// proving no partial consumption happened.
+TEST(FrameDecoder, TruncationAtEveryByteOffset) {
+  const std::vector<uint8_t> wire = encode_frame(FrameType::kChunk, 0,
+                                                 encode_chunk(sample_chunk()));
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder dec(1 << 20);
+    dec.feed(wire.data(), cut);
+    Frame f;
+    std::string error;
+    ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kNeedMore) << "cut " << cut;
+    dec.feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kFrame) << "cut " << cut << " " << error;
+    ChunkMsg out;
+    ASSERT_TRUE(decode_chunk(f.body, out, 1 << 16)) << "cut " << cut;
+  }
+}
+
+// Full single-bit-flip sweep: no flipped frame is ever accepted. A flip in
+// the length field may legitimately leave the decoder waiting for more
+// bytes; everything else must surface as a CRC/shape error. What must NEVER
+// happen is Status::kFrame.
+TEST(FrameDecoder, BitFlipSweepNeverYieldsAFrame) {
+  const std::vector<uint8_t> wire = encode_frame(FrameType::kChunk, kFlagLast,
+                                                 encode_chunk(sample_chunk()));
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> flipped = wire;
+      flipped[byte] = static_cast<uint8_t>(flipped[byte] ^ (1u << bit));
+      FrameDecoder dec(1 << 20);
+      dec.feed(flipped.data(), flipped.size());
+      Frame f;
+      std::string error;
+      const FrameDecoder::Status st = dec.next(f, &error);
+      ASSERT_NE(st, FrameDecoder::Status::kFrame) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// Oversized length fields are rejected from the 4 header bytes alone.
+TEST(FrameDecoder, OversizedLengthRejectedBeforeBody) {
+  for (uint32_t body_len : {uint32_t{1025}, uint32_t{1} << 30, uint32_t{0xFFFFFFFF}}) {
+    FrameDecoder dec(/*max_body=*/1024);
+    uint8_t header[4] = {static_cast<uint8_t>(body_len), static_cast<uint8_t>(body_len >> 8),
+                         static_cast<uint8_t>(body_len >> 16),
+                         static_cast<uint8_t>(body_len >> 24)};
+    dec.feed(header, sizeof header);
+    Frame f;
+    std::string error;
+    ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kError) << body_len;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(FrameDecoder, UnknownFrameTypeRejected) {
+  for (uint8_t type : {uint8_t{0}, uint8_t{8}, uint8_t{255}}) {
+    // Build a CRC-valid frame of an unknown type by hand.
+    WireWriter w;
+    w.u8(type);
+    w.u8(0);
+    const uint32_t crc = crc32(w.bytes().data(), w.bytes().size());
+    std::vector<uint8_t> wire = {0, 0, 0, 0};  // body_len = 0
+    wire.insert(wire.end(), w.bytes().begin(), w.bytes().end());
+    for (int i = 0; i < 4; ++i) wire.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    FrameDecoder dec(1 << 20);
+    dec.feed(wire.data(), wire.size());
+    Frame f;
+    std::string error;
+    ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kError) << int(type);
+  }
+}
+
+// Once poisoned, always poisoned: frame boundaries are unrecoverable after
+// corruption, so a valid frame after garbage must not resurrect the stream.
+TEST(FrameDecoder, PoisonIsSticky) {
+  FrameDecoder dec(/*max_body=*/64);
+  const uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  dec.feed(huge, sizeof huge);
+  Frame f;
+  std::string error;
+  ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kError);
+  const auto good = encode_frame(FrameType::kHeartbeat, 0, {});
+  dec.feed(good.data(), good.size());
+  ASSERT_EQ(dec.next(f, &error), FrameDecoder::Status::kError);
+}
+
+// ---- Wire primitives -------------------------------------------------------
+
+TEST(WirePrimitives, ReaderRejectsUnderrunAndStaysPoisoned) {
+  WireWriter w;
+  w.u32(7);
+  WireReader r(w.bytes().data(), w.bytes().size());
+  uint64_t v64 = 0;
+  EXPECT_FALSE(r.u64(v64));  // only 4 bytes available
+  uint32_t v32 = 0;
+  EXPECT_FALSE(r.u32(v32));  // poisoned: even a fitting read now fails
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WirePrimitives, StringLengthBeyondRemainingIsMalformed) {
+  WireWriter w;
+  w.u32(1000);  // claims 1000 bytes, provides 2
+  w.u8('h');
+  w.u8('i');
+  WireReader r(w.bytes().data(), w.bytes().size());
+  std::string s;
+  EXPECT_FALSE(r.str(s));
+}
+
+TEST(WirePrimitives, ErrorCodeNamesAreClosed) {
+  EXPECT_EQ(to_string(StreamErrorCode::kBadFrame), "bad_frame");
+  EXPECT_EQ(to_string(StreamErrorCode::kServerDraining), "server_draining");
+  EXPECT_EQ(from_serve_error(ServeErrorCode::kCancelled), StreamErrorCode::kCancelled);
+  EXPECT_EQ(from_serve_error(ServeErrorCode::kNone), StreamErrorCode::kNone);
+}
+
+}  // namespace
+}  // namespace gendt::serve::stream

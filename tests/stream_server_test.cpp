@@ -1,0 +1,421 @@
+// StreamServer contract tests over an in-process socket pair and a real
+// (random-init) GenDT model:
+//
+//  * an uninterrupted chunked stream is bitwise identical to one single-shot
+//    StreamSession chunk over the same windows (seam-free by construction),
+//  * kill-and-RESUME (with and without a lost ACK) regenerates exactly the
+//    bytes the uninterrupted stream would have carried,
+//  * both hold at 1 and 4 generation workers,
+//  * protocol abuse (garbage bytes, wrong resume token, unknown session)
+//    surfaces as structured ERROR frames, never a crash or a torn session,
+//  * every admitted session resolves into the ok/degraded/failed/shed
+//    partition: ok + degraded + failed + shed == sessions_total.
+#include "gendt/serve/stream/server.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gendt/context/context.h"
+#include "gendt/core/stream_session.h"
+#include "gendt/net/socket.h"
+#include "gendt/serve/stream/client.h"
+#include "gendt/sim/dataset.h"
+
+namespace gendt::serve::stream {
+namespace {
+
+class StreamServerF : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::DatasetScale scale;
+    scale.train_duration_s = 260.0;
+    scale.test_duration_s = 130.0;
+    scale.records_per_scenario = 1;
+    ds_ = new sim::Dataset(sim::make_dataset_a(scale));
+    norm_ = new context::KpiNorm(context::fit_kpi_norm(ds_->train, ds_->kpis));
+    context::ContextConfig ccfg;
+    ccfg.window_len = 25;
+    ccfg.train_step = 10;
+    ccfg.max_cells = 5;
+    context::ContextBuilder builder(ds_->world, ccfg, *norm_, ds_->kpis);
+    windows_ = new std::vector<context::Window>(builder.generation_windows(ds_->test[0]));
+    ASSERT_GE(windows_->size(), 5u) << "need several chunks worth of windows";
+
+    // Untrained (random-init) weights, same shape as gen_parity_test: the
+    // contract under test is seam-free byte identity, not model quality.
+    core::GenDTConfig mcfg;
+    mcfg.num_channels = 4;
+    mcfg.hidden = 12;
+    mcfg.resgen_hidden = 16;
+    mcfg.init_seed = 3;
+    mcfg.parallelism.threads = 1;
+    ASSERT_GE(ds_->kpis.size(), 4u);
+    model_ = new core::GenDTModel(mcfg);
+
+    names_ = new std::vector<std::string>();
+    for (int c = 0; c < mcfg.num_channels; ++c)
+      names_->emplace_back(sim::kpi_name(ds_->kpis[static_cast<size_t>(c)]));
+  }
+  static void TearDownTestSuite() {
+    delete names_;
+    delete model_;
+    delete windows_;
+    delete norm_;
+    delete ds_;
+    names_ = nullptr;
+    model_ = nullptr;
+    windows_ = nullptr;
+    norm_ = nullptr;
+    ds_ = nullptr;
+  }
+
+  // Row-major [points x channels] flattening of one single-shot chunk over
+  // ALL windows — the reference bytes every streamed variant must match.
+  static std::vector<double> single_shot(uint64_t seed) {
+    core::StreamSession session(*model_, *norm_, {}, *windows_, seed,
+                                static_cast<int>(windows_->size()));
+    const core::GeneratedSeries series = session.next_chunk();
+    std::vector<double> flat;
+    const size_t n = series.length();
+    for (size_t t = 0; t < n; ++t)
+      for (const auto& ch : series.channels) flat.push_back(ch[t]);
+    return flat;
+  }
+
+  static StreamServerConfig server_config(int threads) {
+    StreamServerConfig cfg;
+    cfg.chunk_windows = 2;
+    cfg.parallelism.threads = threads;
+    return cfg;
+  }
+
+  // Factory serving the fixture windows; the OPEN's trajectory is ignored
+  // (the CLI factory, which builds windows from the wire trajectory, is
+  // covered end-to-end by cli_test).
+  static StreamServer::SourceFactory fixture_factory() {
+    return [](const OpenRequest& open, StreamErrorCode*, std::string*)
+               -> std::unique_ptr<ChunkSource> {
+      return std::make_unique<GenDTChunkSource>(
+          *model_, *norm_, std::vector<sim::Kpi>{}, *windows_, open.seed,
+          static_cast<int>(open.chunk_windows), *names_, 0.0, 1.0);
+    };
+  }
+
+  static void expect_bitwise(const std::vector<double>& got, const std::vector<double>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(std::bit_cast<uint64_t>(got[i]), std::bit_cast<uint64_t>(want[i]))
+          << "value " << i;
+  }
+
+  static sim::Dataset* ds_;
+  static context::KpiNorm* norm_;
+  static std::vector<context::Window>* windows_;
+  static core::GenDTModel* model_;
+  static std::vector<std::string>* names_;
+};
+
+sim::Dataset* StreamServerF::ds_ = nullptr;
+context::KpiNorm* StreamServerF::norm_ = nullptr;
+std::vector<context::Window>* StreamServerF::windows_ = nullptr;
+core::GenDTModel* StreamServerF::model_ = nullptr;
+std::vector<std::string>* StreamServerF::names_ = nullptr;
+
+// Runs the server event loop on a background thread; stop() drains and
+// joins. Each connect() hands the server one end of a fresh socket pair.
+struct Harness {
+  explicit Harness(StreamServerConfig cfg, StreamServer::SourceFactory factory)
+      : server(std::move(cfg), std::move(factory)) {
+    thread = std::thread([this] { server.run(); });
+  }
+  ~Harness() { stop(); }
+
+  StreamClient connect() {
+    net::FdGuard server_end, client_end;
+    EXPECT_TRUE(net::socket_pair(server_end, client_end));
+    server.adopt(std::move(server_end));
+    StreamClient client;
+    client.adopt(std::move(client_end));
+    return client;
+  }
+
+  void stop() {
+    if (thread.joinable()) {
+      server.request_drain();
+      thread.join();
+    }
+  }
+
+  StreamServer server;
+  std::thread thread;
+};
+
+void expect_partition(const StreamStats& st) {
+  EXPECT_EQ(st.sessions_ok + st.sessions_degraded + st.sessions_failed + st.sessions_shed,
+            st.sessions_total);
+}
+
+// Receive + ACK chunks until `stop_after` chunks are held (0 = the whole
+// stream); returns the concatenated row-major values.
+std::vector<double> pump(StreamClient& client, uint64_t& chunks_have, bool& saw_last,
+                         uint64_t stop_after = 0) {
+  std::vector<double> values;
+  saw_last = false;
+  while (!saw_last) {
+    ChunkMsg chunk;
+    bool last = false;
+    const StreamClient::Status st = client.recv_chunk(&chunk, &last);
+    if (st != StreamClient::Status::kOk) {
+      ADD_FAILURE() << "recv_chunk status " << static_cast<int>(st);
+      break;
+    }
+    EXPECT_EQ(chunk.index, chunks_have);
+    values.insert(values.end(), chunk.values.begin(), chunk.values.end());
+    EXPECT_TRUE(client.ack(chunk.index));
+    chunks_have = chunk.index + 1;
+    saw_last = last;
+    if (stop_after != 0 && chunks_have >= stop_after) break;
+  }
+  return values;
+}
+
+TEST_F(StreamServerF, UninterruptedStreamMatchesSingleShotBitwise) {
+  const std::vector<double> want = single_shot(/*seed=*/7);
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Harness h(server_config(threads), fixture_factory());
+    StreamClient client = h.connect();
+
+    OpenRequest req;
+    req.seed = 7;
+    req.chunk_windows = 2;
+    req.points = {{0.0, 51.5, 7.4}, {1.0, 51.6, 7.5}};
+    OpenAck ack;
+    ASSERT_EQ(client.open(req, &ack), StreamClient::Status::kOk);
+    EXPECT_EQ(ack.total_windows, windows_->size());
+    EXPECT_EQ(ack.chunk_windows, 2u);
+    EXPECT_EQ(ack.channel_names, *names_);
+    EXPECT_NE(ack.resume_token, 0u);
+
+    uint64_t chunks_have = 0;
+    bool saw_last = false;
+    const std::vector<double> got = pump(client, chunks_have, saw_last);
+    EXPECT_TRUE(saw_last);
+    expect_bitwise(got, want);
+
+    CloseStats cs;
+    ASSERT_EQ(client.close_session(&cs), StreamClient::Status::kOk);
+    EXPECT_EQ(cs.chunks_sent, chunks_have);
+    EXPECT_EQ(cs.points_sent, want.size() / names_->size());
+
+    h.stop();
+    const StreamStats st = h.server.stats();
+    EXPECT_EQ(st.sessions_ok, 1u);
+    EXPECT_EQ(st.sessions_total, 1u);
+    expect_partition(st);
+  }
+}
+
+TEST_F(StreamServerF, KillAndResumeIsSeamFreeAtAnyWorkerCount) {
+  const std::vector<double> want = single_shot(/*seed=*/41);
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Harness h(server_config(threads), fixture_factory());
+
+    // Phase 1: take two chunks, ACK both, then drop the connection hard.
+    StreamClient first = h.connect();
+    OpenRequest req;
+    req.seed = 41;
+    req.chunk_windows = 2;
+    req.points = {{0.0, 51.5, 7.4}, {1.0, 51.6, 7.5}};
+    OpenAck ack;
+    ASSERT_EQ(first.open(req, &ack), StreamClient::Status::kOk);
+    uint64_t chunks_have = 0;
+    bool saw_last = false;
+    std::vector<double> values = pump(first, chunks_have, saw_last, /*stop_after=*/2);
+    ASSERT_EQ(chunks_have, 2u);
+    ASSERT_FALSE(saw_last);
+    first.kill();
+
+    // Phase 2: fresh connection, RESUME from the ACKed cursor.
+    StreamClient second = h.connect();
+    ResumeRequest res;
+    res.session_id = ack.session_id;
+    res.resume_token = ack.resume_token;
+    res.chunks_have = chunks_have;
+    ResumeAck rack;
+    ASSERT_EQ(second.resume(res, &rack), StreamClient::Status::kOk)
+        << "code " << static_cast<int>(second.last_error().code) << ": "
+        << second.last_error().message;
+    EXPECT_EQ(rack.next_chunk_index, chunks_have);
+    EXPECT_EQ(rack.total_windows, windows_->size());
+
+    const std::vector<double> rest = pump(second, chunks_have, saw_last);
+    EXPECT_TRUE(saw_last);
+    values.insert(values.end(), rest.begin(), rest.end());
+    expect_bitwise(values, want);
+
+    CloseStats cs;
+    ASSERT_EQ(second.close_session(&cs), StreamClient::Status::kOk);
+
+    h.stop();
+    const StreamStats st = h.server.stats();
+    EXPECT_EQ(st.sessions_ok, 1u);
+    EXPECT_EQ(st.resumes, 1u);
+    expect_partition(st);
+  }
+}
+
+// The ACK for a received chunk can be lost with the disconnect: the client
+// holds chunk K while the server's cursor says K-1. RESUME with
+// chunks_have = K must count the lost ACK and continue, not regenerate K.
+TEST_F(StreamServerF, ResumeAfterLostAckContinuesWithoutRegenerating) {
+  const std::vector<double> want = single_shot(/*seed=*/99);
+  Harness h(server_config(1), fixture_factory());
+
+  StreamClient first = h.connect();
+  OpenRequest req;
+  req.seed = 99;
+  req.chunk_windows = 2;
+  req.points = {{0.0, 51.5, 7.4}, {1.0, 51.6, 7.5}};
+  OpenAck ack;
+  ASSERT_EQ(first.open(req, &ack), StreamClient::Status::kOk);
+
+  // Chunk 0: receive + ACK. Chunk 1: receive, do NOT ack, kill.
+  std::vector<double> values;
+  ChunkMsg chunk;
+  bool last = false;
+  ASSERT_EQ(first.recv_chunk(&chunk, &last), StreamClient::Status::kOk);
+  values.insert(values.end(), chunk.values.begin(), chunk.values.end());
+  ASSERT_TRUE(first.ack(chunk.index));
+  ASSERT_EQ(first.recv_chunk(&chunk, &last), StreamClient::Status::kOk);
+  EXPECT_EQ(chunk.index, 1u);
+  values.insert(values.end(), chunk.values.begin(), chunk.values.end());
+  first.kill();
+
+  StreamClient second = h.connect();
+  ResumeRequest res;
+  res.session_id = ack.session_id;
+  res.resume_token = ack.resume_token;
+  res.chunks_have = 2;  // client holds chunks 0 and 1; ACK of 1 was lost
+  ResumeAck rack;
+  ASSERT_EQ(second.resume(res, &rack), StreamClient::Status::kOk);
+  EXPECT_EQ(rack.next_chunk_index, 2u);
+
+  uint64_t chunks_have = 2;
+  bool saw_last = false;
+  const std::vector<double> rest = pump(second, chunks_have, saw_last);
+  EXPECT_TRUE(saw_last);
+  values.insert(values.end(), rest.begin(), rest.end());
+  expect_bitwise(values, want);
+
+  CloseStats cs;
+  ASSERT_EQ(second.close_session(&cs), StreamClient::Status::kOk);
+  h.stop();
+  expect_partition(h.server.stats());
+}
+
+TEST_F(StreamServerF, BadResumeCredentialsAreRejectedStructurally) {
+  Harness h(server_config(1), fixture_factory());
+
+  StreamClient first = h.connect();
+  OpenRequest req;
+  req.seed = 5;
+  req.points = {{0.0, 51.5, 7.4}, {1.0, 51.6, 7.5}};
+  OpenAck ack;
+  ASSERT_EQ(first.open(req, &ack), StreamClient::Status::kOk);
+  first.kill();  // detach; session stays resumable
+
+  // Wrong token.
+  StreamClient wrong_token = h.connect();
+  ResumeRequest res;
+  res.session_id = ack.session_id;
+  res.resume_token = ack.resume_token + 1;
+  res.chunks_have = 0;
+  ASSERT_EQ(wrong_token.resume(res, nullptr), StreamClient::Status::kError);
+  EXPECT_EQ(wrong_token.last_error().code, StreamErrorCode::kBadResumeToken);
+
+  // Unknown session.
+  StreamClient unknown = h.connect();
+  res.session_id = "sNOPE";
+  res.resume_token = ack.resume_token;
+  ASSERT_EQ(unknown.resume(res, nullptr), StreamClient::Status::kError);
+  EXPECT_EQ(unknown.last_error().code, StreamErrorCode::kUnknownSession);
+
+  // A resume cursor ahead of anything the server sent is a bad token too.
+  StreamClient ahead = h.connect();
+  res.session_id = ack.session_id;
+  res.resume_token = ack.resume_token;
+  res.chunks_have = 40;
+  ASSERT_EQ(ahead.resume(res, nullptr), StreamClient::Status::kError);
+  EXPECT_EQ(ahead.last_error().code, StreamErrorCode::kBadResumeToken);
+
+  h.stop();
+  expect_partition(h.server.stats());
+}
+
+TEST_F(StreamServerF, GarbageBytesYieldBadFrameErrorNotACrash) {
+  Harness h(server_config(1), fixture_factory());
+
+  net::FdGuard server_end, client_end;
+  ASSERT_TRUE(net::socket_pair(server_end, client_end));
+  h.server.adopt(std::move(server_end));
+  // A complete 4-byte-body frame whose CRC cannot match: rejected on the
+  // spot (an incomplete frame would just be buffered awaiting more bytes).
+  const uint8_t garbage[] = {0x04, 0x00, 0x00, 0x00, 0xFF, 0xEE, 0xDD,
+                             0xCC, 0xBB, 0xAA, 0x99, 0x88, 0x77, 0x66};
+  ASSERT_TRUE(net::write_all(client_end.get(), garbage, sizeof garbage));
+  StreamClient client;
+  client.adopt(std::move(client_end));
+
+  ChunkMsg chunk;
+  bool last = false;
+  ASSERT_EQ(client.recv_chunk(&chunk, &last), StreamClient::Status::kError);
+  EXPECT_EQ(client.last_error().code, StreamErrorCode::kBadFrame);
+
+  h.stop();
+  const StreamStats st = h.server.stats();
+  EXPECT_GE(st.bad_frames, 1u);
+  EXPECT_EQ(st.sessions_total, 0u);  // garbage never created a session
+  expect_partition(st);
+}
+
+TEST_F(StreamServerF, DrainShedsNewOpensAndClientAbortCountsAsFailed) {
+  Harness h(server_config(1), fixture_factory());
+
+  // A session aborted by an early CLOSE resolves as failed.
+  StreamClient aborter = h.connect();
+  OpenRequest req;
+  req.seed = 11;
+  req.points = {{0.0, 51.5, 7.4}, {1.0, 51.6, 7.5}};
+  OpenAck ack;
+  ASSERT_EQ(aborter.open(req, &ack), StreamClient::Status::kOk);
+  CloseStats cs;
+  ASSERT_EQ(aborter.close_session(&cs), StreamClient::Status::kOk);
+
+  // OPEN during drain is shed with kServerDraining.
+  StreamClient late = h.connect();
+  h.server.request_drain();
+  // Draining starts on the server's next tick; wait for it to take effect.
+  while (!h.server.draining()) std::this_thread::yield();
+  const StreamClient::Status st = late.open(req, nullptr);
+  if (st == StreamClient::Status::kError) {
+    EXPECT_EQ(late.last_error().code, StreamErrorCode::kServerDraining);
+  } else {
+    // The drain tick may already have closed the connection under us —
+    // also a clean refusal, just without the courtesy frame.
+    EXPECT_EQ(st, StreamClient::Status::kClosed);
+  }
+
+  h.stop();
+  const StreamStats stats = h.server.stats();
+  EXPECT_EQ(stats.sessions_failed, 1u);
+  expect_partition(stats);
+}
+
+}  // namespace
+}  // namespace gendt::serve::stream

@@ -4,8 +4,10 @@
 # per-sanitizer build dir and run the matching ctest labels under it.
 # Defaults to the runtime + nn + serialize + serve + gen-parity subset (code
 # that shares state across threads, the checkpoint fault-injection corpus,
-# the serving engine's chaos sweep plus the registry/router and trace-replay
-# suites ("serve" also matches the hyphenated serve-replay label), and the
+# the serving engine's chaos sweep plus the registry/router, trace-replay,
+# and streaming-daemon suites ("serve" also matches the hyphenated
+# serve-replay and serve-stream labels, so the GDTSTRM1 frame fuzz corpus
+# and the resume/drain chaos tests run under every sanitizer here), and the
 # inference fast path's bitwise-parity suite — these run multi-worker
 # batches whose determinism claim is only credible with TSan watching) —
 # pass a label regex to vet anything else, e.g.:

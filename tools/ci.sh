@@ -17,13 +17,18 @@
 #                                  opt-in, so installing it hardens the gate)
 #   4. full ctest suite           (includes the gendt_lint_self_test /
 #                                  gendt_lint_tree entries, label `lint`)
-#   5. TSan subset                (tools/check.sh thread  -> runtime|nn|serialize|serve)
+#   5. TSan subset                (tools/check.sh thread  -> runtime|nn|serialize|serve;
+#                                  "serve" also matches serve-stream, so the
+#                                  streaming daemon's multi-worker resume and
+#                                  drain paths run with the race detector on)
 #   6. UBSan subset               (tools/check.sh undefined -> runtime|nn|serialize|serve)
 #   7. ASan serve-chaos + corpus  (serialize|serve: the checkpoint
-#                                  fault-injection corpus and the serving
-#                                  engine's chaos sweep — corrupt files and
-#                                  injected faults must fail cleanly, not as
-#                                  heap errors the test harness can't see)
+#                                  fault-injection corpus, the serving
+#                                  engine's chaos sweep, and the GDTSTRM1
+#                                  frame-decoder fuzz corpus — corrupt files,
+#                                  injected faults, and hostile wire bytes
+#                                  must fail cleanly, not as heap errors the
+#                                  test harness can't see)
 #   8. UBSan scalar-route gate    (GENDT_SIMD=off over serialize|gen-parity:
 #                                  the pack/checkpoint corpora and both
 #                                  parity suites with kernel dispatch forced

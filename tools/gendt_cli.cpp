@@ -42,6 +42,28 @@
 //       request ends in a structured error or was shed (degraded responses
 //       are successes — that is the point of the fallback).
 //
+//   gendt serve --stream --socket PATH --model MODEL.{ckpt,gdtpack}
+//               [--chunk-windows N] [--idle-timeout-ms N] [--drain-deadline-ms N]
+//               [--threads N] [--dataset a|b] [--seed N]
+//       Streaming daemon: GDTSTRM1 sessions over a Unix-domain socket.
+//       Each OPEN carries a trajectory; the server answers in ACK-paced
+//       chunks (one in flight per session, so a stalled reader exerts
+//       backpressure), keeps a resume snapshot at every ACK, and survives
+//       disconnects: a RESUME continues from the last ACKed chunk with the
+//       stream bitwise identical to an uninterrupted one — and to `gendt
+//       generate` on the same trajectory. SIGINT/SIGTERM drains gracefully:
+//       in-flight chunks finish (or cancel at --drain-deadline-ms), every
+//       session closes cleanly, final stats partition exactly.
+//
+//   gendt stream-client --socket PATH --trajectory TRAJ.csv --out OUT.csv
+//               [--gen-seed N] [--chunk-windows N]
+//               [--kill-after-chunks K --state FILE] [--resume --state FILE]
+//       Blocking client for the streaming daemon: opens a session, receives
+//       and ACKs chunks, writes the series CSV. --kill-after-chunks drops
+//       the connection mid-stream and saves the session credentials plus
+//       received values to --state; a later --resume --state run reconnects,
+//       RESUMEs, and finishes the identical CSV.
+//
 //   gendt replay --out BENCH.json (--scripted N | --models id=PATH,...)
 //               [--requests N] [--rate-hz R] [--seed N] [--deadline-ms N]
 //               [--sim-workers W] [--budget B] [--threads T] [--swap-at MS]
@@ -57,6 +79,7 @@
 // The world (cells + environment context) is reconstructed from
 // --dataset/--seed; operators with real data would adapt sim::World to
 // their cell table and land-use sources.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,15 +95,19 @@
 #include "gendt/baselines/baselines.h"
 #include "gendt/core/infer_session.h"
 #include "gendt/core/model.h"
+#include "gendt/geo/geo.h"
 #include "gendt/io/csv.h"
 #include "gendt/metrics/metrics.h"
 #include "gendt/nn/pack.h"
 #include "gendt/nn/simd.h"
+#include "gendt/runtime/signal.h"
 #include "gendt/serve/engine.h"
 #include "gendt/serve/fault.h"
 #include "gendt/serve/registry.h"
 #include "gendt/serve/replay.h"
 #include "gendt/serve/router.h"
+#include "gendt/serve/stream/client.h"
+#include "gendt/serve/stream/server.h"
 #include "gendt/sim/dataset.h"
 
 using namespace gendt;
@@ -127,7 +154,13 @@ const std::map<std::string, std::set<std::string>>& command_options() {
       {"pack", {"in", "out"}},
       {"serve",
        {"requests", "model", "models", "model-budget", "out", "dataset", "seed", "train-s",
-        "deadline-ms", "max-queue", "shed", "threads", "batch-max"}},
+        "deadline-ms", "max-queue", "shed", "threads", "batch-max",
+        // --stream daemon options
+        "stream", "socket", "chunk-windows", "idle-timeout-ms", "drain-deadline-ms",
+        "stream-sessions", "idle-exit-ms"}},
+      {"stream-client",
+       {"socket", "trajectory", "out", "gen-seed", "chunk-windows", "kill-after-chunks",
+        "state", "resume"}},
       {"replay",
        {"out", "scripted", "models", "requests", "rate-hz", "seed", "deadline-ms",
         "sim-workers", "budget", "threads", "window-cost-ms", "windows", "window-len",
@@ -152,11 +185,12 @@ Args parse(int argc, char** argv) {
   if (cmd == command_options().end()) {
     std::fprintf(stderr,
                  "error: unknown command '%s' (expected simulate, train, generate, eval, "
-                 "pack, serve, or replay; see 'gendt --help')\n",
+                 "pack, serve, stream-client, or replay; see 'gendt --help')\n",
                  a.command.c_str());
     std::exit(2);
   }
-  static const std::set<std::string> kBoolFlags = {"resume", "shed", "fast", "reference"};
+  static const std::set<std::string> kBoolFlags = {"resume", "shed", "fast", "reference",
+                                                   "stream"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -189,7 +223,8 @@ Args parse(int argc, char** argv) {
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: gendt <simulate|train|generate|eval|pack|serve|replay> [options]\n"
+               "usage: gendt <simulate|train|generate|eval|pack|serve|stream-client|replay>"
+               " [options]\n"
                "  simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]\n"
                "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
                " [--threads N] [--resume] [--record FILE]...\n"
@@ -200,6 +235,12 @@ void print_usage(std::FILE* to) {
                "  serve    --requests FILE (--model MODEL.ckpt | --models id=PATH,...)"
                " --out DIR [--deadline-ms N] [--max-queue N] [--shed] [--model-budget N]"
                " [--threads N] [--batch-max N] [--dataset a|b] [--seed N]\n"
+               "  serve    --stream --socket PATH --model MODEL [--chunk-windows N]"
+               " [--idle-timeout-ms N] [--drain-deadline-ms N] [--threads N]"
+               " [--dataset a|b] [--seed N]\n"
+               "  stream-client --socket PATH --trajectory TRAJ.csv --out OUT.csv"
+               " [--gen-seed N] [--chunk-windows N] [--kill-after-chunks K] [--state FILE]"
+               " [--resume]\n"
                "  replay   --out BENCH.json (--scripted N | --models id=PATH,...)"
                " [--requests N] [--rate-hz R] [--seed N] [--deadline-ms N] [--sim-workers W]"
                " [--budget B] [--threads T] [--swap-at MS]\n"
@@ -219,6 +260,13 @@ void print_usage(std::FILE* to) {
                "serve --batch-max N lets each worker drain up to N queued requests\n"
                "and fan them out on the shared pool; responses are bitwise\n"
                "independent of batch composition.\n"
+               "serve --stream runs the GDTSTRM1 streaming daemon on a Unix socket:\n"
+               "chunked generation with ACK-paced backpressure, seam-free RESUME\n"
+               "from the last ACKed chunk, and graceful drain on SIGINT/SIGTERM.\n"
+               "stream-client consumes one stream into a series CSV;\n"
+               "--kill-after-chunks K drops the connection after K chunks (saving\n"
+               "--state) and --resume continues from the state file — the resumed\n"
+               "CSV is byte-identical to an uninterrupted stream and to generate.\n"
                "pack converts a GDTCKPT2 checkpoint into a GDTPACK1 weight arena\n"
                "that generate/serve load with one mmap and zero tensor copies;\n"
                "GENDT_SIMD=off|avx2|auto selects the kernel route (gendt --version\n"
@@ -814,7 +862,10 @@ std::unique_ptr<core::GenDTGenerator> load_generator(const std::string& model_pa
   return primary;
 }
 
+int cmd_serve_stream(const Args& a);
+
 int cmd_serve(const Args& a) {
+  if (a.flag("stream")) return cmd_serve_stream(a);
   const std::string req_path = a.get("requests");
   const std::string model_path = a.get("model");
   const std::string models_flag = a.get("models");
@@ -916,8 +967,21 @@ int cmd_serve(const Args& a) {
   serve::ModelRouter router(registry, cfg);
   router.set_fallback(&fallback);
 
+  // Ctrl-C / SIGTERM drains instead of killing: every request's token
+  // parents the process-wide drain token, so in-flight generations cancel
+  // cooperatively and the batch still resolves to a full summary with the
+  // ok+degraded+failed+shed partition intact.
+  runtime::SignalDrain::install();
+  std::vector<runtime::CancelToken> request_tokens(routed.size());
+  for (size_t i = 0; i < routed.size(); ++i) {
+    request_tokens[i].set_parent(&runtime::SignalDrain::token());
+    routed[i].request.cancel = &request_tokens[i];
+  }
+
   std::filesystem::create_directories(out_dir);
   const std::vector<serve::Response> responses = router.serve(routed);
+  if (runtime::SignalDrain::draining())
+    std::fprintf(stderr, "serve: drain signal received; remaining requests cancelled\n");
 
   std::vector<std::string> names;
   for (auto k : ds.kpis) names.emplace_back(sim::kpi_name(k));
@@ -969,6 +1033,324 @@ int cmd_serve(const Args& a) {
               static_cast<unsigned long long>(n_shed),
               static_cast<unsigned long long>(router.engine().stats().retries));
   return errors == 0 ? 0 : 1;
+}
+
+// ---- Streaming daemon + client ---------------------------------------------
+
+int cmd_serve_stream(const Args& a) {
+  const std::string socket_path = a.get("socket");
+  const std::string model_path = a.get("model");
+  if (socket_path.empty() || model_path.empty()) return usage();
+
+  sim::Dataset ds = build_dataset(a);
+  std::string format;
+  std::unique_ptr<core::GenDTGenerator> gen = load_generator(model_path, ds, &format);
+  if (gen == nullptr) return 1;
+  const context::KpiNorm norm = gen->norm();
+
+  context::ContextBuilder builder(ds.world, default_context(), norm, ds.kpis);
+  std::vector<std::string> names;
+  for (auto k : ds.kpis) names.emplace_back(sim::kpi_name(k));
+
+  serve::stream::StreamServerConfig cfg;
+  cfg.chunk_windows = static_cast<int>(a.get_long("chunk-windows", 8));
+  cfg.idle_timeout_ms = a.get_long("idle-timeout-ms", 30'000);
+  cfg.drain_deadline_ms = a.get_long("drain-deadline-ms", 5'000);
+  cfg.parallelism =
+      runtime::Parallelism{.threads = static_cast<int>(a.get_long("threads", 0))};
+  // Test hooks: exit after N resolved sessions / after sustained idleness,
+  // so cli_test can run a real daemon without killing it from outside.
+  cfg.exit_after_sessions = static_cast<uint64_t>(a.get_long("stream-sessions", 0));
+  cfg.idle_exit_ms = a.get_long("idle-exit-ms", 0);
+  runtime::SignalDrain::install();
+  cfg.drain = &runtime::SignalDrain::token();
+
+  // The factory runs on the event-loop thread and must not throw: every
+  // wire value is validated before it reaches geo::Trajectory (which asserts
+  // strictly increasing t).
+  const core::GenDTModel& model = gen->model();
+  serve::stream::StreamServer server(
+      cfg,
+      [&builder, &model, &norm, &names](const serve::stream::OpenRequest& open,
+                                        serve::stream::StreamErrorCode* code,
+                                        std::string* error)
+          -> std::unique_ptr<serve::stream::ChunkSource> {
+        *code = serve::stream::StreamErrorCode::kInvalidRequest;
+        std::vector<geo::TrajectoryPoint> pts;
+        pts.reserve(open.points.size());
+        for (const auto& p : open.points) {
+          if (!std::isfinite(p.t) || !std::isfinite(p.lat) || !std::isfinite(p.lon) ||
+              (!pts.empty() && p.t <= pts.back().t)) {
+            *error = "trajectory points must be finite and strictly increasing in t";
+            return nullptr;
+          }
+          pts.push_back({p.t, {p.lat, p.lon}});
+        }
+        if (pts.size() < 2) {
+          *error = "trajectory needs at least two points";
+          return nullptr;
+        }
+        const double t0 = pts.front().t;
+        const double period = pts[1].t - pts[0].t;
+        geo::Trajectory traj(std::move(pts));
+        auto windows = builder.generation_windows(traj);
+        if (windows.empty()) {
+          *error = "trajectory too short for one window";
+          return nullptr;
+        }
+        // Empty KPI list: the stream denormalizes exactly like `gendt
+        // generate` (no CQI snap) — the byte-parity the resume tests pin.
+        return std::make_unique<serve::stream::GenDTChunkSource>(
+            model, norm, std::vector<sim::Kpi>{}, std::move(windows), open.seed,
+            static_cast<int>(open.chunk_windows), names, t0, period);
+      });
+
+  std::string err;
+  if (!server.listen_unix(socket_path, &err)) {
+    std::fprintf(stderr, "error: cannot listen on %s: %s\n", socket_path.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("serve --stream: %s (%s) on %s, chunk=%d windows "
+              "(SIGINT/SIGTERM drains gracefully)\n",
+              model_path.c_str(), format.c_str(), socket_path.c_str(), cfg.chunk_windows);
+  std::fflush(stdout);
+  server.run();
+
+  const serve::stream::StreamStats st = server.stats();
+  std::printf("stream: %llu sessions: %llu ok, %llu degraded, %llu failed, %llu shed | "
+              "%llu chunks, %llu points, %llu resumes, %llu bad frames\n",
+              static_cast<unsigned long long>(st.sessions_total),
+              static_cast<unsigned long long>(st.sessions_ok),
+              static_cast<unsigned long long>(st.sessions_degraded),
+              static_cast<unsigned long long>(st.sessions_failed),
+              static_cast<unsigned long long>(st.sessions_shed),
+              static_cast<unsigned long long>(st.chunks_sent),
+              static_cast<unsigned long long>(st.points_sent),
+              static_cast<unsigned long long>(st.resumes),
+              static_cast<unsigned long long>(st.bad_frames));
+  return 0;
+}
+
+// Client-side resume state: session credentials plus everything already
+// received, with doubles as raw IEEE-754 bit patterns so a resumed run can
+// reproduce the uninterrupted CSV byte-for-byte.
+struct StreamClientState {
+  std::string session_id;
+  uint64_t token = 0;
+  uint64_t chunks_have = 0;
+  std::vector<std::string> channel_names;
+  double t0 = 0.0;
+  double period_s = 1.0;
+  std::vector<double> values;  // row-major [points x channels]
+};
+
+uint64_t f64_bits(double v) {
+  uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+double bits_f64(uint64_t b) {
+  double v = 0.0;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+bool write_stream_state(const StreamClientState& s, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "GDTSTRMCLI1\n";
+  out << "session " << s.session_id << "\n";
+  out << "token " << std::hex << s.token << std::dec << "\n";
+  out << "chunks " << s.chunks_have << "\n";
+  out << "channels " << s.channel_names.size();
+  for (const std::string& n : s.channel_names) out << " " << n;
+  out << "\n";
+  out << "t0 " << std::hex << f64_bits(s.t0) << "\n";
+  out << "period " << f64_bits(s.period_s) << std::dec << "\n";
+  out << "values " << s.values.size() << "\n";
+  out << std::hex;
+  for (size_t i = 0; i < s.values.size(); ++i)
+    out << f64_bits(s.values[i]) << ((i + 1) % 8 == 0 ? "\n" : " ");
+  out << "\n";
+  out.flush();
+  return out.good();
+}
+
+bool read_stream_state(const std::string& path, StreamClientState& s) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic, key;
+  if (!(in >> magic) || magic != "GDTSTRMCLI1") return false;
+  size_t n_channels = 0, n_values = 0;
+  if (!(in >> key >> s.session_id) || key != "session") return false;
+  if (!(in >> key >> std::hex >> s.token >> std::dec) || key != "token") return false;
+  if (!(in >> key >> s.chunks_have) || key != "chunks") return false;
+  if (!(in >> key >> n_channels) || key != "channels" || n_channels > 4096) return false;
+  s.channel_names.resize(n_channels);
+  for (std::string& name : s.channel_names)
+    if (!(in >> name)) return false;
+  uint64_t bits = 0;
+  if (!(in >> key >> std::hex >> bits >> std::dec) || key != "t0") return false;
+  s.t0 = bits_f64(bits);
+  if (!(in >> key >> std::hex >> bits >> std::dec) || key != "period") return false;
+  s.period_s = bits_f64(bits);
+  if (!(in >> key >> n_values) || key != "values" || n_values > (1u << 28)) return false;
+  s.values.resize(n_values);
+  in >> std::hex;
+  for (double& v : s.values) {
+    if (!(in >> bits)) return false;
+    v = bits_f64(bits);
+  }
+  return true;
+}
+
+const char* stream_status_name(serve::stream::StreamClient::Status st) {
+  using Status = serve::stream::StreamClient::Status;
+  switch (st) {
+    case Status::kOk: return "ok";
+    case Status::kError: return "server error";
+    case Status::kClosed: return "connection closed";
+    case Status::kTimeout: return "timeout";
+    case Status::kProtocol: return "protocol error";
+  }
+  return "?";
+}
+
+int stream_client_fail(const serve::stream::StreamClient& client,
+                       serve::stream::StreamClient::Status st, const char* what) {
+  using Status = serve::stream::StreamClient::Status;
+  if (st == Status::kError) {
+    std::fprintf(stderr, "error: %s: server replied %s: %s\n", what,
+                 std::string(serve::stream::to_string(client.last_error().code)).c_str(),
+                 client.last_error().message.c_str());
+  } else {
+    std::fprintf(stderr, "error: %s: %s\n", what, stream_status_name(st));
+  }
+  return 1;
+}
+
+int cmd_stream_client(const Args& a) {
+  using Status = serve::stream::StreamClient::Status;
+  const std::string socket_path = a.get("socket");
+  const std::string out_path = a.get("out");
+  const std::string state_path = a.get("state");
+  const bool resume = a.flag("resume");
+  const long kill_after = a.get_long("kill-after-chunks", -1);
+  if (socket_path.empty() || out_path.empty()) return usage();
+  if ((resume || kill_after >= 0) && state_path.empty()) {
+    std::fprintf(stderr, "error: --resume / --kill-after-chunks need --state FILE\n");
+    return 2;
+  }
+
+  // Validate local inputs before touching the network: a corrupt state file
+  // should fail here, not after a connect that may itself hang or fail.
+  StreamClientState st;
+  if (resume && !read_stream_state(state_path, st)) {
+    std::fprintf(stderr, "error: cannot read state file %s\n", state_path.c_str());
+    return 1;
+  }
+
+  serve::stream::StreamClient client;
+  std::string err;
+  if (!client.connect_unix(socket_path, &err)) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n", socket_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+
+  if (resume) {
+    serve::stream::ResumeRequest req;
+    req.session_id = st.session_id;
+    req.resume_token = st.token;
+    req.chunks_have = st.chunks_have;
+    serve::stream::ResumeAck ack;
+    const Status s = client.resume(req, &ack);
+    if (s != Status::kOk) return stream_client_fail(client, s, "RESUME");
+    std::printf("resumed %s at chunk %llu/%u windows\n", st.session_id.c_str(),
+                static_cast<unsigned long long>(ack.next_chunk_index), ack.total_windows);
+  } else {
+    const std::string traj_path = a.get("trajectory");
+    if (traj_path.empty()) return usage();
+    auto traj = io::read_trajectory_csv(traj_path);
+    if (!traj) {
+      std::fprintf(stderr, "error: %s\n", io::last_error().c_str());
+      return 1;
+    }
+    serve::stream::OpenRequest req;
+    req.seed = static_cast<uint64_t>(a.get_long("gen-seed", 1));
+    req.chunk_windows = static_cast<uint32_t>(a.get_long("chunk-windows", 0));
+    for (const auto& p : traj->points()) req.points.push_back({p.t, p.pos.lat, p.pos.lon});
+    serve::stream::OpenAck ack;
+    const Status s = client.open(req, &ack);
+    if (s != Status::kOk) return stream_client_fail(client, s, "OPEN");
+    st.session_id = ack.session_id;
+    st.token = ack.resume_token;
+    st.channel_names = ack.channel_names;
+    st.t0 = ack.t0;
+    st.period_s = ack.period_s;
+    std::printf("opened %s: %u windows in chunks of %u, %zu channels\n",
+                ack.session_id.c_str(), ack.total_windows, ack.chunk_windows,
+                ack.channel_names.size());
+  }
+
+  bool saw_last = false;
+  while (!saw_last) {
+    serve::stream::ChunkMsg chunk;
+    bool last = false;
+    const Status s = client.recv_chunk(&chunk, &last);
+    if (s != Status::kOk) return stream_client_fail(client, s, "CHUNK");
+    if (chunk.index != st.chunks_have ||
+        chunk.num_channels != st.channel_names.size()) {
+      std::fprintf(stderr, "error: unexpected chunk %llu (%u channels), wanted %llu (%zu)\n",
+                   static_cast<unsigned long long>(chunk.index), chunk.num_channels,
+                   static_cast<unsigned long long>(st.chunks_have),
+                   st.channel_names.size());
+      return 1;
+    }
+    st.values.insert(st.values.end(), chunk.values.begin(), chunk.values.end());
+    if (!client.ack(chunk.index)) {
+      std::fprintf(stderr, "error: connection lost sending ACK\n");
+      return 1;
+    }
+    st.chunks_have = chunk.index + 1;
+    saw_last = last;
+    if (!saw_last && kill_after >= 0 &&
+        st.chunks_have >= static_cast<uint64_t>(kill_after)) {
+      if (!write_stream_state(st, state_path)) {
+        std::fprintf(stderr, "error: cannot write state file %s\n", state_path.c_str());
+        return 1;
+      }
+      client.kill();
+      std::printf("killed connection after %llu chunks; state -> %s "
+                  "(continue with --resume --state)\n",
+                  static_cast<unsigned long long>(st.chunks_have), state_path.c_str());
+      return 0;
+    }
+  }
+
+  serve::stream::CloseStats close_stats;
+  const Status s = client.close_session(&close_stats);
+  if (s != Status::kOk) {
+    // The stream itself is complete and ACKed; a lost CLOSE handshake does
+    // not invalidate the data, so warn instead of failing the run.
+    std::fprintf(stderr, "warning: CLOSE handshake failed: %s\n", stream_status_name(s));
+  }
+
+  const size_t n_channels = st.channel_names.size();
+  const size_t n_points = n_channels == 0 ? 0 : st.values.size() / n_channels;
+  core::GeneratedSeries series;
+  series.channels.assign(n_channels, std::vector<double>(n_points));
+  for (size_t t = 0; t < n_points; ++t)
+    for (size_t c = 0; c < n_channels; ++c)
+      series.channels[c][t] = st.values[t * n_channels + c];
+  if (!io::write_series_csv(series, st.channel_names, out_path, st.t0, st.period_s)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("streamed %llu chunks, %zu points -> %s\n",
+              static_cast<unsigned long long>(st.chunks_have), n_points, out_path.c_str());
+  return 0;
 }
 
 // Serialize a ReplayReport as google-benchmark JSON (the exact shape
@@ -1138,6 +1520,7 @@ int main(int argc, char** argv) {
   if (a.command == "eval") return cmd_eval(a);
   if (a.command == "pack") return cmd_pack(a);
   if (a.command == "serve") return cmd_serve(a);
+  if (a.command == "stream-client") return cmd_stream_client(a);
   if (a.command == "replay") return cmd_replay(a);
   return usage();  // no command given
 }

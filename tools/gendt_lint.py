@@ -45,6 +45,14 @@ One entry point, three source-level rule packs plus the clang-tidy gate:
                 runtime::Mutex / MutexLock / CondVar wrappers, which keep
                 the whole tree inside the analysis at zero runtime cost.
 
+  rawio         Forbids raw POSIX I/O syscalls (::read, ::write, ::recv,
+                ::send and friends) outside src/net/. The net module's
+                wrappers retry EINTR, suppress SIGPIPE, and surface partial
+                transfers explicitly; a stray raw syscall elsewhere silently
+                reintroduces the exact failure modes (signal-interrupted
+                reads, SIGPIPE process death, short writes) the streaming
+                service is hardened against.
+
   --tidy        The clang-tidy gate: resolves compile_commands.json from the
                 build dir (configuring with CMAKE_EXPORT_COMPILE_COMMANDS=ON
                 if needed), runs clang-tidy over every first-party TU in the
@@ -92,7 +100,7 @@ SOURCE_EXTS = (".cpp", ".cc", ".h", ".hpp")
 ALLOW = re.compile(r"//\s*gendt-lint:\s*allow\((?P<rules>[\w,\s-]+)\)")
 ALLOW_LEGACY = re.compile(r"//\s*determinism-lint:\s*allow\((?P<rules>[\w,\s-]+)\)")
 
-SOURCE_PACKS = ("determinism", "layering", "rawmutex")
+SOURCE_PACKS = ("determinism", "layering", "rawmutex", "rawio")
 
 
 def strip_strings(line):
@@ -210,9 +218,13 @@ LAYER_DEPS = {
     "io": ("core",),
     "baselines": ("core",),
     "downstream": ("nn", "sim", "metrics", "core", "context"),
+    # net is the portable socket/poll I/O layer under the streaming service;
+    # it sits just above runtime (CancelToken-aware transfer loops).
+    "net": ("runtime",),
     # serve -> sim is the trace-replay harness generating load from simulated
-    # user trajectories (mirrors src/serve/CMakeLists.txt).
-    "serve": ("core", "sim"),
+    # user trajectories; serve -> net carries the GDTSTRM1 streaming daemon
+    # (both mirror src/serve/CMakeLists.txt).
+    "serve": ("core", "sim", "net"),
 }
 
 GENDT_INCLUDE = re.compile(r'#\s*include\s*[<"]gendt/([A-Za-z0-9_]+)/')
@@ -394,6 +406,22 @@ RAW_MUTEX_MSG = (
 
 
 # --------------------------------------------------------------------------
+# Pack: rawio
+# --------------------------------------------------------------------------
+
+# The module allowed to issue raw POSIX I/O syscalls: src/net, whose wrappers
+# (read_some/write_some/write_all/read_exact) own the EINTR/SIGPIPE/partial-
+# transfer discipline for the whole tree.
+RAWIO_EXEMPT_PREFIX = "src/net/"
+RAW_IO = re.compile(
+    r"::\s*(?:read|write|recv|send|recvfrom|sendto|recvmsg|sendmsg|readv|writev)\s*\(")
+RAW_IO_MSG = (
+    "raw POSIX I/O syscall outside src/net/; use the gendt::net wrappers "
+    "(read_some/write_some/write_all/read_exact), which retry EINTR, "
+    "suppress SIGPIPE, and surface partial transfers explicitly")
+
+
+# --------------------------------------------------------------------------
 # File scanning (single pass shared by all source packs)
 # --------------------------------------------------------------------------
 
@@ -467,6 +495,12 @@ def scan_file(path, rel, packs):
                     and RAW_MUTEX.search(code)):
                 findings.append(
                     Finding(rel, lineno, "rawmutex", "raw-mutex", RAW_MUTEX_MSG))
+
+        if "rawio" in packs:
+            if (not rel_posix.startswith(RAWIO_EXEMPT_PREFIX)
+                    and "raw-io" not in allow and RAW_IO.search(code)):
+                findings.append(
+                    Finding(rel, lineno, "rawio", "raw-io", RAW_IO_MSG))
 
         if "layering" in packs and mod is not None:
             if DOTDOT_INCLUDE.search(inc_code) and "include-path" not in allow:
@@ -718,6 +752,33 @@ def self_test(packs):
                 if RAWMUTEX_EXEMPT.replace("/", os.sep) in f.file or \
                         f.file.endswith("suppressed.cpp") or f.file.endswith("clean.cpp"):
                     errors.append(f"rawmutex[clean]: false positive {f.text()}")
+
+    if "rawio" in packs:
+        with tempfile.TemporaryDirectory() as tmp:
+            _write(tmp, "src/serve/bad_io.cpp",
+                   "void f(int fd) { char b[8]; ::read(fd, b, 8); }\n"
+                   "void g(int fd) { ::send(fd, nullptr, 0, 0); }\n")
+            # src/net owns the raw syscalls; wrappers there are sanctioned.
+            _write(tmp, "src/net/io.cpp",
+                   "long rs(int fd, void* b, unsigned long n) "
+                   "{ return ::read(fd, b, n); }\n")
+            _write(tmp, "src/serve/suppressed_io.cpp",
+                   "void h(int fd) { ::write(fd, nullptr, 0); }  "
+                   "// gendt-lint: allow(raw-io) fixture\n")
+            _write(tmp, "src/serve/clean_io.cpp",
+                   '#include "gendt/net/io.h"\n'
+                   "bool ok(int fd) { return net::write_all(fd, nullptr, 0); }\n")
+            found, _ = scan_paths(tmp, [os.path.join(tmp, "src")], {"rawio"})
+            _expect("rawio", found, "raw-io", True, errors)
+            bad_lines = {f.line for f in found if f.file.endswith("bad_io.cpp")}
+            if bad_lines != {1, 2}:
+                errors.append(f"rawio: expected findings on lines 1-2 of "
+                              f"bad_io.cpp, got {sorted(bad_lines)}")
+            for f in found:
+                if (os.sep + "net" + os.sep in f.file
+                        or f.file.endswith("suppressed_io.cpp")
+                        or f.file.endswith("clean_io.cpp")):
+                    errors.append(f"rawio[clean]: false positive {f.text()}")
 
     # Config sanity: the declared DAG itself must validate.
     dag_errors = validate_layer_deps(LAYER_DEPS)
