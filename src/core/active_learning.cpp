@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "gendt/core/batched_infer_session.h"
+
 namespace gendt::core {
 
 namespace {
@@ -63,10 +65,15 @@ std::vector<ActiveLearningStep> run_active_learning(
     int pick_pos = 0;
     if (strategy == SelectionStrategy::kUncertainty) {
       // Evaluate model uncertainty over each candidate subset; take the max.
+      // The fast variant packs all MC-dropout passes into one lane-batched
+      // rollout and returns model_uncertainty()'s exact value (pinned by
+      // gen_batch_parity_test) — the per-candidate cost that dominates this
+      // loop and ROADMAP item 5's 10^4-candidate scoring.
       double best_u = -1.0;
       for (size_t r = 0; r < remaining.size(); ++r) {
-        const double u = model_uncertainty(model, subset_windows[static_cast<size_t>(remaining[r])],
-                                           cfg.mc_samples, cfg.seed + 100 + static_cast<uint64_t>(r));
+        const double u =
+            model_uncertainty_fast(model, subset_windows[static_cast<size_t>(remaining[r])],
+                                   cfg.mc_samples, cfg.seed + 100 + static_cast<uint64_t>(r));
         if (u > best_u) {
           best_u = u;
           pick_pos = static_cast<int>(r);

@@ -1,0 +1,93 @@
+// Lane-batched tape-free generation: BatchedInferenceSession runs B
+// independent trajectories' rollouts (per-cell G^n, aggregation LSTM,
+// autoregressive ResGen) in LOCKSTEP, so the hot loop's products are real
+// [B x d] GEMMs through the blocked/AVX2 matmul kernels instead of B
+// matrix-vector ops (see nn/infer.h "Lane-batched kernels").
+//
+// Guarantees:
+//  * Lane-bitwise parity: lane l's samples are the exact bits of a
+//    single-lane InferenceSession::run(*lanes[l].windows, lanes[l].seed,
+//    mc_dropout) — regardless of batch composition, lane count, or thread
+//    count (enforced by gen_batch_parity_test). Every RNG draw for a lane
+//    comes from that lane's own stream in the single-lane order, and the
+//    batched matmul computes each row with the identical per-element
+//    accumulation chain as the single-row kernels.
+//  * Lane retirement/compaction at window boundaries: lanes march window
+//    round by window round. A lane whose window list is exhausted (or whose
+//    cancel token tripped) retires at the round boundary and the batch
+//    compacts; within a round, ragged window LENGTHS are handled by marking
+//    finished rows retired (null lane RNG) — they ride dead in the shared
+//    GEMMs but draw nothing and their state stays put.
+//  * No steady-state allocation: repeating a run over same-shaped lanes
+//    reuses every workspace buffer — allocations() stops moving and
+//    peak_bytes() (linear in B) is constant.
+//  * Per-lane cancellation: lanes[l].cancel is polled at every window
+//    boundary. A tripped lane retires with cancelled=true, keeping every
+//    window it DID produce (bit-identical to an uncancelled run's prefix);
+//    the other lanes are unaffected. Nothing throws for per-lane trips.
+#pragma once
+
+#include <random>
+
+#include "gendt/core/infer_session.h"
+#include "gendt/core/model.h"
+#include "gendt/nn/infer.h"
+
+namespace gendt::core {
+
+/// One lane of a batched rollout: an independent trajectory's window chain
+/// plus its RNG stream seed (callers fan a grid out with
+/// runtime::derive_stream_seed(seed, lane_index)).
+struct BatchLane {
+  const std::vector<context::Window>* windows = nullptr;
+  uint64_t seed = 0;
+  /// Optional per-lane cancellation; polled at window boundaries.
+  const runtime::CancelToken* cancel = nullptr;
+};
+
+/// Per-lane result, keyed by the original lane index.
+struct BatchLaneResult {
+  std::vector<WindowSample> samples;  ///< windows produced before retirement
+  bool cancelled = false;             ///< lane retired early on its token
+};
+
+class BatchedInferenceSession {
+ public:
+  /// The model must outlive the session; weights are read, never copied.
+  explicit BatchedInferenceSession(const GenDTModel& model) : model_(&model) {}
+
+  /// Run every lane to completion (or cancellation) in lockstep window
+  /// rounds. results[l] corresponds to lanes[l].
+  std::vector<BatchLaneResult> run(const std::vector<BatchLane>& lanes, bool mc_dropout = false);
+
+  /// Total workspace Mat (re)allocations across all internal workspaces.
+  /// Constant across repeat run() calls on same-shaped lane sets.
+  size_t allocations() const;
+
+  /// High-water workspace bytes across all internal workspaces — linear in
+  /// the lane count (see Workspace::peak_bytes).
+  size_t peak_bytes() const;
+
+ private:
+  struct LaneCtx;  // defined in the .cpp: per-lane rollout state
+
+  void run_round(const std::vector<LaneCtx*>& act, int round, bool mc_dropout);
+
+  const GenDTModel* model_;
+  nn::infer::Workspace ws_;         // fixed batch-wide slots + MLP trunk
+  nn::infer::Workspace hist_ws_;    // per-(lane,cell) hidden histories
+  nn::infer::Workspace havg_ws_;    // per-lane pooled hidden states
+  nn::infer::Workspace aggout_ws_;  // per-lane aggregation outputs
+  nn::infer::Workspace recent_ws_;  // per-lane ResGen lookback
+};
+
+/// Fast-path model uncertainty (paper §6.2.1): the exact bits of
+/// model_uncertainty(), computed by running all MC-dropout passes as lanes
+/// of ONE batched rollout instead of mc_samples independent sample_windows
+/// fan-outs. First concrete step toward fleet-scale candidate scoring
+/// (ROADMAP item 5). Defined in model.cpp so the reduction shares the
+/// reference reduction's code and FP compilation flags.
+double model_uncertainty_fast(const GenDTModel& model, const std::vector<context::Window>& windows,
+                              int mc_samples = 5, uint64_t seed = 1);
+
+}  // namespace gendt::core

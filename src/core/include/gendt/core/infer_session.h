@@ -75,6 +75,10 @@ class InferenceSession {
   /// Constant across repeat run() calls on same-shaped inputs.
   size_t allocations() const;
 
+  /// High-water workspace bytes across all internal workspaces (see
+  /// Workspace::peak_bytes) — what a warm pooled session pins in memory.
+  size_t peak_bytes() const;
+
  private:
   void run_window(const context::Window& w, const nn::Mat* prev_tail, std::mt19937_64& rng,
                   bool mc_dropout, WindowSample& s);

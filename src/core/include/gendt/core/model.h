@@ -209,7 +209,8 @@ TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& wi
 double model_uncertainty(const GenDTModel& model, const std::vector<context::Window>& windows,
                          int mc_samples = 5, uint64_t seed = 1);
 
-class InferenceSession;  // gendt/core/infer_session.h
+class InferenceSession;         // gendt/core/infer_session.h
+class BatchedInferenceSession;  // gendt/core/batched_infer_session.h
 
 /// TimeSeriesGenerator adapter around GenDTModel (fits + denormalizes).
 ///
@@ -242,6 +243,14 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   /// Cancellable path: polls `cancel` before every window of the rollout.
   GeneratedSeries generate(const std::vector<context::Window>& windows, uint64_t seed,
                            const runtime::CancelToken* cancel) const override;
+  /// Lane-batched generation on a pooled BatchedInferenceSession: all items
+  /// roll out in lockstep so the hot loop runs [B x d] GEMMs, and every item
+  /// gets the exact bits of its single-item generate() call (per-lane RNG
+  /// streams — see batched_infer_session.h). Falls back to the serial
+  /// default on the reference (non-fast) path or if the batched rollout
+  /// fails as a whole.
+  std::vector<GenerateBatchResult> generate_batch(
+      const std::vector<GenerateBatchItem>& items) const override;
 
   GenDTModel& model() { return model_; }
   const GenDTModel& model() const { return model_; }
@@ -272,6 +281,11 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   nn::LoadResult load_packed(nn::PackedModel pack) GENDT_EXCLUDES(session_mu_);
   bool packed() const { return pack_ != nullptr; }
 
+  /// High-water workspace bytes pinned by the warm session pools (single-lane
+  /// + batched) — what the serve layer logs at startup so the memory cost of
+  /// prewarming and lane batching is visible.
+  size_t warm_peak_bytes() const GENDT_EXCLUDES(session_mu_);
+
  private:
   /// Fast-path sample_windows: leases a warm InferenceSession from the pool
   /// (building one on first use) and always returns it, even on cancellation.
@@ -298,6 +312,11 @@ class GenDTGenerator final : public TimeSeriesGenerator {
   mutable runtime::Mutex session_mu_;
   bool fast_path_ GENDT_GUARDED_BY(session_mu_) = true;
   mutable std::vector<std::unique_ptr<InferenceSession>> sessions_
+      GENDT_GUARDED_BY(session_mu_);
+  // Warm BatchedInferenceSessions for generate_batch(), leased under the
+  // same lock/route rules as sessions_ (dropped on route switch and weight
+  // swap alongside them).
+  mutable std::vector<std::unique_ptr<BatchedInferenceSession>> batch_sessions_
       GENDT_GUARDED_BY(session_mu_);
 };
 

@@ -64,6 +64,12 @@ size_t InferenceSession::allocations() const {
   return n;
 }
 
+size_t InferenceSession::peak_bytes() const {
+  size_t bytes = ws_.peak_bytes();
+  for (const auto& cws : cell_ws_) bytes += cws.peak_bytes();
+  return bytes;
+}
+
 std::vector<WindowSample> InferenceSession::run(const std::vector<context::Window>& windows,
                                                 uint64_t seed, bool mc_dropout,
                                                 const runtime::CancelToken* cancel) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gendt/core/batched_infer_session.h"
 #include "gendt/core/infer_session.h"
 #include <atomic>
 #include <cmath>
@@ -519,21 +520,14 @@ TrainStats train_gendt(GenDTModel& model, const std::vector<context::Window>& wi
   return stats;
 }
 
-double model_uncertainty(const GenDTModel& model, const std::vector<context::Window>& windows,
-                         int mc_samples, uint64_t seed) {
-  if (windows.empty() || mc_samples < 2 || !model.config().use_resgen) return 0.0;
-  const int nch = model.config().num_channels;
+namespace {
 
-  // Collect ResGen parameters across MC-dropout passes. Passes are mutually
-  // independent (each gets its own seed and writes its own slot), so they
-  // fan out across the worker pool; the reduction below reads the slots in
-  // index order either way.
-  std::vector<std::vector<WindowSample>> passes(static_cast<size_t>(mc_samples));
-  runtime::parallel_tasks(model.config().parallelism, mc_samples, [&](int s) {
-    passes[static_cast<size_t>(s)] = model.sample_windows(
-        windows, seed + static_cast<uint64_t>(s) * 7919, /*mc_dropout=*/true);
-  });
-
+// Shared MC-dropout reduction behind model_uncertainty and
+// model_uncertainty_fast. Both variants MUST reduce through this one
+// function, in this TU (default FP flags): the fast variant's bitwise-parity
+// claim covers the reduction as well as the passes.
+double uncertainty_reduce(const std::vector<std::vector<WindowSample>>& passes,
+                          const std::vector<context::Window>& windows, int nch, int mc_samples) {
   double acc = 0.0;
   long count = 0;
   for (size_t wi = 0; wi < windows.size(); ++wi) {
@@ -560,6 +554,51 @@ double model_uncertainty(const GenDTModel& model, const std::vector<context::Win
   return count > 0 ? acc / static_cast<double>(count) : 0.0;
 }
 
+}  // namespace
+
+double model_uncertainty(const GenDTModel& model, const std::vector<context::Window>& windows,
+                         int mc_samples, uint64_t seed) {
+  if (windows.empty() || mc_samples < 2 || !model.config().use_resgen) return 0.0;
+  const int nch = model.config().num_channels;
+
+  // Collect ResGen parameters across MC-dropout passes. Passes are mutually
+  // independent (each gets its own seed and writes its own slot), so they
+  // fan out across the worker pool; the reduction below reads the slots in
+  // index order either way.
+  std::vector<std::vector<WindowSample>> passes(static_cast<size_t>(mc_samples));
+  runtime::parallel_tasks(model.config().parallelism, mc_samples, [&](int s) {
+    passes[static_cast<size_t>(s)] = model.sample_windows(
+        windows, seed + static_cast<uint64_t>(s) * 7919, /*mc_dropout=*/true);
+  });
+
+  return uncertainty_reduce(passes, windows, nch, mc_samples);
+}
+
+double model_uncertainty_fast(const GenDTModel& model, const std::vector<context::Window>& windows,
+                              int mc_samples, uint64_t seed) {
+  if (windows.empty() || mc_samples < 2 || !model.config().use_resgen) return 0.0;
+  const int nch = model.config().num_channels;
+
+  // Every MC-dropout pass is one lane of a single batched rollout: lane s
+  // runs on the same derived seed as the reference pass s, and lane-bitwise
+  // parity (batched_infer_session.h) + fast-path parity (infer_session.h)
+  // make each lane's samples the exact bits of that sample_windows call — so
+  // this returns model_uncertainty()'s exact value with the hot loop on
+  // [mc_samples x d] GEMMs instead of mc_samples independent rollouts.
+  std::vector<BatchLane> lanes(static_cast<size_t>(mc_samples));
+  for (int s = 0; s < mc_samples; ++s) {
+    lanes[static_cast<size_t>(s)].windows = &windows;
+    lanes[static_cast<size_t>(s)].seed = seed + static_cast<uint64_t>(s) * 7919;
+  }
+  BatchedInferenceSession session(model);
+  std::vector<BatchLaneResult> lane_results = session.run(lanes, /*mc_dropout=*/true);
+
+  std::vector<std::vector<WindowSample>> passes(static_cast<size_t>(mc_samples));
+  for (int s = 0; s < mc_samples; ++s)
+    passes[static_cast<size_t>(s)] = std::move(lane_results[static_cast<size_t>(s)].samples);
+  return uncertainty_reduce(passes, windows, nch, mc_samples);
+}
+
 GenDTGenerator::GenDTGenerator(GenDTConfig model_cfg, TrainConfig train_cfg,
                                context::KpiNorm norm)
     : model_(model_cfg), train_cfg_(train_cfg), norm_(std::move(norm)) {}
@@ -568,7 +607,10 @@ GenDTGenerator::~GenDTGenerator() = default;
 
 void GenDTGenerator::set_fast_path(bool on) {
   runtime::MutexLock lock(session_mu_);
-  if (fast_path_ != on) sessions_.clear();
+  if (fast_path_ != on) {
+    sessions_.clear();
+    batch_sessions_.clear();
+  }
   fast_path_ = on;
 }
 
@@ -589,7 +631,16 @@ nn::LoadResult GenDTGenerator::load_packed(nn::PackedModel pack) {
   // weight swap.
   runtime::MutexLock lock(session_mu_);
   sessions_.clear();
+  batch_sessions_.clear();
   return res;
+}
+
+size_t GenDTGenerator::warm_peak_bytes() const {
+  runtime::MutexLock lock(session_mu_);
+  size_t bytes = 0;
+  for (const auto& s : sessions_) bytes += s->peak_bytes();
+  for (const auto& s : batch_sessions_) bytes += s->peak_bytes();
+  return bytes;
 }
 
 std::vector<WindowSample> GenDTGenerator::sample_fast(
@@ -626,12 +677,38 @@ GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& win
   return generate(windows, seed, nullptr);
 }
 
+namespace {
+
+// Denormalization shared by generate() and generate_batch(): per-channel
+// inverse normalization plus the discrete-KPI snap (CQI classification grid).
+// One function so the batched path's "same bits as generate()" claim covers
+// the physical-unit conversion too.
+GeneratedSeries denormalize_samples(const std::vector<WindowSample>& samples,
+                                    const context::KpiNorm& norm,
+                                    const std::vector<sim::Kpi>& kpis, int nch) {
+  GeneratedSeries out;
+  out.channels.assign(static_cast<size_t>(nch), {});
+  for (const auto& s : samples) {
+    for (int t = 0; t < s.output.rows(); ++t) {
+      for (int ch = 0; ch < nch; ++ch) {
+        double v = norm.denormalize(ch, s.output(t, ch));
+        if (static_cast<size_t>(ch) < kpis.size() && kpis[static_cast<size_t>(ch)] == sim::Kpi::kCqi) {
+          v = std::clamp(std::round(v), static_cast<double>(radio::kCqiMin),
+                         static_cast<double>(radio::kCqiMax));
+        }
+        out.channels[static_cast<size_t>(ch)].push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& windows,
                                          uint64_t seed,
                                          const runtime::CancelToken* cancel) const {
-  GeneratedSeries out;
   const int nch = model_.config().num_channels;
-  out.channels.assign(static_cast<size_t>(nch), {});
   // Snapshot the route flag under the pool lock (serve workers call this
   // concurrently with set_fast_path); never hold it across the rollout.
   bool fast;
@@ -642,19 +719,66 @@ GeneratedSeries GenDTGenerator::generate(const std::vector<context::Window>& win
   const std::vector<WindowSample> samples =
       fast ? sample_fast(windows, seed, cancel)
            : model_.sample_windows(windows, seed, /*mc_dropout=*/false, cancel);
-  for (const auto& s : samples) {
-    for (int t = 0; t < s.output.rows(); ++t) {
-      for (int ch = 0; ch < nch; ++ch) {
-        double v = norm_.denormalize(ch, s.output(t, ch));
-        if (static_cast<size_t>(ch) < kpis_.size() && kpis_[static_cast<size_t>(ch)] == sim::Kpi::kCqi) {
-          v = std::clamp(std::round(v), static_cast<double>(radio::kCqiMin),
-                         static_cast<double>(radio::kCqiMax));
-        }
-        out.channels[static_cast<size_t>(ch)].push_back(v);
-      }
+  return denormalize_samples(samples, norm_, kpis_, nch);
+}
+
+std::vector<GenerateBatchResult> GenDTGenerator::generate_batch(
+    const std::vector<GenerateBatchItem>& items) const {
+  bool fast;
+  {
+    runtime::MutexLock lock(session_mu_);
+    fast = fast_path_;
+  }
+  // The reference path has no batched rollout; the serial default already is
+  // the contract (exact per-item generate() bits).
+  if (!fast || items.empty()) return TimeSeriesGenerator::generate_batch(items);
+
+  std::vector<BatchLane> lanes(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    lanes[i].windows = items[i].windows;
+    lanes[i].seed = items[i].seed;
+    lanes[i].cancel = items[i].cancel;
+  }
+
+  // Lease a warm batched session (same pool discipline as sample_fast:
+  // session_mu_ held only for the lease/return, never across the rollout).
+  std::unique_ptr<BatchedInferenceSession> session;
+  {
+    runtime::MutexLock lock(session_mu_);
+    if (!batch_sessions_.empty()) {
+      session = std::move(batch_sessions_.back());
+      batch_sessions_.pop_back();
     }
   }
-  return out;
+  if (!session) session = std::make_unique<BatchedInferenceSession>(model_);
+  auto pool_return = [this, &session]() {
+    runtime::MutexLock lock(session_mu_);
+    batch_sessions_.push_back(std::move(session));
+  };
+
+  std::vector<BatchLaneResult> lane_results;
+  try {
+    lane_results = session->run(lanes, /*mc_dropout=*/false);
+    pool_return();
+  } catch (...) {
+    pool_return();
+    // A whole-batch failure (e.g. a malformed window tripping a shape check)
+    // must not fail innocent items: re-run serially so each item carries its
+    // own ok/error — and the survivors still get their exact generate() bits.
+    return TimeSeriesGenerator::generate_batch(items);
+  }
+
+  const int nch = model_.config().num_channels;
+  std::vector<GenerateBatchResult> results(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (lane_results[i].cancelled) {
+      results[i].error = "cancelled";
+      continue;
+    }
+    results[i].series = denormalize_samples(lane_results[i].samples, norm_, kpis_, nch);
+    results[i].ok = true;
+  }
+  return results;
 }
 
 }  // namespace gendt::core

@@ -70,6 +70,12 @@ class Workspace {
   /// warmup means this stops moving — see InferenceSession tests.
   size_t allocations() const { return allocations_; }
 
+  /// High-water memory footprint in bytes: the sum of every slot's capacity
+  /// (element high-water mark) times sizeof(double). Monotone; constant after
+  /// warmup. This is what makes the batched session's linear-in-B memory
+  /// scaling assertable in tests and visible in serve startup logs.
+  size_t peak_bytes() const;
+
  private:
   // Each buffer lives behind a unique_ptr so the Mat& a checkout hands out
   // stays valid when a LATER checkout of a higher key grows slots_ (the
@@ -138,5 +144,47 @@ void dropout_inplace(Mat& h, double p, std::mt19937_64& rng);
 /// keeps dropout sampling on (MC dropout).
 void mlp_fwd(const Mlp& mlp, const Mat& x, std::mt19937_64& rng, bool training, Workspace& ws,
              int key_base, Mat& out);
+
+// ---------------------------------------------------------------------------
+// Lane-batched kernels: the same fused forward math over a [B x d] lane-major
+// activation layout, so B independent rollouts share one pass through the
+// blocked/AVX2 matmul kernels (one weight-tile load amortized across lanes)
+// instead of B matrix-vector products.
+//
+// Batched parity contract (enforced by gen_batch_parity_test): row r of every
+// batched kernel computes EXACTLY the bits the single-row kernel computes for
+// that lane, because (a) the blocked matmul kernels accumulate each output
+// element along ascending k with one separately-rounded FMA per term — the
+// identical per-element chain the rows==1 fused path uses — and rows never
+// interact, and (b) every RNG draw comes from the lane's own stream in the
+// lane's own order (`rngs[r]`).
+//
+// `rngs[r] == nullptr` marks lane r RETIRED for this step: the row still
+// rides in the shared matmul (rows cannot be carved out of a GEMM) but
+// consumes no RNG draws and its h/c state is not advanced — its stale values
+// are dead weight until the caller compacts the batch at the next window
+// boundary.
+// ---------------------------------------------------------------------------
+
+/// Row-span form of stochastic_perturb_fwd: perturb the n-element state row
+/// `s` using draws from `rng`, with `noise` as same-length scratch. Replays
+/// the exact FP sequence of the Mat form (which delegates here).
+void stochastic_perturb_row(double* s, int n, double intensity, std::mt19937_64& rng,
+                            double* noise);
+
+/// Lane-batched LSTM step: x is [B x in], h/c/scratch are [B x H], gates is
+/// [B x 4H]. Gate pre-activations for all live lanes come from ONE batched
+/// affine2 (bias-seed + two accumulating matmuls); the per-lane SRNN
+/// perturbation and gate nonlinearities run row-wise with lane RNG streams.
+/// `rngs` has B entries; a null entry skips that lane (see above).
+void lstm_step_fwd_batch(const LstmCell& cell, const Mat& x, const StochasticConfig& stoch,
+                         std::mt19937_64* const* rngs, Mat& h, Mat& c, Mat& gates, Mat& scratch);
+
+/// Lane-batched MLP forward over x [B x d]: trunk Linears and LeakyReLU run
+/// on the full batch (shared GEMMs); the MC-dropout mask before the head is
+/// drawn row-wise from each lane's own stream. Null `rngs` entries skip that
+/// lane's dropout draws (the row still rides in the GEMMs).
+void mlp_fwd_batch(const Mlp& mlp, const Mat& x, std::mt19937_64* const* rngs, bool training,
+                   Workspace& ws, int key_base, Mat& out);
 
 }  // namespace gendt::nn::infer

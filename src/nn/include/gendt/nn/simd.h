@@ -1,4 +1,4 @@
-// Runtime kernel dispatch. The nn library ships two kernel routes:
+// Runtime kernel dispatch. The nn library ships three kernel routes:
 //
 //   kScalar  the blocked scalar kernels (mat.cpp / infer.cpp) — the bitwise
 //            determinism anchor. Graph and fast-path outputs are bit-equal,
@@ -8,11 +8,18 @@
 //            parallel split), but FMA rounds mul+add once, so avx2 results
 //            differ from the scalar route within a small relative bound
 //            (see docs/ARCHITECTURE.md "SIMD dispatch & weight arena").
+//   kAvx512  the avx2 table with the row-GEMM widened to zmm registers
+//            (kernels_avx512.cpp). Bitwise identical to kAvx2 — vector width
+//            regroups j elements per instruction without touching any
+//            element's single ascending-k FMA chain — so it inherits the
+//            avx2 tolerance bound against scalar. Exists for lane-batched
+//            rollouts, whose multi-row GEMM is instruction-bound on ymm.
 //
 // The route is chosen once, lazily, from the GENDT_SIMD environment variable
-// ("off"/"scalar", "avx2", or "auto" — the default, also settable at build
-// time with -DGENDT_SIMD=...) gated by CPUID: avx2 is only ever selected when
-// the CPU reports AVX2 and FMA. Tests and benchmarks may override the live
+// ("off"/"scalar", "avx2", "avx512", or "auto" — the default, also settable
+// at build time with -DGENDT_SIMD=...) gated by CPUID: a vector route is only
+// ever selected when the CPU reports the matching ISA (AVX2+FMA, plus
+// AVX-512F for kAvx512). Tests and benchmarks may override the live
 // route with set_route()/ScopedRoute; callers must not flip the route while
 // kernels are executing on other threads.
 #pragma once
@@ -24,9 +31,10 @@ namespace gendt::nn::simd {
 enum class Route {
   kScalar = 0,
   kAvx2 = 1,
+  kAvx512 = 2,
 };
 
-/// "scalar" or "avx2".
+/// "scalar", "avx2", or "avx512".
 const char* route_name(Route r);
 
 /// True when this build has the route's kernels AND the CPU supports them.

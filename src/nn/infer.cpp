@@ -76,6 +76,12 @@ bool Workspace::checked_out(int key) const {
          slots_[static_cast<size_t>(key)].out;
 }
 
+size_t Workspace::peak_bytes() const {
+  size_t bytes = 0;
+  for (const Slot& s : slots_) bytes += s.capacity * sizeof(double);
+  return bytes;
+}
+
 void affine2_fwd(const Mat& x1, const Mat& w1, const Mat& x2, const Mat& w2, const Mat& b,
                  Mat& y) {
   GENDT_CHECK(x1.rows() == x2.rows() && x1.cols() == w1.rows() && x2.cols() == w2.rows() &&
@@ -118,23 +124,34 @@ void linear_fwd(const Mat& x, const Linear& layer, Mat& y) {
   check_finite(y, "linear_fwd");
 }
 
-void stochastic_perturb_fwd(Mat& s, double intensity, std::mt19937_64& rng, Mat& noise) {
+void stochastic_perturb_row(double* s, int n, double intensity, std::mt19937_64& rng,
+                            double* noise) {
   if (intensity <= 0.0) return;
-  assert(noise.same_shape(s));
+  assert(n > 0);
   double mean_abs = 0.0;
-  for (size_t i = 0; i < s.size(); ++i) mean_abs += std::abs(s[i]);
-  mean_abs /= static_cast<double>(s.size());
+  for (int i = 0; i < n; ++i) mean_abs += std::abs(s[i]);
+  mean_abs /= static_cast<double>(n);
   if (mean_abs <= 0.0) return;
 
   std::uniform_real_distribution<double> dist(0.0, mean_abs);
-  for (size_t i = 0; i < noise.size(); ++i) noise[i] = intensity * dist(rng);
+  for (int i = 0; i < n; ++i) noise[i] = intensity * dist(rng);
 
-  const double sum_before = s.sum();
-  const double sum_after = sum_before + noise.sum();
+  // Ascending accumulation, matching Mat::sum on a one-row state mat.
+  double sum_before = 0.0;
+  for (int i = 0; i < n; ++i) sum_before += s[i];
+  double noise_sum = 0.0;
+  for (int i = 0; i < n; ++i) noise_sum += noise[i];
+  const double sum_after = sum_before + noise_sum;
   double scale = (std::abs(sum_after) > 1e-12) ? sum_before / sum_after : 1.0;
   scale = std::clamp(scale, 0.5, 2.0);
   // (s + noise) * scale: the graph's add and scale are distinct ops.
-  for (size_t i = 0; i < s.size(); ++i) s[i] = (s[i] + noise[i]) * scale;
+  for (int i = 0; i < n; ++i) s[i] = (s[i] + noise[i]) * scale;
+}
+
+void stochastic_perturb_fwd(Mat& s, double intensity, std::mt19937_64& rng, Mat& noise) {
+  assert(noise.same_shape(s));
+  stochastic_perturb_row(s.data().data(), static_cast<int>(s.size()), intensity, rng,
+                         noise.data().data());
 }
 
 void lstm_step_fwd(const LstmCell& cell, const Mat& x, const StochasticConfig& stoch,
@@ -199,6 +216,102 @@ void mlp_fwd(const Mlp& mlp, const Mat& x, std::mt19937_64& rng, bool training, 
       copied_input = true;
     }
     dropout_inplace(*cur, p, rng);
+  }
+  linear_fwd(cur != nullptr ? *cur : x, layers[n - 1], out);
+
+  for (size_t i = 0; i + 1 < n; ++i) ws.release(key_base + static_cast<int>(i));
+  if (copied_input) ws.release(key_base + static_cast<int>(n));
+}
+
+void lstm_step_fwd_batch(const LstmCell& cell, const Mat& x, const StochasticConfig& stoch,
+                         std::mt19937_64* const* rngs, Mat& h, Mat& c, Mat& gates, Mat& scratch) {
+  const int H = cell.hidden_size();
+  const int R = x.rows();
+  GENDT_CHECK(x.cols() == cell.input_size() && h.rows() == R && h.cols() == H && c.rows() == R &&
+                  c.cols() == H && gates.rows() == R && gates.cols() == 4 * H &&
+                  scratch.rows() == R && scratch.cols() == H,
+              "lstm_step_fwd_batch shape mismatch: x " + shape_str(x) + " h " + shape_str(h) +
+                  " gates " + shape_str(gates));
+  assert(x.cols() == cell.input_size() && h.rows() == R && c.rows() == R && scratch.rows() == R);
+  // Per-lane SRNN perturbation first (exactly the single-lane order: perturb
+  // h, then c, then the affine reads the perturbed h). Each live lane draws
+  // only from its own stream, so lane bits are independent of who else rides
+  // in the batch.
+  if (stoch.enabled) {
+    for (int r = 0; r < R; ++r) {
+      if (rngs[r] == nullptr) continue;  // retired row: no draws, no update
+      stochastic_perturb_row(h.data().data() + static_cast<size_t>(r) * static_cast<size_t>(H), H,
+                             stoch.a_h, *rngs[r],
+                             scratch.data().data() + static_cast<size_t>(r) * static_cast<size_t>(H));
+      stochastic_perturb_row(c.data().data() + static_cast<size_t>(r) * static_cast<size_t>(H), H,
+                             stoch.a_c, *rngs[r],
+                             scratch.data().data() + static_cast<size_t>(r) * static_cast<size_t>(H));
+    }
+  }
+  // One batched affine2 for the whole lane block: rows never interact inside
+  // the blocked kernels, and each output element accumulates along ascending
+  // k with separately-rounded FMAs on both routes — the identical per-element
+  // chain the rows==1 fused path walks, so lane bits match the single-row
+  // kernel while B lanes amortize one pass over Wx/Wh.
+  affine2_fwd(x, cell.wx_value(), h, cell.wh_value(), cell.bias_value(), gates);
+
+  for (int r = 0; r < R; ++r) {
+    if (rngs[r] == nullptr) continue;  // retired row: state stays put
+    simd::kernels().lstm_gates(
+        gates.data().data() + static_cast<size_t>(r) * static_cast<size_t>(4 * H),
+        h.data().data() + static_cast<size_t>(r) * static_cast<size_t>(H),
+        c.data().data() + static_cast<size_t>(r) * static_cast<size_t>(H), H);
+  }
+  check_finite(h, "lstm_step_fwd_batch");
+}
+
+namespace {
+
+// Row-span form of dropout_inplace: same fresh bernoulli distribution per
+// call, same draw order, same multiply-by-zero for dropped elements.
+void dropout_row(double* h, int n, double p, std::mt19937_64& rng) {
+  assert(p > 0.0 && p < 1.0);
+  std::bernoulli_distribution keep(1.0 - p);
+  const double scale = 1.0 / (1.0 - p);
+  for (int i = 0; i < n; ++i) h[i] *= keep(rng) ? scale : 0.0;
+}
+
+}  // namespace
+
+void mlp_fwd_batch(const Mlp& mlp, const Mat& x, std::mt19937_64* const* rngs, bool training,
+                   Workspace& ws, int key_base, Mat& out) {
+  const std::vector<Linear>& layers = mlp.layers();
+  GENDT_CHECK(!layers.empty(), "mlp_fwd_batch on an empty Mlp");
+  assert(!layers.empty());
+  const size_t n = layers.size();
+  const double p = mlp.config().dropout_p;
+  const bool drop = p > 0.0 && training;
+  const int R = x.rows();
+
+  Mat* cur = nullptr;  // last hidden activation (null = still the input x)
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const Mat& in = cur != nullptr ? *cur : x;
+    Mat& y = ws.checkout(key_base + static_cast<int>(i), in.rows(), layers[i].out_features());
+    linear_fwd(in, layers[i], y);
+    leaky_relu_inplace(y, mlp.config().leaky_slope);
+    cur = &y;
+  }
+  bool copied_input = false;
+  if (drop) {
+    if (cur == nullptr) {  // single-layer MLP: dropout applies to the input
+      Mat& cp = ws.checkout(key_base + static_cast<int>(n), x.rows(), x.cols());
+      std::copy(x.data().begin(), x.data().end(), cp.data().begin());
+      cur = &cp;
+      copied_input = true;
+    }
+    // Per-lane masks: row r's bernoulli draws come from lane r's own stream,
+    // exactly where the single-lane mlp_fwd draws them (between z1 and eps).
+    const int cols = cur->cols();
+    for (int r = 0; r < R; ++r) {
+      if (rngs[r] == nullptr) continue;
+      dropout_row(cur->data().data() + static_cast<size_t>(r) * static_cast<size_t>(cols), cols, p,
+                  *rngs[r]);
+    }
   }
   linear_fwd(cur != nullptr ? *cur : x, layers[n - 1], out);
 

@@ -1,0 +1,158 @@
+// AVX-512 kernel route: widens ONLY the NN row-GEMM to zmm registers. Every
+// other entry in the route's kernel table (NT/TN matmuls, gate nonlinearity,
+// fused affine2 row) is shared with the AVX2 route, and the GEMM below keeps
+// the exact per-element operation sequence of mm_rows_avx2 — one FMA per
+// (k, element) in ascending-k order with the same a==0 skip — so the whole
+// avx512 route is BITWISE IDENTICAL to the avx2 route (vector width changes
+// which j elements are grouped per instruction, never any element's math).
+// simd_parity_test pins that equality.
+//
+// Why it exists: the lane-batched rollout (core::BatchedInferenceSession)
+// turns the LSTM matvec into a [B x K]*[K x 4H] GEMM whose 2-row ymm block is
+// frontend-bound at ~0.8 FMA/cycle — the zero-skip compares and x loads cost
+// as many uops as the FMAs. Doubling the vector width halves the instruction
+// count per flop; on AVX-512 hardware this roughly doubles multi-row GEMM
+// throughput while the single-row path stays weight-bandwidth-bound, which is
+// exactly the batched-vs-serial gap the covermap benchmark measures.
+#include "kernels_internal.h"
+
+#ifdef GENDT_HAVE_AVX512_KERNELS
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace gendt::nn::detail {
+
+namespace {
+
+// y[0:n) += a * x[0:n) — 8-wide FMA body with a masked tail. Ascending j;
+// each element sees exactly one fma(a, x[j], y[j]), bit-equal to the avx2
+// axpy1 (4-wide body + scalar std::fma tail) because FMA rounding does not
+// depend on lane grouping. Inactive tail lanes are never loaded or stored.
+inline void axpy1_512(double a, const double* __restrict x, double* __restrict y, int n) {
+  const __m512d va = _mm512_set1_pd(a);
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(y + j,
+                     _mm512_fmadd_pd(va, _mm512_loadu_pd(x + j), _mm512_loadu_pd(y + j)));
+  }
+  if (j < n) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (n - j)) - 1u);
+    const __m512d vx = _mm512_maskz_loadu_pd(m, x + j);
+    const __m512d vy = _mm512_maskz_loadu_pd(m, y + j);
+    _mm512_mask_storeu_pd(y + j, m, _mm512_fmadd_pd(va, vx, vy));
+  }
+}
+
+}  // namespace
+
+// C[r0:r1, :] += A[r0:r1, :] * B — same tiling as the other routes, with a
+// 4-row x 16-column register block (8 zmm accumulators) ahead of the tails.
+// Four rows per B line amortize the k-strided x loads (a new page per k at
+// LSTM widths, so no hardware prefetch) across twice as many FMAs as the ymm
+// block. The zero skip mirrors the scalar/avx2 kernels: a zero A element
+// contributes nothing, never a 0*x FMA (which would turn an Inf/NaN in x
+// into a NaN the other routes do not produce).
+void mm_rows_avx512(const double* a, const double* b, double* c, long r0, long r1, int K,
+                    int N) {
+  for (int kk = 0; kk < K; kk += kDepthTile) {
+    const int kend = std::min(K, kk + kDepthTile);
+    for (int jj = 0; jj < N; jj += kColTile) {
+      const int jend = std::min(N, jj + kColTile);
+      long i = r0;
+      for (; i + 4 <= r1; i += 4) {
+        const double* __restrict arow0 = a + i * K;
+        const double* __restrict arow1 = arow0 + K;
+        const double* __restrict arow2 = arow1 + K;
+        const double* __restrict arow3 = arow2 + K;
+        double* __restrict crow0 = c + i * N;
+        double* __restrict crow1 = crow0 + N;
+        double* __restrict crow2 = crow1 + N;
+        double* __restrict crow3 = crow2 + N;
+        int j = jj;
+        for (; j + 16 <= jend; j += 16) {
+          __m512d c00 = _mm512_loadu_pd(crow0 + j);
+          __m512d c01 = _mm512_loadu_pd(crow0 + j + 8);
+          __m512d c10 = _mm512_loadu_pd(crow1 + j);
+          __m512d c11 = _mm512_loadu_pd(crow1 + j + 8);
+          __m512d c20 = _mm512_loadu_pd(crow2 + j);
+          __m512d c21 = _mm512_loadu_pd(crow2 + j + 8);
+          __m512d c30 = _mm512_loadu_pd(crow3 + j);
+          __m512d c31 = _mm512_loadu_pd(crow3 + j + 8);
+          for (int k = kk; k < kend; ++k) {
+            const double a0 = arow0[k];
+            const double a1 = arow1[k];
+            const double a2 = arow2[k];
+            const double a3 = arow3[k];
+            if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
+            const double* __restrict x = b + static_cast<long>(k) * N + j;
+            const __m512d x0 = _mm512_loadu_pd(x);
+            const __m512d x1 = _mm512_loadu_pd(x + 8);
+            if (a0 != 0.0) {
+              const __m512d va = _mm512_set1_pd(a0);
+              c00 = _mm512_fmadd_pd(va, x0, c00);
+              c01 = _mm512_fmadd_pd(va, x1, c01);
+            }
+            if (a1 != 0.0) {
+              const __m512d va = _mm512_set1_pd(a1);
+              c10 = _mm512_fmadd_pd(va, x0, c10);
+              c11 = _mm512_fmadd_pd(va, x1, c11);
+            }
+            if (a2 != 0.0) {
+              const __m512d va = _mm512_set1_pd(a2);
+              c20 = _mm512_fmadd_pd(va, x0, c20);
+              c21 = _mm512_fmadd_pd(va, x1, c21);
+            }
+            if (a3 != 0.0) {
+              const __m512d va = _mm512_set1_pd(a3);
+              c30 = _mm512_fmadd_pd(va, x0, c30);
+              c31 = _mm512_fmadd_pd(va, x1, c31);
+            }
+          }
+          _mm512_storeu_pd(crow0 + j, c00);
+          _mm512_storeu_pd(crow0 + j + 8, c01);
+          _mm512_storeu_pd(crow1 + j, c10);
+          _mm512_storeu_pd(crow1 + j + 8, c11);
+          _mm512_storeu_pd(crow2 + j, c20);
+          _mm512_storeu_pd(crow2 + j + 8, c21);
+          _mm512_storeu_pd(crow3 + j, c30);
+          _mm512_storeu_pd(crow3 + j + 8, c31);
+        }
+        if (j < jend) {
+          for (int k = kk; k < kend; ++k) {
+            const double* __restrict x = b + static_cast<long>(k) * N + j;
+            const double a0 = arow0[k];
+            const double a1 = arow1[k];
+            const double a2 = arow2[k];
+            const double a3 = arow3[k];
+            if (a0 != 0.0) axpy1_512(a0, x, crow0 + j, jend - j);
+            if (a1 != 0.0) axpy1_512(a1, x, crow1 + j, jend - j);
+            if (a2 != 0.0) axpy1_512(a2, x, crow2 + j, jend - j);
+            if (a3 != 0.0) axpy1_512(a3, x, crow3 + j, jend - j);
+          }
+        }
+      }
+      for (; i < r1; ++i) {
+        const double* __restrict arow = a + i * K;
+        double* __restrict crow = c + i * N;
+        for (int k = kk; k < kend; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          axpy1_512(aik, b + static_cast<long>(k) * N + jj, crow + jj, jend - jj);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gendt::nn::detail
+
+#else  // !GENDT_HAVE_AVX512_KERNELS
+
+// Portable builds compile this TU empty; keep one symbol so ranlib stays quiet.
+namespace gendt::nn::detail {
+void kernels_avx512_unavailable() {}
+}  // namespace gendt::nn::detail
+
+#endif

@@ -50,4 +50,16 @@ void affine2_row_avx2(const double* x1, const double* w1, int k1, const double* 
                       const double* w2, int k2, const double* b, double* y, int n);
 #endif
 
+// ---- avx512 route (kernels_avx512.cpp) ------------------------------------
+//
+// Widens only the NN row-GEMM to zmm; the route's other table entries reuse
+// the avx2 kernels. Per-element operation order and rounding are identical
+// to mm_rows_avx2 (one ascending-k FMA per element, same zero skip), so the
+// avx512 route is bitwise identical to the avx2 route.
+
+#ifdef GENDT_HAVE_AVX512_KERNELS
+void mm_rows_avx512(const double* a, const double* b, double* c, long r0, long r1, int K,
+                    int N);
+#endif
+
 }  // namespace gendt::nn::detail

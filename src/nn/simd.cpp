@@ -32,6 +32,16 @@ bool avx2_available() {
 #endif
 }
 
+bool avx512_available() {
+  // The avx512 table reuses the avx2 gate/affine kernels, so it needs both
+  // TUs in the build and both ISAs on the CPU.
+#if defined(GENDT_HAVE_AVX512_KERNELS) && defined(GENDT_HAVE_AVX2_KERNELS)
+  return cpu_has_avx2_fma() && __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
 Route detect_route() {
   // Startup-time config read: detect_route() runs once, inside the guarded
   // static initialization of the route cell, and nothing in the process
@@ -39,6 +49,18 @@ Route detect_route() {
   const char* env = std::getenv("GENDT_SIMD");  // NOLINT(concurrency-mt-unsafe)
   const std::string pref = env != nullptr ? env : GENDT_SIMD_BUILD_DEFAULT;
   if (pref == "off" || pref == "scalar") return Route::kScalar;
+  if (pref == "avx512") {
+    if (avx512_available()) return Route::kAvx512;
+    std::fprintf(stderr,
+                 "gendt: GENDT_SIMD=avx512 requested but this %s — falling back\n",
+#ifdef GENDT_HAVE_AVX512_KERNELS
+                 "CPU lacks AVX-512F"
+#else
+                 "build has no AVX-512 kernels"
+#endif
+    );
+    return avx2_available() ? Route::kAvx2 : Route::kScalar;
+  }
   if (pref == "avx2") {
     if (avx2_available()) return Route::kAvx2;
     std::fprintf(stderr,
@@ -53,10 +75,11 @@ Route detect_route() {
   }
   if (pref != "auto" && !pref.empty()) {
     std::fprintf(stderr,
-                 "gendt: unknown GENDT_SIMD value '%s' (expected off, avx2, or auto) — "
-                 "using auto\n",
+                 "gendt: unknown GENDT_SIMD value '%s' (expected off, avx2, avx512, or "
+                 "auto) — using auto\n",
                  pref.c_str());
   }
+  if (avx512_available()) return Route::kAvx512;
   return avx2_available() ? Route::kAvx2 : Route::kScalar;
 }
 
@@ -78,12 +101,29 @@ constexpr KernelTable kAvx2Table = {
 };
 #endif
 
+#if defined(GENDT_HAVE_AVX512_KERNELS) && defined(GENDT_HAVE_AVX2_KERNELS)
+// avx2 table with only the row-GEMM swapped: bitwise identical by design
+// (simd_parity_test pins it), just fewer instructions per flop on zmm.
+constexpr KernelTable kAvx512Table = {
+    &detail::mm_rows_avx512, &detail::mm_nt_rows_avx2, &detail::mm_tn_rows_avx2,
+    &detail::lstm_gates_avx2, &detail::affine2_row_avx2,
+};
+#endif
+
 }  // namespace
 
-const char* route_name(Route r) { return r == Route::kAvx2 ? "avx2" : "scalar"; }
+const char* route_name(Route r) {
+  switch (r) {
+    case Route::kAvx512: return "avx512";
+    case Route::kAvx2: return "avx2";
+    case Route::kScalar: break;
+  }
+  return "scalar";
+}
 
 bool route_supported(Route r) {
-  return r == Route::kScalar || (r == Route::kAvx2 && avx2_available());
+  return r == Route::kScalar || (r == Route::kAvx2 && avx2_available()) ||
+         (r == Route::kAvx512 && avx512_available());
 }
 
 std::string cpu_feature_string() {
@@ -112,6 +152,9 @@ bool set_route(Route r) {
 }
 
 const KernelTable& kernels() {
+#if defined(GENDT_HAVE_AVX512_KERNELS) && defined(GENDT_HAVE_AVX2_KERNELS)
+  if (active_route() == Route::kAvx512) return kAvx512Table;
+#endif
 #ifdef GENDT_HAVE_AVX2_KERNELS
   if (active_route() == Route::kAvx2) return kAvx2Table;
 #endif

@@ -10,6 +10,10 @@
 //    rollouts get a wider gate because the autoregressive LSTM amplifies
 //    one-ulp differences step over step. Both bounds live in
 //    docs/ARCHITECTURE.md "SIMD dispatch & weight arena".
+//  * The avx512 route is BITWISE identical to avx2 — it only swaps the
+//    row-GEMM for a zmm-blocked kernel with the same per-element FMA
+//    sequence, and FMA rounding is independent of vector grouping. Pinned
+//    per-kernel and on whole rollouts below.
 //  * Route selection is overridable and honest: set_route refuses routes
 //    the build/CPU cannot run.
 #include "gendt/nn/simd.h"
@@ -41,6 +45,7 @@ constexpr double kRolloutAtol = 1e-7;   // full multi-window generation rollout
 constexpr double kRolloutRtol = 1e-5;
 
 bool avx2_here() { return nn::simd::route_supported(Route::kAvx2); }
+bool avx512_here() { return nn::simd::route_supported(Route::kAvx512); }
 
 void expect_near_mixed(const Mat& a, const Mat& b, double atol, double rtol, const char* what) {
   ASSERT_EQ(a.rows(), b.rows()) << what;
@@ -84,9 +89,20 @@ TEST(SimdDispatch, Avx2SetRouteHonestAboutSupport) {
   nn::simd::set_route(before);
 }
 
+TEST(SimdDispatch, Avx512SetRouteHonestAboutSupport) {
+  const Route before = nn::simd::active_route();
+  const bool accepted = nn::simd::set_route(Route::kAvx512);
+  EXPECT_EQ(accepted, avx512_here());
+  if (!accepted) {
+    EXPECT_EQ(nn::simd::active_route(), before);
+  }
+  nn::simd::set_route(before);
+}
+
 TEST(SimdDispatch, RouteNamesAreStable) {
   EXPECT_STREQ(nn::simd::route_name(Route::kScalar), "scalar");
   EXPECT_STREQ(nn::simd::route_name(Route::kAvx2), "avx2");
+  EXPECT_STREQ(nn::simd::route_name(Route::kAvx512), "avx512");
 }
 
 // ---- Kernel-level tolerance (matmul family) -------------------------------
@@ -121,6 +137,32 @@ TEST_F(SimdKernelF, MatmulAvx2MatchesScalarWithinTolerance) {
     avx2_c = matmul(a, b);
   }
   expect_near_mixed(scalar_c, avx2_c, kKernelAtol, kKernelRtol, "matmul");
+}
+
+// The avx512 route is DEFINED as the avx2 table with only the row-GEMM
+// widened to zmm, so its matmul must equal avx2 BITWISE (not within
+// tolerance): vector width regroups j elements per instruction but leaves
+// every element's single ascending-k FMA chain untouched. Row counts sweep
+// the 4-row zmm block, the leftover-row loop, and (via odd cols) the masked
+// column tail; the fixture's sprinkled zeros exercise the skip on both
+// sides.
+TEST_F(SimdKernelF, MatmulAvx512BitwiseEqualsAvx2) {
+  if (!avx512_here()) GTEST_SKIP() << "no avx512 route on this build/CPU";
+  for (int rows : {1, 2, 3, 4, 5, 8, 11}) {
+    SCOPED_TRACE("rows=" + std::to_string(rows));
+    const Mat a = random_mat(rows, 300, 100 + static_cast<uint64_t>(rows));
+    const Mat b = random_mat(300, 210, 2);
+    Mat avx2_c, avx512_c;
+    {
+      ScopedRoute pin(Route::kAvx2);
+      avx2_c = matmul(a, b);
+    }
+    {
+      ScopedRoute pin(Route::kAvx512);
+      avx512_c = matmul(a, b);
+    }
+    expect_bits_equal(avx2_c, avx512_c, "matmul avx512 vs avx2");
+  }
 }
 
 TEST_F(SimdKernelF, MatmulNtAvx2MatchesScalarWithinTolerance) {
@@ -308,6 +350,20 @@ TEST_F(SimdRolloutF, Avx2RouteBitwiseStableAcrossThreads) {
     ASSERT_EQ(serial.size(), threaded.size());
     for (size_t i = 0; i < serial.size(); ++i)
       expect_bits_equal(serial[i].output, threaded[i].output, "avx2 output");
+  }
+}
+
+// Product-level spelling of the same contract: a whole generation rollout
+// on the avx512 route reproduces the avx2 route's bits exactly.
+TEST_F(SimdRolloutF, Avx512RolloutBitwiseEqualsAvx2) {
+  if (!avx512_here()) GTEST_SKIP() << "no avx512 route on this build/CPU";
+  for (uint64_t seed : {7u, 41u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto avx2 = run_route(Route::kAvx2, 2, seed);
+    const auto avx512 = run_route(Route::kAvx512, 2, seed);
+    ASSERT_EQ(avx2.size(), avx512.size());
+    for (size_t i = 0; i < avx2.size(); ++i)
+      expect_bits_equal(avx2[i].output, avx512[i].output, "avx512 rollout output");
   }
 }
 

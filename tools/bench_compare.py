@@ -25,6 +25,22 @@ import sys
 _NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+def check_build_type(doc, path):
+    """Hard-fail on timings from a debug build.
+
+    Debug numbers are noise for the perf trajectory: comparing against (or
+    committing) them would either mask real regressions or manufacture fake
+    ones. The field is optional — hand-rolled contexts (BENCH_serve_replay's
+    emitter) don't carry it, and absence is fine; an explicit "debug" is not.
+    """
+    build = doc.get("context", {}).get("library_build_type")
+    if build == "debug":
+        print(f"bench_compare: {path} was produced by a debug build "
+              "(context.library_build_type == \"debug\") — rerun the "
+              "benchmark from a Release build", file=sys.stderr)
+        sys.exit(2)
+
+
 def load_timings(path):
     """Return {benchmark name: cpu_time in ns} for per-iteration entries."""
     try:
@@ -33,6 +49,7 @@ def load_timings(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    check_build_type(doc, path)
     timings = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -96,6 +113,18 @@ def self_test():
     # additions surface as warnings only.
     regressions, warnings, _ = compare({"a": 100.0}, {"a": 100.0, "x": 1.0}, 25.0)
     ok = ok and regressions == [] and warnings and "'x'" in warnings[0]
+    # Debug-built results are rejected outright; a missing or release build
+    # type passes (BENCH_serve_replay's hand-rolled context has no such field).
+    try:
+        check_build_type({"context": {"library_build_type": "debug"}}, "x.json")
+        ok = False
+    except SystemExit as e:
+        ok = ok and e.code == 2
+    for clean in ({}, {"context": {}}, {"context": {"library_build_type": "release"}}):
+        try:
+            check_build_type(clean, "x.json")
+        except SystemExit:
+            ok = False
     print("bench_compare self-test:", "ok" if ok else "FAILED")
     return 0 if ok else 2
 

@@ -83,7 +83,7 @@ if [ "$BENCH" -eq 1 ]; then
   python3 "$ROOT/tools/bench_compare.py" --self-test
   BENCH_JSON="$BUILD_DIR/bench_smoke.json"
   "$BUILD_DIR/bench/bench_micro_perf" \
-    --benchmark_filter='BM_Matmul|BM_LstmStep|BM_GenDTWindowGeneration|BM_Affine2Simd|BM_CkptModelLoad|BM_PackedModelLoad' \
+    --benchmark_filter='BM_Matmul|BM_LstmStep|BM_GenDTWindowGeneration|BM_Affine2Simd|BM_CkptModelLoad|BM_PackedModelLoad|BM_BatchedLstmStep|BM_CovermapThroughput' \
     --benchmark_out="$BENCH_JSON" --benchmark_out_format=json
   python3 "$ROOT/tools/bench_compare.py" "$ROOT/BENCH_micro_perf.json" "$BENCH_JSON"
 

@@ -79,6 +79,8 @@
 // The world (cells + environment context) is reconstructed from
 // --dataset/--seed; operators with real data would adapt sim::World to
 // their cell table and land-use sources.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -101,6 +103,7 @@
 #include "gendt/nn/pack.h"
 #include "gendt/nn/simd.h"
 #include "gendt/runtime/signal.h"
+#include "gendt/runtime/thread_pool.h"
 #include "gendt/serve/engine.h"
 #include "gendt/serve/fault.h"
 #include "gendt/serve/registry.h"
@@ -154,7 +157,7 @@ const std::map<std::string, std::set<std::string>>& command_options() {
       {"pack", {"in", "out"}},
       {"serve",
        {"requests", "model", "models", "model-budget", "out", "dataset", "seed", "train-s",
-        "deadline-ms", "max-queue", "shed", "threads", "batch-max",
+        "deadline-ms", "max-queue", "shed", "threads", "batch-max", "lane-batch",
         // --stream daemon options
         "stream", "socket", "chunk-windows", "idle-timeout-ms", "drain-deadline-ms",
         "stream-sessions", "idle-exit-ms"}},
@@ -165,6 +168,9 @@ const std::map<std::string, std::set<std::string>>& command_options() {
        {"out", "scripted", "models", "requests", "rate-hz", "seed", "deadline-ms",
         "sim-workers", "budget", "threads", "window-cost-ms", "windows", "window-len",
         "swap-at", "duration-s", "dataset", "train-s"}},
+      {"covermap",
+       {"out", "grid", "batch", "threads", "seed", "gen-seed", "train-s", "dataset", "model",
+        "bench-out"}},
   };
   return kOptions;
 }
@@ -185,12 +191,12 @@ Args parse(int argc, char** argv) {
   if (cmd == command_options().end()) {
     std::fprintf(stderr,
                  "error: unknown command '%s' (expected simulate, train, generate, eval, "
-                 "pack, serve, stream-client, or replay; see 'gendt --help')\n",
+                 "pack, serve, stream-client, replay, or covermap; see 'gendt --help')\n",
                  a.command.c_str());
     std::exit(2);
   }
   static const std::set<std::string> kBoolFlags = {"resume", "shed", "fast", "reference",
-                                                   "stream"};
+                                                   "stream", "lane-batch"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -223,8 +229,8 @@ Args parse(int argc, char** argv) {
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: gendt <simulate|train|generate|eval|pack|serve|stream-client|replay>"
-               " [options]\n"
+               "usage: gendt <simulate|train|generate|eval|pack|serve|stream-client|replay"
+               "|covermap> [options]\n"
                "  simulate --out DIR [--dataset a|b] [--seed N] [--train-s SEC]\n"
                "  train    --out MODEL.ckpt [--dataset a|b] [--seed N] [--epochs E]"
                " [--threads N] [--resume] [--record FILE]...\n"
@@ -234,7 +240,7 @@ void print_usage(std::FILE* to) {
                "  pack     --in MODEL.ckpt --out MODEL.gdtpack\n"
                "  serve    --requests FILE (--model MODEL.ckpt | --models id=PATH,...)"
                " --out DIR [--deadline-ms N] [--max-queue N] [--shed] [--model-budget N]"
-               " [--threads N] [--batch-max N] [--dataset a|b] [--seed N]\n"
+               " [--threads N] [--batch-max N] [--lane-batch] [--dataset a|b] [--seed N]\n"
                "  serve    --stream --socket PATH --model MODEL [--chunk-windows N]"
                " [--idle-timeout-ms N] [--drain-deadline-ms N] [--threads N]"
                " [--dataset a|b] [--seed N]\n"
@@ -244,6 +250,9 @@ void print_usage(std::FILE* to) {
                "  replay   --out BENCH.json (--scripted N | --models id=PATH,...)"
                " [--requests N] [--rate-hz R] [--seed N] [--deadline-ms N] [--sim-workers W]"
                " [--budget B] [--threads T] [--swap-at MS]\n"
+               "  covermap --out MAP.csv [--grid WxH] [--batch B] [--threads N]"
+               " [--model MODEL] [--gen-seed N] [--bench-out BENCH.json]"
+               " [--dataset a|b] [--seed N]\n"
                "--threads N sets the worker-thread count (0 = all hardware threads,\n"
                "1 = serial). Results are bitwise identical at every setting.\n"
                "train writes an atomic checkpoint after every epoch; --resume\n"
@@ -259,7 +268,15 @@ void print_usage(std::FILE* to) {
                "the autograd graph instead — outputs are bitwise identical.\n"
                "serve --batch-max N lets each worker drain up to N queued requests\n"
                "and fan them out on the shared pool; responses are bitwise\n"
-               "independent of batch composition.\n"
+               "independent of batch composition. --lane-batch additionally packs\n"
+               "each drained batch's compatible requests into one lane-batched\n"
+               "GEMM rollout — same bits, higher throughput.\n"
+               "covermap generates a KPI coverage map (ROADMAP 4b): a --grid WxH\n"
+               "lattice of stationary trajectories over the region, rolled out in\n"
+               "lane batches of --batch through the batched inference session.\n"
+               "Point (ix,iy) always runs on RNG stream derive_stream_seed(\n"
+               "gen-seed, iy*W+ix), so the CSV is byte-identical at every\n"
+               "--threads/--batch setting; --bench-out writes throughput JSON.\n"
                "serve --stream runs the GDTSTRM1 streaming daemon on a Unix socket:\n"
                "chunked generation with ACK-paced backpressure, seam-free RESUME\n"
                "from the last ACKed chunk, and graceful drain on SIGINT/SIGTERM.\n"
@@ -905,6 +922,11 @@ int cmd_serve(const Args& a) {
     std::fprintf(stderr, "error: --batch-max must be >= 1\n");
     return 2;
   }
+  cfg.lane_batch = a.flag("lane-batch");
+  if (cfg.lane_batch && cfg.batch_max < 2) {
+    std::fprintf(stderr, "error: --lane-batch requires --batch-max >= 2\n");
+    return 2;
+  }
   cfg.expected_channels = static_cast<int>(ds.kpis.size());
 
   // Every model becomes a registry entry with its own warmed session pool
@@ -919,8 +941,11 @@ int cmd_serve(const Args& a) {
     if (gen == nullptr) return 1;
     if (m == 0) first_norm = gen->norm();
     gen->prewarm(static_cast<size_t>(std::max(1, cfg.workers)));
-    std::printf("serve: model '%s' <- %s (%s, budget=%d)\n", model_specs[m].first.c_str(),
-                model_specs[m].second.c_str(), format.c_str(), model_budget);
+    // Peak-bytes of the warm session pool: what this model pins in memory
+    // before the first request (grows once lane batching warms up).
+    std::printf("serve: model '%s' <- %s (%s, budget=%d, warm=%.1f KiB)\n",
+                model_specs[m].first.c_str(), model_specs[m].second.c_str(), format.c_str(),
+                model_budget, static_cast<double>(gen->warm_peak_bytes()) / 1024.0);
     registry.add(model_specs[m].first, std::move(gen), serve::ModelBudget{model_budget});
   }
   std::printf("serve: kernels=%s cpu=[%s] models=%zu\n",
@@ -1016,14 +1041,21 @@ int cmd_serve(const Args& a) {
   }
   for (const std::string& id : registry.ids()) {
     const serve::ModelStats ms = registry.stats(id);
+    // The pool is warm now, so the peak-bytes figure reflects what serving
+    // this batch actually pinned (lane batching included).
+    double warm_kib = 0.0;
+    if (const auto lease = registry.acquire(id)) {
+      if (const auto* g = dynamic_cast<const core::GenDTGenerator*>(&lease.generator()))
+        warm_kib = static_cast<double>(g->warm_peak_bytes()) / 1024.0;
+    }
     std::printf("model '%s' (v%llu): %llu routed, %llu ok, %llu degraded, %llu failed, "
-                "%llu shed\n",
+                "%llu shed, warm=%.1f KiB\n",
                 id.c_str(), static_cast<unsigned long long>(registry.active_version(id)),
                 static_cast<unsigned long long>(ms.total()),
                 static_cast<unsigned long long>(ms.ok),
                 static_cast<unsigned long long>(ms.degraded),
                 static_cast<unsigned long long>(ms.failed),
-                static_cast<unsigned long long>(ms.shed));
+                static_cast<unsigned long long>(ms.shed), warm_kib);
   }
   std::printf("served %zu requests: %llu ok, %llu degraded, %llu failed, %llu shed, "
               "%llu retries\n",
@@ -1505,6 +1537,202 @@ int cmd_replay(const Args& a) {
   return 0;
 }
 
+// ---- Coverage map ----------------------------------------------------------
+
+// The coverage-grid workload (ROADMAP 4b): a WxH lattice of stationary
+// trajectories over the region, rolled out through the lane-batched
+// inference session in blocks of --batch. Point (ix,iy) always runs on RNG
+// stream derive_stream_seed(gen_seed, iy*W+ix) — never on its lane slot or
+// the thread that happened to pick its block up — so the CSV is
+// byte-identical at every --threads and --batch setting.
+int cmd_covermap(const Args& a) {
+  const std::string out_path = a.get("out");
+  if (out_path.empty()) return usage();
+
+  const std::string grid = a.get("grid", "16x16");
+  long gw = 0, gh = 0;
+  {
+    const size_t x = grid.find('x');
+    try {
+      size_t wpos = 0, hpos = 0;
+      if (x == std::string::npos) throw std::invalid_argument(grid);
+      gw = std::stol(grid.substr(0, x), &wpos);
+      gh = std::stol(grid.substr(x + 1), &hpos);
+      if (wpos != x || hpos != grid.size() - x - 1) throw std::invalid_argument(grid);
+    } catch (const std::exception&) {
+      gw = gh = 0;
+    }
+    if (gw < 1 || gh < 1) {
+      std::fprintf(stderr, "error: --grid expects WxH with W,H >= 1, got '%s'\n", grid.c_str());
+      return 2;
+    }
+  }
+  const int batch = static_cast<int>(a.get_long("batch", 8));
+  if (batch < 1) {
+    std::fprintf(stderr, "error: --batch expects a batch size >= 1, got %d\n", batch);
+    return 2;
+  }
+  const uint64_t gen_seed = static_cast<uint64_t>(a.get_long("gen-seed", 1));
+  const runtime::Parallelism par{.threads = static_cast<int>(a.get_long("threads", 0))};
+
+  sim::Dataset ds = build_dataset(a);
+  const std::string model_path = a.get("model");
+  std::unique_ptr<core::GenDTGenerator> gen;
+  std::string format;
+  if (!model_path.empty()) {
+    gen = load_generator(model_path, ds, &format);
+    if (gen == nullptr) return 1;
+  } else {
+    // No model: map the untrained generator (deterministic init_seed
+    // weights) under an identity norm — the workload/throughput shape is
+    // identical to a trained model's, which is what the benchmark gate and
+    // the determinism acceptance run on.
+    core::GenDTConfig mcfg;
+    mcfg.num_channels = static_cast<int>(ds.kpis.size());
+    mcfg.hidden = 48;
+    mcfg.parallelism = {.threads = 1};
+    context::KpiNorm norm;
+    norm.mean.assign(ds.kpis.size(), 0.0);
+    norm.stddev.assign(ds.kpis.size(), 1.0);
+    gen = std::make_unique<core::GenDTGenerator>(mcfg, core::TrainConfig{}, norm);
+    gen->set_kpis(ds.kpis);
+    format = "untrained (deterministic init)";
+  }
+
+  context::ContextBuilder builder(ds.world, default_context(), gen->norm(), ds.kpis);
+  const int wlen = default_context().window_len;
+  const int nch = static_cast<int>(ds.kpis.size());
+  const long n_points = gw * gh;
+  const long n_blocks = (n_points + batch - 1) / batch;
+
+  // Grid point (ix,iy) -> ENU position: the lattice spans the central 80% of
+  // the modelled square (cells live inside it; the margin avoids projecting
+  // outside the land-use raster).
+  const double extent = ds.world.region.extent_m;
+  const auto grid_enu = [&](long ix, long iy) {
+    const double east = gw > 1 ? -0.8 * extent + static_cast<double>(ix) * (1.6 * extent /
+                                                                            static_cast<double>(gw - 1))
+                               : 0.0;
+    const double north = gh > 1 ? -0.8 * extent + static_cast<double>(iy) * (1.6 * extent /
+                                                                             static_cast<double>(gh - 1))
+                                : 0.0;
+    return geo::Enu{east, north};
+  };
+
+  std::vector<geo::LatLon> positions(static_cast<size_t>(n_points));
+  std::vector<double> means(static_cast<size_t>(n_points) * static_cast<size_t>(nch), 0.0);
+  std::atomic<long> windows_done{0};
+  std::atomic<bool> failed{false};
+
+  // The CSV bits are seed-pure; the clock only feeds the throughput stats.
+  const auto t_start = std::chrono::steady_clock::now();  // gendt-lint: allow(wallclock) stats only
+  runtime::parallel_tasks(par, static_cast<int>(n_blocks), [&](int block) {
+    const long lo = static_cast<long>(block) * batch;
+    const long hi = std::min(n_points, lo + batch);
+    // Window contexts are per-point state; build them here so blocks stay
+    // independent, then roll all lanes of the block out in one GEMM batch.
+    std::vector<std::vector<context::Window>> windows(static_cast<size_t>(hi - lo));
+    std::vector<core::GenerateBatchItem> items(static_cast<size_t>(hi - lo));
+    for (long p = lo; p < hi; ++p) {
+      const long ix = p % gw, iy = p / gw;
+      positions[static_cast<size_t>(p)] = ds.world.projection().to_latlon(grid_enu(ix, iy));
+      std::vector<geo::TrajectoryPoint> pts;
+      pts.reserve(static_cast<size_t>(wlen));
+      for (int t = 0; t < wlen; ++t)
+        pts.push_back({static_cast<double>(t), positions[static_cast<size_t>(p)]});
+      windows[static_cast<size_t>(p - lo)] = builder.generation_windows(geo::Trajectory(pts));
+      items[static_cast<size_t>(p - lo)] = {.windows = &windows[static_cast<size_t>(p - lo)],
+                                            .seed = runtime::derive_stream_seed(
+                                                gen_seed, static_cast<uint64_t>(p))};
+    }
+    const std::vector<core::GenerateBatchResult> results = gen->generate_batch(items);
+    for (long p = lo; p < hi; ++p) {
+      const core::GenerateBatchResult& r = results[static_cast<size_t>(p - lo)];
+      if (!r.ok) {
+        std::fprintf(stderr, "error: point (%ld,%ld): %s\n", p % gw, p / gw, r.error.c_str());
+        failed.store(true);
+        continue;
+      }
+      for (int ch = 0; ch < nch; ++ch) {
+        const std::vector<double>& series = r.series.channels[static_cast<size_t>(ch)];
+        double sum = 0.0;
+        for (double v : series) sum += v;
+        means[static_cast<size_t>(p) * static_cast<size_t>(nch) + static_cast<size_t>(ch)] =
+            series.empty() ? 0.0 : sum / static_cast<double>(series.size());
+      }
+      windows_done.fetch_add(
+          static_cast<long>(windows[static_cast<size_t>(p - lo)].size()));
+    }
+  });
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t_start)  // gendt-lint: allow(wallclock) stats only
+          .count();
+  if (failed.load()) return 1;
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  os << "ix,iy,lat,lon";
+  for (auto k : ds.kpis) os << ',' << sim::kpi_name(k) << "_mean";
+  os << '\n';
+  char buf[64];
+  for (long p = 0; p < n_points; ++p) {
+    os << (p % gw) << ',' << (p / gw);
+    std::snprintf(buf, sizeof(buf), "%.9f", positions[static_cast<size_t>(p)].lat);
+    os << ',' << buf;
+    std::snprintf(buf, sizeof(buf), "%.9f", positions[static_cast<size_t>(p)].lon);
+    os << ',' << buf;
+    for (int ch = 0; ch < nch; ++ch) {
+      std::snprintf(buf, sizeof(buf), "%.6f",
+                    means[static_cast<size_t>(p) * static_cast<size_t>(nch) +
+                          static_cast<size_t>(ch)]);
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  const double wps = elapsed_ms > 0.0 ? 1000.0 * static_cast<double>(windows_done.load()) /
+                                            elapsed_ms
+                                      : 0.0;
+  std::printf("covermap: %ldx%ld grid (%s), batch=%d, %ld windows in %.0f ms (%.1f windows/s)"
+              " -> %s\n",
+              gw, gh, format.c_str(), batch, windows_done.load(), elapsed_ms, wps, out_path.c_str());
+
+  const std::string bench_path = a.get("bench-out");
+  if (!bench_path.empty()) {
+    std::ofstream bs(bench_path);
+    if (!bs) {
+      std::fprintf(stderr, "error: cannot write %s\n", bench_path.c_str());
+      return 1;
+    }
+    // google-benchmark JSON, same shape write_replay_bench_json emits; this
+    // one carries wall-clock throughput, so it is a local artifact — the
+    // committed, bench_compare.py-gated numbers come from bench_micro_perf.
+    bs << "{\n  \"context\": {\"harness\": \"gendt covermap\"},\n  \"benchmarks\": [\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", elapsed_ms);
+    bs << "    {\"name\": \"BM_CovermapRollout/total_ms\", \"run_type\": \"iteration\", "
+       << "\"iterations\": 1, \"real_time\": " << buf << ", \"cpu_time\": " << buf
+       << ", \"time_unit\": \"ms\"},\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", wps);
+    bs << "    {\"name\": \"BM_CovermapRollout/windows_per_s\", \"run_type\": \"iteration\", "
+       << "\"iterations\": 1, \"real_time\": " << buf << ", \"cpu_time\": " << buf
+       << ", \"time_unit\": \"ms\"}\n  ]\n}\n";
+    if (!bs) {
+      std::fprintf(stderr, "error: cannot write %s\n", bench_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", bench_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1522,5 +1750,6 @@ int main(int argc, char** argv) {
   if (a.command == "serve") return cmd_serve(a);
   if (a.command == "stream-client") return cmd_stream_client(a);
   if (a.command == "replay") return cmd_replay(a);
+  if (a.command == "covermap") return cmd_covermap(a);
   return usage();  // no command given
 }

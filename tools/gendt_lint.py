@@ -178,17 +178,19 @@ DETERMINISM_RULES = [
 # CLI's checkpoint writer (record order decides the file bytes/CRC).
 ORDER_SENSITIVE_PATHS = ("src/nn", "src/core", "src/serve", "tools/gendt_cli.cpp")
 
-# The single file allowed to use x86 intrinsics: the AVX2 kernel TU behind
-# the gendt::nn::simd dispatch table (built with file-local -mavx2 -mfma).
-INTRINSICS_EXEMPT = "src/nn/kernels_avx2.cpp"
+# The only files allowed to use x86 intrinsics: the AVX2 and AVX-512 kernel
+# TUs behind the gendt::nn::simd dispatch table (each built with file-local
+# ISA flags).
+INTRINSICS_EXEMPT = ("src/nn/kernels_avx2.cpp", "src/nn/kernels_avx512.cpp")
 INTRINSICS = re.compile(
     r"(?<![\w])_mm(?:\d{3})?_\w+\s*\("      # _mm_*, _mm256_*, _mm512_* calls
     r"|(?<![\w])__m\d{3}[di]?(?![\w])"      # __m128/__m256d/__m512i vector types
+    r"|(?<![\w])__mmask\d{1,2}(?![\w])"     # AVX-512 lane masks
     r"|#\s*include\s*[<\"](?:imm|x86)intrin\.h[>\"]")
 INTRINSICS_MSG = (
-    "x86 intrinsics outside src/nn/kernels_avx2.cpp; vector code must sit "
-    "behind the gendt::nn::simd kernel table so the scalar route stays the "
-    "bitwise determinism anchor")
+    "x86 intrinsics outside src/nn/kernels_avx{2,512}.cpp; vector code must "
+    "sit behind the gendt::nn::simd kernel table so the scalar route stays "
+    "the bitwise determinism anchor")
 
 UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)")
 RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*&?(\w+)\s*\)")
@@ -477,7 +479,7 @@ def scan_file(path, rel, packs):
             for rule, rx, msg in DETERMINISM_RULES:
                 if rx.search(code) and rule not in allow:
                     findings.append(Finding(rel, lineno, "determinism", rule, msg))
-            if (rel_posix != INTRINSICS_EXEMPT and "intrinsics" not in allow
+            if (rel_posix not in INTRINSICS_EXEMPT and "intrinsics" not in allow
                     and INTRINSICS.search(code)):
                 findings.append(
                     Finding(rel, lineno, "determinism", "intrinsics", INTRINSICS_MSG))
@@ -668,9 +670,12 @@ def self_test(packs):
                 _expect(f"determinism[{rule}]", found, rule, True, errors)
                 os.remove(path)
             _write(tmp, "src/nn/clean.cpp", clean)
-            # The one sanctioned intrinsics TU must NOT fire the rule.
+            # The sanctioned intrinsics TUs must NOT fire the rule.
             _write(tmp, "src/nn/kernels_avx2.cpp",
                    "#include <immintrin.h>\n__m256d v = _mm256_setzero_pd();\n")
+            _write(tmp, "src/nn/kernels_avx512.cpp",
+                   "#include <immintrin.h>\n__m512d v = _mm512_setzero_pd();\n"
+                   "__mmask8 m = 0x0f;\n")
             found, _ = scan_paths(tmp, [os.path.join(tmp, "src")], {"determinism"})
             for f in found:
                 errors.append(f"determinism[clean]: false positive {f.text()}")
